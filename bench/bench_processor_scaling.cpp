@@ -1,0 +1,76 @@
+/// \file bench_processor_scaling.cpp
+/// The §IV-B scalability argument: "the maximum number of hops between old
+/// and new set of processors is likely to increase for the scratch method
+/// with larger total processor count. Therefore the data redistribution
+/// time may increase with increase in number of processors for the scratch
+/// method. Processor reallocation via Huffman tree construction or
+/// reorganization depends on the number of nests and is not affected by
+/// increase in processor count."
+///
+/// Sweep Blue Gene/L partition sizes 256 → 4096 with the same nest trace
+/// and report, per strategy: average/maximum hops of redistribution
+/// traffic, total redistribution time, and the (host) wall time of the
+/// reallocation decision itself.
+
+#include <chrono>
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "util/stats.hpp"
+
+using namespace stormtrack;
+
+int main() {
+  SyntheticTraceConfig tcfg;
+  tcfg.num_events = 40;
+  tcfg.seed = 0x5ca1ab1e;
+  const Trace trace = generate_synthetic_trace(tcfg);
+  const ModelStack models;
+
+  Table t({"Cores", "Strategy", "Avg hops/byte", "Max hops",
+           "Redist total (s)"});
+  t.set_title("Processor-count sweep (same 40-event trace; §IV-B "
+              "scalability argument)");
+  for (const int cores : {256, 512, 1024, 2048, 4096}) {
+    const Machine machine = Machine::bluegene(cores);
+    for (const Strategy s : {Strategy::kScratch, Strategy::kDiffusion}) {
+      const TraceRunResult r =
+          run_trace(machine, models.model, models.truth, s, trace);
+      int max_hops = 0;
+      for (const StepOutcome& o : r.outcomes)
+        max_hops = std::max(max_hops, o.traffic.max_hops);
+      t.add_row({std::to_string(cores), to_string(s),
+                 Table::num(r.mean_avg_hop_bytes(), 2),
+                 std::to_string(max_hops),
+                 Table::num(r.total_redist(), 2)});
+    }
+  }
+  t.print(std::cout);
+
+  // Reallocation decision cost: tree construction / reorganization must be
+  // flat in the processor count (it only sees nest counts and weights).
+  Table d({"Cores", "Mean reallocation decision (host µs/event)"});
+  d.set_title("Reallocation machinery cost vs processor count");
+  for (const int cores : {256, 1024, 4096}) {
+    const Machine machine = Machine::bluegene(cores);
+    const auto t0 = std::chrono::steady_clock::now();
+    ManagerConfig cfg;
+    cfg.strategy = Strategy::kDiffusion;
+    ReallocationManager manager(machine, models.model, models.truth, cfg);
+    for (const auto& active : trace) (void)manager.apply(active);
+    const double us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - t0)
+            .count() /
+        static_cast<double>(trace.size());
+    d.add_row({std::to_string(cores), Table::num(us, 1)});
+  }
+  d.print(std::cout);
+
+  std::cout << "Expected shape: scratch's hop distances (and with them its "
+               "redistribution\ncost) grow with the torus size; diffusion's "
+               "stay low; the reallocation\ndecision itself is dominated by "
+               "redistribution planning, not the tree\noperations (see "
+               "bench_micro_alloc for the isolated tree costs).\n";
+  return 0;
+}

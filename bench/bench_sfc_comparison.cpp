@@ -1,0 +1,106 @@
+/// \file bench_sfc_comparison.cpp
+/// Quantifies the related-work argument of §II: Hilbert space-filling-curve
+/// repartitioning — the standard AMR technique — against the paper's two
+/// rectangular strategies on the 70-case synthetic suite (BG/L 1024).
+///
+/// Measured shape: re-segmenting the curve at each adaptation point shifts
+/// every chunk boundary, so the SFC scheme's data-point overlap collapses
+/// and its redistribution cost lands *worse* than even partition-from-
+/// scratch; and independently of that, its per-processor nest regions are
+/// curve chunks whose halo boundary is much longer than a rectangular
+/// block's, inflating *every* simulation step. WRF moreover requires
+/// rectangular process sub-grids outright — the paper's §II argument.
+
+#include <iostream>
+#include <map>
+
+#include "alloc/sfc_allocation.hpp"
+#include "core/experiment.hpp"
+#include "util/stats.hpp"
+
+using namespace stormtrack;
+
+int main() {
+  SyntheticTraceConfig tcfg;
+  const Trace trace = generate_synthetic_trace(tcfg);
+  const ModelStack models;
+  const Machine bgl = Machine::bluegene(1024);
+
+  // Rectangular strategies via the standard harness.
+  const TraceRunResult diff = run_trace(bgl, models.model, models.truth,
+                                        Strategy::kDiffusion, trace);
+  const TraceRunResult scratch = run_trace(bgl, models.model, models.truth,
+                                           Strategy::kScratch, trace);
+
+  // SFC strategy: same weights, Hilbert segments, per-retained-nest
+  // redistribution between old and new rank lists.
+  const HilbertOrder curve(bgl.grid_px(), bgl.grid_py());
+  TrafficReport sfc_traffic;
+  double sfc_time = 0.0;
+  std::int64_t sfc_overlap_pts = 0, sfc_total_pts = 0;
+  std::map<int, std::vector<int>> prev_ranks;  // nest -> rank list
+  for (const auto& active : trace) {
+    std::vector<NestShape> shapes;
+    std::vector<NestWeight> weights;
+    for (const NestSpec& n : active) shapes.push_back(n.shape);
+    const std::vector<double> ratios =
+        weight_ratios(models.model, shapes, bgl.cores());
+    for (std::size_t i = 0; i < active.size(); ++i)
+      weights.push_back(NestWeight{active[i].id, ratios[i]});
+
+    const SfcAllocation alloc(weights, curve);
+    std::map<int, std::vector<int>> now;
+    for (const NestSpec& n : active) {
+      now[n.id] = alloc.ranks_of(n.id, curve);
+      const auto old = prev_ranks.find(n.id);
+      if (old == prev_ranks.end()) continue;  // inserted: no data to move
+      const RedistPlan plan =
+          plan_sfc_redistribution(n.shape, old->second, now[n.id]);
+      const TrafficReport rep = bgl.comm().alltoallv(plan.messages);
+      sfc_traffic += rep;
+      sfc_time += rep.modeled_time;
+      sfc_overlap_pts += plan.overlap_points;
+      sfc_total_pts += plan.total_points;
+    }
+    prev_ranks = std::move(now);
+  }
+
+  Table t({"Strategy", "Total redist time (s)", "Avg hop-bytes",
+           "Mean data-point overlap %"});
+  t.set_title("SFC (Hilbert) vs rectangular strategies, 70 synthetic cases "
+              "on " + bgl.label());
+  t.add_row({"Partition from scratch", Table::num(scratch.total_redist(), 2),
+             Table::num(scratch.mean_avg_hop_bytes(), 2),
+             Table::num(100.0 * scratch.mean_overlap_fraction(), 1)});
+  t.add_row({"Tree-based hierarchical diffusion",
+             Table::num(diff.total_redist(), 2),
+             Table::num(diff.mean_avg_hop_bytes(), 2),
+             Table::num(100.0 * diff.mean_overlap_fraction(), 1)});
+  t.add_row({"Hilbert SFC segments", Table::num(sfc_time, 2),
+             Table::num(sfc_traffic.avg_hops_per_byte(), 2),
+             Table::num(sfc_total_pts == 0
+                            ? 0.0
+                            : 100.0 * static_cast<double>(sfc_overlap_pts) /
+                                  static_cast<double>(sfc_total_pts),
+                        1)});
+  t.print(std::cout);
+
+  // The catch: per-step halo cost of curve-chunk regions.
+  Table halo({"Decomposition", "Halo inflation (vs square block)"});
+  halo.set_title("Why the paper requires rectangles (§II): per-processor "
+                 "region boundary length of a 349x349 nest on 128 "
+                 "processors");
+  halo.add_row({"rectangular 16x8 blocks",
+                Table::num(block_halo_inflation(NestShape{349, 349}, 16, 8),
+                           2)});
+  halo.add_row({"Hilbert curve chunks",
+                Table::num(sfc_halo_inflation(NestShape{349, 349}, 128), 2)});
+  halo.print(std::cout);
+
+  std::cout << "Re-segmenting the curve each adaptation point shifts every "
+               "chunk boundary, so\nSFC loses the overlap that makes "
+               "diffusion cheap; its ragged per-processor\nregions also pay "
+               "an inflated halo on every step — and WRF requires\n"
+               "rectangular process sub-grids outright (§II).\n";
+  return 0;
+}

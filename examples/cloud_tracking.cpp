@@ -1,0 +1,80 @@
+/// \file cloud_tracking.cpp
+/// The paper's full system, live: a synthetic monsoon over the Indian
+/// region is simulated (the WRF stand-in), split files are written every
+/// coupled interval, the parallel data analysis (§III) detects organized
+/// cloud clusters, nests spawn over them (initial state interpolated from
+/// the parent at 3× resolution), integrate with the distributed
+/// advection–diffusion stepper on their processor rectangles, have their
+/// data genuinely moved when the tree-based hierarchical diffusion
+/// strategy reallocates processors, and disappear with their clouds.
+///
+/// Output: one line per adaptation interval with the lifecycle events and
+/// costs, a closing summary, and (in ./cloud_tracking_out/) PGM/PPM
+/// renderings of the final QCLOUD field and processor allocation.
+
+#include <iostream>
+
+#include "core/coupled.hpp"
+#include "core/experiment.hpp"
+#include "util/image.hpp"
+
+using namespace stormtrack;
+
+int main() {
+  CoupledConfig cfg;
+  cfg.scenario.num_intervals = 40;
+  cfg.scenario.sim_px = 32;
+  cfg.scenario.sim_py = 32;
+  cfg.scenario.pda.analysis_procs = 64;
+  cfg.manager.strategy = Strategy::kDiffusion;
+
+  const ModelStack models;
+  const Machine bgl = Machine::bluegene(1024);
+  CoupledSimulation sim(bgl, models.model, models.truth, cfg);
+
+  std::cout << "Tracking organized cloud clusters over the Indian region ("
+            << sim.weather().qcloud().width() << "x"
+            << sim.weather().qcloud().height() << " parent grid at "
+            << cfg.scenario.weather.domain.resolution_km << " km) on "
+            << bgl.label() << "\n\n";
+
+  double total_redist = 0.0, total_exec = 0.0;
+  std::int64_t total_halo = 0;
+  for (int i = 0; i < cfg.scenario.num_intervals; ++i) {
+    const IntervalReport r = sim.advance();
+    total_redist += r.realloc.committed.actual_redist;
+    total_exec += r.integration_time;
+    total_halo += r.halo_traffic.total_bytes;
+
+    std::cout << "t=" << r.interval << "  rois=" << r.rois_detected
+              << "  nests=" << sim.nests().size() << " (+"
+              << r.diff.inserted.size() << "/-" << r.diff.deleted.size()
+              << "/=" << r.diff.retained.size() << ")  redist="
+              << Table::num(r.realloc.committed.actual_redist * 1e3, 1)
+              << "ms  overlap="
+              << Table::num(100.0 * r.realloc.overlap_fraction, 0)
+              << "%  halo="
+              << Table::num(
+                     static_cast<double>(r.halo_traffic.total_bytes) / 1e6, 1)
+              << "MB\n";
+  }
+
+  std::cout << "\nSummary:\n"
+            << "  total nest execution time (modeled):     "
+            << Table::num(total_exec, 1) << " s\n"
+            << "  total redistribution time (modeled):     "
+            << Table::num(total_redist, 2) << " s\n"
+            << "  total nest halo traffic:                 "
+            << Table::num(static_cast<double>(total_halo) / 1e9, 2)
+            << " GB\n\nFinal allocation:\n";
+  sim.allocation().to_table().print(std::cout);
+
+  // Fig.-1-style renders: dark = high cloud water.
+  const std::filesystem::path out = "cloud_tracking_out";
+  write_pgm(field_to_grey(sim.weather().qcloud(), /*invert=*/true),
+            out / "qcloud.pgm");
+  write_ppm(labels_to_rgb(sim.allocation().to_label_grid()),
+            out / "allocation.ppm");
+  std::cout << "renders written to " << out << "/\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+/// \file dynamic_strategy_demo.cpp
+/// The dynamic strategy of §IV-C in action: at every adaptation point of a
+/// synthetic trace, both candidate allocations are priced with the
+/// performance models (execution: Delaunay+linear interpolation over
+/// profiled samples; redistribution: direct-algorithm Alltoallv model) and
+/// the cheaper candidate is committed. The demo prints the per-point
+/// decision with both predictions and whether the decision was right under
+/// the simulator's ground truth.
+
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "util/stats.hpp"
+
+using namespace stormtrack;
+
+int main() {
+  SyntheticTraceConfig tcfg;
+  tcfg.num_events = 12;  // the paper's §V-F runs 12 reconfigurations
+  tcfg.seed = 0xd1a0;
+  const Trace trace = generate_synthetic_trace(tcfg);
+
+  const ModelStack models;
+  const Machine bgl = Machine::bluegene(1024);
+  const TraceRunResult dyn = run_trace(bgl, models.model, models.truth,
+                                       Strategy::kDynamic, trace);
+
+  Table t({"Event", "Pred scratch (s)", "Pred diffusion (s)", "Chosen",
+           "Actual best", "Correct?"});
+  int correct = 0;
+  std::vector<double> predicted, actual;
+  for (std::size_t e = 0; e < dyn.outcomes.size(); ++e) {
+    const StepOutcome& o = dyn.outcomes[e];
+    const bool actual_diffusion_best =
+        o.diffusion.actual_total() <= o.scratch.actual_total();
+    const std::string actual_best =
+        actual_diffusion_best ? "diffusion" : "scratch";
+    const bool ok = o.chosen == actual_best;
+    if (ok) ++correct;
+    predicted.push_back(o.committed.predicted_exec);
+    actual.push_back(o.committed.actual_exec);
+    t.add_row({Table::num(static_cast<std::int64_t>(e)),
+               Table::num(o.scratch.predicted_total(), 2),
+               Table::num(o.diffusion.predicted_total(), 2), o.chosen,
+               actual_best, ok ? "yes" : "no"});
+  }
+  t.set_title("Dynamic strategy decisions on " + bgl.label());
+  t.print(std::cout);
+
+  std::cout << "Correct decisions: " << correct << "/"
+            << dyn.outcomes.size() << "\n"
+            << "Pearson correlation (predicted vs actual execution time): "
+            << Table::num(pearson(predicted, actual), 2) << "\n"
+            << "(The paper reports ~10/12 correct with r = 0.9, §V-F.)\n";
+  return 0;
+}

@@ -1,0 +1,158 @@
+/// \file heatwave_tracking.cpp
+/// The paper's conclusion claims the detection and reallocation algorithms
+/// "are quite generic and applicable to other scenarios that involve
+/// multiple dynamically varying nested simulations". This example takes
+/// that claim at face value and tracks a *different* phenomenon with the
+/// same library: heat-wave cells over a continental domain.
+///
+/// Nothing weather-specific is reused from wsim — the example builds its
+/// own temperature-anomaly field (slowly drifting warm pools). The
+/// Algorithm-1/2 machinery only needs an intensity field ("QCLOUD" →
+/// anomaly magnitude) and a mask field ("OLR" → a value below threshold
+/// where the anomaly is severe), packed into split files; everything
+/// downstream — clustering, nest lifecycle, diffusion reallocation on a
+/// switched cluster — is unchanged.
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "pda/pda.hpp"
+#include "redist/block_decomp.hpp"
+#include "util/rng.hpp"
+#include "wsim/split_file.hpp"
+
+using namespace stormtrack;
+
+namespace {
+
+/// A drifting warm pool.
+struct WarmPool {
+  double cx, cy, radius, peak, vx, vy;
+  int remaining;
+};
+
+/// Minimal heat-anomaly generator, independent of wsim's cloud model.
+class HeatField {
+ public:
+  HeatField(int nx, int ny, std::uint64_t seed)
+      : nx_(nx), ny_(ny), rng_(seed) {
+    for (int i = 0; i < 3; ++i) spawn();
+  }
+
+  void step() {
+    for (WarmPool& p : pools_) {
+      p.cx += p.vx;
+      p.cy += p.vy;
+      if (--p.remaining < 0) p.peak *= 0.82;  // heat wave breaking down
+    }
+    std::erase_if(pools_, [&](const WarmPool& p) {
+      return p.peak < 1.0 || p.cx < -p.radius || p.cx > nx_ + p.radius;
+    });
+    while (pools_.size() < 2) spawn();
+    if (pools_.size() < 6 && rng_.bernoulli(0.25)) spawn();
+  }
+
+  /// Anomaly in kelvin; severe above ~4 K.
+  [[nodiscard]] Grid2D<double> anomaly() const {
+    Grid2D<double> f(nx_, ny_, 0.0);
+    for (const WarmPool& p : pools_) {
+      const int x0 = std::max(0, static_cast<int>(p.cx - 3 * p.radius));
+      const int x1 = std::min(nx_ - 1, static_cast<int>(p.cx + 3 * p.radius));
+      const int y0 = std::max(0, static_cast<int>(p.cy - 3 * p.radius));
+      const int y1 = std::min(ny_ - 1, static_cast<int>(p.cy + 3 * p.radius));
+      for (int y = y0; y <= y1; ++y)
+        for (int x = x0; x <= x1; ++x) {
+          const double d2 = ((x - p.cx) * (x - p.cx) +
+                             (y - p.cy) * (y - p.cy)) /
+                            (p.radius * p.radius);
+          f(x, y) += p.peak * std::exp(-0.5 * d2);
+        }
+    }
+    return f;
+  }
+
+ private:
+  void spawn() {
+    WarmPool p;
+    p.cx = rng_.uniform(0.1 * nx_, 0.9 * nx_);
+    p.cy = rng_.uniform(0.1 * ny_, 0.9 * ny_);
+    p.radius = rng_.uniform(8.0, 20.0);
+    p.peak = rng_.uniform(4.0, 9.0);  // kelvin
+    p.vx = rng_.uniform(-0.8, 0.8);
+    p.vy = rng_.uniform(-0.5, 0.5);
+    p.remaining = static_cast<int>(rng_.uniform_int(6, 25));
+    pools_.push_back(p);
+  }
+
+  int nx_, ny_;
+  Xoshiro256 rng_;
+  std::vector<WarmPool> pools_;
+};
+
+/// Pack the anomaly into split files: intensity = anomaly, mask = a
+/// pseudo-"OLR" that drops below the 200 threshold where the anomaly
+/// exceeds 4 K (severe heat).
+std::vector<SplitFile> to_split_files(const Grid2D<double>& anomaly, int px,
+                                      int py) {
+  Grid2D<double> mask(anomaly.width(), anomaly.height());
+  for (int y = 0; y < anomaly.height(); ++y)
+    for (int x = 0; x < anomaly.width(); ++x)
+      mask(x, y) = anomaly(x, y) >= 4.0 ? 150.0 : 280.0;
+
+  std::vector<SplitFile> files;
+  for (int j = 0; j < py; ++j) {
+    const Span1D rows = block_range(j, anomaly.height(), py);
+    for (int i = 0; i < px; ++i) {
+      const Span1D cols = block_range(i, anomaly.width(), px);
+      SplitFile f;
+      f.rank = j * px + i;
+      f.grid_px = px;
+      f.subdomain = Rect{cols.begin, rows.begin, cols.count, rows.count};
+      f.qcloud = anomaly.extract(f.subdomain);
+      f.olr = mask.extract(f.subdomain);
+      files.push_back(std::move(f));
+    }
+  }
+  return files;
+}
+
+}  // namespace
+
+int main() {
+  HeatField heat(400, 260, 0xbeef);
+  NestTracker tracker;
+  const ModelStack models;
+  const Machine fist = Machine::fist_cluster(256);
+  ManagerConfig mcfg;
+  mcfg.strategy = Strategy::kDiffusion;
+  ReallocationManager manager(fist, models.model, models.truth, mcfg);
+
+  PdaConfig pda_cfg;
+  pda_cfg.analysis_procs = 16;
+  // Heat anomalies aggregate to far larger values than cloud mixing
+  // ratios; raise the intensity threshold accordingly.
+  pda_cfg.nnc.qcloud_threshold = 50.0;
+  pda_cfg.nnc.olrfraction_threshold = 0.02;
+
+  std::cout << "Tracking heat-wave cells on " << fist.label() << "\n\n";
+  double total_redist = 0.0;
+  for (int t = 0; t < 30; ++t) {
+    heat.step();
+    const auto files = to_split_files(heat.anomaly(), 16, 16);
+    const PdaResult pda = parallel_data_analysis(files, pda_cfg);
+    tracker.update(pda.rectangles);
+    const StepOutcome out = manager.apply(tracker.active());
+    total_redist += out.committed.actual_redist;
+    std::cout << "t=" << t << "  cells=" << pda.rectangles.size()
+              << "  nests=" << tracker.active().size() << " (+"
+              << out.num_inserted << "/-" << out.num_deleted << "/="
+              << out.num_retained << ")  redist="
+              << Table::num(out.committed.actual_redist * 1e3, 1) << "ms\n";
+  }
+  std::cout << "\nTotal redistribution time: " << Table::num(total_redist, 3)
+            << " s\nSame algorithms, different phenomenon — the paper's "
+               "generality claim, exercised.\n";
+  return 0;
+}

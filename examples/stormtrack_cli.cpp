@@ -1,0 +1,201 @@
+/// \file stormtrack_cli.cpp
+/// Command-line experiment driver: generate or load a nest-configuration
+/// trace, run it under any reallocation strategy on any simulated machine,
+/// and emit per-event metrics (text or CSV), optional trace files and
+/// optional PPM renderings of the final allocation and weather field.
+///
+/// Usage examples:
+///   stormtrack_cli --machine bgl --cores 1024 --strategy diffusion
+///   stormtrack_cli --trace-out run.trace --events 30 --seed 7
+///   stormtrack_cli --trace-in run.trace --strategy dynamic --csv
+///   stormtrack_cli --real --intervals 50 --images out/
+
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/trace_io.hpp"
+#include "util/image.hpp"
+#include "util/stats.hpp"
+
+using namespace stormtrack;
+
+namespace {
+
+struct Options {
+  std::string machine = "bgl";        // bgl | fist
+  int cores = 1024;
+  std::string strategy = "diffusion";  // scratch | diffusion | dynamic
+  bool real = false;                   // real-mode pipeline trace
+  int events = 70;                     // synthetic events / real intervals
+  std::uint64_t seed = 2013;
+  std::optional<std::string> trace_in;
+  std::optional<std::string> trace_out;
+  std::optional<std::string> images;   // directory for PPM output
+  bool csv = false;
+  bool compare = false;                // run all three strategies
+};
+
+[[noreturn]] void usage(int code) {
+  std::cout <<
+      "stormtrack_cli — run a reallocation experiment\n"
+      "  --machine bgl|fist     simulated machine (default bgl)\n"
+      "  --cores N              core count (default 1024; bgl needs a\n"
+      "                         multiple of 64)\n"
+      "  --strategy S           scratch|diffusion|dynamic (default "
+      "diffusion)\n"
+      "  --events N             synthetic reconfigurations (default 70)\n"
+      "  --real                 drive the weather+PDA pipeline instead\n"
+      "  --intervals N          real-mode adaptation points (alias of "
+      "--events)\n"
+      "  --seed N               RNG seed (default 2013)\n"
+      "  --trace-in FILE        load a saved trace instead of generating\n"
+      "  --trace-out FILE       save the trace that was run\n"
+      "  --images DIR           write final allocation / field PPMs\n"
+      "  --csv                  emit per-event metrics as CSV\n"
+      "  --compare              run all three strategies and summarize\n"
+      "  --help                 this text\n";
+  std::exit(code);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs a value\n";
+        usage(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--machine") o.machine = next("--machine");
+    else if (a == "--cores") o.cores = std::stoi(next("--cores"));
+    else if (a == "--strategy") o.strategy = next("--strategy");
+    else if (a == "--events" || a == "--intervals")
+      o.events = std::stoi(next("--events"));
+    else if (a == "--real") o.real = true;
+    else if (a == "--seed") o.seed = std::stoull(next("--seed"));
+    else if (a == "--trace-in") o.trace_in = next("--trace-in");
+    else if (a == "--trace-out") o.trace_out = next("--trace-out");
+    else if (a == "--images") o.images = next("--images");
+    else if (a == "--csv") o.csv = true;
+    else if (a == "--compare") o.compare = true;
+    else if (a == "--help" || a == "-h") usage(0);
+    else {
+      std::cerr << "unknown flag: " << a << "\n";
+      usage(2);
+    }
+  }
+  return o;
+}
+
+Strategy strategy_of(const std::string& s) {
+  if (s == "scratch") return Strategy::kScratch;
+  if (s == "diffusion") return Strategy::kDiffusion;
+  if (s == "dynamic") return Strategy::kDynamic;
+  std::cerr << "unknown strategy: " << s << "\n";
+  usage(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+
+  // ---- machine
+  Machine machine = opt.machine == "fist" ? Machine::fist_cluster(opt.cores)
+                                          : Machine::bluegene(opt.cores);
+
+  // ---- trace
+  Trace trace;
+  std::optional<RealScenarioDriver> real_driver;
+  if (opt.trace_in) {
+    trace = load_trace(std::filesystem::path(*opt.trace_in));
+  } else if (opt.real) {
+    RealScenarioConfig rc;
+    rc.num_intervals = opt.events;
+    rc.seed = opt.seed;
+    real_driver.emplace(rc);
+    for (int i = 0; i < rc.num_intervals; ++i)
+      trace.push_back(real_driver->next().active);
+  } else {
+    SyntheticTraceConfig sc;
+    sc.num_events = opt.events;
+    sc.seed = opt.seed;
+    trace = generate_synthetic_trace(sc);
+  }
+  if (opt.trace_out) save_trace(trace, std::filesystem::path(*opt.trace_out));
+
+  // ---- run
+  const ModelStack models;
+
+  if (opt.compare) {
+    Table cmp({"Strategy", "Exec (s)", "Redist (s)", "Total (s)",
+               "Mean overlap %", "Mean avg hop-bytes"});
+    cmp.set_title("Strategy comparison: " + machine.label() + ", " +
+                  std::to_string(trace.size()) + " events");
+    for (const Strategy s :
+         {Strategy::kScratch, Strategy::kDiffusion, Strategy::kDynamic}) {
+      const TraceRunResult res =
+          run_trace(machine, models.model, models.truth, s, trace);
+      cmp.add_row({to_string(s), Table::num(res.total_exec(), 2),
+                   Table::num(res.total_redist(), 3),
+                   Table::num(res.total(), 2),
+                   Table::num(100.0 * res.mean_overlap_fraction(), 1),
+                   Table::num(res.mean_avg_hop_bytes(), 2)});
+    }
+    if (opt.csv)
+      std::cout << cmp.to_csv();
+    else
+      cmp.print(std::cout);
+    return 0;
+  }
+
+  const TraceRunResult r = run_trace(machine, models.model, models.truth,
+                                     strategy_of(opt.strategy), trace);
+
+  Table t({"Event", "Nests", "+ins/-del/=ret", "Chosen", "Exec (s)",
+           "Redist (ms)", "Hop-bytes avg", "Overlap %"});
+  t.set_title("Run: " + machine.label() + ", strategy " + opt.strategy +
+              ", " + std::to_string(trace.size()) + " events");
+  for (std::size_t e = 0; e < r.outcomes.size(); ++e) {
+    const StepOutcome& o = r.outcomes[e];
+    t.add_row({std::to_string(e), std::to_string(trace[e].size()),
+               "+" + std::to_string(o.num_inserted) + "/-" +
+                   std::to_string(o.num_deleted) + "/=" +
+                   std::to_string(o.num_retained),
+               o.chosen, Table::num(o.committed.actual_exec, 2),
+               Table::num(o.committed.actual_redist * 1e3, 2),
+               Table::num(o.traffic.avg_hops_per_byte(), 2),
+               Table::num(100.0 * o.overlap_fraction, 1)});
+  }
+  if (opt.csv)
+    std::cout << t.to_csv();
+  else
+    t.print(std::cout);
+
+  std::cout << (opt.csv ? "# " : "") << "totals: exec "
+            << Table::num(r.total_exec(), 2) << " s, redist "
+            << Table::num(r.total_redist(), 3) << " s, mean overlap "
+            << Table::num(100.0 * r.mean_overlap_fraction(), 1) << " %\n";
+
+  // ---- images
+  if (opt.images && !r.outcomes.empty()) {
+    const std::filesystem::path dir(*opt.images);
+    const Allocation& final_alloc = r.outcomes.back().allocation;
+    write_ppm(labels_to_rgb(final_alloc.to_label_grid()),
+              dir / "allocation.ppm");
+    if (real_driver) {
+      write_pgm(field_to_grey(real_driver->weather().qcloud(),
+                              /*invert=*/true),
+                dir / "qcloud.pgm");
+      write_pgm(field_to_grey(real_driver->weather().olr()),
+                dir / "olr.pgm");
+    }
+    std::cout << "images written to " << dir << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+#include "alloc/allocation.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+
+Allocation::Allocation(int grid_px, int grid_py, std::map<NestId, Rect> rects)
+    : grid_px_(grid_px), grid_py_(grid_py), rects_(std::move(rects)) {
+  ST_CHECK_MSG(grid_px >= 1 && grid_py >= 1,
+               "process grid must be positive, got " << grid_px << "x"
+                                                     << grid_py);
+  const Rect grid{0, 0, grid_px_, grid_py_};
+  for (const auto& [nest, rect] : rects_) {
+    ST_CHECK_MSG(!rect.empty(), "nest " << nest << " has empty rectangle");
+    ST_CHECK_MSG(grid.contains(rect),
+                 "nest " << nest << " rectangle " << rect
+                         << " outside process grid " << grid_px_ << "x"
+                         << grid_py_);
+  }
+  for (auto a = rects_.begin(); a != rects_.end(); ++a) {
+    auto b = a;
+    for (++b; b != rects_.end(); ++b) {
+      ST_CHECK_MSG(!a->second.overlaps(b->second),
+                   "nests " << a->first << " and " << b->first
+                            << " have overlapping rectangles " << a->second
+                            << " and " << b->second);
+    }
+  }
+}
+
+std::optional<Rect> Allocation::find(NestId nest) const {
+  const auto it = rects_.find(nest);
+  if (it == rects_.end()) return std::nullopt;
+  return it->second;
+}
+
+int Allocation::start_rank_of(NestId nest) const {
+  const auto r = find(nest);
+  ST_CHECK_MSG(r.has_value(), "nest " << nest << " not in allocation");
+  return start_rank(*r, grid_px_);
+}
+
+Table Allocation::to_table(const std::string& title) const {
+  Table t({"Nest ID", "Start Rank", "Processor sub-grid"});
+  if (!title.empty()) t.set_title(title);
+  for (const auto& [nest, rect] : rects_) {
+    std::ostringstream grid;
+    grid << rect.w << " x " << rect.h;
+    t.add_row({std::to_string(nest), std::to_string(start_rank(rect, grid_px_)),
+               grid.str()});
+  }
+  return t;
+}
+
+std::string Allocation::to_ascii(int max_width) const {
+  ST_CHECK_MSG(max_width >= 4, "max_width too small");
+  const int step = std::max(1, grid_px_ / max_width);
+  std::ostringstream os;
+  for (int y = 0; y < grid_py_; y += step) {
+    for (int x = 0; x < grid_px_; x += step) {
+      char c = '.';
+      for (const auto& [nest, rect] : rects_) {
+        if (rect.contains(x, y)) {
+          c = static_cast<char>(nest < 10 ? '0' + nest
+                                          : 'a' + (nest - 10) % 26);
+          break;
+        }
+      }
+      os << c;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+Grid2D<int> Allocation::to_label_grid() const {
+  ST_CHECK_MSG(grid_px_ >= 1 && grid_py_ >= 1,
+               "label grid of an empty allocation");
+  Grid2D<int> labels(grid_px_, grid_py_, -1);
+  for (const auto& [nest, rect] : rects_)
+    for (int y = rect.y; y < rect.y_end(); ++y)
+      for (int x = rect.x; x < rect.x_end(); ++x) labels(x, y) = nest;
+  return labels;
+}
+
+Allocation allocate(const AllocTree& tree, int grid_px, int grid_py) {
+  if (tree.empty()) return Allocation{};
+  return Allocation(grid_px, grid_py,
+                    tree.subdivide(Rect{0, 0, grid_px, grid_py}));
+}
+
+double mean_rect_overlap(const Allocation& before, const Allocation& after) {
+  double sum = 0.0;
+  int count = 0;
+  for (const auto& [nest, old_rect] : before.rects()) {
+    const auto new_rect = after.find(nest);
+    if (!new_rect) continue;
+    sum += coverage_fraction(old_rect, *new_rect);
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / count;
+}
+
+}  // namespace stormtrack

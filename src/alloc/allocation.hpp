@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file allocation.hpp
+/// Processor allocations: which rectangular sub-grid of the Px×Py process
+/// grid executes each nest (§IV, Tables I/II).
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "tree/alloc_tree.hpp"
+#include "util/grid2d.hpp"
+#include "util/rect.hpp"
+#include "util/table.hpp"
+
+namespace stormtrack {
+
+/// Immutable snapshot of a processor allocation on a grid_px×grid_py
+/// process grid: disjoint rectangles, one per nest.
+class Allocation {
+ public:
+  /// Empty allocation (no nests).
+  Allocation() = default;
+
+  /// Validates: every rectangle non-empty, inside the grid, and pairwise
+  /// disjoint.
+  Allocation(int grid_px, int grid_py, std::map<NestId, Rect> rects);
+
+  [[nodiscard]] int grid_px() const { return grid_px_; }
+  [[nodiscard]] int grid_py() const { return grid_py_; }
+  [[nodiscard]] int total_procs() const { return grid_px_ * grid_py_; }
+
+  [[nodiscard]] const std::map<NestId, Rect>& rects() const { return rects_; }
+  [[nodiscard]] std::size_t num_nests() const { return rects_.size(); }
+
+  /// Processor rectangle of \p nest, or nullopt when absent.
+  [[nodiscard]] std::optional<Rect> find(NestId nest) const;
+
+  /// Row-major rank of the north-west corner of \p nest's rectangle
+  /// (the paper's "start rank").
+  [[nodiscard]] int start_rank_of(NestId nest) const;
+
+  /// Paper-style table: Nest ID | Start Rank | Processor sub-grid.
+  [[nodiscard]] Table to_table(const std::string& title = {}) const;
+
+  /// ASCII art of the grid partition (coarse, for examples/docs).
+  [[nodiscard]] std::string to_ascii(int max_width = 64) const;
+
+  /// Per-processor nest-id label grid (-1 = unassigned); feeds
+  /// labels_to_rgb for allocation renderings.
+  [[nodiscard]] Grid2D<int> to_label_grid() const;
+
+ private:
+  int grid_px_ = 0;
+  int grid_py_ = 0;
+  std::map<NestId, Rect> rects_;
+};
+
+/// Subdivide the process grid according to \p tree (must have no free
+/// slots) and wrap the result. Degenerate case: empty tree → empty
+/// allocation.
+[[nodiscard]] Allocation allocate(const AllocTree& tree, int grid_px,
+                                  int grid_py);
+
+/// Mean, over nests present in both allocations, of the fraction of the old
+/// processor rectangle still owned in the new one (a cheap, nest-size-free
+/// proxy for the paper's Fig. 11 data-point overlap; the exact data-point
+/// metric lives in redist/).
+[[nodiscard]] double mean_rect_overlap(const Allocation& before,
+                                       const Allocation& after);
+
+}  // namespace stormtrack

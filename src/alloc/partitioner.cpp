@@ -1,0 +1,35 @@
+#include "alloc/partitioner.hpp"
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+
+AllocTree ScratchPartitioner::propose(const AllocTree& /*current*/,
+                                      const ReconfigRequest& req) const {
+  std::vector<NestWeight> all(req.retained.begin(), req.retained.end());
+  all.insert(all.end(), req.inserted.begin(), req.inserted.end());
+  return AllocTree::huffman(all);
+}
+
+AllocTree DiffusionPartitioner::propose(const AllocTree& current,
+                                        const ReconfigRequest& req) const {
+  return current.diffuse(req);
+}
+
+AllocationDriver::AllocationDriver(const Partitioner& partitioner,
+                                   int grid_px, int grid_py)
+    : partitioner_(&partitioner), grid_px_(grid_px), grid_py_(grid_py) {
+  ST_CHECK_MSG(grid_px >= 1 && grid_py >= 1,
+               "process grid must be positive, got " << grid_px << "x"
+                                                     << grid_py);
+}
+
+const Allocation& AllocationDriver::step(const ReconfigRequest& req) {
+  tree_ = partitioner_->propose(tree_, req);
+  allocation_ = allocate(tree_, grid_px_, grid_py_);
+  return allocation_;
+}
+
+}  // namespace stormtrack

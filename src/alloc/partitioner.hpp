@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file partitioner.hpp
+/// Reallocation strategies (§IV-A / §IV-B).
+///
+/// A Partitioner proposes the allocation tree for the next adaptation point
+/// given the committed tree and the reconfiguration request. Two concrete
+/// strategies:
+///
+///  * ScratchPartitioner — rebuild the Huffman tree from the new weights,
+///    ignoring the existing allocation (§IV-A). Partitions are as square-
+///    like as Huffman ordering allows, but senders and receivers may be
+///    completely disjoint, inflating redistribution cost.
+///  * DiffusionPartitioner — tree-based hierarchical diffusion (§IV-B):
+///    reorganize the committed tree so retained nests keep their positions,
+///    maximizing sender/receiver overlap at a small squareness penalty.
+///
+/// The DynamicStrategy of §IV-C (core/) evaluates both proposals with the
+/// performance models and commits the cheaper one.
+
+#include <memory>
+#include <string>
+
+#include "alloc/allocation.hpp"
+#include "tree/alloc_tree.hpp"
+
+namespace stormtrack {
+
+/// Strategy interface: stateless proposal of a successor tree.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Propose the tree for the next adaptation point.
+  [[nodiscard]] virtual AllocTree propose(const AllocTree& current,
+                                          const ReconfigRequest& req)
+      const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// §IV-A: partition from scratch (existing allocation ignored).
+class ScratchPartitioner final : public Partitioner {
+ public:
+  [[nodiscard]] AllocTree propose(const AllocTree& current,
+                                  const ReconfigRequest& req) const override;
+  [[nodiscard]] std::string name() const override { return "scratch"; }
+};
+
+/// §IV-B: tree-based hierarchical diffusion.
+class DiffusionPartitioner final : public Partitioner {
+ public:
+  [[nodiscard]] AllocTree propose(const AllocTree& current,
+                                  const ReconfigRequest& req) const override;
+  [[nodiscard]] std::string name() const override { return "diffusion"; }
+};
+
+/// Stateful convenience wrapper: tracks the committed tree + allocation of
+/// one strategy across adaptation points.
+class AllocationDriver {
+ public:
+  /// \p partitioner must outlive the driver.
+  AllocationDriver(const Partitioner& partitioner, int grid_px, int grid_py);
+
+  /// Apply one reconfiguration; returns the new allocation (also retained
+  /// as current()).
+  const Allocation& step(const ReconfigRequest& req);
+
+  [[nodiscard]] const Allocation& current() const { return allocation_; }
+  [[nodiscard]] const AllocTree& tree() const { return tree_; }
+  [[nodiscard]] int grid_px() const { return grid_px_; }
+  [[nodiscard]] int grid_py() const { return grid_py_; }
+
+ private:
+  const Partitioner* partitioner_;
+  int grid_px_;
+  int grid_py_;
+  AllocTree tree_;
+  Allocation allocation_;
+};
+
+}  // namespace stormtrack

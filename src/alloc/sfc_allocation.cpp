@@ -1,0 +1,186 @@
+#include "alloc/sfc_allocation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "redist/block_decomp.hpp"
+#include "util/check.hpp"
+
+namespace stormtrack {
+
+SfcAllocation::SfcAllocation(std::span<const NestWeight> nests,
+                             const HilbertOrder& order) {
+  if (nests.empty()) return;
+  ST_CHECK_MSG(order.size() >= static_cast<int>(nests.size()),
+               "fewer processors than nests");
+
+  // Sort by nest id so retained nests keep their relative curve order
+  // across reconfigurations (the locality the SFC scheme relies on).
+  std::vector<NestWeight> sorted(nests.begin(), nests.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const NestWeight& a, const NestWeight& b) {
+              return a.nest < b.nest;
+            });
+
+  double total = 0.0;
+  for (const NestWeight& nw : sorted) {
+    ST_CHECK_MSG(nw.weight > 0.0, "nest " << nw.nest
+                                          << " needs positive weight");
+    total += nw.weight;
+  }
+
+  // Largest-remainder apportionment with a 1-processor floor.
+  const int p = order.size();
+  std::vector<int> counts(sorted.size(), 1);
+  int assigned = static_cast<int>(sorted.size());
+  std::vector<double> remainders(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double exact = sorted[i].weight / total * p;
+    const int extra = std::max(0, static_cast<int>(exact) - 1);
+    counts[i] += extra;
+    assigned += extra;
+    remainders[i] = exact - std::floor(exact);
+  }
+  std::vector<std::size_t> by_remainder(sorted.size());
+  std::iota(by_remainder.begin(), by_remainder.end(), 0u);
+  std::sort(by_remainder.begin(), by_remainder.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (remainders[a] != remainders[b])
+                return remainders[a] > remainders[b];
+              return a < b;
+            });
+  for (std::size_t k = 0; assigned < p; ++k) {
+    counts[by_remainder[k % by_remainder.size()]] += 1;
+    ++assigned;
+  }
+  while (assigned > p) {
+    // Floors can overshoot only when nests outnumber spare processors;
+    // trim from the largest segments.
+    auto it = std::max_element(counts.begin(), counts.end());
+    ST_CHECK_MSG(*it > 1, "cannot trim below one processor per nest");
+    --*it;
+    --assigned;
+  }
+
+  int cursor = 0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    segments_.emplace(sorted[i].nest, SfcSegment{cursor, counts[i]});
+    cursor += counts[i];
+  }
+  ST_CHECK(cursor == p);
+}
+
+std::vector<int> SfcAllocation::ranks_of(NestId nest,
+                                         const HilbertOrder& order) const {
+  const auto it = segments_.find(nest);
+  ST_CHECK_MSG(it != segments_.end(), "nest " << nest
+                                              << " not in SFC allocation");
+  std::vector<int> ranks;
+  ranks.reserve(static_cast<std::size_t>(it->second.count));
+  for (int i = it->second.begin; i < it->second.end(); ++i)
+    ranks.push_back(order.rank_at(i));
+  return ranks;
+}
+
+RedistPlan plan_sfc_redistribution(const NestShape& nest,
+                                   std::span<const int> old_ranks,
+                                   std::span<const int> new_ranks,
+                                   int bytes_per_point) {
+  ST_CHECK_MSG(!old_ranks.empty() && !new_ranks.empty(),
+               "need at least one processor on both sides");
+  ST_CHECK_MSG(bytes_per_point > 0, "bytes_per_point must be positive");
+  const std::int64_t cells = static_cast<std::int64_t>(nest.nx) * nest.ny;
+  const int m = static_cast<int>(old_ranks.size());
+  const int k = static_cast<int>(new_ranks.size());
+  ST_CHECK_MSG(cells >= std::max(m, k), "nest smaller than processor count");
+
+  RedistPlan plan;
+  plan.total_points = cells;
+  // Both sides chunk the same nest-curve order, so chunk i of the old list
+  // intersects only a contiguous range of new chunks.
+  const int n = static_cast<int>(cells);
+  for (int i = 0; i < m; ++i) {
+    const Span1D owned = block_range(i, n, m);
+    if (owned.count == 0) continue;
+    const PartRange targets =
+        overlapping_parts(owned.begin, owned.end(), n, k);
+    for (int j = targets.first; j <= targets.last; ++j) {
+      const Span1D recv = block_range(j, n, k);
+      const int lo = std::max(owned.begin, recv.begin);
+      const int hi = std::min(owned.end(), recv.end());
+      if (hi <= lo) continue;
+      const std::int64_t bytes =
+          static_cast<std::int64_t>(hi - lo) * bytes_per_point;
+      plan.messages.push_back(Message{old_ranks[i], new_ranks[j], bytes});
+      if (old_ranks[i] == new_ranks[j]) plan.overlap_points += hi - lo;
+    }
+  }
+  return plan;
+}
+
+namespace {
+
+/// Mean boundary length over owner chunks of an owner-id labelling of the
+/// nest grid, divided by the equal-area square perimeter.
+double halo_inflation_of_labelling(const NestShape& nest,
+                                   const std::vector<int>& owner,
+                                   int num_owners) {
+  std::vector<std::int64_t> boundary(num_owners, 0);
+  std::vector<std::int64_t> area(num_owners, 0);
+  auto at = [&](int x, int y) { return owner[y * nest.nx + x]; };
+  for (int y = 0; y < nest.ny; ++y) {
+    for (int x = 0; x < nest.nx; ++x) {
+      const int o = at(x, y);
+      ++area[o];
+      const bool edge =
+          (x == 0 || at(x - 1, y) != o) || (x == nest.nx - 1 ||
+                                            at(x + 1, y) != o) ||
+          (y == 0 || at(x, y - 1) != o) || (y == nest.ny - 1 ||
+                                            at(x, y + 1) != o);
+      if (edge) ++boundary[o];
+    }
+  }
+  double sum = 0.0;
+  int counted = 0;
+  for (int o = 0; o < num_owners; ++o) {
+    if (area[o] == 0) continue;
+    // Boundary cells of the equal-area square block: 4*side - 4 (side>1).
+    const double side = std::sqrt(static_cast<double>(area[o]));
+    const double square_boundary = std::max(1.0, 4.0 * side - 4.0);
+    sum += static_cast<double>(boundary[o]) / square_boundary;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / counted;
+}
+
+}  // namespace
+
+double sfc_halo_inflation(const NestShape& nest, int num_processors) {
+  ST_CHECK_MSG(num_processors >= 1, "need at least one processor");
+  const HilbertOrder curve(nest.nx, nest.ny);
+  const int n = nest.nx * nest.ny;
+  std::vector<int> owner(static_cast<std::size_t>(n), 0);
+  for (int p = 0; p < num_processors; ++p) {
+    const Span1D chunk = block_range(p, n, num_processors);
+    for (int i = chunk.begin; i < chunk.end(); ++i)
+      owner[static_cast<std::size_t>(curve.rank_at(i))] = p;
+  }
+  return halo_inflation_of_labelling(nest, owner, num_processors);
+}
+
+double block_halo_inflation(const NestShape& nest, int pw, int ph) {
+  const BlockDecomposition d(nest, Rect{0, 0, pw, ph}, pw);
+  std::vector<int> owner(static_cast<std::size_t>(nest.nx) * nest.ny, 0);
+  for (int j = 0; j < ph; ++j) {
+    for (int i = 0; i < pw; ++i) {
+      const Rect r = d.owned_region(i, j);
+      for (int y = r.y; y < r.y_end(); ++y)
+        for (int x = r.x; x < r.x_end(); ++x)
+          owner[static_cast<std::size_t>(y) * nest.nx + x] = j * pw + i;
+    }
+  }
+  return halo_inflation_of_labelling(nest, owner, pw * ph);
+}
+
+}  // namespace stormtrack

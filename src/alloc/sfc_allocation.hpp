@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file sfc_allocation.hpp
+/// Space-filling-curve (Hilbert) processor allocation — the related-work
+/// baseline (§II).
+///
+/// AMR repartitioners (e.g. Hilbert-ordered SFC partitioning) assign each
+/// partition a contiguous segment of the space-filling curve over the
+/// processor grid. The paper argues this is *not applicable* to nested
+/// weather simulations because each nest requires a rectangular processor
+/// sub-grid. This module implements the SFC scheme faithfully so the
+/// benches can demonstrate that trade-off quantitatively:
+///
+///  * SFC segments have excellent 1D locality — retained nests shift
+///    little along the curve between adaptation points, so redistribution
+///    traffic is small (often competitive with tree-based diffusion);
+///  * but the per-processor regions of a nest are curve chunks, not
+///    blocks — their boundary (halo) is substantially longer than a
+///    rectangular block's, inflating every simulation step's halo
+///    exchange (the cost the paper's rectangular invariant avoids).
+///
+/// Nest data is likewise assigned along the nest's own Hilbert curve: the
+/// nest's cells in curve order are split into balanced chunks, one per
+/// allocated processor (in segment order).
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "perfmodel/ground_truth.hpp"  // NestShape
+#include "redist/redistributor.hpp"
+#include "simmpi/simcomm.hpp"
+#include "tree/alloc_tree.hpp"  // NestWeight
+#include "util/hilbert.hpp"
+
+namespace stormtrack {
+
+/// Curve segment of processors owned by one nest.
+struct SfcSegment {
+  int begin = 0;  ///< First curve position (inclusive).
+  int count = 0;  ///< Number of processors.
+  [[nodiscard]] int end() const { return begin + count; }
+};
+
+/// Allocation of nests to contiguous Hilbert-curve segments of the
+/// processor grid.
+class SfcAllocation {
+ public:
+  SfcAllocation() = default;
+
+  /// Partition the full curve of \p order among \p nests proportionally to
+  /// weight (largest-remainder rounding, every nest >= 1 processor).
+  /// Segments are assigned in ascending nest-id order, so retained nests
+  /// keep their relative curve order between reconfigurations.
+  SfcAllocation(std::span<const NestWeight> nests, const HilbertOrder& order);
+
+  [[nodiscard]] const std::map<NestId, SfcSegment>& segments() const {
+    return segments_;
+  }
+
+  /// Global (row-major) ranks of \p nest's segment, in curve order.
+  [[nodiscard]] std::vector<int> ranks_of(NestId nest,
+                                          const HilbertOrder& order) const;
+
+  [[nodiscard]] bool has(NestId nest) const {
+    return segments_.count(nest) != 0;
+  }
+
+ private:
+  std::map<NestId, SfcSegment> segments_;
+};
+
+/// Plan the redistribution of one nest between two SFC allocations: the
+/// nest's cells, in nest-curve order, are split into balanced chunks over
+/// the old and the new processor lists; intersecting chunks exchange their
+/// overlap. Accounting mirrors plan_redistribution().
+[[nodiscard]] RedistPlan plan_sfc_redistribution(
+    const NestShape& nest, std::span<const int> old_ranks,
+    std::span<const int> new_ranks, int bytes_per_point =
+        kDefaultBytesPerPoint);
+
+/// Halo-inflation factor of an SFC chunk decomposition: the mean, over the
+/// nest's processors, of (chunk boundary length) / (perimeter of the
+/// square block of equal area). Rectangular block decompositions sit near
+/// 1; Hilbert chunks are typically 1.3–2× — the §II argument against SFC
+/// for this workload, quantified.
+[[nodiscard]] double sfc_halo_inflation(const NestShape& nest,
+                                        int num_processors);
+
+/// Same metric for the rectangular block decomposition of the same nest
+/// over a pw×ph processor rectangle (baseline for comparison).
+[[nodiscard]] double block_halo_inflation(const NestShape& nest, int pw,
+                                          int ph);
+
+}  // namespace stormtrack

@@ -1,0 +1,85 @@
+#include "core/coupled.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+
+CoupledSimulation::CoupledSimulation(const Machine& machine,
+                                     const ExecTimeModel& model,
+                                     const GroundTruthCost& truth,
+                                     CoupledConfig config)
+    : machine_(&machine),
+      config_(std::move(config)),
+      driver_(config_.scenario),
+      manager_(machine, model, truth, config_.manager),
+      redistributor_(machine.comm(), config_.manager.bytes_per_point) {}
+
+IntervalReport CoupledSimulation::advance() {
+  IntervalReport report;
+  report.interval = interval_++;
+
+  // ---- 1–3. Weather step, PDA, lifecycle classification.
+  const RealScenarioStep step = driver_.next();
+  report.rois_detected = step.pda.rectangles.size();
+  report.diff = step.diff;
+
+  // Active set with *frozen* regions: retained nests keep the region and
+  // shape they were spawned with (see header).
+  std::vector<NestSpec> active;
+  for (const NestSpec& spec : step.active) {
+    const auto live = nests_.find(spec.id);
+    active.push_back(live != nests_.end() ? live->second.spec : spec);
+  }
+
+  // Remember the committed rectangles before the reallocation so retained
+  // nests' data can be moved afterwards.
+  previous_rects_.clear();
+  for (const auto& [id, rect] : manager_.allocation().rects())
+    previous_rects_.emplace(id, rect);
+
+  // ---- 4. Processor reallocation.
+  report.realloc = manager_.apply(active);
+
+  // ---- 5. Nest field lifecycle.
+  for (const int id : report.diff.deleted) nests_.erase(id);
+  for (const NestSpec& spec : report.diff.inserted) {
+    LiveNest nest;
+    nest.spec = spec;
+    nest.field =
+        NestField(driver_.weather().qcloud(), spec.region).data();
+    ST_CHECK(nest.field.width() == spec.shape.nx &&
+             nest.field.height() == spec.shape.ny);
+    nests_.emplace(spec.id, std::move(nest));
+  }
+  for (const NestSpec& spec : active) {
+    const auto prev = previous_rects_.find(spec.id);
+    if (prev == previous_rects_.end()) continue;  // just inserted
+    const auto now = manager_.allocation().find(spec.id);
+    ST_CHECK_MSG(now.has_value(), "active nest " << spec.id
+                                                 << " lost its allocation");
+    if (*now == prev->second) continue;  // nothing moved
+    LiveNest& nest = nests_.at(spec.id);
+    // redistribute_field verifies conservation internally.
+    nest.field = redistributor_.redistribute_field(
+        nest.field, prev->second, *now, machine_->grid_px());
+  }
+
+  // ---- 6. Integrate every nest on its processor rectangle.
+  for (auto& [id, nest] : nests_) {
+    const auto rect = manager_.allocation().find(id);
+    ST_CHECK_MSG(rect.has_value(), "live nest " << id
+                                                << " has no allocation");
+    const DistributedNestStepper stepper(machine_->comm(), nest.spec.shape,
+                                         *rect, machine_->grid_px(),
+                                         config_.nest_dynamics);
+    for (int s = 0; s < config_.manager.steps_per_interval; ++s)
+      report.halo_traffic += stepper.step(nest.field);
+  }
+  report.integration_time = report.realloc.committed.actual_exec;
+  return report;
+}
+
+}  // namespace stormtrack

@@ -1,0 +1,64 @@
+#include "core/experiment.hpp"
+
+namespace stormtrack {
+
+double TraceRunResult::total_redist() const {
+  double s = 0.0;
+  for (const StepOutcome& o : outcomes) s += o.committed.actual_redist;
+  return s;
+}
+
+double TraceRunResult::total_exec() const {
+  double s = 0.0;
+  for (const StepOutcome& o : outcomes) s += o.committed.actual_exec;
+  return s;
+}
+
+double TraceRunResult::mean_avg_hop_bytes() const {
+  double s = 0.0;
+  int n = 0;
+  for (const StepOutcome& o : outcomes) {
+    if (o.traffic.total_bytes == 0) continue;
+    s += o.traffic.avg_hops_per_byte();
+    ++n;
+  }
+  return n == 0 ? 0.0 : s / n;
+}
+
+double TraceRunResult::mean_overlap_fraction() const {
+  double s = 0.0;
+  int n = 0;
+  for (const StepOutcome& o : outcomes) {
+    if (o.num_retained == 0) continue;
+    s += o.overlap_fraction;
+    ++n;
+  }
+  return n == 0 ? 0.0 : s / n;
+}
+
+std::int64_t TraceRunResult::total_hop_bytes() const {
+  std::int64_t s = 0;
+  for (const StepOutcome& o : outcomes) s += o.traffic.hop_bytes;
+  return s;
+}
+
+int TraceRunResult::diffusion_picks() const {
+  int n = 0;
+  for (const StepOutcome& o : outcomes)
+    if (o.chosen == "diffusion") ++n;
+  return n;
+}
+
+TraceRunResult run_trace(const Machine& machine, const ExecTimeModel& model,
+                         const GroundTruthCost& truth, Strategy strategy,
+                         const Trace& trace, ManagerConfig config) {
+  config.strategy = strategy;
+  ReallocationManager manager(machine, model, truth, config);
+  TraceRunResult result;
+  result.outcomes.reserve(trace.size());
+  for (const std::vector<NestSpec>& active : trace)
+    result.outcomes.push_back(manager.apply(active));
+  return result;
+}
+
+}  // namespace stormtrack

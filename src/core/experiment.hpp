@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file experiment.hpp
+/// Experiment harness shared by the bench binaries: run one trace under one
+/// strategy on one machine, collect per-adaptation-point outcomes and the
+/// aggregates the paper reports.
+
+#include <span>
+#include <vector>
+
+#include "core/realloc_manager.hpp"
+#include "core/traces.hpp"
+#include "perfmodel/exec_model.hpp"
+
+namespace stormtrack {
+
+/// Per-trace aggregate of StepOutcomes.
+struct TraceRunResult {
+  std::vector<StepOutcome> outcomes;
+
+  /// Total committed redistribution time over the trace (s).
+  [[nodiscard]] double total_redist() const;
+  /// Total committed execution time over the trace (s).
+  [[nodiscard]] double total_exec() const;
+  [[nodiscard]] double total() const { return total_redist() + total_exec(); }
+
+  /// Mean of the per-adaptation-point average hops-per-byte (Fig. 10);
+  /// points with no off-rank traffic are skipped.
+  [[nodiscard]] double mean_avg_hop_bytes() const;
+  /// Mean of the per-adaptation-point overlap fractions over points with
+  /// retained nests (Fig. 11).
+  [[nodiscard]] double mean_overlap_fraction() const;
+  /// Total hop-bytes over the trace.
+  [[nodiscard]] std::int64_t total_hop_bytes() const;
+  /// How many adaptation points committed the diffusion candidate.
+  [[nodiscard]] int diffusion_picks() const;
+};
+
+/// Run \p trace under \p strategy on \p machine.
+[[nodiscard]] TraceRunResult run_trace(const Machine& machine,
+                                       const ExecTimeModel& model,
+                                       const GroundTruthCost& truth,
+                                       Strategy strategy, const Trace& trace,
+                                       ManagerConfig config = {});
+
+/// The paper's standard model stack: one hidden truth and one profiled
+/// execution-time model shared by every strategy/machine of an experiment.
+struct ModelStack {
+  GroundTruthCost truth;
+  ExecTimeModel model;
+
+  explicit ModelStack(ProfileConfig profile = ProfileConfig::paper_default())
+      : truth(), model(truth, std::move(profile)) {}
+};
+
+}  // namespace stormtrack

@@ -1,0 +1,49 @@
+#include "core/machine.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+
+Machine::Machine(std::unique_ptr<Topology> topo,
+                 std::unique_ptr<Mapping> mapping, int grid_px, int grid_py,
+                 std::string label)
+    : topo_(std::move(topo)),
+      mapping_(std::move(mapping)),
+      grid_px_(grid_px),
+      grid_py_(grid_py),
+      label_(std::move(label)) {
+  ST_CHECK_MSG(topo_ != nullptr && mapping_ != nullptr,
+               "machine needs topology and mapping");
+  ST_CHECK_MSG(grid_px_ >= 1 && grid_py_ >= 1,
+               "process grid must be positive");
+  ST_CHECK_MSG(mapping_->num_ranks() == grid_px_ * grid_py_,
+               "mapping rank count " << mapping_->num_ranks()
+                                     << " != process grid "
+                                     << grid_px_ * grid_py_);
+  comm_ = std::make_unique<SimComm>(*topo_, *mapping_);
+}
+
+Machine Machine::bluegene(int cores) {
+  auto torus = make_bluegene(cores);
+  const ProcessGridShape g = choose_process_grid(cores);
+  auto mapping = make_default_mapping(*torus, g.px, g.py);
+  std::ostringstream label;
+  label << "BG/L " << cores << " cores (" << torus->name() << ", "
+        << mapping->name() << " mapping)";
+  return Machine(std::move(torus), std::move(mapping), g.px, g.py,
+                 label.str());
+}
+
+Machine Machine::fist_cluster(int cores) {
+  auto net = make_fist(cores);
+  const ProcessGridShape g = choose_process_grid(cores);
+  auto mapping = std::make_unique<RowMajorMapping>(cores);
+  std::ostringstream label;
+  label << "fist " << cores << " cores (" << net->name() << ")";
+  return Machine(std::move(net), std::move(mapping), g.px, g.py,
+                 label.str());
+}
+
+}  // namespace stormtrack

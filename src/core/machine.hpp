@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file machine.hpp
+/// Experimental platforms: topology + rank mapping + communicator bundled
+/// as one object, mirroring the paper's two machines (§V-C, Table III).
+
+#include <memory>
+#include <string>
+
+#include "simmpi/simcomm.hpp"
+#include "topo/mapping.hpp"
+#include "topo/topology.hpp"
+
+namespace stormtrack {
+
+/// Owning bundle of a simulated machine: the interconnect model, the
+/// process grid Px×Py (Px·Py == core count), the rank→node mapping, and a
+/// communicator over all ranks.
+class Machine {
+ public:
+  /// Blue Gene/L partition: 8×8×(cores/64) torus with the folding-based
+  /// topology-aware mapping of §V-C (falls back to row-major if the
+  /// process grid does not fold — never the case for 256/512/1024).
+  [[nodiscard]] static Machine bluegene(int cores);
+
+  /// fist cluster: Infiniband-like switched network, row-major placement.
+  [[nodiscard]] static Machine fist_cluster(int cores);
+
+  /// Custom build (used for mapping ablations).
+  Machine(std::unique_ptr<Topology> topo, std::unique_ptr<Mapping> mapping,
+          int grid_px, int grid_py, std::string label);
+
+  Machine(Machine&&) = default;
+  Machine& operator=(Machine&&) = default;
+
+  [[nodiscard]] const Topology& topology() const { return *topo_; }
+  [[nodiscard]] const Mapping& mapping() const { return *mapping_; }
+  [[nodiscard]] const SimComm& comm() const { return *comm_; }
+  [[nodiscard]] int grid_px() const { return grid_px_; }
+  [[nodiscard]] int grid_py() const { return grid_py_; }
+  [[nodiscard]] int cores() const { return grid_px_ * grid_py_; }
+  [[nodiscard]] const std::string& label() const { return label_; }
+
+ private:
+  std::unique_ptr<Topology> topo_;
+  std::unique_ptr<Mapping> mapping_;
+  std::unique_ptr<SimComm> comm_;
+  int grid_px_ = 0;
+  int grid_py_ = 0;
+  std::string label_;
+};
+
+}  // namespace stormtrack

@@ -1,0 +1,70 @@
+#include "core/nest_tracker.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+
+NestTracker::NestTracker(double match_threshold, int refinement_ratio)
+    : match_threshold_(match_threshold), ratio_(refinement_ratio) {
+  ST_CHECK_MSG(match_threshold > 0.0 && match_threshold <= 1.0,
+               "match threshold must be in (0, 1], got " << match_threshold);
+  ST_CHECK_MSG(refinement_ratio >= 1, "refinement ratio must be >= 1");
+}
+
+NestDiff NestTracker::update(std::span<const Rect> rois) {
+  // Greedy best-first matching by Jaccard overlap between active nest
+  // regions and new ROIs.
+  struct Candidate {
+    double score;
+    std::size_t nest_idx;
+    std::size_t roi_idx;
+  };
+  std::vector<Candidate> candidates;
+  for (std::size_t n = 0; n < active_.size(); ++n) {
+    for (std::size_t r = 0; r < rois.size(); ++r) {
+      const double score = jaccard(active_[n].region, rois[r]);
+      if (score >= match_threshold_)
+        candidates.push_back(Candidate{score, n, r});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return std::pair{a.nest_idx, a.roi_idx} <
+                     std::pair{b.nest_idx, b.roi_idx};
+            });
+
+  std::vector<char> nest_used(active_.size(), 0);
+  std::vector<char> roi_used(rois.size(), 0);
+  NestDiff diff;
+  for (const Candidate& c : candidates) {
+    if (nest_used[c.nest_idx] || roi_used[c.roi_idx]) continue;
+    nest_used[c.nest_idx] = 1;
+    roi_used[c.roi_idx] = 1;
+    NestSpec updated = active_[c.nest_idx];
+    updated.region = rois[c.roi_idx];
+    updated.shape = nest_shape_for(updated.region, ratio_);
+    diff.retained.push_back(updated);
+  }
+  for (std::size_t n = 0; n < active_.size(); ++n)
+    if (!nest_used[n]) diff.deleted.push_back(active_[n].id);
+  for (std::size_t r = 0; r < rois.size(); ++r) {
+    if (roi_used[r]) continue;
+    NestSpec fresh;
+    fresh.id = next_id_++;
+    fresh.region = rois[r];
+    fresh.shape = nest_shape_for(fresh.region, ratio_);
+    diff.inserted.push_back(fresh);
+  }
+
+  active_.clear();
+  active_.insert(active_.end(), diff.retained.begin(), diff.retained.end());
+  active_.insert(active_.end(), diff.inserted.begin(), diff.inserted.end());
+  std::sort(active_.begin(), active_.end(),
+            [](const NestSpec& a, const NestSpec& b) { return a.id < b.id; });
+  return diff;
+}
+
+}  // namespace stormtrack

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file nest_tracker.hpp
+/// Nest lifecycle tracking across PDA invocations (§IV).
+///
+/// The PDA algorithm emits a fresh set of region-of-interest rectangles
+/// every adaptation point. The tracker matches them against the currently
+/// active nests by spatial overlap: a matched pair means the nest is
+/// *retained* (its region updated), unmatched old nests are *deleted*, and
+/// unmatched rectangles spawn *inserted* nests with fresh ids — exactly the
+/// insert/delete/retain classification that drives Algorithm 3.
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "perfmodel/ground_truth.hpp"  // NestShape
+#include "util/rect.hpp"
+#include "wsim/nest.hpp"
+
+namespace stormtrack {
+
+/// One active nest: stable id, parent-grid region, fine-grid shape.
+struct NestSpec {
+  int id = 0;
+  Rect region;       ///< Parent-grid bounding rectangle (the ROI).
+  NestShape shape;   ///< Fine-grid extent (region × refinement ratio).
+};
+
+/// Diff of one adaptation point.
+struct NestDiff {
+  std::vector<int> deleted;      ///< Ids of vanished nests.
+  std::vector<NestSpec> retained;  ///< Surviving nests, regions updated.
+  std::vector<NestSpec> inserted; ///< Newly spawned nests.
+};
+
+/// Stateful tracker; feed it each PDA output in order.
+class NestTracker {
+ public:
+  /// \param match_threshold minimum Jaccard overlap between an old nest's
+  ///        region and a new ROI for the pair to count as the same nest.
+  explicit NestTracker(double match_threshold = 0.05,
+                       int refinement_ratio = kRefinementRatio);
+
+  /// Ingest the ROIs of one adaptation point; returns the classification
+  /// and updates the active set.
+  NestDiff update(std::span<const Rect> rois);
+
+  /// Currently active nests, ascending by id.
+  [[nodiscard]] const std::vector<NestSpec>& active() const {
+    return active_;
+  }
+
+ private:
+  double match_threshold_;
+  int ratio_;
+  int next_id_ = 1;
+  std::vector<NestSpec> active_;
+};
+
+}  // namespace stormtrack

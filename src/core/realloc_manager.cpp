@@ -1,0 +1,175 @@
+#include "core/realloc_manager.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+
+std::string to_string(Strategy s) {
+  switch (s) {
+    case Strategy::kScratch:
+      return "scratch";
+    case Strategy::kDiffusion:
+      return "diffusion";
+    case Strategy::kDynamic:
+      return "dynamic";
+  }
+  return "unknown";
+}
+
+ReallocationManager::ReallocationManager(const Machine& machine,
+                                         const ExecTimeModel& model,
+                                         const GroundTruthCost& truth,
+                                         ManagerConfig config)
+    : machine_(&machine),
+      model_(&model),
+      truth_(&truth),
+      config_(config),
+      redistributor_(machine.comm(), config.bytes_per_point) {
+  ST_CHECK_MSG(config.steps_per_interval >= 1,
+               "steps_per_interval must be >= 1");
+}
+
+ReallocationManager::Candidate ReallocationManager::evaluate(
+    AllocTree tree, std::span<const NestSpec> active,
+    std::span<const NestSpec> retained) const {
+  Candidate c;
+  c.tree = std::move(tree);
+  c.alloc = allocate(c.tree, machine_->grid_px(), machine_->grid_py());
+
+  // Redistribution: one Alltoallv phase per retained nest, executed
+  // sequentially (§IV: "MPI_Alltoallv to redistribute data for each nest").
+  // The §IV-C-1 model predicts each phase; the simulated network charges
+  // the richer single-port+contention cost as the "actual".
+  const RedistTimeModel redist_model(machine_->comm());
+  for (const NestSpec& nest : retained) {
+    const auto old_rect = allocation_.find(nest.id);
+    const auto new_rect = c.alloc.find(nest.id);
+    ST_CHECK_MSG(old_rect && new_rect,
+                 "retained nest " << nest.id << " missing an allocation");
+    const RedistPlan plan =
+        plan_redistribution(nest.shape, *old_rect, *new_rect,
+                            machine_->grid_px(), config_.bytes_per_point);
+    c.metrics.predicted_redist += redist_model.predict(plan.messages);
+    c.traffic += machine_->comm().alltoallv(plan.messages);
+    c.overlap_points += plan.overlap_points;
+    c.total_points += plan.total_points;
+  }
+  c.metrics.actual_redist = c.traffic.modeled_time;
+
+  // Execution: nests run concurrently on disjoint processor rectangles;
+  // the coupled interval advances with the slowest nest.
+  double actual_max = 0.0;
+  double predicted_max = 0.0;
+  for (const NestSpec& nest : active) {
+    const auto rect = c.alloc.find(nest.id);
+    ST_CHECK_MSG(rect.has_value(), "active nest " << nest.id
+                                                  << " missing allocation");
+    actual_max = std::max(
+        actual_max, truth_->execution_time(nest.shape, rect->w, rect->h));
+    // The model predicts from the processor *count* (§IV-C-2) — it cannot
+    // see the rectangle's aspect ratio, which is precisely why dynamic
+    // selection can occasionally pick the wrong method (§V-F).
+    predicted_max = std::max(
+        predicted_max,
+        model_->predict(nest.shape, static_cast<int>(rect->area())));
+  }
+  c.metrics.actual_exec = config_.steps_per_interval * actual_max;
+  c.metrics.predicted_exec = config_.steps_per_interval * predicted_max;
+  return c;
+}
+
+StepOutcome ReallocationManager::apply(std::span<const NestSpec> active) {
+  // ------------------------------------------------------------- 1. diff
+  std::vector<NestSpec> retained;
+  std::vector<NestSpec> inserted;
+  std::vector<NestId> deleted;
+  {
+    std::map<int, NestSpec> next;
+    for (const NestSpec& n : active) {
+      ST_CHECK_MSG(next.emplace(n.id, n).second,
+                   "duplicate nest id " << n.id << " in active set");
+      ST_CHECK_MSG(n.shape.nx > 0 && n.shape.ny > 0,
+                   "nest " << n.id << " has empty shape");
+    }
+    for (const auto& [id, spec] : current_) {
+      if (auto it = next.find(id); it != next.end())
+        retained.push_back(it->second);
+      else
+        deleted.push_back(id);
+    }
+    for (const auto& [id, spec] : next)
+      if (!current_.count(id)) inserted.push_back(spec);
+    current_ = std::move(next);
+  }
+
+  // -------------------------------------------------------- 2. weights
+  // Weights are predicted execution-time ratios over the whole active set
+  // (identical for both candidate methods, §IV-C).
+  std::vector<NestShape> shapes;
+  shapes.reserve(active.size());
+  std::vector<NestSpec> ordered(active.begin(), active.end());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const NestSpec& a, const NestSpec& b) { return a.id < b.id; });
+  for (const NestSpec& n : ordered) shapes.push_back(n.shape);
+  const std::vector<double> ratios =
+      ordered.empty() ? std::vector<double>{}
+                      : weight_ratios(*model_, shapes, machine_->cores());
+
+  ReconfigRequest req;
+  req.deleted = deleted;
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    const NestWeight nw{ordered[i].id, ratios[i]};
+    const bool is_new =
+        std::any_of(inserted.begin(), inserted.end(),
+                    [&](const NestSpec& s) { return s.id == ordered[i].id; });
+    (is_new ? req.inserted : req.retained).push_back(nw);
+  }
+
+  // ----------------------------------------------- 3. candidates
+  const ScratchPartitioner scratch_p;
+  const DiffusionPartitioner diffusion_p;
+  Candidate scratch_c =
+      evaluate(scratch_p.propose(tree_, req), ordered, retained);
+  Candidate diffusion_c =
+      evaluate(diffusion_p.propose(tree_, req), ordered, retained);
+
+  // ----------------------------------------------- 4. commit per strategy
+  bool pick_diffusion = false;
+  switch (config_.strategy) {
+    case Strategy::kScratch:
+      pick_diffusion = false;
+      break;
+    case Strategy::kDiffusion:
+      pick_diffusion = true;
+      break;
+    case Strategy::kDynamic:
+      pick_diffusion = diffusion_c.metrics.predicted_total() <=
+                       scratch_c.metrics.predicted_total();
+      break;
+  }
+
+  StepOutcome out;
+  out.scratch = scratch_c.metrics;
+  out.diffusion = diffusion_c.metrics;
+  Candidate& committed = pick_diffusion ? diffusion_c : scratch_c;
+  out.chosen = pick_diffusion ? "diffusion" : "scratch";
+  out.committed = committed.metrics;
+  out.traffic = committed.traffic;
+  out.overlap_fraction =
+      committed.total_points == 0
+          ? 0.0
+          : static_cast<double>(committed.overlap_points) /
+                static_cast<double>(committed.total_points);
+  out.num_deleted = static_cast<int>(deleted.size());
+  out.num_retained = static_cast<int>(retained.size());
+  out.num_inserted = static_cast<int>(inserted.size());
+  out.allocation = committed.alloc;
+
+  tree_ = std::move(committed.tree);
+  allocation_ = std::move(committed.alloc);
+  return out;
+}
+
+}  // namespace stormtrack

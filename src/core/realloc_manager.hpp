@@ -1,0 +1,125 @@
+#pragma once
+
+/// \file realloc_manager.hpp
+/// Orchestration of processor reallocation at adaptation points (§IV).
+///
+/// A ReallocationManager owns the committed allocation tree of one strategy
+/// on one machine. Each adaptation point it:
+///  1. diffs the new active nest set against the committed one
+///     (insert/delete/retain);
+///  2. derives nest weights from the execution-time model (§IV-C-2);
+///  3. builds both candidate trees — partition-from-scratch (§IV-A) and
+///     tree-based hierarchical diffusion (§IV-B) — and evaluates each with
+///     the performance models and with the simulator's ground truth;
+///  4. commits the candidate its strategy dictates: kScratch / kDiffusion
+///     commit their namesake; kDynamic commits the candidate with the
+///     smaller *predicted* execution + redistribution sum (§IV-C);
+///  5. runs the retained nests' redistribution phases on the simulated
+///     network and reports time, hop-bytes and overlap (§V-D/E metrics).
+
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "alloc/partitioner.hpp"
+#include "core/machine.hpp"
+#include "core/nest_tracker.hpp"
+#include "perfmodel/exec_model.hpp"
+#include "perfmodel/ground_truth.hpp"
+#include "perfmodel/redist_model.hpp"
+#include "redist/redistributor.hpp"
+
+namespace stormtrack {
+
+/// Reallocation strategy of §IV.
+enum class Strategy {
+  kScratch,    ///< §IV-A: rebuild the Huffman tree every adaptation point.
+  kDiffusion,  ///< §IV-B: reorganize the existing tree.
+  kDynamic,    ///< §IV-C: pick per adaptation point by predicted cost.
+};
+
+[[nodiscard]] std::string to_string(Strategy s);
+
+/// Manager tunables.
+struct ManagerConfig {
+  Strategy strategy = Strategy::kDiffusion;
+  /// Nest time steps simulated between consecutive adaptation points: the
+  /// paper invokes PDA every 2 simulation minutes, and a 4 km nest steps
+  /// ~24 simulated seconds at a time — 5 steps per interval.
+  int steps_per_interval = 5;
+  /// Nest state bytes per fine-grid point (see redistributor.hpp).
+  int bytes_per_point = kDefaultBytesPerPoint;
+};
+
+/// Model-predicted and ground-truth costs of one candidate allocation.
+struct CandidateMetrics {
+  double predicted_redist = 0.0;  ///< §IV-C-1 model (s).
+  double predicted_exec = 0.0;    ///< §IV-C-2 model (s per interval).
+  double actual_redist = 0.0;     ///< Simulated network time (s).
+  double actual_exec = 0.0;       ///< Ground-truth interval time (s).
+
+  [[nodiscard]] double predicted_total() const {
+    return predicted_redist + predicted_exec;
+  }
+  [[nodiscard]] double actual_total() const {
+    return actual_redist + actual_exec;
+  }
+};
+
+/// Everything observable about one adaptation point.
+struct StepOutcome {
+  std::string chosen;               ///< Committed candidate name.
+  CandidateMetrics scratch;         ///< Both candidates always evaluated.
+  CandidateMetrics diffusion;
+  CandidateMetrics committed;       ///< Copy of the committed candidate's.
+  TrafficReport traffic;            ///< Committed redistribution traffic.
+  double overlap_fraction = 0.0;    ///< Fig. 11 metric (retained nests).
+  int num_deleted = 0;
+  int num_retained = 0;
+  int num_inserted = 0;
+  Allocation allocation;            ///< Committed allocation.
+};
+
+/// See file comment.
+class ReallocationManager {
+ public:
+  /// All referents must outlive the manager.
+  ReallocationManager(const Machine& machine, const ExecTimeModel& model,
+                      const GroundTruthCost& truth, ManagerConfig config);
+
+  /// Apply one adaptation point: \p active is the complete new active nest
+  /// set (stable ids across calls).
+  StepOutcome apply(std::span<const NestSpec> active);
+
+  [[nodiscard]] const Allocation& allocation() const { return allocation_; }
+  [[nodiscard]] const AllocTree& tree() const { return tree_; }
+  [[nodiscard]] const ManagerConfig& config() const { return config_; }
+  [[nodiscard]] const Machine& machine() const { return *machine_; }
+
+ private:
+  struct Candidate {
+    AllocTree tree;
+    Allocation alloc;
+    CandidateMetrics metrics;
+    TrafficReport traffic;
+    std::int64_t overlap_points = 0;
+    std::int64_t total_points = 0;
+  };
+
+  Candidate evaluate(AllocTree tree,
+                     std::span<const NestSpec> active,
+                     std::span<const NestSpec> retained) const;
+
+  const Machine* machine_;
+  const ExecTimeModel* model_;
+  const GroundTruthCost* truth_;
+  ManagerConfig config_;
+  Redistributor redistributor_;
+
+  AllocTree tree_;
+  Allocation allocation_;
+  std::map<int, NestSpec> current_;  ///< Active nests by id.
+};
+
+}  // namespace stormtrack

@@ -1,0 +1,92 @@
+#include "core/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+
+namespace {
+constexpr const char* kMagic = "stormtrack-trace";
+constexpr int kVersion = 1;
+}  // namespace
+
+void save_trace(const Trace& trace, std::ostream& os) {
+  os << kMagic << ' ' << kVersion << '\n';
+  for (std::size_t e = 0; e < trace.size(); ++e) {
+    os << "event " << e << '\n';
+    for (const NestSpec& n : trace[e]) {
+      os << "nest " << n.id << ' ' << n.region.x << ' ' << n.region.y << ' '
+         << n.region.w << ' ' << n.region.h << ' ' << n.shape.nx << ' '
+         << n.shape.ny << '\n';
+    }
+  }
+  ST_CHECK_MSG(os.good(), "failed writing trace");
+}
+
+void save_trace(const Trace& trace, const std::filesystem::path& path) {
+  if (path.has_parent_path())
+    std::filesystem::create_directories(path.parent_path());
+  std::ofstream os(path);
+  ST_CHECK_MSG(os.is_open(), "cannot open trace file " << path);
+  save_trace(trace, os);
+}
+
+Trace load_trace(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  ST_CHECK_MSG(is.good() && magic == kMagic,
+               "not a stormtrack trace (bad magic)");
+  ST_CHECK_MSG(version == kVersion, "unsupported trace version " << version);
+
+  Trace trace;
+  std::string line;
+  std::getline(is, line);  // consume the header's newline
+  int line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments and whitespace-only lines.
+    if (const auto hash = line.find('#'); hash != std::string::npos)
+      line.erase(hash);
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword)) continue;
+    if (keyword == "event") {
+      std::size_t index = 0;
+      ST_CHECK_MSG(static_cast<bool>(ls >> index) && index == trace.size(),
+                   "line " << line_no << ": events must be dense and "
+                           << "in order");
+      trace.emplace_back();
+    } else if (keyword == "nest") {
+      ST_CHECK_MSG(!trace.empty(),
+                   "line " << line_no << ": nest before any event");
+      NestSpec n;
+      ST_CHECK_MSG(static_cast<bool>(ls >> n.id >> n.region.x >> n.region.y >>
+                                     n.region.w >> n.region.h >> n.shape.nx >>
+                                     n.shape.ny),
+                   "line " << line_no << ": malformed nest record");
+      ST_CHECK_MSG(n.region.w > 0 && n.region.h > 0 && n.shape.nx > 0 &&
+                       n.shape.ny > 0,
+                   "line " << line_no << ": non-positive nest extent");
+      for (const NestSpec& other : trace.back())
+        ST_CHECK_MSG(other.id != n.id,
+                     "line " << line_no << ": duplicate nest id " << n.id);
+      trace.back().push_back(n);
+    } else {
+      ST_CHECK_MSG(false, "line " << line_no << ": unknown keyword '"
+                                  << keyword << "'");
+    }
+  }
+  return trace;
+}
+
+Trace load_trace(const std::filesystem::path& path) {
+  std::ifstream is(path);
+  ST_CHECK_MSG(is.is_open(), "cannot open trace file " << path);
+  return load_trace(is);
+}
+
+}  // namespace stormtrack

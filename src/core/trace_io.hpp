@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file trace_io.hpp
+/// Plain-text serialization of nest-configuration traces.
+///
+/// Traces are the unit of experiment reproducibility: the real-mode trace
+/// takes seconds of weather simulation + PDA to generate, and downstream
+/// users may want to re-run a strategy comparison on the *same* adaptation
+/// history, ship a trace to a colleague, or hand-edit one. Format (text,
+/// line-oriented, '#' comments):
+///
+///   stormtrack-trace 1
+///   event <k>
+///   nest <id> <region.x> <region.y> <region.w> <region.h> <nx> <ny>
+///   ...
+///
+/// Events appear in order; each lists its full active nest set.
+
+#include <filesystem>
+#include <iosfwd>
+
+#include "core/traces.hpp"
+
+namespace stormtrack {
+
+/// Serialize \p trace to a stream (see format above).
+void save_trace(const Trace& trace, std::ostream& os);
+/// Serialize to a file, creating parent directories.
+void save_trace(const Trace& trace, const std::filesystem::path& path);
+
+/// Parse a trace; throws CheckError on malformed input.
+[[nodiscard]] Trace load_trace(std::istream& is);
+[[nodiscard]] Trace load_trace(const std::filesystem::path& path);
+
+}  // namespace stormtrack

@@ -1,0 +1,108 @@
+#include "core/traces.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace stormtrack {
+
+Trace generate_synthetic_trace(const SyntheticTraceConfig& cfg) {
+  ST_CHECK_MSG(cfg.num_events >= 1, "need at least one event");
+  ST_CHECK_MSG(cfg.min_nests >= 1 && cfg.max_nests >= cfg.min_nests,
+               "bad nest count bounds");
+  ST_CHECK_MSG(cfg.min_size >= kRefinementRatio &&
+                   cfg.max_size >= cfg.min_size,
+               "bad nest size bounds");
+
+  Xoshiro256 rng(cfg.seed);
+  int next_id = 1;
+
+  auto random_nest = [&]() {
+    NestSpec n;
+    n.id = next_id++;
+    // Paper sizes are fine-grid; the region is size/ratio parent points.
+    const int w = static_cast<int>(
+        rng.uniform_int(cfg.min_size, cfg.max_size)) / kRefinementRatio;
+    const int h = static_cast<int>(
+        rng.uniform_int(cfg.min_size, cfg.max_size)) / kRefinementRatio;
+    const int rw = std::min(w, cfg.domain_nx);
+    const int rh = std::min(h, cfg.domain_ny);
+    n.region = Rect{
+        static_cast<int>(rng.uniform_int(0, cfg.domain_nx - rw)),
+        static_cast<int>(rng.uniform_int(0, cfg.domain_ny - rh)), rw, rh};
+    n.shape = nest_shape_for(n.region);
+    return n;
+  };
+
+  Trace trace;
+  std::vector<NestSpec> active;
+  for (int e = 0; e < cfg.num_events; ++e) {
+    // Deletions (never below min when retained alone would drop under it:
+    // insertions below restore the floor anyway).
+    std::vector<NestSpec> survivors;
+    for (const NestSpec& n : active) {
+      if (rng.bernoulli(cfg.delete_probability)) continue;
+      NestSpec kept = n;
+      // Retained nests drift in size a little (clouds evolve), keeping the
+      // redistribution non-trivial even without reallocation changes.
+      const double jx = rng.uniform(1.0 - cfg.resize_jitter,
+                                    1.0 + cfg.resize_jitter);
+      const double jy = rng.uniform(1.0 - cfg.resize_jitter,
+                                    1.0 + cfg.resize_jitter);
+      kept.region.w = std::clamp(
+          static_cast<int>(kept.region.w * jx), cfg.min_size / kRefinementRatio,
+          std::min(cfg.max_size / kRefinementRatio,
+                   cfg.domain_nx - kept.region.x));
+      kept.region.h = std::clamp(
+          static_cast<int>(kept.region.h * jy), cfg.min_size / kRefinementRatio,
+          std::min(cfg.max_size / kRefinementRatio,
+                   cfg.domain_ny - kept.region.y));
+      kept.shape = nest_shape_for(kept.region);
+      survivors.push_back(kept);
+    }
+    active = std::move(survivors);
+
+    // Insertions: restore the floor, then add a random extra batch.
+    while (static_cast<int>(active.size()) < cfg.min_nests)
+      active.push_back(random_nest());
+    const int room = cfg.max_nests - static_cast<int>(active.size());
+    if (room > 0) {
+      const int extra = static_cast<int>(rng.uniform_int(0, room));
+      for (int i = 0; i < extra; ++i) active.push_back(random_nest());
+    }
+
+    trace.push_back(active);
+  }
+  return trace;
+}
+
+RealScenarioDriver::RealScenarioDriver(RealScenarioConfig cfg)
+    : cfg_(cfg), model_(cfg.weather, cfg.seed) {
+  ST_CHECK_MSG(cfg_.num_intervals >= 1, "need at least one interval");
+  ST_CHECK_MSG(cfg_.sim_px >= 1 && cfg_.sim_py >= 1,
+               "simulation process grid must be positive");
+}
+
+RealScenarioStep RealScenarioDriver::next() {
+  model_.step();
+  RealScenarioStep step;
+  step.interval = interval_++;
+  const std::vector<SplitFile> files =
+      write_split_files(model_, cfg_.sim_px, cfg_.sim_py);
+  step.pda = parallel_data_analysis(files, cfg_.pda);
+  step.diff = tracker_.update(step.pda.rectangles);
+  step.active = tracker_.active();
+  return step;
+}
+
+Trace generate_real_trace(const RealScenarioConfig& cfg) {
+  RealScenarioDriver driver(cfg);
+  Trace trace;
+  trace.reserve(static_cast<std::size_t>(cfg.num_intervals));
+  for (int i = 0; i < cfg.num_intervals; ++i)
+    trace.push_back(driver.next().active);
+  return trace;
+}
+
+}  // namespace stormtrack

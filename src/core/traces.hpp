@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file traces.hpp
+/// Nest-configuration traces (§V-B).
+///
+/// Two trace classes drive the experiments, mirroring the paper:
+///  * Synthetic — random insertions/deletions of 2–9 nests of 181–361
+///    fine-grid points per side, up to 70 reconfigurations ("nests were
+///    randomly inserted and deleted").
+///  * Real — the full pipeline: the synthetic-monsoon WeatherModel is
+///    stepped, split files written, PDA invoked, and the NestTracker
+///    classifies the resulting ROIs. Nest counts (≤7) and churn then come
+///    from the weather itself.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/nest_tracker.hpp"
+#include "pda/pda.hpp"
+#include "wsim/weather.hpp"
+
+namespace stormtrack {
+
+/// One trace = the full active nest set at each adaptation point.
+using Trace = std::vector<std::vector<NestSpec>>;
+
+/// §V-B synthetic test-case generator.
+struct SyntheticTraceConfig {
+  int num_events = 70;       ///< Reconfigurations ("70 random nest
+                             ///< configuration changes").
+  int min_nests = 2;         ///< Bounds on concurrent nests ("2 – 9").
+  int max_nests = 9;
+  int min_size = 181;        ///< Fine-grid nest side bounds
+  int max_size = 361;        ///< ("181×181 … 361×361").
+  double delete_probability = 0.35;  ///< Per-nest deletion chance per event.
+  /// Retained-nest size drift per event. The paper's synthetic cases only
+  /// insert and delete nests (retained nests keep their size), so the
+  /// default is 0; the real-mode traces get size drift from the clouds
+  /// themselves. Non-zero values stress-test the redistribution path.
+  double resize_jitter = 0.0;
+  int domain_nx = 512;       ///< Parent-grid extent for nest placement.
+  int domain_ny = 324;
+  std::uint64_t seed = 2013;
+};
+
+[[nodiscard]] Trace generate_synthetic_trace(const SyntheticTraceConfig& cfg);
+
+/// Real-mode scenario: weather model + PDA + tracker.
+struct RealScenarioConfig {
+  WeatherConfig weather = WeatherConfig::mumbai_2005();
+  int num_intervals = 100;   ///< Adaptation points (≈100 in the real runs).
+  int sim_px = 32;           ///< WRF process grid writing split files.
+  int sim_py = 32;
+  PdaConfig pda;
+  std::uint64_t seed = 0x2005'07'26;  ///< Mumbai event date flavour.
+};
+
+/// One adaptation point of the real scenario.
+struct RealScenarioStep {
+  int interval = 0;
+  PdaResult pda;
+  NestDiff diff;
+  std::vector<NestSpec> active;
+};
+
+/// Stepwise driver (keeps the model and tracker alive between intervals).
+class RealScenarioDriver {
+ public:
+  explicit RealScenarioDriver(RealScenarioConfig cfg);
+
+  /// Advance one interval: step weather, write split files, run PDA, diff.
+  RealScenarioStep next();
+
+  [[nodiscard]] const WeatherModel& weather() const { return model_; }
+  [[nodiscard]] const RealScenarioConfig& config() const { return cfg_; }
+
+ private:
+  RealScenarioConfig cfg_;
+  WeatherModel model_;
+  NestTracker tracker_;
+  int interval_ = 0;
+};
+
+/// Convenience: run the whole real scenario and return just the trace.
+[[nodiscard]] Trace generate_real_trace(const RealScenarioConfig& cfg);
+
+}  // namespace stormtrack

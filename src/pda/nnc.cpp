@@ -1,0 +1,134 @@
+#include "pda/nnc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+
+int file_grid_distance(const QCloudInfo& a, const QCloudInfo& b) {
+  return std::max(std::abs(a.file_x - b.file_x),
+                  std::abs(a.file_y - b.file_y));
+}
+
+namespace {
+
+void require_sorted(std::span<const QCloudInfo> info) {
+  for (std::size_t i = 1; i < info.size(); ++i)
+    ST_CHECK_MSG(info[i - 1].qcloud >= info[i].qcloud,
+                 "qcloudinfo must be sorted by qcloud non-increasing");
+}
+
+double cluster_mean(std::span<const QCloudInfo> info, const Cluster& c) {
+  double s = 0.0;
+  for (int i : c) s += info[static_cast<std::size_t>(i)].qcloud;
+  return s / static_cast<double>(c.size());
+}
+
+/// Algorithm 2's DISTANCE function: true when \p element is exactly
+/// \p hop away from \p member AND adding it keeps the cluster mean within
+/// the deviation limit.
+bool distance_ok(std::span<const QCloudInfo> info, int element, int member,
+                 const Cluster& cluster, int hop, double deviation_limit) {
+  if (file_grid_distance(info[static_cast<std::size_t>(element)],
+                         info[static_cast<std::size_t>(member)]) != hop)
+    return false;
+  const double old_mean = cluster_mean(info, cluster);
+  const double new_mean =
+      (old_mean * static_cast<double>(cluster.size()) +
+       info[static_cast<std::size_t>(element)].qcloud) /
+      static_cast<double>(cluster.size() + 1);
+  return std::abs(new_mean - old_mean) <= deviation_limit * old_mean;
+}
+
+bool passes_thresholds(const QCloudInfo& e, const NncConfig& cfg) {
+  return e.qcloud >= cfg.qcloud_threshold &&
+         e.olrfraction >= cfg.olrfraction_threshold;
+}
+
+}  // namespace
+
+std::vector<Cluster> nnc(std::span<const QCloudInfo> sorted_info,
+                         const NncConfig& config) {
+  require_sorted(sorted_info);
+  std::vector<Cluster> clusters;
+
+  for (int e = 0; e < static_cast<int>(sorted_info.size()); ++e) {
+    const QCloudInfo& element = sorted_info[static_cast<std::size_t>(e)];
+    if (!passes_thresholds(element, config)) continue;
+
+    bool placed = false;
+    // First pass: 1-hop proximity to any member of any cluster; only when
+    // that fails, a 2-hop pass — this ordering is what makes the clusters
+    // non-overlapping (§V-A).
+    for (const int hop : {1, 2}) {
+      for (Cluster& list : clusters) {
+        for (const int member : list) {
+          if (distance_ok(sorted_info, e, member, list, hop,
+                          config.mean_deviation_limit)) {
+            list.push_back(e);
+            placed = true;
+            break;
+          }
+        }
+        if (placed) break;
+      }
+      if (placed) break;
+    }
+    if (!placed) clusters.push_back(Cluster{e});
+  }
+  return clusters;
+}
+
+std::vector<Cluster> nnc_2hop_only(std::span<const QCloudInfo> sorted_info,
+                                   const NncConfig& config) {
+  require_sorted(sorted_info);
+  std::vector<Cluster> clusters;
+
+  for (int e = 0; e < static_cast<int>(sorted_info.size()); ++e) {
+    const QCloudInfo& element = sorted_info[static_cast<std::size_t>(e)];
+    if (!passes_thresholds(element, config)) continue;
+
+    bool placed = false;
+    for (Cluster& list : clusters) {
+      for (const int member : list) {
+        if (file_grid_distance(element,
+                               sorted_info[static_cast<std::size_t>(member)])
+            <= 2) {
+          list.push_back(e);
+          placed = true;
+          break;
+        }
+      }
+      if (placed) break;
+    }
+    if (!placed) clusters.push_back(Cluster{e});
+  }
+  return clusters;
+}
+
+Rect cluster_bounds(std::span<const QCloudInfo> info, const Cluster& cluster) {
+  ST_CHECK_MSG(!cluster.empty(), "cluster must be non-empty");
+  Rect out;
+  bool first = true;
+  for (int i : cluster) {
+    const Rect& r = info[static_cast<std::size_t>(i)].subdomain;
+    out = first ? r : out.bounding_union(r);
+    first = false;
+  }
+  return out;
+}
+
+int count_overlapping_cluster_pairs(std::span<const QCloudInfo> info,
+                                    std::span<const Cluster> clusters) {
+  int count = 0;
+  for (std::size_t a = 0; a < clusters.size(); ++a)
+    for (std::size_t b = a + 1; b < clusters.size(); ++b)
+      if (cluster_bounds(info, clusters[a])
+              .overlaps(cluster_bounds(info, clusters[b])))
+        ++count;
+  return count;
+}
+
+}  // namespace stormtrack

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file nnc.hpp
+/// Nearest-neighbour clustering of cloudy subdomains (Algorithm 2).
+///
+/// Input elements are per-split-file aggregates (one element per cloudy
+/// subdomain), sorted by aggregate QCLOUD in non-increasing order. The
+/// paper's variant adds an element to an existing cluster only when it is
+/// exactly 1 hop (else exactly 2 hops) from a member on the split-file
+/// grid AND joining would not shift the cluster's mean QCLOUD by more than
+/// 30% — yielding contiguous, non-overlapping, size-bounded clusters
+/// (Fig. 9(b)). The baseline variant (Fig. 9(a)) uses only a ≤2-hop check
+/// with no mean-deviation criterion and produces overlapping clusters.
+
+#include <span>
+#include <vector>
+
+#include "util/rect.hpp"
+
+namespace stormtrack {
+
+/// One element of the sorted qcloudinfo array (Algorithm 1 line 11): the
+/// aggregate for one split file / subdomain.
+struct QCloudInfo {
+  int file_rank = 0;      ///< Writing rank of the split file.
+  int file_x = 0;         ///< Split-file grid position (Px×Py of files).
+  int file_y = 0;
+  Rect subdomain;         ///< Subdomain in parent-grid points.
+  double qcloud = 0.0;    ///< Aggregate QCLOUD where OLR <= threshold.
+  double olrfraction = 0.0;  ///< Fraction of subdomain with OLR <= threshold.
+};
+
+/// Thresholds of Algorithms 1 & 2 (paper values as defaults).
+struct NncConfig {
+  double qcloud_threshold = 0.005;       ///< Min aggregate QCLOUD (Alg.2 l.3).
+  double olrfraction_threshold = 0.005;  ///< Min OLR-covered fraction.
+  double mean_deviation_limit = 0.30;    ///< Max relative mean shift.
+};
+
+/// A cluster: indices into the input qcloudinfo array.
+using Cluster = std::vector<int>;
+
+/// Algorithm 2 — the paper's NNC: 1-hop-first, then 2-hop, with the
+/// mean-deviation guard. \p sorted_info must be sorted by qcloud
+/// non-increasing (checked).
+[[nodiscard]] std::vector<Cluster> nnc(std::span<const QCloudInfo> sorted_info,
+                                       const NncConfig& config = {});
+
+/// Fig. 9(a) baseline: ≤2-hop proximity only, no mean-deviation criterion.
+[[nodiscard]] std::vector<Cluster> nnc_2hop_only(
+    std::span<const QCloudInfo> sorted_info, const NncConfig& config = {});
+
+/// Bounding rectangle (parent-grid points) of a cluster's subdomains —
+/// the nest rectangle of Algorithm 1 lines 16–19.
+[[nodiscard]] Rect cluster_bounds(std::span<const QCloudInfo> info,
+                                  const Cluster& cluster);
+
+/// Number of cluster pairs whose bounding rectangles overlap in space
+/// (Fig. 9's qualitative difference, made quantitative).
+[[nodiscard]] int count_overlapping_cluster_pairs(
+    std::span<const QCloudInfo> info, std::span<const Cluster> clusters);
+
+/// Chebyshev distance between two elements on the split-file grid — the
+/// "hop" distance of Algorithm 2 (diagonal neighbours are 1 hop).
+[[nodiscard]] int file_grid_distance(const QCloudInfo& a, const QCloudInfo& b);
+
+}  // namespace stormtrack

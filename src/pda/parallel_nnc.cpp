@@ -1,0 +1,190 @@
+#include "pda/parallel_nnc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "simmpi/spmd.hpp"
+#include "topo/mapping.hpp"  // choose_process_grid
+#include "util/check.hpp"
+
+namespace stormtrack {
+
+namespace {
+
+/// Union-find over cluster indices with incremental sum/count so the
+/// mean-deviation admission rule can be evaluated cheaply.
+class ClusterUnion {
+ public:
+  explicit ClusterUnion(std::span<const QCloudInfo> info,
+                        const std::vector<Cluster>& clusters)
+      : parent_(clusters.size()), sum_(clusters.size()),
+        count_(clusters.size()) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+    for (std::size_t c = 0; c < clusters.size(); ++c) {
+      for (int e : clusters[c])
+        sum_[c] += info[static_cast<std::size_t>(e)].qcloud;
+      count_[c] = clusters[c].size();
+    }
+  }
+
+  std::size_t find(std::size_t c) {
+    while (parent_[c] != c) {
+      parent_[c] = parent_[parent_[c]];
+      c = parent_[c];
+    }
+    return c;
+  }
+
+  [[nodiscard]] double mean(std::size_t root) const {
+    return sum_[root] / static_cast<double>(count_[root]);
+  }
+
+  /// Merge the sets of a and b when the union's mean stays within
+  /// \p deviation_limit of both current means. Returns true on merge.
+  bool merge_if_admissible(std::size_t a, std::size_t b,
+                           double deviation_limit) {
+    const std::size_t ra = find(a);
+    const std::size_t rb = find(b);
+    if (ra == rb) return false;
+    const double merged =
+        (sum_[ra] + sum_[rb]) / static_cast<double>(count_[ra] + count_[rb]);
+    if (std::abs(merged - mean(ra)) > deviation_limit * mean(ra))
+      return false;
+    if (std::abs(merged - mean(rb)) > deviation_limit * mean(rb))
+      return false;
+    parent_[rb] = ra;
+    sum_[ra] += sum_[rb];
+    count_[ra] += count_[rb];
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<double> sum_;
+  std::vector<std::size_t> count_;
+};
+
+}  // namespace
+
+ParallelNncResult parallel_nnc(std::span<const QCloudInfo> sorted_info,
+                               const NncConfig& config, int num_ranks,
+                               const SimComm* comm) {
+  ST_CHECK_MSG(num_ranks >= 1, "need at least one analysis rank");
+  ParallelNncResult result;
+  if (sorted_info.empty()) {
+    result.tiles_x = 1;
+    result.tiles_y = 1;
+    return result;
+  }
+
+  // ---- 1. Tile the file-grid bounding box of the elements.
+  int min_x = sorted_info[0].file_x, max_x = sorted_info[0].file_x;
+  int min_y = sorted_info[0].file_y, max_y = sorted_info[0].file_y;
+  for (const QCloudInfo& e : sorted_info) {
+    min_x = std::min(min_x, e.file_x);
+    max_x = std::max(max_x, e.file_x);
+    min_y = std::min(min_y, e.file_y);
+    max_y = std::max(max_y, e.file_y);
+  }
+  const ProcessGridShape tiles = choose_process_grid(num_ranks);
+  result.tiles_x = tiles.px;
+  result.tiles_y = tiles.py;
+  const int span_x = max_x - min_x + 1;
+  const int span_y = max_y - min_y + 1;
+  auto tile_of = [&](const QCloudInfo& e) {
+    const int tx = std::min(tiles.px - 1,
+                            (e.file_x - min_x) * tiles.px / span_x);
+    const int ty = std::min(tiles.py - 1,
+                            (e.file_y - min_y) * tiles.py / span_y);
+    return ty * tiles.px + tx;
+  };
+
+  // ---- 2. Per-rank local clustering (SPMD; sequential Algorithm 2 on the
+  //         tile's elements in global sorted order).
+  const auto local_clusters = run_spmd<std::vector<Cluster>>(
+      num_ranks, [&](int rank) {
+        std::vector<int> mine;  // global indices, already sorted
+        for (int i = 0; i < static_cast<int>(sorted_info.size()); ++i)
+          if (tile_of(sorted_info[static_cast<std::size_t>(i)]) == rank)
+            mine.push_back(i);
+        std::vector<QCloudInfo> local;
+        local.reserve(mine.size());
+        for (int i : mine)
+          local.push_back(sorted_info[static_cast<std::size_t>(i)]);
+        std::vector<Cluster> clusters = nnc(local, config);
+        for (Cluster& c : clusters)
+          for (int& e : c) e = mine[static_cast<std::size_t>(e)];
+        return clusters;
+      });
+
+  std::vector<Cluster> all;
+  for (const auto& per_rank : local_clusters)
+    all.insert(all.end(), per_rank.begin(), per_rank.end());
+
+  // Gather cost: each rank ships one (sum, count, bbox) summary per local
+  // cluster plus its member list.
+  if (comm != nullptr) {
+    ST_CHECK_MSG(comm->size() >= num_ranks,
+                 "communicator smaller than rank count");
+    std::vector<std::int64_t> bytes(static_cast<std::size_t>(comm->size()),
+                                    0);
+    for (int r = 0; r < num_ranks; ++r) {
+      std::int64_t b = 0;
+      for (const Cluster& c :
+           local_clusters[static_cast<std::size_t>(r)])
+        b += 32 + static_cast<std::int64_t>(c.size()) * 4;
+      bytes[static_cast<std::size_t>(r)] = b;
+    }
+    result.traffic = comm->gatherv(bytes, 0);
+  }
+
+  // ---- 3. Cross-tile merge with the Algorithm-2 admission rule.
+  // Precompute spatial adjacency once, then merge to a fixpoint: a union
+  // moves the merged mean, which can admit further unions (mirroring the
+  // sequential algorithm's gradual mean drift as it grows a cluster).
+  ClusterUnion uf(sorted_info, all);
+  std::vector<std::pair<std::size_t, std::size_t>> adjacent;
+  for (std::size_t a = 0; a < all.size(); ++a) {
+    for (std::size_t b = a + 1; b < all.size(); ++b) {
+      bool close = false;
+      for (int ea : all[a]) {
+        for (int eb : all[b]) {
+          if (file_grid_distance(sorted_info[static_cast<std::size_t>(ea)],
+                                 sorted_info[static_cast<std::size_t>(eb)])
+              <= 2) {
+            close = true;
+            break;
+          }
+        }
+        if (close) break;
+      }
+      if (close) adjacent.emplace_back(a, b);
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [a, b] : adjacent) {
+      if (uf.merge_if_admissible(a, b, config.mean_deviation_limit)) {
+        ++result.merges;
+        changed = true;
+      }
+    }
+  }
+
+  // Emit merged clusters, members ascending for determinism.
+  std::map<std::size_t, Cluster> merged;
+  for (std::size_t c = 0; c < all.size(); ++c) {
+    Cluster& out = merged[uf.find(c)];
+    out.insert(out.end(), all[c].begin(), all[c].end());
+  }
+  for (auto& [root, members] : merged) {
+    std::sort(members.begin(), members.end());
+    result.clusters.push_back(std::move(members));
+  }
+  return result;
+}
+
+}  // namespace stormtrack

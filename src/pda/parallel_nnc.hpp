@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file parallel_nnc.hpp
+/// Parallel nearest-neighbour clustering — the paper's stated future work
+/// ("we would like to parallelize the NNC algorithm in future for
+/// simulations on larger number of processors", §III).
+///
+/// Design: tile-and-merge.
+///  1. The split-file grid is tiled over N analysis ranks (most-square
+///     factorisation). Each element belongs to one tile.
+///  2. Every rank runs the sequential Algorithm 2 on its tile's elements
+///     (kept in the global QCLOUD-sorted order) — embarrassingly parallel.
+///  3. A merge pass unions clusters from different tiles when some member
+///     pair lies within 2 hops on the file grid AND the union's mean
+///     QCLOUD stays within the mean-deviation limit of *both* clusters'
+///     means — the same admission rule Algorithm 2 applies element-wise.
+///
+/// The result is not always identical to the sequential clustering (greedy
+/// order differs at tile boundaries), but the invariants the paper's
+/// pipeline relies on hold and are tested: thresholded elements are all
+/// covered, clusters are disjoint, and well-separated cloud systems yield
+/// exactly the sequential clusters.
+
+#include <span>
+#include <vector>
+
+#include "pda/nnc.hpp"
+#include "simmpi/simcomm.hpp"
+
+namespace stormtrack {
+
+/// Outcome of the parallel clustering.
+struct ParallelNncResult {
+  std::vector<Cluster> clusters;    ///< Indices into the input array.
+  int tiles_x = 0;                  ///< Tile grid used.
+  int tiles_y = 0;
+  int merges = 0;                   ///< Cross-tile unions performed.
+  TrafficReport traffic;            ///< Gather cost (when comm supplied).
+};
+
+/// Parallel NNC over \p sorted_info (sorted by qcloud non-increasing, as
+/// for nnc()). \p num_ranks analysis processes; \p comm, when non-null,
+/// prices the cluster-summary gather on it.
+[[nodiscard]] ParallelNncResult parallel_nnc(
+    std::span<const QCloudInfo> sorted_info, const NncConfig& config,
+    int num_ranks, const SimComm* comm = nullptr);
+
+}  // namespace stormtrack

@@ -1,0 +1,114 @@
+#include "pda/pda.hpp"
+
+#include <algorithm>
+
+#include "simmpi/spmd.hpp"
+#include "util/check.hpp"
+
+namespace stormtrack {
+
+std::optional<QCloudInfo> analyze_split_file(const SplitFile& file,
+                                             const PdaConfig& config) {
+  if (file.subdomain.empty()) return std::nullopt;
+  double aggregate = 0.0;
+  std::int64_t count = 0;
+  for (int y = 0; y < file.olr.height(); ++y) {
+    for (int x = 0; x < file.olr.width(); ++x) {
+      if (file.olr(x, y) <= config.olr_threshold) {
+        aggregate += file.qcloud(x, y);
+        ++count;
+      }
+    }
+  }
+  if (count == 0) return std::nullopt;
+  QCloudInfo info;
+  info.file_rank = file.rank;
+  info.file_x = file.file_x();
+  info.file_y = file.file_y();
+  info.subdomain = file.subdomain;
+  info.qcloud = aggregate;
+  info.olrfraction =
+      static_cast<double>(count) / static_cast<double>(file.subdomain.area());
+  return info;
+}
+
+PdaResult parallel_data_analysis_from_dir(const std::filesystem::path& dir,
+                                          int num_files,
+                                          const PdaConfig& config,
+                                          const SimComm* analysis_comm) {
+  ST_CHECK_MSG(num_files >= 1, "need at least one split file");
+  // Load in rank order; each analysis process would read only its own k
+  // files — on this substrate the loads execute sequentially but the
+  // analysis below partitions them identically.
+  std::vector<SplitFile> files;
+  files.reserve(static_cast<std::size_t>(num_files));
+  for (int r = 0; r < num_files; ++r) files.push_back(load_split_file(dir, r));
+  return parallel_data_analysis(files, config, analysis_comm);
+}
+
+PdaResult parallel_data_analysis(std::span<const SplitFile> files,
+                                 const PdaConfig& config,
+                                 const SimComm* analysis_comm) {
+  const int p = static_cast<int>(files.size());
+  ST_CHECK_MSG(p >= 1, "need at least one split file");
+  const int n = config.analysis_procs;
+  ST_CHECK_MSG(n >= 1 && p % n == 0,
+               "analysis process count " << n << " must divide file count "
+                                         << p);
+  const int k = p / n;  // files per analysis process (Algorithm 1 line 1)
+
+  PdaResult result;
+
+  // Lines 3–9: each of the N processes analyzes its k files. File f goes to
+  // process f / k: contiguous runs of the row-major file order, i.e.
+  // rectangular strips of the file grid.
+  const auto per_rank = run_spmd<std::vector<QCloudInfo>>(
+      n, [&](int rank) {
+        std::vector<QCloudInfo> local;
+        for (int f = rank * k; f < (rank + 1) * k; ++f) {
+          if (auto info = analyze_split_file(files[static_cast<std::size_t>(f)],
+                                             config))
+            local.push_back(*info);
+        }
+        return local;
+      });
+
+  // Line 11: root gathers qcloud + olrfraction from every process. Price
+  // the gather when a communicator for the N analysis ranks is supplied.
+  if (analysis_comm != nullptr) {
+    ST_CHECK_MSG(analysis_comm->size() >= n,
+                 "analysis communicator smaller than process count");
+    std::vector<std::int64_t> bytes(
+        static_cast<std::size_t>(analysis_comm->size()), 0);
+    for (int r = 0; r < n; ++r)
+      bytes[static_cast<std::size_t>(r)] =
+          static_cast<std::int64_t>(per_rank[static_cast<std::size_t>(r)]
+                                        .size()) *
+          static_cast<std::int64_t>(sizeof(double) * 2 + sizeof(int) * 2);
+    result.traffic = analysis_comm->gatherv(bytes, config.root);
+  }
+  for (const auto& local : per_rank)
+    result.qcloudinfo.insert(result.qcloudinfo.end(), local.begin(),
+                             local.end());
+
+  // Line 13: sort by aggregate QCLOUD, non-increasing. Ties break by rank
+  // for determinism.
+  std::sort(result.qcloudinfo.begin(), result.qcloudinfo.end(),
+            [](const QCloudInfo& a, const QCloudInfo& b) {
+              if (a.qcloud != b.qcloud) return a.qcloud > b.qcloud;
+              return a.file_rank < b.file_rank;
+            });
+
+  // Line 14: cluster; lines 16–19: bounding rectangles.
+  result.clusters = nnc(result.qcloudinfo, config.nnc);
+  result.rectangles.reserve(result.clusters.size());
+  for (const Cluster& c : result.clusters)
+    result.rectangles.push_back(cluster_bounds(result.qcloudinfo, c));
+  std::sort(result.rectangles.begin(), result.rectangles.end(),
+            [](const Rect& a, const Rect& b) {
+              return std::pair{a.x, a.y} < std::pair{b.x, b.y};
+            });
+  return result;
+}
+
+}  // namespace stormtrack

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file pda.hpp
+/// Parallel Data Analysis (Algorithm 1).
+///
+/// P split files are divided among N analysis processes (rectangular
+/// subsets of the Px×Py file grid); each process aggregates QCLOUD over the
+/// grid points of its files where OLR ≤ 200 and computes the fraction of
+/// each subdomain under that threshold; the per-file aggregates are
+/// gathered at a root rank, sorted by QCLOUD non-increasing, clustered with
+/// NNC (Algorithm 2), and each cluster's bounding rectangle becomes a nest
+/// region of interest. The analysis runs on its own processor set,
+/// concurrently with the simulation, so it never stalls WRF (§III).
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "pda/nnc.hpp"
+#include "simmpi/simcomm.hpp"
+#include "wsim/split_file.hpp"
+
+namespace stormtrack {
+
+/// Configuration of Algorithm 1 (paper values as defaults).
+struct PdaConfig {
+  double olr_threshold = 200.0;  ///< OLR cut for "tall organized cloud".
+  int analysis_procs = 16;       ///< N; must divide the file count P.
+  int root = 0;                  ///< Gathering rank among the N.
+  NncConfig nnc;                 ///< Algorithm 2 thresholds.
+};
+
+/// Output of one PDA invocation.
+struct PdaResult {
+  /// Gathered per-file aggregates, sorted by qcloud non-increasing
+  /// (only files with any OLR-qualifying points are present).
+  std::vector<QCloudInfo> qcloudinfo;
+  /// NNC clusters (indices into qcloudinfo).
+  std::vector<Cluster> clusters;
+  /// Nest regions of interest: one bounding rectangle (parent-grid points)
+  /// per cluster, in deterministic (x, y) order.
+  std::vector<Rect> rectangles;
+  /// Modeled gather cost on the analysis communicator (zero when no
+  /// communicator is supplied).
+  TrafficReport traffic;
+};
+
+/// Per-file aggregation (Algorithm 1 lines 4–9) for one split file;
+/// nullopt when no grid point satisfies OLR ≤ threshold.
+[[nodiscard]] std::optional<QCloudInfo> analyze_split_file(
+    const SplitFile& file, const PdaConfig& config);
+
+/// Algorithm 1 end to end over the split files of one time step.
+/// \p analysis_comm — when non-null, the gather is priced on it (the
+/// communicator of the N analysis processes).
+[[nodiscard]] PdaResult parallel_data_analysis(
+    std::span<const SplitFile> files, const PdaConfig& config = {},
+    const SimComm* analysis_comm = nullptr);
+
+/// Algorithm 1 reading the split files from disk, as the real system does:
+/// each of the N analysis processes loads and analyzes its k = P/N files
+/// from \p dir (written by save_split_file for ranks 0..P-1).
+[[nodiscard]] PdaResult parallel_data_analysis_from_dir(
+    const std::filesystem::path& dir, int num_files,
+    const PdaConfig& config = {}, const SimComm* analysis_comm = nullptr);
+
+}  // namespace stormtrack

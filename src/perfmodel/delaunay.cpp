@@ -1,0 +1,169 @@
+#include "perfmodel/delaunay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+
+namespace {
+
+/// Twice the signed area of triangle (a, b, c); positive when CCW.
+double cross2(const Point2& a, const Point2& b, const Point2& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+/// Strictly-inside-circumcircle predicate for CCW triangle (a, b, c).
+bool in_circumcircle(const Point2& a, const Point2& b, const Point2& c,
+                     const Point2& p) {
+  const double ax = a.x - p.x, ay = a.y - p.y;
+  const double bx = b.x - p.x, by = b.y - p.y;
+  const double cx = c.x - p.x, cy = c.y - p.y;
+  const double det = (ax * ax + ay * ay) * (bx * cy - cx * by) -
+                     (bx * bx + by * by) * (ax * cy - cx * ay) +
+                     (cx * cx + cy * cy) * (ax * by - bx * ay);
+  return det > 1e-12;
+}
+
+struct Edge {
+  int a, b;
+  friend bool operator<(const Edge& x, const Edge& y) {
+    return std::pair{x.a, x.b} < std::pair{y.a, y.b};
+  }
+};
+
+Edge canonical(int a, int b) { return a < b ? Edge{a, b} : Edge{b, a}; }
+
+}  // namespace
+
+Delaunay2D::Delaunay2D(std::vector<Point2> sites) : sites_(std::move(sites)) {
+  const auto n = static_cast<int>(sites_.size());
+  ST_CHECK_MSG(n >= 3, "Delaunay needs at least 3 sites, got " << n);
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      ST_CHECK_MSG(!(sites_[i] == sites_[j]),
+                   "duplicate Delaunay sites at index " << i << " and " << j);
+
+  // Super-triangle comfortably containing all sites.
+  double min_x = sites_[0].x, max_x = sites_[0].x;
+  double min_y = sites_[0].y, max_y = sites_[0].y;
+  for (const Point2& s : sites_) {
+    min_x = std::min(min_x, s.x);
+    max_x = std::max(max_x, s.x);
+    min_y = std::min(min_y, s.y);
+    max_y = std::max(max_y, s.y);
+  }
+  const double span = std::max({max_x - min_x, max_y - min_y, 1.0});
+  const double cx = 0.5 * (min_x + max_x);
+  const double cy = 0.5 * (min_y + max_y);
+  // Work array includes the three synthetic super-triangle vertices at
+  // indices n, n+1, n+2.
+  std::vector<Point2> pts = sites_;
+  pts.push_back(Point2{cx - 20.0 * span, cy - 10.0 * span});
+  pts.push_back(Point2{cx + 20.0 * span, cy - 10.0 * span});
+  pts.push_back(Point2{cx, cy + 20.0 * span});
+
+  std::vector<Triangle> tris{{n, n + 1, n + 2}};
+  auto ccw = [&](Triangle& t) {
+    if (cross2(pts[t[0]], pts[t[1]], pts[t[2]]) < 0.0) std::swap(t[1], t[2]);
+  };
+  ccw(tris[0]);
+
+  // Bowyer–Watson incremental insertion.
+  for (int i = 0; i < n; ++i) {
+    const Point2& p = pts[i];
+    std::vector<Triangle> keep;
+    std::map<Edge, int> boundary_count;
+    for (const Triangle& t : tris) {
+      if (in_circumcircle(pts[t[0]], pts[t[1]], pts[t[2]], p)) {
+        boundary_count[canonical(t[0], t[1])]++;
+        boundary_count[canonical(t[1], t[2])]++;
+        boundary_count[canonical(t[2], t[0])]++;
+      } else {
+        keep.push_back(t);
+      }
+    }
+    tris = std::move(keep);
+    for (const auto& [e, count] : boundary_count) {
+      if (count != 1) continue;  // interior edge of the cavity
+      Triangle t{e.a, e.b, i};
+      ccw(t);
+      // Degenerate (collinear) triangles can appear when the new site lies
+      // exactly on a cavity edge; drop them.
+      if (std::abs(cross2(pts[t[0]], pts[t[1]], pts[t[2]])) > 1e-12)
+        tris.push_back(t);
+    }
+  }
+
+  // Strip triangles touching the super-triangle.
+  for (const Triangle& t : tris)
+    if (t[0] < n && t[1] < n && t[2] < n) triangles_.push_back(t);
+  ST_CHECK_MSG(!triangles_.empty(),
+               "degenerate site set (all collinear?) — no triangles");
+}
+
+int Delaunay2D::locate(const Point2& p) const {
+  // Linear scan: the model triangulates ~13 sites, so this is already fast.
+  for (std::size_t i = 0; i < triangles_.size(); ++i) {
+    const Triangle& t = triangles_[i];
+    const Point2& a = sites_[static_cast<std::size_t>(t[0])];
+    const Point2& b = sites_[static_cast<std::size_t>(t[1])];
+    const Point2& c = sites_[static_cast<std::size_t>(t[2])];
+    const double eps = -1e-9 * std::max(1.0, std::abs(cross2(a, b, c)));
+    if (cross2(a, b, p) >= eps && cross2(b, c, p) >= eps &&
+        cross2(c, a, p) >= eps)
+      return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::array<double, 3> Delaunay2D::barycentric(int t, const Point2& p) const {
+  ST_CHECK_MSG(t >= 0 && t < static_cast<int>(triangles_.size()),
+               "triangle index " << t << " out of range");
+  const Triangle& tri = triangles_[static_cast<std::size_t>(t)];
+  const Point2& a = sites_[static_cast<std::size_t>(tri[0])];
+  const Point2& b = sites_[static_cast<std::size_t>(tri[1])];
+  const Point2& c = sites_[static_cast<std::size_t>(tri[2])];
+  const double area = cross2(a, b, c);
+  ST_CHECK_MSG(std::abs(area) > 1e-15, "degenerate triangle");
+  return {cross2(b, c, p) / area, cross2(c, a, p) / area,
+          cross2(a, b, p) / area};
+}
+
+int Delaunay2D::nearest_site(const Point2& p) const {
+  int best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    const double dx = sites_[i].x - p.x;
+    const double dy = sites_[i].y - p.y;
+    const double d = dx * dx + dy * dy;
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+ScatteredInterpolant::ScatteredInterpolant(std::vector<Point2> sites,
+                                           std::vector<double> values)
+    : tri_(std::move(sites)), values_(std::move(values)) {
+  ST_CHECK_MSG(tri_.sites().size() == values_.size(),
+               "need exactly one value per site");
+}
+
+double ScatteredInterpolant::operator()(const Point2& p) const {
+  const int t = tri_.locate(p);
+  if (t < 0)
+    return values_[static_cast<std::size_t>(tri_.nearest_site(p))];
+  const auto bc = tri_.barycentric(t, p);
+  const Triangle& tr = tri_.triangles()[static_cast<std::size_t>(t)];
+  return bc[0] * values_[static_cast<std::size_t>(tr[0])] +
+         bc[1] * values_[static_cast<std::size_t>(tr[1])] +
+         bc[2] * values_[static_cast<std::size_t>(tr[2])];
+}
+
+}  // namespace stormtrack

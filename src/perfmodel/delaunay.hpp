@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file delaunay.hpp
+/// 2D Delaunay triangulation (Bowyer–Watson) and scattered-data linear
+/// interpolation.
+///
+/// The paper's execution-time model (§IV-C-2) profiles 13 domain sizes and
+/// "interpolates the execution times of the nests formed in our simulation
+/// using Delaunay triangulation". This is that machinery, built from
+/// scratch: triangulate the profiled (nx, ny) sample sites once, then
+/// evaluate queries by barycentric interpolation within the containing
+/// triangle. Queries outside the convex hull clamp to the nearest sample
+/// site (documented deviation: the paper does not specify extrapolation).
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace stormtrack {
+
+/// 2D point (for the execution model: x = nest nx, y = nest ny).
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+  friend constexpr bool operator==(const Point2&, const Point2&) = default;
+};
+
+/// Triangle as indices into the site array.
+using Triangle = std::array<int, 3>;
+
+/// Delaunay triangulation of a set of (distinct, non-collinear) sites.
+class Delaunay2D {
+ public:
+  /// Triangulate \p sites. Requires >= 3 sites, at least three of them
+  /// non-collinear, and no duplicates (checked).
+  explicit Delaunay2D(std::vector<Point2> sites);
+
+  [[nodiscard]] const std::vector<Point2>& sites() const { return sites_; }
+  [[nodiscard]] const std::vector<Triangle>& triangles() const {
+    return triangles_;
+  }
+
+  /// Index of a triangle containing \p p (boundary counts as inside),
+  /// or -1 when p lies outside the convex hull.
+  [[nodiscard]] int locate(const Point2& p) const;
+
+  /// Barycentric coordinates of \p p with respect to triangle \p t.
+  [[nodiscard]] std::array<double, 3> barycentric(int t,
+                                                  const Point2& p) const;
+
+  /// Index of the site nearest to \p p.
+  [[nodiscard]] int nearest_site(const Point2& p) const;
+
+ private:
+  std::vector<Point2> sites_;
+  std::vector<Triangle> triangles_;
+};
+
+/// Piecewise-linear interpolant over scattered sites: Delaunay + barycentric
+/// inside the hull, nearest-site value outside.
+class ScatteredInterpolant {
+ public:
+  /// One value per site.
+  ScatteredInterpolant(std::vector<Point2> sites, std::vector<double> values);
+
+  [[nodiscard]] double operator()(const Point2& p) const;
+
+  [[nodiscard]] const Delaunay2D& triangulation() const { return tri_; }
+
+ private:
+  Delaunay2D tri_;
+  std::vector<double> values_;
+};
+
+}  // namespace stormtrack

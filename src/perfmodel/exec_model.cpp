@@ -1,0 +1,107 @@
+#include "perfmodel/exec_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace stormtrack {
+
+ProfileConfig ProfileConfig::paper_default() {
+  ProfileConfig c;
+  // 13 domain sizes spanning the paper's nest range (175–361 points per
+  // side) with margin on both ends; deliberately not axis-aligned so the
+  // Delaunay triangulation is non-degenerate.
+  c.domains = {
+      NestShape{120, 120}, NestShape{160, 200}, NestShape{200, 160},
+      NestShape{180, 320}, NestShape{320, 180}, NestShape{240, 240},
+      NestShape{200, 349}, NestShape{280, 320}, NestShape{360, 240},
+      NestShape{361, 361}, NestShape{300, 420}, NestShape{420, 300},
+      NestShape{440, 440},
+  };
+  // 10 processor counts: the sub-rectangle sizes seen at 256–1024 cores.
+  c.proc_counts = {32, 64, 96, 128, 192, 256, 384, 512, 768, 1024};
+  return c;
+}
+
+ExecTimeModel::ExecTimeModel(const GroundTruthCost& truth,
+                             ProfileConfig config)
+    : config_(std::move(config)) {
+  ST_CHECK_MSG(config_.domains.size() >= 3,
+               "need at least 3 profiled domains for triangulation");
+  ST_CHECK_MSG(!config_.proc_counts.empty(),
+               "need at least one profiled processor count");
+  std::sort(config_.proc_counts.begin(), config_.proc_counts.end());
+  ST_CHECK_MSG(config_.proc_counts.front() >= 1,
+               "processor counts must be positive");
+
+  std::vector<Point2> sites;
+  sites.reserve(config_.domains.size());
+  for (const NestShape& d : config_.domains)
+    sites.push_back(Point2{static_cast<double>(d.nx),
+                           static_cast<double>(d.ny)});
+
+  Xoshiro256 rng(config_.noise_seed);
+  per_proc_count_.reserve(config_.proc_counts.size());
+  for (int p : config_.proc_counts) {
+    std::vector<double> values;
+    values.reserve(config_.domains.size());
+    for (const NestShape& d : config_.domains) {
+      const double t = truth.execution_time(d, p);
+      // Multiplicative measurement noise, floored so a wild draw cannot
+      // produce a non-positive "measured" time.
+      const double measured =
+          t * std::max(0.2, 1.0 + config_.noise_rel_stdev * rng.normal());
+      values.push_back(measured);
+    }
+    per_proc_count_.emplace_back(sites, std::move(values));
+  }
+}
+
+double ExecTimeModel::predict(const NestShape& shape, int procs) const {
+  ST_CHECK_MSG(shape.nx > 0 && shape.ny > 0, "nest shape must be positive");
+  ST_CHECK_MSG(procs > 0, "processor count must be positive");
+  const Point2 q{static_cast<double>(shape.nx),
+                 static_cast<double>(shape.ny)};
+  const auto& pcs = config_.proc_counts;
+
+  // Clamp outside the profiled processor range.
+  if (procs <= pcs.front()) return per_proc_count_.front()(q);
+  if (procs >= pcs.back()) return per_proc_count_.back()(q);
+
+  // Linear interpolation between the two bracketing profiled counts
+  // (§IV-C-2: "we perform linear interpolation to predict the execution
+  // time on desired number of processors").
+  const auto hi =
+      std::lower_bound(pcs.begin(), pcs.end(), procs) - pcs.begin();
+  const auto lo = hi - 1;
+  const double t_lo = per_proc_count_[static_cast<std::size_t>(lo)](q);
+  const double t_hi = per_proc_count_[static_cast<std::size_t>(hi)](q);
+  const double frac = static_cast<double>(procs - pcs[lo]) /
+                      static_cast<double>(pcs[hi] - pcs[lo]);
+  return t_lo + frac * (t_hi - t_lo);
+}
+
+std::vector<double> weight_ratios(const ExecTimeModel& model,
+                                  std::span<const NestShape> shapes,
+                                  int total_procs) {
+  std::vector<double> w;
+  w.reserve(shapes.size());
+  double sum = 0.0;
+  for (const NestShape& s : shapes) {
+    // Weights are execution-time ratios at a common reference processor
+    // count: a nest that runs longer deserves proportionally more
+    // processors. Using the full machine as the fixed reference makes a
+    // nest's weight a pure function of its shape, so the ratios among
+    // retained nests — and therefore their rectangles — stay stable across
+    // adaptation points (the paper's diffusion hinges on this).
+    const double t = model.predict(s, total_procs);
+    w.push_back(t);
+    sum += t;
+  }
+  for (double& x : w) x /= sum;
+  return w;
+}
+
+}  // namespace stormtrack

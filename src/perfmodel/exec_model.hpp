@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file exec_model.hpp
+/// Execution-time prediction model (§IV-C-2).
+///
+/// The paper profiles a small set (13) of domain sizes on a few (10)
+/// processor counts, interpolates over domain dimensions with Delaunay
+/// triangulation, and linearly interpolates over the processor count. The
+/// model's predictions feed two consumers:
+///  * the nest *weights* (execution-time ratios) for tree construction;
+///  * the dynamic strategy's execution-time term (§IV-C).
+///
+/// Profiled samples carry measurement noise, so predictions correlate with
+/// — but do not equal — the ground truth (the paper reports Pearson r≈0.9).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "perfmodel/delaunay.hpp"
+#include "perfmodel/ground_truth.hpp"
+
+namespace stormtrack {
+
+/// Configuration of the profiling campaign.
+struct ProfileConfig {
+  /// Domain sizes to profile; defaults (13 sites) cover the paper's nest
+  /// size range (175×175 … 361×361) with margin.
+  std::vector<NestShape> domains;
+  /// Processor counts to profile; defaults are 10 counts up to 1024.
+  std::vector<int> proc_counts;
+  /// Relative measurement noise (stdev as a fraction of the true time).
+  /// Calibrated so predicted-vs-actual execution times correlate at the
+  /// paper's reported Pearson r ≈ 0.9 (§V-F).
+  double noise_rel_stdev = 0.12;
+  std::uint64_t noise_seed = 0xb10c5eedULL;
+
+  /// The paper's campaign: 13 domains, 10 processor counts.
+  [[nodiscard]] static ProfileConfig paper_default();
+};
+
+/// Delaunay-plus-linear execution-time predictor.
+class ExecTimeModel {
+ public:
+  /// Run the profiling campaign against the hidden \p truth and fit.
+  ExecTimeModel(const GroundTruthCost& truth, ProfileConfig config);
+
+  /// Predicted per-step execution time of \p shape on \p procs processors.
+  /// Processor counts outside the profiled range clamp to its ends.
+  [[nodiscard]] double predict(const NestShape& shape, int procs) const;
+
+  /// Profiled processor counts (ascending).
+  [[nodiscard]] std::span<const int> proc_counts() const {
+    return config_.proc_counts;
+  }
+
+  [[nodiscard]] const ProfileConfig& config() const { return config_; }
+
+ private:
+  ProfileConfig config_;
+  /// One scattered interpolant over (nx, ny) per profiled processor count.
+  std::vector<ScatteredInterpolant> per_proc_count_;
+};
+
+/// Normalized execution-time ratios for a set of nests on \p procs total
+/// processors (the tree weights of §IV): predicted times scaled to sum 1.
+[[nodiscard]] std::vector<double> weight_ratios(const ExecTimeModel& model,
+                                                std::span<const NestShape>
+                                                    shapes,
+                                                int total_procs);
+
+}  // namespace stormtrack

@@ -1,0 +1,17 @@
+#include "perfmodel/ground_truth.hpp"
+
+#include <cmath>
+
+namespace stormtrack {
+
+double GroundTruthCost::execution_time(const NestShape& shape,
+                                       int procs) const {
+  ST_CHECK_MSG(procs > 0, "processor count must be positive, got " << procs);
+  // Most-square rectangle for the given count.
+  int pw = 1;
+  for (int w = 1; w * w <= procs; ++w)
+    if (procs % w == 0) pw = w;
+  return execution_time(shape, pw, procs / pw);
+}
+
+}  // namespace stormtrack

@@ -1,0 +1,61 @@
+#include "redist/block_decomp.hpp"
+
+namespace stormtrack {
+
+PartRange overlapping_parts(int lo, int hi, int n, int parts) {
+  ST_CHECK_MSG(parts >= 1 && n >= 1, "need positive n and parts");
+  ST_CHECK_MSG(lo >= 0 && hi <= n, "range [" << lo << ", " << hi
+                                             << ") outside [0, " << n << ")");
+  if (lo >= hi) return PartRange{0, -1};
+  // part k owns [k·n/parts, (k+1)·n/parts); find the parts covering lo and
+  // hi-1. Owner of index x is floor(((x+1)·parts - 1) / n): the largest k
+  // with k·n/parts <= x. A simple closed form that avoids off-by-one with
+  // flooring is to compute candidates and adjust.
+  auto owner_of = [&](int x) {
+    int k = static_cast<int>((static_cast<std::int64_t>(x) * parts) / n);
+    // Adjust for flooring: ensure block_range(k) contains x.
+    while (k > 0 && block_range(k, n, parts).begin > x) --k;
+    while (k + 1 < parts && block_range(k + 1, n, parts).begin <= x) ++k;
+    return k;
+  };
+  return PartRange{owner_of(lo), owner_of(hi - 1)};
+}
+
+BlockDecomposition::BlockDecomposition(NestShape nest, Rect proc_rect,
+                                       int grid_px)
+    : nest_(nest), proc_rect_(proc_rect), grid_px_(grid_px) {
+  ST_CHECK_MSG(nest.nx >= 1 && nest.ny >= 1,
+               "nest must be non-empty, got " << nest.nx << "x" << nest.ny);
+  ST_CHECK_MSG(!proc_rect.empty(), "processor rectangle must be non-empty");
+  ST_CHECK_MSG(grid_px >= proc_rect.x_end(),
+               "process-grid width " << grid_px
+                                     << " does not contain rectangle "
+                                     << proc_rect);
+}
+
+int BlockDecomposition::rank_at(int i, int j) const {
+  ST_CHECK_MSG(i >= 0 && i < proc_rect_.w && j >= 0 && j < proc_rect_.h,
+               "local position (" << i << "," << j << ") outside rectangle "
+                                  << proc_rect_);
+  return (proc_rect_.y + j) * grid_px_ + (proc_rect_.x + i);
+}
+
+Rect BlockDecomposition::owned_region(int i, int j) const {
+  ST_CHECK_MSG(i >= 0 && i < proc_rect_.w && j >= 0 && j < proc_rect_.h,
+               "local position (" << i << "," << j << ") outside rectangle "
+                                  << proc_rect_);
+  const Span1D cols = block_range(i, nest_.nx, proc_rect_.w);
+  const Span1D rows = block_range(j, nest_.ny, proc_rect_.h);
+  return Rect{cols.begin, rows.begin, cols.count, rows.count};
+}
+
+int BlockDecomposition::owner_rank(int x, int y) const {
+  ST_CHECK_MSG(x >= 0 && x < nest_.nx && y >= 0 && y < nest_.ny,
+               "nest point (" << x << "," << y << ") outside nest "
+                              << nest_.nx << "x" << nest_.ny);
+  const PartRange ci = overlapping_parts(x, x + 1, nest_.nx, proc_rect_.w);
+  const PartRange rj = overlapping_parts(y, y + 1, nest_.ny, proc_rect_.h);
+  return rank_at(ci.first, rj.first);
+}
+
+}  // namespace stormtrack

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file block_decomp.hpp
+/// 2D block decomposition of a nest domain over a processor rectangle.
+///
+/// A nest of Nx×Ny fine-grid points assigned to a pw×ph processor rectangle
+/// is "equally subdivided among its allocated processors" (§IV, Fig. 3):
+/// the processor at rectangle-local position (i, j) owns the balanced
+/// column block i of Nx and row block j of Ny. Global rank ids are
+/// row-major positions on the full Px×Py process grid, so the same nest
+/// point can be attributed to its owner rank under the old and the new
+/// allocation — the basis of redistribution planning and of the Fig. 11
+/// overlap metric.
+
+#include <cstdint>
+
+#include "perfmodel/ground_truth.hpp"  // NestShape
+#include "util/check.hpp"
+#include "util/rect.hpp"
+
+namespace stormtrack {
+
+/// Contiguous 1D index span.
+struct Span1D {
+  int begin = 0;
+  int count = 0;
+  [[nodiscard]] constexpr int end() const { return begin + count; }
+};
+
+/// Balanced block \p part of \p n items split into \p parts pieces:
+/// part k owns [k·n/parts, (k+1)·n/parts).
+[[nodiscard]] constexpr Span1D block_range(int part, int n, int parts) {
+  const int b = static_cast<int>((static_cast<std::int64_t>(part) * n) /
+                                 parts);
+  const int e = static_cast<int>((static_cast<std::int64_t>(part + 1) * n) /
+                                 parts);
+  return Span1D{b, e - b};
+}
+
+/// Inclusive range of parts whose blocks intersect [lo, hi) when \p n items
+/// are split into \p parts blocks. Empty input range yields first > last.
+struct PartRange {
+  int first = 0;
+  int last = -1;
+};
+[[nodiscard]] PartRange overlapping_parts(int lo, int hi, int n, int parts);
+
+/// Block decomposition of one nest over one processor rectangle.
+class BlockDecomposition {
+ public:
+  /// \param nest      nest extent in fine-grid points;
+  /// \param proc_rect processor sub-rectangle on the process grid;
+  /// \param grid_px   full process-grid width (for global rank ids).
+  BlockDecomposition(NestShape nest, Rect proc_rect, int grid_px);
+
+  [[nodiscard]] const NestShape& nest() const { return nest_; }
+  [[nodiscard]] const Rect& proc_rect() const { return proc_rect_; }
+  [[nodiscard]] int grid_px() const { return grid_px_; }
+
+  /// Global rank at rectangle-local position (i, j).
+  [[nodiscard]] int rank_at(int i, int j) const;
+
+  /// Nest-space region owned by rectangle-local processor (i, j); may be
+  /// empty when the rectangle has more processors than nest points along a
+  /// dimension.
+  [[nodiscard]] Rect owned_region(int i, int j) const;
+
+  /// Global rank owning nest point (x, y).
+  [[nodiscard]] int owner_rank(int x, int y) const;
+
+ private:
+  NestShape nest_;
+  Rect proc_rect_;
+  int grid_px_;
+};
+
+}  // namespace stormtrack

@@ -1,0 +1,149 @@
+#include "redist/redistributor.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+
+RedistPlan plan_redistribution(const NestShape& nest, const Rect& old_rect,
+                               const Rect& new_rect, int grid_px,
+                               int bytes_per_point) {
+  ST_CHECK_MSG(bytes_per_point > 0, "bytes_per_point must be positive");
+  const BlockDecomposition old_d(nest, old_rect, grid_px);
+  const BlockDecomposition new_d(nest, new_rect, grid_px);
+
+  RedistPlan plan;
+  plan.total_points = static_cast<std::int64_t>(nest.nx) * nest.ny;
+
+  // For each sender block, enumerate only the receiver blocks its region
+  // intersects (balanced blocks are ordered, so the overlapping receiver
+  // index range is computable directly).
+  for (int j = 0; j < old_rect.h; ++j) {
+    for (int i = 0; i < old_rect.w; ++i) {
+      const Rect region = old_d.owned_region(i, j);
+      if (region.empty()) continue;
+      const int sender = old_d.rank_at(i, j);
+      const PartRange cols = overlapping_parts(region.x, region.x_end(),
+                                               nest.nx, new_rect.w);
+      const PartRange rows = overlapping_parts(region.y, region.y_end(),
+                                               nest.ny, new_rect.h);
+      for (int rj = rows.first; rj <= rows.last; ++rj) {
+        for (int ri = cols.first; ri <= cols.last; ++ri) {
+          const Rect inter = region.intersect(new_d.owned_region(ri, rj));
+          if (inter.empty()) continue;
+          const int receiver = new_d.rank_at(ri, rj);
+          plan.messages.push_back(
+              Message{sender, receiver, inter.area() * bytes_per_point});
+          if (sender == receiver) plan.overlap_points += inter.area();
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+Redistributor::Redistributor(const SimComm& comm, int bytes_per_point)
+    : comm_(&comm), bytes_per_point_(bytes_per_point) {
+  ST_CHECK_MSG(bytes_per_point > 0, "bytes_per_point must be positive");
+}
+
+RedistMetrics Redistributor::redistribute(const NestShape& nest,
+                                          const Rect& old_rect,
+                                          const Rect& new_rect,
+                                          int grid_px) const {
+  const RedistPlan plan = plan_redistribution(nest, old_rect, new_rect,
+                                              grid_px, bytes_per_point_);
+  RedistMetrics m;
+  m.traffic = comm_->alltoallv(plan.messages);
+  m.overlap_fraction = plan.overlap_fraction();
+  m.total_points = plan.total_points;
+  return m;
+}
+
+Grid2D<double> Redistributor::redistribute_field(const Grid2D<double>& field,
+                                                 const Rect& old_rect,
+                                                 const Rect& new_rect,
+                                                 int grid_px,
+                                                 RedistMetrics* metrics)
+    const {
+  const NestShape nest{field.width(), field.height()};
+  const BlockDecomposition old_d(nest, old_rect, grid_px);
+  const BlockDecomposition new_d(nest, new_rect, grid_px);
+
+  // Build typed messages: one per intersecting (sender region, receiver
+  // region) pair, payload = the intersection's values, row-major, prefixed
+  // by the intersection rectangle (as 4 doubles) so the receiver can place
+  // the block without global knowledge of the old decomposition.
+  std::vector<TypedMessage<double>> msgs;
+  std::int64_t overlap_points = 0;
+  for (int j = 0; j < old_rect.h; ++j) {
+    for (int i = 0; i < old_rect.w; ++i) {
+      const Rect region = old_d.owned_region(i, j);
+      if (region.empty()) continue;
+      const int sender = old_d.rank_at(i, j);
+      const PartRange cols = overlapping_parts(region.x, region.x_end(),
+                                               nest.nx, new_rect.w);
+      const PartRange rows = overlapping_parts(region.y, region.y_end(),
+                                               nest.ny, new_rect.h);
+      for (int rj = rows.first; rj <= rows.last; ++rj) {
+        for (int ri = cols.first; ri <= cols.last; ++ri) {
+          const Rect inter = region.intersect(new_d.owned_region(ri, rj));
+          if (inter.empty()) continue;
+          const int receiver = new_d.rank_at(ri, rj);
+          if (sender == receiver) overlap_points += inter.area();
+          TypedMessage<double> m;
+          m.src = sender;
+          m.dst = receiver;
+          m.payload.reserve(static_cast<std::size_t>(inter.area()) + 4);
+          m.payload.push_back(inter.x);
+          m.payload.push_back(inter.y);
+          m.payload.push_back(inter.w);
+          m.payload.push_back(inter.h);
+          for (int y = inter.y; y < inter.y_end(); ++y)
+            for (int x = inter.x; x < inter.x_end(); ++x)
+              m.payload.push_back(field(x, y));
+          msgs.push_back(std::move(m));
+        }
+      }
+    }
+  }
+
+  const ExchangeResult<double> ex = exchange_payloads(*comm_, std::move(msgs));
+
+  // Reassemble the field from delivered blocks.
+  Grid2D<double> out(nest.nx, nest.ny, 0.0);
+  std::int64_t placed = 0;
+  for (const auto& [dst, list] : ex.received) {
+    for (const TypedMessage<double>& m : list) {
+      ST_CHECK_MSG(m.payload.size() >= 4, "malformed redistribution payload");
+      const Rect inter{static_cast<int>(m.payload[0]),
+                       static_cast<int>(m.payload[1]),
+                       static_cast<int>(m.payload[2]),
+                       static_cast<int>(m.payload[3])};
+      ST_CHECK_MSG(static_cast<std::int64_t>(m.payload.size()) ==
+                       inter.area() + 4,
+                   "payload size does not match block " << inter);
+      std::size_t k = 4;
+      for (int y = inter.y; y < inter.y_end(); ++y)
+        for (int x = inter.x; x < inter.x_end(); ++x)
+          out(x, y) = m.payload[k++];
+      placed += inter.area();
+    }
+  }
+  ST_CHECK_MSG(placed == static_cast<std::int64_t>(nest.nx) * nest.ny,
+               "redistribution conservation violated: placed " << placed
+                                                               << " of "
+                                                               << nest.nx *
+                                                                      nest.ny);
+  if (metrics != nullptr) {
+    metrics->traffic = ex.traffic;
+    metrics->total_points = static_cast<std::int64_t>(nest.nx) * nest.ny;
+    metrics->overlap_fraction =
+        static_cast<double>(overlap_points) /
+        static_cast<double>(metrics->total_points);
+  }
+  return out;
+}
+
+}  // namespace stormtrack

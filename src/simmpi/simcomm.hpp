@@ -1,0 +1,146 @@
+#pragma once
+
+/// \file simcomm.hpp
+/// Simulated message-passing runtime.
+///
+/// The paper's experiments run MPI on Blue Gene/L and an Infiniband cluster;
+/// neither is available here, so the library ships a deterministic simulated
+/// communicator. A SimComm binds a Topology (physical hop distances + link
+/// cost parameters) to a Mapping (rank→node placement) and prices message
+/// phases with a single-port + contention model:
+///
+///  * point-to-point pair time  t(h, b) = α + h·per_hop + b/BW;
+///  * MPI_Alltoallv phase time = max(serial, contention) with
+///      serial     = max over ranks of max(Σ send times, Σ receive times)
+///      contention = contended bytes / topology.aggregate_capacity(),
+///      where the contended quantity is hop-bytes on direct networks
+///      (messages occupy every traversed link) and total bytes on switched
+///      fabrics (the core carries each byte once).
+///
+/// The simulated network stands in for the *real machine*; the paper's
+/// simpler §IV-C-1 prediction formula (max over pair times on mesh/torus,
+/// per-sender sums on switched networks) is implemented verbatim in
+/// RedistTimeModel (perfmodel/redist_model.hpp) and used only to predict.
+///
+/// Every phase returns a TrafficReport with the modeled time plus the exact
+/// byte/hop-byte accounting used for the paper's Fig. 10 metric. Typed
+/// exchange helpers actually move payload bytes so redistribution
+/// correctness (conservation) is testable end-to-end.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "topo/mapping.hpp"
+#include "topo/topology.hpp"
+#include "util/check.hpp"
+
+namespace stormtrack {
+
+/// Byte-, hop- and time-accounting for one communication phase.
+struct TrafficReport {
+  double modeled_time = 0.0;       ///< Phase completion time (s).
+  std::int64_t total_bytes = 0;    ///< Payload bytes moved off-rank.
+  std::int64_t hop_bytes = 0;      ///< Σ bytes × hops (network load, Fig. 10).
+  std::int64_t local_bytes = 0;    ///< Bytes "moved" rank→itself (0 hops).
+  std::int64_t num_messages = 0;   ///< Off-rank messages in the phase.
+  int max_hops = 0;                ///< Longest route used.
+
+  /// Average hops travelled per off-rank byte (the paper's "average
+  /// hop-bytes" per test case); 0 when no bytes moved.
+  [[nodiscard]] double avg_hops_per_byte() const {
+    if (total_bytes == 0) return 0.0;
+    return static_cast<double>(hop_bytes) / static_cast<double>(total_bytes);
+  }
+
+  /// Sequential composition of phases: times add, counters add, max_hops
+  /// takes the max.
+  TrafficReport& operator+=(const TrafficReport& o);
+};
+
+/// One point-to-point message in a phase (payload size only; use
+/// TypedExchange for payload-carrying traffic).
+struct Message {
+  int src = 0;
+  int dst = 0;
+  std::int64_t bytes = 0;
+};
+
+/// Simulated communicator over all ranks of a Mapping.
+class SimComm {
+ public:
+  /// Both referents must outlive the communicator.
+  SimComm(const Topology& topo, const Mapping& mapping);
+
+  [[nodiscard]] int size() const { return mapping_->num_ranks(); }
+  [[nodiscard]] const Topology& topology() const { return *topo_; }
+  [[nodiscard]] const Mapping& mapping() const { return *mapping_; }
+
+  /// Hop distance between two ranks under the bound mapping.
+  [[nodiscard]] int hops(int rank_a, int rank_b) const {
+    return mapping_->rank_hops(*topo_, rank_a, rank_b);
+  }
+
+  /// Price an Alltoallv phase described by its sparse message list.
+  /// Zero-byte and self messages cost nothing on the network but self
+  /// messages are tallied in local_bytes.
+  [[nodiscard]] TrafficReport alltoallv(std::span<const Message> msgs) const;
+
+  /// Price a Gatherv of \p bytes_per_rank[i] bytes from every rank i to
+  /// \p root (modelled as the Alltoallv of the corresponding messages).
+  [[nodiscard]] TrafficReport gatherv(
+      std::span<const std::int64_t> bytes_per_rank, int root) const;
+
+  /// Price a binomial-tree broadcast of \p bytes from \p root: ceil(log2 P)
+  /// rounds, each priced at the worst pair time of that round.
+  [[nodiscard]] TrafficReport bcast(std::int64_t bytes, int root) const;
+
+ private:
+  void require_rank(int rank) const {
+    ST_CHECK_MSG(rank >= 0 && rank < size(),
+                 "rank " << rank << " outside communicator of " << size());
+  }
+
+  const Topology* topo_;
+  const Mapping* mapping_;
+};
+
+/// Payload-carrying exchange: moves per-message payload vectors between
+/// ranks and prices the phase like SimComm::alltoallv. The result maps each
+/// destination rank to the list of (source, payload) pairs it received, in
+/// deterministic (source-ascending) order.
+template <typename T>
+struct TypedMessage {
+  int src = 0;
+  int dst = 0;
+  std::vector<T> payload;
+};
+
+template <typename T>
+struct ExchangeResult {
+  /// received[dst] = messages delivered to dst, ascending by src.
+  std::map<int, std::vector<TypedMessage<T>>> received;
+  TrafficReport traffic;
+};
+
+template <typename T>
+[[nodiscard]] ExchangeResult<T> exchange_payloads(const SimComm& comm,
+                                         std::vector<TypedMessage<T>> msgs) {
+  std::vector<Message> sizes;
+  sizes.reserve(msgs.size());
+  for (const auto& m : msgs)
+    sizes.push_back(Message{m.src, m.dst,
+                            static_cast<std::int64_t>(m.payload.size() *
+                                                      sizeof(T))});
+  ExchangeResult<T> out;
+  out.traffic = comm.alltoallv(sizes);
+  for (auto& m : msgs) out.received[m.dst].push_back(std::move(m));
+  for (auto& [dst, list] : out.received)
+    std::stable_sort(list.begin(), list.end(),
+                     [](const auto& a, const auto& b) { return a.src < b.src; });
+  return out;
+}
+
+}  // namespace stormtrack

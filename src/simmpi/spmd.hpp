@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file spmd.hpp
+/// SPMD execution helper for the simulated runtime.
+///
+/// Code written against the simulator keeps the per-rank structure of the
+/// real MPI program (the parallel data analysis of §III runs one analysis
+/// function per rank). run_spmd executes every rank's body; on this
+/// single-core substrate the ranks run sequentially, but the programming
+/// model — and therefore the code under test — is the parallel one.
+
+#include <functional>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+
+/// Run \p body(rank) for every rank in [0, num_ranks) and collect the
+/// results in rank order.
+template <typename R>
+[[nodiscard]] std::vector<R> run_spmd(int num_ranks,
+                                      const std::function<R(int)>& body) {
+  ST_CHECK_MSG(num_ranks >= 1, "need at least one rank");
+  std::vector<R> results;
+  results.reserve(static_cast<std::size_t>(num_ranks));
+  for (int rank = 0; rank < num_ranks; ++rank) results.push_back(body(rank));
+  return results;
+}
+
+/// Void-returning overload.
+inline void run_spmd(int num_ranks, const std::function<void(int)>& body) {
+  ST_CHECK_MSG(num_ranks >= 1, "need at least one rank");
+  for (int rank = 0; rank < num_ranks; ++rank) body(rank);
+}
+
+}  // namespace stormtrack

@@ -1,0 +1,144 @@
+#include "topo/mapping.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace stormtrack {
+
+// ---------------------------------------------------------- RandomMapping
+
+RandomMapping::RandomMapping(int num_ranks, std::uint64_t seed) {
+  ST_CHECK_MSG(num_ranks >= 1, "need at least one rank");
+  perm_.resize(static_cast<std::size_t>(num_ranks));
+  std::iota(perm_.begin(), perm_.end(), 0);
+  Xoshiro256 rng(seed);
+  // Fisher–Yates with our deterministic generator.
+  for (int i = num_ranks - 1; i > 0; --i) {
+    const auto j = static_cast<int>(rng.uniform_int(0, i));
+    std::swap(perm_[i], perm_[j]);
+  }
+}
+
+int RandomMapping::node_of_rank(int rank) const {
+  ST_CHECK_MSG(rank >= 0 && rank < num_ranks(),
+               "rank " << rank << " out of range");
+  return perm_[static_cast<std::size_t>(rank)];
+}
+
+// --------------------------------------------------------- FoldingMapping
+
+namespace {
+
+/// Boustrophedon fold of coordinate c in [0, dim*folds) into (base, fold):
+/// base in [0, dim), fold in [0, folds); consecutive c values move base by
+/// one step (direction alternating per fold panel), crossing panels bumps
+/// fold by one while base stays put — the accordion fold.
+struct Folded {
+  int base;
+  int fold;
+};
+
+Folded fold_coordinate(int c, int dim) {
+  const int panel = c / dim;
+  const int within = c % dim;
+  return Folded{(panel % 2 == 0) ? within : dim - 1 - within, panel};
+}
+
+/// Snake order of (ix, iy) on an fx×fy panel grid: consecutive iy (same ix)
+/// are adjacent in the order; ix steps reverse the iy direction, so panel
+/// transitions stay adjacent too.
+int snake_index(int ix, int iy, int fy) {
+  const int within = (ix % 2 == 0) ? iy : fy - 1 - iy;
+  return ix * fy + within;
+}
+
+}  // namespace
+
+bool FoldingMapping::compatible(int grid_px, int grid_py,
+                                const Torus3D& torus) {
+  if (grid_px <= 0 || grid_py <= 0) return false;
+  if (grid_px % torus.dim_x() != 0 || grid_py % torus.dim_y() != 0)
+    return false;
+  const int fx = grid_px / torus.dim_x();
+  const int fy = grid_py / torus.dim_y();
+  return fx * fy == torus.dim_z();
+}
+
+FoldingMapping::FoldingMapping(int grid_px, int grid_py,
+                               const Torus3D& torus) {
+  ST_CHECK_MSG(compatible(grid_px, grid_py, torus),
+               "process grid " << grid_px << "x" << grid_py
+                               << " does not fold onto " << torus.name());
+  const int fy = grid_py / torus.dim_y();
+  nodes_.resize(static_cast<std::size_t>(grid_px) * grid_py);
+  for (int py = 0; py < grid_py; ++py) {
+    for (int px = 0; px < grid_px; ++px) {
+      const Folded xf = fold_coordinate(px, torus.dim_x());
+      const Folded yf = fold_coordinate(py, torus.dim_y());
+      const int z = snake_index(xf.fold, yf.fold, fy);
+      const int rank = py * grid_px + px;
+      nodes_[static_cast<std::size_t>(rank)] =
+          torus.node(Coord3{xf.base, yf.base, z});
+    }
+  }
+  // The construction is bijective by design; verify to catch regressions.
+  std::vector<char> seen(nodes_.size(), 0);
+  for (int n : nodes_) {
+    ST_CHECK_MSG(n >= 0 && n < static_cast<int>(nodes_.size()) && !seen[n],
+                 "folding mapping is not a permutation");
+    seen[static_cast<std::size_t>(n)] = 1;
+  }
+}
+
+int FoldingMapping::node_of_rank(int rank) const {
+  ST_CHECK_MSG(rank >= 0 && rank < num_ranks(),
+               "rank " << rank << " out of range");
+  return nodes_[static_cast<std::size_t>(rank)];
+}
+
+// ---------------------------------------------------------------- helpers
+
+double average_neighbor_dilation(const Topology& topo, const Mapping& mapping,
+                                 int grid_px, int grid_py) {
+  ST_CHECK_MSG(grid_px * grid_py == mapping.num_ranks(),
+               "grid shape does not match mapping rank count");
+  std::int64_t pairs = 0;
+  std::int64_t total_hops = 0;
+  for (int y = 0; y < grid_py; ++y) {
+    for (int x = 0; x < grid_px; ++x) {
+      const int r = y * grid_px + x;
+      if (x + 1 < grid_px) {
+        total_hops += mapping.rank_hops(topo, r, r + 1);
+        ++pairs;
+      }
+      if (y + 1 < grid_py) {
+        total_hops += mapping.rank_hops(topo, r, r + grid_px);
+        ++pairs;
+      }
+    }
+  }
+  if (pairs == 0) return 0.0;
+  return static_cast<double>(total_hops) / static_cast<double>(pairs);
+}
+
+ProcessGridShape choose_process_grid(int p) {
+  ST_CHECK_MSG(p >= 1, "need at least one process");
+  ProcessGridShape best{1, p};
+  for (int px = 1; px * px <= p; ++px) {
+    if (p % px == 0) best = ProcessGridShape{px, p / px};
+  }
+  return best;
+}
+
+std::unique_ptr<Mapping> make_default_mapping(const Topology& topo,
+                                              int grid_px, int grid_py) {
+  if (const auto* torus = dynamic_cast<const Torus3D*>(&topo)) {
+    if (FoldingMapping::compatible(grid_px, grid_py, *torus))
+      return std::make_unique<FoldingMapping>(grid_px, grid_py, *torus);
+  }
+  return std::make_unique<RowMajorMapping>(grid_px * grid_py);
+}
+
+}  // namespace stormtrack

@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file mapping.hpp
+/// Placement of process-grid ranks onto physical network nodes.
+///
+/// The weather simulation decomposes its domain over a virtual 2D process
+/// grid Px×Py; rank r sits at grid position (r % Px, r / Px) (row-major,
+/// matching the paper's "start rank" convention). A Mapping decides which
+/// physical node executes each rank. The paper (§V-C) uses a folding-based
+/// topology-aware mapping [Yu et al., SC'06] on Blue Gene/L so that process-
+/// grid neighbours are (near-)neighbours on the 3D torus; we implement that
+/// folding, plus row-major identity and random placements for ablations.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "topo/topology.hpp"
+#include "util/check.hpp"
+
+namespace stormtrack {
+
+/// Bijective rank→node placement for a fixed number of ranks.
+class Mapping {
+ public:
+  virtual ~Mapping() = default;
+
+  /// Physical node executing \p rank.
+  [[nodiscard]] virtual int node_of_rank(int rank) const = 0;
+  /// Number of ranks placed (== nodes used).
+  [[nodiscard]] virtual int num_ranks() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Hop distance between two ranks under this mapping on \p topo.
+  [[nodiscard]] int rank_hops(const Topology& topo, int rank_a,
+                              int rank_b) const {
+    return topo.hops(node_of_rank(rank_a), node_of_rank(rank_b));
+  }
+};
+
+/// Identity placement: rank r runs on node r.
+class RowMajorMapping final : public Mapping {
+ public:
+  explicit RowMajorMapping(int num_ranks) : n_(num_ranks) {
+    ST_CHECK_MSG(num_ranks >= 1, "need at least one rank");
+  }
+  [[nodiscard]] int node_of_rank(int rank) const override {
+    ST_CHECK_MSG(rank >= 0 && rank < n_, "rank " << rank << " out of range");
+    return rank;
+  }
+  [[nodiscard]] int num_ranks() const override { return n_; }
+  [[nodiscard]] std::string name() const override { return "row-major"; }
+
+ private:
+  int n_;
+};
+
+/// Uniformly random permutation placement (worst-case-ish baseline for the
+/// mapping ablation). Deterministic given the seed.
+class RandomMapping final : public Mapping {
+ public:
+  RandomMapping(int num_ranks, std::uint64_t seed);
+  [[nodiscard]] int node_of_rank(int rank) const override;
+  [[nodiscard]] int num_ranks() const override {
+    return static_cast<int>(perm_.size());
+  }
+  [[nodiscard]] std::string name() const override { return "random"; }
+
+ private:
+  std::vector<int> perm_;
+};
+
+/// Folding-based topology-aware mapping of a Px×Py process grid onto a 3D
+/// torus Tx×Ty×Tz with Px·Py == Tx·Ty·Tz.
+///
+/// Construction requires the factorisation Px == Tx·fx and Py == Ty·fy with
+/// fx·fy == Tz. The process-grid x axis is folded boustrophedon into (torus
+/// x, fold index ix); the y axis likewise into (torus y, fold index iy);
+/// (ix, iy) then snakes along the torus z ring. With this accordion fold,
+/// process-grid neighbours within a fold panel are exactly 1 torus hop
+/// apart, and panel-boundary neighbours stay within a handful of z hops —
+/// average dilation stays close to 1 (asserted by tests).
+class FoldingMapping final : public Mapping {
+ public:
+  /// \param grid_px process-grid width, \param grid_py height.
+  FoldingMapping(int grid_px, int grid_py, const Torus3D& torus);
+
+  [[nodiscard]] int node_of_rank(int rank) const override;
+  [[nodiscard]] int num_ranks() const override {
+    return static_cast<int>(nodes_.size());
+  }
+  [[nodiscard]] std::string name() const override { return "folding"; }
+
+  /// True when a FoldingMapping can be constructed for these shapes.
+  [[nodiscard]] static bool compatible(int grid_px, int grid_py,
+                                       const Torus3D& torus);
+
+ private:
+  std::vector<int> nodes_;  // rank -> node
+};
+
+/// Average torus hop distance between process-grid-adjacent rank pairs under
+/// \p mapping (dilation quality metric; 1.0 is perfect).
+[[nodiscard]] double average_neighbor_dilation(const Topology& topo,
+                                               const Mapping& mapping,
+                                               int grid_px, int grid_py);
+
+/// Most-square factorisation Px×Py of \p p with Px <= Py; prefers the
+/// factor pair with the smallest ratio (e.g. 1024 -> 32×32, 512 -> 16×32).
+struct ProcessGridShape {
+  int px = 1;
+  int py = 1;
+};
+[[nodiscard]] ProcessGridShape choose_process_grid(int p);
+
+/// Build the paper's experimental setup for a machine: on a torus, a
+/// FoldingMapping when the shapes factor (falling back to row-major
+/// otherwise); on switched networks, row-major.
+[[nodiscard]] std::unique_ptr<Mapping> make_default_mapping(
+    const Topology& topo, int grid_px, int grid_py);
+
+}  // namespace stormtrack

@@ -1,0 +1,270 @@
+#include "tree/alloc_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <set>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+
+// ------------------------------------------------------------ construction
+
+int AllocTree::add_node(Node n) {
+  nodes_.push_back(n);
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+AllocTree AllocTree::huffman(std::span<const NestWeight> nests) {
+  AllocTree t;
+  if (nests.empty()) return t;
+
+  // Queue entry: (weight, is_leaf, seq) with internal nodes winning weight
+  // ties (see header for why this reproduces the paper's worked example).
+  struct Entry {
+    double weight;
+    bool is_leaf;
+    int seq;
+    int index;
+  };
+  auto cmp = [](const Entry& a, const Entry& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;  // min-heap
+    if (a.is_leaf != b.is_leaf) return a.is_leaf;          // internal first
+    return a.seq > b.seq;                                  // older first
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> pq(cmp);
+
+  int seq = 0;
+  std::set<NestId> ids;
+  for (const NestWeight& nw : nests) {
+    ST_CHECK_MSG(nw.weight > 0.0,
+                 "nest " << nw.nest << " needs positive weight, got "
+                         << nw.weight);
+    ST_CHECK_MSG(nw.nest != kNoNest, "nest id must be valid");
+    ST_CHECK_MSG(ids.insert(nw.nest).second,
+                 "duplicate nest id " << nw.nest);
+    Node n;
+    n.weight = nw.weight;
+    n.nest = nw.nest;
+    const int idx = t.add_node(n);
+    pq.push(Entry{nw.weight, true, seq++, idx});
+  }
+
+  while (pq.size() > 1) {
+    const Entry a = pq.top();
+    pq.pop();
+    const Entry b = pq.top();
+    pq.pop();
+    Node parent;
+    parent.weight = a.weight + b.weight;
+    parent.left = a.index;   // first-popped child is left/top
+    parent.right = b.index;
+    const int pidx = t.add_node(parent);
+    t.nodes_[static_cast<std::size_t>(a.index)].parent = pidx;
+    t.nodes_[static_cast<std::size_t>(b.index)].parent = pidx;
+    pq.push(Entry{parent.weight, false, seq++, pidx});
+  }
+  t.root_ = pq.top().index;
+  t.validate();
+  return t;
+}
+
+// ----------------------------------------------------------------- queries
+
+int AllocTree::num_nests() const {
+  int n = 0;
+  for (const Node& nd : nodes_)
+    if (nd.alive && nd.is_leaf() && nd.nest != kNoNest && !nd.free_slot) ++n;
+  return n;
+}
+
+std::vector<NestWeight> AllocTree::leaves() const {
+  std::vector<NestWeight> out;
+  for (const Node& nd : nodes_)
+    if (nd.alive && nd.is_leaf() && nd.nest != kNoNest && !nd.free_slot)
+      out.push_back(NestWeight{nd.nest, nd.weight});
+  std::sort(out.begin(), out.end(),
+            [](const NestWeight& a, const NestWeight& b) {
+              return a.nest < b.nest;
+            });
+  return out;
+}
+
+bool AllocTree::has_free_slots() const {
+  for (const Node& nd : nodes_)
+    if (nd.alive && nd.free_slot) return true;
+  return false;
+}
+
+double AllocTree::total_weight() const {
+  if (root_ < 0) return 0.0;
+  return nodes_[static_cast<std::size_t>(root_)].weight;
+}
+
+const AllocTree::Node& AllocTree::node(int index) const {
+  ST_CHECK_MSG(index >= 0 && index < static_cast<int>(nodes_.size()),
+               "node index " << index << " out of range");
+  const Node& n = nodes_[static_cast<std::size_t>(index)];
+  ST_CHECK_MSG(n.alive, "node " << index << " is dead");
+  return n;
+}
+
+// ----------------------------------------------------------------- weights
+
+double AllocTree::recompute_weights_rec(int idx) {
+  Node& n = nodes_[static_cast<std::size_t>(idx)];
+  if (n.is_leaf()) {
+    if (n.free_slot) n.weight = 0.0;
+    return n.weight;
+  }
+  n.weight = recompute_weights_rec(n.left) + recompute_weights_rec(n.right);
+  return n.weight;
+}
+
+void AllocTree::recompute_weights() {
+  if (root_ >= 0) recompute_weights_rec(root_);
+}
+
+// -------------------------------------------------------------- subdivide
+
+int AllocTree::count_leaves_rec(int idx) const {
+  const Node& n = nodes_[static_cast<std::size_t>(idx)];
+  if (n.is_leaf()) return 1;
+  return count_leaves_rec(n.left) + count_leaves_rec(n.right);
+}
+
+void AllocTree::subdivide_rec(int idx, const Rect& rect,
+                              std::map<NestId, Rect>& out) const {
+  const Node& n = nodes_[static_cast<std::size_t>(idx)];
+  if (n.is_leaf()) {
+    ST_CHECK_MSG(!n.free_slot, "cannot subdivide a tree with free slots");
+    out.emplace(n.nest, rect);
+    return;
+  }
+
+  const Node& l = nodes_[static_cast<std::size_t>(n.left)];
+  const Node& r = nodes_[static_cast<std::size_t>(n.right)];
+  const double wsum = l.weight + r.weight;
+  ST_CHECK_MSG(wsum > 0.0, "internal node with non-positive weight sum");
+  const double share = l.weight / wsum;
+
+  const int nl = count_leaves_rec(n.left);
+  const int nr = count_leaves_rec(n.right);
+
+  // Split along the longer dimension; ties split the width (the paper's
+  // 32×32 root splits into left/right columns).
+  const bool split_width = rect.w >= rect.h;
+  const int dim = split_width ? rect.w : rect.h;
+  const int other = split_width ? rect.h : rect.w;
+
+  int cut = static_cast<int>(std::lround(share * dim));
+  // Every leaf needs at least one processor: clamp the cut so both halves
+  // can host their leaf counts.
+  const int min_cut = (nl + other - 1) / other;
+  const int max_cut = dim - (nr + other - 1) / other;
+  ST_CHECK_MSG(min_cut <= max_cut,
+               "rectangle " << rect << " too small for " << (nl + nr)
+                            << " leaves");
+  cut = std::clamp(cut, min_cut, max_cut);
+
+  Rect first, second;
+  if (split_width) {
+    first = Rect{rect.x, rect.y, cut, rect.h};
+    second = Rect{rect.x + cut, rect.y, rect.w - cut, rect.h};
+  } else {
+    first = Rect{rect.x, rect.y, rect.w, cut};
+    second = Rect{rect.x, rect.y + cut, rect.w, rect.h - cut};
+  }
+  subdivide_rec(n.left, first, out);
+  subdivide_rec(n.right, second, out);
+}
+
+std::map<NestId, Rect> AllocTree::subdivide(const Rect& grid) const {
+  std::map<NestId, Rect> out;
+  if (root_ < 0) return out;
+  ST_CHECK_MSG(!grid.empty(), "cannot subdivide an empty grid");
+  ST_CHECK_MSG(grid.area() >= num_nests(),
+               "grid " << grid << " smaller than nest count " << num_nests());
+  subdivide_rec(root_, grid, out);
+  return out;
+}
+
+// ---------------------------------------------------------------- validate
+
+void AllocTree::validate() const {
+  if (root_ < 0) return;
+  ST_CHECK(root_ < static_cast<int>(nodes_.size()));
+  ST_CHECK(nodes_[static_cast<std::size_t>(root_)].alive);
+  ST_CHECK(nodes_[static_cast<std::size_t>(root_)].parent == -1);
+
+  std::set<NestId> ids;
+  // Walk from the root so abandoned slots are ignored.
+  std::vector<int> stack{root_};
+  int visited = 0;
+  while (!stack.empty()) {
+    const int idx = stack.back();
+    stack.pop_back();
+    ++visited;
+    const Node& n = nodes_[static_cast<std::size_t>(idx)];
+    ST_CHECK_MSG(n.alive, "dead node reachable from root");
+    ST_CHECK_MSG((n.left < 0) == (n.right < 0),
+                 "internal node must have exactly two children");
+    if (n.is_leaf()) {
+      if (!n.free_slot) {
+        ST_CHECK_MSG(n.nest != kNoNest, "occupied leaf without nest id");
+        ST_CHECK_MSG(ids.insert(n.nest).second,
+                     "duplicate nest id " << n.nest << " in tree");
+        ST_CHECK_MSG(n.weight > 0.0, "occupied leaf with weight "
+                                         << n.weight);
+      }
+    } else {
+      const Node& l = nodes_[static_cast<std::size_t>(n.left)];
+      const Node& r = nodes_[static_cast<std::size_t>(n.right)];
+      ST_CHECK_MSG(l.parent == idx && r.parent == idx,
+                   "parent/child link mismatch at node " << idx);
+      const double sum = l.weight + r.weight;
+      ST_CHECK_MSG(std::abs(n.weight - sum) <= 1e-9 * std::max(1.0, sum),
+                   "internal weight " << n.weight << " != child sum " << sum);
+      stack.push_back(n.left);
+      stack.push_back(n.right);
+    }
+  }
+  ST_CHECK_MSG(visited >= 1, "tree traversal visited no nodes");
+}
+
+// --------------------------------------------------------------------- dot
+
+std::string AllocTree::to_dot() const {
+  std::ostringstream os;
+  os << "digraph alloctree {\n  node [shape=circle];\n";
+  if (root_ >= 0) {
+    std::vector<int> stack{root_};
+    while (!stack.empty()) {
+      const int idx = stack.back();
+      stack.pop_back();
+      const Node& n = nodes_[static_cast<std::size_t>(idx)];
+      os << "  n" << idx << " [label=\"";
+      if (n.is_leaf() && !n.free_slot)
+        os << "nest " << n.nest << "\\n" << n.weight;
+      else if (n.free_slot)
+        os << "free";
+      else
+        os << n.weight;
+      os << "\"";
+      if (n.free_slot) os << ", style=dashed";
+      os << "];\n";
+      if (!n.is_leaf()) {
+        os << "  n" << idx << " -> n" << n.left << ";\n";
+        os << "  n" << idx << " -> n" << n.right << ";\n";
+        stack.push_back(n.left);
+        stack.push_back(n.right);
+      }
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace stormtrack

@@ -1,0 +1,135 @@
+#pragma once
+
+/// \file alloc_tree.hpp
+/// Weighted binary allocation trees (§IV of the paper).
+///
+/// Leaves carry nests with weights equal to the nests' predicted execution-
+/// time ratios; internal nodes carry the sum of their subtree's weights. A
+/// tree induces a partition of the 2D processor grid: each node owns a
+/// rectangle, recursively split between its two children along the longer
+/// dimension, proportionally to their weights (square-like partitions
+/// minimize nest execution time, [Malakar et al., SC'12]).
+///
+/// Two construction paths:
+///  * AllocTree::huffman — the partition-from-scratch tree (§IV-A);
+///  * AllocTree::diffuse — tree-based hierarchical diffusion (§IV-B,
+///    Algorithm 3): reorganize the existing tree in place of rebuilding,
+///    keeping retained nests' positions (and hence their processor
+///    rectangles) as intact as possible.
+///
+/// Trees are small (one leaf per nest, ≤ ~10 in the paper), so nodes live in
+/// a flat vector with index links; dead indices are simply abandoned.
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rect.hpp"
+
+namespace stormtrack {
+
+/// Identifier of a nested simulation domain.
+using NestId = int;
+inline constexpr NestId kNoNest = -1;
+
+/// (nest, weight) pair used for tree construction; weights are predicted
+/// execution-time ratios (any positive scale — subdivision uses ratios).
+struct NestWeight {
+  NestId nest = kNoNest;
+  double weight = 0.0;
+};
+
+/// Reconfiguration of the active nest set at an adaptation point.
+struct ReconfigRequest {
+  std::vector<NestId> deleted;        ///< Nests gone since the last point.
+  std::vector<NestWeight> retained;   ///< Surviving nests with new weights.
+  std::vector<NestWeight> inserted;   ///< Newly formed nests.
+};
+
+/// Weighted binary tree over nests; see file comment.
+class AllocTree {
+ public:
+  /// Tree node. Exposed read-only through node(); mutation goes through
+  /// AllocTree's operations so invariants hold.
+  struct Node {
+    double weight = 0.0;
+    int parent = -1;
+    int left = -1;       ///< First child: gets the left/top sub-rectangle.
+    int right = -1;
+    NestId nest = kNoNest;  ///< Valid for occupied leaves.
+    bool free_slot = false; ///< Leaf marking a deleted nest's position.
+    bool alive = true;      ///< False for abandoned vector slots.
+
+    [[nodiscard]] bool is_leaf() const { return left < 0 && right < 0; }
+  };
+
+  /// Empty tree (no nests).
+  AllocTree() = default;
+
+  /// Build the Huffman tree of \p nests (partition-from-scratch, §IV-A).
+  ///
+  /// Ties are broken deterministically: (weight, internal-before-leaf,
+  /// creation sequence). With the paper's example weights
+  /// 0.1:0.1:0.2:0.25:0.35 this reproduces the tree of Fig. 2(a) and, after
+  /// subdivision of a 32×32 grid, Table I exactly.
+  [[nodiscard]] static AllocTree huffman(std::span<const NestWeight> nests);
+
+  /// Algorithm 3 — tree-based hierarchical diffusion. Returns the
+  /// reorganized tree; *this is unchanged. Steps:
+  ///  1. mark deleted nests' leaves free; collapse sibling free leaves;
+  ///  2. update retained weights, recompute internal sums;
+  ///  3. insert each new nest at the free position whose *sibling's* weight
+  ///     is closest to the new weight (keeps rectangles square-like) while
+  ///     more than one free slot remains;
+  ///  4. surplus new nests: Huffman subtree rooted at the last free slot;
+  ///     surplus free slots: spliced out of the tree.
+  [[nodiscard]] AllocTree diffuse(const ReconfigRequest& req) const;
+
+  /// Number of occupied (nest-carrying) leaves.
+  [[nodiscard]] int num_nests() const;
+  /// Occupied leaves as (nest, weight), ascending by nest id.
+  [[nodiscard]] std::vector<NestWeight> leaves() const;
+  /// True when the tree holds no nodes at all.
+  [[nodiscard]] bool empty() const { return root_ < 0; }
+  /// True when any free slot remains (only during diffusion's intermediate
+  /// states; public for tests).
+  [[nodiscard]] bool has_free_slots() const;
+
+  /// Partition \p grid among the occupied leaves: recursive proportional
+  /// split along the longer dimension (ties split the width), nearest-
+  /// integer rounding clamped so every leaf can still receive at least one
+  /// processor. Requires grid.area() >= num_nests() and no free slots.
+  [[nodiscard]] std::map<NestId, Rect> subdivide(const Rect& grid) const;
+
+  /// Root weight (sum of leaf weights); 0 for the empty tree.
+  [[nodiscard]] double total_weight() const;
+
+  /// Structural invariants: parent/child link symmetry, internal weights
+  /// equal child sums, internal nodes have exactly two children, nest ids
+  /// unique. Throws CheckError on violation.
+  void validate() const;
+
+  /// Graphviz rendering (used in docs and for debugging).
+  [[nodiscard]] std::string to_dot() const;
+
+  /// Read-only node access for tests/inspection.
+  [[nodiscard]] const Node& node(int index) const;
+  [[nodiscard]] int root() const { return root_; }
+
+ private:
+  friend class DiffusionOps;  // implementation helper in diffusion.cpp
+
+  int add_node(Node n);
+  void recompute_weights();
+  double recompute_weights_rec(int idx);
+  void subdivide_rec(int idx, const Rect& rect,
+                     std::map<NestId, Rect>& out) const;
+  int count_leaves_rec(int idx) const;
+
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace stormtrack

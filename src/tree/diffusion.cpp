@@ -1,0 +1,322 @@
+/// \file diffusion.cpp
+/// Algorithm 3 — tree-based hierarchical diffusion (§IV-B).
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "tree/alloc_tree.hpp"
+#include "util/check.hpp"
+
+namespace stormtrack {
+
+/// Friend of AllocTree: mutating helpers for the diffusion reorganization.
+class DiffusionOps {
+ public:
+  explicit DiffusionOps(AllocTree& t) : t_(t) {}
+
+  AllocTree::Node& node(int idx) {
+    return t_.nodes_[static_cast<std::size_t>(idx)];
+  }
+
+  int sibling_of(int idx) {
+    const int p = node(idx).parent;
+    if (p < 0) return -1;
+    const AllocTree::Node& pn = node(p);
+    return pn.left == idx ? pn.right : pn.left;
+  }
+
+  /// Find the live leaf carrying \p nest; -1 when absent.
+  int find_leaf(NestId nest) {
+    for (std::size_t i = 0; i < t_.nodes_.size(); ++i) {
+      const AllocTree::Node& n = t_.nodes_[i];
+      if (n.alive && n.is_leaf() && !n.free_slot && n.nest == nest)
+        return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Mark the leaf of \p nest as a free slot.
+  void mark_free(NestId nest) {
+    const int idx = find_leaf(nest);
+    ST_CHECK_MSG(idx >= 0, "deleted nest " << nest << " not in tree");
+    AllocTree::Node& n = node(idx);
+    n.free_slot = true;
+    n.nest = kNoNest;
+    n.weight = 0.0;
+  }
+
+  /// Merge adjacent free rectangles: an internal node whose children are
+  /// both free leaves becomes a single free leaf (Fig. 8(a): deleted
+  /// siblings 1 and 2 combine into one empty node). Runs to fixpoint.
+  void collapse_free_siblings() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = 0; i < t_.nodes_.size(); ++i) {
+        AllocTree::Node& n = t_.nodes_[i];
+        if (!n.alive || n.is_leaf()) continue;
+        AllocTree::Node& l = node(n.left);
+        AllocTree::Node& r = node(n.right);
+        if (l.is_leaf() && l.free_slot && r.is_leaf() && r.free_slot) {
+          l.alive = false;
+          r.alive = false;
+          n.left = -1;
+          n.right = -1;
+          n.free_slot = true;
+          n.nest = kNoNest;
+          n.weight = 0.0;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  /// All live free-slot leaves.
+  std::vector<int> free_slots() {
+    std::vector<int> out;
+    for (std::size_t i = 0; i < t_.nodes_.size(); ++i) {
+      const AllocTree::Node& n = t_.nodes_[i];
+      if (n.alive && n.is_leaf() && n.free_slot)
+        out.push_back(static_cast<int>(i));
+    }
+    return out;
+  }
+
+  /// Occupy free leaf \p idx with a new nest.
+  void occupy(int idx, const NestWeight& nw) {
+    AllocTree::Node& n = node(idx);
+    ST_CHECK(n.is_leaf() && n.free_slot);
+    n.free_slot = false;
+    n.nest = nw.nest;
+    n.weight = nw.weight;
+    t_.recompute_weights();
+  }
+
+  /// Split occupied leaf \p idx into an internal node with the old leaf and
+  /// a new leaf for \p nw as children (the §IV-B no-deletion insertion rule,
+  /// Fig. 6: the new node lands beside the existing node of closest weight).
+  /// The heavier of the pair goes first (left/top) so the wider share hugs
+  /// the rectangle's long side, mirroring Huffman child ordering.
+  void split_leaf(int idx, const NestWeight& nw) {
+    AllocTree::Node& old_leaf = node(idx);
+    ST_CHECK(old_leaf.is_leaf() && !old_leaf.free_slot);
+
+    AllocTree::Node moved = old_leaf;  // copy of the existing leaf
+    AllocTree::Node fresh;
+    fresh.nest = nw.nest;
+    fresh.weight = nw.weight;
+
+    const int moved_idx = t_.add_node(moved);
+    const int fresh_idx = t_.add_node(fresh);
+    // Re-acquire: add_node may reallocate the vector.
+    AllocTree::Node& parent = node(idx);
+    parent.nest = kNoNest;
+    parent.free_slot = false;
+    if (node(moved_idx).weight >= node(fresh_idx).weight) {
+      parent.left = moved_idx;
+      parent.right = fresh_idx;
+    } else {
+      parent.left = fresh_idx;
+      parent.right = moved_idx;
+    }
+    node(moved_idx).parent = idx;
+    node(fresh_idx).parent = idx;
+    t_.recompute_weights();
+  }
+
+  /// Attach a Huffman subtree of \p nests at free leaf \p idx
+  /// (Algorithm 3 lines 18–19).
+  void attach_huffman(int idx, std::span<const NestWeight> nests) {
+    ST_CHECK(!nests.empty());
+    if (nests.size() == 1) {
+      occupy(idx, nests.front());
+      return;
+    }
+    const AllocTree sub = AllocTree::huffman(nests);
+    // Graft: copy sub's nodes into our vector, remapping indices.
+    std::vector<int> remap(sub.nodes_.size(), -1);
+    for (std::size_t i = 0; i < sub.nodes_.size(); ++i) {
+      ST_CHECK(sub.nodes_[i].alive);
+      remap[i] = t_.add_node(sub.nodes_[i]);
+    }
+    for (std::size_t i = 0; i < sub.nodes_.size(); ++i) {
+      AllocTree::Node& n = node(remap[i]);
+      if (n.parent >= 0) n.parent = remap[static_cast<std::size_t>(n.parent)];
+      if (n.left >= 0) n.left = remap[static_cast<std::size_t>(n.left)];
+      if (n.right >= 0) n.right = remap[static_cast<std::size_t>(n.right)];
+    }
+    const int sub_root = remap[static_cast<std::size_t>(sub.root_)];
+    // Replace the free leaf with the grafted root.
+    AllocTree::Node& slot = node(idx);
+    const int parent = slot.parent;
+    slot.alive = false;
+    if (parent < 0) {
+      t_.root_ = sub_root;
+      node(sub_root).parent = -1;
+    } else {
+      AllocTree::Node& pn = node(parent);
+      (pn.left == idx ? pn.left : pn.right) = sub_root;
+      node(sub_root).parent = parent;
+    }
+    t_.recompute_weights();
+  }
+
+  /// Remove free leaf \p idx: its sibling subtree takes the parent's place
+  /// (Algorithm 3 line 21).
+  void splice_out(int idx) {
+    AllocTree::Node& n = node(idx);
+    ST_CHECK(n.is_leaf() && n.free_slot);
+    const int p = n.parent;
+    if (p < 0) {
+      // Free leaf is the whole tree: the tree becomes empty.
+      n.alive = false;
+      t_.root_ = -1;
+      return;
+    }
+    const int sib = sibling_of(idx);
+    const int g = node(p).parent;
+    n.alive = false;
+    node(p).alive = false;
+    node(sib).parent = g;
+    if (g < 0) {
+      t_.root_ = sib;
+    } else {
+      AllocTree::Node& gn = node(g);
+      (gn.left == p ? gn.left : gn.right) = sib;
+    }
+    t_.recompute_weights();
+  }
+
+ private:
+  AllocTree& t_;
+};
+
+namespace {
+
+void validate_request(const AllocTree& old_tree, const ReconfigRequest& req) {
+  std::set<NestId> old_ids;
+  for (const NestWeight& nw : old_tree.leaves()) old_ids.insert(nw.nest);
+
+  std::set<NestId> mentioned;
+  for (NestId d : req.deleted) {
+    ST_CHECK_MSG(old_ids.count(d), "deleted nest " << d << " not in tree");
+    ST_CHECK_MSG(mentioned.insert(d).second, "nest " << d
+                                                     << " mentioned twice");
+  }
+  for (const NestWeight& r : req.retained) {
+    ST_CHECK_MSG(old_ids.count(r.nest),
+                 "retained nest " << r.nest << " not in tree");
+    ST_CHECK_MSG(r.weight > 0.0, "retained nest " << r.nest
+                                                  << " needs positive weight");
+    ST_CHECK_MSG(mentioned.insert(r.nest).second,
+                 "nest " << r.nest << " mentioned twice");
+  }
+  ST_CHECK_MSG(mentioned.size() == old_ids.size(),
+               "every existing nest must be either deleted or retained");
+  for (const NestWeight& i : req.inserted) {
+    ST_CHECK_MSG(!old_ids.count(i.nest),
+                 "inserted nest " << i.nest << " already in tree");
+    ST_CHECK_MSG(i.weight > 0.0, "inserted nest " << i.nest
+                                                  << " needs positive weight");
+    ST_CHECK_MSG(mentioned.insert(i.nest).second,
+                 "nest " << i.nest << " mentioned twice");
+  }
+}
+
+}  // namespace
+
+AllocTree AllocTree::diffuse(const ReconfigRequest& req) const {
+  validate_request(*this, req);
+
+  // Degenerate old states fall back to scratch construction: there is no
+  // existing allocation to preserve.
+  if (empty()) {
+    std::vector<NestWeight> all(req.retained.begin(), req.retained.end());
+    all.insert(all.end(), req.inserted.begin(), req.inserted.end());
+    return huffman(all);
+  }
+
+  AllocTree t = *this;
+  DiffusionOps ops(t);
+
+  // 1. Mark deleted leaves free and merge adjacent free rectangles.
+  for (NestId d : req.deleted) ops.mark_free(d);
+  ops.collapse_free_siblings();
+
+  // 2. New weights for retained nests; internal sums follow.
+  for (const NestWeight& r : req.retained) {
+    const int idx = ops.find_leaf(r.nest);
+    ST_CHECK(idx >= 0);
+    ops.node(idx).weight = r.weight;
+  }
+  t.recompute_weights();
+
+  // 3. Insert new nests into free positions while more than one slot
+  //    remains, each at the slot whose sibling's weight is closest to the
+  //    new weight (Algorithm 3 line 13).
+  std::vector<NestWeight> pending(req.inserted.begin(), req.inserted.end());
+  std::vector<int> slots = ops.free_slots();
+  std::size_t next = 0;
+  while (next < pending.size() && slots.size() > 1) {
+    const NestWeight& nw = pending[next];
+    int best_slot = -1;
+    double best_d = 0.0;
+    for (int s : slots) {
+      const int sib = ops.sibling_of(s);
+      // A root-level free slot has no sibling; treat its distance as
+      // infinite so positional matching prefers proper slots.
+      const double d =
+          sib < 0 ? std::numeric_limits<double>::infinity()
+                  : std::abs(ops.node(sib).weight - nw.weight);
+      if (best_slot < 0 || d < best_d ||
+          (d == best_d && s < best_slot)) {
+        best_slot = s;
+        best_d = d;
+      }
+    }
+    ops.occupy(best_slot, nw);
+    slots.erase(std::find(slots.begin(), slots.end(), best_slot));
+    ++next;
+  }
+
+  const std::span<const NestWeight> rest{pending.data() + next,
+                                         pending.size() - next};
+  if (!rest.empty()) {
+    if (!slots.empty()) {
+      // 4a. Surplus insertions: Huffman subtree rooted at the last free slot
+      //     (Algorithm 3 lines 18–19).
+      ops.attach_huffman(slots.front(), rest);
+      slots.erase(slots.begin());
+    } else {
+      // 4b. No free slots (pure insertion): place each new nest beside the
+      //     occupied leaf of closest weight (§IV-B, Fig. 6).
+      for (const NestWeight& nw : rest) {
+        int best_leaf = -1;
+        double best_d = 0.0;
+        for (const NestWeight& leaf : t.leaves()) {
+          const double d = std::abs(leaf.weight - nw.weight);
+          const int idx = ops.find_leaf(leaf.nest);
+          if (best_leaf < 0 || d < best_d) {
+            best_leaf = idx;
+            best_d = d;
+          }
+        }
+        ST_CHECK_MSG(best_leaf >= 0,
+                     "insertion into a tree with no occupied leaves");
+        ops.split_leaf(best_leaf, nw);
+      }
+    }
+  }
+
+  // 4c. Surplus free slots: splice them out (Algorithm 3 line 21).
+  for (int s : slots) ops.splice_out(s);
+
+  t.recompute_weights();
+  t.validate();
+  ST_CHECK(!t.has_free_slots());
+  return t;
+}
+
+}  // namespace stormtrack

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file check.hpp
+/// Lightweight precondition / invariant checking used across stormtrack.
+///
+/// All checks are active in every build type: the library is a research
+/// simulator, and silent state corruption costs far more than the branch.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace stormtrack {
+
+/// Exception thrown when a library precondition or internal invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace stormtrack
+
+/// Verify \p expr; on failure throw CheckError with file/line context.
+#define ST_CHECK(expr)                                                  \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::stormtrack::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+/// Verify \p expr with an additional streamed message, e.g.
+/// `ST_CHECK_MSG(n > 0, "need at least one nest, got " << n)`.
+#define ST_CHECK_MSG(expr, msg)                                             \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream st_check_os__;                                     \
+      st_check_os__ << msg;                                                 \
+      ::stormtrack::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                         st_check_os__.str());              \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file grid2d.hpp
+/// Dense row-major 2D field container used for simulation fields
+/// (QCLOUD, OLR) and for rank-indexed lookups on process grids.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rect.hpp"
+
+namespace stormtrack {
+
+/// Dense width×height field of T, row-major, (x, y) indexed with x the
+/// column (fast-varying) index.
+template <typename T>
+class Grid2D {
+ public:
+  Grid2D() = default;
+
+  /// Construct a width×height grid with every cell set to \p fill.
+  Grid2D(int width, int height, const T& fill = T{})
+      : width_(width), height_(height) {
+    ST_CHECK_MSG(width >= 0 && height >= 0,
+                 "grid dims must be non-negative, got " << width << "x"
+                                                        << height);
+    data_.assign(static_cast<std::size_t>(width) * height, fill);
+  }
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  /// Whole-grid bounding rectangle.
+  [[nodiscard]] Rect bounds() const { return Rect{0, 0, width_, height_}; }
+
+  /// True when (x, y) is a valid cell.
+  [[nodiscard]] bool in_bounds(int x, int y) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_;
+  }
+
+  [[nodiscard]] T& at(int x, int y) {
+    ST_CHECK_MSG(in_bounds(x, y), "grid index (" << x << "," << y
+                                                 << ") outside " << width_
+                                                 << "x" << height_);
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  [[nodiscard]] const T& at(int x, int y) const {
+    ST_CHECK_MSG(in_bounds(x, y), "grid index (" << x << "," << y
+                                                 << ") outside " << width_
+                                                 << "x" << height_);
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  /// Unchecked access for hot loops; callers must guarantee bounds.
+  [[nodiscard]] T& operator()(int x, int y) {
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  [[nodiscard]] const T& operator()(int x, int y) const {
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  /// Set every cell to \p value.
+  void fill(const T& value) {
+    for (auto& v : data_) v = value;
+  }
+
+  /// Flat row-major storage (e.g. for bulk copies / reductions).
+  [[nodiscard]] const std::vector<T>& data() const { return data_; }
+  [[nodiscard]] std::vector<T>& data() { return data_; }
+
+  /// Copy the sub-rectangle \p r (must lie within bounds) into a new grid.
+  [[nodiscard]] Grid2D<T> extract(const Rect& r) const {
+    ST_CHECK_MSG(bounds().contains(r),
+                 "extract rect " << r << " outside grid " << width_ << "x"
+                                 << height_);
+    Grid2D<T> out(r.w, r.h);
+    for (int y = 0; y < r.h; ++y)
+      for (int x = 0; x < r.w; ++x) out(x, y) = (*this)(r.x + x, r.y + y);
+    return out;
+  }
+
+  friend bool operator==(const Grid2D&, const Grid2D&) = default;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace stormtrack

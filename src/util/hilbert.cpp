@@ -1,0 +1,92 @@
+#include "util/hilbert.hpp"
+
+#include <algorithm>
+
+namespace stormtrack {
+
+namespace {
+
+/// Rotate/flip the quadrant-local coordinate per the Hilbert recursion.
+void rotate(std::uint64_t n, std::uint64_t rx, std::uint64_t ry,
+            std::uint64_t& x, std::uint64_t& y) {
+  if (ry == 0) {
+    if (rx == 1) {
+      x = n - 1 - x;
+      y = n - 1 - y;
+    }
+    std::swap(x, y);
+  }
+}
+
+}  // namespace
+
+CellXY hilbert_d2xy(int order, std::uint64_t d) {
+  ST_CHECK_MSG(order >= 0 && order < 31, "unsupported Hilbert order "
+                                             << order);
+  const std::uint64_t n = 1ULL << order;
+  ST_CHECK_MSG(d < n * n, "Hilbert distance " << d << " outside curve");
+  std::uint64_t x = 0, y = 0, t = d;
+  for (std::uint64_t s = 1; s < n; s *= 2) {
+    const std::uint64_t rx = 1 & (t / 2);
+    const std::uint64_t ry = 1 & (t ^ rx);
+    rotate(s, rx, ry, x, y);
+    x += s * rx;
+    y += s * ry;
+    t /= 4;
+  }
+  return CellXY{static_cast<int>(x), static_cast<int>(y)};
+}
+
+std::uint64_t hilbert_xy2d(int order, CellXY p) {
+  ST_CHECK_MSG(order >= 0 && order < 31, "unsupported Hilbert order "
+                                             << order);
+  const std::uint64_t n = 1ULL << order;
+  ST_CHECK_MSG(p.x >= 0 && p.y >= 0 && static_cast<std::uint64_t>(p.x) < n &&
+                   static_cast<std::uint64_t>(p.y) < n,
+               "point outside 2^" << order << " grid");
+  std::uint64_t x = static_cast<std::uint64_t>(p.x);
+  std::uint64_t y = static_cast<std::uint64_t>(p.y);
+  std::uint64_t d = 0;
+  for (std::uint64_t s = n / 2; s > 0; s /= 2) {
+    const std::uint64_t rx = (x & s) > 0 ? 1 : 0;
+    const std::uint64_t ry = (y & s) > 0 ? 1 : 0;
+    d += s * s * ((3 * rx) ^ ry);
+    rotate(s, rx, ry, x, y);
+  }
+  return d;
+}
+
+HilbertOrder::HilbertOrder(int width, int height)
+    : width_(width), height_(height) {
+  ST_CHECK_MSG(width >= 1 && height >= 1,
+               "grid must be positive, got " << width << "x" << height);
+  int order = 0;
+  while ((1 << order) < std::max(width, height)) ++order;
+  const std::uint64_t n = 1ULL << order;
+
+  order_.reserve(static_cast<std::size_t>(width) * height);
+  position_.assign(static_cast<std::size_t>(width) * height, -1);
+  for (std::uint64_t d = 0; d < n * n; ++d) {
+    const CellXY c = hilbert_d2xy(order, d);
+    if (c.x >= width || c.y >= height) continue;  // outside the real grid
+    const int rank = c.y * width + c.x;
+    position_[static_cast<std::size_t>(rank)] =
+        static_cast<int>(order_.size());
+    order_.push_back(rank);
+  }
+  ST_CHECK(static_cast<int>(order_.size()) == size());
+}
+
+int HilbertOrder::rank_at(int i) const {
+  ST_CHECK_MSG(i >= 0 && i < size(), "curve position " << i
+                                                       << " out of range");
+  return order_[static_cast<std::size_t>(i)];
+}
+
+int HilbertOrder::position_of(int rank) const {
+  ST_CHECK_MSG(rank >= 0 && rank < size(), "rank " << rank
+                                                   << " out of range");
+  return position_[static_cast<std::size_t>(rank)];
+}
+
+}  // namespace stormtrack

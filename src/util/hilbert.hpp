@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file hilbert.hpp
+/// Hilbert space-filling curve on 2D grids.
+///
+/// The paper's related work (§II) discusses SFC-based repartitioning
+/// (Hilbert ordering [Sagan '94]) as the standard AMR technique and argues
+/// it is *not applicable* to the nest-allocation problem because each nest
+/// needs a rectangular processor sub-grid. We implement the Hilbert curve
+/// anyway — as the baseline that lets the benches demonstrate that argument
+/// quantitatively (alloc/sfc_partitioner.hpp).
+///
+/// The classic d↔(x,y) transforms cover 2^k × 2^k grids; HilbertOrder
+/// generalizes to arbitrary Px×Py grids by walking the curve of the
+/// smallest enclosing power-of-two square and skipping cells outside the
+/// grid — the standard construction, which preserves the curve's locality.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+
+/// Grid cell coordinate.
+struct CellXY {
+  int x = 0;
+  int y = 0;
+  friend constexpr bool operator==(const CellXY&, const CellXY&) = default;
+};
+
+/// Distance-to-coordinate on the 2^order × 2^order Hilbert curve.
+[[nodiscard]] CellXY hilbert_d2xy(int order, std::uint64_t d);
+
+/// Coordinate-to-distance on the 2^order × 2^order Hilbert curve.
+[[nodiscard]] std::uint64_t hilbert_xy2d(int order, CellXY p);
+
+/// Hilbert ordering of all cells of a Px×Py grid (row-major rank ids).
+class HilbertOrder {
+ public:
+  HilbertOrder(int width, int height);
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] int size() const { return width_ * height_; }
+
+  /// Row-major rank at curve position \p i (0 <= i < size()).
+  [[nodiscard]] int rank_at(int i) const;
+
+  /// Curve position of row-major rank \p rank.
+  [[nodiscard]] int position_of(int rank) const;
+
+ private:
+  int width_;
+  int height_;
+  std::vector<int> order_;     // curve position -> rank
+  std::vector<int> position_;  // rank -> curve position
+};
+
+}  // namespace stormtrack

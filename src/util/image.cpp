@@ -1,0 +1,91 @@
+#include "util/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+
+namespace {
+
+std::ofstream open_binary(const std::filesystem::path& path) {
+  if (path.has_parent_path())
+    std::filesystem::create_directories(path.parent_path());
+  std::ofstream os(path, std::ios::binary);
+  ST_CHECK_MSG(os.is_open(), "cannot open image file " << path);
+  return os;
+}
+
+}  // namespace
+
+void write_pgm(const Grid2D<std::uint8_t>& image,
+               const std::filesystem::path& path) {
+  ST_CHECK_MSG(!image.empty(), "cannot write an empty image");
+  std::ofstream os = open_binary(path);
+  os << "P5\n" << image.width() << ' ' << image.height() << "\n255\n";
+  os.write(reinterpret_cast<const char*>(image.data().data()),
+           static_cast<std::streamsize>(image.size()));
+  ST_CHECK_MSG(os.good(), "failed writing " << path);
+}
+
+void write_ppm(const Grid2D<Rgb>& image, const std::filesystem::path& path) {
+  ST_CHECK_MSG(!image.empty(), "cannot write an empty image");
+  std::ofstream os = open_binary(path);
+  os << "P6\n" << image.width() << ' ' << image.height() << "\n255\n";
+  static_assert(sizeof(Rgb) == 3, "Rgb must be packed");
+  os.write(reinterpret_cast<const char*>(image.data().data()),
+           static_cast<std::streamsize>(image.size() * 3));
+  ST_CHECK_MSG(os.good(), "failed writing " << path);
+}
+
+Grid2D<std::uint8_t> field_to_grey(const Grid2D<double>& field, bool invert) {
+  ST_CHECK_MSG(!field.empty(), "cannot render an empty field");
+  double lo = field.data().front(), hi = lo;
+  for (double v : field.data()) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  Grid2D<std::uint8_t> out(field.width(), field.height());
+  const double span = hi - lo;
+  for (int y = 0; y < field.height(); ++y) {
+    for (int x = 0; x < field.width(); ++x) {
+      double t = span > 0.0 ? (field(x, y) - lo) / span : 0.5;
+      if (invert) t = 1.0 - t;
+      out(x, y) = static_cast<std::uint8_t>(std::lround(255.0 * t));
+    }
+  }
+  return out;
+}
+
+Grid2D<Rgb> labels_to_rgb(const Grid2D<int>& labels) {
+  ST_CHECK_MSG(!labels.empty(), "cannot render an empty label map");
+  // Deterministic distinct-ish palette via a hashed golden-ratio hue walk.
+  auto color_of = [](int label) {
+    if (label < 0) return Rgb{40, 40, 40};
+    const double hue = std::fmod(0.618033988749895 * (label + 1), 1.0);
+    const double h6 = hue * 6.0;
+    const int sector = static_cast<int>(h6) % 6;
+    const double f = h6 - static_cast<int>(h6);
+    const auto byte = [](double v) {
+      return static_cast<std::uint8_t>(std::lround(55.0 + 200.0 * v));
+    };
+    const std::uint8_t p = byte(0.0), q = byte(1.0 - f), t = byte(f),
+                       v = byte(1.0);
+    switch (sector) {
+      case 0: return Rgb{v, t, p};
+      case 1: return Rgb{q, v, p};
+      case 2: return Rgb{p, v, t};
+      case 3: return Rgb{p, q, v};
+      case 4: return Rgb{t, p, v};
+      default: return Rgb{v, p, q};
+    }
+  };
+  Grid2D<Rgb> out(labels.width(), labels.height());
+  for (int y = 0; y < labels.height(); ++y)
+    for (int x = 0; x < labels.width(); ++x) out(x, y) = color_of(labels(x, y));
+  return out;
+}
+
+}  // namespace stormtrack

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file image.hpp
+/// Minimal PGM/PPM image output for fields and allocation maps.
+///
+/// The paper's Fig. 1 renders the QCLOUD field ("darker regions correspond
+/// to higher cloud water mixing ratios"); these helpers let the examples
+/// and benches dump the simulated fields and processor-allocation layouts
+/// as portable grey/pixmaps viewable anywhere, with no image library
+/// dependency.
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "util/grid2d.hpp"
+
+namespace stormtrack {
+
+/// 8-bit RGB pixel.
+struct Rgb {
+  std::uint8_t r = 0;
+  std::uint8_t g = 0;
+  std::uint8_t b = 0;
+  friend constexpr bool operator==(const Rgb&, const Rgb&) = default;
+};
+
+/// Write a binary PGM (P5) greyscale image.
+void write_pgm(const Grid2D<std::uint8_t>& image,
+               const std::filesystem::path& path);
+
+/// Write a binary PPM (P6) colour image.
+void write_ppm(const Grid2D<Rgb>& image, const std::filesystem::path& path);
+
+/// Map a scalar field linearly to grey levels. \p invert makes high values
+/// dark (the paper's Fig. 1 convention for QCLOUD). Constant fields map to
+/// mid-grey.
+[[nodiscard]] Grid2D<std::uint8_t> field_to_grey(const Grid2D<double>& field,
+                                                 bool invert = false);
+
+/// Render an integer label map (e.g. nest-id per processor, -1 = free) with
+/// a deterministic distinct-colour palette; label -1 renders dark grey.
+[[nodiscard]] Grid2D<Rgb> labels_to_rgb(const Grid2D<int>& labels);
+
+}  // namespace stormtrack

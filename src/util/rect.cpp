@@ -1,0 +1,31 @@
+#include "util/rect.hpp"
+
+#include <sstream>
+
+namespace stormtrack {
+
+std::string Rect::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << "Rect{x=" << r.x << ", y=" << r.y << ", w=" << r.w
+            << ", h=" << r.h << '}';
+}
+
+double jaccard(const Rect& a, const Rect& b) {
+  const std::int64_t inter = a.intersect(b).area();
+  const std::int64_t uni = a.area() + b.area() - inter;
+  if (uni == 0) return 0.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double coverage_fraction(const Rect& a, const Rect& b) {
+  if (a.area() == 0) return 0.0;
+  return static_cast<double>(a.intersect(b).area()) /
+         static_cast<double>(a.area());
+}
+
+}  // namespace stormtrack

@@ -1,0 +1,112 @@
+#pragma once
+
+/// \file rect.hpp
+/// Integer rectangles on a discrete grid.
+///
+/// Rectangles are half-open in neither dimension: a Rect{x, y, w, h} covers
+/// the w×h cells with column indices [x, x+w) and row indices [y, y+h).
+/// They are used both for processor sub-grids (cells = MPI-style ranks laid
+/// out row-major on a Px×Py process grid) and for nest bounding boxes on the
+/// simulation grid.
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+
+/// Axis-aligned integer rectangle: origin (x, y), extent w×h cells.
+struct Rect {
+  int x = 0;  ///< Leftmost column index.
+  int y = 0;  ///< Topmost row index.
+  int w = 0;  ///< Width in cells (columns).
+  int h = 0;  ///< Height in cells (rows).
+
+  constexpr Rect() = default;
+  constexpr Rect(int x_, int y_, int w_, int h_) : x(x_), y(y_), w(w_), h(h_) {}
+
+  /// Number of cells covered. Empty rectangles have area 0.
+  [[nodiscard]] constexpr std::int64_t area() const {
+    return empty() ? 0 : static_cast<std::int64_t>(w) * h;
+  }
+
+  /// True when the rectangle covers no cells.
+  [[nodiscard]] constexpr bool empty() const { return w <= 0 || h <= 0; }
+
+  /// One-past-the-right column index.
+  [[nodiscard]] constexpr int x_end() const { return x + w; }
+  /// One-past-the-bottom row index.
+  [[nodiscard]] constexpr int y_end() const { return y + h; }
+
+  /// True when cell (cx, cy) lies inside the rectangle.
+  [[nodiscard]] constexpr bool contains(int cx, int cy) const {
+    return cx >= x && cx < x_end() && cy >= y && cy < y_end();
+  }
+
+  /// True when \p other lies fully inside this rectangle.
+  [[nodiscard]] constexpr bool contains(const Rect& other) const {
+    if (other.empty()) return true;
+    return other.x >= x && other.y >= y && other.x_end() <= x_end() &&
+           other.y_end() <= y_end();
+  }
+
+  /// Cell-set intersection; empty() result when disjoint.
+  [[nodiscard]] constexpr Rect intersect(const Rect& o) const {
+    const int nx = std::max(x, o.x);
+    const int ny = std::max(y, o.y);
+    const int nx2 = std::min(x_end(), o.x_end());
+    const int ny2 = std::min(y_end(), o.y_end());
+    if (nx2 <= nx || ny2 <= ny) return Rect{};
+    return Rect{nx, ny, nx2 - nx, ny2 - ny};
+  }
+
+  /// True when the two rectangles share at least one cell.
+  [[nodiscard]] constexpr bool overlaps(const Rect& o) const {
+    return !intersect(o).empty();
+  }
+
+  /// Aspect ratio >= 1 (long side / short side); 1 for squares.
+  /// Empty rectangles report an aspect ratio of 0.
+  [[nodiscard]] double aspect_ratio() const {
+    if (empty()) return 0.0;
+    const auto lo = static_cast<double>(std::min(w, h));
+    const auto hi = static_cast<double>(std::max(w, h));
+    return hi / lo;
+  }
+
+  /// Smallest rectangle containing both operands (union bounding box).
+  [[nodiscard]] Rect bounding_union(const Rect& o) const {
+    if (empty()) return o;
+    if (o.empty()) return *this;
+    const int nx = std::min(x, o.x);
+    const int ny = std::min(y, o.y);
+    const int nx2 = std::max(x_end(), o.x_end());
+    const int ny2 = std::max(y_end(), o.y_end());
+    return Rect{nx, ny, nx2 - nx, ny2 - ny};
+  }
+
+  friend constexpr bool operator==(const Rect&, const Rect&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+
+/// Row-major rank of the north-west corner of \p r on a process grid of
+/// width \p grid_width (the paper's "start rank", Tables I/II).
+[[nodiscard]] constexpr int start_rank(const Rect& r, int grid_width) {
+  return r.y * grid_width + r.x;
+}
+
+/// |A ∩ B| / |A ∪ B| over cell sets of two rectangles (Jaccard index).
+/// Returns 0 when both are empty.
+[[nodiscard]] double jaccard(const Rect& a, const Rect& b);
+
+/// |A ∩ B| / |A| — the fraction of \p a covered by \p b. Returns 0 when
+/// \p a is empty.
+[[nodiscard]] double coverage_fraction(const Rect& a, const Rect& b);
+
+}  // namespace stormtrack

@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation.
+///
+/// All stochastic components of the simulator (synthetic traces, cloud-system
+/// evolution, profiling noise) draw from Xoshiro256** seeded via SplitMix64,
+/// so every experiment is bit-reproducible across hosts and runs without
+/// depending on libstdc++'s unspecified distribution implementations.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: fast, high-quality 64-bit PRNG (Blackman & Vigna).
+/// Satisfies the C++ UniformRandomBitGenerator requirements.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x5eed5eed5eed5eedULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    ST_CHECK_MSG(lo <= hi, "uniform_int needs lo <= hi, got [" << lo << ", "
+                                                               << hi << "]");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // Rejection sampling to kill modulo bias (span never 0: hi-lo+1 >= 1,
+    // and span == 0 only if the full 2^64 range is requested, handled below).
+    if (span == 0) return static_cast<std::int64_t>((*this)());
+    const std::uint64_t limit = max() - max() % span;
+    std::uint64_t v;
+    do {
+      v = (*this)();
+    } while (v >= limit);
+    return lo + static_cast<std::int64_t>(v % span);
+  }
+
+  /// Standard normal via Marsaglia polar method (deterministic given state).
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * m;
+    have_spare_ = true;
+    return u * m;
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stdev) { return mean + stdev * normal(); }
+
+  /// True with probability \p p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace stormtrack

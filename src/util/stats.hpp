@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file stats.hpp
+/// Small statistics toolkit: summary statistics and Pearson correlation,
+/// used by the experiment harnesses (paper §V reports means, percentage
+/// improvements, and a Pearson coefficient for the execution-time model).
+
+#include <span>
+#include <vector>
+
+namespace stormtrack {
+
+/// Arithmetic mean; 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Population standard deviation; 0 for spans with fewer than 2 elements.
+[[nodiscard]] double stdev(std::span<const double> xs);
+
+/// Pearson correlation coefficient between two equal-length series.
+/// Returns 0 when either series is constant or shorter than 2.
+[[nodiscard]] double pearson(std::span<const double> xs,
+                             std::span<const double> ys);
+
+/// Relative improvement of \p candidate over \p baseline in percent:
+/// 100 * (baseline - candidate) / baseline. Positive means candidate is
+/// better (smaller). Returns 0 when baseline is 0.
+[[nodiscard]] double percent_improvement(double baseline, double candidate);
+
+/// Five-number-style summary of a series.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stdev = 0.0;
+  double median = 0.0;
+};
+
+/// Compute a Summary (copies and sorts internally for the median).
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+}  // namespace stormtrack

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file table.hpp
+/// ASCII table and CSV emission for benchmark harnesses. Every bench binary
+/// reproduces a paper table/figure as rows; this type renders them the same
+/// way everywhere.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace stormtrack {
+
+/// Column-aligned text table with an optional title, rendered with a
+/// header rule, e.g.
+///
+///   Nest ID | Start Rank | Processor sub-grid
+///   --------+------------+-------------------
+///   1       | 0          | 13 x 8
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format a double with \p precision digits after the point.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::int64_t v);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Render as aligned ASCII.
+  [[nodiscard]] std::string to_string() const;
+  /// Render as RFC-4180-ish CSV (no quoting of embedded commas needed for
+  /// our numeric content; commas in cells are replaced by ';').
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Print the ASCII rendering to \p os followed by a blank line.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return headers_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace stormtrack

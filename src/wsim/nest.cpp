@@ -1,0 +1,46 @@
+#include "wsim/nest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+
+NestField::NestField(const Grid2D<double>& parent, const Rect& region,
+                     int ratio)
+    : region_(region),
+      ratio_(ratio),
+      data_(region.w * ratio, region.h * ratio) {
+  ST_CHECK_MSG(ratio >= 1, "refinement ratio must be >= 1, got " << ratio);
+  ST_CHECK_MSG(!region.empty(), "nest region must be non-empty");
+  ST_CHECK_MSG(parent.bounds().contains(region),
+               "nest region " << region << " outside parent "
+                              << parent.width() << "x" << parent.height());
+
+  // Bilinear interpolation: fine point (fx, fy) samples parent coordinate
+  // region.origin + (fx + 0.5)/ratio - 0.5 (cell-centre alignment).
+  const int fnx = data_.width();
+  const int fny = data_.height();
+  for (int fy = 0; fy < fny; ++fy) {
+    const double py = region.y + (fy + 0.5) / ratio - 0.5;
+    const int y0 = std::clamp(static_cast<int>(std::floor(py)), 0,
+                              parent.height() - 1);
+    const int y1 = std::min(y0 + 1, parent.height() - 1);
+    const double wy = std::clamp(py - y0, 0.0, 1.0);
+    for (int fx = 0; fx < fnx; ++fx) {
+      const double px = region.x + (fx + 0.5) / ratio - 0.5;
+      const int x0 = std::clamp(static_cast<int>(std::floor(px)), 0,
+                                parent.width() - 1);
+      const int x1 = std::min(x0 + 1, parent.width() - 1);
+      const double wx = std::clamp(px - x0, 0.0, 1.0);
+      const double top =
+          (1.0 - wx) * parent(x0, y0) + wx * parent(x1, y0);
+      const double bot =
+          (1.0 - wx) * parent(x0, y1) + wx * parent(x1, y1);
+      data_(fx, fy) = (1.0 - wy) * top + wy * bot;
+    }
+  }
+}
+
+}  // namespace stormtrack

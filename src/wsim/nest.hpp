@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file nest.hpp
+/// Nested high-resolution domains (§IV).
+///
+/// A nest covers a region of interest of the parent domain at 3× finer
+/// resolution ("the resolutions of these nested simulations are thrice
+/// that of the parent simulation"); its initial state is interpolated from
+/// the parent fields, matching the paper's modified-WRF on-the-fly spawn.
+
+#include "perfmodel/ground_truth.hpp"  // NestShape
+#include "util/grid2d.hpp"
+#include "util/rect.hpp"
+
+namespace stormtrack {
+
+/// Parent-to-nest refinement ratio used throughout (12 km → 4 km).
+inline constexpr int kRefinementRatio = 3;
+
+/// Fine-resolution field over a parent region.
+class NestField {
+ public:
+  /// Interpolate \p parent's values over \p region (parent-grid points,
+  /// must lie within the parent's bounds) at \p ratio× resolution using
+  /// bilinear interpolation.
+  NestField(const Grid2D<double>& parent, const Rect& region,
+            int ratio = kRefinementRatio);
+
+  [[nodiscard]] const Rect& region() const { return region_; }
+  [[nodiscard]] int ratio() const { return ratio_; }
+  [[nodiscard]] NestShape shape() const {
+    return NestShape{data_.width(), data_.height()};
+  }
+  [[nodiscard]] const Grid2D<double>& data() const { return data_; }
+  [[nodiscard]] Grid2D<double>& data() { return data_; }
+
+ private:
+  Rect region_;
+  int ratio_;
+  Grid2D<double> data_;
+};
+
+/// Fine-grid extent of a nest spawned over \p region at \p ratio.
+[[nodiscard]] inline NestShape nest_shape_for(const Rect& region,
+                                              int ratio = kRefinementRatio) {
+  return NestShape{region.w * ratio, region.h * ratio};
+}
+
+}  // namespace stormtrack

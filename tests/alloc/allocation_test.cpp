@@ -1,0 +1,108 @@
+#include "alloc/allocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+namespace {
+
+std::vector<NestWeight> paper_example() {
+  return {{1, 0.10}, {2, 0.10}, {3, 0.20}, {4, 0.25}, {5, 0.35}};
+}
+
+TEST(Allocation, TableIStartRanks) {
+  const Allocation a =
+      allocate(AllocTree::huffman(paper_example()), 32, 32);
+  EXPECT_EQ(a.start_rank_of(1), 0);
+  EXPECT_EQ(a.start_rank_of(2), 256);
+  EXPECT_EQ(a.start_rank_of(3), 512);
+  EXPECT_EQ(a.start_rank_of(4), 13);
+  EXPECT_EQ(a.start_rank_of(5), 429);
+}
+
+TEST(Allocation, FindPresentAndAbsent) {
+  const Allocation a =
+      allocate(AllocTree::huffman(paper_example()), 32, 32);
+  EXPECT_TRUE(a.find(3).has_value());
+  EXPECT_FALSE(a.find(42).has_value());
+  EXPECT_THROW((void)a.start_rank_of(42), CheckError);
+}
+
+TEST(Allocation, OverlappingRectsRejected) {
+  std::map<NestId, Rect> rects{{1, Rect{0, 0, 4, 4}}, {2, Rect{2, 2, 4, 4}}};
+  EXPECT_THROW(Allocation(8, 8, rects), CheckError);
+}
+
+TEST(Allocation, OutOfGridRejected) {
+  std::map<NestId, Rect> rects{{1, Rect{6, 6, 4, 4}}};
+  EXPECT_THROW(Allocation(8, 8, rects), CheckError);
+}
+
+TEST(Allocation, EmptyRectRejected) {
+  std::map<NestId, Rect> rects{{1, Rect{0, 0, 0, 4}}};
+  EXPECT_THROW(Allocation(8, 8, rects), CheckError);
+}
+
+TEST(Allocation, EmptyAllocationOk) {
+  const Allocation a;
+  EXPECT_EQ(a.num_nests(), 0u);
+  EXPECT_FALSE(a.find(1).has_value());
+}
+
+TEST(Allocation, ToTableHasPaperColumns) {
+  const Allocation a =
+      allocate(AllocTree::huffman(paper_example()), 32, 32);
+  const std::string s = a.to_table("Table I").to_string();
+  EXPECT_NE(s.find("Nest ID"), std::string::npos);
+  EXPECT_NE(s.find("Start Rank"), std::string::npos);
+  EXPECT_NE(s.find("Processor sub-grid"), std::string::npos);
+  EXPECT_NE(s.find("19 x 19"), std::string::npos);
+  EXPECT_NE(s.find("429"), std::string::npos);
+}
+
+TEST(Allocation, AsciiArtCoversGrid) {
+  const Allocation a =
+      allocate(AllocTree::huffman(paper_example()), 32, 32);
+  const std::string art = a.to_ascii(32);
+  // Every character is a nest digit (1–5); no '.' gaps in a full tiling.
+  for (char c : art)
+    if (c != '\n') {
+      EXPECT_TRUE(c >= '1' && c <= '5') << c;
+    }
+}
+
+TEST(Allocation, MeanRectOverlapBounds) {
+  const Allocation a =
+      allocate(AllocTree::huffman(paper_example()), 32, 32);
+  EXPECT_DOUBLE_EQ(mean_rect_overlap(a, a), 1.0);
+  const Allocation empty;
+  EXPECT_DOUBLE_EQ(mean_rect_overlap(a, empty), 0.0);
+}
+
+
+TEST(Allocation, LabelGridCoversAndMatchesRects) {
+  const Allocation a =
+      allocate(AllocTree::huffman(paper_example()), 32, 32);
+  const Grid2D<int> labels = a.to_label_grid();
+  ASSERT_EQ(labels.width(), 32);
+  ASSERT_EQ(labels.height(), 32);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      const int id = labels(x, y);
+      ASSERT_NE(id, -1) << "(" << x << "," << y << ")";
+      EXPECT_TRUE(a.find(id)->contains(x, y));
+    }
+  }
+}
+
+TEST(Allocation, LabelGridMarksFreeProcessors) {
+  std::map<NestId, Rect> rects{{1, Rect{0, 0, 2, 2}}};
+  const Allocation a(4, 4, rects);
+  const Grid2D<int> labels = a.to_label_grid();
+  EXPECT_EQ(labels(0, 0), 1);
+  EXPECT_EQ(labels(3, 3), -1);
+}
+
+}  // namespace
+}  // namespace stormtrack

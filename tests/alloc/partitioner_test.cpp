@@ -1,0 +1,101 @@
+#include "alloc/partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace stormtrack {
+namespace {
+
+ReconfigRequest paper_reconfig() {
+  ReconfigRequest req;
+  req.deleted = {1, 2, 4};
+  req.retained = {{3, 0.27}, {5, 0.42}};
+  req.inserted = {{6, 0.31}};
+  return req;
+}
+
+AllocTree paper_tree() {
+  const std::vector<NestWeight> nests{
+      {1, 0.10}, {2, 0.10}, {3, 0.20}, {4, 0.25}, {5, 0.35}};
+  return AllocTree::huffman(nests);
+}
+
+TEST(ScratchPartitioner, IgnoresCurrentTree) {
+  const ScratchPartitioner p;
+  const AllocTree from_empty = p.propose(AllocTree{}, paper_reconfig());
+  const AllocTree from_paper = p.propose(paper_tree(), paper_reconfig());
+  EXPECT_EQ(from_empty.to_dot(), from_paper.to_dot());
+  EXPECT_EQ(p.name(), "scratch");
+}
+
+TEST(DiffusionPartitioner, UsesCurrentTree) {
+  const DiffusionPartitioner p;
+  const AllocTree t = p.propose(paper_tree(), paper_reconfig());
+  EXPECT_EQ(t.num_nests(), 3);
+  EXPECT_EQ(p.name(), "diffusion");
+}
+
+TEST(AllocationDriver, StepCommitsState) {
+  const DiffusionPartitioner p;
+  AllocationDriver driver(p, 32, 32);
+  ReconfigRequest first;
+  first.inserted = {{1, 0.10}, {2, 0.10}, {3, 0.20}, {4, 0.25}, {5, 0.35}};
+  const Allocation& a1 = driver.step(first);
+  EXPECT_EQ(a1.num_nests(), 5u);
+  EXPECT_EQ(driver.current().start_rank_of(5), 429);
+
+  const Allocation& a2 = driver.step(paper_reconfig());
+  EXPECT_EQ(a2.num_nests(), 3u);
+  EXPECT_TRUE(a2.find(6).has_value());
+  EXPECT_FALSE(a2.find(1).has_value());
+}
+
+TEST(AllocationDriver, DiffusionPreservesMoreOverlapThanScratch) {
+  // Drive both strategies through the same random reconfigurations; the
+  // diffusion driver must accumulate at least as much rectangle overlap
+  // (the headline §IV-B property, aggregated).
+  const ScratchPartitioner sp;
+  const DiffusionPartitioner dp;
+  AllocationDriver scratch(sp, 32, 32);
+  AllocationDriver diffusion(dp, 32, 32);
+
+  Xoshiro256 rng(321);
+  int next_id = 1;
+  ReconfigRequest first;
+  for (int i = 0; i < 5; ++i)
+    first.inserted.push_back({next_id++, rng.uniform(0.1, 1.0)});
+  scratch.step(first);
+  diffusion.step(first);
+
+  double scratch_overlap = 0.0, diffusion_overlap = 0.0;
+  for (int event = 0; event < 30; ++event) {
+    ReconfigRequest req;
+    for (const NestWeight& leaf : diffusion.tree().leaves()) {
+      if (rng.bernoulli(0.3))
+        req.deleted.push_back(leaf.nest);
+      else
+        req.retained.push_back({leaf.nest, rng.uniform(0.1, 1.0)});
+    }
+    const int inserts = static_cast<int>(rng.uniform_int(0, 2));
+    for (int i = 0; i < inserts; ++i)
+      req.inserted.push_back({next_id++, rng.uniform(0.1, 1.0)});
+    if (req.retained.empty() && req.inserted.empty())
+      req.inserted.push_back({next_id++, 1.0});
+
+    const Allocation before_s = scratch.current();
+    const Allocation before_d = diffusion.current();
+    scratch_overlap += mean_rect_overlap(before_s, scratch.step(req));
+    diffusion_overlap += mean_rect_overlap(before_d, diffusion.step(req));
+  }
+  EXPECT_GT(diffusion_overlap, scratch_overlap);
+}
+
+TEST(AllocationDriver, BadGridThrows) {
+  const ScratchPartitioner p;
+  EXPECT_THROW(AllocationDriver(p, 0, 32), CheckError);
+}
+
+}  // namespace
+}  // namespace stormtrack

@@ -1,0 +1,129 @@
+#include "alloc/sfc_allocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+namespace {
+
+std::vector<NestWeight> paper_example() {
+  return {{1, 0.10}, {2, 0.10}, {3, 0.20}, {4, 0.25}, {5, 0.35}};
+}
+
+TEST(SfcAllocation, SegmentsPartitionTheCurve) {
+  const HilbertOrder order(32, 32);
+  const SfcAllocation a(paper_example(), order);
+  int covered = 0;
+  int cursor = 0;
+  for (const auto& [nest, seg] : a.segments()) {
+    EXPECT_EQ(seg.begin, cursor);  // contiguous, ascending nest id
+    EXPECT_GE(seg.count, 1);
+    covered += seg.count;
+    cursor = seg.end();
+  }
+  EXPECT_EQ(covered, 1024);
+}
+
+TEST(SfcAllocation, AreasProportionalToWeights) {
+  const HilbertOrder order(32, 32);
+  const SfcAllocation a(paper_example(), order);
+  for (const NestWeight& nw : paper_example()) {
+    const double share = a.segments().at(nw.nest).count / 1024.0;
+    EXPECT_NEAR(share, nw.weight, 0.01) << "nest " << nw.nest;
+  }
+}
+
+TEST(SfcAllocation, RanksDisjointAcrossNests) {
+  const HilbertOrder order(16, 16);
+  const SfcAllocation a(paper_example(), order);
+  std::set<int> seen;
+  for (const auto& [nest, seg] : a.segments())
+    for (int r : a.ranks_of(nest, order)) EXPECT_TRUE(seen.insert(r).second);
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(SfcAllocation, RetainedNestsKeepRelativeOrder) {
+  const HilbertOrder order(32, 32);
+  const SfcAllocation before(paper_example(), order);
+  const std::vector<NestWeight> after_w{{3, 0.27}, {5, 0.42}, {6, 0.31}};
+  const SfcAllocation after(after_w, order);
+  // Nest 3 precedes nest 5 on the curve in both allocations.
+  EXPECT_LT(before.segments().at(3).begin, before.segments().at(5).begin);
+  EXPECT_LT(after.segments().at(3).begin, after.segments().at(5).begin);
+}
+
+TEST(SfcAllocation, EveryNestGetsAProcessorOnTinyGrid) {
+  const HilbertOrder order(3, 3);
+  std::vector<NestWeight> nests;
+  for (int i = 1; i <= 9; ++i) nests.push_back({i, i == 1 ? 100.0 : 0.01});
+  const SfcAllocation a(nests, order);
+  for (const auto& [nest, seg] : a.segments()) EXPECT_EQ(seg.count, 1);
+}
+
+TEST(SfcAllocation, MoreNestsThanProcessorsThrows) {
+  const HilbertOrder order(2, 2);
+  std::vector<NestWeight> nests;
+  for (int i = 1; i <= 5; ++i) nests.push_back({i, 1.0});
+  EXPECT_THROW(SfcAllocation(nests, order), CheckError);
+}
+
+TEST(SfcRedistribution, ConservesBytes) {
+  const NestShape nest{100, 100};
+  const std::vector<int> old_ranks{0, 1, 2, 3};
+  const std::vector<int> new_ranks{2, 3, 4, 5, 6};
+  const RedistPlan plan =
+      plan_sfc_redistribution(nest, old_ranks, new_ranks, 8);
+  std::int64_t bytes = 0;
+  for (const Message& m : plan.messages) bytes += m.bytes;
+  EXPECT_EQ(bytes, 100 * 100 * 8);
+}
+
+TEST(SfcRedistribution, IdenticalRankListsFullOverlap) {
+  const NestShape nest{50, 50};
+  const std::vector<int> ranks{4, 9, 16};
+  const RedistPlan plan = plan_sfc_redistribution(nest, ranks, ranks, 8);
+  EXPECT_DOUBLE_EQ(plan.overlap_fraction(), 1.0);
+}
+
+TEST(SfcRedistribution, SmallSegmentShiftKeepsMostPointsInPlace) {
+  // The SFC locality property: growing the rank list at one end leaves
+  // most chunks nearly where they were.
+  const NestShape nest{200, 200};
+  std::vector<int> old_ranks, new_ranks;
+  for (int r = 0; r < 20; ++r) old_ranks.push_back(r);
+  for (int r = 0; r < 21; ++r) new_ranks.push_back(r);
+  const RedistPlan plan =
+      plan_sfc_redistribution(nest, old_ranks, new_ranks, 8);
+  // Chunk boundaries all shift slightly (n/20 vs n/21 blocks), so the
+  // overlap decays with rank index but stays substantial on average —
+  // and far above a full relocation's zero.
+  EXPECT_GT(plan.overlap_fraction(), 0.35);
+  std::vector<int> moved_ranks;
+  for (int r = 100; r < 121; ++r) moved_ranks.push_back(r);
+  const RedistPlan relocated =
+      plan_sfc_redistribution(nest, old_ranks, moved_ranks, 8);
+  EXPECT_DOUBLE_EQ(relocated.overlap_fraction(), 0.0);
+}
+
+TEST(HaloInflation, SfcWorseThanBlocks) {
+  // The §II argument, quantified: Hilbert chunks have longer boundaries
+  // than rectangular blocks of the same areas.
+  const NestShape nest{240, 240};
+  const double sfc = sfc_halo_inflation(nest, 64);
+  const double block = block_halo_inflation(nest, 8, 8);
+  EXPECT_GT(sfc, block);
+  EXPECT_LT(block, 1.3);  // near-square blocks are near-optimal
+  EXPECT_GT(sfc, 1.15);
+}
+
+TEST(HaloInflation, SkewedBlocksWorseThanSquare) {
+  const NestShape nest{240, 240};
+  EXPECT_GT(block_halo_inflation(nest, 64, 1),
+            block_halo_inflation(nest, 8, 8));
+}
+
+}  // namespace
+}  // namespace stormtrack

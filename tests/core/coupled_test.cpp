@@ -1,0 +1,130 @@
+#include "core/coupled.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/experiment.hpp"
+#include "util/check.hpp"
+
+namespace stormtrack {
+namespace {
+
+class CoupledTest : public ::testing::Test {
+ protected:
+  CoupledTest() : machine_(Machine::bluegene(256)) {}
+
+  CoupledConfig config() const {
+    CoupledConfig c;
+    c.scenario.weather.domain.resolution_km = 24.0;  // test-sized grid
+    c.scenario.sim_px = 16;
+    c.scenario.sim_py = 16;
+    c.scenario.pda.analysis_procs = 16;
+    c.manager.steps_per_interval = 3;
+    return c;
+  }
+
+  ModelStack models_;
+  Machine machine_;
+};
+
+TEST_F(CoupledTest, EveryActiveNestHasFieldAndAllocation) {
+  CoupledSimulation sim(machine_, models_.model, models_.truth, config());
+  for (int i = 0; i < 10; ++i) {
+    const IntervalReport r = sim.advance();
+    EXPECT_EQ(r.interval, i);
+    for (const auto& [id, nest] : sim.nests()) {
+      EXPECT_TRUE(sim.allocation().find(id).has_value()) << "nest " << id;
+      EXPECT_EQ(nest.field.width(), nest.spec.shape.nx);
+      EXPECT_EQ(nest.field.height(), nest.spec.shape.ny);
+    }
+    EXPECT_EQ(sim.nests().size(), sim.allocation().num_nests());
+  }
+}
+
+TEST_F(CoupledTest, LifecycleEventsMatchNestSet) {
+  CoupledSimulation sim(machine_, models_.model, models_.truth, config());
+  std::set<int> alive;
+  for (int i = 0; i < 12; ++i) {
+    const IntervalReport r = sim.advance();
+    for (const int id : r.diff.deleted) {
+      EXPECT_TRUE(alive.erase(id) == 1) << "deleted unknown nest " << id;
+    }
+    for (const NestSpec& s : r.diff.inserted)
+      EXPECT_TRUE(alive.insert(s.id).second);
+    std::set<int> now;
+    for (const auto& [id, nest] : sim.nests()) now.insert(id);
+    EXPECT_EQ(alive, now) << "interval " << i;
+  }
+}
+
+TEST_F(CoupledTest, RetainedNestRegionsFrozenAtSpawn) {
+  CoupledSimulation sim(machine_, models_.model, models_.truth, config());
+  std::map<int, Rect> spawn_region;
+  for (int i = 0; i < 12; ++i) {
+    const IntervalReport r = sim.advance();
+    for (const NestSpec& s : r.diff.inserted)
+      spawn_region.emplace(s.id, s.region);
+    for (const auto& [id, nest] : sim.nests())
+      EXPECT_EQ(nest.spec.region, spawn_region.at(id)) << "nest " << id;
+  }
+}
+
+TEST_F(CoupledTest, FieldsStayPhysical) {
+  // Nest fields are interpolated QCLOUD (non-negative) and the integrator
+  // satisfies a maximum principle: values must stay within the global
+  // range ever seen at spawn time (with slack for fresh spawns).
+  CoupledSimulation sim(machine_, models_.model, models_.truth, config());
+  for (int i = 0; i < 10; ++i) {
+    sim.advance();
+    for (const auto& [id, nest] : sim.nests()) {
+      for (const double v : nest.field.data()) {
+        EXPECT_GE(v, -1e-12) << "nest " << id;
+        EXPECT_LT(v, 1.0) << "nest " << id;  // QCLOUD is ~1e-3 at most
+      }
+    }
+  }
+}
+
+TEST_F(CoupledTest, HaloTrafficAccountedWhenNestsSpanProcessors) {
+  CoupledSimulation sim(machine_, models_.model, models_.truth, config());
+  std::int64_t total_halo = 0;
+  for (int i = 0; i < 8; ++i) {
+    const IntervalReport r = sim.advance();
+    if (!sim.nests().empty()) total_halo += r.halo_traffic.total_bytes;
+  }
+  EXPECT_GT(total_halo, 0);
+}
+
+TEST_F(CoupledTest, DeterministicAcrossRuns) {
+  CoupledConfig cfg = config();
+  CoupledSimulation a(machine_, models_.model, models_.truth, cfg);
+  CoupledSimulation b(machine_, models_.model, models_.truth, cfg);
+  for (int i = 0; i < 6; ++i) {
+    const IntervalReport ra = a.advance();
+    const IntervalReport rb = b.advance();
+    EXPECT_EQ(ra.rois_detected, rb.rois_detected);
+    EXPECT_DOUBLE_EQ(ra.realloc.committed.actual_redist,
+                     rb.realloc.committed.actual_redist);
+  }
+  ASSERT_EQ(a.nests().size(), b.nests().size());
+  for (const auto& [id, nest] : a.nests())
+    EXPECT_EQ(nest.field, b.nests().at(id).field) << "nest " << id;
+}
+
+TEST_F(CoupledTest, WorksUnderEveryStrategy) {
+  for (const Strategy s :
+       {Strategy::kScratch, Strategy::kDiffusion, Strategy::kDynamic}) {
+    CoupledConfig cfg = config();
+    cfg.manager.strategy = s;
+    CoupledSimulation sim(machine_, models_.model, models_.truth, cfg);
+    for (int i = 0; i < 6; ++i) {
+      const IntervalReport r = sim.advance();
+      EXPECT_EQ(sim.nests().size(), sim.allocation().num_nests());
+      (void)r;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stormtrack

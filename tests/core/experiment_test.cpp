@@ -1,0 +1,96 @@
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stormtrack {
+namespace {
+
+StepOutcome outcome(double exec, double redist, std::int64_t bytes,
+                    std::int64_t hop_bytes, int retained, double overlap,
+                    const char* chosen = "diffusion") {
+  StepOutcome o;
+  o.committed.actual_exec = exec;
+  o.committed.actual_redist = redist;
+  o.traffic.total_bytes = bytes;
+  o.traffic.hop_bytes = hop_bytes;
+  o.num_retained = retained;
+  o.overlap_fraction = overlap;
+  o.chosen = chosen;
+  return o;
+}
+
+TEST(TraceRunResult, TotalsSum) {
+  TraceRunResult r;
+  r.outcomes.push_back(outcome(2.0, 0.5, 100, 300, 1, 0.5));
+  r.outcomes.push_back(outcome(3.0, 0.25, 200, 200, 2, 0.25));
+  EXPECT_DOUBLE_EQ(r.total_exec(), 5.0);
+  EXPECT_DOUBLE_EQ(r.total_redist(), 0.75);
+  EXPECT_DOUBLE_EQ(r.total(), 5.75);
+  EXPECT_EQ(r.total_hop_bytes(), 500);
+}
+
+TEST(TraceRunResult, MeanHopBytesSkipsSilentEvents) {
+  TraceRunResult r;
+  r.outcomes.push_back(outcome(1.0, 0.0, 0, 0, 0, 0.0));   // no traffic
+  r.outcomes.push_back(outcome(1.0, 0.1, 100, 300, 1, 0.4));
+  r.outcomes.push_back(outcome(1.0, 0.1, 100, 100, 1, 0.2));
+  EXPECT_DOUBLE_EQ(r.mean_avg_hop_bytes(), (3.0 + 1.0) / 2.0);
+}
+
+TEST(TraceRunResult, MeanOverlapSkipsEventsWithoutRetainedNests) {
+  TraceRunResult r;
+  r.outcomes.push_back(outcome(1.0, 0.0, 0, 0, 0, 0.0));  // nothing retained
+  r.outcomes.push_back(outcome(1.0, 0.1, 10, 10, 2, 0.6));
+  r.outcomes.push_back(outcome(1.0, 0.1, 10, 10, 1, 0.2));
+  EXPECT_DOUBLE_EQ(r.mean_overlap_fraction(), 0.4);
+}
+
+TEST(TraceRunResult, DiffusionPickCount) {
+  TraceRunResult r;
+  r.outcomes.push_back(outcome(1, 0, 0, 0, 0, 0, "diffusion"));
+  r.outcomes.push_back(outcome(1, 0, 0, 0, 0, 0, "scratch"));
+  r.outcomes.push_back(outcome(1, 0, 0, 0, 0, 0, "diffusion"));
+  EXPECT_EQ(r.diffusion_picks(), 2);
+}
+
+TEST(TraceRunResult, EmptyTraceAggregatesAreZero) {
+  const TraceRunResult r;
+  EXPECT_DOUBLE_EQ(r.total(), 0.0);
+  EXPECT_DOUBLE_EQ(r.mean_avg_hop_bytes(), 0.0);
+  EXPECT_DOUBLE_EQ(r.mean_overlap_fraction(), 0.0);
+  EXPECT_EQ(r.diffusion_picks(), 0);
+}
+
+TEST(CandidateMetrics, Totals) {
+  CandidateMetrics m;
+  m.predicted_exec = 1.0;
+  m.predicted_redist = 0.5;
+  m.actual_exec = 2.0;
+  m.actual_redist = 0.25;
+  EXPECT_DOUBLE_EQ(m.predicted_total(), 1.5);
+  EXPECT_DOUBLE_EQ(m.actual_total(), 2.25);
+}
+
+TEST(ModelStack, SharedTruthAndModelAreConsistent) {
+  const ModelStack stack;
+  const NestShape n{250, 250};
+  const double predicted = stack.model.predict(n, 256);
+  const double actual = stack.truth.execution_time(n, 256);
+  EXPECT_NEAR(predicted, actual, 0.5 * actual);
+}
+
+TEST(RunTrace, StrategyOverridesConfig) {
+  ModelStack models;
+  const Machine m = Machine::bluegene(256);
+  SyntheticTraceConfig cfg;
+  cfg.num_events = 3;
+  const Trace trace = generate_synthetic_trace(cfg);
+  ManagerConfig mc;
+  mc.strategy = Strategy::kDiffusion;  // should be overridden to scratch
+  const TraceRunResult r = run_trace(m, models.model, models.truth,
+                                     Strategy::kScratch, trace, mc);
+  for (const StepOutcome& o : r.outcomes) EXPECT_EQ(o.chosen, "scratch");
+}
+
+}  // namespace
+}  // namespace stormtrack

@@ -1,0 +1,47 @@
+#include "core/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+namespace {
+
+TEST(Machine, Bluegene1024) {
+  const Machine m = Machine::bluegene(1024);
+  EXPECT_EQ(m.cores(), 1024);
+  EXPECT_EQ(m.grid_px(), 32);
+  EXPECT_EQ(m.grid_py(), 32);
+  EXPECT_TRUE(m.topology().is_direct_network());
+  EXPECT_EQ(m.mapping().name(), "folding");
+  EXPECT_EQ(m.comm().size(), 1024);
+}
+
+TEST(Machine, Bluegene512And256UseFolding) {
+  EXPECT_EQ(Machine::bluegene(512).mapping().name(), "folding");
+  EXPECT_EQ(Machine::bluegene(256).mapping().name(), "folding");
+}
+
+TEST(Machine, Fist256) {
+  const Machine m = Machine::fist_cluster(256);
+  EXPECT_EQ(m.cores(), 256);
+  EXPECT_FALSE(m.topology().is_direct_network());
+  EXPECT_EQ(m.mapping().name(), "row-major");
+}
+
+TEST(Machine, LabelMentionsCores) {
+  EXPECT_NE(Machine::bluegene(1024).label().find("1024"),
+            std::string::npos);
+  EXPECT_NE(Machine::fist_cluster(256).label().find("fist"),
+            std::string::npos);
+}
+
+TEST(Machine, CustomBuildValidatesRankCount) {
+  auto topo = std::make_unique<Mesh2D>(4, 4);
+  auto map = std::make_unique<RowMajorMapping>(8);  // != 4*4
+  EXPECT_THROW(Machine(std::move(topo), std::move(map), 4, 4, "bad"),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace stormtrack

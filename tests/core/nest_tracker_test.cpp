@@ -1,0 +1,95 @@
+#include "core/nest_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+namespace {
+
+TEST(NestTracker, FirstUpdateInsertsEverything) {
+  NestTracker t;
+  const std::vector<Rect> rois{{10, 10, 20, 20}, {100, 100, 30, 30}};
+  const NestDiff d = t.update(rois);
+  EXPECT_EQ(d.inserted.size(), 2u);
+  EXPECT_TRUE(d.retained.empty());
+  EXPECT_TRUE(d.deleted.empty());
+  EXPECT_EQ(t.active().size(), 2u);
+  EXPECT_EQ(t.active()[0].id, 1);
+  EXPECT_EQ(t.active()[1].id, 2);
+}
+
+TEST(NestTracker, StableIdsForPersistentRois) {
+  NestTracker t;
+  t.update(std::vector<Rect>{{10, 10, 20, 20}});
+  // Slightly moved ROI: same nest.
+  const NestDiff d = t.update(std::vector<Rect>{{12, 11, 20, 20}});
+  ASSERT_EQ(d.retained.size(), 1u);
+  EXPECT_EQ(d.retained[0].id, 1);
+  EXPECT_EQ(d.retained[0].region, (Rect{12, 11, 20, 20}));
+  EXPECT_TRUE(d.inserted.empty());
+  EXPECT_TRUE(d.deleted.empty());
+}
+
+TEST(NestTracker, DisappearedRoiDeletesNest) {
+  NestTracker t;
+  t.update(std::vector<Rect>{{10, 10, 20, 20}, {100, 100, 30, 30}});
+  const NestDiff d = t.update(std::vector<Rect>{{10, 10, 20, 20}});
+  ASSERT_EQ(d.deleted.size(), 1u);
+  EXPECT_EQ(d.deleted[0], 2);
+  EXPECT_EQ(t.active().size(), 1u);
+}
+
+TEST(NestTracker, NewRoiGetsFreshId) {
+  NestTracker t;
+  t.update(std::vector<Rect>{{10, 10, 20, 20}});
+  const NestDiff d =
+      t.update(std::vector<Rect>{{10, 10, 20, 20}, {200, 200, 25, 25}});
+  ASSERT_EQ(d.inserted.size(), 1u);
+  EXPECT_EQ(d.inserted[0].id, 2);
+}
+
+TEST(NestTracker, IdsNeverReused) {
+  NestTracker t;
+  t.update(std::vector<Rect>{{10, 10, 20, 20}});
+  t.update(std::vector<Rect>{});  // delete nest 1
+  const NestDiff d = t.update(std::vector<Rect>{{10, 10, 20, 20}});
+  ASSERT_EQ(d.inserted.size(), 1u);
+  EXPECT_EQ(d.inserted[0].id, 2);  // not 1 again
+}
+
+TEST(NestTracker, GreedyMatchingPrefersBestOverlap) {
+  NestTracker t(0.05);
+  t.update(std::vector<Rect>{{0, 0, 20, 20}, {30, 0, 20, 20}});
+  // One new ROI overlapping both old nests, closer to the second.
+  const NestDiff d = t.update(std::vector<Rect>{{28, 0, 20, 20}});
+  ASSERT_EQ(d.retained.size(), 1u);
+  EXPECT_EQ(d.retained[0].id, 2);
+  EXPECT_EQ(d.deleted.size(), 1u);
+  EXPECT_EQ(d.deleted[0], 1);
+}
+
+TEST(NestTracker, ShapeIsRefinedRegion) {
+  NestTracker t;
+  const NestDiff d = t.update(std::vector<Rect>{{0, 0, 60, 110}});
+  ASSERT_EQ(d.inserted.size(), 1u);
+  EXPECT_EQ(d.inserted[0].shape.nx, 180);
+  EXPECT_EQ(d.inserted[0].shape.ny, 330);
+}
+
+TEST(NestTracker, BelowThresholdOverlapIsNewNest) {
+  NestTracker t(0.5);  // strict matching
+  t.update(std::vector<Rect>{{0, 0, 20, 20}});
+  const NestDiff d = t.update(std::vector<Rect>{{15, 15, 20, 20}});
+  EXPECT_EQ(d.retained.size(), 0u);
+  EXPECT_EQ(d.deleted.size(), 1u);
+  EXPECT_EQ(d.inserted.size(), 1u);
+}
+
+TEST(NestTracker, BadThresholdThrows) {
+  EXPECT_THROW(NestTracker(0.0), CheckError);
+  EXPECT_THROW(NestTracker(1.5), CheckError);
+}
+
+}  // namespace
+}  // namespace stormtrack

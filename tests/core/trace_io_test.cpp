@@ -1,0 +1,132 @@
+#include "core/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiment.hpp"
+#include "util/check.hpp"
+
+namespace stormtrack {
+namespace {
+
+TEST(TraceIo, RoundTripSyntheticTrace) {
+  SyntheticTraceConfig cfg;
+  cfg.num_events = 12;
+  cfg.seed = 77;
+  const Trace original = generate_synthetic_trace(cfg);
+
+  std::stringstream ss;
+  save_trace(original, ss);
+  const Trace loaded = load_trace(ss);
+
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t e = 0; e < original.size(); ++e) {
+    ASSERT_EQ(loaded[e].size(), original[e].size()) << "event " << e;
+    for (std::size_t i = 0; i < original[e].size(); ++i) {
+      EXPECT_EQ(loaded[e][i].id, original[e][i].id);
+      EXPECT_EQ(loaded[e][i].region, original[e][i].region);
+      EXPECT_EQ(loaded[e][i].shape.nx, original[e][i].shape.nx);
+      EXPECT_EQ(loaded[e][i].shape.ny, original[e][i].shape.ny);
+    }
+  }
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  SyntheticTraceConfig cfg;
+  cfg.num_events = 4;
+  const Trace original = generate_synthetic_trace(cfg);
+  const auto path = std::filesystem::temp_directory_path() /
+                    "stormtrack_trace_test" / "t.trace";
+  save_trace(original, path);
+  const Trace loaded = load_trace(path);
+  EXPECT_EQ(loaded.size(), original.size());
+  std::filesystem::remove_all(path.parent_path());
+}
+
+TEST(TraceIo, EmptyTrace) {
+  std::stringstream ss;
+  save_trace(Trace{}, ss);
+  EXPECT_TRUE(load_trace(ss).empty());
+}
+
+TEST(TraceIo, EmptyEventPreserved) {
+  Trace t(2);
+  t[0].push_back(NestSpec{1, Rect{0, 0, 10, 10}, NestShape{30, 30}});
+  // t[1] deliberately empty (all nests deleted).
+  std::stringstream ss;
+  save_trace(t, ss);
+  const Trace loaded = load_trace(ss);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].size(), 1u);
+  EXPECT_TRUE(loaded[1].empty());
+}
+
+TEST(TraceIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream ss(
+      "stormtrack-trace 1\n"
+      "# a comment\n"
+      "\n"
+      "event 0\n"
+      "nest 3 1 2 10 20 30 60  # trailing comment\n");
+  const Trace t = load_trace(ss);
+  ASSERT_EQ(t.size(), 1u);
+  ASSERT_EQ(t[0].size(), 1u);
+  EXPECT_EQ(t[0][0].id, 3);
+  EXPECT_EQ(t[0][0].region, (Rect{1, 2, 10, 20}));
+}
+
+TEST(TraceIo, BadMagicThrows) {
+  std::stringstream ss("something-else 1\n");
+  EXPECT_THROW((void)load_trace(ss), CheckError);
+}
+
+TEST(TraceIo, BadVersionThrows) {
+  std::stringstream ss("stormtrack-trace 99\n");
+  EXPECT_THROW((void)load_trace(ss), CheckError);
+}
+
+TEST(TraceIo, OutOfOrderEventsThrow) {
+  std::stringstream ss("stormtrack-trace 1\nevent 1\n");
+  EXPECT_THROW((void)load_trace(ss), CheckError);
+}
+
+TEST(TraceIo, NestBeforeEventThrows) {
+  std::stringstream ss("stormtrack-trace 1\nnest 1 0 0 5 5 15 15\n");
+  EXPECT_THROW((void)load_trace(ss), CheckError);
+}
+
+TEST(TraceIo, DuplicateNestIdThrows) {
+  std::stringstream ss(
+      "stormtrack-trace 1\nevent 0\n"
+      "nest 1 0 0 5 5 15 15\nnest 1 9 9 5 5 15 15\n");
+  EXPECT_THROW((void)load_trace(ss), CheckError);
+}
+
+TEST(TraceIo, MalformedNestThrows) {
+  std::stringstream ss("stormtrack-trace 1\nevent 0\nnest 1 0 0\n");
+  EXPECT_THROW((void)load_trace(ss), CheckError);
+}
+
+TEST(TraceIo, NonPositiveExtentThrows) {
+  std::stringstream ss(
+      "stormtrack-trace 1\nevent 0\nnest 1 0 0 0 5 15 15\n");
+  EXPECT_THROW((void)load_trace(ss), CheckError);
+}
+
+TEST(TraceIo, LoadedTraceRunsThroughHarness) {
+  SyntheticTraceConfig cfg;
+  cfg.num_events = 6;
+  std::stringstream ss;
+  save_trace(generate_synthetic_trace(cfg), ss);
+  const Trace loaded = load_trace(ss);
+
+  const ModelStack models;
+  const Machine m = Machine::bluegene(256);
+  const TraceRunResult r = run_trace(m, models.model, models.truth,
+                                     Strategy::kDiffusion, loaded);
+  EXPECT_EQ(r.outcomes.size(), 6u);
+}
+
+}  // namespace
+}  // namespace stormtrack

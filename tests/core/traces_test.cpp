@@ -1,0 +1,140 @@
+#include "core/traces.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+namespace {
+
+TEST(SyntheticTrace, RespectsConfigBounds) {
+  SyntheticTraceConfig cfg;
+  cfg.num_events = 30;
+  cfg.seed = 9;
+  const Trace trace = generate_synthetic_trace(cfg);
+  ASSERT_EQ(trace.size(), 30u);
+  for (const auto& active : trace) {
+    EXPECT_GE(static_cast<int>(active.size()), cfg.min_nests);
+    EXPECT_LE(static_cast<int>(active.size()), cfg.max_nests);
+    for (const NestSpec& n : active) {
+      EXPECT_GT(n.shape.nx, 0);
+      EXPECT_GT(n.shape.ny, 0);
+      EXPECT_LE(n.shape.nx, cfg.max_size + 3);
+      EXPECT_LE(n.shape.ny, cfg.max_size + 3);
+      EXPECT_GE(n.region.x, 0);
+      EXPECT_LE(n.region.x_end(), cfg.domain_nx);
+      EXPECT_LE(n.region.y_end(), cfg.domain_ny);
+    }
+  }
+}
+
+TEST(SyntheticTrace, DeterministicBySeed) {
+  SyntheticTraceConfig cfg;
+  cfg.num_events = 10;
+  const Trace a = generate_synthetic_trace(cfg);
+  const Trace b = generate_synthetic_trace(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size());
+    for (std::size_t j = 0; j < a[i].size(); ++j) {
+      EXPECT_EQ(a[i][j].id, b[i][j].id);
+      EXPECT_EQ(a[i][j].region, b[i][j].region);
+    }
+  }
+}
+
+TEST(SyntheticTrace, HasChurn) {
+  SyntheticTraceConfig cfg;
+  cfg.num_events = 40;
+  cfg.seed = 17;
+  const Trace trace = generate_synthetic_trace(cfg);
+  int deletions = 0, insertions = 0, retentions = 0;
+  for (std::size_t e = 1; e < trace.size(); ++e) {
+    std::set<int> prev, cur;
+    for (const NestSpec& n : trace[e - 1]) prev.insert(n.id);
+    for (const NestSpec& n : trace[e]) cur.insert(n.id);
+    for (int id : prev)
+      if (!cur.count(id)) ++deletions;
+    for (int id : cur)
+      if (!prev.count(id))
+        ++insertions;
+      else
+        ++retentions;
+  }
+  EXPECT_GT(deletions, 10);
+  EXPECT_GT(insertions, 10);
+  EXPECT_GT(retentions, 10);
+}
+
+TEST(SyntheticTrace, UniqueIdsWithinEvent) {
+  SyntheticTraceConfig cfg;
+  cfg.num_events = 25;
+  cfg.seed = 23;
+  for (const auto& active : generate_synthetic_trace(cfg)) {
+    std::set<int> ids;
+    for (const NestSpec& n : active) EXPECT_TRUE(ids.insert(n.id).second);
+  }
+}
+
+TEST(SyntheticTrace, BadConfigThrows) {
+  SyntheticTraceConfig cfg;
+  cfg.num_events = 0;
+  EXPECT_THROW((void)generate_synthetic_trace(cfg), CheckError);
+}
+
+TEST(RealScenario, ProducesActiveNests) {
+  RealScenarioConfig cfg;
+  cfg.weather.domain.resolution_km = 24.0;  // test speed
+  cfg.num_intervals = 6;
+  cfg.sim_px = 16;
+  cfg.sim_py = 16;
+  cfg.pda.analysis_procs = 16;
+  RealScenarioDriver driver(cfg);
+  int total_nests = 0;
+  for (int i = 0; i < cfg.num_intervals; ++i) {
+    const RealScenarioStep step = driver.next();
+    EXPECT_EQ(step.interval, i);
+    total_nests += static_cast<int>(step.active.size());
+    for (const NestSpec& n : step.active) {
+      EXPECT_GT(n.shape.nx, 0);
+      EXPECT_GT(n.shape.ny, 0);
+    }
+  }
+  EXPECT_GT(total_nests, 0);
+}
+
+TEST(RealScenario, TraceGeneration) {
+  RealScenarioConfig cfg;
+  cfg.weather.domain.resolution_km = 24.0;
+  cfg.num_intervals = 4;
+  cfg.sim_px = 16;
+  cfg.sim_py = 16;
+  cfg.pda.analysis_procs = 16;
+  const Trace trace = generate_real_trace(cfg);
+  EXPECT_EQ(trace.size(), 4u);
+}
+
+TEST(RealScenario, RetainedNestsKeepIdsAcrossIntervals) {
+  RealScenarioConfig cfg;
+  cfg.weather.domain.resolution_km = 24.0;
+  cfg.num_intervals = 8;
+  cfg.sim_px = 16;
+  cfg.sim_py = 16;
+  cfg.pda.analysis_procs = 16;
+  const Trace trace = generate_real_trace(cfg);
+  // Clouds persist between 2-minute intervals, so consecutive active sets
+  // should share ids at least once over the run.
+  int shared = 0;
+  for (std::size_t e = 1; e < trace.size(); ++e) {
+    std::set<int> prev;
+    for (const NestSpec& n : trace[e - 1]) prev.insert(n.id);
+    for (const NestSpec& n : trace[e])
+      if (prev.count(n.id)) ++shared;
+  }
+  EXPECT_GT(shared, 0);
+}
+
+}  // namespace
+}  // namespace stormtrack

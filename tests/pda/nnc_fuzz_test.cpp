@@ -1,0 +1,104 @@
+/// Randomized property tests of Algorithm 2 over synthetic element fields.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "pda/nnc.hpp"
+#include "util/rng.hpp"
+
+namespace stormtrack {
+namespace {
+
+std::vector<QCloudInfo> random_elements(Xoshiro256& rng, int count) {
+  std::vector<QCloudInfo> v;
+  std::set<std::pair<int, int>> used;
+  while (static_cast<int>(v.size()) < count) {
+    const int fx = static_cast<int>(rng.uniform_int(0, 31));
+    const int fy = static_cast<int>(rng.uniform_int(0, 31));
+    if (!used.insert({fx, fy}).second) continue;
+    QCloudInfo e;
+    e.file_rank = fy * 32 + fx;
+    e.file_x = fx;
+    e.file_y = fy;
+    e.subdomain = Rect{fx * 16, fy * 10, 16, 10};
+    e.qcloud = rng.uniform(0.001, 2.0);
+    e.olrfraction = rng.uniform(0.0, 1.0);
+    v.push_back(e);
+  }
+  std::sort(v.begin(), v.end(), [](const QCloudInfo& a, const QCloudInfo& b) {
+    return a.qcloud > b.qcloud;
+  });
+  return v;
+}
+
+class NncFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NncFuzz, InvariantsOnRandomFields) {
+  Xoshiro256 rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto info = random_elements(rng, 60);
+    const NncConfig cfg;
+    const auto clusters = nnc(info, cfg);
+
+    std::set<int> seen;
+    for (const Cluster& c : clusters) {
+      ASSERT_FALSE(c.empty());
+      for (int e : c) {
+        // Disjoint.
+        EXPECT_TRUE(seen.insert(e).second);
+        // Thresholds respected.
+        EXPECT_GE(info[static_cast<std::size_t>(e)].qcloud,
+                  cfg.qcloud_threshold);
+        EXPECT_GE(info[static_cast<std::size_t>(e)].olrfraction,
+                  cfg.olrfraction_threshold);
+      }
+      // 2-hop connectivity: every non-seed member sits within 2 hops of an
+      // *earlier* member (insertion order is preserved in the cluster).
+      for (std::size_t k = 1; k < c.size(); ++k) {
+        bool linked = false;
+        for (std::size_t j = 0; j < k; ++j)
+          linked |= file_grid_distance(
+                        info[static_cast<std::size_t>(c[k])],
+                        info[static_cast<std::size_t>(c[j])]) <= 2;
+        EXPECT_TRUE(linked);
+      }
+    }
+    // Coverage: every thresholded element is in exactly one cluster.
+    int expected = 0;
+    for (const QCloudInfo& e : info)
+      if (e.qcloud >= cfg.qcloud_threshold &&
+          e.olrfraction >= cfg.olrfraction_threshold)
+        ++expected;
+    EXPECT_EQ(static_cast<int>(seen.size()), expected);
+  }
+}
+
+TEST_P(NncFuzz, OursNeverMoreOverlappingThanBaseline) {
+  Xoshiro256 rng(GetParam() + 500);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto info = random_elements(rng, 40);
+    const auto ours = nnc(info);
+    const auto baseline = nnc_2hop_only(info);
+    // The 1-hop-first + mean-deviation variant yields at least as many,
+    // never coarser, clusters than the greedy baseline.
+    EXPECT_GE(ours.size(), baseline.size());
+  }
+}
+
+TEST_P(NncFuzz, DeterministicGivenInput) {
+  Xoshiro256 rng(GetParam() + 900);
+  const auto info = random_elements(rng, 50);
+  const auto a = nnc(info);
+  const auto b = nnc(info);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NncFuzz,
+                         ::testing::Values(10u, 20u, 30u, 40u));
+
+}  // namespace
+}  // namespace stormtrack

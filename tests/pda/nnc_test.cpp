@@ -1,0 +1,153 @@
+#include "pda/nnc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+namespace {
+
+/// Build an element at file-grid position (fx, fy) with the given aggregate.
+QCloudInfo elem(int fx, int fy, double q, double olrfrac = 0.5) {
+  QCloudInfo e;
+  e.file_rank = fy * 32 + fx;
+  e.file_x = fx;
+  e.file_y = fy;
+  e.subdomain = Rect{fx * 16, fy * 10, 16, 10};
+  e.qcloud = q;
+  e.olrfraction = olrfrac;
+  return e;
+}
+
+std::vector<QCloudInfo> sorted_desc(std::vector<QCloudInfo> v) {
+  std::sort(v.begin(), v.end(), [](const QCloudInfo& a, const QCloudInfo& b) {
+    return a.qcloud > b.qcloud;
+  });
+  return v;
+}
+
+TEST(FileGridDistance, Chebyshev) {
+  EXPECT_EQ(file_grid_distance(elem(0, 0, 1), elem(1, 1, 1)), 1);
+  EXPECT_EQ(file_grid_distance(elem(0, 0, 1), elem(2, 1, 1)), 2);
+  EXPECT_EQ(file_grid_distance(elem(3, 3, 1), elem(3, 3, 1)), 0);
+}
+
+TEST(Nnc, AdjacentElementsFormOneCluster) {
+  const auto info = sorted_desc({elem(5, 5, 1.0), elem(6, 5, 0.95),
+                                 elem(5, 6, 0.9)});
+  const auto clusters = nnc(info);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].size(), 3u);
+}
+
+TEST(Nnc, FarElementsFormSeparateClusters) {
+  const auto info = sorted_desc({elem(2, 2, 1.0), elem(20, 20, 0.9)});
+  const auto clusters = nnc(info);
+  EXPECT_EQ(clusters.size(), 2u);
+}
+
+TEST(Nnc, TwoHopGapStillJoins) {
+  const auto info = sorted_desc({elem(5, 5, 1.0), elem(7, 5, 0.95)});
+  const auto clusters = nnc(info);
+  ASSERT_EQ(clusters.size(), 1u);
+}
+
+TEST(Nnc, ThreeHopGapDoesNotJoin) {
+  const auto info = sorted_desc({elem(5, 5, 1.0), elem(8, 5, 0.95)});
+  EXPECT_EQ(nnc(info).size(), 2u);
+}
+
+TEST(Nnc, ThresholdsFilterWeakElements) {
+  NncConfig cfg;
+  cfg.qcloud_threshold = 0.005;
+  const auto info = sorted_desc(
+      {elem(5, 5, 1.0), elem(6, 5, 0.001), elem(10, 10, 1.0, 0.001)});
+  // 0.001 qcloud fails threshold; olrfraction 0.001 fails threshold.
+  const auto clusters = nnc(info, cfg);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].size(), 1u);
+}
+
+TEST(Nnc, MeanDeviationGuardRejectsOutliers) {
+  // A neighbour whose value would shift the cluster mean by >30% stays out.
+  const auto info = sorted_desc({elem(5, 5, 1.0), elem(6, 5, 0.1)});
+  const auto clusters = nnc(info);
+  EXPECT_EQ(clusters.size(), 2u);
+}
+
+TEST(Nnc, MeanDeviationGuardAcceptsSimilarValues) {
+  const auto info = sorted_desc({elem(5, 5, 1.0), elem(6, 5, 0.8)});
+  EXPECT_EQ(nnc(info).size(), 1u);
+}
+
+TEST(Nnc, UnsortedInputThrows) {
+  const std::vector<QCloudInfo> bad{elem(0, 0, 0.5), elem(1, 0, 1.0)};
+  EXPECT_THROW((void)nnc(bad), CheckError);
+}
+
+TEST(Nnc, EmptyInput) { EXPECT_TRUE(nnc({}).empty()); }
+
+TEST(Nnc, ClustersArePairwiseDisjointElementSets) {
+  std::vector<QCloudInfo> v;
+  for (int i = 0; i < 8; ++i)
+    for (int j = 0; j < 4; ++j)
+      v.push_back(elem(i * 3, j * 3, 1.0 - 0.01 * (i + j)));
+  const auto info = sorted_desc(v);
+  const auto clusters = nnc(info);
+  std::vector<int> seen;
+  for (const Cluster& c : clusters)
+    for (int i : c) seen.push_back(i);
+  std::sort(seen.begin(), seen.end());
+  EXPECT_TRUE(std::adjacent_find(seen.begin(), seen.end()) == seen.end());
+}
+
+TEST(Nnc, PaperFig9NonOverlapVsBaselineOverlap) {
+  // A blobby field where the greedy ≤2-hop baseline produces spatially
+  // overlapping clusters but the 1-hop-first + mean-deviation NNC does not.
+  std::vector<QCloudInfo> v;
+  // Two intense ridges separated by a weak trench 2 hops wide, plus noise
+  // elements in the trench whose values differ strongly.
+  for (int y = 0; y < 6; ++y) {
+    v.push_back(elem(2, y, 2.0 - 0.01 * y));
+    v.push_back(elem(6, y, 1.8 - 0.01 * y));
+    v.push_back(elem(4, y, 0.2 - 0.01 * y));  // trench: joins both under
+                                              // the loose baseline
+  }
+  const auto info = sorted_desc(v);
+  const auto ours = nnc(info);
+  const auto baseline = nnc_2hop_only(info);
+  EXPECT_LE(count_overlapping_cluster_pairs(info, ours),
+            count_overlapping_cluster_pairs(info, baseline));
+  EXPECT_EQ(count_overlapping_cluster_pairs(info, ours), 0);
+}
+
+TEST(ClusterBounds, UnionOfSubdomains) {
+  const auto info = sorted_desc({elem(2, 3, 1.0), elem(3, 3, 0.9)});
+  const Cluster c{0, 1};
+  const Rect b = cluster_bounds(info, c);
+  EXPECT_EQ(b, (Rect{2 * 16, 3 * 10, 32, 10}));
+}
+
+TEST(ClusterBounds, EmptyClusterThrows) {
+  EXPECT_THROW((void)cluster_bounds({}, Cluster{}), CheckError);
+}
+
+TEST(Nnc2HopOnly, GreedyMergesAcrossTrench) {
+  const auto info =
+      sorted_desc({elem(2, 2, 1.0), elem(4, 2, 0.05), elem(6, 2, 0.9)});
+  NncConfig cfg;
+  cfg.qcloud_threshold = 0.0;
+  cfg.olrfraction_threshold = 0.0;
+  // Baseline: the weak trench element chains onto the stronger ridge via
+  // the loose 2-hop link (2 clusters total).
+  EXPECT_EQ(nnc_2hop_only(info, cfg).size(), 2u);
+  // Ours: the trench element fails the mean-deviation guard against both
+  // ridges and stays alone (3 clusters).
+  EXPECT_EQ(nnc(info, cfg).size(), 3u);
+}
+
+}  // namespace
+}  // namespace stormtrack

@@ -1,0 +1,150 @@
+#include "pda/parallel_nnc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "pda/pda.hpp"
+#include "util/check.hpp"
+#include "wsim/split_file.hpp"
+
+namespace stormtrack {
+namespace {
+
+QCloudInfo elem(int fx, int fy, double q, double olrfrac = 0.5) {
+  QCloudInfo e;
+  e.file_rank = fy * 32 + fx;
+  e.file_x = fx;
+  e.file_y = fy;
+  e.subdomain = Rect{fx * 16, fy * 10, 16, 10};
+  e.qcloud = q;
+  e.olrfraction = olrfrac;
+  return e;
+}
+
+std::vector<QCloudInfo> sorted_desc(std::vector<QCloudInfo> v) {
+  std::sort(v.begin(), v.end(), [](const QCloudInfo& a, const QCloudInfo& b) {
+    return a.qcloud > b.qcloud;
+  });
+  return v;
+}
+
+/// Canonical form: set of sorted member sets.
+std::set<std::vector<int>> canonical(std::vector<Cluster> cs) {
+  std::set<std::vector<int>> out;
+  for (Cluster& c : cs) {
+    std::sort(c.begin(), c.end());
+    out.insert(c);
+  }
+  return out;
+}
+
+TEST(ParallelNnc, EmptyInput) {
+  const ParallelNncResult r = parallel_nnc({}, NncConfig{}, 4);
+  EXPECT_TRUE(r.clusters.empty());
+}
+
+TEST(ParallelNnc, SingleRankMatchesSequential) {
+  const auto info = sorted_desc({elem(5, 5, 1.0), elem(6, 5, 0.95),
+                                 elem(20, 20, 0.9), elem(21, 20, 0.85)});
+  const auto seq = nnc(info);
+  const ParallelNncResult par = parallel_nnc(info, NncConfig{}, 1);
+  EXPECT_EQ(canonical(seq), canonical(par.clusters));
+}
+
+TEST(ParallelNnc, WellSeparatedSystemsMatchSequential) {
+  // Two tight systems in different tiles, far apart: parallel must yield
+  // exactly the sequential clustering regardless of rank count.
+  std::vector<QCloudInfo> v;
+  for (int d = 0; d < 3; ++d) {
+    v.push_back(elem(2 + d, 2, 1.0 - 0.01 * d));
+    v.push_back(elem(25 + d, 25, 0.9 - 0.01 * d));
+  }
+  const auto info = sorted_desc(v);
+  const auto seq = nnc(info);
+  for (const int ranks : {1, 2, 4, 9, 16}) {
+    const ParallelNncResult par = parallel_nnc(info, NncConfig{}, ranks);
+    EXPECT_EQ(canonical(seq), canonical(par.clusters)) << ranks << " ranks";
+  }
+}
+
+TEST(ParallelNnc, MergesClustersSplitByTileBoundary) {
+  // One contiguous ridge spanning the whole x range: tiles split it, the
+  // merge pass must reunite it.
+  std::vector<QCloudInfo> v;
+  for (int x = 0; x < 16; ++x) v.push_back(elem(x, 8, 1.0 - 0.001 * x));
+  const auto info = sorted_desc(v);
+  const ParallelNncResult par = parallel_nnc(info, NncConfig{}, 4);
+  EXPECT_EQ(par.clusters.size(), 1u);
+  EXPECT_EQ(par.clusters[0].size(), 16u);
+  EXPECT_GT(par.merges, 0);
+}
+
+TEST(ParallelNnc, ClustersDisjointAndCoverThresholded) {
+  std::vector<QCloudInfo> v;
+  for (int i = 0; i < 10; ++i)
+    for (int j = 0; j < 6; ++j)
+      v.push_back(elem(i * 3, j * 4, 0.5 + 0.01 * (i + j)));
+  const auto info = sorted_desc(v);
+  const NncConfig cfg;
+  const ParallelNncResult par = parallel_nnc(info, cfg, 8);
+  std::set<int> seen;
+  for (const Cluster& c : par.clusters)
+    for (int e : c) EXPECT_TRUE(seen.insert(e).second);
+  int expected = 0;
+  for (const QCloudInfo& e : info)
+    if (e.qcloud >= cfg.qcloud_threshold &&
+        e.olrfraction >= cfg.olrfraction_threshold)
+      ++expected;
+  EXPECT_EQ(static_cast<int>(seen.size()), expected);
+}
+
+TEST(ParallelNnc, MergeRespectsMeanDeviation) {
+  // Adjacent across tiles but wildly different magnitudes: must not merge.
+  std::vector<QCloudInfo> v{elem(7, 4, 2.0), elem(9, 4, 0.1)};
+  const auto info = sorted_desc(v);
+  const ParallelNncResult par = parallel_nnc(info, NncConfig{}, 4);
+  EXPECT_EQ(par.clusters.size(), 2u);
+}
+
+TEST(ParallelNnc, GatherPricedOnComm) {
+  Mesh2D topo(4, 4);
+  RowMajorMapping map(16);
+  SimComm comm(topo, map);
+  std::vector<QCloudInfo> v;
+  for (int x = 0; x < 8; ++x) v.push_back(elem(x * 2, 4, 1.0 - 0.01 * x));
+  const auto info = sorted_desc(v);
+  const ParallelNncResult par = parallel_nnc(info, NncConfig{}, 16, &comm);
+  EXPECT_GT(par.traffic.total_bytes, 0);
+}
+
+TEST(ParallelNnc, AgreesWithSequentialOnRealFields) {
+  // End-to-end sanity on simulated weather: cluster counts should be close
+  // (boundary greediness may differ by a cluster occasionally).
+  WeatherConfig wcfg = WeatherConfig::mumbai_2005();
+  wcfg.domain.resolution_km = 24.0;
+  WeatherModel model(wcfg, 101);
+  for (int step = 0; step < 6; ++step) {
+    model.step();
+    const auto files = write_split_files(model, 16, 16);
+    const PdaResult pda = parallel_data_analysis(files, PdaConfig{});
+    const ParallelNncResult par =
+        parallel_nnc(pda.qcloudinfo, NncConfig{}, 16);
+    // The parallel variant is slightly finer on large organized systems:
+    // the sequential algorithm absorbs weak elements one at a time while
+    // its cluster mean drifts, whereas the cross-tile merge admits whole
+    // fragments against fixed means. Counts stay close, never wildly off.
+    const auto diff = std::abs(static_cast<int>(par.clusters.size()) -
+                               static_cast<int>(pda.clusters.size()));
+    EXPECT_LE(diff, 6) << "step " << step;
+    // Same covered element count either way.
+    std::size_t seq_members = 0, par_members = 0;
+    for (const Cluster& c : pda.clusters) seq_members += c.size();
+    for (const Cluster& c : par.clusters) par_members += c.size();
+    EXPECT_EQ(seq_members, par_members);
+  }
+}
+
+}  // namespace
+}  // namespace stormtrack

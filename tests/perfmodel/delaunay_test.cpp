@@ -1,0 +1,151 @@
+#include "perfmodel/delaunay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace stormtrack {
+namespace {
+
+TEST(Delaunay, TriangleOfThree) {
+  Delaunay2D d({{0, 0}, {1, 0}, {0, 1}});
+  ASSERT_EQ(d.triangles().size(), 1u);
+}
+
+TEST(Delaunay, SquareGivesTwoTriangles) {
+  Delaunay2D d({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  EXPECT_EQ(d.triangles().size(), 2u);
+}
+
+TEST(Delaunay, EulerInvariantOnRandomSites) {
+  // For a triangulation of a point set: T = 2n - 2 - h, with h hull points.
+  // Sanity-check a weaker invariant: T <= 2n and every site appears.
+  Xoshiro256 rng(3);
+  std::vector<Point2> sites;
+  for (int i = 0; i < 30; ++i)
+    sites.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+  Delaunay2D d(sites);
+  EXPECT_LE(d.triangles().size(), 2u * sites.size());
+  std::vector<char> used(sites.size(), 0);
+  for (const Triangle& t : d.triangles())
+    for (int v : t) used[static_cast<std::size_t>(v)] = 1;
+  for (char u : used) EXPECT_TRUE(u);
+}
+
+TEST(Delaunay, EmptyCircumcircleProperty) {
+  Xoshiro256 rng(17);
+  std::vector<Point2> sites;
+  for (int i = 0; i < 20; ++i)
+    sites.push_back({rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)});
+  Delaunay2D d(sites);
+  // No site may lie strictly inside any triangle's circumcircle.
+  for (const Triangle& t : d.triangles()) {
+    const Point2& a = sites[static_cast<std::size_t>(t[0])];
+    const Point2& b = sites[static_cast<std::size_t>(t[1])];
+    const Point2& c = sites[static_cast<std::size_t>(t[2])];
+    // Circumcenter via perpendicular bisectors.
+    const double dd =
+        2.0 * (a.x * (b.y - c.y) + b.x * (c.y - a.y) + c.x * (a.y - b.y));
+    ASSERT_NE(dd, 0.0);
+    const double ux = ((a.x * a.x + a.y * a.y) * (b.y - c.y) +
+                       (b.x * b.x + b.y * b.y) * (c.y - a.y) +
+                       (c.x * c.x + c.y * c.y) * (a.y - b.y)) /
+                      dd;
+    const double uy = ((a.x * a.x + a.y * a.y) * (c.x - b.x) +
+                       (b.x * b.x + b.y * b.y) * (a.x - c.x) +
+                       (c.x * c.x + c.y * c.y) * (b.x - a.x)) /
+                      dd;
+    const double r2 = (a.x - ux) * (a.x - ux) + (a.y - uy) * (a.y - uy);
+    for (std::size_t s = 0; s < sites.size(); ++s) {
+      const double d2 = (sites[s].x - ux) * (sites[s].x - ux) +
+                        (sites[s].y - uy) * (sites[s].y - uy);
+      EXPECT_GE(d2, r2 - 1e-7) << "site " << s << " inside circumcircle";
+    }
+  }
+}
+
+TEST(Delaunay, LocateInsideAndOutside) {
+  Delaunay2D d({{0, 0}, {10, 0}, {0, 10}, {10, 10}});
+  EXPECT_GE(d.locate({5, 5}), 0);
+  EXPECT_GE(d.locate({0.1, 0.1}), 0);
+  EXPECT_EQ(d.locate({20, 20}), -1);
+  EXPECT_EQ(d.locate({-1, 5}), -1);
+}
+
+TEST(Delaunay, BarycentricSumsToOne) {
+  Delaunay2D d({{0, 0}, {10, 0}, {0, 10}});
+  const auto bc = d.barycentric(0, {2, 3});
+  EXPECT_NEAR(bc[0] + bc[1] + bc[2], 1.0, 1e-12);
+  for (double w : bc) EXPECT_GE(w, -1e-12);
+}
+
+TEST(Delaunay, NearestSite) {
+  Delaunay2D d({{0, 0}, {10, 0}, {0, 10}});
+  EXPECT_EQ(d.nearest_site({1, 1}), 0);
+  EXPECT_EQ(d.nearest_site({9, 1}), 1);
+  EXPECT_EQ(d.nearest_site({1, 20}), 2);
+}
+
+TEST(Delaunay, DuplicateSitesThrow) {
+  EXPECT_THROW(Delaunay2D({{0, 0}, {0, 0}, {1, 1}}), CheckError);
+}
+
+TEST(Delaunay, TooFewSitesThrow) {
+  EXPECT_THROW(Delaunay2D({{0, 0}, {1, 1}}), CheckError);
+}
+
+TEST(Delaunay, CollinearSitesThrow) {
+  EXPECT_THROW(Delaunay2D({{0, 0}, {1, 1}, {2, 2}, {3, 3}}), CheckError);
+}
+
+TEST(Interpolant, ExactOnLinearFunction) {
+  // Piecewise-linear interpolation reproduces affine functions exactly
+  // inside the hull.
+  Xoshiro256 rng(5);
+  std::vector<Point2> sites;
+  std::vector<double> values;
+  auto f = [](const Point2& p) { return 3.0 + 2.0 * p.x - 0.5 * p.y; };
+  for (int i = 0; i < 25; ++i) {
+    sites.push_back({rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)});
+    values.push_back(f(sites.back()));
+  }
+  // Add corners so queries stay inside the hull.
+  for (const Point2 c :
+       {Point2{0, 0}, Point2{10, 0}, Point2{0, 10}, Point2{10, 10}}) {
+    sites.push_back(c);
+    values.push_back(f(c));
+  }
+  ScatteredInterpolant interp(sites, values);
+  for (int i = 0; i < 50; ++i) {
+    const Point2 q{rng.uniform(0.5, 9.5), rng.uniform(0.5, 9.5)};
+    EXPECT_NEAR(interp(q), f(q), 1e-9);
+  }
+}
+
+TEST(Interpolant, ExactAtSites) {
+  std::vector<Point2> sites{{0, 0}, {4, 0}, {0, 4}, {4, 4}};
+  std::vector<double> values{1.0, 2.0, 3.0, 4.0};
+  ScatteredInterpolant interp(sites, values);
+  for (std::size_t i = 0; i < sites.size(); ++i)
+    EXPECT_NEAR(interp(sites[i]), values[i], 1e-9);
+}
+
+TEST(Interpolant, OutsideHullClampsToNearestSite) {
+  std::vector<Point2> sites{{0, 0}, {4, 0}, {0, 4}};
+  std::vector<double> values{1.0, 2.0, 3.0};
+  ScatteredInterpolant interp(sites, values);
+  EXPECT_DOUBLE_EQ(interp({-5, -5}), 1.0);
+  EXPECT_DOUBLE_EQ(interp({10, 0}), 2.0);
+}
+
+TEST(Interpolant, ValueCountMismatchThrows) {
+  EXPECT_THROW(
+      ScatteredInterpolant({{0, 0}, {1, 0}, {0, 1}}, {1.0, 2.0}),
+      CheckError);
+}
+
+}  // namespace
+}  // namespace stormtrack

@@ -1,0 +1,142 @@
+#include "perfmodel/exec_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace stormtrack {
+namespace {
+
+TEST(GroundTruth, MoreProcessorsIsFaster) {
+  GroundTruthCost truth;
+  const NestShape n{300, 300};
+  EXPECT_GT(truth.execution_time(n, 8, 8), truth.execution_time(n, 16, 16));
+}
+
+TEST(GroundTruth, BiggerNestIsSlower) {
+  GroundTruthCost truth;
+  EXPECT_LT(truth.execution_time(NestShape{180, 180}, 10, 10),
+            truth.execution_time(NestShape{360, 360}, 10, 10));
+}
+
+TEST(GroundTruth, SkewedRectanglesAreSlower) {
+  // The §V-D effect: same processor count, worse aspect ratio → slower.
+  GroundTruthCost truth;
+  const NestShape n{300, 300};
+  EXPECT_LT(truth.execution_time(n, 16, 16),
+            truth.execution_time(n, 4, 64));
+  EXPECT_LT(truth.execution_time(n, 16, 16),
+            truth.execution_time(n, 64, 4));
+}
+
+TEST(GroundTruth, CountOverloadUsesSquareRect) {
+  GroundTruthCost truth;
+  const NestShape n{240, 240};
+  EXPECT_DOUBLE_EQ(truth.execution_time(n, 256),
+                   truth.execution_time(n, 16, 16));
+  EXPECT_DOUBLE_EQ(truth.execution_time(n, 512),
+                   truth.execution_time(n, 16, 32));
+}
+
+TEST(GroundTruth, InvalidArgsThrow) {
+  GroundTruthCost truth;
+  EXPECT_THROW((void)truth.execution_time(NestShape{0, 10}, 4, 4),
+               CheckError);
+  EXPECT_THROW((void)truth.execution_time(NestShape{10, 10}, 0, 4),
+               CheckError);
+}
+
+TEST(ExecModel, PaperDefaultHas13DomainsAnd10Counts) {
+  const ProfileConfig cfg = ProfileConfig::paper_default();
+  EXPECT_EQ(cfg.domains.size(), 13u);
+  EXPECT_EQ(cfg.proc_counts.size(), 10u);
+}
+
+TEST(ExecModel, PredictsWithinNoiseOfTruth) {
+  GroundTruthCost truth;
+  ExecTimeModel model(truth, ProfileConfig::paper_default());
+  for (const NestShape n :
+       {NestShape{200, 200}, NestShape{250, 320}, NestShape{350, 200}}) {
+    for (const int p : {64, 128, 256, 400, 512}) {
+      const double predicted = model.predict(n, p);
+      const double actual = truth.execution_time(n, p);
+      EXPECT_NEAR(predicted, actual, 0.35 * actual)
+          << n.nx << "x" << n.ny << " on " << p;
+    }
+  }
+}
+
+TEST(ExecModel, PearsonCorrelationNearPoint9) {
+  // §V-F: "our prediction method yielded Pearson's correlation coefficient
+  // of 0.9". Evaluate over a spread of nest configurations.
+  GroundTruthCost truth;
+  ExecTimeModel model(truth, ProfileConfig::paper_default());
+  Xoshiro256 rng(77);
+  std::vector<double> predicted, actual;
+  for (int i = 0; i < 200; ++i) {
+    const NestShape n{static_cast<int>(rng.uniform_int(175, 361)),
+                      static_cast<int>(rng.uniform_int(175, 361))};
+    const int pw = static_cast<int>(rng.uniform_int(6, 24));
+    const int ph = static_cast<int>(rng.uniform_int(6, 24));
+    predicted.push_back(model.predict(n, pw * ph));
+    actual.push_back(truth.execution_time(n, pw, ph));
+  }
+  const double r = pearson(predicted, actual);
+  EXPECT_GT(r, 0.80);
+  EXPECT_LT(r, 0.999);  // noise + aspect blindness keep it imperfect
+}
+
+TEST(ExecModel, MonotoneInNestSize) {
+  GroundTruthCost truth;
+  ExecTimeModel model(truth, ProfileConfig::paper_default());
+  EXPECT_LT(model.predict(NestShape{180, 180}, 256),
+            model.predict(NestShape{360, 360}, 256));
+}
+
+TEST(ExecModel, ClampOutsideProfiledProcRange) {
+  GroundTruthCost truth;
+  ExecTimeModel model(truth, ProfileConfig::paper_default());
+  const NestShape n{250, 250};
+  EXPECT_DOUBLE_EQ(model.predict(n, 8), model.predict(n, 32));
+  EXPECT_DOUBLE_EQ(model.predict(n, 4096), model.predict(n, 1024));
+}
+
+TEST(ExecModel, LinearBetweenProfiledCounts) {
+  GroundTruthCost truth;
+  ProfileConfig cfg = ProfileConfig::paper_default();
+  cfg.noise_rel_stdev = 0.0;  // exact samples
+  ExecTimeModel model(truth, cfg);
+  const NestShape n{240, 240};
+  const double t128 = model.predict(n, 128);
+  const double t192 = model.predict(n, 192);
+  const double t160 = model.predict(n, 160);
+  EXPECT_NEAR(t160, 0.5 * (t128 + t192), 1e-12);
+}
+
+TEST(ExecModel, DeterministicGivenSeed) {
+  GroundTruthCost truth;
+  ExecTimeModel a(truth, ProfileConfig::paper_default());
+  ExecTimeModel b(truth, ProfileConfig::paper_default());
+  EXPECT_DOUBLE_EQ(a.predict(NestShape{222, 333}, 300),
+                   b.predict(NestShape{222, 333}, 300));
+}
+
+TEST(WeightRatios, SumToOneAndOrderBySize) {
+  GroundTruthCost truth;
+  ExecTimeModel model(truth, ProfileConfig::paper_default());
+  const std::vector<NestShape> shapes{{180, 180}, {270, 270}, {360, 360}};
+  const std::vector<double> w = weight_ratios(model, shapes, 1024);
+  ASSERT_EQ(w.size(), 3u);
+  double sum = 0.0;
+  for (double x : w) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_LT(w[0], w[1]);
+  EXPECT_LT(w[1], w[2]);
+}
+
+}  // namespace
+}  // namespace stormtrack

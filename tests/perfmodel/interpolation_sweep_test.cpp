@@ -1,0 +1,103 @@
+/// Randomized properties of the Delaunay interpolant and the execution-time
+/// model that the dynamic strategy's predictions rest on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "perfmodel/exec_model.hpp"
+#include "util/rng.hpp"
+
+namespace stormtrack {
+namespace {
+
+class InterpolationSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InterpolationSweep, ValuesWithinSiteRangeInsideHull) {
+  // Barycentric interpolation is a convex combination: inside the hull the
+  // value must lie within [min, max] of the site values.
+  Xoshiro256 rng(GetParam());
+  std::vector<Point2> sites;
+  std::vector<double> values;
+  // Corners guarantee the query box is inside the hull.
+  for (const Point2 c :
+       {Point2{0, 0}, Point2{100, 0}, Point2{0, 100}, Point2{100, 100}}) {
+    sites.push_back(c);
+    values.push_back(rng.uniform(1.0, 9.0));
+  }
+  for (int i = 0; i < 20; ++i) {
+    sites.push_back({rng.uniform(1.0, 99.0), rng.uniform(1.0, 99.0)});
+    values.push_back(rng.uniform(1.0, 9.0));
+  }
+  const double lo = *std::min_element(values.begin(), values.end());
+  const double hi = *std::max_element(values.begin(), values.end());
+  const ScatteredInterpolant interp(sites, values);
+  for (int q = 0; q < 100; ++q) {
+    const double v =
+        interp({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+    EXPECT_GE(v, lo - 1e-9);
+    EXPECT_LE(v, hi + 1e-9);
+  }
+}
+
+TEST_P(InterpolationSweep, ContinuityAcrossSmallSteps) {
+  // Piecewise-linear interpolants are Lipschitz: nearby queries give
+  // nearby values (no jumps at triangle boundaries).
+  Xoshiro256 rng(GetParam() + 50);
+  std::vector<Point2> sites;
+  std::vector<double> values;
+  for (const Point2 c :
+       {Point2{0, 0}, Point2{50, 0}, Point2{0, 50}, Point2{50, 50}}) {
+    sites.push_back(c);
+    values.push_back(rng.uniform(0.0, 1.0));
+  }
+  for (int i = 0; i < 12; ++i) {
+    sites.push_back({rng.uniform(2.0, 48.0), rng.uniform(2.0, 48.0)});
+    values.push_back(rng.uniform(0.0, 1.0));
+  }
+  const ScatteredInterpolant interp(sites, values);
+  for (int q = 0; q < 200; ++q) {
+    const Point2 p{rng.uniform(1.0, 49.0), rng.uniform(1.0, 49.0)};
+    const Point2 p2{p.x + 1e-6, p.y + 1e-6};
+    EXPECT_NEAR(interp(p), interp(p2), 1e-3);
+  }
+}
+
+TEST_P(InterpolationSweep, ExecModelPositiveAndFiniteEverywhere) {
+  GroundTruthCost truth;
+  ExecTimeModel model(truth, ProfileConfig::paper_default());
+  Xoshiro256 rng(GetParam() + 99);
+  for (int q = 0; q < 200; ++q) {
+    const NestShape n{static_cast<int>(rng.uniform_int(50, 600)),
+                      static_cast<int>(rng.uniform_int(50, 600))};
+    const int procs = static_cast<int>(rng.uniform_int(1, 4096));
+    const double t = model.predict(n, procs);
+    EXPECT_GT(t, 0.0) << n.nx << "x" << n.ny << " on " << procs;
+    EXPECT_TRUE(std::isfinite(t));
+  }
+}
+
+TEST_P(InterpolationSweep, ExecModelMonotoneInProcsOnAverage) {
+  // More processors should not make a nest slower, save for noise: check
+  // the profiled-count endpoints (linear interpolation between them can
+  // only be monotone if the endpoints are ordered).
+  GroundTruthCost truth;
+  ExecTimeModel model(truth, ProfileConfig::paper_default());
+  Xoshiro256 rng(GetParam() + 123);
+  int ordered = 0, total = 0;
+  for (int q = 0; q < 50; ++q) {
+    const NestShape n{static_cast<int>(rng.uniform_int(150, 400)),
+                      static_cast<int>(rng.uniform_int(150, 400))};
+    ++total;
+    if (model.predict(n, 32) > model.predict(n, 1024)) ++ordered;
+  }
+  EXPECT_EQ(ordered, total);  // 32 vs 1024 cores is a 32x work gap; noise
+                              // cannot invert it
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InterpolationSweep,
+                         ::testing::Values(7u, 14u, 21u));
+
+}  // namespace
+}  // namespace stormtrack

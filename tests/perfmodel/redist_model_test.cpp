@@ -1,0 +1,73 @@
+#include "perfmodel/redist_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "redist/redistributor.hpp"
+
+namespace stormtrack {
+namespace {
+
+TEST(RedistModel, DirectNetworkPredictsPairMax) {
+  Torus3D topo(4, 4, 4, LinkParams{1e-6, 1e-7, 1e8});
+  RowMajorMapping map(64);
+  SimComm comm(topo, map);
+  RedistTimeModel model(comm);
+  const std::array<Message, 3> msgs{Message{0, 1, 1000},
+                                    Message{0, 2, 500000},
+                                    Message{5, 5, 999999}};  // self: free
+  const double expected = topo.pair_time(comm.hops(0, 2), 500000);
+  EXPECT_DOUBLE_EQ(model.predict(msgs), expected);
+}
+
+TEST(RedistModel, SwitchedNetworkPredictsSenderSums) {
+  SwitchedNetwork topo(16, 4, LinkParams{1e-6, 1e-7, 1e8});
+  RowMajorMapping map(16);
+  SimComm comm(topo, map);
+  RedistTimeModel model(comm);
+  const std::array<Message, 3> msgs{Message{0, 1, 1000}, Message{0, 5, 1000},
+                                    Message{2, 3, 500}};
+  const double sender0 = topo.pair_time(2, 1000) + topo.pair_time(4, 1000);
+  EXPECT_DOUBLE_EQ(model.predict(msgs), sender0);
+}
+
+TEST(RedistModel, EmptyPhasePredictsZero) {
+  Torus3D topo(2, 2, 2);
+  RowMajorMapping map(8);
+  SimComm comm(topo, map);
+  EXPECT_DOUBLE_EQ(RedistTimeModel(comm).predict({}), 0.0);
+}
+
+TEST(RedistModel, PredictionLowerBoundsSimulatedActual) {
+  // On a direct network: pair max <= per-rank serial max <= phase time.
+  Torus3D topo(8, 8, 4);
+  RowMajorMapping map(256);
+  SimComm comm(topo, map);
+  RedistTimeModel model(comm);
+  const RedistPlan plan = plan_redistribution(
+      NestShape{300, 300}, Rect{0, 0, 8, 8}, Rect{4, 4, 10, 10}, 16);
+  const double predicted = model.predict(plan.messages);
+  const double actual = comm.alltoallv(plan.messages).modeled_time;
+  EXPECT_GT(predicted, 0.0);
+  EXPECT_LE(predicted, actual * (1.0 + 1e-12));
+}
+
+TEST(RedistModel, CorrelatesWithActualAcrossPlans) {
+  Torus3D topo(8, 8, 4);
+  RowMajorMapping map(256);
+  SimComm comm(topo, map);
+  RedistTimeModel model(comm);
+  // Bigger moves should predict and cost more, monotonically.
+  const RedistPlan small_plan = plan_redistribution(
+      NestShape{180, 180}, Rect{0, 0, 6, 6}, Rect{0, 0, 7, 6}, 16);
+  const RedistPlan big_plan = plan_redistribution(
+      NestShape{360, 360}, Rect{0, 0, 6, 6}, Rect{10, 8, 6, 6}, 16);
+  EXPECT_LT(model.predict(small_plan.messages),
+            model.predict(big_plan.messages));
+  EXPECT_LT(comm.alltoallv(small_plan.messages).modeled_time,
+            comm.alltoallv(big_plan.messages).modeled_time);
+}
+
+}  // namespace
+}  // namespace stormtrack

@@ -1,0 +1,149 @@
+/// Property tests of the communication cost model: the qualitative facts
+/// the experiments lean on must hold for arbitrary message sets.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "simmpi/simcomm.hpp"
+#include "util/rng.hpp"
+
+namespace stormtrack {
+namespace {
+
+std::vector<Message> random_messages(Xoshiro256& rng, int ranks, int count) {
+  std::vector<Message> msgs;
+  for (int i = 0; i < count; ++i) {
+    Message m;
+    m.src = static_cast<int>(rng.uniform_int(0, ranks - 1));
+    m.dst = static_cast<int>(rng.uniform_int(0, ranks - 1));
+    m.bytes = rng.uniform_int(0, 1 << 20);
+    msgs.push_back(m);
+  }
+  return msgs;
+}
+
+class CostModelSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Torus3D torus_{4, 4, 4};
+  RowMajorMapping map_{64};
+  SimComm comm_{torus_, map_};
+};
+
+TEST_P(CostModelSweep, AddingAMessageNeverSpeedsUpThePhase) {
+  Xoshiro256 rng(GetParam());
+  std::vector<Message> msgs = random_messages(rng, 64, 20);
+  const double base = comm_.alltoallv(msgs).modeled_time;
+  msgs.push_back(Message{1, 2, 4096});
+  EXPECT_GE(comm_.alltoallv(msgs).modeled_time, base);
+}
+
+TEST_P(CostModelSweep, GrowingAMessageNeverSpeedsUpThePhase) {
+  Xoshiro256 rng(GetParam());
+  std::vector<Message> msgs = random_messages(rng, 64, 20);
+  const double base = comm_.alltoallv(msgs).modeled_time;
+  for (Message& m : msgs) m.bytes *= 2;
+  EXPECT_GE(comm_.alltoallv(msgs).modeled_time, base);
+}
+
+TEST_P(CostModelSweep, TimeAtLeastWorstPair) {
+  // The paper's §IV-C-1 prediction (pair max) must lower-bound the
+  // simulated charge — the invariant the dynamic strategy relies on.
+  Xoshiro256 rng(GetParam() + 100);
+  const std::vector<Message> msgs = random_messages(rng, 64, 30);
+  double worst = 0.0;
+  for (const Message& m : msgs) {
+    if (m.bytes == 0 || m.src == m.dst) continue;
+    worst = std::max(worst,
+                     torus_.pair_time(comm_.hops(m.src, m.dst), m.bytes));
+  }
+  EXPECT_GE(comm_.alltoallv(msgs).modeled_time, worst - 1e-15);
+}
+
+TEST_P(CostModelSweep, AccountingIsExact) {
+  Xoshiro256 rng(GetParam() + 200);
+  const std::vector<Message> msgs = random_messages(rng, 64, 25);
+  const TrafficReport r = comm_.alltoallv(msgs);
+  std::int64_t bytes = 0, hop_bytes = 0, local = 0, count = 0;
+  for (const Message& m : msgs) {
+    if (m.bytes == 0) continue;
+    if (m.src == m.dst) {
+      local += m.bytes;
+      continue;
+    }
+    bytes += m.bytes;
+    hop_bytes += m.bytes * comm_.hops(m.src, m.dst);
+    ++count;
+  }
+  EXPECT_EQ(r.total_bytes, bytes);
+  EXPECT_EQ(r.hop_bytes, hop_bytes);
+  EXPECT_EQ(r.local_bytes, local);
+  EXPECT_EQ(r.num_messages, count);
+}
+
+TEST_P(CostModelSweep, OrderIndependent) {
+  Xoshiro256 rng(GetParam() + 300);
+  std::vector<Message> msgs = random_messages(rng, 64, 25);
+  const TrafficReport a = comm_.alltoallv(msgs);
+  std::reverse(msgs.begin(), msgs.end());
+  const TrafficReport b = comm_.alltoallv(msgs);
+  EXPECT_DOUBLE_EQ(a.modeled_time, b.modeled_time);
+  EXPECT_EQ(a.hop_bytes, b.hop_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CostModelSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(CostModel, AggregateCapacityPositiveEverywhere) {
+  EXPECT_GT(Torus3D(8, 8, 16).aggregate_capacity(), 0.0);
+  EXPECT_GT(Mesh2D(4, 4).aggregate_capacity(), 0.0);
+  EXPECT_GT(SwitchedNetwork(64, 16).aggregate_capacity(), 0.0);
+}
+
+TEST(CostModel, BiggerTorusHasMoreCapacity) {
+  EXPECT_GT(Torus3D(8, 8, 16).aggregate_capacity(),
+            Torus3D(8, 8, 4).aggregate_capacity());
+}
+
+TEST(CostModel, GathervEqualsEquivalentAlltoallv) {
+  Torus3D topo(4, 4, 2);
+  RowMajorMapping map(32);
+  SimComm comm(topo, map);
+  std::vector<std::int64_t> bytes(32);
+  Xoshiro256 rng(9);
+  for (auto& b : bytes) b = rng.uniform_int(0, 10000);
+  std::vector<Message> msgs;
+  for (int r = 0; r < 32; ++r) msgs.push_back(Message{r, 5, bytes[r]});
+  const TrafficReport g = comm.gatherv(bytes, 5);
+  const TrafficReport a = comm.alltoallv(msgs);
+  EXPECT_DOUBLE_EQ(g.modeled_time, a.modeled_time);
+  EXPECT_EQ(g.hop_bytes, a.hop_bytes);
+}
+
+TEST(CostModel, SwitchedContentionUsesTotalBytesNotHopBytes) {
+  // 64 disjoint 4 MiB transfers (every rank sends one, receives one):
+  // per-rank serialization is ~4.2 ms, the fabric floor 256 MiB / 32 GB/s
+  // = ~8.4 ms — contention binds, and the phase must be charged exactly
+  // total_bytes / capacity, *identically* for a leaf-local (2-hop) and a
+  // cross-core (4-hop) traffic pattern.
+  SwitchedNetwork topo(64, 16);  // fist links: 1 GB/s, capacity 32 GB/s
+  RowMajorMapping map(64);
+  SimComm comm(topo, map);
+  const std::int64_t sz = 4 << 20;
+  std::vector<Message> near, far;
+  for (int p = 0; p < 64; ++p) {
+    near.push_back(Message{p, (p % 2 == 0) ? p + 1 : p - 1, sz});  // 2 hops
+    far.push_back(Message{p, 63 - p, sz});                         // 4 hops
+  }
+  const TrafficReport rn = comm.alltoallv(near);
+  const TrafficReport rf = comm.alltoallv(far);
+  EXPECT_GT(rf.hop_bytes, rn.hop_bytes);
+  const double floor = 64.0 * static_cast<double>(sz) /
+                       topo.aggregate_capacity();
+  EXPECT_DOUBLE_EQ(rn.modeled_time, floor);
+  EXPECT_DOUBLE_EQ(rf.modeled_time, floor);
+}
+
+}  // namespace
+}  // namespace stormtrack

@@ -1,0 +1,209 @@
+#include "simmpi/simcomm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "simmpi/spmd.hpp"
+#include "util/check.hpp"
+
+namespace stormtrack {
+namespace {
+
+class SimCommTorus : public ::testing::Test {
+ protected:
+  Torus3D topo_{4, 4, 4, LinkParams{1e-6, 1e-7, 1e8}};
+  RowMajorMapping map_{64};
+  SimComm comm_{topo_, map_};
+};
+
+TEST_F(SimCommTorus, EmptyPhaseCostsNothing) {
+  const TrafficReport r = comm_.alltoallv({});
+  EXPECT_EQ(r.total_bytes, 0);
+  EXPECT_EQ(r.modeled_time, 0.0);
+  EXPECT_EQ(r.num_messages, 0);
+}
+
+TEST_F(SimCommTorus, SelfMessagesAreLocal) {
+  const std::array<Message, 1> msgs{Message{3, 3, 1000}};
+  const TrafficReport r = comm_.alltoallv(msgs);
+  EXPECT_EQ(r.total_bytes, 0);
+  EXPECT_EQ(r.local_bytes, 1000);
+  EXPECT_EQ(r.modeled_time, 0.0);
+  EXPECT_EQ(r.hop_bytes, 0);
+}
+
+TEST_F(SimCommTorus, SingleMessageTimeMatchesPairModel) {
+  const int h = comm_.hops(0, 5);
+  const std::array<Message, 1> msgs{Message{0, 5, 4096}};
+  const TrafficReport r = comm_.alltoallv(msgs);
+  EXPECT_DOUBLE_EQ(r.modeled_time, topo_.pair_time(h, 4096));
+  EXPECT_EQ(r.hop_bytes, 4096 * h);
+  EXPECT_EQ(r.max_hops, h);
+}
+
+TEST_F(SimCommTorus, SameSenderSerializes) {
+  // Single-port model: one rank's sends serialize.
+  const std::array<Message, 2> msgs{Message{0, 1, 1000},
+                                    Message{0, 2, 500000}};
+  const TrafficReport r = comm_.alltoallv(msgs);
+  const double expected = topo_.pair_time(comm_.hops(0, 1), 1000) +
+                          topo_.pair_time(comm_.hops(0, 2), 500000);
+  EXPECT_DOUBLE_EQ(r.modeled_time, expected);
+}
+
+TEST_F(SimCommTorus, IndependentPairsOverlap) {
+  // Disjoint endpoint sets: transfers overlap, phase = slowest pair.
+  const std::array<Message, 2> msgs{Message{0, 1, 1000},
+                                    Message{2, 3, 500000}};
+  const TrafficReport r = comm_.alltoallv(msgs);
+  EXPECT_DOUBLE_EQ(r.modeled_time,
+                   topo_.pair_time(comm_.hops(2, 3), 500000));
+}
+
+TEST_F(SimCommTorus, ReceiverSerializesToo) {
+  // Many senders into one receiver: the receiver's drain time binds.
+  std::vector<Message> msgs;
+  for (int s = 1; s <= 8; ++s) msgs.push_back(Message{s, 0, 100000});
+  const TrafficReport r = comm_.alltoallv(msgs);
+  double recv_sum = 0.0;
+  for (int s = 1; s <= 8; ++s)
+    recv_sum += topo_.pair_time(comm_.hops(s, 0), 100000);
+  EXPECT_DOUBLE_EQ(r.modeled_time, recv_sum);
+}
+
+TEST_F(SimCommTorus, ContentionFloorBindsForDiffuseTraffic) {
+  // Many disjoint long-haul pairs: per-rank serialization is one message
+  // each, but the fabric must carry bytes × hops; the contention floor
+  // dominates when hop_bytes / capacity exceeds any single pair time.
+  std::vector<Message> msgs;
+  for (int s = 0; s < 32; ++s)
+    msgs.push_back(Message{s, 32 + s, 1 << 20});  // 1 MiB each
+  const TrafficReport r = comm_.alltoallv(msgs);
+  const double contention = static_cast<double>(r.hop_bytes) /
+                            topo_.aggregate_capacity();
+  double worst_pair = 0.0;
+  for (const Message& m : msgs)
+    worst_pair = std::max(worst_pair,
+                          topo_.pair_time(comm_.hops(m.src, m.dst), m.bytes));
+  EXPECT_DOUBLE_EQ(r.modeled_time, std::max(worst_pair, contention));
+}
+
+TEST_F(SimCommTorus, ZeroByteMessagesIgnored) {
+  const std::array<Message, 1> msgs{Message{0, 1, 0}};
+  const TrafficReport r = comm_.alltoallv(msgs);
+  EXPECT_EQ(r.num_messages, 0);
+  EXPECT_EQ(r.modeled_time, 0.0);
+}
+
+TEST_F(SimCommTorus, NegativeBytesThrow) {
+  const std::array<Message, 1> msgs{Message{0, 1, -5}};
+  EXPECT_THROW((void)comm_.alltoallv(msgs), CheckError);
+}
+
+TEST_F(SimCommTorus, RankRangeChecked) {
+  const std::array<Message, 1> msgs{Message{0, 64, 10}};
+  EXPECT_THROW((void)comm_.alltoallv(msgs), CheckError);
+}
+
+TEST_F(SimCommTorus, GathervSumsToRoot) {
+  std::vector<std::int64_t> bytes(64, 100);
+  bytes[0] = 0;  // root sends nothing to itself anyway
+  const TrafficReport r = comm_.gatherv(bytes, 0);
+  EXPECT_EQ(r.total_bytes, 6300);
+  EXPECT_GT(r.modeled_time, 0.0);
+}
+
+TEST_F(SimCommTorus, BcastLogRounds) {
+  const TrafficReport r = comm_.bcast(1024, 0);
+  // Binomial tree on 64 ranks: 63 messages over 6 rounds.
+  EXPECT_EQ(r.num_messages, 63);
+  EXPECT_GT(r.modeled_time, 0.0);
+  const TrafficReport none = comm_.bcast(0, 0);
+  EXPECT_EQ(none.num_messages, 0);
+}
+
+TEST(SimCommSwitched, SenderSerializes) {
+  SwitchedNetwork topo(16, 4, LinkParams{1e-6, 1e-7, 1e8});
+  RowMajorMapping map(16);
+  SimComm comm(topo, map);
+  // Same sender, two messages: switched networks add the times (§IV-C-1).
+  const std::array<Message, 2> msgs{Message{0, 1, 1000},
+                                    Message{0, 5, 1000}};
+  const TrafficReport r = comm.alltoallv(msgs);
+  const double expected =
+      topo.pair_time(2, 1000) + topo.pair_time(4, 1000);
+  EXPECT_DOUBLE_EQ(r.modeled_time, expected);
+}
+
+TEST(SimCommSwitched, IndependentSendersTakeMax) {
+  SwitchedNetwork topo(16, 4, LinkParams{1e-6, 1e-7, 1e8});
+  RowMajorMapping map(16);
+  SimComm comm(topo, map);
+  const std::array<Message, 2> msgs{Message{0, 1, 1000},
+                                    Message{2, 3, 90000}};
+  const TrafficReport r = comm.alltoallv(msgs);
+  EXPECT_DOUBLE_EQ(r.modeled_time, topo.pair_time(2, 90000));
+}
+
+TEST(TrafficReport, AccumulatesSequentially) {
+  TrafficReport a;
+  a.modeled_time = 1.0;
+  a.total_bytes = 10;
+  a.hop_bytes = 20;
+  a.max_hops = 2;
+  TrafficReport b;
+  b.modeled_time = 0.5;
+  b.total_bytes = 5;
+  b.hop_bytes = 30;
+  b.max_hops = 4;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.modeled_time, 1.5);
+  EXPECT_EQ(a.total_bytes, 15);
+  EXPECT_EQ(a.hop_bytes, 50);
+  EXPECT_EQ(a.max_hops, 4);
+}
+
+TEST(TrafficReport, AvgHopsPerByte) {
+  TrafficReport r;
+  EXPECT_DOUBLE_EQ(r.avg_hops_per_byte(), 0.0);
+  r.total_bytes = 100;
+  r.hop_bytes = 250;
+  EXPECT_DOUBLE_EQ(r.avg_hops_per_byte(), 2.5);
+}
+
+TEST(TypedExchange, DeliversPayloadsInSourceOrder) {
+  Torus3D topo(2, 2, 2);
+  RowMajorMapping map(8);
+  SimComm comm(topo, map);
+  std::vector<TypedMessage<int>> msgs;
+  msgs.push_back({3, 1, {7, 8}});
+  msgs.push_back({0, 1, {1, 2, 3}});
+  msgs.push_back({0, 2, {9}});
+  const ExchangeResult<int> ex = exchange_payloads(comm, std::move(msgs));
+  ASSERT_EQ(ex.received.count(1), 1u);
+  const auto& to1 = ex.received.at(1);
+  ASSERT_EQ(to1.size(), 2u);
+  EXPECT_EQ(to1[0].src, 0);  // ascending source order
+  EXPECT_EQ(to1[0].payload, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(to1[1].src, 3);
+  EXPECT_EQ(ex.traffic.total_bytes,
+            static_cast<std::int64_t>(6 * sizeof(int)));
+}
+
+TEST(Spmd, CollectsResultsInRankOrder) {
+  const auto out =
+      run_spmd<int>(4, [](int rank) { return rank * rank; });
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 4, 9}));
+}
+
+TEST(Spmd, VoidOverloadRunsAllRanks) {
+  int sum = 0;
+  run_spmd(5, [&](int rank) { sum += rank; });
+  EXPECT_EQ(sum, 10);
+}
+
+}  // namespace
+}  // namespace stormtrack

@@ -1,0 +1,65 @@
+/// Parameterized sweep of the folding mapping across the machine shapes
+/// used in the experiments (and a few exotic ones): permutation property
+/// and near-unit neighbour dilation must hold for every foldable shape.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "topo/mapping.hpp"
+
+namespace stormtrack {
+namespace {
+
+// (torus dx, dy, dz, grid px, py)
+using Shape = std::tuple<int, int, int, int, int>;
+
+class FoldingSweep : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(FoldingSweep, PermutationAndDilation) {
+  const auto [dx, dy, dz, px, py] = GetParam();
+  Torus3D torus(dx, dy, dz);
+  ASSERT_TRUE(FoldingMapping::compatible(px, py, torus));
+  FoldingMapping mapping(px, py, torus);
+
+  std::set<int> nodes;
+  for (int r = 0; r < px * py; ++r) nodes.insert(mapping.node_of_rank(r));
+  EXPECT_EQ(static_cast<int>(nodes.size()), px * py);
+
+  const double dilation = average_neighbor_dilation(torus, mapping, px, py);
+  EXPECT_GE(dilation, 1.0);
+  EXPECT_LT(dilation, 2.0) << "fold quality degraded for " << px << "x" << py
+                           << " on " << torus.name();
+
+  // The fold must always beat random placement.
+  RandomMapping rnd(px * py, 5);
+  EXPECT_LT(dilation, average_neighbor_dilation(torus, rnd, px, py));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MachineShapes, FoldingSweep,
+    ::testing::Values(Shape{8, 8, 16, 32, 32},   // BG/L 1024
+                      Shape{8, 8, 8, 16, 32},    // BG/L 512
+                      Shape{8, 8, 4, 16, 16},    // BG/L 256
+                      Shape{8, 8, 2, 16, 8},     // BG/L 128
+                      Shape{4, 4, 4, 8, 8},      // small cube
+                      Shape{4, 8, 8, 8, 32},     // asymmetric
+                      Shape{2, 2, 4, 4, 4},      // tiny
+                      Shape{8, 8, 1, 8, 8}));    // flat (2D) torus
+
+TEST(FoldingSweepExtra, DilationImprovesOnRowMajorForAllMachines) {
+  for (const int cores : {256, 512, 1024}) {
+    const auto torus = make_bluegene(cores);
+    const ProcessGridShape g = choose_process_grid(cores);
+    ASSERT_TRUE(FoldingMapping::compatible(g.px, g.py, *torus));
+    FoldingMapping fold(g.px, g.py, *torus);
+    RowMajorMapping row(cores);
+    EXPECT_LT(average_neighbor_dilation(*torus, fold, g.px, g.py),
+              average_neighbor_dilation(*torus, row, g.px, g.py))
+        << cores << " cores";
+  }
+}
+
+}  // namespace
+}  // namespace stormtrack

@@ -1,0 +1,120 @@
+#include "topo/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+namespace {
+
+TEST(RowMajorMapping, Identity) {
+  RowMajorMapping m(16);
+  for (int r = 0; r < 16; ++r) EXPECT_EQ(m.node_of_rank(r), r);
+  EXPECT_THROW((void)m.node_of_rank(16), CheckError);
+}
+
+TEST(RandomMapping, IsPermutation) {
+  RandomMapping m(64, 99);
+  std::set<int> nodes;
+  for (int r = 0; r < 64; ++r) nodes.insert(m.node_of_rank(r));
+  EXPECT_EQ(nodes.size(), 64u);
+  EXPECT_EQ(*nodes.begin(), 0);
+  EXPECT_EQ(*nodes.rbegin(), 63);
+}
+
+TEST(RandomMapping, DeterministicBySeed) {
+  RandomMapping a(32, 5), b(32, 5), c(32, 6);
+  bool all_same = true, any_diff_c = false;
+  for (int r = 0; r < 32; ++r) {
+    all_same &= (a.node_of_rank(r) == b.node_of_rank(r));
+    any_diff_c |= (a.node_of_rank(r) != c.node_of_rank(r));
+  }
+  EXPECT_TRUE(all_same);
+  EXPECT_TRUE(any_diff_c);
+}
+
+TEST(FoldingMapping, CompatibilityRules) {
+  Torus3D t(8, 8, 16);
+  EXPECT_TRUE(FoldingMapping::compatible(32, 32, t));   // 4*4 == 16
+  EXPECT_FALSE(FoldingMapping::compatible(32, 16, t));  // 4*2 != 16
+  EXPECT_FALSE(FoldingMapping::compatible(30, 32, t));  // not divisible
+}
+
+TEST(FoldingMapping, IsPermutation) {
+  Torus3D t(8, 8, 16);
+  FoldingMapping m(32, 32, t);
+  std::set<int> nodes;
+  for (int r = 0; r < 1024; ++r) nodes.insert(m.node_of_rank(r));
+  EXPECT_EQ(nodes.size(), 1024u);
+}
+
+TEST(FoldingMapping, NearUnitDilationOnBgl1024) {
+  // The paper's §V-C claim: with the folding mapping, process-grid
+  // neighbours are (near-)neighbours on the torus.
+  Torus3D t(8, 8, 16);
+  FoldingMapping m(32, 32, t);
+  const double d = average_neighbor_dilation(t, m, 32, 32);
+  EXPECT_LT(d, 1.6);
+  EXPECT_GE(d, 1.0);
+}
+
+TEST(FoldingMapping, BeatsRowMajorAndRandom) {
+  Torus3D t(8, 8, 16);
+  FoldingMapping fold(32, 32, t);
+  RowMajorMapping row(1024);
+  RandomMapping rnd(1024, 1);
+  const double df = average_neighbor_dilation(t, fold, 32, 32);
+  const double dr = average_neighbor_dilation(t, row, 32, 32);
+  const double dx = average_neighbor_dilation(t, rnd, 32, 32);
+  EXPECT_LT(df, dr);
+  EXPECT_LT(df, dx);
+}
+
+TEST(FoldingMapping, WorksFor512And256) {
+  {
+    Torus3D t(8, 8, 8);
+    ASSERT_TRUE(FoldingMapping::compatible(16, 32, t));
+    FoldingMapping m(16, 32, t);
+    EXPECT_LT(average_neighbor_dilation(t, m, 16, 32), 1.8);
+  }
+  {
+    Torus3D t(8, 8, 4);
+    ASSERT_TRUE(FoldingMapping::compatible(16, 16, t));
+    FoldingMapping m(16, 16, t);
+    EXPECT_LT(average_neighbor_dilation(t, m, 16, 16), 1.8);
+  }
+}
+
+TEST(FoldingMapping, IncompatibleThrows) {
+  Torus3D t(8, 8, 16);
+  EXPECT_THROW(FoldingMapping(30, 32, t), CheckError);
+}
+
+TEST(ChooseProcessGrid, MostSquare) {
+  EXPECT_EQ(choose_process_grid(1024).px, 32);
+  EXPECT_EQ(choose_process_grid(1024).py, 32);
+  EXPECT_EQ(choose_process_grid(512).px, 16);
+  EXPECT_EQ(choose_process_grid(512).py, 32);
+  EXPECT_EQ(choose_process_grid(256).px, 16);
+  EXPECT_EQ(choose_process_grid(7).px, 1);
+  EXPECT_EQ(choose_process_grid(7).py, 7);
+}
+
+TEST(MakeDefaultMapping, FoldsOnTorusRowMajorElsewhere) {
+  Torus3D t(8, 8, 16);
+  EXPECT_EQ(make_default_mapping(t, 32, 32)->name(), "folding");
+  EXPECT_EQ(make_default_mapping(t, 31, 33)->name(), "row-major");
+  SwitchedNetwork s(1024, 16);
+  EXPECT_EQ(make_default_mapping(s, 32, 32)->name(), "row-major");
+}
+
+TEST(Mapping, RankHopsUsesMapping) {
+  Torus3D t(4, 4, 4);
+  RowMajorMapping m(64);
+  EXPECT_EQ(m.rank_hops(t, 0, 1), t.hops(0, 1));
+}
+
+}  // namespace
+}  // namespace stormtrack

@@ -1,0 +1,94 @@
+#include "topo/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+namespace {
+
+TEST(Torus3D, NodeCoordRoundTrip) {
+  Torus3D t(4, 3, 2);
+  EXPECT_EQ(t.num_nodes(), 24);
+  for (int n = 0; n < t.num_nodes(); ++n) EXPECT_EQ(t.node(t.coord(n)), n);
+}
+
+TEST(Torus3D, RingDistanceWrapsAround) {
+  EXPECT_EQ(Torus3D::ring_distance(0, 7, 8), 1);  // wrap is shorter
+  EXPECT_EQ(Torus3D::ring_distance(0, 4, 8), 4);
+  EXPECT_EQ(Torus3D::ring_distance(2, 2, 8), 0);
+  EXPECT_EQ(Torus3D::ring_distance(1, 6, 8), 3);
+}
+
+TEST(Torus3D, HopsAreSumOfRingDistances) {
+  Torus3D t(8, 8, 16);
+  const int a = t.node(Coord3{0, 0, 0});
+  const int b = t.node(Coord3{7, 4, 15});
+  EXPECT_EQ(t.hops(a, b), 1 + 4 + 1);  // x and z wrap
+  EXPECT_EQ(t.hops(a, a), 0);
+  EXPECT_EQ(t.hops(a, b), t.hops(b, a));
+}
+
+TEST(Torus3D, TriangleInequalitySpotChecks) {
+  Torus3D t(4, 4, 4);
+  for (int a = 0; a < 16; ++a)
+    for (int b = 0; b < 16; ++b)
+      for (int c = 0; c < 16; ++c)
+        EXPECT_LE(t.hops(a, c), t.hops(a, b) + t.hops(b, c));
+}
+
+TEST(Torus3D, IsDirectNetwork) {
+  Torus3D t(2, 2, 2);
+  EXPECT_TRUE(t.is_direct_network());
+  EXPECT_EQ(t.name(), "torus3d-2x2x2");
+}
+
+TEST(Torus3D, PairTimeModel) {
+  Torus3D t(4, 4, 4, LinkParams{1e-6, 1e-7, 1e8});
+  // alpha + 3 hops * per_hop + 1000 bytes / 1e8.
+  EXPECT_NEAR(t.pair_time(3, 1000), 1e-6 + 3e-7 + 1e-5, 1e-15);
+}
+
+TEST(Torus3D, InvalidDimsThrow) {
+  EXPECT_THROW(Torus3D(0, 4, 4), CheckError);
+}
+
+TEST(Mesh2D, ManhattanNoWrap) {
+  Mesh2D m(4, 4);
+  EXPECT_EQ(m.hops(0, 3), 3);       // (0,0)->(3,0): no wrap shortcut
+  EXPECT_EQ(m.hops(0, 15), 6);      // (0,0)->(3,3)
+  EXPECT_TRUE(m.is_direct_network());
+}
+
+TEST(SwitchedNetwork, HopLevels) {
+  SwitchedNetwork s(64, 16);
+  EXPECT_EQ(s.hops(3, 3), 0);
+  EXPECT_EQ(s.hops(0, 15), 2);   // same leaf switch
+  EXPECT_EQ(s.hops(0, 16), 4);   // across the core
+  EXPECT_FALSE(s.is_direct_network());
+}
+
+TEST(Factories, BluegeneShapes) {
+  const auto bg1024 = make_bluegene(1024);
+  EXPECT_EQ(bg1024->dim_x(), 8);
+  EXPECT_EQ(bg1024->dim_y(), 8);
+  EXPECT_EQ(bg1024->dim_z(), 16);
+  const auto bg256 = make_bluegene(256);
+  EXPECT_EQ(bg256->dim_z(), 4);
+  EXPECT_THROW((void)make_bluegene(100), CheckError);
+}
+
+TEST(Factories, Fist) {
+  const auto f = make_fist(256);
+  EXPECT_EQ(f->num_nodes(), 256);
+  EXPECT_FALSE(f->is_direct_network());
+}
+
+TEST(Topology, NodeRangeChecked) {
+  Torus3D t(2, 2, 2);
+  EXPECT_THROW((void)t.hops(0, 8), CheckError);
+  EXPECT_THROW((void)t.coord(-1), CheckError);
+}
+
+}  // namespace
+}  // namespace stormtrack

@@ -1,0 +1,176 @@
+/// Multi-adaptation-point diffusion scenarios: the properties §IV-B claims
+/// hold *across a sequence* of reconfigurations, not just for one.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "alloc/allocation.hpp"
+#include "tree/alloc_tree.hpp"
+#include "util/rng.hpp"
+
+namespace stormtrack {
+namespace {
+
+constexpr Rect kGrid{0, 0, 32, 32};
+
+std::vector<NestWeight> paper_example() {
+  return {{1, 0.10}, {2, 0.10}, {3, 0.20}, {4, 0.25}, {5, 0.35}};
+}
+
+TEST(DiffusionSequence, IdenticalWeightsKeepIdenticalRectangles) {
+  // A reconfiguration that changes nothing must not move anything.
+  AllocTree tree = AllocTree::huffman(paper_example());
+  const auto before = tree.subdivide(kGrid);
+  ReconfigRequest req;
+  for (const NestWeight& nw : tree.leaves()) req.retained.push_back(nw);
+  tree = tree.diffuse(req);
+  EXPECT_EQ(tree.subdivide(kGrid), before);
+}
+
+TEST(DiffusionSequence, RetainedSubtreeRatiosPreserveRectangles) {
+  // Uniformly rescaling all weights (renormalization) is also a no-op for
+  // the geometry: subdivision uses ratios only.
+  AllocTree tree = AllocTree::huffman(paper_example());
+  const auto before = tree.subdivide(kGrid);
+  ReconfigRequest req;
+  for (const NestWeight& nw : tree.leaves())
+    req.retained.push_back({nw.nest, nw.weight * 3.7});
+  tree = tree.diffuse(req);
+  EXPECT_EQ(tree.subdivide(kGrid), before);
+}
+
+TEST(DiffusionSequence, InsertDeleteRoundTripRestoresSurvivors) {
+  // Insert a nest, then delete it with unchanged retained weights: the
+  // survivors' rectangles must return to (close to) their prior shape.
+  AllocTree tree = AllocTree::huffman(paper_example());
+  const auto before = tree.subdivide(kGrid);
+
+  ReconfigRequest add;
+  for (const NestWeight& nw : tree.leaves())
+    add.retained.push_back({nw.nest, nw.weight * 0.8});
+  add.inserted = {{6, 0.2}};
+  tree = tree.diffuse(add);
+
+  ReconfigRequest remove;
+  remove.deleted = {6};
+  for (const NestWeight& nw : paper_example())
+    remove.retained.push_back(nw);
+  tree = tree.diffuse(remove);
+
+  const auto after = tree.subdivide(kGrid);
+  for (const NestWeight& nw : paper_example()) {
+    EXPECT_GT(jaccard(before.at(nw.nest), after.at(nw.nest)), 0.5)
+        << "nest " << nw.nest;
+  }
+}
+
+TEST(DiffusionSequence, ChurnedTreeStillProportional) {
+  // After heavy churn the (non-Huffman) tree must still allocate areas
+  // roughly proportional to weights.
+  Xoshiro256 rng(31);
+  AllocTree tree = AllocTree::huffman(paper_example());
+  int next_id = 6;
+  for (int event = 0; event < 40; ++event) {
+    ReconfigRequest req;
+    for (const NestWeight& leaf : tree.leaves()) {
+      if (rng.bernoulli(0.3) && tree.num_nests() > 2)
+        req.deleted.push_back(leaf.nest);
+      else
+        req.retained.push_back({leaf.nest, rng.uniform(0.1, 1.0)});
+    }
+    if (rng.bernoulli(0.7))
+      req.inserted.push_back({next_id++, rng.uniform(0.1, 1.0)});
+    tree = tree.diffuse(req);
+  }
+  const auto rects = tree.subdivide(kGrid);
+  const double total = tree.total_weight();
+  for (const NestWeight& leaf : tree.leaves()) {
+    const double share =
+        static_cast<double>(rects.at(leaf.nest).area()) / kGrid.area();
+    const double want = leaf.weight / total;
+    EXPECT_NEAR(share, want, 0.35 * want + 0.02) << "nest " << leaf.nest;
+  }
+}
+
+TEST(DiffusionSequence, AspectRatiosStayBounded) {
+  // §IV-B concedes diffusion trees may stop being Huffman; rectangles must
+  // still not degenerate into slivers over a long run.
+  Xoshiro256 rng(77);
+  AllocTree tree = AllocTree::huffman(paper_example());
+  int next_id = 6;
+  for (int event = 0; event < 60; ++event) {
+    ReconfigRequest req;
+    for (const NestWeight& leaf : tree.leaves()) {
+      if (rng.bernoulli(0.25) && tree.num_nests() > 2)
+        req.deleted.push_back(leaf.nest);
+      else
+        req.retained.push_back({leaf.nest, rng.uniform(0.2, 1.0)});
+    }
+    const int inserts = static_cast<int>(rng.uniform_int(0, 2));
+    for (int i = 0; i < inserts && tree.num_nests() + i < 9; ++i)
+      req.inserted.push_back({next_id++, rng.uniform(0.2, 1.0)});
+    tree = tree.diffuse(req);
+    // Individual rectangles can get skewed (the paper concedes diffusion
+    // trees stop being Huffman), but never degenerate to 1-wide slivers,
+    // and the population stays square-ish on average.
+    double sum = 0.0;
+    int count = 0;
+    for (const auto& [nest, rect] : tree.subdivide(kGrid)) {
+      EXPECT_LE(rect.aspect_ratio(), 16.0)
+          << "event " << event << " nest " << nest;
+      sum += rect.aspect_ratio();
+      ++count;
+    }
+    EXPECT_LE(sum / count, 6.0) << "event " << event;
+  }
+}
+
+TEST(DiffusionSequence, DiffusionBeatsScratchOnCumulativeOverlap) {
+  // The headline §IV-B property, measured over many random multi-event
+  // scenarios rather than a single curated one.
+  Xoshiro256 rng(123);
+  int diffusion_wins = 0;
+  const int kScenarios = 20;
+  for (int s = 0; s < kScenarios; ++s) {
+    std::vector<NestWeight> initial;
+    int next_id = 1;
+    for (int i = 0; i < 5; ++i)
+      initial.push_back({next_id++, rng.uniform(0.1, 1.0)});
+    AllocTree diff_tree = AllocTree::huffman(initial);
+    AllocTree scratch_tree = diff_tree;
+    double d_overlap = 0.0, s_overlap = 0.0;
+    for (int event = 0; event < 10; ++event) {
+      ReconfigRequest req;
+      for (const NestWeight& leaf : diff_tree.leaves()) {
+        if (rng.bernoulli(0.3) && diff_tree.num_nests() > 2)
+          req.deleted.push_back(leaf.nest);
+        else
+          req.retained.push_back({leaf.nest, leaf.weight});
+      }
+      if (rng.bernoulli(0.8))
+        req.inserted.push_back({next_id++, rng.uniform(0.1, 1.0)});
+
+      const auto d_before = diff_tree.subdivide(kGrid);
+      const auto s_before = scratch_tree.subdivide(kGrid);
+      diff_tree = diff_tree.diffuse(req);
+      std::vector<NestWeight> all(req.retained);
+      all.insert(all.end(), req.inserted.begin(), req.inserted.end());
+      scratch_tree = AllocTree::huffman(all);
+      const auto d_after = diff_tree.subdivide(kGrid);
+      const auto s_after = scratch_tree.subdivide(kGrid);
+      for (const NestWeight& nw : req.retained) {
+        d_overlap += coverage_fraction(d_before.at(nw.nest),
+                                       d_after.at(nw.nest));
+        s_overlap += coverage_fraction(s_before.at(nw.nest),
+                                       s_after.at(nw.nest));
+      }
+    }
+    if (d_overlap > s_overlap) ++diffusion_wins;
+  }
+  EXPECT_GE(diffusion_wins, kScenarios * 3 / 4);
+}
+
+}  // namespace
+}  // namespace stormtrack

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "tree/alloc_tree.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace stormtrack {
+namespace {
+
+std::vector<NestWeight> paper_example() {
+  return {{1, 0.10}, {2, 0.10}, {3, 0.20}, {4, 0.25}, {5, 0.35}};
+}
+
+/// The paper's §IV-B running reconfiguration: delete {1,2,4}, retain {3,5}
+/// with new weights 0.27/0.42, insert 6 with weight 0.31.
+ReconfigRequest paper_reconfig() {
+  ReconfigRequest req;
+  req.deleted = {1, 2, 4};
+  req.retained = {{3, 0.27}, {5, 0.42}};
+  req.inserted = {{6, 0.31}};
+  return req;
+}
+
+TEST(Diffusion, PaperFig8TreeShape) {
+  const AllocTree old_tree = AllocTree::huffman(paper_example());
+  const AllocTree t = old_tree.diffuse(paper_reconfig());
+  t.validate();
+  EXPECT_EQ(t.num_nests(), 3);
+  EXPECT_FALSE(t.has_free_slots());
+
+  // Fig. 8(c): node 6 inserted beside node 3 (|0.31-0.27| < |0.42-0.31|);
+  // node 5 takes the other root branch after the surplus free slot at old
+  // node 4's position is spliced out.
+  const auto& root = t.node(t.root());
+  ASSERT_FALSE(root.is_leaf());
+  const auto& left = t.node(root.left);
+  const auto& right = t.node(root.right);
+  // One root child is leaf 5, the other the internal {6, 3} pair.
+  const AllocTree::Node* pair = nullptr;
+  const AllocTree::Node* single = nullptr;
+  if (left.is_leaf()) {
+    single = &left;
+    pair = &right;
+  } else {
+    single = &right;
+    pair = &left;
+  }
+  ASSERT_TRUE(single->is_leaf());
+  EXPECT_EQ(single->nest, 5);
+  ASSERT_FALSE(pair->is_leaf());
+  std::set<NestId> pair_ids{t.node(pair->left).nest,
+                            t.node(pair->right).nest};
+  EXPECT_EQ(pair_ids, (std::set<NestId>{3, 6}));
+  EXPECT_NEAR(pair->weight, 0.58, 1e-12);
+}
+
+TEST(Diffusion, PaperFig8dOverlapBeatsScratch) {
+  // §IV-B: diffusion keeps 3's and 5's rectangles largely in place while
+  // the scratch repartition (Fig. 4) moves them entirely.
+  const AllocTree old_tree = AllocTree::huffman(paper_example());
+  const auto old_rects = old_tree.subdivide(Rect{0, 0, 32, 32});
+
+  const AllocTree diff_tree = old_tree.diffuse(paper_reconfig());
+  const auto diff_rects = diff_tree.subdivide(Rect{0, 0, 32, 32});
+
+  const std::vector<NestWeight> scratch_w{{3, 0.27}, {5, 0.42}, {6, 0.31}};
+  const auto scratch_rects =
+      AllocTree::huffman(scratch_w).subdivide(Rect{0, 0, 32, 32});
+
+  for (const NestId nest : {3, 5}) {
+    const auto d = old_rects.at(nest).intersect(diff_rects.at(nest)).area();
+    const auto s =
+        old_rects.at(nest).intersect(scratch_rects.at(nest)).area();
+    EXPECT_GT(d, s) << "nest " << nest;
+    EXPECT_GT(d, 0) << "nest " << nest;
+  }
+  // Paper: "no overlap in the partition from scratch approach".
+  EXPECT_EQ(old_rects.at(3).intersect(scratch_rects.at(3)).area(), 0);
+  EXPECT_EQ(old_rects.at(5).intersect(scratch_rects.at(5)).area(), 0);
+}
+
+TEST(Diffusion, RetainOnlyWeightUpdate) {
+  const AllocTree old_tree = AllocTree::huffman(paper_example());
+  ReconfigRequest req;
+  req.retained = {{1, 0.2}, {2, 0.2}, {3, 0.2}, {4, 0.2}, {5, 0.2}};
+  const AllocTree t = old_tree.diffuse(req);
+  EXPECT_EQ(t.num_nests(), 5);
+  for (const NestWeight& nw : t.leaves()) EXPECT_DOUBLE_EQ(nw.weight, 0.2);
+  // Structure unchanged: same leaf arrangement as the old tree.
+  const auto& root = t.node(t.root());
+  EXPECT_EQ(t.node(t.node(root.left).right).nest, 3);
+}
+
+TEST(Diffusion, PureDeletionSplicesOut) {
+  const AllocTree old_tree = AllocTree::huffman(paper_example());
+  ReconfigRequest req;
+  req.deleted = {4};
+  req.retained = {{1, 0.15}, {2, 0.15}, {3, 0.25}, {5, 0.45}};
+  const AllocTree t = old_tree.diffuse(req);
+  EXPECT_EQ(t.num_nests(), 4);
+  EXPECT_FALSE(t.has_free_slots());
+  // 5 should absorb its deleted sibling's position: 5's leaf is now a
+  // direct child of the root.
+  const auto& root = t.node(t.root());
+  const bool left5 = root.left >= 0 && t.node(root.left).is_leaf() &&
+                     t.node(root.left).nest == 5;
+  const bool right5 = root.right >= 0 && t.node(root.right).is_leaf() &&
+                      t.node(root.right).nest == 5;
+  EXPECT_TRUE(left5 || right5);
+}
+
+TEST(Diffusion, PureInsertionSplitsClosestWeightLeaf) {
+  // Fig. 6: tree {1:0.5, (2:0.25, 3:0.25)}; insert 4 with weight 0.4 after
+  // retained weights become {1:0.3, 2:0.15, 3:0.15}. Node 4 must land
+  // beside node 1 (closest weight), not beside 2 or 3.
+  const std::vector<NestWeight> start{{1, 0.5}, {2, 0.25}, {3, 0.25}};
+  const AllocTree old_tree = AllocTree::huffman(start);
+  ReconfigRequest req;
+  req.retained = {{1, 0.3}, {2, 0.15}, {3, 0.15}};
+  req.inserted = {{4, 0.4}};
+  const AllocTree t = old_tree.diffuse(req);
+  EXPECT_EQ(t.num_nests(), 4);
+
+  // Find leaf 4's sibling: must be leaf 1.
+  for (int i = 0;; ++i) {
+    const auto& n = t.node(i);
+    if (n.is_leaf() && n.nest == 4) {
+      const auto& parent = t.node(n.parent);
+      const int sib = parent.left == i ? parent.right : parent.left;
+      EXPECT_EQ(t.node(sib).nest, 1);
+      break;
+    }
+  }
+}
+
+TEST(Diffusion, MoreInsertionsThanDeletionsGrowsHuffmanSubtree) {
+  const AllocTree old_tree = AllocTree::huffman(paper_example());
+  ReconfigRequest req;
+  req.deleted = {1};
+  req.retained = {{2, 0.1}, {3, 0.2}, {4, 0.2}, {5, 0.2}};
+  req.inserted = {{6, 0.1}, {7, 0.1}, {8, 0.1}};
+  const AllocTree t = old_tree.diffuse(req);
+  t.validate();
+  EXPECT_EQ(t.num_nests(), 7);
+  EXPECT_FALSE(t.has_free_slots());
+}
+
+TEST(Diffusion, DeleteEverythingGivesEmptyTree) {
+  const AllocTree old_tree = AllocTree::huffman(paper_example());
+  ReconfigRequest req;
+  req.deleted = {1, 2, 3, 4, 5};
+  const AllocTree t = old_tree.diffuse(req);
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.num_nests(), 0);
+}
+
+TEST(Diffusion, DeleteAllAndInsertFreshActsLikeScratch) {
+  const AllocTree old_tree = AllocTree::huffman(paper_example());
+  ReconfigRequest req;
+  req.deleted = {1, 2, 3, 4, 5};
+  req.inserted = {{6, 0.5}, {7, 0.3}, {8, 0.2}};
+  const AllocTree t = old_tree.diffuse(req);
+  t.validate();
+  EXPECT_EQ(t.num_nests(), 3);
+}
+
+TEST(Diffusion, EmptyOldTreeFallsBackToHuffman) {
+  const AllocTree empty;
+  ReconfigRequest req;
+  req.inserted = {{1, 0.6}, {2, 0.4}};
+  const AllocTree t = empty.diffuse(req);
+  EXPECT_EQ(t.num_nests(), 2);
+}
+
+TEST(Diffusion, UnknownDeletedNestThrows) {
+  const AllocTree old_tree = AllocTree::huffman(paper_example());
+  ReconfigRequest req;
+  req.deleted = {99};
+  req.retained = {{1, 0.2}, {2, 0.2}, {3, 0.2}, {4, 0.2}, {5, 0.2}};
+  EXPECT_THROW((void)old_tree.diffuse(req), CheckError);
+}
+
+TEST(Diffusion, UnmentionedNestThrows) {
+  const AllocTree old_tree = AllocTree::huffman(paper_example());
+  ReconfigRequest req;
+  req.deleted = {1};
+  req.retained = {{2, 0.5}, {3, 0.5}};  // 4 and 5 unaccounted for
+  EXPECT_THROW((void)old_tree.diffuse(req), CheckError);
+}
+
+TEST(Diffusion, InsertExistingIdThrows) {
+  const AllocTree old_tree = AllocTree::huffman(paper_example());
+  ReconfigRequest req;
+  req.retained = {{1, 0.2}, {2, 0.2}, {3, 0.2}, {4, 0.2}, {5, 0.2}};
+  req.inserted = {{3, 0.1}};
+  EXPECT_THROW((void)old_tree.diffuse(req), CheckError);
+}
+
+TEST(Diffusion, OriginalTreeUntouched) {
+  const AllocTree old_tree = AllocTree::huffman(paper_example());
+  const std::string before = old_tree.to_dot();
+  (void)old_tree.diffuse(paper_reconfig());
+  EXPECT_EQ(old_tree.to_dot(), before);
+}
+
+// Property sweep: random reconfiguration sequences keep the tree valid and
+// the nest set correct.
+class DiffusionSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DiffusionSweep, RandomReconfigurationsStayValid) {
+  Xoshiro256 rng(GetParam());
+  std::vector<NestWeight> initial;
+  int next_id = 1;
+  const int n0 = static_cast<int>(rng.uniform_int(2, 6));
+  for (int i = 0; i < n0; ++i)
+    initial.push_back({next_id++, rng.uniform(0.05, 1.0)});
+  AllocTree tree = AllocTree::huffman(initial);
+
+  for (int event = 0; event < 25; ++event) {
+    ReconfigRequest req;
+    for (const NestWeight& leaf : tree.leaves()) {
+      if (rng.bernoulli(0.35))
+        req.deleted.push_back(leaf.nest);
+      else
+        req.retained.push_back({leaf.nest, rng.uniform(0.05, 1.0)});
+    }
+    const int inserts = static_cast<int>(rng.uniform_int(0, 3));
+    for (int i = 0; i < inserts; ++i)
+      req.inserted.push_back({next_id++, rng.uniform(0.05, 1.0)});
+
+    tree = tree.diffuse(req);
+    tree.validate();
+    EXPECT_FALSE(tree.has_free_slots());
+    EXPECT_EQ(tree.num_nests(), static_cast<int>(req.retained.size() +
+                                                 req.inserted.size()));
+
+    std::set<NestId> expected;
+    for (const auto& r : req.retained) expected.insert(r.nest);
+    for (const auto& i : req.inserted) expected.insert(i.nest);
+    std::set<NestId> got;
+    for (const auto& l : tree.leaves()) {
+      got.insert(l.nest);
+      // Retained/inserted weights must be exactly what was requested.
+      bool found = false;
+      for (const auto& r : req.retained)
+        if (r.nest == l.nest) {
+          EXPECT_DOUBLE_EQ(l.weight, r.weight);
+          found = true;
+        }
+      for (const auto& i : req.inserted)
+        if (i.nest == l.nest) {
+          EXPECT_DOUBLE_EQ(l.weight, i.weight);
+          found = true;
+        }
+      EXPECT_TRUE(found);
+    }
+    EXPECT_EQ(expected, got);
+
+    // Non-empty trees must still subdivide a 32×32 grid exactly.
+    if (!tree.empty()) {
+      const auto rects = tree.subdivide(Rect{0, 0, 32, 32});
+      std::int64_t area = 0;
+      for (const auto& [nest, r] : rects) area += r.area();
+      EXPECT_EQ(area, 1024);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiffusionSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace stormtrack

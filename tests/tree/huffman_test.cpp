@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tree/alloc_tree.hpp"
+#include "util/check.hpp"
+
+namespace stormtrack {
+namespace {
+
+std::vector<NestWeight> paper_example() {
+  // Fig. 2(a): 5 nests with execution-time ratios 0.1:0.1:0.2:0.25:0.35.
+  return {{1, 0.10}, {2, 0.10}, {3, 0.20}, {4, 0.25}, {5, 0.35}};
+}
+
+TEST(Huffman, EmptyInputGivesEmptyTree) {
+  const AllocTree t = AllocTree::huffman({});
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.num_nests(), 0);
+}
+
+TEST(Huffman, SingleLeaf) {
+  const std::vector<NestWeight> one{{7, 1.0}};
+  const AllocTree t = AllocTree::huffman(one);
+  EXPECT_EQ(t.num_nests(), 1);
+  EXPECT_DOUBLE_EQ(t.total_weight(), 1.0);
+  EXPECT_TRUE(t.node(t.root()).is_leaf());
+  EXPECT_EQ(t.node(t.root()).nest, 7);
+}
+
+TEST(Huffman, PaperExampleStructure) {
+  const auto nests = paper_example();
+  const AllocTree t = AllocTree::huffman(nests);
+  EXPECT_EQ(t.num_nests(), 5);
+  EXPECT_NEAR(t.total_weight(), 1.0, 1e-12);
+
+  // Root children carry 0.4 ({1,2,3}) and 0.6 ({4,5}), in that order.
+  const auto& root = t.node(t.root());
+  ASSERT_FALSE(root.is_leaf());
+  EXPECT_NEAR(t.node(root.left).weight, 0.4, 1e-12);
+  EXPECT_NEAR(t.node(root.right).weight, 0.6, 1e-12);
+
+  // Left subtree: internal {1,2} (0.2) first, then leaf 3.
+  const auto& l = t.node(root.left);
+  ASSERT_FALSE(l.is_leaf());
+  EXPECT_FALSE(t.node(l.left).is_leaf());
+  EXPECT_EQ(t.node(l.right).nest, 3);
+  EXPECT_EQ(t.node(t.node(l.left).left).nest, 1);
+  EXPECT_EQ(t.node(t.node(l.left).right).nest, 2);
+
+  // Right subtree: leaves 4 then 5.
+  const auto& r = t.node(root.right);
+  EXPECT_EQ(t.node(r.left).nest, 4);
+  EXPECT_EQ(t.node(r.right).nest, 5);
+}
+
+TEST(Huffman, LeavesSortedView) {
+  const AllocTree t = AllocTree::huffman(paper_example());
+  const auto leaves = t.leaves();
+  ASSERT_EQ(leaves.size(), 5u);
+  for (std::size_t i = 0; i < leaves.size(); ++i)
+    EXPECT_EQ(leaves[i].nest, static_cast<int>(i) + 1);
+  EXPECT_DOUBLE_EQ(leaves[4].weight, 0.35);
+}
+
+TEST(Huffman, InternalWeightsAreChildSums) {
+  const AllocTree t = AllocTree::huffman(paper_example());
+  t.validate();  // validates the sum property internally
+}
+
+TEST(Huffman, DuplicateNestIdsThrow) {
+  const std::vector<NestWeight> dup{{1, 0.5}, {1, 0.5}};
+  EXPECT_THROW((void)AllocTree::huffman(dup), CheckError);
+}
+
+TEST(Huffman, NonPositiveWeightThrows) {
+  const std::vector<NestWeight> bad{{1, 0.5}, {2, 0.0}};
+  EXPECT_THROW((void)AllocTree::huffman(bad), CheckError);
+}
+
+TEST(Huffman, DeterministicForEqualWeights) {
+  const std::vector<NestWeight> eq{{1, 0.25}, {2, 0.25}, {3, 0.25},
+                                   {4, 0.25}};
+  const AllocTree a = AllocTree::huffman(eq);
+  const AllocTree b = AllocTree::huffman(eq);
+  EXPECT_EQ(a.to_dot(), b.to_dot());
+}
+
+TEST(Huffman, OptimalWeightedDepth) {
+  // Huffman minimizes Σ w_i · depth_i; verify against the known optimum for
+  // the classic example {0.1, 0.1, 0.2, 0.25, 0.35}: depths 3,3,2,2,2.
+  const AllocTree t = AllocTree::huffman(paper_example());
+  // Walk to compute weighted depth.
+  double weighted = 0.0;
+  std::vector<std::pair<int, int>> stack{{t.root(), 0}};
+  while (!stack.empty()) {
+    const auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const auto& n = t.node(idx);
+    if (n.is_leaf()) {
+      weighted += n.weight * depth;
+    } else {
+      stack.push_back({n.left, depth + 1});
+      stack.push_back({n.right, depth + 1});
+    }
+  }
+  EXPECT_NEAR(weighted, 0.1 * 3 + 0.1 * 3 + 0.2 * 2 + 0.25 * 2 + 0.35 * 2,
+              1e-12);
+}
+
+TEST(Huffman, DotExportMentionsAllNests) {
+  const AllocTree t = AllocTree::huffman(paper_example());
+  const std::string dot = t.to_dot();
+  for (int nest = 1; nest <= 5; ++nest)
+    EXPECT_NE(dot.find("nest " + std::to_string(nest)), std::string::npos);
+}
+
+TEST(Huffman, HasNoFreeSlots) {
+  EXPECT_FALSE(AllocTree::huffman(paper_example()).has_free_slots());
+}
+
+}  // namespace
+}  // namespace stormtrack

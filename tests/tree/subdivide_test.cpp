@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "tree/alloc_tree.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace stormtrack {
+namespace {
+
+std::vector<NestWeight> paper_example() {
+  return {{1, 0.10}, {2, 0.10}, {3, 0.20}, {4, 0.25}, {5, 0.35}};
+}
+
+/// Property: the rectangles of a subdivision tile the grid exactly.
+void expect_exact_tiling(const std::map<NestId, Rect>& rects,
+                         const Rect& grid) {
+  std::int64_t area = 0;
+  for (const auto& [nest, r] : rects) {
+    EXPECT_FALSE(r.empty()) << "nest " << nest;
+    EXPECT_TRUE(grid.contains(r)) << "nest " << nest << " rect " << r;
+    area += r.area();
+  }
+  EXPECT_EQ(area, grid.area());
+  for (auto a = rects.begin(); a != rects.end(); ++a) {
+    auto b = a;
+    for (++b; b != rects.end(); ++b)
+      EXPECT_FALSE(a->second.overlaps(b->second))
+          << a->first << " vs " << b->first;
+  }
+}
+
+TEST(Subdivide, PaperTableIExactly) {
+  // Table I: allocation of the 5-nest example on 1024 cores (32×32 grid).
+  const AllocTree t = AllocTree::huffman(paper_example());
+  const auto rects = t.subdivide(Rect{0, 0, 32, 32});
+  ASSERT_EQ(rects.size(), 5u);
+
+  EXPECT_EQ(rects.at(1), (Rect{0, 0, 13, 8}));    // start rank 0,   13×8
+  EXPECT_EQ(rects.at(2), (Rect{0, 8, 13, 8}));    // start rank 256, 13×8
+  EXPECT_EQ(rects.at(3), (Rect{0, 16, 13, 16}));  // start rank 512, 13×16
+  EXPECT_EQ(rects.at(4), (Rect{13, 0, 19, 13}));  // start rank 13,  19×13
+  EXPECT_EQ(rects.at(5), (Rect{13, 13, 19, 19})); // start rank 429, 19×19
+
+  expect_exact_tiling(rects, Rect{0, 0, 32, 32});
+}
+
+TEST(Subdivide, PaperTableIIScratchRepartition) {
+  // §IV-A: nests {3,5,6} with ratios 0.27:0.42:0.31. Nest 5 (largest) gets
+  // the left column starting at rank 0; 3 and 6 share the right column.
+  const std::vector<NestWeight> nests{{3, 0.27}, {5, 0.42}, {6, 0.31}};
+  const AllocTree t = AllocTree::huffman(nests);
+  const auto rects = t.subdivide(Rect{0, 0, 32, 32});
+  ASSERT_EQ(rects.size(), 3u);
+  EXPECT_EQ(start_rank(rects.at(5), 32), 0);
+  EXPECT_EQ(rects.at(5).w, 13);  // round(0.42·32)
+  EXPECT_EQ(rects.at(5).h, 32);
+  // 3 and 6 split the 19-wide right column horizontally.
+  EXPECT_EQ(rects.at(3).x, 13);
+  EXPECT_EQ(rects.at(6).x, 13);
+  EXPECT_EQ(rects.at(3).w, 19);
+  EXPECT_EQ(rects.at(6).w, 19);
+  expect_exact_tiling(rects, Rect{0, 0, 32, 32});
+}
+
+TEST(Subdivide, SingleNestGetsWholeGrid) {
+  const std::vector<NestWeight> one{{9, 1.0}};
+  const AllocTree t = AllocTree::huffman(one);
+  const auto rects = t.subdivide(Rect{0, 0, 16, 16});
+  EXPECT_EQ(rects.at(9), (Rect{0, 0, 16, 16}));
+}
+
+TEST(Subdivide, EmptyTreeGivesNoRects) {
+  const AllocTree t;
+  EXPECT_TRUE(t.subdivide(Rect{0, 0, 8, 8}).empty());
+}
+
+TEST(Subdivide, AreasProportionalToWeights) {
+  const AllocTree t = AllocTree::huffman(paper_example());
+  const auto rects = t.subdivide(Rect{0, 0, 32, 32});
+  for (const NestWeight& nw : t.leaves()) {
+    const double share =
+        static_cast<double>(rects.at(nw.nest).area()) / 1024.0;
+    // Integral sides introduce rounding; 12% relative slack is ample here.
+    EXPECT_NEAR(share, nw.weight, 0.12 * nw.weight) << "nest " << nw.nest;
+  }
+}
+
+TEST(Subdivide, EveryLeafGetsAtLeastOneProcessor) {
+  // 7 nests on a tiny 3×3 grid: clamping must keep all rects non-empty.
+  std::vector<NestWeight> nests;
+  for (int i = 1; i <= 7; ++i)
+    nests.push_back({i, i == 1 ? 10.0 : 0.01});
+  const AllocTree t = AllocTree::huffman(nests);
+  const auto rects = t.subdivide(Rect{0, 0, 3, 3});
+  ASSERT_EQ(rects.size(), 7u);
+  expect_exact_tiling(rects, Rect{0, 0, 3, 3});
+}
+
+TEST(Subdivide, GridTooSmallThrows) {
+  std::vector<NestWeight> nests;
+  for (int i = 1; i <= 5; ++i) nests.push_back({i, 1.0});
+  const AllocTree t = AllocTree::huffman(nests);
+  EXPECT_THROW((void)t.subdivide(Rect{0, 0, 2, 2}), CheckError);
+}
+
+TEST(Subdivide, SquareLikePartitionsForBalancedWeights) {
+  // Equal weights on a square grid must give aspect ratios close to 1
+  // (the paper's rationale for Huffman construction order, §IV-A).
+  std::vector<NestWeight> nests;
+  for (int i = 1; i <= 4; ++i) nests.push_back({i, 0.25});
+  const AllocTree t = AllocTree::huffman(nests);
+  const auto rects = t.subdivide(Rect{0, 0, 32, 32});
+  for (const auto& [nest, r] : rects) EXPECT_LE(r.aspect_ratio(), 2.0);
+}
+
+// Property sweep: random weight sets at several sizes tile exactly.
+class SubdivideSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SubdivideSweep, RandomWeightsTileExactly) {
+  const int num_nests = GetParam();
+  Xoshiro256 rng(1000 + num_nests);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<NestWeight> nests;
+    for (int i = 1; i <= num_nests; ++i)
+      nests.push_back({i, rng.uniform(0.05, 1.0)});
+    const AllocTree t = AllocTree::huffman(nests);
+    for (const Rect grid : {Rect{0, 0, 32, 32}, Rect{0, 0, 16, 32},
+                            Rect{0, 0, 16, 16}, Rect{0, 0, 7, 11}}) {
+      const auto rects = t.subdivide(grid);
+      ASSERT_EQ(rects.size(), static_cast<std::size_t>(num_nests));
+      expect_exact_tiling(rects, grid);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NestCounts, SubdivideSweep,
+                         ::testing::Values(1, 2, 3, 5, 7, 9, 12));
+
+}  // namespace
+}  // namespace stormtrack

@@ -1,0 +1,48 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stormtrack {
+namespace {
+
+TEST(Check, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(ST_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(ST_CHECK_MSG(true, "never shown"));
+}
+
+TEST(Check, FailingCheckThrowsCheckError) {
+  EXPECT_THROW(ST_CHECK(false), CheckError);
+  EXPECT_THROW(ST_CHECK_MSG(false, "boom"), CheckError);
+}
+
+TEST(Check, MessageCarriesExpressionAndContext) {
+  try {
+    ST_CHECK_MSG(2 > 3, "two is not more than " << 3);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("two is not more than 3"), std::string::npos);
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, IsLogicError) {
+  // Callers can catch the standard hierarchy.
+  EXPECT_THROW(ST_CHECK(false), std::logic_error);
+}
+
+TEST(Check, EvaluatesExpressionOnce) {
+  int calls = 0;
+  auto f = [&]() {
+    ++calls;
+    return true;
+  };
+  ST_CHECK(f());
+  EXPECT_EQ(calls, 1);
+  ST_CHECK_MSG(f(), "msg");
+  EXPECT_EQ(calls, 2);
+}
+
+}  // namespace
+}  // namespace stormtrack

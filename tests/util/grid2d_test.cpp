@@ -1,0 +1,82 @@
+#include "util/grid2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+namespace {
+
+TEST(Grid2D, ConstructAndFill) {
+  Grid2D<int> g(4, 3, 7);
+  EXPECT_EQ(g.width(), 4);
+  EXPECT_EQ(g.height(), 3);
+  EXPECT_EQ(g.size(), 12u);
+  EXPECT_EQ(g.at(0, 0), 7);
+  EXPECT_EQ(g.at(3, 2), 7);
+}
+
+TEST(Grid2D, RowMajorLayout) {
+  Grid2D<int> g(3, 2);
+  g(0, 0) = 1;
+  g(1, 0) = 2;
+  g(2, 0) = 3;
+  g(0, 1) = 4;
+  EXPECT_EQ(g.data()[0], 1);
+  EXPECT_EQ(g.data()[1], 2);
+  EXPECT_EQ(g.data()[2], 3);
+  EXPECT_EQ(g.data()[3], 4);
+}
+
+TEST(Grid2D, AtBoundsChecked) {
+  Grid2D<int> g(2, 2);
+  EXPECT_THROW((void)g.at(2, 0), CheckError);
+  EXPECT_THROW((void)g.at(0, -1), CheckError);
+  EXPECT_NO_THROW((void)g.at(1, 1));
+}
+
+TEST(Grid2D, InBounds) {
+  Grid2D<int> g(2, 3);
+  EXPECT_TRUE(g.in_bounds(0, 0));
+  EXPECT_TRUE(g.in_bounds(1, 2));
+  EXPECT_FALSE(g.in_bounds(2, 0));
+  EXPECT_FALSE(g.in_bounds(0, 3));
+}
+
+TEST(Grid2D, Extract) {
+  Grid2D<int> g(4, 4);
+  for (int y = 0; y < 4; ++y)
+    for (int x = 0; x < 4; ++x) g(x, y) = y * 4 + x;
+  const Grid2D<int> sub = g.extract(Rect{1, 1, 2, 3});
+  EXPECT_EQ(sub.width(), 2);
+  EXPECT_EQ(sub.height(), 3);
+  EXPECT_EQ(sub(0, 0), 5);
+  EXPECT_EQ(sub(1, 2), 14);
+}
+
+TEST(Grid2D, ExtractOutOfBoundsThrows) {
+  Grid2D<int> g(4, 4);
+  EXPECT_THROW((void)g.extract(Rect{2, 2, 4, 4}), CheckError);
+}
+
+TEST(Grid2D, FillOverwrites) {
+  Grid2D<double> g(2, 2, 1.0);
+  g.fill(3.5);
+  EXPECT_DOUBLE_EQ(g(1, 1), 3.5);
+}
+
+TEST(Grid2D, EqualityAndBounds) {
+  Grid2D<int> a(2, 2, 1);
+  Grid2D<int> b(2, 2, 1);
+  EXPECT_EQ(a, b);
+  b(0, 0) = 2;
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.bounds(), (Rect{0, 0, 2, 2}));
+}
+
+TEST(Grid2D, NegativeDimsThrow) {
+  EXPECT_THROW((Grid2D<int>(-1, 2)), CheckError);
+}
+
+}  // namespace
+}  // namespace stormtrack

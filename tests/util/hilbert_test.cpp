@@ -1,0 +1,87 @@
+#include "util/hilbert.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+namespace {
+
+TEST(Hilbert, RoundTripOrder4) {
+  const int order = 4;  // 16x16
+  for (std::uint64_t d = 0; d < 256; ++d) {
+    const CellXY p = hilbert_d2xy(order, d);
+    EXPECT_EQ(hilbert_xy2d(order, p), d);
+  }
+}
+
+TEST(Hilbert, ConsecutiveDistancesAreAdjacentCells) {
+  const int order = 5;  // 32x32
+  CellXY prev = hilbert_d2xy(order, 0);
+  for (std::uint64_t d = 1; d < 1024; ++d) {
+    const CellXY cur = hilbert_d2xy(order, d);
+    EXPECT_EQ(std::abs(cur.x - prev.x) + std::abs(cur.y - prev.y), 1)
+        << "at d=" << d;
+    prev = cur;
+  }
+}
+
+TEST(Hilbert, Order0IsSingleCell) {
+  EXPECT_EQ(hilbert_d2xy(0, 0), (CellXY{0, 0}));
+}
+
+TEST(Hilbert, KnownOrder1Layout) {
+  // Order-1 curve: (0,0) -> (0,1) -> (1,1) -> (1,0).
+  EXPECT_EQ(hilbert_d2xy(1, 0), (CellXY{0, 0}));
+  EXPECT_EQ(hilbert_d2xy(1, 1), (CellXY{0, 1}));
+  EXPECT_EQ(hilbert_d2xy(1, 2), (CellXY{1, 1}));
+  EXPECT_EQ(hilbert_d2xy(1, 3), (CellXY{1, 0}));
+}
+
+TEST(Hilbert, OutOfRangeThrows) {
+  EXPECT_THROW((void)hilbert_d2xy(2, 16), CheckError);
+  EXPECT_THROW((void)hilbert_xy2d(2, CellXY{4, 0}), CheckError);
+}
+
+TEST(HilbertOrder, PermutationOnSquareGrid) {
+  const HilbertOrder h(16, 16);
+  std::set<int> ranks;
+  for (int i = 0; i < h.size(); ++i) {
+    const int r = h.rank_at(i);
+    EXPECT_TRUE(ranks.insert(r).second);
+    EXPECT_EQ(h.position_of(r), i);
+  }
+  EXPECT_EQ(ranks.size(), 256u);
+}
+
+TEST(HilbertOrder, NonPowerOfTwoGridCoversAllCells) {
+  const HilbertOrder h(13, 7);
+  std::set<int> ranks;
+  for (int i = 0; i < h.size(); ++i) ranks.insert(h.rank_at(i));
+  EXPECT_EQ(ranks.size(), 91u);
+  EXPECT_EQ(*ranks.begin(), 0);
+  EXPECT_EQ(*ranks.rbegin(), 90);
+}
+
+TEST(HilbertOrder, LocalityOnRectangularGrid) {
+  // Skipping out-of-grid cells stretches some steps, but the mean step
+  // distance must stay small (locality is the whole point).
+  const HilbertOrder h(32, 24);
+  double total = 0.0;
+  for (int i = 1; i < h.size(); ++i) {
+    const int a = h.rank_at(i - 1);
+    const int b = h.rank_at(i);
+    total += std::abs(a % 32 - b % 32) + std::abs(a / 32 - b / 32);
+  }
+  EXPECT_LT(total / (h.size() - 1), 1.5);
+}
+
+TEST(HilbertOrder, BadGridThrows) {
+  EXPECT_THROW(HilbertOrder(0, 5), CheckError);
+}
+
+}  // namespace
+}  // namespace stormtrack

@@ -1,0 +1,113 @@
+#include "util/rect.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stormtrack {
+namespace {
+
+TEST(Rect, DefaultIsEmpty) {
+  Rect r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.area(), 0);
+}
+
+TEST(Rect, AreaAndEnds) {
+  Rect r{2, 3, 4, 5};
+  EXPECT_EQ(r.area(), 20);
+  EXPECT_EQ(r.x_end(), 6);
+  EXPECT_EQ(r.y_end(), 8);
+  EXPECT_FALSE(r.empty());
+}
+
+TEST(Rect, NegativeExtentIsEmpty) {
+  EXPECT_TRUE((Rect{0, 0, -1, 5}.empty()));
+  EXPECT_TRUE((Rect{0, 0, 5, 0}.empty()));
+  EXPECT_EQ((Rect{0, 0, -3, 5}.area()), 0);
+}
+
+TEST(Rect, ContainsPoint) {
+  Rect r{1, 1, 3, 3};
+  EXPECT_TRUE(r.contains(1, 1));
+  EXPECT_TRUE(r.contains(3, 3));
+  EXPECT_FALSE(r.contains(4, 3));
+  EXPECT_FALSE(r.contains(0, 1));
+}
+
+TEST(Rect, ContainsRect) {
+  Rect outer{0, 0, 10, 10};
+  EXPECT_TRUE(outer.contains(Rect{2, 2, 3, 3}));
+  EXPECT_TRUE(outer.contains(outer));
+  EXPECT_FALSE(outer.contains(Rect{8, 8, 3, 3}));
+  EXPECT_TRUE(outer.contains(Rect{}));  // empty rect is everywhere
+}
+
+TEST(Rect, IntersectOverlapping) {
+  Rect a{0, 0, 5, 5};
+  Rect b{3, 3, 5, 5};
+  EXPECT_EQ(a.intersect(b), (Rect{3, 3, 2, 2}));
+  EXPECT_EQ(b.intersect(a), (Rect{3, 3, 2, 2}));
+  EXPECT_TRUE(a.overlaps(b));
+}
+
+TEST(Rect, IntersectDisjoint) {
+  Rect a{0, 0, 2, 2};
+  Rect b{5, 5, 2, 2};
+  EXPECT_TRUE(a.intersect(b).empty());
+  EXPECT_FALSE(a.overlaps(b));
+}
+
+TEST(Rect, IntersectTouchingEdgesIsEmpty) {
+  Rect a{0, 0, 2, 2};
+  Rect b{2, 0, 2, 2};  // shares the x=2 edge, no cells
+  EXPECT_TRUE(a.intersect(b).empty());
+}
+
+TEST(Rect, AspectRatio) {
+  EXPECT_DOUBLE_EQ((Rect{0, 0, 4, 4}.aspect_ratio()), 1.0);
+  EXPECT_DOUBLE_EQ((Rect{0, 0, 8, 2}.aspect_ratio()), 4.0);
+  EXPECT_DOUBLE_EQ((Rect{0, 0, 2, 8}.aspect_ratio()), 4.0);
+  EXPECT_DOUBLE_EQ(Rect{}.aspect_ratio(), 0.0);
+}
+
+TEST(Rect, BoundingUnion) {
+  Rect a{0, 0, 2, 2};
+  Rect b{5, 5, 2, 2};
+  EXPECT_EQ(a.bounding_union(b), (Rect{0, 0, 7, 7}));
+  EXPECT_EQ(Rect{}.bounding_union(b), b);
+  EXPECT_EQ(a.bounding_union(Rect{}), a);
+}
+
+TEST(Rect, StartRankRowMajor) {
+  // Paper Table I: nest 5's rectangle starts at (13, 13) on a 32-wide grid
+  // -> rank 429.
+  EXPECT_EQ(start_rank(Rect{13, 13, 19, 19}, 32), 429);
+  EXPECT_EQ(start_rank(Rect{0, 0, 13, 8}, 32), 0);
+  EXPECT_EQ(start_rank(Rect{0, 8, 13, 8}, 32), 256);
+  EXPECT_EQ(start_rank(Rect{0, 16, 13, 16}, 32), 512);
+  EXPECT_EQ(start_rank(Rect{13, 0, 19, 13}, 32), 13);
+}
+
+TEST(Rect, Jaccard) {
+  Rect a{0, 0, 4, 4};
+  EXPECT_DOUBLE_EQ(jaccard(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(jaccard(a, Rect{10, 10, 4, 4}), 0.0);
+  // Half-overlap: |∩|=8, |∪|=24.
+  EXPECT_DOUBLE_EQ(jaccard(a, Rect{2, 0, 4, 4}), 8.0 / 24.0);
+  EXPECT_DOUBLE_EQ(jaccard(Rect{}, Rect{}), 0.0);
+}
+
+TEST(Rect, CoverageFraction) {
+  Rect a{0, 0, 4, 4};
+  EXPECT_DOUBLE_EQ(coverage_fraction(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(coverage_fraction(a, Rect{2, 0, 4, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(coverage_fraction(Rect{}, a), 0.0);
+}
+
+TEST(Rect, ToStringContainsFields) {
+  const std::string s = Rect{1, 2, 3, 4}.to_string();
+  EXPECT_NE(s.find("x=1"), std::string::npos);
+  EXPECT_NE(s.find("h=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stormtrack

@@ -1,0 +1,107 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace stormtrack {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Xoshiro256 rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    saw_lo |= (v == 2);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, UniformIntBadRangeThrows) {
+  Xoshiro256 rng(3);
+  EXPECT_THROW((void)rng.uniform_int(5, 4), CheckError);
+}
+
+TEST(Rng, NormalMoments) {
+  Xoshiro256 rng(13);
+  const int n = 20000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.08);
+}
+
+TEST(Rng, NormalScaled) {
+  Xoshiro256 rng(17);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, BernoulliRate) {
+  Xoshiro256 rng(19);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+TEST(Rng, SplitMix64KnownSequenceDistinct) {
+  SplitMix64 sm(0);
+  std::vector<std::uint64_t> seen;
+  for (int i = 0; i < 16; ++i) seen.push_back(sm.next());
+  for (std::size_t i = 0; i < seen.size(); ++i)
+    for (std::size_t j = i + 1; j < seen.size(); ++j)
+      EXPECT_NE(seen[i], seen[j]);
+}
+
+}  // namespace
+}  // namespace stormtrack

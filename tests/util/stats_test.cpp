@@ -1,0 +1,78 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+namespace {
+
+TEST(Stats, MeanBasic) {
+  const std::array<double, 4> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, MeanEmpty) { EXPECT_DOUBLE_EQ(mean({}), 0.0); }
+
+TEST(Stats, StdevBasic) {
+  const std::array<double, 4> xs{2.0, 4.0, 4.0, 6.0};
+  // Population stdev: mean 4, variance (4+0+0+4)/4 = 2.
+  EXPECT_NEAR(stdev(xs), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Stats, StdevDegenerate) {
+  const std::array<double, 1> one{5.0};
+  EXPECT_DOUBLE_EQ(stdev(one), 0.0);
+  EXPECT_DOUBLE_EQ(stdev({}), 0.0);
+}
+
+TEST(Stats, PearsonPerfectPositive) {
+  const std::array<double, 5> xs{1, 2, 3, 4, 5};
+  const std::array<double, 5> ys{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonPerfectNegative) {
+  const std::array<double, 4> xs{1, 2, 3, 4};
+  const std::array<double, 4> ys{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSeriesIsZero) {
+  const std::array<double, 3> xs{1, 2, 3};
+  const std::array<double, 3> ys{5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, PearsonLengthMismatchThrows) {
+  const std::array<double, 3> xs{1, 2, 3};
+  const std::array<double, 2> ys{1, 2};
+  EXPECT_THROW((void)pearson(xs, ys), CheckError);
+}
+
+TEST(Stats, PercentImprovement) {
+  EXPECT_DOUBLE_EQ(percent_improvement(100.0, 75.0), 25.0);
+  EXPECT_DOUBLE_EQ(percent_improvement(100.0, 120.0), -20.0);
+  EXPECT_DOUBLE_EQ(percent_improvement(0.0, 5.0), 0.0);
+}
+
+TEST(Stats, Summarize) {
+  const std::array<double, 5> xs{5, 1, 3, 2, 4};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+}
+
+TEST(Stats, SummarizeEvenCountMedian) {
+  const std::array<double, 4> xs{1, 2, 3, 10};
+  EXPECT_DOUBLE_EQ(summarize(xs).median, 2.5);
+}
+
+}  // namespace
+}  // namespace stormtrack

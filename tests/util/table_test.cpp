@@ -1,0 +1,75 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"Nest ID", "Start Rank"});
+  t.add_row({"1", "0"});
+  t.add_row({"5", "429"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Nest ID"), std::string::npos);
+  EXPECT_NE(s.find("429"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, TitleRendered) {
+  Table t({"a"});
+  t.set_title("Processor allocation");
+  EXPECT_EQ(t.to_string().rfind("Processor allocation", 0), 0u);
+}
+
+TEST(Table, ColumnCountEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, EmptyHeadersThrow) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), CheckError);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(Table, CsvSanitizesCommas) {
+  Table t({"x"});
+  t.add_row({"a,b"});
+  EXPECT_EQ(t.to_csv(), "x\na;b\n");
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(std::int64_t{42}), "42");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Table, AlignmentPadsColumns) {
+  Table t({"ab", "c"});
+  t.add_row({"x", "long-cell"});
+  std::istringstream is(t.to_string());
+  std::string header, rule, row;
+  std::getline(is, header);
+  std::getline(is, rule);
+  std::getline(is, row);
+  EXPECT_EQ(header.size(), rule.size());
+}
+
+TEST(Table, CountsAccessors) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+}  // namespace
+}  // namespace stormtrack

@@ -1,0 +1,76 @@
+#include "wsim/nest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+namespace {
+
+TEST(NestField, ShapeIsRatioTimesRegion) {
+  Grid2D<double> parent(100, 80, 1.0);
+  NestField nest(parent, Rect{10, 10, 20, 15});
+  EXPECT_EQ(nest.shape().nx, 60);
+  EXPECT_EQ(nest.shape().ny, 45);
+  EXPECT_EQ(nest.ratio(), 3);
+}
+
+TEST(NestField, ConstantFieldInterpolatesConstant) {
+  Grid2D<double> parent(50, 50, 7.5);
+  NestField nest(parent, Rect{5, 5, 10, 10});
+  for (double v : nest.data().data()) EXPECT_DOUBLE_EQ(v, 7.5);
+}
+
+TEST(NestField, LinearFieldInterpolatesExactlyInInterior) {
+  // Bilinear interpolation reproduces affine fields away from clamping.
+  Grid2D<double> parent(60, 60);
+  for (int y = 0; y < 60; ++y)
+    for (int x = 0; x < 60; ++x) parent(x, y) = 2.0 * x + 3.0 * y;
+  NestField nest(parent, Rect{10, 10, 20, 20});
+  const auto& d = nest.data();
+  for (int fy = 3; fy < d.height() - 3; ++fy) {
+    for (int fx = 3; fx < d.width() - 3; ++fx) {
+      const double px = 10 + (fx + 0.5) / 3.0 - 0.5;
+      const double py = 10 + (fy + 0.5) / 3.0 - 0.5;
+      EXPECT_NEAR(d(fx, fy), 2.0 * px + 3.0 * py, 1e-9);
+    }
+  }
+}
+
+TEST(NestField, ValuesBoundedByParentRange) {
+  // Bilinear interpolation cannot overshoot the parent min/max.
+  Grid2D<double> parent(40, 40);
+  for (int y = 0; y < 40; ++y)
+    for (int x = 0; x < 40; ++x)
+      parent(x, y) = ((x ^ y) & 1) ? 0.0 : 10.0;
+  NestField nest(parent, Rect{2, 2, 30, 30});
+  for (double v : nest.data().data()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 10.0);
+  }
+}
+
+TEST(NestField, RegionMustFitParent) {
+  Grid2D<double> parent(20, 20);
+  EXPECT_THROW(NestField(parent, Rect{15, 15, 10, 10}), CheckError);
+  EXPECT_THROW(NestField(parent, Rect{0, 0, 0, 5}), CheckError);
+}
+
+TEST(NestField, UnitRatioCopiesRegion) {
+  Grid2D<double> parent(20, 20);
+  for (int y = 0; y < 20; ++y)
+    for (int x = 0; x < 20; ++x) parent(x, y) = y * 20.0 + x;
+  NestField nest(parent, Rect{3, 4, 5, 6}, 1);
+  for (int y = 0; y < 6; ++y)
+    for (int x = 0; x < 5; ++x)
+      EXPECT_DOUBLE_EQ(nest.data()(x, y), parent(3 + x, 4 + y));
+}
+
+TEST(NestShapeFor, MatchesRefinement) {
+  const NestShape s = nest_shape_for(Rect{0, 0, 67, 116});
+  EXPECT_EQ(s.nx, 201);
+  EXPECT_EQ(s.ny, 348);
+}
+
+}  // namespace
+}  // namespace stormtrack

@@ -1,0 +1,92 @@
+#include "wsim/split_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+namespace {
+
+WeatherModel small_model() {
+  WeatherConfig cfg = WeatherConfig::mumbai_2005();
+  cfg.domain.resolution_km = 48.0;  // coarse grid for fast tests
+  return WeatherModel(cfg, 21);
+}
+
+TEST(SplitFile, OneFilePerRank) {
+  const WeatherModel m = small_model();
+  const auto files = write_split_files(m, 8, 4);
+  ASSERT_EQ(files.size(), 32u);
+  for (int r = 0; r < 32; ++r) {
+    EXPECT_EQ(files[r].rank, r);
+    EXPECT_EQ(files[r].grid_px, 8);
+  }
+}
+
+TEST(SplitFile, SubdomainsTileTheDomain) {
+  const WeatherModel m = small_model();
+  const auto files = write_split_files(m, 8, 4);
+  std::int64_t area = 0;
+  for (const SplitFile& f : files) {
+    area += f.subdomain.area();
+    EXPECT_EQ(f.qcloud.width(), f.subdomain.w);
+    EXPECT_EQ(f.olr.height(), f.subdomain.h);
+  }
+  EXPECT_EQ(area, static_cast<std::int64_t>(m.qcloud().width()) *
+                      m.qcloud().height());
+}
+
+TEST(SplitFile, TileValuesMatchGlobalField) {
+  const WeatherModel m = small_model();
+  const auto files = write_split_files(m, 4, 4);
+  for (const SplitFile& f : files) {
+    for (int y = 0; y < f.subdomain.h; ++y)
+      for (int x = 0; x < f.subdomain.w; ++x)
+        ASSERT_DOUBLE_EQ(f.qcloud(x, y),
+                         m.qcloud()(f.subdomain.x + x, f.subdomain.y + y));
+  }
+}
+
+TEST(SplitFile, FileGridPosition) {
+  const WeatherModel m = small_model();
+  const auto files = write_split_files(m, 8, 4);
+  EXPECT_EQ(files[0].file_x(), 0);
+  EXPECT_EQ(files[0].file_y(), 0);
+  EXPECT_EQ(files[9].file_x(), 1);
+  EXPECT_EQ(files[9].file_y(), 1);
+}
+
+TEST(SplitFile, DiskRoundTrip) {
+  const WeatherModel m = small_model();
+  const auto files = write_split_files(m, 4, 2);
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "stormtrack_splitfile_test";
+  std::filesystem::remove_all(dir);
+  for (const SplitFile& f : files) save_split_file(f, dir);
+  for (const SplitFile& f : files) {
+    const SplitFile loaded = load_split_file(dir, f.rank);
+    EXPECT_EQ(loaded.rank, f.rank);
+    EXPECT_EQ(loaded.grid_px, f.grid_px);
+    EXPECT_EQ(loaded.subdomain, f.subdomain);
+    EXPECT_EQ(loaded.qcloud, f.qcloud);
+    EXPECT_EQ(loaded.olr, f.olr);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SplitFile, MissingFileThrows) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "stormtrack_splitfile_missing";
+  std::filesystem::remove_all(dir);
+  EXPECT_THROW((void)load_split_file(dir, 0), CheckError);
+}
+
+TEST(SplitFile, BadGridThrows) {
+  const WeatherModel m = small_model();
+  EXPECT_THROW((void)write_split_files(m, 0, 4), CheckError);
+}
+
+}  // namespace
+}  // namespace stormtrack
