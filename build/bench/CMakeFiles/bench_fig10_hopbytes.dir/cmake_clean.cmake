@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_hopbytes.dir/bench_fig10_hopbytes.cpp.o"
+  "CMakeFiles/bench_fig10_hopbytes.dir/bench_fig10_hopbytes.cpp.o.d"
+  "bench_fig10_hopbytes"
+  "bench_fig10_hopbytes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_hopbytes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pda_scaling.dir/bench_pda_scaling.cpp.o"
+  "CMakeFiles/bench_pda_scaling.dir/bench_pda_scaling.cpp.o.d"
+  "bench_pda_scaling"
+  "bench_pda_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pda_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_real_redistribution.dir/bench_real_redistribution.cpp.o"
+  "CMakeFiles/bench_real_redistribution.dir/bench_real_redistribution.cpp.o.d"
+  "bench_real_redistribution"
+  "bench_real_redistribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_real_redistribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sfc_comparison.dir/bench_sfc_comparison.cpp.o"
+  "CMakeFiles/bench_sfc_comparison.dir/bench_sfc_comparison.cpp.o.d"
+  "bench_sfc_comparison"
+  "bench_sfc_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sfc_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

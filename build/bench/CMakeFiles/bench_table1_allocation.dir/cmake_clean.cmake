@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_allocation.dir/bench_table1_allocation.cpp.o"
+  "CMakeFiles/bench_table1_allocation.dir/bench_table1_allocation.cpp.o.d"
+  "bench_table1_allocation"
+  "bench_table1_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

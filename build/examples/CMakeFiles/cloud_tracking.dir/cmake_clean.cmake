@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_tracking.dir/cloud_tracking.cpp.o"
+  "CMakeFiles/cloud_tracking.dir/cloud_tracking.cpp.o.d"
+  "cloud_tracking"
+  "cloud_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_strategy_demo.dir/dynamic_strategy_demo.cpp.o"
+  "CMakeFiles/dynamic_strategy_demo.dir/dynamic_strategy_demo.cpp.o.d"
+  "dynamic_strategy_demo"
+  "dynamic_strategy_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_strategy_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

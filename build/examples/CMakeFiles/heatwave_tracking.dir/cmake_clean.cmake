@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heatwave_tracking.dir/heatwave_tracking.cpp.o"
+  "CMakeFiles/heatwave_tracking.dir/heatwave_tracking.cpp.o.d"
+  "heatwave_tracking"
+  "heatwave_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heatwave_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

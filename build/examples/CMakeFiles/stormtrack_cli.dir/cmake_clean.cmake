@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stormtrack_cli.dir/stormtrack_cli.cpp.o"
+  "CMakeFiles/stormtrack_cli.dir/stormtrack_cli.cpp.o.d"
+  "stormtrack_cli"
+  "stormtrack_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stormtrack_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

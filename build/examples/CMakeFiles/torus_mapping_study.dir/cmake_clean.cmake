@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/torus_mapping_study.dir/torus_mapping_study.cpp.o"
+  "CMakeFiles/torus_mapping_study.dir/torus_mapping_study.cpp.o.d"
+  "torus_mapping_study"
+  "torus_mapping_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/torus_mapping_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stormtrack_alloc.dir/allocation.cpp.o"
+  "CMakeFiles/stormtrack_alloc.dir/allocation.cpp.o.d"
+  "CMakeFiles/stormtrack_alloc.dir/partitioner.cpp.o"
+  "CMakeFiles/stormtrack_alloc.dir/partitioner.cpp.o.d"
+  "CMakeFiles/stormtrack_alloc.dir/sfc_allocation.cpp.o"
+  "CMakeFiles/stormtrack_alloc.dir/sfc_allocation.cpp.o.d"
+  "libstormtrack_alloc.a"
+  "libstormtrack_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stormtrack_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stormtrack_core.dir/coupled.cpp.o"
+  "CMakeFiles/stormtrack_core.dir/coupled.cpp.o.d"
+  "CMakeFiles/stormtrack_core.dir/experiment.cpp.o"
+  "CMakeFiles/stormtrack_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/stormtrack_core.dir/machine.cpp.o"
+  "CMakeFiles/stormtrack_core.dir/machine.cpp.o.d"
+  "CMakeFiles/stormtrack_core.dir/nest_tracker.cpp.o"
+  "CMakeFiles/stormtrack_core.dir/nest_tracker.cpp.o.d"
+  "CMakeFiles/stormtrack_core.dir/realloc_manager.cpp.o"
+  "CMakeFiles/stormtrack_core.dir/realloc_manager.cpp.o.d"
+  "CMakeFiles/stormtrack_core.dir/trace_io.cpp.o"
+  "CMakeFiles/stormtrack_core.dir/trace_io.cpp.o.d"
+  "CMakeFiles/stormtrack_core.dir/traces.cpp.o"
+  "CMakeFiles/stormtrack_core.dir/traces.cpp.o.d"
+  "libstormtrack_core.a"
+  "libstormtrack_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stormtrack_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stormtrack_pda.dir/nnc.cpp.o"
+  "CMakeFiles/stormtrack_pda.dir/nnc.cpp.o.d"
+  "CMakeFiles/stormtrack_pda.dir/parallel_nnc.cpp.o"
+  "CMakeFiles/stormtrack_pda.dir/parallel_nnc.cpp.o.d"
+  "CMakeFiles/stormtrack_pda.dir/pda.cpp.o"
+  "CMakeFiles/stormtrack_pda.dir/pda.cpp.o.d"
+  "libstormtrack_pda.a"
+  "libstormtrack_pda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stormtrack_pda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

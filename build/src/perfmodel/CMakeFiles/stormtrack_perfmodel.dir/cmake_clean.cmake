@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stormtrack_perfmodel.dir/delaunay.cpp.o"
+  "CMakeFiles/stormtrack_perfmodel.dir/delaunay.cpp.o.d"
+  "CMakeFiles/stormtrack_perfmodel.dir/exec_model.cpp.o"
+  "CMakeFiles/stormtrack_perfmodel.dir/exec_model.cpp.o.d"
+  "CMakeFiles/stormtrack_perfmodel.dir/ground_truth.cpp.o"
+  "CMakeFiles/stormtrack_perfmodel.dir/ground_truth.cpp.o.d"
+  "libstormtrack_perfmodel.a"
+  "libstormtrack_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stormtrack_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/redist/block_decomp.cpp" "src/redist/CMakeFiles/stormtrack_redist.dir/block_decomp.cpp.o" "gcc" "src/redist/CMakeFiles/stormtrack_redist.dir/block_decomp.cpp.o.d"
+  "/root/repo/src/redist/redistributor.cpp" "src/redist/CMakeFiles/stormtrack_redist.dir/redistributor.cpp.o" "gcc" "src/redist/CMakeFiles/stormtrack_redist.dir/redistributor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simmpi/CMakeFiles/stormtrack_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/stormtrack_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stormtrack_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/stormtrack_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

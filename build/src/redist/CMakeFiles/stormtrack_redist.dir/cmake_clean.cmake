@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stormtrack_redist.dir/block_decomp.cpp.o"
+  "CMakeFiles/stormtrack_redist.dir/block_decomp.cpp.o.d"
+  "CMakeFiles/stormtrack_redist.dir/redistributor.cpp.o"
+  "CMakeFiles/stormtrack_redist.dir/redistributor.cpp.o.d"
+  "libstormtrack_redist.a"
+  "libstormtrack_redist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stormtrack_redist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stormtrack_simmpi.dir/simcomm.cpp.o"
+  "CMakeFiles/stormtrack_simmpi.dir/simcomm.cpp.o.d"
+  "libstormtrack_simmpi.a"
+  "libstormtrack_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stormtrack_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

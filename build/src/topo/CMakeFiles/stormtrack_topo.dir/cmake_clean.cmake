@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stormtrack_topo.dir/mapping.cpp.o"
+  "CMakeFiles/stormtrack_topo.dir/mapping.cpp.o.d"
+  "CMakeFiles/stormtrack_topo.dir/topology.cpp.o"
+  "CMakeFiles/stormtrack_topo.dir/topology.cpp.o.d"
+  "libstormtrack_topo.a"
+  "libstormtrack_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stormtrack_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

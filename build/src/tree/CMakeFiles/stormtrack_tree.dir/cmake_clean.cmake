@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stormtrack_tree.dir/alloc_tree.cpp.o"
+  "CMakeFiles/stormtrack_tree.dir/alloc_tree.cpp.o.d"
+  "CMakeFiles/stormtrack_tree.dir/diffusion.cpp.o"
+  "CMakeFiles/stormtrack_tree.dir/diffusion.cpp.o.d"
+  "libstormtrack_tree.a"
+  "libstormtrack_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stormtrack_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstormtrack_tree.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stormtrack_util.dir/hilbert.cpp.o"
+  "CMakeFiles/stormtrack_util.dir/hilbert.cpp.o.d"
+  "CMakeFiles/stormtrack_util.dir/image.cpp.o"
+  "CMakeFiles/stormtrack_util.dir/image.cpp.o.d"
+  "CMakeFiles/stormtrack_util.dir/rect.cpp.o"
+  "CMakeFiles/stormtrack_util.dir/rect.cpp.o.d"
+  "CMakeFiles/stormtrack_util.dir/stats.cpp.o"
+  "CMakeFiles/stormtrack_util.dir/stats.cpp.o.d"
+  "CMakeFiles/stormtrack_util.dir/table.cpp.o"
+  "CMakeFiles/stormtrack_util.dir/table.cpp.o.d"
+  "libstormtrack_util.a"
+  "libstormtrack_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stormtrack_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wsim/dynamics.cpp" "src/wsim/CMakeFiles/stormtrack_wsim.dir/dynamics.cpp.o" "gcc" "src/wsim/CMakeFiles/stormtrack_wsim.dir/dynamics.cpp.o.d"
+  "/root/repo/src/wsim/nest.cpp" "src/wsim/CMakeFiles/stormtrack_wsim.dir/nest.cpp.o" "gcc" "src/wsim/CMakeFiles/stormtrack_wsim.dir/nest.cpp.o.d"
+  "/root/repo/src/wsim/split_file.cpp" "src/wsim/CMakeFiles/stormtrack_wsim.dir/split_file.cpp.o" "gcc" "src/wsim/CMakeFiles/stormtrack_wsim.dir/split_file.cpp.o.d"
+  "/root/repo/src/wsim/weather.cpp" "src/wsim/CMakeFiles/stormtrack_wsim.dir/weather.cpp.o" "gcc" "src/wsim/CMakeFiles/stormtrack_wsim.dir/weather.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/redist/CMakeFiles/stormtrack_redist.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/stormtrack_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/stormtrack_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/stormtrack_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/stormtrack_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

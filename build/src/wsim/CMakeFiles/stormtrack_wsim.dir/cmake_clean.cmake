@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stormtrack_wsim.dir/dynamics.cpp.o"
+  "CMakeFiles/stormtrack_wsim.dir/dynamics.cpp.o.d"
+  "CMakeFiles/stormtrack_wsim.dir/nest.cpp.o"
+  "CMakeFiles/stormtrack_wsim.dir/nest.cpp.o.d"
+  "CMakeFiles/stormtrack_wsim.dir/split_file.cpp.o"
+  "CMakeFiles/stormtrack_wsim.dir/split_file.cpp.o.d"
+  "CMakeFiles/stormtrack_wsim.dir/weather.cpp.o"
+  "CMakeFiles/stormtrack_wsim.dir/weather.cpp.o.d"
+  "libstormtrack_wsim.a"
+  "libstormtrack_wsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stormtrack_wsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstormtrack_wsim.a"
+)

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alloc.dir/alloc/allocation_test.cpp.o"
+  "CMakeFiles/test_alloc.dir/alloc/allocation_test.cpp.o.d"
+  "CMakeFiles/test_alloc.dir/alloc/partitioner_test.cpp.o"
+  "CMakeFiles/test_alloc.dir/alloc/partitioner_test.cpp.o.d"
+  "CMakeFiles/test_alloc.dir/alloc/sfc_allocation_test.cpp.o"
+  "CMakeFiles/test_alloc.dir/alloc/sfc_allocation_test.cpp.o.d"
+  "test_alloc"
+  "test_alloc.pdb"
+  "test_alloc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

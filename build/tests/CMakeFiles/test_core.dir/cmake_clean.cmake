@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/coupled_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/coupled_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/dynamic_strategy_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/dynamic_strategy_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/experiment_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/experiment_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/long_trace_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/long_trace_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/machine_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/machine_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/nest_tracker_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/nest_tracker_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/realloc_manager_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/realloc_manager_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/trace_io_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/trace_io_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/traces_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/traces_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

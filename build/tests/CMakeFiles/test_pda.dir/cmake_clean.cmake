@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pda.dir/pda/nnc_fuzz_test.cpp.o"
+  "CMakeFiles/test_pda.dir/pda/nnc_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_pda.dir/pda/nnc_test.cpp.o"
+  "CMakeFiles/test_pda.dir/pda/nnc_test.cpp.o.d"
+  "CMakeFiles/test_pda.dir/pda/parallel_nnc_test.cpp.o"
+  "CMakeFiles/test_pda.dir/pda/parallel_nnc_test.cpp.o.d"
+  "CMakeFiles/test_pda.dir/pda/pda_test.cpp.o"
+  "CMakeFiles/test_pda.dir/pda/pda_test.cpp.o.d"
+  "test_pda"
+  "test_pda.pdb"
+  "test_pda[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_redist.dir/redist/block_decomp_test.cpp.o"
+  "CMakeFiles/test_redist.dir/redist/block_decomp_test.cpp.o.d"
+  "CMakeFiles/test_redist.dir/redist/plan_sweep_test.cpp.o"
+  "CMakeFiles/test_redist.dir/redist/plan_sweep_test.cpp.o.d"
+  "CMakeFiles/test_redist.dir/redist/redistributor_test.cpp.o"
+  "CMakeFiles/test_redist.dir/redist/redistributor_test.cpp.o.d"
+  "test_redist"
+  "test_redist.pdb"
+  "test_redist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_redist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

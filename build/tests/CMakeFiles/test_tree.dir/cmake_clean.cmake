@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree.dir/tree/diffusion_sequence_test.cpp.o"
+  "CMakeFiles/test_tree.dir/tree/diffusion_sequence_test.cpp.o.d"
+  "CMakeFiles/test_tree.dir/tree/diffusion_test.cpp.o"
+  "CMakeFiles/test_tree.dir/tree/diffusion_test.cpp.o.d"
+  "CMakeFiles/test_tree.dir/tree/huffman_test.cpp.o"
+  "CMakeFiles/test_tree.dir/tree/huffman_test.cpp.o.d"
+  "CMakeFiles/test_tree.dir/tree/subdivide_test.cpp.o"
+  "CMakeFiles/test_tree.dir/tree/subdivide_test.cpp.o.d"
+  "test_tree"
+  "test_tree.pdb"
+  "test_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wsim.dir/wsim/dynamics_test.cpp.o"
+  "CMakeFiles/test_wsim.dir/wsim/dynamics_test.cpp.o.d"
+  "CMakeFiles/test_wsim.dir/wsim/nest_test.cpp.o"
+  "CMakeFiles/test_wsim.dir/wsim/nest_test.cpp.o.d"
+  "CMakeFiles/test_wsim.dir/wsim/split_file_test.cpp.o"
+  "CMakeFiles/test_wsim.dir/wsim/split_file_test.cpp.o.d"
+  "CMakeFiles/test_wsim.dir/wsim/weather_sweep_test.cpp.o"
+  "CMakeFiles/test_wsim.dir/wsim/weather_sweep_test.cpp.o.d"
+  "CMakeFiles/test_wsim.dir/wsim/weather_test.cpp.o"
+  "CMakeFiles/test_wsim.dir/wsim/weather_test.cpp.o.d"
+  "test_wsim"
+  "test_wsim.pdb"
+  "test_wsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_topo[1]_include.cmake")
+include("/root/repo/build/tests/test_simmpi[1]_include.cmake")
+include("/root/repo/build/tests/test_tree[1]_include.cmake")
+include("/root/repo/build/tests/test_perfmodel[1]_include.cmake")
+include("/root/repo/build/tests/test_alloc[1]_include.cmake")
+include("/root/repo/build/tests/test_redist[1]_include.cmake")
+include("/root/repo/build/tests/test_wsim[1]_include.cmake")
+include("/root/repo/build/tests/test_pda[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
