@@ -7,42 +7,57 @@
 ///  (iii) subdivision split orientation — longest-dimension (ours) vs
 ///       alternating per tree level.
 ///
-/// Each ablation runs the 70-case synthetic suite and reports the metric
-/// the design choice targets.
+/// Ablations (i) and (iii) run the 70-case synthetic suite as one
+/// {mapping-machine × strategy} sweep; (ii) is a worked-example
+/// micro-ablation.
 
 #include <iostream>
 
-#include "core/experiment.hpp"
-#include "util/stats.hpp"
+#include "bench_common.hpp"
 
 using namespace stormtrack;
 
 namespace {
 
+SweepMachine mapped_bluegene_1024(const std::string& name) {
+  return {name, [name] {
+            auto torus = make_bluegene(1024);
+            std::unique_ptr<Mapping> mapping;
+            if (name == "folding")
+              mapping = std::make_unique<FoldingMapping>(32, 32, *torus);
+            else if (name == "row-major")
+              mapping = std::make_unique<RowMajorMapping>(1024);
+            else
+              mapping = std::make_unique<RandomMapping>(1024, 99);
+            return Machine(std::move(torus), std::move(mapping), 32, 32,
+                           "BG/L 1024 " + name);
+          }};
+}
+
 // ----------------------------------------------------------- ablation (i)
 
-void mapping_ablation(const Trace& trace, const ModelStack& models) {
+void mapping_ablation(const std::vector<SweepCaseResult>& results) {
   Table t({"Mapping", "Mean avg hop-bytes", "Total redist time (s)",
            "Grid-neighbour dilation"});
   t.set_title("Ablation (i): rank->node mapping on the 1024-node torus "
               "(diffusion strategy)");
-  for (const char* name : {"folding", "row-major", "random"}) {
-    auto torus = make_bluegene(1024);
+  for (const SweepCaseResult& c : results) {
+    if (c.strategy != "diffusion") continue;
+    // Dilation is a property of (topology, mapping) alone; rebuild the
+    // pair — machine construction is cheap next to the 70-event run.
+    const auto torus = make_bluegene(1024);
     std::unique_ptr<Mapping> mapping;
-    if (std::string(name) == "folding")
+    if (c.machine_name == "folding")
       mapping = std::make_unique<FoldingMapping>(32, 32, *torus);
-    else if (std::string(name) == "row-major")
+    else if (c.machine_name == "row-major")
       mapping = std::make_unique<RowMajorMapping>(1024);
     else
       mapping = std::make_unique<RandomMapping>(1024, 99);
     const double dilation =
         average_neighbor_dilation(*torus, *mapping, 32, 32);
-    Machine machine(std::move(torus), std::move(mapping), 32, 32,
-                    std::string("BG/L 1024 ") + name);
-    const TraceRunResult r = run_trace(machine, models.model, models.truth,
-                                       Strategy::kDiffusion, trace);
-    t.add_row({name, Table::num(r.mean_avg_hop_bytes(), 2),
-               Table::num(r.total_redist(), 2), Table::num(dilation, 2)});
+    t.add_row({c.machine_name, Table::num(c.result.mean_avg_hop_bytes(), 2),
+               Table::num(c.result.total_redist(), 2),
+               Table::num(dilation, 2)});
   }
   t.print(std::cout);
 }
@@ -80,16 +95,13 @@ void insertion_ablation(const ModelStack& models) {
 
 // --------------------------------------------------------- ablation (iii)
 
-void split_ablation(const Trace& trace, const ModelStack& models) {
+void split_ablation(const TraceRunResult& scratch_run) {
   // The longest-dimension rule is baked into subdivide(); quantify what it
   // buys by comparing the nests' aspect-ratio distribution against the
   // theoretical square bound sqrt(area) and report execution-time impact
   // via the ground truth.
-  const Machine machine = Machine::bluegene(1024);
-  const TraceRunResult r = run_trace(machine, models.model, models.truth,
-                                     Strategy::kScratch, trace);
   std::vector<double> aspects;
-  for (const StepOutcome& o : r.outcomes)
+  for (const StepOutcome& o : scratch_run.outcomes)
     for (const auto& [nest, rect] : o.allocation.rects())
       aspects.push_back(rect.aspect_ratio());
   const Summary s = summarize(aspects);
@@ -106,11 +118,24 @@ void split_ablation(const Trace& trace, const ModelStack& models) {
 }  // namespace
 
 int main() {
-  SyntheticTraceConfig tcfg;
-  const Trace trace = generate_synthetic_trace(tcfg);
+  SweepSpec spec;
+  spec.traces.push_back(
+      {"suite70", bench::synthetic_trace(SyntheticTraceConfig{}.num_events,
+                                         SyntheticTraceConfig{}.seed)});
+  for (const char* name : {"folding", "row-major", "random"})
+    spec.machines.push_back(mapped_bluegene_1024(name));
+  spec.strategies = {"diffusion", "scratch"};
+
   const ModelStack models;
-  mapping_ablation(trace, models);
+  const std::vector<SweepCaseResult> results =
+      SweepRunner(models).run(spec);
+
+  mapping_ablation(results);
   insertion_ablation(models);
-  split_ablation(trace, models);
+  // The folding machine is Machine::bluegene(1024) in all but label.
+  split_ablation(find_case(results, "suite70", "folding", "scratch").result);
+
+  bench::print_stage_metrics(results,
+                             "Adaptation pipeline stage costs (6 runs)");
   return 0;
 }

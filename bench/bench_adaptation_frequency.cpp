@@ -34,11 +34,11 @@ int main() {
     ManagerConfig cfg;
     cfg.steps_per_interval = steps;
     const TraceRunResult scratch = run_trace(
-        bgl, models.model, models.truth, Strategy::kScratch, trace, cfg);
+        bgl, models.model, models.truth, "scratch", trace, cfg);
     const TraceRunResult diff = run_trace(
-        bgl, models.model, models.truth, Strategy::kDiffusion, trace, cfg);
+        bgl, models.model, models.truth, "diffusion", trace, cfg);
     const TraceRunResult dyn = run_trace(
-        bgl, models.model, models.truth, Strategy::kDynamic, trace, cfg);
+        bgl, models.model, models.truth, "dynamic", trace, cfg);
     const double share = scratch.total_redist() / scratch.total();
     t.add_row({std::to_string(steps),
                Table::num(100.0 * share, 1) + "%",

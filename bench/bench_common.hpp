@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// Helpers shared by the bench binaries: standard trace construction,
+/// decision-quality statistics for dynamic-strategy runs, and per-stage
+/// metrics printing. Keeps the binaries down to "declare the grid, hand it
+/// to SweepRunner, print the paper's tables".
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sweep/sweep_runner.hpp"
+#include "util/stats.hpp"
+
+namespace stormtrack::bench {
+
+/// The paper's synthetic trace (§V-B) with the usual config knobs.
+[[nodiscard]] inline Trace synthetic_trace(int num_events,
+                                           std::uint64_t seed) {
+  SyntheticTraceConfig cfg;
+  cfg.num_events = num_events;
+  cfg.seed = seed;
+  return generate_synthetic_trace(cfg);
+}
+
+/// Decision quality of a dynamic-strategy run against the simulator's
+/// ground truth (§V-F): per-point correctness plus the predicted/actual
+/// execution-time series for Pearson correlation.
+struct DecisionQuality {
+  int correct = 0;           ///< Points where chosen == actually best.
+  int diffusion_best = 0;    ///< Points where diffusion was actually best.
+  std::vector<double> predicted;  ///< Committed predicted exec times.
+  std::vector<double> actual;     ///< Committed actual exec times.
+
+  [[nodiscard]] double pearson_r() const {
+    return pearson(predicted, actual);
+  }
+};
+
+[[nodiscard]] inline DecisionQuality decision_quality(
+    const TraceRunResult& run) {
+  DecisionQuality q;
+  for (const StepOutcome& o : run.outcomes) {
+    const bool diffusion_best =
+        o.diffusion.actual_total() <= o.scratch.actual_total();
+    q.diffusion_best += diffusion_best ? 1 : 0;
+    if ((o.chosen == "diffusion") == diffusion_best) ++q.correct;
+    q.predicted.push_back(o.committed.predicted_exec);
+    q.actual.push_back(o.committed.actual_exec);
+  }
+  return q;
+}
+
+/// Print the merged per-stage pipeline metrics of a sweep (wall times of
+/// DiffNests → Redistribute, candidate build counts, ...).
+inline void print_stage_metrics(const std::vector<SweepCaseResult>& results,
+                                const std::string& title) {
+  merged_metrics(results).to_table(title).print(std::cout);
+}
+
+}  // namespace stormtrack::bench

@@ -21,9 +21,9 @@ int main() {
   const Machine bgl = Machine::bluegene(1024);
 
   const TraceRunResult diff = run_trace(bgl, models.model, models.truth,
-                                        Strategy::kDiffusion, trace);
+                                        "diffusion", trace);
   const TraceRunResult scratch = run_trace(bgl, models.model, models.truth,
-                                           Strategy::kScratch, trace);
+                                           "scratch", trace);
 
   Table t({"Case", "Scratch avg hop-bytes", "Diffusion avg hop-bytes"});
   t.set_title("Fig. 10: average hop-bytes per synthetic test case on " +

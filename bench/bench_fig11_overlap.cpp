@@ -21,9 +21,9 @@ namespace {
 void run_machine(const Machine& machine, const Trace& trace,
                  const ModelStack& models, bool per_case_table) {
   const TraceRunResult diff = run_trace(machine, models.model, models.truth,
-                                        Strategy::kDiffusion, trace);
+                                        "diffusion", trace);
   const TraceRunResult scratch = run_trace(machine, models.model,
-                                           models.truth, Strategy::kScratch,
+                                           models.truth, "scratch",
                                            trace);
   std::vector<double> s_series, d_series;
   Table t({"Case", "Scratch overlap %", "Diffusion overlap %"});

@@ -13,53 +13,47 @@
 
 #include <iostream>
 
-#include "core/experiment.hpp"
-#include "util/stats.hpp"
+#include "bench_common.hpp"
 
 using namespace stormtrack;
 
 int main() {
-  SyntheticTraceConfig tcfg;
-  tcfg.num_events = 12;  // paper: 12 reconfigurations over 4 h simulated
-  tcfg.seed = 0xf125;
-  const Trace trace = generate_synthetic_trace(tcfg);
-  const ModelStack models;
-  const Machine bgl = Machine::bluegene(1024);
+  // Paper: 12 reconfigurations over 4 h simulated.
+  SweepSpec spec;
+  spec.traces.push_back({"fig12", bench::synthetic_trace(12, 0xf125)});
+  spec.machines.push_back(sweep_bluegene(1024));
+  spec.strategies = {"diffusion", "scratch", "dynamic"};
 
-  const TraceRunResult tree = run_trace(bgl, models.model, models.truth,
-                                        Strategy::kDiffusion, trace);
-  const TraceRunResult scratch = run_trace(bgl, models.model, models.truth,
-                                           Strategy::kScratch, trace);
-  const TraceRunResult dynamic = run_trace(bgl, models.model, models.truth,
-                                           Strategy::kDynamic, trace);
+  const ModelStack models;
+  const std::vector<SweepCaseResult> results =
+      SweepRunner(models).run(spec);
+  const TraceRunResult& tree =
+      find_case(results, "fig12", "bluegene-1024", "diffusion").result;
+  const TraceRunResult& scratch =
+      find_case(results, "fig12", "bluegene-1024", "scratch").result;
+  const TraceRunResult& dynamic =
+      find_case(results, "fig12", "bluegene-1024", "dynamic").result;
+  const std::string label =
+      find_case(results, "fig12", "bluegene-1024", "dynamic").machine_label;
+  const std::size_t events = dynamic.outcomes.size();
 
   // ------------------------------------------------ decision quality
-  int correct = 0, tree_best_actual = 0;
-  std::vector<double> predicted, actual;
-  for (const StepOutcome& o : dynamic.outcomes) {
-    const bool tree_best =
-        o.diffusion.actual_total() <= o.scratch.actual_total();
-    tree_best_actual += tree_best ? 1 : 0;
-    if ((o.chosen == "diffusion") == tree_best) ++correct;
-    predicted.push_back(o.committed.predicted_exec);
-    actual.push_back(o.committed.actual_exec);
-  }
-  const double r = pearson(predicted, actual);
+  const bench::DecisionQuality q = bench::decision_quality(dynamic);
 
-  Table q({"Quantity", "Paper", "Ours"});
-  q.set_title("Section V-F: dynamic strategy on " + bgl.label() + " (" +
-              std::to_string(trace.size()) + " reconfigurations)");
-  q.add_row({"Pearson r (predicted vs actual exec time)", "0.9",
-             Table::num(r, 2)});
-  q.add_row({"Tree-based selected (times)", "10/12",
-             std::to_string(dynamic.diffusion_picks()) + "/" +
-                 std::to_string(trace.size())});
-  q.add_row({"Correct decisions", "10/12",
-             std::to_string(correct) + "/" + std::to_string(trace.size())});
-  q.add_row({"Tree-based actually best (times)", "9/12",
-             std::to_string(tree_best_actual) + "/" +
-                 std::to_string(trace.size())});
-  q.print(std::cout);
+  Table qt({"Quantity", "Paper", "Ours"});
+  qt.set_title("Section V-F: dynamic strategy on " + label + " (" +
+               std::to_string(events) + " reconfigurations)");
+  qt.add_row({"Pearson r (predicted vs actual exec time)", "0.9",
+              Table::num(q.pearson_r(), 2)});
+  qt.add_row({"Tree-based selected (times)", "10/12",
+              std::to_string(dynamic.diffusion_picks()) + "/" +
+                  std::to_string(events)});
+  qt.add_row({"Correct decisions", "10/12",
+              std::to_string(q.correct) + "/" + std::to_string(events)});
+  qt.add_row({"Tree-based actually best (times)", "9/12",
+              std::to_string(q.diffusion_best) + "/" +
+                  std::to_string(events)});
+  qt.print(std::cout);
 
   // ------------------------------------------------ Fig. 12 bar chart
   Table bars({"Strategy", "Execution time (s)", "Redistribution time (s)",
@@ -82,6 +76,9 @@ int main() {
             << "%\n"
             << "Expected shape: tree-based lowest redistribution, scratch "
                "lowest execution,\ndynamic close to the best of each "
-               "(§V-F).\n";
+               "(§V-F).\n\n";
+
+  bench::print_stage_metrics(
+      results, "Adaptation pipeline stage costs (all 3 strategy runs)");
   return 0;
 }

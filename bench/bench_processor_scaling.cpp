@@ -9,61 +9,65 @@
 ///
 /// Sweep Blue Gene/L partition sizes 256 → 4096 with the same nest trace
 /// and report, per strategy: average/maximum hops of redistribution
-/// traffic, total redistribution time, and the (host) wall time of the
-/// reallocation decision itself.
+/// traffic, total redistribution time, and — from the pipeline's stage
+/// metrics — the (host) wall time of the reallocation machinery itself.
 
-#include <chrono>
 #include <iostream>
 
-#include "core/experiment.hpp"
-#include "util/stats.hpp"
+#include "bench_common.hpp"
 
 using namespace stormtrack;
 
 int main() {
-  SyntheticTraceConfig tcfg;
-  tcfg.num_events = 40;
-  tcfg.seed = 0x5ca1ab1e;
-  const Trace trace = generate_synthetic_trace(tcfg);
+  SweepSpec spec;
+  spec.traces.push_back({"scaling", bench::synthetic_trace(40, 0x5ca1ab1e)});
+  for (const int cores : {256, 512, 1024, 2048, 4096})
+    spec.machines.push_back(sweep_bluegene(cores));
+  spec.strategies = {"scratch", "diffusion"};
+
   const ModelStack models;
+  const std::vector<SweepCaseResult> results =
+      SweepRunner(models).run(spec);
 
   Table t({"Cores", "Strategy", "Avg hops/byte", "Max hops",
            "Redist total (s)"});
   t.set_title("Processor-count sweep (same 40-event trace; §IV-B "
               "scalability argument)");
-  for (const int cores : {256, 512, 1024, 2048, 4096}) {
-    const Machine machine = Machine::bluegene(cores);
-    for (const Strategy s : {Strategy::kScratch, Strategy::kDiffusion}) {
-      const TraceRunResult r =
-          run_trace(machine, models.model, models.truth, s, trace);
-      int max_hops = 0;
-      for (const StepOutcome& o : r.outcomes)
-        max_hops = std::max(max_hops, o.traffic.max_hops);
-      t.add_row({std::to_string(cores), to_string(s),
-                 Table::num(r.mean_avg_hop_bytes(), 2),
-                 std::to_string(max_hops),
-                 Table::num(r.total_redist(), 2)});
-    }
+  for (const SweepCaseResult& c : results) {
+    int max_hops = 0;
+    for (const StepOutcome& o : c.result.outcomes)
+      max_hops = std::max(max_hops, o.traffic.max_hops);
+    t.add_row({c.machine_name.substr(std::string("bluegene-").size()),
+               c.strategy, Table::num(c.result.mean_avg_hop_bytes(), 2),
+               std::to_string(max_hops),
+               Table::num(c.result.total_redist(), 2)});
   }
   t.print(std::cout);
 
   // Reallocation decision cost: tree construction / reorganization must be
   // flat in the processor count (it only sees nest counts and weights).
-  Table d({"Cores", "Mean reallocation decision (host µs/event)"});
-  d.set_title("Reallocation machinery cost vs processor count");
-  for (const int cores : {256, 1024, 4096}) {
-    const Machine machine = Machine::bluegene(cores);
-    const auto t0 = std::chrono::steady_clock::now();
-    ManagerConfig cfg;
-    cfg.strategy = Strategy::kDiffusion;
-    ReallocationManager manager(machine, models.model, models.truth, cfg);
-    for (const auto& active : trace) (void)manager.apply(active);
-    const double us =
-        std::chrono::duration<double, std::micro>(
-            std::chrono::steady_clock::now() - t0)
-            .count() /
-        static_cast<double>(trace.size());
-    d.add_row({std::to_string(cores), Table::num(us, 1)});
+  // The pipeline's stage metrics expose it directly: everything up to and
+  // including Commit is decision machinery; Redistribute is the simulated
+  // data movement.
+  Table d({"Cores", "Decision stages (host us/event)",
+           "Redistribute stage (host us/event)"});
+  d.set_title("Reallocation machinery cost vs processor count "
+              "(diffusion runs; per-stage pipeline metrics)");
+  for (const SweepCaseResult& c : results) {
+    if (c.strategy != "diffusion") continue;
+    const MetricsRegistry& m = c.result.metrics;
+    double decision = 0.0;
+    for (const PipelineStage s :
+         {PipelineStage::kDiffNests, PipelineStage::kDeriveWeights,
+          PipelineStage::kBuildCandidates, PipelineStage::kPredictCosts,
+          PipelineStage::kCommit})
+      decision += m.get(stage_metric_name(s)).seconds;
+    const double redist =
+        m.get(stage_metric_name(PipelineStage::kRedistribute)).seconds;
+    const double events = static_cast<double>(c.result.outcomes.size());
+    d.add_row({c.machine_name.substr(std::string("bluegene-").size()),
+               Table::num(decision * 1e6 / events, 1),
+               Table::num(redist * 1e6 / events, 1)});
   }
   d.print(std::cout);
 

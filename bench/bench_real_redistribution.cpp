@@ -48,9 +48,9 @@ int main() {
   for (const auto& row : rows) {
     const Machine machine = Machine::bluegene(row.cores);
     const TraceRunResult diff = run_trace(machine, models.model, models.truth,
-                                          Strategy::kDiffusion, trace);
+                                          "diffusion", trace);
     const TraceRunResult scratch = run_trace(machine, models.model,
-                                             models.truth, Strategy::kScratch,
+                                             models.truth, "scratch",
                                              trace);
     std::vector<double> improvements;
     for (std::size_t e = 0; e < trace.size(); ++e) {

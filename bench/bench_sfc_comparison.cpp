@@ -28,9 +28,9 @@ int main() {
 
   // Rectangular strategies via the standard harness.
   const TraceRunResult diff = run_trace(bgl, models.model, models.truth,
-                                        Strategy::kDiffusion, trace);
+                                        "diffusion", trace);
   const TraceRunResult scratch = run_trace(bgl, models.model, models.truth,
-                                           Strategy::kScratch, trace);
+                                           "scratch", trace);
 
   // SFC strategy: same weights, Hilbert segments, per-retained-nest
   // redistribution between old and new rank lists.

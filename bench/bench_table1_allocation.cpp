@@ -54,9 +54,10 @@ int main() {
   req.retained = {{3, 0.27}, {5, 0.42}};
   req.inserted = {{6, 0.31}};
 
-  const ScratchPartitioner scratch;
+  // Proposal mechanisms are resolved by name, same as the commit-side
+  // StrategyRegistry — the worked example exercises the open seam.
   const Allocation scratch_alloc =
-      allocate(scratch.propose(tree, req), 32, 32);
+      allocate(make_partitioner("scratch")->propose(tree, req), 32, 32);
   print_with_paper(scratch_alloc,
                    "Table II: partition from scratch for nests {3,5,6}\n"
                    "(paper sub-grid rounding differs slightly from the "
@@ -64,8 +65,8 @@ int main() {
                    {{3, 13, 19, 13}, {5, 0, 13, 32}, {6, 429, 19, 19}});
 
   // -------------------------------------------------------------- Fig. 8
-  const DiffusionPartitioner diffusion;
-  const Allocation diff_alloc = allocate(diffusion.propose(tree, req), 32, 32);
+  const Allocation diff_alloc =
+      allocate(make_partitioner("diffusion")->propose(tree, req), 32, 32);
   diff_alloc.to_table("Fig. 8(d): tree-based hierarchical diffusion")
       .print(std::cout);
 

@@ -10,29 +10,23 @@
 
 #include <iostream>
 
-#include "core/experiment.hpp"
-#include "util/stats.hpp"
+#include "bench_common.hpp"
 
 using namespace stormtrack;
 
-namespace {
-
-struct MachineCase {
-  Machine machine;
-  double paper_improvement;
-};
-
-}  // namespace
-
 int main() {
-  SyntheticTraceConfig tcfg;  // paper defaults: 70 events, 2–9 nests
-  const Trace trace = generate_synthetic_trace(tcfg);
-  const ModelStack models;
+  SweepSpec spec;
+  spec.traces.push_back(
+      {"suite70", bench::synthetic_trace(SyntheticTraceConfig{}.num_events,
+                                         SyntheticTraceConfig{}.seed)});
+  spec.machines = {sweep_bluegene(1024), sweep_bluegene(256),
+                   sweep_fist_cluster(256)};
+  spec.strategies = {"diffusion", "scratch"};
+  const double paper_improvement[] = {15.0, 25.0, 10.0};
 
-  std::vector<MachineCase> cases;
-  cases.push_back({Machine::bluegene(1024), 15.0});
-  cases.push_back({Machine::bluegene(256), 25.0});
-  cases.push_back({Machine::fist_cluster(256), 10.0});
+  const ModelStack models;
+  const std::vector<SweepCaseResult> results =
+      SweepRunner(models).run(spec);
 
   Table t({"Simulation Configuration", "Improvement (paper)",
            "Improvement (ours)", "Exec-time delta (ours)"});
@@ -41,33 +35,36 @@ int main() {
       "test cases\n(positive exec-time delta = diffusion slower, paper "
       "reports ~4%)");
 
-  for (const MachineCase& c : cases) {
-    const TraceRunResult diff = run_trace(c.machine, models.model,
-                                          models.truth, Strategy::kDiffusion,
-                                          trace);
-    const TraceRunResult scratch = run_trace(c.machine, models.model,
-                                             models.truth, Strategy::kScratch,
-                                             trace);
+  for (std::size_t m = 0; m < spec.machines.size(); ++m) {
+    const SweepCaseResult& diff_case = find_case(
+        results, "suite70", spec.machines[m].name, "diffusion");
+    const TraceRunResult& diff = diff_case.result;
+    const TraceRunResult& scratch =
+        find_case(results, "suite70", spec.machines[m].name, "scratch")
+            .result;
 
     // Per-event improvement over events that actually redistributed data,
     // averaged — the paper's "average percentage improvement".
     std::vector<double> improvements;
-    for (std::size_t e = 0; e < trace.size(); ++e) {
+    for (std::size_t e = 0; e < diff.outcomes.size(); ++e) {
       const double s = scratch.outcomes[e].committed.actual_redist;
       const double d = diff.outcomes[e].committed.actual_redist;
       if (s > 0.0) improvements.push_back(percent_improvement(s, d));
     }
     const double exec_delta = -percent_improvement(scratch.total_exec(),
                                                    diff.total_exec());
-    t.add_row({c.machine.label(),
-               Table::num(c.paper_improvement, 0) + "%",
+    t.add_row({diff_case.machine_label,
+               Table::num(paper_improvement[m], 0) + "%",
                Table::num(mean(improvements), 1) + "%",
                Table::num(exec_delta, 1) + "%"});
   }
   t.print(std::cout);
 
-  std::cout << "Trace: " << trace.size()
+  std::cout << "Trace: " << spec.traces[0].trace.size()
             << " reconfigurations, nest counts 2-9, nest sizes 181x181 - "
-               "361x361 (paper §V-B).\n";
+               "361x361 (paper §V-B).\n\n";
+
+  bench::print_stage_metrics(results,
+                             "Adaptation pipeline stage costs (6 runs)");
   return 0;
 }

@@ -26,7 +26,7 @@ int main() {
   cfg.scenario.sim_px = 32;
   cfg.scenario.sim_py = 32;
   cfg.scenario.pda.analysis_procs = 64;
-  cfg.manager.strategy = Strategy::kDiffusion;
+  cfg.manager.strategy = "diffusion";
 
   const ModelStack models;
   const Machine bgl = Machine::bluegene(1024);

@@ -5,11 +5,13 @@
 /// profiled samples; redistribution: direct-algorithm Alltoallv model) and
 /// the cheaper candidate is committed. The demo prints the per-point
 /// decision with both predictions and whether the decision was right under
-/// the simulator's ground truth.
+/// the simulator's ground truth — and, since the run goes through the
+/// SweepRunner, contrasts `dynamic` with the damped `hysteresis` variant
+/// from the strategy registry.
 
 #include <iostream>
 
-#include "core/experiment.hpp"
+#include "sweep/sweep_runner.hpp"
 #include "util/stats.hpp"
 
 using namespace stormtrack;
@@ -18,12 +20,20 @@ int main() {
   SyntheticTraceConfig tcfg;
   tcfg.num_events = 12;  // the paper's §V-F runs 12 reconfigurations
   tcfg.seed = 0xd1a0;
-  const Trace trace = generate_synthetic_trace(tcfg);
+
+  SweepSpec spec;
+  spec.traces.push_back({"demo", generate_synthetic_trace(tcfg)});
+  spec.machines.push_back(sweep_bluegene(1024));
+  spec.strategies = {"dynamic", "hysteresis"};
 
   const ModelStack models;
-  const Machine bgl = Machine::bluegene(1024);
-  const TraceRunResult dyn = run_trace(bgl, models.model, models.truth,
-                                       Strategy::kDynamic, trace);
+  const std::vector<SweepCaseResult> results =
+      SweepRunner(models).run(spec);
+  const SweepCaseResult& dyn_case =
+      find_case(results, "demo", "bluegene-1024", "dynamic");
+  const TraceRunResult& dyn = dyn_case.result;
+  const TraceRunResult& hys =
+      find_case(results, "demo", "bluegene-1024", "hysteresis").result;
 
   Table t({"Event", "Pred scratch (s)", "Pred diffusion (s)", "Chosen",
            "Actual best", "Correct?"});
@@ -44,13 +54,32 @@ int main() {
                Table::num(o.diffusion.predicted_total(), 2), o.chosen,
                actual_best, ok ? "yes" : "no"});
   }
-  t.set_title("Dynamic strategy decisions on " + bgl.label());
+  t.set_title("Dynamic strategy decisions on " + dyn_case.machine_label);
   t.print(std::cout);
 
   std::cout << "Correct decisions: " << correct << "/"
             << dyn.outcomes.size() << "\n"
             << "Pearson correlation (predicted vs actual execution time): "
             << Table::num(pearson(predicted, actual), 2) << "\n"
-            << "(The paper reports ~10/12 correct with r = 0.9, §V-F.)\n";
+            << "(The paper reports ~10/12 correct with r = 0.9, §V-F.)\n\n";
+
+  // Hysteresis damps flip-flopping: count strategy switches in each run.
+  auto switches = [](const TraceRunResult& r) {
+    int n = 0;
+    for (std::size_t e = 1; e < r.outcomes.size(); ++e)
+      if (r.outcomes[e].chosen != r.outcomes[e - 1].chosen) ++n;
+    return n;
+  };
+  Table h({"Strategy", "Total (s)", "Candidate switches"});
+  h.set_title("Registry variant: dynamic vs hysteresis (10% threshold)");
+  h.add_row({"dynamic", Table::num(dyn.total(), 2),
+             std::to_string(switches(dyn))});
+  h.add_row({"hysteresis", Table::num(hys.total(), 2),
+             std::to_string(switches(hys))});
+  h.print(std::cout);
+
+  merged_metrics(results)
+      .to_table("Adaptation pipeline stage costs (both runs)")
+      .print(std::cout);
   return 0;
 }

@@ -126,7 +126,7 @@ int main() {
   const ModelStack models;
   const Machine fist = Machine::fist_cluster(256);
   ManagerConfig mcfg;
-  mcfg.strategy = Strategy::kDiffusion;
+  mcfg.strategy = "diffusion";
   ReallocationManager manager(fist, models.model, models.truth, mcfg);
 
   PdaConfig pda_cfg;

@@ -27,7 +27,7 @@ namespace {
 struct Options {
   std::string machine = "bgl";        // bgl | fist
   int cores = 1024;
-  std::string strategy = "diffusion";  // scratch | diffusion | dynamic
+  std::string strategy = "diffusion";  // any StrategyRegistry name
   bool real = false;                   // real-mode pipeline trace
   int events = 70;                     // synthetic events / real intervals
   std::uint64_t seed = 2013;
@@ -35,7 +35,7 @@ struct Options {
   std::optional<std::string> trace_out;
   std::optional<std::string> images;   // directory for PPM output
   bool csv = false;
-  bool compare = false;                // run all three strategies
+  bool compare = false;                // run every registered strategy
 };
 
 [[noreturn]] void usage(int code) {
@@ -44,8 +44,9 @@ struct Options {
       "  --machine bgl|fist     simulated machine (default bgl)\n"
       "  --cores N              core count (default 1024; bgl needs a\n"
       "                         multiple of 64)\n"
-      "  --strategy S           scratch|diffusion|dynamic (default "
-      "diffusion)\n"
+      "  --strategy S           a registered strategy name (default\n"
+      "                         diffusion; scratch|diffusion|dynamic|\n"
+      "                         hysteresis ship built in)\n"
       "  --events N             synthetic reconfigurations (default 70)\n"
       "  --real                 drive the weather+PDA pipeline instead\n"
       "  --intervals N          real-mode adaptation points (alias of "
@@ -55,7 +56,7 @@ struct Options {
       "  --trace-out FILE       save the trace that was run\n"
       "  --images DIR           write final allocation / field PPMs\n"
       "  --csv                  emit per-event metrics as CSV\n"
-      "  --compare              run all three strategies and summarize\n"
+      "  --compare              run every registered strategy, summarize\n"
       "  --help                 this text\n";
   std::exit(code);
 }
@@ -92,18 +93,17 @@ Options parse(int argc, char** argv) {
   return o;
 }
 
-Strategy strategy_of(const std::string& s) {
-  if (s == "scratch") return Strategy::kScratch;
-  if (s == "diffusion") return Strategy::kDiffusion;
-  if (s == "dynamic") return Strategy::kDynamic;
-  std::cerr << "unknown strategy: " << s << "\n";
-  usage(2);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
+  if (!StrategyRegistry::global().contains(opt.strategy)) {
+    std::cerr << "unknown strategy: " << opt.strategy << " (registered:";
+    for (const std::string& n : StrategyRegistry::global().names())
+      std::cerr << " " << n;
+    std::cerr << ")\n";
+    usage(2);
+  }
 
   // ---- machine
   Machine machine = opt.machine == "fist" ? Machine::fist_cluster(opt.cores)
@@ -137,11 +137,10 @@ int main(int argc, char** argv) {
                "Mean overlap %", "Mean avg hop-bytes"});
     cmp.set_title("Strategy comparison: " + machine.label() + ", " +
                   std::to_string(trace.size()) + " events");
-    for (const Strategy s :
-         {Strategy::kScratch, Strategy::kDiffusion, Strategy::kDynamic}) {
+    for (const std::string& s : StrategyRegistry::global().names()) {
       const TraceRunResult res =
           run_trace(machine, models.model, models.truth, s, trace);
-      cmp.add_row({to_string(s), Table::num(res.total_exec(), 2),
+      cmp.add_row({s, Table::num(res.total_exec(), 2),
                    Table::num(res.total_redist(), 3),
                    Table::num(res.total(), 2),
                    Table::num(100.0 * res.mean_overlap_fraction(), 1),
@@ -155,7 +154,7 @@ int main(int argc, char** argv) {
   }
 
   const TraceRunResult r = run_trace(machine, models.model, models.truth,
-                                     strategy_of(opt.strategy), trace);
+                                     opt.strategy, trace);
 
   Table t({"Event", "Nests", "+ins/-del/=ret", "Chosen", "Exec (s)",
            "Redist (ms)", "Hop-bytes avg", "Overlap %"});

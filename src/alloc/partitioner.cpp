@@ -18,6 +18,14 @@ AllocTree DiffusionPartitioner::propose(const AllocTree& current,
   return current.diffuse(req);
 }
 
+std::unique_ptr<Partitioner> make_partitioner(std::string_view name) {
+  if (name == "scratch") return std::make_unique<ScratchPartitioner>();
+  if (name == "diffusion") return std::make_unique<DiffusionPartitioner>();
+  ST_CHECK_MSG(false, "unknown partitioner '"
+                          << name << "'; known: 'scratch' 'diffusion'");
+  return nullptr;  // unreachable
+}
+
 AllocationDriver::AllocationDriver(const Partitioner& partitioner,
                                    int grid_px, int grid_py)
     : partitioner_(&partitioner), grid_px_(grid_px), grid_py_(grid_py) {

@@ -20,6 +20,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "alloc/allocation.hpp"
 #include "tree/alloc_tree.hpp"
@@ -54,6 +55,12 @@ class DiffusionPartitioner final : public Partitioner {
                                   const ReconfigRequest& req) const override;
   [[nodiscard]] std::string name() const override { return "diffusion"; }
 };
+
+/// Partitioner by name ("scratch" / "diffusion"); throws CheckError for
+/// unknown names. The proposal-mechanism counterpart of the commit-side
+/// StrategyRegistry (core/strategy.hpp).
+[[nodiscard]] std::unique_ptr<Partitioner> make_partitioner(
+    std::string_view name);
 
 /// Stateful convenience wrapper: tracks the committed tree + allocation of
 /// one strategy across adaptation points.

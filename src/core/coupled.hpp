@@ -29,7 +29,7 @@
 #include <map>
 #include <optional>
 
-#include "core/realloc_manager.hpp"
+#include "core/pipeline.hpp"
 #include "core/traces.hpp"
 #include "wsim/dynamics.hpp"
 #include "wsim/nest.hpp"
@@ -85,7 +85,7 @@ class CoupledSimulation {
   const Machine* machine_;
   CoupledConfig config_;
   RealScenarioDriver driver_;
-  ReallocationManager manager_;
+  AdaptationPipeline manager_;
   Redistributor redistributor_;
   std::map<int, LiveNest> nests_;
   std::map<int, Rect> previous_rects_;  ///< Processor rects before realloc.

@@ -50,14 +50,16 @@ int TraceRunResult::diffusion_picks() const {
 }
 
 TraceRunResult run_trace(const Machine& machine, const ExecTimeModel& model,
-                         const GroundTruthCost& truth, Strategy strategy,
-                         const Trace& trace, ManagerConfig config) {
-  config.strategy = strategy;
-  ReallocationManager manager(machine, model, truth, config);
+                         const GroundTruthCost& truth,
+                         std::string_view strategy, const Trace& trace,
+                         ManagerConfig config) {
+  config.strategy = std::string(strategy);
+  AdaptationPipeline pipeline(machine, model, truth, std::move(config));
   TraceRunResult result;
   result.outcomes.reserve(trace.size());
   for (const std::vector<NestSpec>& active : trace)
-    result.outcomes.push_back(manager.apply(active));
+    result.outcomes.push_back(pipeline.apply(active));
+  result.metrics = pipeline.metrics();
   return result;
 }
 

@@ -6,17 +6,21 @@
 /// aggregates the paper reports.
 
 #include <span>
+#include <string_view>
 #include <vector>
 
-#include "core/realloc_manager.hpp"
+#include "core/pipeline.hpp"
 #include "core/traces.hpp"
 #include "perfmodel/exec_model.hpp"
+#include "util/metrics.hpp"
 
 namespace stormtrack {
 
 /// Per-trace aggregate of StepOutcomes.
 struct TraceRunResult {
   std::vector<StepOutcome> outcomes;
+  /// Pipeline per-stage wall times and counters over the whole run.
+  MetricsRegistry metrics;
 
   /// Total committed redistribution time over the trace (s).
   [[nodiscard]] double total_redist() const;
@@ -36,11 +40,13 @@ struct TraceRunResult {
   [[nodiscard]] int diffusion_picks() const;
 };
 
-/// Run \p trace under \p strategy on \p machine.
+/// Run \p trace under the strategy registered as \p strategy on \p machine
+/// (overrides config.strategy).
 [[nodiscard]] TraceRunResult run_trace(const Machine& machine,
                                        const ExecTimeModel& model,
                                        const GroundTruthCost& truth,
-                                       Strategy strategy, const Trace& trace,
+                                       std::string_view strategy,
+                                       const Trace& trace,
                                        ManagerConfig config = {});
 
 /// The paper's standard model stack: one hidden truth and one profiled

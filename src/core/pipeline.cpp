@@ -1,0 +1,249 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+
+namespace {
+
+constexpr std::string_view kStageNames[kNumPipelineStages] = {
+    "diff_nests",    "derive_weights", "build_candidates",
+    "predict_costs", "commit",         "redistribute"};
+
+constexpr std::string_view kStageMetricNames[kNumPipelineStages] = {
+    "stage.1_diff_nests",    "stage.2_derive_weights",
+    "stage.3_build_candidates", "stage.4_predict_costs",
+    "stage.5_commit",        "stage.6_redistribute"};
+
+}  // namespace
+
+std::string_view to_string(PipelineStage stage) {
+  return kStageNames[static_cast<int>(stage)];
+}
+
+std::string_view stage_metric_name(PipelineStage stage) {
+  return kStageMetricNames[static_cast<int>(stage)];
+}
+
+const PipelineCandidate* PipelineContext::find(std::string_view name) const {
+  for (const PipelineCandidate& c : candidates)
+    if (c.name == name) return &c;
+  return nullptr;
+}
+
+AdaptationPipeline::AdaptationPipeline(const Machine& machine,
+                                       const ExecTimeModel& model,
+                                       const GroundTruthCost& truth,
+                                       ManagerConfig config)
+    : machine_(&machine),
+      model_(&model),
+      truth_(&truth),
+      config_(std::move(config)),
+      strategy_(StrategyRegistry::global().create(config_.strategy,
+                                                  config_.strategy_options)) {
+  ST_CHECK_MSG(config_.steps_per_interval >= 1,
+               "steps_per_interval must be >= 1");
+}
+
+// --------------------------------------------------------------- DiffNests
+
+void AdaptationPipeline::stage_diff_nests(PipelineContext& ctx,
+                                          std::span<const NestSpec> active) {
+  std::map<int, NestSpec> next;
+  for (const NestSpec& n : active) {
+    ST_CHECK_MSG(next.emplace(n.id, n).second,
+                 "duplicate nest id " << n.id << " in active set");
+    ST_CHECK_MSG(n.shape.nx > 0 && n.shape.ny > 0,
+                 "nest " << n.id << " has empty shape");
+  }
+  for (const auto& [id, spec] : current_) {
+    if (auto it = next.find(id); it != next.end())
+      ctx.retained.push_back(it->second);
+    else
+      ctx.deleted.push_back(id);
+  }
+  for (const auto& [id, spec] : next)
+    if (!current_.count(id)) ctx.inserted.push_back(spec);
+  ctx.active.assign(active.begin(), active.end());
+  std::sort(ctx.active.begin(), ctx.active.end(),
+            [](const NestSpec& a, const NestSpec& b) { return a.id < b.id; });
+  current_ = std::move(next);
+}
+
+// ----------------------------------------------------------- DeriveWeights
+
+void AdaptationPipeline::stage_derive_weights(PipelineContext& ctx) const {
+  // Weights are predicted execution-time ratios over the whole active set
+  // (identical for both candidate methods, §IV-C).
+  std::vector<NestShape> shapes;
+  shapes.reserve(ctx.active.size());
+  for (const NestSpec& n : ctx.active) shapes.push_back(n.shape);
+  const std::vector<double> ratios =
+      ctx.active.empty() ? std::vector<double>{}
+                         : weight_ratios(*model_, shapes, machine_->cores());
+
+  ctx.request.deleted = ctx.deleted;
+  for (std::size_t i = 0; i < ctx.active.size(); ++i) {
+    const NestWeight nw{ctx.active[i].id, ratios[i]};
+    const bool is_new = std::any_of(
+        ctx.inserted.begin(), ctx.inserted.end(),
+        [&](const NestSpec& s) { return s.id == ctx.active[i].id; });
+    (is_new ? ctx.request.inserted : ctx.request.retained).push_back(nw);
+  }
+}
+
+// --------------------------------------------------------- BuildCandidates
+
+void AdaptationPipeline::stage_build_candidates(PipelineContext& ctx) const {
+  const ScratchPartitioner scratch_p;
+  const DiffusionPartitioner diffusion_p;
+  for (const Partitioner* p :
+       {static_cast<const Partitioner*>(&scratch_p),
+        static_cast<const Partitioner*>(&diffusion_p)}) {
+    PipelineCandidate c;
+    c.name = p->name();
+    c.tree = p->propose(tree_, ctx.request);
+    c.alloc = allocate(c.tree, machine_->grid_px(), machine_->grid_py());
+    // Redistribution planning: one Alltoallv message matrix per retained
+    // nest (§IV: "MPI_Alltoallv to redistribute data for each nest"),
+    // moving from the committed allocation to this candidate's.
+    c.plans.reserve(ctx.retained.size());
+    for (const NestSpec& nest : ctx.retained) {
+      const auto old_rect = allocation_.find(nest.id);
+      const auto new_rect = c.alloc.find(nest.id);
+      ST_CHECK_MSG(old_rect && new_rect,
+                   "retained nest " << nest.id << " missing an allocation");
+      c.plans.push_back(plan_redistribution(nest.shape, *old_rect, *new_rect,
+                                            machine_->grid_px(),
+                                            config_.bytes_per_point));
+      c.overlap_points += c.plans.back().overlap_points;
+      c.total_points += c.plans.back().total_points;
+    }
+    ctx.candidates.push_back(std::move(c));
+  }
+}
+
+// ------------------------------------------------------------ PredictCosts
+
+void AdaptationPipeline::stage_predict_costs(PipelineContext& ctx) const {
+  const RedistTimeModel redist_model(machine_->comm());
+  for (PipelineCandidate& c : ctx.candidates) {
+    // §IV-C-1: predict each retained nest's phase; phases run sequentially.
+    for (const RedistPlan& plan : c.plans)
+      c.metrics.predicted_redist += redist_model.predict(plan.messages);
+    // §IV-C-2: nests run concurrently on disjoint processor rectangles, so
+    // the coupled interval advances with the slowest nest. The model
+    // predicts from the processor *count* — it cannot see the rectangle's
+    // aspect ratio, which is precisely why dynamic selection can
+    // occasionally pick the wrong method (§V-F).
+    double predicted_max = 0.0;
+    for (const NestSpec& nest : ctx.active) {
+      const auto rect = c.alloc.find(nest.id);
+      ST_CHECK_MSG(rect.has_value(),
+                   "active nest " << nest.id << " missing allocation");
+      predicted_max = std::max(
+          predicted_max,
+          model_->predict(nest.shape, static_cast<int>(rect->area())));
+    }
+    c.metrics.predicted_exec = config_.steps_per_interval * predicted_max;
+  }
+}
+
+// ------------------------------------------------------------------ Commit
+
+void AdaptationPipeline::stage_commit(PipelineContext& ctx) {
+  ctx.committed_index = strategy_->decide(ctx);
+  ST_CHECK_MSG(ctx.committed_index < ctx.candidates.size(),
+               "strategy '" << strategy_->name()
+                            << "' chose candidate index "
+                            << ctx.committed_index << " of "
+                            << ctx.candidates.size());
+}
+
+// ------------------------------------------------------------ Redistribute
+
+StepOutcome AdaptationPipeline::stage_redistribute(PipelineContext& ctx) {
+  // Every candidate's phases run on the simulated network and its interval
+  // is charged at ground truth — not just the committed one — so §V-F
+  // experiments can judge each decision against the road not taken.
+  for (PipelineCandidate& c : ctx.candidates) {
+    for (const RedistPlan& plan : c.plans)
+      c.traffic += machine_->comm().alltoallv(plan.messages);
+    c.metrics.actual_redist = c.traffic.modeled_time;
+    double actual_max = 0.0;
+    for (const NestSpec& nest : ctx.active) {
+      const auto rect = c.alloc.find(nest.id);
+      ST_CHECK_MSG(rect.has_value(),
+                   "active nest " << nest.id << " missing allocation");
+      actual_max = std::max(
+          actual_max, truth_->execution_time(nest.shape, rect->w, rect->h));
+    }
+    c.metrics.actual_exec = config_.steps_per_interval * actual_max;
+  }
+
+  StepOutcome out;
+  if (const PipelineCandidate* s = ctx.find("scratch")) out.scratch = s->metrics;
+  if (const PipelineCandidate* d = ctx.find("diffusion"))
+    out.diffusion = d->metrics;
+  PipelineCandidate& committed = ctx.candidates[ctx.committed_index];
+  out.chosen = committed.name;
+  out.committed = committed.metrics;
+  out.traffic = committed.traffic;
+  out.overlap_fraction =
+      committed.total_points == 0
+          ? 0.0
+          : static_cast<double>(committed.overlap_points) /
+                static_cast<double>(committed.total_points);
+  out.num_deleted = static_cast<int>(ctx.deleted.size());
+  out.num_retained = static_cast<int>(ctx.retained.size());
+  out.num_inserted = static_cast<int>(ctx.inserted.size());
+  out.allocation = committed.alloc;
+
+  tree_ = std::move(committed.tree);
+  allocation_ = std::move(committed.alloc);
+  return out;
+}
+
+// ------------------------------------------------------------------- apply
+
+StepOutcome AdaptationPipeline::apply(std::span<const NestSpec> active) {
+  PipelineContext ctx;
+  {
+    ScopedTimer t(&metrics_, stage_metric_name(PipelineStage::kDiffNests));
+    stage_diff_nests(ctx, active);
+  }
+  {
+    ScopedTimer t(&metrics_,
+                  stage_metric_name(PipelineStage::kDeriveWeights));
+    stage_derive_weights(ctx);
+  }
+  {
+    ScopedTimer t(&metrics_,
+                  stage_metric_name(PipelineStage::kBuildCandidates));
+    stage_build_candidates(ctx);
+  }
+  {
+    ScopedTimer t(&metrics_, stage_metric_name(PipelineStage::kPredictCosts));
+    stage_predict_costs(ctx);
+  }
+  {
+    ScopedTimer t(&metrics_, stage_metric_name(PipelineStage::kCommit));
+    stage_commit(ctx);
+  }
+  StepOutcome out;
+  {
+    ScopedTimer t(&metrics_, stage_metric_name(PipelineStage::kRedistribute));
+    out = stage_redistribute(ctx);
+  }
+  metrics_.add_count("pipeline.adaptation_points");
+  metrics_.add_count("pipeline.candidates_built",
+                     static_cast<std::int64_t>(ctx.candidates.size()));
+  metrics_.add_count("pipeline.redist_plans",
+                     static_cast<std::int64_t>(ctx.retained.size()) *
+                         static_cast<std::int64_t>(ctx.candidates.size()));
+  return out;
+}
+
+}  // namespace stormtrack

@@ -1,0 +1,197 @@
+#pragma once
+
+/// \file pipeline.hpp
+/// Staged orchestration of processor reallocation at adaptation points
+/// (§IV).
+///
+/// An AdaptationPipeline owns the committed allocation tree of one strategy
+/// on one machine and advances it one adaptation point at a time through
+/// six explicit stages that communicate via a PipelineContext:
+///
+///   DiffNests        classify the new active nest set against the
+///                    committed one (insert / delete / retain);
+///   DeriveWeights    predict execution-time ratios for the active nests
+///                    with the §IV-C-2 model and assemble the
+///                    ReconfigRequest;
+///   BuildCandidates  propose both candidate trees — partition-from-scratch
+///                    (§IV-A) and tree-based hierarchical diffusion
+///                    (§IV-B) — allocate them, and plan the retained
+///                    nests' redistribution message matrices;
+///   PredictCosts     price every candidate with the §IV-C performance
+///                    models (redistribution: §IV-C-1; execution:
+///                    §IV-C-2);
+///   Commit           ask the configured IStrategy which candidate to
+///                    commit — on predictions only, like the real system;
+///   Redistribute     run every candidate's redistribution phases on the
+///                    simulated network and charge ground-truth execution
+///                    (both candidates are scored so experiments can judge
+///                    decisions against the road not taken, §V-F), then
+///                    install the committed tree + allocation.
+///
+/// A MetricsRegistry threads through every stage: each adaptation point
+/// accumulates per-stage wall time and counters alongside the paper's
+/// redistribution/execution/hop-byte metrics.
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "alloc/partitioner.hpp"
+#include "core/machine.hpp"
+#include "core/nest_tracker.hpp"
+#include "core/strategy.hpp"
+#include "perfmodel/exec_model.hpp"
+#include "perfmodel/ground_truth.hpp"
+#include "perfmodel/redist_model.hpp"
+#include "redist/redistributor.hpp"
+#include "util/metrics.hpp"
+
+namespace stormtrack {
+
+/// Pipeline stages in execution order.
+enum class PipelineStage {
+  kDiffNests = 0,
+  kDeriveWeights,
+  kBuildCandidates,
+  kPredictCosts,
+  kCommit,
+  kRedistribute,
+};
+
+inline constexpr int kNumPipelineStages = 6;
+
+/// Stage display name ("diff_nests", ...).
+[[nodiscard]] std::string_view to_string(PipelineStage stage);
+
+/// MetricsRegistry key of a stage's wall time; numbered so the registry's
+/// sorted iteration reproduces execution order ("stage.1_diff_nests", ...).
+[[nodiscard]] std::string_view stage_metric_name(PipelineStage stage);
+
+/// Pipeline tunables.
+struct ManagerConfig {
+  /// Commit strategy, resolved by name in StrategyRegistry::global():
+  /// "scratch", "diffusion", "dynamic", "hysteresis", or anything
+  /// registered by the embedding application.
+  std::string strategy = "diffusion";
+  /// Knobs forwarded to the strategy factory.
+  StrategyOptions strategy_options;
+  /// Nest time steps simulated between consecutive adaptation points: the
+  /// paper invokes PDA every 2 simulation minutes, and a 4 km nest steps
+  /// ~24 simulated seconds at a time — 5 steps per interval.
+  int steps_per_interval = 5;
+  /// Nest state bytes per fine-grid point (see redistributor.hpp).
+  int bytes_per_point = kDefaultBytesPerPoint;
+};
+
+/// Model-predicted and ground-truth costs of one candidate allocation.
+struct CandidateMetrics {
+  double predicted_redist = 0.0;  ///< §IV-C-1 model (s).
+  double predicted_exec = 0.0;    ///< §IV-C-2 model (s per interval).
+  double actual_redist = 0.0;     ///< Simulated network time (s).
+  double actual_exec = 0.0;       ///< Ground-truth interval time (s).
+
+  [[nodiscard]] double predicted_total() const {
+    return predicted_redist + predicted_exec;
+  }
+  [[nodiscard]] double actual_total() const {
+    return actual_redist + actual_exec;
+  }
+};
+
+/// One candidate allocation flowing through the pipeline stages.
+struct PipelineCandidate {
+  std::string name;               ///< Proposing partitioner's name.
+  AllocTree tree;                 ///< Proposed allocation tree.
+  Allocation alloc;               ///< Subdivision of the process grid.
+  /// Redistribution message matrices, one per retained nest, in
+  /// PipelineContext::retained order.
+  std::vector<RedistPlan> plans;
+  CandidateMetrics metrics;
+  TrafficReport traffic;          ///< Simulated redistribution traffic.
+  std::int64_t overlap_points = 0;
+  std::int64_t total_points = 0;
+};
+
+/// Blackboard the stages communicate through. Rebuilt per adaptation point.
+struct PipelineContext {
+  std::vector<NestSpec> active;    ///< New active set, ascending by id.
+  std::vector<NestSpec> retained;  ///< Survivors (old-set iteration order).
+  std::vector<NestSpec> inserted;
+  std::vector<NestId> deleted;
+  ReconfigRequest request;         ///< DeriveWeights output.
+  std::vector<PipelineCandidate> candidates;  ///< BuildCandidates output.
+  std::size_t committed_index = 0;            ///< Commit output.
+
+  /// Candidate named \p name, or nullptr.
+  [[nodiscard]] const PipelineCandidate* find(std::string_view name) const;
+  [[nodiscard]] const PipelineCandidate& committed() const {
+    return candidates.at(committed_index);
+  }
+};
+
+/// Everything observable about one adaptation point.
+struct StepOutcome {
+  std::string chosen;               ///< Committed candidate name.
+  CandidateMetrics scratch;         ///< Both candidates always evaluated.
+  CandidateMetrics diffusion;
+  CandidateMetrics committed;       ///< Copy of the committed candidate's.
+  TrafficReport traffic;            ///< Committed redistribution traffic.
+  double overlap_fraction = 0.0;    ///< Fig. 11 metric (retained nests).
+  int num_deleted = 0;
+  int num_retained = 0;
+  int num_inserted = 0;
+  Allocation allocation;            ///< Committed allocation.
+};
+
+/// See file comment.
+class AdaptationPipeline {
+ public:
+  /// All referents must outlive the pipeline. The strategy is resolved
+  /// from StrategyRegistry::global() by config.strategy.
+  AdaptationPipeline(const Machine& machine, const ExecTimeModel& model,
+                     const GroundTruthCost& truth, ManagerConfig config);
+
+  /// Apply one adaptation point: \p active is the complete new active nest
+  /// set (stable ids across calls).
+  StepOutcome apply(std::span<const NestSpec> active);
+
+  [[nodiscard]] const Allocation& allocation() const { return allocation_; }
+  [[nodiscard]] const AllocTree& tree() const { return tree_; }
+  [[nodiscard]] const ManagerConfig& config() const { return config_; }
+  [[nodiscard]] const Machine& machine() const { return *machine_; }
+  [[nodiscard]] const IStrategy& strategy() const { return *strategy_; }
+
+  /// Per-stage wall times and counters accumulated since construction (or
+  /// the last clear_metrics()).
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+  void clear_metrics() { metrics_.clear(); }
+
+ private:
+  void stage_diff_nests(PipelineContext& ctx,
+                        std::span<const NestSpec> active);
+  void stage_derive_weights(PipelineContext& ctx) const;
+  void stage_build_candidates(PipelineContext& ctx) const;
+  void stage_predict_costs(PipelineContext& ctx) const;
+  void stage_commit(PipelineContext& ctx);
+  StepOutcome stage_redistribute(PipelineContext& ctx);
+
+  const Machine* machine_;
+  const ExecTimeModel* model_;
+  const GroundTruthCost* truth_;
+  ManagerConfig config_;
+  std::unique_ptr<IStrategy> strategy_;
+  MetricsRegistry metrics_;
+
+  AllocTree tree_;
+  Allocation allocation_;
+  std::map<int, NestSpec> current_;  ///< Active nests by id.
+};
+
+/// Historical name of the pipeline (pre-refactor API); kept as an alias so
+/// embedding code reads either way.
+using ReallocationManager = AdaptationPipeline;
+
+}  // namespace stormtrack

@@ -1,0 +1,136 @@
+#include "core/strategy.hpp"
+
+#include <sstream>
+
+#include "core/pipeline.hpp"
+#include "util/check.hpp"
+
+namespace stormtrack {
+
+namespace {
+
+/// Index of the candidate named \p name; checks it exists.
+std::size_t index_of(const PipelineContext& ctx, std::string_view name) {
+  for (std::size_t i = 0; i < ctx.candidates.size(); ++i)
+    if (ctx.candidates[i].name == name) return i;
+  ST_CHECK_MSG(false, "no candidate named '" << name << "' in pipeline");
+  return 0;  // unreachable
+}
+
+/// Index with the smallest predicted total; ties go to the later candidate
+/// (diffusion follows scratch in build order, preserving the paper's §IV-C
+/// tie-break toward the overlap-preserving method).
+std::size_t cheapest_predicted(const PipelineContext& ctx) {
+  ST_CHECK_MSG(!ctx.candidates.empty(), "no candidates to decide between");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < ctx.candidates.size(); ++i)
+    if (ctx.candidates[i].metrics.predicted_total() <=
+        ctx.candidates[best].metrics.predicted_total())
+      best = i;
+  return best;
+}
+
+}  // namespace
+
+std::size_t ScratchStrategy::decide(const PipelineContext& ctx) {
+  return index_of(ctx, "scratch");
+}
+
+std::size_t DiffusionStrategy::decide(const PipelineContext& ctx) {
+  return index_of(ctx, "diffusion");
+}
+
+std::size_t DynamicStrategy::decide(const PipelineContext& ctx) {
+  return cheapest_predicted(ctx);
+}
+
+HysteresisStrategy::HysteresisStrategy(double threshold)
+    : threshold_(threshold) {
+  ST_CHECK_MSG(threshold >= 0.0,
+               "hysteresis threshold must be >= 0, got " << threshold);
+}
+
+std::size_t HysteresisStrategy::decide(const PipelineContext& ctx) {
+  const std::size_t best = cheapest_predicted(ctx);
+  const PipelineCandidate* incumbent =
+      incumbent_.empty() ? nullptr : ctx.find(incumbent_);
+  if (incumbent == nullptr) {
+    // First decision (or the incumbent method vanished): behave like
+    // dynamic.
+    incumbent_ = ctx.candidates[best].name;
+    return best;
+  }
+  const double incumbent_cost = incumbent->metrics.predicted_total();
+  const double best_cost = ctx.candidates[best].metrics.predicted_total();
+  // Switch only when the predicted gain clears the damping threshold.
+  if (ctx.candidates[best].name != incumbent_ &&
+      incumbent_cost - best_cost > threshold_ * incumbent_cost) {
+    incumbent_ = ctx.candidates[best].name;
+    return best;
+  }
+  return index_of(ctx, incumbent_);
+}
+
+StrategyRegistry& StrategyRegistry::global() {
+  static StrategyRegistry* registry = [] {
+    auto* r = new StrategyRegistry();
+    r->add("scratch", [](const StrategyOptions&) {
+      return std::make_unique<ScratchStrategy>();
+    });
+    r->add("diffusion", [](const StrategyOptions&) {
+      return std::make_unique<DiffusionStrategy>();
+    });
+    r->add("dynamic", [](const StrategyOptions&) {
+      return std::make_unique<DynamicStrategy>();
+    });
+    r->add("hysteresis", [](const StrategyOptions& opts) {
+      return std::make_unique<HysteresisStrategy>(opts.hysteresis_threshold);
+    });
+    return r;
+  }();
+  return *registry;
+}
+
+void StrategyRegistry::add(std::string name, Factory factory) {
+  ST_CHECK_MSG(!name.empty(), "strategy name must be non-empty");
+  ST_CHECK_MSG(factory != nullptr,
+               "null factory for strategy '" << name << "'");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ST_CHECK_MSG(factories_.emplace(std::move(name), std::move(factory)).second,
+               "strategy already registered");
+}
+
+std::unique_ptr<IStrategy> StrategyRegistry::create(
+    std::string_view name, const StrategyOptions& options) const {
+  Factory factory;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = factories_.find(name);
+    if (it != factories_.end()) factory = it->second;
+  }
+  if (!factory) {
+    std::ostringstream known;
+    for (const std::string& n : names()) known << " '" << n << "'";
+    ST_CHECK_MSG(false, "unknown strategy '" << name << "'; registered:"
+                                             << known.str());
+  }
+  auto strategy = factory(options);
+  ST_CHECK_MSG(strategy != nullptr,
+               "factory for strategy '" << name << "' returned null");
+  return strategy;
+}
+
+bool StrategyRegistry::contains(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.find(name) != factories_.end();
+}
+
+std::vector<std::string> StrategyRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+}  // namespace stormtrack

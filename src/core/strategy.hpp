@@ -1,0 +1,129 @@
+#pragma once
+
+/// \file strategy.hpp
+/// Pluggable commit strategies for the adaptation pipeline (§IV).
+///
+/// The paper's three schemes — always partition-from-scratch (§IV-A),
+/// always tree-based hierarchical diffusion (§IV-B), and the dynamic
+/// predicted-cost selection (§IV-C) — are instances of one narrow decision:
+/// *given the fully built and cost-predicted candidate allocations of this
+/// adaptation point, which one do we commit?* IStrategy captures exactly
+/// that decision, and a name-keyed StrategyRegistry makes the set open:
+/// registering a new scheme requires no change to the pipeline, the
+/// experiment harness, or the sweep runner.
+///
+/// Beyond the paper's three, a `hysteresis` strategy ships as proof the
+/// seam is real: it behaves like `dynamic` but only switches away from the
+/// previously committed candidate when the predicted gain exceeds a
+/// configurable fraction of the incumbent's cost — damping the
+/// prediction-noise-driven flip-flopping §V-F observes.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stormtrack {
+
+struct PipelineContext;  // pipeline.hpp
+
+/// Tunables consumed by strategy factories. A plain options bag so newly
+/// registered strategies can grow knobs without touching call sites.
+struct StrategyOptions {
+  /// `hysteresis`: relative predicted gain (fraction of the incumbent
+  /// candidate's predicted total) required before switching candidates.
+  double hysteresis_threshold = 0.10;
+};
+
+/// Commit decision of one adaptation point. Implementations may keep state
+/// across calls (one instance lives for the whole run of one pipeline);
+/// they see predicted costs only — actual costs are not known at commit
+/// time (§IV-C commits on predictions).
+class IStrategy {
+ public:
+  virtual ~IStrategy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Index into PipelineContext::candidates of the candidate to commit.
+  [[nodiscard]] virtual std::size_t decide(const PipelineContext& ctx) = 0;
+};
+
+/// §IV-A: always commit the partition-from-scratch candidate.
+class ScratchStrategy final : public IStrategy {
+ public:
+  [[nodiscard]] std::string name() const override { return "scratch"; }
+  [[nodiscard]] std::size_t decide(const PipelineContext& ctx) override;
+};
+
+/// §IV-B: always commit the tree-based hierarchical diffusion candidate.
+class DiffusionStrategy final : public IStrategy {
+ public:
+  [[nodiscard]] std::string name() const override { return "diffusion"; }
+  [[nodiscard]] std::size_t decide(const PipelineContext& ctx) override;
+};
+
+/// §IV-C: commit the candidate with the smaller predicted execution +
+/// redistribution sum (ties go to diffusion, matching the paper's
+/// preference for the overlap-preserving method).
+class DynamicStrategy final : public IStrategy {
+ public:
+  [[nodiscard]] std::string name() const override { return "dynamic"; }
+  [[nodiscard]] std::size_t decide(const PipelineContext& ctx) override;
+};
+
+/// Damped dynamic selection: stick with the previously committed
+/// candidate's method unless the predicted gain of switching exceeds
+/// `threshold` × (incumbent predicted total).
+class HysteresisStrategy final : public IStrategy {
+ public:
+  explicit HysteresisStrategy(double threshold = 0.10);
+
+  [[nodiscard]] std::string name() const override { return "hysteresis"; }
+  [[nodiscard]] std::size_t decide(const PipelineContext& ctx) override;
+
+  [[nodiscard]] double threshold() const { return threshold_; }
+
+ private:
+  double threshold_;
+  std::string incumbent_;  ///< Candidate name committed last point; empty
+                           ///< before the first decision.
+};
+
+/// Name-keyed strategy factory registry. The process-wide instance
+/// (global()) comes pre-seeded with the paper's `scratch` / `diffusion` /
+/// `dynamic` plus `hysteresis`; libraries and experiments may register
+/// additional schemes at startup. All methods are thread-safe.
+class StrategyRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<IStrategy>(const StrategyOptions&)>;
+
+  /// The process-wide registry, pre-seeded with the built-in strategies.
+  [[nodiscard]] static StrategyRegistry& global();
+
+  /// Empty registry (tests; isolated experiment setups).
+  StrategyRegistry() = default;
+
+  /// Register \p factory under \p name; throws CheckError on duplicates.
+  void add(std::string name, Factory factory);
+
+  /// Instantiate the strategy registered under \p name; throws CheckError
+  /// for unknown names (the message lists the registered ones).
+  [[nodiscard]] std::unique_ptr<IStrategy> create(
+      std::string_view name, const StrategyOptions& options = {}) const;
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+
+  /// Registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Factory, std::less<>> factories_;
+};
+
+}  // namespace stormtrack

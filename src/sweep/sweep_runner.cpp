@@ -1,0 +1,116 @@
+#include "sweep/sweep_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+
+SweepMachine sweep_bluegene(int cores) {
+  return {"bluegene-" + std::to_string(cores),
+          [cores] { return Machine::bluegene(cores); }};
+}
+
+SweepMachine sweep_fist_cluster(int cores) {
+  return {"fist-" + std::to_string(cores),
+          [cores] { return Machine::fist_cluster(cores); }};
+}
+
+SweepRunner::SweepRunner(const ExecTimeModel& model,
+                         const GroundTruthCost& truth)
+    : model_(&model), truth_(&truth) {}
+
+std::vector<SweepCaseResult> SweepRunner::run(const SweepSpec& spec) const {
+  ST_CHECK_MSG(spec.threads >= 0,
+               "thread count must be >= 0, got " << spec.threads);
+  for (const std::string& s : spec.strategies)
+    ST_CHECK_MSG(StrategyRegistry::global().contains(s),
+                 "unknown strategy '" << s << "' in sweep spec");
+  for (const SweepMachine& m : spec.machines)
+    ST_CHECK_MSG(m.factory != nullptr,
+                 "machine '" << m.name << "' has no factory");
+
+  // Machines are built once on this thread and shared read-only by workers.
+  std::vector<Machine> machines;
+  machines.reserve(spec.machines.size());
+  for (const SweepMachine& m : spec.machines)
+    machines.push_back(m.factory());
+
+  const std::size_t n = spec.num_cases();
+  std::vector<SweepCaseResult> results(n);
+  const std::size_t per_trace = spec.machines.size() * spec.strategies.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    SweepCaseResult& r = results[i];
+    r.trace_index = i / per_trace;
+    r.machine_index = (i / spec.strategies.size()) % spec.machines.size();
+    r.strategy_index = i % spec.strategies.size();
+    r.trace_name = spec.traces[r.trace_index].name;
+    r.machine_name = spec.machines[r.machine_index].name;
+    r.machine_label = machines[r.machine_index].label();
+    r.strategy = spec.strategies[r.strategy_index];
+  }
+
+  const auto run_case = [&](SweepCaseResult& r) {
+    r.result = run_trace(machines[r.machine_index], *model_, *truth_,
+                         r.strategy, spec.traces[r.trace_index].trace,
+                         spec.config);
+  };
+
+  std::size_t threads = spec.threads == 0
+                            ? std::max(1u, std::thread::hardware_concurrency())
+                            : static_cast<std::size_t>(spec.threads);
+  threads = std::min(threads, n);
+  if (threads <= 1) {
+    for (SweepCaseResult& r : results) run_case(r);
+    return results;
+  }
+
+  // Work-stealing by atomic ticket: each worker claims the next unclaimed
+  // case index and writes into that case's preallocated slot, so the result
+  // vector's order never depends on scheduling.
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(threads);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t w = 0; w < threads; ++w) {
+    pool.emplace_back([&, w] {
+      try {
+        for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1))
+          run_case(results[i]);
+      } catch (...) {
+        errors[w] = std::current_exception();
+        // Drain remaining tickets so sibling workers exit promptly.
+        next.store(n);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  for (const std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+  return results;
+}
+
+const SweepCaseResult& find_case(const std::vector<SweepCaseResult>& results,
+                                 std::string_view trace,
+                                 std::string_view machine,
+                                 std::string_view strategy) {
+  for (const SweepCaseResult& r : results)
+    if (r.trace_name == trace && r.machine_name == machine &&
+        r.strategy == strategy)
+      return r;
+  ST_CHECK_MSG(false, "no sweep case (" << trace << ", " << machine << ", "
+                                        << strategy << ") in results");
+  std::abort();  // unreachable — ST_CHECK_MSG(false, ...) always throws
+}
+
+MetricsRegistry merged_metrics(const std::vector<SweepCaseResult>& results) {
+  MetricsRegistry merged;
+  for (const SweepCaseResult& r : results) merged.merge(r.result.metrics);
+  return merged;
+}
+
+}  // namespace stormtrack

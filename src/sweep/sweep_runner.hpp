@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file sweep_runner.hpp
+/// Parallel {trace × machine × strategy} experiment grids.
+///
+/// Every bench binary used to hand-roll the same serial triple loop over
+/// traces, machines and strategies. A SweepRunner names each axis point,
+/// expands the cross product in a fixed strategy-major-last order
+/// (trace, then machine, then strategy), and runs the cases on a
+/// std::thread pool. Results land in a preallocated slot per case, so the
+/// output order — and, because every simulated component is deterministic
+/// and shared state is read-only — the output *values* are byte-identical
+/// to a serial run regardless of thread count or scheduling.
+///
+/// Machines are constructed once, up front, on the calling thread; workers
+/// only ever call const members of Machine / ExecTimeModel /
+/// GroundTruthCost, which carry no hidden mutable state.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace stormtrack {
+
+/// Named trace axis point.
+struct SweepTrace {
+  std::string name;
+  Trace trace;
+};
+
+/// Named machine axis point; the factory defers (potentially expensive)
+/// topology construction until the sweep actually runs.
+struct SweepMachine {
+  std::string name;
+  std::function<Machine()> factory;
+};
+
+/// Shorthand axis points for the paper's two platforms.
+[[nodiscard]] SweepMachine sweep_bluegene(int cores);
+[[nodiscard]] SweepMachine sweep_fist_cluster(int cores);
+
+/// One experiment grid.
+struct SweepSpec {
+  std::vector<SweepTrace> traces;
+  std::vector<SweepMachine> machines;
+  std::vector<std::string> strategies;  ///< StrategyRegistry names.
+  /// Shared pipeline tunables; the strategy field is overridden per case.
+  ManagerConfig config;
+  /// Worker threads; 0 = std::thread::hardware_concurrency(), 1 = serial
+  /// in-thread execution (no pool).
+  int threads = 0;
+
+  [[nodiscard]] std::size_t num_cases() const {
+    return traces.size() * machines.size() * strategies.size();
+  }
+};
+
+/// One grid cell's run, tagged with its axis coordinates.
+struct SweepCaseResult {
+  std::size_t trace_index = 0;
+  std::size_t machine_index = 0;
+  std::size_t strategy_index = 0;
+  std::string trace_name;
+  std::string machine_name;
+  std::string machine_label;  ///< Machine::label() of the built machine.
+  std::string strategy;
+  TraceRunResult result;
+};
+
+/// See file comment. The referenced models must outlive the runner.
+class SweepRunner {
+ public:
+  SweepRunner(const ExecTimeModel& model, const GroundTruthCost& truth);
+  explicit SweepRunner(const ModelStack& models)
+      : SweepRunner(models.model, models.truth) {}
+
+  /// Run the full grid; results are ordered trace-major, then machine,
+  /// then strategy (spec order), independent of thread interleaving.
+  /// Exceptions thrown by a case propagate to the caller after the pool
+  /// drains.
+  [[nodiscard]] std::vector<SweepCaseResult> run(const SweepSpec& spec) const;
+
+ private:
+  const ExecTimeModel* model_;
+  const GroundTruthCost* truth_;
+};
+
+/// The result for (\p trace, \p machine, \p strategy) by axis-point name;
+/// throws CheckError when absent.
+[[nodiscard]] const SweepCaseResult& find_case(
+    const std::vector<SweepCaseResult>& results, std::string_view trace,
+    std::string_view machine, std::string_view strategy);
+
+/// Merge of every case's pipeline metrics (per-stage wall times, counters).
+[[nodiscard]] MetricsRegistry merged_metrics(
+    const std::vector<SweepCaseResult>& results);
+
+}  // namespace stormtrack

@@ -1,0 +1,55 @@
+#include "util/metrics.hpp"
+
+namespace stormtrack {
+
+void MetricsRegistry::add_time(std::string_view name, double seconds) {
+  auto it = entries_.find(name);
+  if (it == entries_.end())
+    it = entries_.emplace(std::string(name), Entry{}).first;
+  it->second.seconds += seconds;
+  it->second.count += 1;
+}
+
+void MetricsRegistry::add_count(std::string_view name, std::int64_t amount) {
+  auto it = entries_.find(name);
+  if (it == entries_.end())
+    it = entries_.emplace(std::string(name), Entry{}).first;
+  it->second.count += amount;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, entry] : other.entries_) {
+    auto it = entries_.find(name);
+    if (it == entries_.end())
+      it = entries_.emplace(name, Entry{}).first;
+    it->second.seconds += entry.seconds;
+    it->second.count += entry.count;
+  }
+}
+
+MetricsRegistry::Entry MetricsRegistry::get(std::string_view name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? Entry{} : it->second;
+}
+
+double MetricsRegistry::total_seconds() const {
+  double s = 0.0;
+  for (const auto& [name, entry] : entries_) s += entry.seconds;
+  return s;
+}
+
+Table MetricsRegistry::to_table(std::string title) const {
+  Table t({"Metric", "Count", "Total (ms)", "Mean (us)"});
+  t.set_title(std::move(title));
+  for (const auto& [name, entry] : entries_) {
+    const bool timed = entry.seconds > 0.0;
+    t.add_row({name, Table::num(entry.count),
+               timed ? Table::num(entry.seconds * 1e3, 3) : "-",
+               timed && entry.count > 0
+                   ? Table::num(entry.seconds * 1e6 / entry.count, 1)
+                   : "-"});
+  }
+  return t;
+}
+
+}  // namespace stormtrack

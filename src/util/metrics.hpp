@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Named wall-time and counter accumulation for instrumenting hot paths.
+///
+/// A MetricsRegistry maps metric names to (accumulated seconds, count)
+/// entries. The adaptation pipeline threads one registry through its stages
+/// so every adaptation point reports per-stage wall time (candidate build,
+/// cost prediction, simulated redistribution, ...) alongside the paper
+/// metrics, and the sweep runner aggregates per-case registries without
+/// losing determinism of the *results* (timings are reported, never fed
+/// back into decisions).
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/table.hpp"
+
+namespace stormtrack {
+
+/// Name-keyed accumulation of wall times and counters.
+class MetricsRegistry {
+ public:
+  struct Entry {
+    double seconds = 0.0;      ///< Accumulated wall time.
+    std::int64_t count = 0;    ///< Samples (times) or accumulated value
+                               ///< (counters).
+  };
+
+  /// Accumulate \p seconds under \p name and bump its sample count.
+  void add_time(std::string_view name, double seconds);
+
+  /// Accumulate \p amount under \p name (wall time stays 0).
+  void add_count(std::string_view name, std::int64_t amount = 1);
+
+  /// Fold another registry into this one (entry-wise sums).
+  void merge(const MetricsRegistry& other);
+
+  void clear() { entries_.clear(); }
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] const std::map<std::string, Entry, std::less<>>& entries()
+      const {
+    return entries_;
+  }
+  /// Entry under \p name, or a zero entry if never recorded.
+  [[nodiscard]] Entry get(std::string_view name) const;
+
+  /// Sum of all accumulated seconds (counters contribute nothing).
+  [[nodiscard]] double total_seconds() const;
+
+  /// Render as "Metric | Count | Total (ms) | Mean (µs)" rows; counter-only
+  /// entries leave the time columns blank.
+  [[nodiscard]] Table to_table(std::string title) const;
+
+ private:
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+/// RAII wall timer: accumulates its lifetime into a registry entry.
+/// A null registry disables the timer (zero-cost opt-out).
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricsRegistry* registry, std::string_view name)
+      : registry_(registry),
+        name_(name),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (registry_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    registry_->add_time(name_,
+                        std::chrono::duration<double>(elapsed).count());
+  }
+
+ private:
+  MetricsRegistry* registry_;
+  std::string_view name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace stormtrack

@@ -113,8 +113,8 @@ TEST_F(CoupledTest, DeterministicAcrossRuns) {
 }
 
 TEST_F(CoupledTest, WorksUnderEveryStrategy) {
-  for (const Strategy s :
-       {Strategy::kScratch, Strategy::kDiffusion, Strategy::kDynamic}) {
+  for (const char* s :
+       {"scratch", "diffusion", "dynamic"}) {
     CoupledConfig cfg = config();
     cfg.manager.strategy = s;
     CoupledSimulation sim(machine_, models_.model, models_.truth, cfg);

@@ -20,7 +20,7 @@ TEST_P(DynamicStrategyTest, CommittedMetricsAreOneOfTheCandidates) {
   cfg.seed = GetParam();
   const Trace trace = generate_synthetic_trace(cfg);
   const TraceRunResult r = run_trace(machine_, models_.model, models_.truth,
-                                     Strategy::kDynamic, trace);
+                                     "dynamic", trace);
   for (const StepOutcome& o : r.outcomes) {
     const CandidateMetrics& expect =
         o.chosen == "diffusion" ? o.diffusion : o.scratch;
@@ -37,7 +37,7 @@ TEST_P(DynamicStrategyTest, AlwaysPicksSmallerPredictedTotal) {
   cfg.seed = GetParam() + 1000;
   const Trace trace = generate_synthetic_trace(cfg);
   const TraceRunResult r = run_trace(machine_, models_.model, models_.truth,
-                                     Strategy::kDynamic, trace);
+                                     "dynamic", trace);
   for (const StepOutcome& o : r.outcomes) {
     EXPECT_LE(o.committed.predicted_total(),
               std::min(o.scratch.predicted_total(),
@@ -54,7 +54,7 @@ TEST_P(DynamicStrategyTest, PredictionsAreInformative) {
   cfg.seed = GetParam() + 2000;
   const Trace trace = generate_synthetic_trace(cfg);
   const TraceRunResult r = run_trace(machine_, models_.model, models_.truth,
-                                     Strategy::kDynamic, trace);
+                                     "dynamic", trace);
   int correct = 0, decided = 0;
   for (const StepOutcome& o : r.outcomes) {
     // Skip events where the two candidates are effectively tied in truth.
@@ -82,7 +82,7 @@ TEST(DynamicStrategyAggregates, TracksBestCandidatePerEvent) {
   cfg.seed = 99;
   const Trace trace = generate_synthetic_trace(cfg);
   const TraceRunResult r = run_trace(machine, models.model, models.truth,
-                                     Strategy::kDynamic, trace);
+                                     "dynamic", trace);
   for (const StepOutcome& o : r.outcomes) {
     EXPECT_LE(o.committed.actual_total(),
               std::max(o.scratch.actual_total(),

@@ -37,12 +37,33 @@ TEST(TraceRunResult, MeanHopBytesSkipsSilentEvents) {
   EXPECT_DOUBLE_EQ(r.mean_avg_hop_bytes(), (3.0 + 1.0) / 2.0);
 }
 
+TEST(TraceRunResult, AllLocalTrafficCountsAsSilent) {
+  // A step whose redistribution lands entirely on the senders' own ranks
+  // has local_bytes > 0 but total_bytes == 0; it carries no hop
+  // information and must not drag the mean toward zero.
+  TraceRunResult r;
+  StepOutcome all_local = outcome(1.0, 0.05, 0, 0, 1, 0.9);
+  all_local.traffic.local_bytes = 4096;
+  r.outcomes.push_back(all_local);
+  r.outcomes.push_back(outcome(1.0, 0.1, 100, 250, 1, 0.4));
+  EXPECT_DOUBLE_EQ(r.mean_avg_hop_bytes(), 2.5);
+  EXPECT_EQ(r.total_hop_bytes(), 250);
+}
+
 TEST(TraceRunResult, MeanOverlapSkipsEventsWithoutRetainedNests) {
   TraceRunResult r;
   r.outcomes.push_back(outcome(1.0, 0.0, 0, 0, 0, 0.0));  // nothing retained
   r.outcomes.push_back(outcome(1.0, 0.1, 10, 10, 2, 0.6));
   r.outcomes.push_back(outcome(1.0, 0.1, 10, 10, 1, 0.2));
   EXPECT_DOUBLE_EQ(r.mean_overlap_fraction(), 0.4);
+}
+
+TEST(TraceRunResult, NoRetainedNestsAnywhereYieldsZeroOverlap) {
+  TraceRunResult r;
+  r.outcomes.push_back(outcome(1.0, 0.0, 0, 0, 0, 0.0));
+  r.outcomes.push_back(outcome(2.0, 0.0, 0, 0, 0, 0.0));
+  EXPECT_DOUBLE_EQ(r.mean_overlap_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(r.mean_avg_hop_bytes(), 0.0);
 }
 
 TEST(TraceRunResult, DiffusionPickCount) {
@@ -86,9 +107,9 @@ TEST(RunTrace, StrategyOverridesConfig) {
   cfg.num_events = 3;
   const Trace trace = generate_synthetic_trace(cfg);
   ManagerConfig mc;
-  mc.strategy = Strategy::kDiffusion;  // should be overridden to scratch
+  mc.strategy = "diffusion";  // should be overridden to scratch
   const TraceRunResult r = run_trace(m, models.model, models.truth,
-                                     Strategy::kScratch, trace, mc);
+                                     "scratch", trace, mc);
   for (const StepOutcome& o : r.outcomes) EXPECT_EQ(o.chosen, "scratch");
 }
 

@@ -18,8 +18,8 @@ TEST(LongTrace, HundredEventsAllStrategiesStayConsistent) {
   cfg.num_events = 100;
   cfg.seed = 0x100c;
   const Trace trace = generate_synthetic_trace(cfg);
-  for (const Strategy s :
-       {Strategy::kScratch, Strategy::kDiffusion, Strategy::kDynamic}) {
+  for (const char* s :
+       {"scratch", "diffusion", "dynamic"}) {
     const TraceRunResult r =
         run_trace(machine, models.model, models.truth, s, trace);
     ASSERT_EQ(r.outcomes.size(), 100u);
@@ -51,7 +51,7 @@ TEST(LongTrace, ManyNestsOnSmallMachine) {
   cfg.seed = 0xfeed;
   const Trace trace = generate_synthetic_trace(cfg);
   const TraceRunResult r = run_trace(machine, models.model, models.truth,
-                                     Strategy::kDiffusion, trace);
+                                     "diffusion", trace);
   for (std::size_t e = 0; e < trace.size(); ++e) {
     for (const NestSpec& n : trace[e]) {
       const auto rect = r.outcomes[e].allocation.find(n.id);
@@ -73,7 +73,7 @@ TEST(LongTrace, SingleNestDegenerateTrace) {
     trace.push_back({n});
   }
   const TraceRunResult r = run_trace(machine, models.model, models.truth,
-                                     Strategy::kDiffusion, trace);
+                                     "diffusion", trace);
   // One nest owns the whole grid forever: zero redistribution after the
   // first event.
   for (std::size_t e = 1; e < trace.size(); ++e) {

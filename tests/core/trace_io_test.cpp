@@ -124,7 +124,7 @@ TEST(TraceIo, LoadedTraceRunsThroughHarness) {
   const ModelStack models;
   const Machine m = Machine::bluegene(256);
   const TraceRunResult r = run_trace(m, models.model, models.truth,
-                                     Strategy::kDiffusion, loaded);
+                                     "diffusion", loaded);
   EXPECT_EQ(r.outcomes.size(), 6u);
 }
 

@@ -32,9 +32,9 @@ TEST_F(PipelineTest, RealTraceThroughBothStrategies) {
   const Machine bgl = Machine::bluegene(256);
 
   const TraceRunResult diff = run_trace(bgl, models.model, models.truth,
-                                        Strategy::kDiffusion, trace);
+                                        "diffusion", trace);
   const TraceRunResult scratch = run_trace(bgl, models.model, models.truth,
-                                           Strategy::kScratch, trace);
+                                           "scratch", trace);
   ASSERT_EQ(diff.outcomes.size(), trace.size());
 
   // §V-D/E: diffusion must not lose on redistribution, hop-bytes or
@@ -50,7 +50,7 @@ TEST_F(PipelineTest, DynamicNeverWorseThanBothOnPredictions) {
   ModelStack models;
   const Machine bgl = Machine::bluegene(256);
   const TraceRunResult dyn = run_trace(bgl, models.model, models.truth,
-                                       Strategy::kDynamic, trace);
+                                       "dynamic", trace);
   for (const StepOutcome& o : dyn.outcomes) {
     EXPECT_LE(o.committed.predicted_total(),
               std::min(o.scratch.predicted_total(),
@@ -93,9 +93,9 @@ TEST_F(PipelineTest, SyntheticTraceAggregateImprovement) {
   ModelStack models;
   const Machine bgl = Machine::bluegene(256);
   const TraceRunResult diff = run_trace(bgl, models.model, models.truth,
-                                        Strategy::kDiffusion, trace);
+                                        "diffusion", trace);
   const TraceRunResult scratch = run_trace(bgl, models.model, models.truth,
-                                           Strategy::kScratch, trace);
+                                           "scratch", trace);
   EXPECT_LT(diff.total_redist(), scratch.total_redist());
   // §V-D: diffusion pays a small execution-time penalty, but bounded.
   EXPECT_LT(diff.total_exec(), scratch.total_exec() * 1.15);
@@ -109,7 +109,7 @@ TEST_F(PipelineTest, AllocationsAlwaysDisjointAndComplete) {
   ModelStack models;
   const Machine bgl = Machine::bluegene(256);
   const TraceRunResult r = run_trace(bgl, models.model, models.truth,
-                                     Strategy::kDiffusion, trace);
+                                     "diffusion", trace);
   for (std::size_t e = 0; e < trace.size(); ++e) {
     // Allocation construction validates disjointness; assert coverage of
     // every active nest here.
