@@ -2,15 +2,22 @@
 
 /// \file bench_common.hpp
 /// Helpers shared by the bench binaries: standard trace construction,
-/// decision-quality statistics for dynamic-strategy runs, and per-stage
-/// metrics printing. Keeps the binaries down to "declare the grid, hand it
-/// to SweepRunner, print the paper's tables".
+/// decision-quality statistics for dynamic-strategy runs, per-stage
+/// metrics printing, and a machine-readable JSON summary (--json out.json)
+/// so speedup trajectories are trackable across PRs. Keeps the binaries
+/// down to "declare the grid, hand it to SweepRunner, print the paper's
+/// tables".
 
+#include <fstream>
 #include <iostream>
+#include <optional>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sweep/sweep_runner.hpp"
+#include "util/check.hpp"
 #include "util/stats.hpp"
 
 namespace stormtrack::bench {
@@ -57,6 +64,80 @@ struct DecisionQuality {
 inline void print_stage_metrics(const std::vector<SweepCaseResult>& results,
                                 const std::string& title) {
   merged_metrics(results).to_table(title).print(std::cout);
+}
+
+/// Machine-readable bench summary: one JSON object per measured
+/// configuration ("row"), each carrying wall time, thread count, case
+/// count, and any extra numeric fields the bench wants tracked. Written
+/// when the binary is invoked with `--json out.json`.
+class JsonSummary {
+ public:
+  explicit JsonSummary(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  /// Start a row; chain add_field() calls to extend it.
+  JsonSummary& add_row(const std::string& label, double wall_seconds,
+                       int threads, std::int64_t cases) {
+    rows_.emplace_back();
+    std::ostringstream& r = rows_.back();
+    r << "    {\"label\": " << quote(label)
+      << ", \"wall_seconds\": " << format(wall_seconds)
+      << ", \"threads\": " << threads << ", \"cases\": " << cases;
+    return *this;
+  }
+
+  /// Append a numeric field to the most recent row.
+  JsonSummary& add_field(const std::string& key, double value) {
+    ST_CHECK_MSG(!rows_.empty(), "add_field before any add_row");
+    rows_.back() << ", " << quote(key) << ": " << format(value);
+    return *this;
+  }
+
+  [[nodiscard]] std::string to_json() const {
+    std::ostringstream out;
+    out << "{\n  \"bench\": " << quote(bench_name_) << ",\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i)
+      out << rows_[i].str() << "}" << (i + 1 < rows_.size() ? "," : "")
+          << "\n";
+    out << "  ]\n}\n";
+    return out.str();
+  }
+
+  void write(const std::string& path) const {
+    std::ofstream f(path);
+    ST_CHECK_MSG(f.good(), "cannot open " << path << " for writing");
+    f << to_json();
+    ST_CHECK_MSG(f.good(), "failed writing " << path);
+    std::cout << "json summary written to " << path << "\n";
+  }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out + "\"";
+  }
+
+  static std::string format(double v) {
+    std::ostringstream s;
+    s.precision(17);  // round-trip exact
+    s << v;
+    return s.str();
+  }
+
+  std::string bench_name_;
+  std::vector<std::ostringstream> rows_;
+};
+
+/// The `--json out.json` argument when present (shared bench convention).
+[[nodiscard]] inline std::optional<std::string> json_output_path(
+    int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string(argv[i]) == "--json") return std::string(argv[i + 1]);
+  return std::nullopt;
 }
 
 }  // namespace stormtrack::bench

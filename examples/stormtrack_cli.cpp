@@ -12,11 +12,13 @@
 
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "core/experiment.hpp"
 #include "core/trace_io.hpp"
+#include "exec/executor.hpp"
 #include "util/image.hpp"
 #include "util/stats.hpp"
 
@@ -36,6 +38,7 @@ struct Options {
   std::optional<std::string> images;   // directory for PPM output
   bool csv = false;
   bool compare = false;                // run every registered strategy
+  int threads = 0;                     // 0 = hardware concurrency
 };
 
 [[noreturn]] void usage(int code) {
@@ -57,6 +60,10 @@ struct Options {
       "  --images DIR           write final allocation / field PPMs\n"
       "  --csv                  emit per-event metrics as CSV\n"
       "  --compare              run every registered strategy, summarize\n"
+      "  --threads N            executor worker threads for the pipeline's\n"
+      "                         candidate evaluation (default 0 = hardware\n"
+      "                         concurrency; 1 = serial, exactly the\n"
+      "                         single-threaded behavior)\n"
       "  --help                 this text\n";
   std::exit(code);
 }
@@ -84,6 +91,7 @@ Options parse(int argc, char** argv) {
     else if (a == "--images") o.images = next("--images");
     else if (a == "--csv") o.csv = true;
     else if (a == "--compare") o.compare = true;
+    else if (a == "--threads") o.threads = std::stoi(next("--threads"));
     else if (a == "--help" || a == "-h") usage(0);
     else {
       std::cerr << "unknown flag: " << a << "\n";
@@ -132,6 +140,15 @@ int main(int argc, char** argv) {
   // ---- run
   const ModelStack models;
 
+  // Candidate evaluation runs on a shared pool; --threads 1 keeps the
+  // pipeline serial (byte-identical results either way, see src/exec).
+  std::unique_ptr<ThreadPoolExecutor> pool;
+  ManagerConfig config;
+  if (opt.threads != 1) {
+    pool = std::make_unique<ThreadPoolExecutor>(opt.threads);
+    config.executor = pool.get();
+  }
+
   if (opt.compare) {
     Table cmp({"Strategy", "Exec (s)", "Redist (s)", "Total (s)",
                "Mean overlap %", "Mean avg hop-bytes"});
@@ -139,7 +156,7 @@ int main(int argc, char** argv) {
                   std::to_string(trace.size()) + " events");
     for (const std::string& s : StrategyRegistry::global().names()) {
       const TraceRunResult res =
-          run_trace(machine, models.model, models.truth, s, trace);
+          run_trace(machine, models.model, models.truth, s, trace, config);
       cmp.add_row({s, Table::num(res.total_exec(), 2),
                    Table::num(res.total_redist(), 3),
                    Table::num(res.total(), 2),
@@ -154,7 +171,7 @@ int main(int argc, char** argv) {
   }
 
   const TraceRunResult r = run_trace(machine, models.model, models.truth,
-                                     opt.strategy, trace);
+                                     opt.strategy, trace, config);
 
   Table t({"Event", "Nests", "+ins/-del/=ret", "Chosen", "Exec (s)",
            "Redist (ms)", "Hop-bytes avg", "Overlap %"});

@@ -1,7 +1,9 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <array>
 
+#include "exec/executor.hpp"
 #include "util/check.hpp"
 
 namespace stormtrack {
@@ -99,56 +101,68 @@ void AdaptationPipeline::stage_derive_weights(PipelineContext& ctx) const {
 void AdaptationPipeline::stage_build_candidates(PipelineContext& ctx) const {
   const ScratchPartitioner scratch_p;
   const DiffusionPartitioner diffusion_p;
-  for (const Partitioner* p :
-       {static_cast<const Partitioner*>(&scratch_p),
-        static_cast<const Partitioner*>(&diffusion_p)}) {
-    PipelineCandidate c;
-    c.name = p->name();
-    c.tree = p->propose(tree_, ctx.request);
-    c.alloc = allocate(c.tree, machine_->grid_px(), machine_->grid_py());
-    // Redistribution planning: one Alltoallv message matrix per retained
-    // nest (§IV: "MPI_Alltoallv to redistribute data for each nest"),
-    // moving from the committed allocation to this candidate's.
-    c.plans.reserve(ctx.retained.size());
-    for (const NestSpec& nest : ctx.retained) {
-      const auto old_rect = allocation_.find(nest.id);
-      const auto new_rect = c.alloc.find(nest.id);
-      ST_CHECK_MSG(old_rect && new_rect,
-                   "retained nest " << nest.id << " missing an allocation");
-      c.plans.push_back(plan_redistribution(nest.shape, *old_rect, *new_rect,
-                                            machine_->grid_px(),
-                                            config_.bytes_per_point));
-      c.overlap_points += c.plans.back().overlap_points;
-      c.total_points += c.plans.back().total_points;
-    }
-    ctx.candidates.push_back(std::move(c));
-  }
+  const std::array<const Partitioner*, 2> partitioners{
+      static_cast<const Partitioner*>(&scratch_p),
+      static_cast<const Partitioner*>(&diffusion_p)};
+  // The two proposals are independent: each reads the committed tree /
+  // allocation (immutable here) and writes only its own candidate slot.
+  ctx.candidates.resize(partitioners.size());
+  resolve_executor(config_.executor)
+      .parallel_for(partitioners.size(), [&](std::size_t pi) {
+        const Partitioner* p = partitioners[pi];
+        PipelineCandidate& c = ctx.candidates[pi];
+        c.name = p->name();
+        c.tree = p->propose(tree_, ctx.request);
+        c.alloc = allocate(c.tree, machine_->grid_px(), machine_->grid_py());
+        // Redistribution planning: one Alltoallv message matrix per
+        // retained nest (§IV: "MPI_Alltoallv to redistribute data for each
+        // nest"), moving from the committed allocation to this candidate's.
+        c.plans.reserve(ctx.retained.size());
+        for (const NestSpec& nest : ctx.retained) {
+          const auto old_rect = allocation_.find(nest.id);
+          const auto new_rect = c.alloc.find(nest.id);
+          ST_CHECK_MSG(old_rect && new_rect,
+                       "retained nest " << nest.id
+                                        << " missing an allocation");
+          c.plans.push_back(
+              plan_redistribution(nest.shape, *old_rect, *new_rect,
+                                  machine_->grid_px(),
+                                  config_.bytes_per_point));
+          c.overlap_points += c.plans.back().overlap_points;
+          c.total_points += c.plans.back().total_points;
+        }
+      });
 }
 
 // ------------------------------------------------------------ PredictCosts
 
 void AdaptationPipeline::stage_predict_costs(PipelineContext& ctx) const {
   const RedistTimeModel redist_model(machine_->comm());
-  for (PipelineCandidate& c : ctx.candidates) {
-    // §IV-C-1: predict each retained nest's phase; phases run sequentially.
-    for (const RedistPlan& plan : c.plans)
-      c.metrics.predicted_redist += redist_model.predict(plan.messages);
-    // §IV-C-2: nests run concurrently on disjoint processor rectangles, so
-    // the coupled interval advances with the slowest nest. The model
-    // predicts from the processor *count* — it cannot see the rectangle's
-    // aspect ratio, which is precisely why dynamic selection can
-    // occasionally pick the wrong method (§V-F).
-    double predicted_max = 0.0;
-    for (const NestSpec& nest : ctx.active) {
-      const auto rect = c.alloc.find(nest.id);
-      ST_CHECK_MSG(rect.has_value(),
-                   "active nest " << nest.id << " missing allocation");
-      predicted_max = std::max(
-          predicted_max,
-          model_->predict(nest.shape, static_cast<int>(rect->area())));
-    }
-    c.metrics.predicted_exec = config_.steps_per_interval * predicted_max;
-  }
+  // Candidates are priced concurrently; each candidate's accumulation stays
+  // in the serial loop's floating-point order within its own slot.
+  resolve_executor(config_.executor)
+      .parallel_for(ctx.candidates.size(), [&](std::size_t ci) {
+        PipelineCandidate& c = ctx.candidates[ci];
+        // §IV-C-1: predict each retained nest's phase; phases run
+        // sequentially.
+        for (const RedistPlan& plan : c.plans)
+          c.metrics.predicted_redist += redist_model.predict(plan.messages);
+        // §IV-C-2: nests run concurrently on disjoint processor rectangles,
+        // so the coupled interval advances with the slowest nest. The model
+        // predicts from the processor *count* — it cannot see the
+        // rectangle's aspect ratio, which is precisely why dynamic
+        // selection can occasionally pick the wrong method (§V-F).
+        double predicted_max = 0.0;
+        for (const NestSpec& nest : ctx.active) {
+          const auto rect = c.alloc.find(nest.id);
+          ST_CHECK_MSG(rect.has_value(),
+                       "active nest " << nest.id << " missing allocation");
+          predicted_max = std::max(
+              predicted_max,
+              model_->predict(nest.shape, static_cast<int>(rect->area())));
+        }
+        c.metrics.predicted_exec = config_.steps_per_interval * predicted_max;
+      });
 }
 
 // ------------------------------------------------------------------ Commit
@@ -167,21 +181,25 @@ void AdaptationPipeline::stage_commit(PipelineContext& ctx) {
 StepOutcome AdaptationPipeline::stage_redistribute(PipelineContext& ctx) {
   // Every candidate's phases run on the simulated network and its interval
   // is charged at ground truth — not just the committed one — so §V-F
-  // experiments can judge each decision against the road not taken.
-  for (PipelineCandidate& c : ctx.candidates) {
-    for (const RedistPlan& plan : c.plans)
-      c.traffic += machine_->comm().alltoallv(plan.messages);
-    c.metrics.actual_redist = c.traffic.modeled_time;
-    double actual_max = 0.0;
-    for (const NestSpec& nest : ctx.active) {
-      const auto rect = c.alloc.find(nest.id);
-      ST_CHECK_MSG(rect.has_value(),
-                   "active nest " << nest.id << " missing allocation");
-      actual_max = std::max(
-          actual_max, truth_->execution_time(nest.shape, rect->w, rect->h));
-    }
-    c.metrics.actual_exec = config_.steps_per_interval * actual_max;
-  }
+  // experiments can judge each decision against the road not taken. The
+  // candidates score concurrently (simulated network and ground truth are
+  // const); committing below stays on the calling thread.
+  resolve_executor(config_.executor)
+      .parallel_for(ctx.candidates.size(), [&](std::size_t ci) {
+        PipelineCandidate& c = ctx.candidates[ci];
+        for (const RedistPlan& plan : c.plans)
+          c.traffic += machine_->comm().alltoallv(plan.messages);
+        c.metrics.actual_redist = c.traffic.modeled_time;
+        double actual_max = 0.0;
+        for (const NestSpec& nest : ctx.active) {
+          const auto rect = c.alloc.find(nest.id);
+          ST_CHECK_MSG(rect.has_value(),
+                       "active nest " << nest.id << " missing allocation");
+          actual_max = std::max(actual_max, truth_->execution_time(
+                                                nest.shape, rect->w, rect->h));
+        }
+        c.metrics.actual_exec = config_.steps_per_interval * actual_max;
+      });
 
   StepOutcome out;
   if (const PipelineCandidate* s = ctx.find("scratch")) out.scratch = s->metrics;
@@ -209,6 +227,8 @@ StepOutcome AdaptationPipeline::stage_redistribute(PipelineContext& ctx) {
 // ------------------------------------------------------------------- apply
 
 StepOutcome AdaptationPipeline::apply(std::span<const NestSpec> active) {
+  Executor& exec = resolve_executor(config_.executor);
+  const ExecutorStats exec_before = exec.stats();
   PipelineContext ctx;
   {
     ScopedTimer t(&metrics_, stage_metric_name(PipelineStage::kDiffNests));
@@ -243,6 +263,19 @@ StepOutcome AdaptationPipeline::apply(std::span<const NestSpec> active) {
   metrics_.add_count("pipeline.redist_plans",
                      static_cast<std::int64_t>(ctx.retained.size()) *
                          static_cast<std::int64_t>(ctx.candidates.size()));
+  // Executor observability: batches/tasks the pool completed and the wall
+  // time its threads spent inside task bodies while this adaptation point
+  // ran. On a pipeline-private executor these are exactly this point's
+  // submissions (3 batches, one per candidate-parallel stage); on a shared
+  // pool (a sweep) they are pool-wide — occupancy of the machine, not of
+  // this case. Timings/counters are reported, never fed back, so results
+  // stay deterministic either way.
+  const ExecutorStats exec_after = exec.stats();
+  metrics_.add_count("exec.pool_batches",
+                     exec_after.batches - exec_before.batches);
+  metrics_.add_count("exec.pool_tasks", exec_after.tasks - exec_before.tasks);
+  metrics_.add_time("exec.pool_busy",
+                    exec_after.busy_seconds - exec_before.busy_seconds);
   return out;
 }
 

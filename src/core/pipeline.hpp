@@ -51,6 +51,8 @@
 
 namespace stormtrack {
 
+class Executor;
+
 /// Pipeline stages in execution order.
 enum class PipelineStage {
   kDiffNests = 0,
@@ -84,6 +86,14 @@ struct ManagerConfig {
   int steps_per_interval = 5;
   /// Nest state bytes per fine-grid point (see redistributor.hpp).
   int bytes_per_point = kDefaultBytesPerPoint;
+  /// Runs the scratch and diffusion candidates concurrently through
+  /// BuildCandidates / PredictCosts / Redistribute (the candidates are
+  /// independent until Commit); null = serial. Each candidate accumulates
+  /// into its own PipelineCandidate slot in the same floating-point order
+  /// as the serial loop, so results are identical for any executor. Must
+  /// outlive the pipeline; may be shared (SweepRunner hands its pool to
+  /// every case).
+  Executor* executor = nullptr;
 };
 
 /// Model-predicted and ground-truth costs of one candidate allocation.

@@ -1,0 +1,139 @@
+#pragma once
+
+/// \file executor.hpp
+/// Unified execution layer: the one place the codebase runs work in
+/// parallel.
+///
+/// Everything above this layer is written in terms of an Executor: the SPMD
+/// substrate (run_spmd), the adaptation pipeline's candidate evaluation,
+/// and the sweep runner's experiment grids all submit index-addressed
+/// batches instead of owning threads. Two implementations ship:
+///
+///  * SerialExecutor — runs every index inline on the calling thread, in
+///    ascending order. The reference semantics.
+///  * ThreadPoolExecutor — a persistent FIFO pool (no work stealing between
+///    batches; within a batch workers claim indices from a shared atomic
+///    ticket in ascending submission order). Results are byte-identical to
+///    SerialExecutor because the contract forces determinism:
+///
+///      - every index writes only into its own preallocated slot;
+///      - reductions over slots happen *after* parallel_for returns, on the
+///        calling thread, in index order — reordered in code, never in
+///        floating point;
+///      - task bodies read only state that is immutable for the batch's
+///        lifetime.
+///
+/// Exceptions thrown by task bodies are captured; after the batch drains,
+/// the exception of the *lowest failing index* is rethrown on the caller
+/// (deterministic regardless of scheduling) and the pool survives for the
+/// next batch.
+///
+/// parallel_for is nesting-safe: the calling thread participates in its own
+/// batch, claiming indices like a worker, and only ever blocks on indices
+/// that are already running on some thread. A task body may therefore call
+/// parallel_for on the same executor (the pipeline's candidate evaluation
+/// nests inside a sweep case) without risking deadlock — in the worst case
+/// the nested batch runs entirely on the calling thread.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace stormtrack {
+
+/// Monotonic counters an executor accumulates over its lifetime; cheap to
+/// snapshot, deltas are safe to difference from a single thread.
+struct ExecutorStats {
+  int threads = 1;              ///< Worker threads (1 for serial).
+  std::int64_t tasks = 0;       ///< Index invocations completed.
+  std::int64_t batches = 0;     ///< parallel_for calls completed.
+  double busy_seconds = 0.0;    ///< Summed wall time inside task bodies.
+
+  /// Mean thread occupancy over \p wall_seconds of submitting work:
+  /// busy-time spread over the pool, clamped to [0, 1] per thread.
+  [[nodiscard]] double occupancy(double wall_seconds) const {
+    if (wall_seconds <= 0.0 || threads <= 0) return 0.0;
+    return busy_seconds / (wall_seconds * threads);
+  }
+};
+
+/// See file comment.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Worker parallelism (1 = serial).
+  [[nodiscard]] virtual int concurrency() const = 0;
+
+  /// Run body(i) exactly once for every i in [0, n); returns after all
+  /// indices completed. Rethrows the lowest failing index's exception.
+  virtual void parallel_for(std::size_t n,
+                            const std::function<void(std::size_t)>& body) = 0;
+
+  /// Lifetime counters (see ExecutorStats).
+  [[nodiscard]] virtual ExecutorStats stats() const = 0;
+
+  /// Map i -> f(i) into a preallocated result vector (slot per index).
+  /// R must be default-constructible and move-assignable.
+  template <typename R, typename F>
+  [[nodiscard]] std::vector<R> map_indexed(std::size_t n, F&& f) {
+    std::vector<R> out(n);
+    parallel_for(n, [&](std::size_t i) { out[i] = f(i); });
+    return out;
+  }
+};
+
+/// Inline ascending-order execution on the calling thread.
+class SerialExecutor final : public Executor {
+ public:
+  [[nodiscard]] int concurrency() const override { return 1; }
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body) override;
+  [[nodiscard]] ExecutorStats stats() const override;
+
+ private:
+  std::atomic<std::int64_t> tasks_{0};
+  std::atomic<std::int64_t> batches_{0};
+  std::atomic<std::int64_t> busy_ns_{0};
+};
+
+/// Persistent FIFO worker pool; see file comment for the determinism and
+/// nesting contract. Thread-safe: batches may be submitted concurrently
+/// from any thread, including from inside a running task.
+class ThreadPoolExecutor final : public Executor {
+ public:
+  /// \p threads worker threads; 0 = default_thread_count().
+  explicit ThreadPoolExecutor(int threads = 0);
+  ~ThreadPoolExecutor() override;
+
+  ThreadPoolExecutor(const ThreadPoolExecutor&) = delete;
+  ThreadPoolExecutor& operator=(const ThreadPoolExecutor&) = delete;
+
+  [[nodiscard]] int concurrency() const override;
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body) override;
+  [[nodiscard]] ExecutorStats stats() const override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Process-wide SerialExecutor used when a component is handed no executor
+/// (null pointer): keeps call sites to a single code path.
+[[nodiscard]] Executor& serial_executor();
+
+/// \p executor when non-null, otherwise serial_executor().
+[[nodiscard]] inline Executor& resolve_executor(Executor* executor) {
+  return executor != nullptr ? *executor : serial_executor();
+}
+
+/// Worker count for "auto" requests: the STORMTRACK_THREADS environment
+/// variable when set to a positive integer (CI's ThreadSanitizer job forces
+/// multi-threaded execution through it), otherwise
+/// std::thread::hardware_concurrency(), never less than 1.
+[[nodiscard]] int default_thread_count();
+
+}  // namespace stormtrack

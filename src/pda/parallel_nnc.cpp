@@ -70,7 +70,7 @@ class ClusterUnion {
 
 ParallelNncResult parallel_nnc(std::span<const QCloudInfo> sorted_info,
                                const NncConfig& config, int num_ranks,
-                               const SimComm* comm) {
+                               const SimComm* comm, Executor* executor) {
   ST_CHECK_MSG(num_ranks >= 1, "need at least one analysis rank");
   ParallelNncResult result;
   if (sorted_info.empty()) {
@@ -104,7 +104,7 @@ ParallelNncResult parallel_nnc(std::span<const QCloudInfo> sorted_info,
   // ---- 2. Per-rank local clustering (SPMD; sequential Algorithm 2 on the
   //         tile's elements in global sorted order).
   const auto local_clusters = run_spmd<std::vector<Cluster>>(
-      num_ranks, [&](int rank) {
+      resolve_executor(executor), num_ranks, [&](int rank) {
         std::vector<int> mine;  // global indices, already sorted
         for (int i = 0; i < static_cast<int>(sorted_info.size()); ++i)
           if (tile_of(sorted_info[static_cast<std::size_t>(i)]) == rank)

@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "exec/executor.hpp"
 #include "pda/nnc.hpp"
 #include "simmpi/simcomm.hpp"
 
@@ -40,9 +41,13 @@ struct ParallelNncResult {
 
 /// Parallel NNC over \p sorted_info (sorted by qcloud non-increasing, as
 /// for nnc()). \p num_ranks analysis processes; \p comm, when non-null,
-/// prices the cluster-summary gather on it.
+/// prices the cluster-summary gather on it. \p executor runs the per-tile
+/// clustering bodies concurrently (null = serial); the tile outputs land in
+/// per-rank slots and the merge pass reads them in rank order, so results
+/// are identical for any executor.
 [[nodiscard]] ParallelNncResult parallel_nnc(
     std::span<const QCloudInfo> sorted_info, const NncConfig& config,
-    int num_ranks, const SimComm* comm = nullptr);
+    int num_ranks, const SimComm* comm = nullptr,
+    Executor* executor = nullptr);
 
 }  // namespace stormtrack

@@ -61,9 +61,11 @@ PdaResult parallel_data_analysis(std::span<const SplitFile> files,
 
   // Lines 3–9: each of the N processes analyzes its k files. File f goes to
   // process f / k: contiguous runs of the row-major file order, i.e.
-  // rectangular strips of the file grid.
+  // rectangular strips of the file grid. This is the hot step §III
+  // parallelizes; each rank fills its own slot and the gather below reads
+  // the slots in rank order, so any executor yields identical results.
   const auto per_rank = run_spmd<std::vector<QCloudInfo>>(
-      n, [&](int rank) {
+      resolve_executor(config.executor), n, [&](int rank) {
         std::vector<QCloudInfo> local;
         for (int f = rank * k; f < (rank + 1) * k; ++f) {
           if (auto info = analyze_split_file(files[static_cast<std::size_t>(f)],

@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "exec/executor.hpp"
 #include "pda/nnc.hpp"
 #include "simmpi/simcomm.hpp"
 #include "wsim/split_file.hpp"
@@ -28,6 +29,9 @@ struct PdaConfig {
   int analysis_procs = 16;       ///< N; must divide the file count P.
   int root = 0;                  ///< Gathering rank among the N.
   NncConfig nnc;                 ///< Algorithm 2 thresholds.
+  /// Runs the per-rank analysis bodies; null = serial. Results are
+  /// identical for any executor (per-rank slots, rank-order reduction).
+  Executor* executor = nullptr;
 };
 
 /// Output of one PDA invocation.

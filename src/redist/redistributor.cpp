@@ -111,25 +111,24 @@ Grid2D<double> Redistributor::redistribute_field(const Grid2D<double>& field,
 
   const ExchangeResult<double> ex = exchange_payloads(*comm_, std::move(msgs));
 
-  // Reassemble the field from delivered blocks.
+  // Reassemble the field from delivered blocks (grouped by destination;
+  // placement only needs every block once, in any deterministic order).
   Grid2D<double> out(nest.nx, nest.ny, 0.0);
   std::int64_t placed = 0;
-  for (const auto& [dst, list] : ex.received) {
-    for (const TypedMessage<double>& m : list) {
-      ST_CHECK_MSG(m.payload.size() >= 4, "malformed redistribution payload");
-      const Rect inter{static_cast<int>(m.payload[0]),
-                       static_cast<int>(m.payload[1]),
-                       static_cast<int>(m.payload[2]),
-                       static_cast<int>(m.payload[3])};
-      ST_CHECK_MSG(static_cast<std::int64_t>(m.payload.size()) ==
-                       inter.area() + 4,
-                   "payload size does not match block " << inter);
-      std::size_t k = 4;
-      for (int y = inter.y; y < inter.y_end(); ++y)
-        for (int x = inter.x; x < inter.x_end(); ++x)
-          out(x, y) = m.payload[k++];
-      placed += inter.area();
-    }
+  for (const TypedMessage<double>& m : ex.messages) {
+    ST_CHECK_MSG(m.payload.size() >= 4, "malformed redistribution payload");
+    const Rect inter{static_cast<int>(m.payload[0]),
+                     static_cast<int>(m.payload[1]),
+                     static_cast<int>(m.payload[2]),
+                     static_cast<int>(m.payload[3])};
+    ST_CHECK_MSG(static_cast<std::int64_t>(m.payload.size()) ==
+                     inter.area() + 4,
+                 "payload size does not match block " << inter);
+    std::size_t k = 4;
+    for (int y = inter.y; y < inter.y_end(); ++y)
+      for (int x = inter.x; x < inter.x_end(); ++x)
+        out(x, y) = m.payload[k++];
+    placed += inter.area();
   }
   ST_CHECK_MSG(placed == static_cast<std::int64_t>(nest.nx) * nest.ny,
                "redistribution conservation violated: placed " << placed

@@ -29,7 +29,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <map>
 #include <span>
 #include <vector>
 
@@ -108,9 +107,10 @@ class SimComm {
 };
 
 /// Payload-carrying exchange: moves per-message payload vectors between
-/// ranks and prices the phase like SimComm::alltoallv. The result maps each
-/// destination rank to the list of (source, payload) pairs it received, in
-/// deterministic (source-ascending) order.
+/// ranks and prices the phase like SimComm::alltoallv. Delivered messages
+/// are grouped contiguously by destination rank (ascending), each group
+/// ascending by source rank — a deterministic iteration order without the
+/// per-destination map + per-list sort the old implementation paid.
 template <typename T>
 struct TypedMessage {
   int src = 0;
@@ -118,11 +118,32 @@ struct TypedMessage {
   std::vector<T> payload;
 };
 
+/// Half-open range of a destination rank's messages in
+/// ExchangeResult::messages.
+struct DeliveryGroup {
+  int dst = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
 template <typename T>
 struct ExchangeResult {
-  /// received[dst] = messages delivered to dst, ascending by src.
-  std::map<int, std::vector<TypedMessage<T>>> received;
+  /// Every delivered message, grouped by destination (ascending), each
+  /// group ascending by source.
+  std::vector<TypedMessage<T>> messages;
+  /// One entry per destination that received anything, ascending by dst.
+  std::vector<DeliveryGroup> groups;
   TrafficReport traffic;
+
+  /// Messages delivered to \p dst (empty when it received nothing).
+  [[nodiscard]] std::span<const TypedMessage<T>> received_by(int dst) const {
+    const auto it = std::lower_bound(
+        groups.begin(), groups.end(), dst,
+        [](const DeliveryGroup& g, int d) { return g.dst < d; });
+    if (it == groups.end() || it->dst != dst) return {};
+    return std::span<const TypedMessage<T>>(messages)
+        .subspan(it->begin, it->end - it->begin);
+  }
 };
 
 template <typename T>
@@ -136,10 +157,22 @@ template <typename T>
                                                       sizeof(T))});
   ExchangeResult<T> out;
   out.traffic = comm.alltoallv(sizes);
-  for (auto& m : msgs) out.received[m.dst].push_back(std::move(m));
-  for (auto& [dst, list] : out.received)
-    std::stable_sort(list.begin(), list.end(),
-                     [](const auto& a, const auto& b) { return a.src < b.src; });
+  // Single stable sort (dst, then src); equal (src, dst) pairs keep
+  // submission order, matching the old stable per-list sorts.
+  std::stable_sort(msgs.begin(), msgs.end(),
+                   [](const TypedMessage<T>& a, const TypedMessage<T>& b) {
+                     if (a.dst != b.dst) return a.dst < b.dst;
+                     return a.src < b.src;
+                   });
+  out.messages = std::move(msgs);
+  for (std::size_t i = 0; i < out.messages.size();) {
+    std::size_t j = i;
+    while (j < out.messages.size() &&
+           out.messages[j].dst == out.messages[i].dst)
+      ++j;
+    out.groups.push_back(DeliveryGroup{out.messages[i].dst, i, j});
+    i = j;
+  }
   return out;
 }
 

@@ -5,33 +5,61 @@
 ///
 /// Code written against the simulator keeps the per-rank structure of the
 /// real MPI program (the parallel data analysis of §III runs one analysis
-/// function per rank). run_spmd executes every rank's body; on this
-/// single-core substrate the ranks run sequentially, but the programming
-/// model — and therefore the code under test — is the parallel one.
+/// function per rank). run_spmd executes every rank's body on an Executor:
+/// handed a ThreadPoolExecutor the rank bodies genuinely run concurrently;
+/// the overloads without an executor run serially in rank order. Either
+/// way each rank writes only its own preallocated result slot, so the
+/// collected results are identical regardless of thread count.
+///
+/// The callable is a perfect-forwarded template parameter, not a
+/// std::function: the per-rank analysis bodies are the hot path and pay no
+/// type-erasure allocation or indirect-call cost.
 
-#include <functional>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "exec/executor.hpp"
 #include "util/check.hpp"
 
 namespace stormtrack {
 
-/// Run \p body(rank) for every rank in [0, num_ranks) and collect the
-/// results in rank order.
-template <typename R>
-[[nodiscard]] std::vector<R> run_spmd(int num_ranks,
-                                      const std::function<R(int)>& body) {
+/// Run \p body(rank) for every rank in [0, num_ranks) on \p exec and
+/// collect the results in rank order (slot per rank).
+template <typename R, typename F>
+[[nodiscard]] std::vector<R> run_spmd(Executor& exec, int num_ranks,
+                                      F&& body) {
   ST_CHECK_MSG(num_ranks >= 1, "need at least one rank");
-  std::vector<R> results;
-  results.reserve(static_cast<std::size_t>(num_ranks));
-  for (int rank = 0; rank < num_ranks; ++rank) results.push_back(body(rank));
+  std::vector<R> results(static_cast<std::size_t>(num_ranks));
+  exec.parallel_for(static_cast<std::size_t>(num_ranks),
+                    [&](std::size_t rank) {
+                      results[rank] = body(static_cast<int>(rank));
+                    });
   return results;
 }
 
-/// Void-returning overload.
-inline void run_spmd(int num_ranks, const std::function<void(int)>& body) {
+/// Void-returning overload: \p body(rank) for every rank on \p exec.
+template <typename F,
+          typename = std::enable_if_t<
+              std::is_void_v<std::invoke_result_t<F&, int>>>>
+void run_spmd(Executor& exec, int num_ranks, F&& body) {
   ST_CHECK_MSG(num_ranks >= 1, "need at least one rank");
-  for (int rank = 0; rank < num_ranks; ++rank) body(rank);
+  exec.parallel_for(static_cast<std::size_t>(num_ranks),
+                    [&](std::size_t rank) { body(static_cast<int>(rank)); });
+}
+
+/// Serial convenience overloads (rank bodies run in rank order on the
+/// calling thread).
+template <typename R, typename F>
+[[nodiscard]] std::vector<R> run_spmd(int num_ranks, F&& body) {
+  return run_spmd<R>(serial_executor(), num_ranks, std::forward<F>(body));
+}
+
+template <typename F,
+          typename = std::enable_if_t<
+              std::is_void_v<std::invoke_result_t<F&, int>>>>
+void run_spmd(int num_ranks, F&& body) {
+  run_spmd(serial_executor(), num_ranks, std::forward<F>(body));
 }
 
 }  // namespace stormtrack

@@ -1,10 +1,9 @@
 #include "sweep/sweep_runner.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdlib>
-#include <exception>
-#include <thread>
+#include <limits>
+#include <memory>
 
 #include "util/check.hpp"
 
@@ -54,43 +53,33 @@ std::vector<SweepCaseResult> SweepRunner::run(const SweepSpec& spec) const {
     r.strategy = spec.strategies[r.strategy_index];
   }
 
-  const auto run_case = [&](SweepCaseResult& r) {
+  // Resolve the executor: a caller-shared one, or a pool owned for the
+  // duration of this run (threads = 1 stays fully serial, no pool).
+  Executor* exec = spec.executor;
+  std::unique_ptr<ThreadPoolExecutor> owned;
+  if (exec == nullptr && spec.threads != 1 && n > 1) {
+    const int want = spec.threads == 0 ? default_thread_count() : spec.threads;
+    const int pool_size =
+        std::min(want, static_cast<int>(std::min<std::size_t>(
+                           n, std::numeric_limits<int>::max())));
+    if (pool_size > 1) {
+      owned = std::make_unique<ThreadPoolExecutor>(pool_size);
+      exec = owned.get();
+    }
+  }
+
+  // One batch over the grid: each case writes into its preallocated slot,
+  // so the result vector's order never depends on scheduling. The case's
+  // pipeline inherits the same executor (nested batches are safe) unless
+  // the spec's config already names one.
+  ManagerConfig case_config = spec.config;
+  if (case_config.executor == nullptr) case_config.executor = exec;
+  resolve_executor(exec).parallel_for(n, [&](std::size_t i) {
+    SweepCaseResult& r = results[i];
     r.result = run_trace(machines[r.machine_index], *model_, *truth_,
                          r.strategy, spec.traces[r.trace_index].trace,
-                         spec.config);
-  };
-
-  std::size_t threads = spec.threads == 0
-                            ? std::max(1u, std::thread::hardware_concurrency())
-                            : static_cast<std::size_t>(spec.threads);
-  threads = std::min(threads, n);
-  if (threads <= 1) {
-    for (SweepCaseResult& r : results) run_case(r);
-    return results;
-  }
-
-  // Work-stealing by atomic ticket: each worker claims the next unclaimed
-  // case index and writes into that case's preallocated slot, so the result
-  // vector's order never depends on scheduling.
-  std::atomic<std::size_t> next{0};
-  std::vector<std::exception_ptr> errors(threads);
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::size_t w = 0; w < threads; ++w) {
-    pool.emplace_back([&, w] {
-      try {
-        for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1))
-          run_case(results[i]);
-      } catch (...) {
-        errors[w] = std::current_exception();
-        // Drain remaining tickets so sibling workers exit promptly.
-        next.store(n);
-      }
-    });
-  }
-  for (std::thread& t : pool) t.join();
-  for (const std::exception_ptr& e : errors)
-    if (e) std::rethrow_exception(e);
+                         case_config);
+  });
   return results;
 }
 

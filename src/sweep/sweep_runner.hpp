@@ -6,11 +6,16 @@
 /// Every bench binary used to hand-roll the same serial triple loop over
 /// traces, machines and strategies. A SweepRunner names each axis point,
 /// expands the cross product in a fixed strategy-major-last order
-/// (trace, then machine, then strategy), and runs the cases on a
-/// std::thread pool. Results land in a preallocated slot per case, so the
-/// output order — and, because every simulated component is deterministic
-/// and shared state is read-only — the output *values* are byte-identical
-/// to a serial run regardless of thread count or scheduling.
+/// (trace, then machine, then strategy), and runs the cases as one batch
+/// on an Executor (src/exec) — it owns no threads of its own. Results land
+/// in a preallocated slot per case, so the output order — and, because
+/// every simulated component is deterministic and shared state is
+/// read-only — the output *values* are byte-identical to a serial run
+/// regardless of thread count or scheduling.
+///
+/// The executor is also handed to every case's AdaptationPipeline (unless
+/// the spec's config already names one), so candidate evaluation inside a
+/// case nests its batches on the same shared pool.
 ///
 /// Machines are constructed once, up front, on the calling thread; workers
 /// only ever call const members of Machine / ExecTimeModel /
@@ -22,6 +27,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "exec/executor.hpp"
 
 namespace stormtrack {
 
@@ -49,9 +55,14 @@ struct SweepSpec {
   std::vector<std::string> strategies;  ///< StrategyRegistry names.
   /// Shared pipeline tunables; the strategy field is overridden per case.
   ManagerConfig config;
-  /// Worker threads; 0 = std::thread::hardware_concurrency(), 1 = serial
-  /// in-thread execution (no pool).
+  /// Worker threads for the runner-owned pool; 0 = default_thread_count()
+  /// (hardware concurrency, or the STORMTRACK_THREADS env override), 1 =
+  /// serial in-thread execution (no pool). Ignored when \ref executor is
+  /// set.
   int threads = 0;
+  /// Run on this shared executor instead of a runner-owned pool (must
+  /// outlive the run). Null = owned pool per \ref threads.
+  Executor* executor = nullptr;
 
   [[nodiscard]] std::size_t num_cases() const {
     return traces.size() * machines.size() * strategies.size();
@@ -79,8 +90,8 @@ class SweepRunner {
 
   /// Run the full grid; results are ordered trace-major, then machine,
   /// then strategy (spec order), independent of thread interleaving.
-  /// Exceptions thrown by a case propagate to the caller after the pool
-  /// drains.
+  /// The lowest-indexed failing case's exception propagates to the caller
+  /// after the batch drains (Executor contract).
   [[nodiscard]] std::vector<SweepCaseResult> run(const SweepSpec& spec) const;
 
  private:

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file fnv.hpp
+/// FNV-1a fingerprinting for byte-identical result comparison.
+///
+/// The determinism suite reduces whole result structures (PDA outputs,
+/// pipeline outcomes, sweep grids) to one 64-bit fingerprint and asserts
+/// serial and N-thread runs agree. Doubles are hashed by bit pattern, so a
+/// matching fingerprint means *byte*-identical floating point, not just
+/// approximately equal values.
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+namespace stormtrack {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// Incremental FNV-1a accumulator.
+class Fingerprint {
+ public:
+  void add_bytes(const void* data, std::size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash_ ^= p[i];
+      hash_ *= kFnvPrime;
+    }
+  }
+
+  void add(std::int64_t v) { add_bytes(&v, sizeof(v)); }
+  void add(std::uint64_t v) { add_bytes(&v, sizeof(v)); }
+  void add(int v) { add(static_cast<std::int64_t>(v)); }
+  /// Bit-pattern hash: distinguishes -0.0 from 0.0 and every NaN payload,
+  /// which is exactly what "byte-identical" requires.
+  void add(double v) { add(std::bit_cast<std::uint64_t>(v)); }
+  void add(std::string_view s) {
+    add(s.size());
+    add_bytes(s.data(), s.size());
+  }
+
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = kFnvOffsetBasis;
+};
+
+}  // namespace stormtrack

@@ -1,0 +1,143 @@
+#include "exec/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+namespace {
+
+TEST(SerialExecutor, RunsEveryIndexInAscendingOrder) {
+  SerialExecutor exec;
+  std::vector<std::size_t> order;
+  exec.parallel_for(5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(exec.concurrency(), 1);
+}
+
+TEST(SerialExecutor, StatsAccumulate) {
+  SerialExecutor exec;
+  exec.parallel_for(3, [](std::size_t) {});
+  exec.parallel_for(2, [](std::size_t) {});
+  const ExecutorStats s = exec.stats();
+  EXPECT_EQ(s.tasks, 5);
+  EXPECT_EQ(s.batches, 2);
+  EXPECT_EQ(s.threads, 1);
+}
+
+TEST(SerialExecutor, ExceptionPropagates) {
+  SerialExecutor exec;
+  EXPECT_THROW(
+      exec.parallel_for(3,
+                        [](std::size_t i) {
+                          if (i == 1) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolExecutor, RunsEveryIndexExactlyOnce) {
+  ThreadPoolExecutor exec(4);
+  EXPECT_EQ(exec.concurrency(), 4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  exec.parallel_for(kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolExecutor, MapIndexedFillsSlotsInIndexOrder) {
+  ThreadPoolExecutor exec(3);
+  const std::vector<int> out =
+      exec.map_indexed<int>(64, [](std::size_t i) {
+        return static_cast<int>(i * i);
+      });
+  ASSERT_EQ(out.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)],
+                                         i * i);
+}
+
+TEST(ThreadPoolExecutor, EmptyBatchIsANoop) {
+  ThreadPoolExecutor exec(2);
+  bool ran = false;
+  exec.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(exec.stats().batches, 0);
+}
+
+TEST(ThreadPoolExecutor, LowestFailingIndexExceptionSurfacesAndPoolSurvives) {
+  ThreadPoolExecutor exec(4);
+  // Several indices throw; the contract picks the lowest deterministically.
+  const auto run = [&] {
+    exec.parallel_for(100, [](std::size_t i) {
+      if (i % 7 == 3) throw std::runtime_error("failed at " +
+                                               std::to_string(i));
+    });
+  };
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    try {
+      run();
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "failed at 3");
+    }
+  }
+  // The pool survives failures and keeps executing new batches.
+  std::atomic<int> count{0};
+  exec.parallel_for(50, [&](std::size_t) {
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolExecutor, NestedParallelForDoesNotDeadlock) {
+  ThreadPoolExecutor exec(2);  // fewer threads than nested batches in flight
+  std::atomic<int> total{0};
+  exec.parallel_for(8, [&](std::size_t) {
+    exec.parallel_for(8, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolExecutor, StatsCountTasksAndBatches) {
+  ThreadPoolExecutor exec(2);
+  exec.parallel_for(10, [](std::size_t) {});
+  exec.parallel_for(5, [](std::size_t) {});
+  const ExecutorStats s = exec.stats();
+  EXPECT_EQ(s.tasks, 15);
+  EXPECT_EQ(s.batches, 2);
+  EXPECT_EQ(s.threads, 2);
+  EXPECT_GE(s.busy_seconds, 0.0);
+}
+
+TEST(ThreadPoolExecutor, NegativeThreadCountRejected) {
+  EXPECT_THROW(ThreadPoolExecutor(-1), CheckError);
+}
+
+TEST(Executor, ResolveExecutorFallsBackToSerialSingleton) {
+  EXPECT_EQ(&resolve_executor(nullptr), &serial_executor());
+  SerialExecutor mine;
+  EXPECT_EQ(&resolve_executor(&mine), &mine);
+}
+
+TEST(Executor, DefaultThreadCountIsPositive) {
+  EXPECT_GE(default_thread_count(), 1);
+}
+
+TEST(Executor, OccupancyFormula) {
+  ExecutorStats s;
+  s.threads = 4;
+  s.busy_seconds = 2.0;
+  EXPECT_DOUBLE_EQ(s.occupancy(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.occupancy(0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace stormtrack

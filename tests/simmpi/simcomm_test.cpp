@@ -183,14 +183,21 @@ TEST(TypedExchange, DeliversPayloadsInSourceOrder) {
   msgs.push_back({0, 1, {1, 2, 3}});
   msgs.push_back({0, 2, {9}});
   const ExchangeResult<int> ex = exchange_payloads(comm, std::move(msgs));
-  ASSERT_EQ(ex.received.count(1), 1u);
-  const auto& to1 = ex.received.at(1);
+  const auto to1 = ex.received_by(1);
   ASSERT_EQ(to1.size(), 2u);
   EXPECT_EQ(to1[0].src, 0);  // ascending source order
   EXPECT_EQ(to1[0].payload, (std::vector<int>{1, 2, 3}));
   EXPECT_EQ(to1[1].src, 3);
   EXPECT_EQ(ex.traffic.total_bytes,
             static_cast<std::int64_t>(6 * sizeof(int)));
+  // Grouped-contiguous layout: destinations ascending, one group each.
+  ASSERT_EQ(ex.groups.size(), 2u);
+  EXPECT_EQ(ex.groups[0].dst, 1);
+  EXPECT_EQ(ex.groups[1].dst, 2);
+  ASSERT_EQ(ex.messages.size(), 3u);
+  EXPECT_EQ(ex.messages[2].dst, 2);
+  EXPECT_EQ(ex.messages[2].payload, (std::vector<int>{9}));
+  EXPECT_TRUE(ex.received_by(5).empty());
 }
 
 TEST(Spmd, CollectsResultsInRankOrder) {
