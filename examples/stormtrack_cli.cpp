@@ -19,6 +19,9 @@
 #include "core/experiment.hpp"
 #include "core/trace_io.hpp"
 #include "exec/executor.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "util/check.hpp"
 #include "util/image.hpp"
 #include "util/stats.hpp"
 
@@ -39,6 +42,7 @@ struct Options {
   bool csv = false;
   bool compare = false;                // run every registered strategy
   int threads = 0;                     // 0 = hardware concurrency
+  std::optional<std::string> fault_plan;  // fault schedule file
 };
 
 [[noreturn]] void usage(int code) {
@@ -64,6 +68,11 @@ struct Options {
       "                         candidate evaluation (default 0 = hardware\n"
       "                         concurrency; 1 = serial, exactly the\n"
       "                         single-threaded behavior)\n"
+      "  --fault-plan FILE      run under the fault schedule in FILE (see\n"
+      "                         docs/ARCHITECTURE.md, 'Fault tolerance');\n"
+      "                         the run recovers or degrades per the\n"
+      "                         ladder and reports fault./recovery.\n"
+      "                         metrics after the run\n"
       "  --help                 this text\n";
   std::exit(code);
 }
@@ -91,7 +100,15 @@ Options parse(int argc, char** argv) {
     else if (a == "--images") o.images = next("--images");
     else if (a == "--csv") o.csv = true;
     else if (a == "--compare") o.compare = true;
-    else if (a == "--threads") o.threads = std::stoi(next("--threads"));
+    else if (a == "--threads") {
+      try {
+        o.threads = parse_thread_count(next("--threads"), "--threads");
+      } catch (const CheckError& e) {
+        std::cerr << e.what() << "\n";
+        usage(2);
+      }
+    }
+    else if (a == "--fault-plan") o.fault_plan = next("--fault-plan");
     else if (a == "--help" || a == "-h") usage(0);
     else {
       std::cerr << "unknown flag: " << a << "\n";
@@ -149,14 +166,46 @@ int main(int argc, char** argv) {
     config.executor = pool.get();
   }
 
+  // Fault schedule: every run (and every compared strategy) gets a FRESH
+  // injector from the same plan, so each replays the identical schedule.
+  std::optional<FaultPlan> plan;
+  if (opt.fault_plan) {
+    try {
+      plan = FaultPlan::load(std::filesystem::path(*opt.fault_plan));
+    } catch (const CheckError& e) {
+      std::cerr << "--fault-plan: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  auto print_recovery = [&](const MetricsRegistry& metrics) {
+    if (!plan) return;
+    std::cout << (opt.csv ? "# " : "") << "fault injection:";
+    bool any = false;
+    for (const auto& [name, entry] : metrics.entries()) {
+      if (!name.starts_with("fault.") && !name.starts_with("recovery."))
+        continue;
+      if (entry.count == 0) continue;
+      std::cout << " " << name << "=" << entry.count;
+      any = true;
+    }
+    if (!any) std::cout << " (no events fired)";
+    std::cout << "\n";
+  };
+
   if (opt.compare) {
     Table cmp({"Strategy", "Exec (s)", "Redist (s)", "Total (s)",
                "Mean overlap %", "Mean avg hop-bytes"});
     cmp.set_title("Strategy comparison: " + machine.label() + ", " +
                   std::to_string(trace.size()) + " events");
+    MetricsRegistry compare_metrics;
     for (const std::string& s : StrategyRegistry::global().names()) {
-      const TraceRunResult res =
-          run_trace(machine, models.model, models.truth, s, trace, config);
+      std::optional<FaultInjector> injector;
+      ManagerConfig case_config = config;
+      if (plan) case_config.injector = &injector.emplace(*plan);
+      const TraceRunResult res = run_trace(machine, models.model, models.truth,
+                                           s, trace, case_config);
+      compare_metrics.merge(res.metrics);
       cmp.add_row({s, Table::num(res.total_exec(), 2),
                    Table::num(res.total_redist(), 3),
                    Table::num(res.total(), 2),
@@ -167,9 +216,12 @@ int main(int argc, char** argv) {
       std::cout << cmp.to_csv();
     else
       cmp.print(std::cout);
+    print_recovery(compare_metrics);
     return 0;
   }
 
+  std::optional<FaultInjector> injector;
+  if (plan) config.injector = &injector.emplace(*plan);
   const TraceRunResult r = run_trace(machine, models.model, models.truth,
                                      opt.strategy, trace, config);
 
@@ -197,6 +249,7 @@ int main(int argc, char** argv) {
             << Table::num(r.total_exec(), 2) << " s, redist "
             << Table::num(r.total_redist(), 3) << " s, mean overlap "
             << Table::num(100.0 * r.mean_overlap_fraction(), 1) << " %\n";
+  print_recovery(r.metrics);
 
   // ---- images
   if (opt.images && !r.outcomes.empty()) {

@@ -86,9 +86,16 @@ Grid2D<int> Allocation::to_label_grid() const {
 }
 
 Allocation allocate(const AllocTree& tree, int grid_px, int grid_py) {
+  return allocate(tree, grid_px, grid_py, Rect{0, 0, grid_px, grid_py});
+}
+
+Allocation allocate(const AllocTree& tree, int grid_px, int grid_py,
+                    const Rect& view) {
   if (tree.empty()) return Allocation{};
-  return Allocation(grid_px, grid_py,
-                    tree.subdivide(Rect{0, 0, grid_px, grid_py}));
+  ST_CHECK_MSG(Rect(0, 0, grid_px, grid_py).contains(view) && !view.empty(),
+               "grid view " << view << " outside process grid " << grid_px
+                            << "x" << grid_py);
+  return Allocation(grid_px, grid_py, tree.subdivide(view));
 }
 
 double mean_rect_overlap(const Allocation& before, const Allocation& after) {

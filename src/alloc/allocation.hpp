@@ -62,6 +62,13 @@ class Allocation {
 [[nodiscard]] Allocation allocate(const AllocTree& tree, int grid_px,
                                   int grid_py);
 
+/// As above, but subdivide only \p view (a sub-rectangle of the grid) while
+/// keeping rank numbering on the full grid_px-wide grid. Used by rank-loss
+/// recovery, which shrinks the usable grid view without renumbering the
+/// surviving ranks.
+[[nodiscard]] Allocation allocate(const AllocTree& tree, int grid_px,
+                                  int grid_py, const Rect& view);
+
 /// Mean, over nests present in both allocations, of the fraction of the old
 /// processor rectangle still owned in the new one (a cheap, nest-size-free
 /// proxy for the paper's Fig. 11 data-point overlap; the exact data-point

@@ -7,24 +7,43 @@
 
 namespace stormtrack {
 
+namespace {
+
+/// The fault injector is configured once on the manager; the scenario's PDA
+/// shares it so split-read faults line up with the adaptation points.
+CoupledConfig with_shared_injector(CoupledConfig config) {
+  if (config.scenario.pda.injector == nullptr)
+    config.scenario.pda.injector = config.manager.injector;
+  return config;
+}
+
+}  // namespace
+
 CoupledSimulation::CoupledSimulation(const Machine& machine,
                                      const ExecTimeModel& model,
                                      const GroundTruthCost& truth,
                                      CoupledConfig config)
     : machine_(&machine),
-      config_(std::move(config)),
+      config_(with_shared_injector(std::move(config))),
       driver_(config_.scenario),
       manager_(machine, model, truth, config_.manager),
-      redistributor_(machine.comm(), config_.manager.bytes_per_point) {}
+      redistributor_(machine.comm(), config_.manager.bytes_per_point,
+                     config_.manager.injector) {}
 
 IntervalReport CoupledSimulation::advance() {
   IntervalReport report;
   report.interval = interval_++;
 
-  // ---- 1–3. Weather step, PDA, lifecycle classification.
+  // ---- 1–3. Weather step, PDA, lifecycle classification. The tracker is
+  // snapshotted first so a skipped adaptation point (degradation ladder
+  // bottom) can be rolled back: the replayed classification next interval
+  // then assigns the same fresh nest ids it would have.
+  const NestTracker::State tracker_before = driver_.tracker_snapshot();
   const RealScenarioStep step = driver_.next();
   report.rois_detected = step.pda.rectangles.size();
   report.diff = step.diff;
+  if (step.data_blackout)
+    manager_.metrics().add_count("recovery.blackout_intervals");
 
   // Active set with *frozen* regions: retained nests keep the region and
   // shape they were spawned with (see header).
@@ -43,28 +62,50 @@ IntervalReport CoupledSimulation::advance() {
   // ---- 4. Processor reallocation.
   report.realloc = manager_.apply(active);
 
-  // ---- 5. Nest field lifecycle.
-  for (const int id : report.diff.deleted) nests_.erase(id);
-  for (const NestSpec& spec : report.diff.inserted) {
-    LiveNest nest;
-    nest.spec = spec;
-    nest.field =
-        NestField(driver_.weather().qcloud(), spec.region).data();
-    ST_CHECK(nest.field.width() == spec.shape.nx &&
-             nest.field.height() == spec.shape.ny);
-    nests_.emplace(spec.id, std::move(nest));
-  }
-  for (const NestSpec& spec : active) {
-    const auto prev = previous_rects_.find(spec.id);
-    if (prev == previous_rects_.end()) continue;  // just inserted
-    const auto now = manager_.allocation().find(spec.id);
-    ST_CHECK_MSG(now.has_value(), "active nest " << spec.id
-                                                 << " lost its allocation");
-    if (*now == prev->second) continue;  // nothing moved
-    LiveNest& nest = nests_.at(spec.id);
-    // redistribute_field verifies conservation internally.
-    nest.field = redistributor_.redistribute_field(
-        nest.field, prev->second, *now, machine_->grid_px());
+  if (report.realloc.degradation == "retained_previous") {
+    // The pipeline skipped the point and rolled its own state back; undo
+    // the tracker update too and keep the live nests exactly as they were,
+    // so the whole interval is a no-op apart from integration.
+    driver_.restore_tracker(tracker_before);
+    manager_.metrics().add_count("recovery.interval_rollbacks");
+    report.diff = NestDiff{};
+    for (const auto& [id, nest] : nests_)
+      report.diff.retained.push_back(nest.spec);
+  } else {
+    // ---- 5. Nest field lifecycle.
+    for (const int id : report.diff.deleted) nests_.erase(id);
+    for (const NestSpec& spec : active) {
+      if (nests_.contains(spec.id)) continue;
+      LiveNest nest;
+      nest.spec = spec;
+      nest.field =
+          NestField(driver_.weather().qcloud(), spec.region).data();
+      ST_CHECK(nest.field.width() == spec.shape.nx &&
+               nest.field.height() == spec.shape.ny);
+      nests_.emplace(spec.id, std::move(nest));
+    }
+    for (const NestSpec& spec : active) {
+      const auto prev = previous_rects_.find(spec.id);
+      if (prev == previous_rects_.end()) continue;  // just inserted
+      const auto now = manager_.allocation().find(spec.id);
+      ST_CHECK_MSG(now.has_value(), "active nest " << spec.id
+                                                   << " lost its allocation");
+      if (*now == prev->second) continue;  // nothing moved
+      LiveNest& nest = nests_.at(spec.id);
+      try {
+        // redistribute_field verifies conservation internally.
+        nest.field = redistributor_.redistribute_field(
+            nest.field, prev->second, *now, machine_->grid_px());
+      } catch (const CheckError&) {
+        // Payload faults surface here as conservation / integrity check
+        // failures: the moved data is gone or damaged. Rebuild the field
+        // from the parent grid (same interpolation as a fresh spawn) —
+        // lossy, but the nest keeps running.
+        if (config_.manager.injector == nullptr) throw;
+        nest.field = NestField(driver_.weather().qcloud(), spec.region).data();
+        manager_.metrics().add_count("recovery.field_reinits");
+      }
+    }
   }
 
   // ---- 6. Integrate every nest on its processor rectangle.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/fnv.hpp"
 
 namespace stormtrack {
 
@@ -65,6 +66,27 @@ NestDiff NestTracker::update(std::span<const Rect> rois) {
   std::sort(active_.begin(), active_.end(),
             [](const NestSpec& a, const NestSpec& b) { return a.id < b.id; });
   return diff;
+}
+
+void NestTracker::restore(State state) {
+  next_id_ = state.next_id;
+  active_ = std::move(state.active);
+}
+
+std::uint64_t NestTracker::state_fingerprint() const {
+  Fingerprint fp;
+  fp.add(next_id_);
+  fp.add(static_cast<std::int64_t>(active_.size()));
+  for (const NestSpec& n : active_) {
+    fp.add(n.id);
+    fp.add(n.region.x);
+    fp.add(n.region.y);
+    fp.add(n.region.w);
+    fp.add(n.region.h);
+    fp.add(n.shape.nx);
+    fp.add(n.shape.ny);
+  }
+  return fp.value();
 }
 
 }  // namespace stormtrack

@@ -10,6 +10,7 @@
 /// unmatched rectangles spawn *inserted* nests with fresh ids — exactly the
 /// insert/delete/retain classification that drives Algorithm 3.
 
+#include <cstdint>
 #include <map>
 #include <span>
 #include <vector>
@@ -50,6 +51,20 @@ class NestTracker {
   [[nodiscard]] const std::vector<NestSpec>& active() const {
     return active_;
   }
+
+  /// Copyable tracker state, for transactional adaptation: snapshot before
+  /// an update, restore to undo it (including the id counter, so a replayed
+  /// point assigns identical fresh ids).
+  struct State {
+    int next_id = 1;
+    std::vector<NestSpec> active;
+  };
+  [[nodiscard]] State snapshot() const { return State{next_id_, active_}; }
+  void restore(State state);
+
+  /// FNV-1a fingerprint of (next_id, active set) — byte-identical state
+  /// compares equal, for rollback tests.
+  [[nodiscard]] std::uint64_t state_fingerprint() const;
 
  private:
   double match_threshold_;

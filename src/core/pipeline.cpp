@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <functional>
 
 #include "exec/executor.hpp"
+#include "fault/invariants.hpp"
+#include "fault/snapshot.hpp"
 #include "util/check.hpp"
 
 namespace stormtrack {
@@ -44,9 +47,27 @@ AdaptationPipeline::AdaptationPipeline(const Machine& machine,
       truth_(&truth),
       config_(std::move(config)),
       strategy_(StrategyRegistry::global().create(config_.strategy,
-                                                  config_.strategy_options)) {
+                                                  config_.strategy_options)),
+      view_px_(machine.grid_px()),
+      view_py_(machine.grid_py()) {
   ST_CHECK_MSG(config_.steps_per_interval >= 1,
                "steps_per_interval must be >= 1");
+}
+
+std::uint64_t AdaptationPipeline::state_fingerprint() const {
+  Fingerprint fp;
+  add_fingerprint(fp, tree_);
+  add_fingerprint(fp, allocation_);
+  fp.add(static_cast<std::int64_t>(current_.size()));
+  for (const auto& [id, spec] : current_) {
+    fp.add(id);
+    add_fingerprint(fp, spec.region);
+    fp.add(spec.shape.nx);
+    fp.add(spec.shape.ny);
+  }
+  fp.add(view_px_);
+  fp.add(view_py_);
+  return fp.value();
 }
 
 // --------------------------------------------------------------- DiffNests
@@ -98,50 +119,67 @@ void AdaptationPipeline::stage_derive_weights(PipelineContext& ctx) const {
 
 // --------------------------------------------------------- BuildCandidates
 
-void AdaptationPipeline::stage_build_candidates(PipelineContext& ctx) const {
+void AdaptationPipeline::stage_build_candidates(PipelineContext& ctx,
+                                                AttemptMode mode) const {
   const ScratchPartitioner scratch_p;
   const DiffusionPartitioner diffusion_p;
-  const std::array<const Partitioner*, 2> partitioners{
-      static_cast<const Partitioner*>(&scratch_p),
-      static_cast<const Partitioner*>(&diffusion_p)};
-  // The two proposals are independent: each reads the committed tree /
+  std::vector<const Partitioner*> partitioners{
+      static_cast<const Partitioner*>(&scratch_p)};
+  // The scratch-only ladder rung drops the diffusion candidate: a fault
+  // pinned to its task index (or a genuine diffusion bug) cannot fire.
+  if (mode == AttemptMode::kFull) partitioners.push_back(&diffusion_p);
+  // The proposals are independent: each reads the committed tree /
   // allocation (immutable here) and writes only its own candidate slot.
   ctx.candidates.resize(partitioners.size());
+  const std::function<void(std::size_t)> guard =
+      config_.injector == nullptr
+          ? std::function<void(std::size_t)>{}
+          : [&](std::size_t pi) {
+              config_.injector->guard_task("build_candidates", pi);
+            };
+  const std::function<void(std::size_t)> body = [&](std::size_t pi) {
+    const Partitioner* p = partitioners[pi];
+    PipelineCandidate& c = ctx.candidates[pi];
+    c.name = p->name();
+    c.tree = p->propose(tree_, ctx.request);
+    c.alloc = allocate(c.tree, machine_->grid_px(), machine_->grid_py(),
+                       view_rect());
+    // Redistribution planning: one Alltoallv message matrix per retained
+    // nest (§IV: "MPI_Alltoallv to redistribute data for each nest"),
+    // moving from the committed allocation to this candidate's.
+    c.plans.reserve(ctx.retained.size());
+    for (const NestSpec& nest : ctx.retained) {
+      const auto old_rect = allocation_.find(nest.id);
+      const auto new_rect = c.alloc.find(nest.id);
+      ST_CHECK_MSG(old_rect && new_rect,
+                   "retained nest " << nest.id << " missing an allocation");
+      c.plans.push_back(plan_redistribution(nest.shape, *old_rect, *new_rect,
+                                            machine_->grid_px(),
+                                            config_.bytes_per_point));
+      c.overlap_points += c.plans.back().overlap_points;
+      c.total_points += c.plans.back().total_points;
+    }
+  };
   resolve_executor(config_.executor)
-      .parallel_for(partitioners.size(), [&](std::size_t pi) {
-        const Partitioner* p = partitioners[pi];
-        PipelineCandidate& c = ctx.candidates[pi];
-        c.name = p->name();
-        c.tree = p->propose(tree_, ctx.request);
-        c.alloc = allocate(c.tree, machine_->grid_px(), machine_->grid_py());
-        // Redistribution planning: one Alltoallv message matrix per
-        // retained nest (§IV: "MPI_Alltoallv to redistribute data for each
-        // nest"), moving from the committed allocation to this candidate's.
-        c.plans.reserve(ctx.retained.size());
-        for (const NestSpec& nest : ctx.retained) {
-          const auto old_rect = allocation_.find(nest.id);
-          const auto new_rect = c.alloc.find(nest.id);
-          ST_CHECK_MSG(old_rect && new_rect,
-                       "retained nest " << nest.id
-                                        << " missing an allocation");
-          c.plans.push_back(
-              plan_redistribution(nest.shape, *old_rect, *new_rect,
-                                  machine_->grid_px(),
-                                  config_.bytes_per_point));
-          c.overlap_points += c.plans.back().overlap_points;
-          c.total_points += c.plans.back().total_points;
-        }
-      });
+      .parallel_for(partitioners.size(), body, guard);
 }
 
 // ------------------------------------------------------------ PredictCosts
 
 void AdaptationPipeline::stage_predict_costs(PipelineContext& ctx) const {
   const RedistTimeModel redist_model(machine_->comm());
+  const std::function<void(std::size_t)> guard =
+      config_.injector == nullptr
+          ? std::function<void(std::size_t)>{}
+          : [&](std::size_t ci) {
+              config_.injector->guard_task("predict_costs", ci);
+            };
   // Candidates are priced concurrently; each candidate's accumulation stays
   // in the serial loop's floating-point order within its own slot.
   resolve_executor(config_.executor)
-      .parallel_for(ctx.candidates.size(), [&](std::size_t ci) {
+      .parallel_for(
+          ctx.candidates.size(),
+          [&](std::size_t ci) {
         PipelineCandidate& c = ctx.candidates[ci];
         // §IV-C-1: predict each retained nest's phase; phases run
         // sequentially.
@@ -162,13 +200,18 @@ void AdaptationPipeline::stage_predict_costs(PipelineContext& ctx) const {
               model_->predict(nest.shape, static_cast<int>(rect->area())));
         }
         c.metrics.predicted_exec = config_.steps_per_interval * predicted_max;
-      });
+          },
+          guard);
 }
 
 // ------------------------------------------------------------------ Commit
 
-void AdaptationPipeline::stage_commit(PipelineContext& ctx) {
-  ctx.committed_index = strategy_->decide(ctx);
+void AdaptationPipeline::stage_commit(PipelineContext& ctx, AttemptMode mode) {
+  if (config_.injector != nullptr) config_.injector->guard_task("commit", 0);
+  // Scratch-only attempts commit their single candidate unconditionally:
+  // the strategy's preference is moot when diffusion was not built.
+  ctx.committed_index =
+      mode == AttemptMode::kScratchOnly ? 0 : strategy_->decide(ctx);
   ST_CHECK_MSG(ctx.committed_index < ctx.candidates.size(),
                "strategy '" << strategy_->name()
                             << "' chose candidate index "
@@ -179,13 +222,21 @@ void AdaptationPipeline::stage_commit(PipelineContext& ctx) {
 // ------------------------------------------------------------ Redistribute
 
 StepOutcome AdaptationPipeline::stage_redistribute(PipelineContext& ctx) {
+  const std::function<void(std::size_t)> guard =
+      config_.injector == nullptr
+          ? std::function<void(std::size_t)>{}
+          : [&](std::size_t ci) {
+              config_.injector->guard_task("redistribute", ci);
+            };
   // Every candidate's phases run on the simulated network and its interval
   // is charged at ground truth — not just the committed one — so §V-F
   // experiments can judge each decision against the road not taken. The
   // candidates score concurrently (simulated network and ground truth are
   // const); committing below stays on the calling thread.
   resolve_executor(config_.executor)
-      .parallel_for(ctx.candidates.size(), [&](std::size_t ci) {
+      .parallel_for(
+          ctx.candidates.size(),
+          [&](std::size_t ci) {
         PipelineCandidate& c = ctx.candidates[ci];
         for (const RedistPlan& plan : c.plans)
           c.traffic += machine_->comm().alltoallv(plan.messages);
@@ -199,7 +250,8 @@ StepOutcome AdaptationPipeline::stage_redistribute(PipelineContext& ctx) {
                                                 nest.shape, rect->w, rect->h));
         }
         c.metrics.actual_exec = config_.steps_per_interval * actual_max;
-      });
+          },
+          guard);
 
   StepOutcome out;
   if (const PipelineCandidate* s = ctx.find("scratch")) out.scratch = s->metrics;
@@ -219,30 +271,108 @@ StepOutcome AdaptationPipeline::stage_redistribute(PipelineContext& ctx) {
   out.num_inserted = static_cast<int>(ctx.inserted.size());
   out.allocation = committed.alloc;
 
+  // Invariant validator gates every commit: a recovery path (or a buggy
+  // partitioner) must never install a broken allocation.
+  validate_allocation(committed.tree, committed.alloc, view_rect());
+  metrics_.add_count("recovery.validations");
+
   tree_ = std::move(committed.tree);
   allocation_ = std::move(committed.alloc);
   return out;
 }
 
+// ----------------------------------------------------- rank-loss recovery
+
+void AdaptationPipeline::recover_rank_loss(int rank) {
+  metrics_.add_count("fault.rank_deaths");
+  const int x = rank % machine_->grid_px();
+  const int y = rank / machine_->grid_px();
+  if (x >= view_px_ || y >= view_py_) {
+    // Already outside the usable view (e.g. retired by an earlier death).
+    metrics_.add_count("fault.rank_deaths_outside_view");
+    return;
+  }
+  // Shrink the view to the largest origin-anchored rectangle that excludes
+  // the dead rank: cut either the columns from x on, or the rows from y on,
+  // whichever retires fewer processors. Rank numbering stays on the full
+  // machine grid — survivors are never renumbered (the diffusion tree's
+  // whole point: retained nests keep their processors).
+  const std::int64_t area_keep_rows =
+      static_cast<std::int64_t>(x) * view_py_;
+  const std::int64_t area_keep_cols =
+      static_cast<std::int64_t>(view_px_) * y;
+  const Rect old_view = view_rect();
+  if (area_keep_rows >= area_keep_cols)
+    view_px_ = x;
+  else
+    view_py_ = y;
+  ST_CHECK_MSG(view_px_ >= 1 && view_py_ >= 1,
+               "rank-loss recovery: no usable processor view remains after "
+               "rank " << rank << " died");
+  ST_CHECK_MSG(view_rect().area() >=
+                   static_cast<std::int64_t>(tree_.num_nests()),
+               "rank-loss recovery: view " << view_rect() << " too small for "
+                                           << tree_.num_nests() << " nests");
+  metrics_.add_count("recovery.procs_retired",
+                     old_view.area() - view_rect().area());
+  if (tree_.empty()) return;
+
+  // Re-subdivide the existing tree on the smaller view — structure (and
+  // with it, retained nests' relative placement) is preserved, weights
+  // renormalize implicitly through proportional subdivision — then move
+  // only the displaced blocks.
+  ScopedTimer t(&metrics_, "recovery.rank_loss_redist");
+  const Allocation old_alloc = allocation_;
+  Allocation new_alloc =
+      allocate(tree_, machine_->grid_px(), machine_->grid_py(), view_rect());
+  validate_allocation(tree_, new_alloc, view_rect());
+  metrics_.add_count("recovery.validations");
+  std::int64_t total_points = 0;
+  std::int64_t overlap_points = 0;
+  TrafficReport traffic;
+  for (const auto& [nest_id, new_rect] : new_alloc.rects()) {
+    const auto old_rect = old_alloc.find(nest_id);
+    ST_CHECK_MSG(old_rect.has_value(),
+                 "nest " << nest_id << " missing from the old allocation");
+    const auto spec = current_.find(nest_id);
+    ST_CHECK_MSG(spec != current_.end(),
+                 "nest " << nest_id << " missing from the active map");
+    const RedistPlan plan = plan_redistribution(
+        spec->second.shape, *old_rect, new_rect, machine_->grid_px(),
+        config_.bytes_per_point);
+    traffic += machine_->comm().alltoallv(plan.messages);
+    total_points += plan.total_points;
+    overlap_points += plan.overlap_points;
+  }
+  metrics_.add_count("recovery.rank_loss_total_points", total_points);
+  metrics_.add_count("recovery.rank_loss_overlap_points", overlap_points);
+  metrics_.add_count("recovery.rank_loss_moved_points",
+                     total_points - overlap_points);
+  allocation_ = std::move(new_alloc);
+}
+
 // ------------------------------------------------------------------- apply
 
-StepOutcome AdaptationPipeline::apply(std::span<const NestSpec> active) {
-  Executor& exec = resolve_executor(config_.executor);
-  const ExecutorStats exec_before = exec.stats();
-  PipelineContext ctx;
+StepOutcome AdaptationPipeline::apply_attempt(PipelineContext& ctx,
+                                              std::span<const NestSpec> active,
+                                              AttemptMode mode) {
   {
     ScopedTimer t(&metrics_, stage_metric_name(PipelineStage::kDiffNests));
+    if (config_.injector != nullptr)
+      config_.injector->guard_task("diff_nests", 0);
     stage_diff_nests(ctx, active);
   }
   {
     ScopedTimer t(&metrics_,
                   stage_metric_name(PipelineStage::kDeriveWeights));
+    if (config_.injector != nullptr)
+      config_.injector->guard_task("derive_weights", 0);
     stage_derive_weights(ctx);
   }
   {
     ScopedTimer t(&metrics_,
                   stage_metric_name(PipelineStage::kBuildCandidates));
-    stage_build_candidates(ctx);
+    stage_build_candidates(ctx, mode);
   }
   {
     ScopedTimer t(&metrics_, stage_metric_name(PipelineStage::kPredictCosts));
@@ -250,26 +380,112 @@ StepOutcome AdaptationPipeline::apply(std::span<const NestSpec> active) {
   }
   {
     ScopedTimer t(&metrics_, stage_metric_name(PipelineStage::kCommit));
-    stage_commit(ctx);
+    stage_commit(ctx, mode);
   }
   StepOutcome out;
   {
     ScopedTimer t(&metrics_, stage_metric_name(PipelineStage::kRedistribute));
     out = stage_redistribute(ctx);
   }
-  metrics_.add_count("pipeline.adaptation_points");
   metrics_.add_count("pipeline.candidates_built",
                      static_cast<std::int64_t>(ctx.candidates.size()));
   metrics_.add_count("pipeline.redist_plans",
                      static_cast<std::int64_t>(ctx.retained.size()) *
                          static_cast<std::int64_t>(ctx.candidates.size()));
+  return out;
+}
+
+StepOutcome AdaptationPipeline::apply(std::span<const NestSpec> active) {
+  Executor& exec = resolve_executor(config_.executor);
+  const ExecutorStats exec_before = exec.stats();
+  FaultInjector* const injector = config_.injector;
+  const int point = point_index_++;
+
+  StepOutcome out;
+  if (injector == nullptr) {
+    // No fault schedule: exactly the pre-fault behavior — one attempt,
+    // exceptions propagate to the caller.
+    PipelineContext ctx;
+    out = apply_attempt(ctx, active, AttemptMode::kFull);
+  } else {
+    injector->begin_point(point);
+    for (const int rank : injector->ranks_dying_at(point)) {
+      recover_rank_loss(rank);
+      ++out.ranks_lost;
+    }
+    const int ranks_lost = out.ranks_lost;
+
+    // Transactional snapshot: any failed attempt restores it, so a rolled-
+    // back point is byte-identical to the pre-adaptation state.
+    const AllocTree tree_snapshot = tree_;
+    const Allocation alloc_snapshot = allocation_;
+    const std::map<int, NestSpec> current_snapshot = current_;
+
+    // Degradation ladder: full attempt; full retry (transient fault
+    // budgets drain between attempts); scratch-only; retain + skip.
+    struct Rung {
+      AttemptMode mode;
+      const char* label;   // StepOutcome::degradation; "" = clean
+      const char* metric;  // recovery.* counter; nullptr = none
+    };
+    constexpr Rung kLadder[] = {
+        {AttemptMode::kFull, "", nullptr},
+        {AttemptMode::kFull, "retried", "recovery.retried_points"},
+        {AttemptMode::kScratchOnly, "scratch_only",
+         "recovery.scratch_fallbacks"},
+    };
+    bool committed = false;
+    for (const Rung& rung : kLadder) {
+      PipelineContext ctx;
+      try {
+        out = apply_attempt(ctx, active, rung.mode);
+        out.ranks_lost = ranks_lost;
+        if (rung.label[0] != '\0') {
+          out.degraded = true;
+          out.degradation = rung.label;
+        }
+        if (rung.metric != nullptr) metrics_.add_count(rung.metric);
+        committed = true;
+        break;
+      } catch (const std::exception&) {
+        tree_ = tree_snapshot;
+        allocation_ = alloc_snapshot;
+        current_ = current_snapshot;
+        metrics_.add_count("recovery.rollbacks");
+      }
+    }
+    if (!committed) {
+      // Bottom of the ladder: keep the previous allocation, skip the point.
+      out = StepOutcome{};
+      out.chosen = "retained";
+      out.degraded = true;
+      out.degradation = "retained_previous";
+      out.ranks_lost = ranks_lost;
+      out.allocation = allocation_;
+      metrics_.add_count("recovery.skipped_points");
+    }
+
+    // Injection observability: counter deltas since the last apply().
+    const FaultInjectorStats now = injector->stats();
+    metrics_.add_count("fault.split_read_faults",
+                       now.split_read_faults - seen_faults_.split_read_faults);
+    metrics_.add_count("fault.payload_drops",
+                       now.payload_drops - seen_faults_.payload_drops);
+    metrics_.add_count(
+        "fault.payload_corruptions",
+        now.payload_corruptions - seen_faults_.payload_corruptions);
+    metrics_.add_count("fault.task_faults",
+                       now.task_faults - seen_faults_.task_faults);
+    seen_faults_ = now;
+  }
+
+  metrics_.add_count("pipeline.adaptation_points");
   // Executor observability: batches/tasks the pool completed and the wall
   // time its threads spent inside task bodies while this adaptation point
   // ran. On a pipeline-private executor these are exactly this point's
-  // submissions (3 batches, one per candidate-parallel stage); on a shared
-  // pool (a sweep) they are pool-wide — occupancy of the machine, not of
-  // this case. Timings/counters are reported, never fed back, so results
-  // stay deterministic either way.
+  // submissions; on a shared pool (a sweep) they are pool-wide — occupancy
+  // of the machine, not of this case. Timings/counters are reported, never
+  // fed back, so results stay deterministic either way.
   const ExecutorStats exec_after = exec.stats();
   metrics_.add_count("exec.pool_batches",
                      exec_after.batches - exec_before.batches);

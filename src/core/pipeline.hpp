@@ -31,6 +31,17 @@
 /// A MetricsRegistry threads through every stage: each adaptation point
 /// accumulates per-stage wall time and counters alongside the paper's
 /// redistribution/execution/hop-byte metrics.
+///
+/// Fault tolerance (ManagerConfig::injector): each adaptation point is
+/// transactional — the committed tree, allocation, and nest map are
+/// snapshotted up front and restored whenever a stage throws, then a
+/// degradation ladder runs the point again: full retry (clears transient
+/// faults), scratch-only (skips the diffusion candidate), and finally
+/// retaining the previous allocation and skipping the point. Permanent
+/// rank deaths shrink the usable grid view before the stages run
+/// (rank-loss recovery), and every allocation is validated
+/// (fault/invariants.hpp) before it is installed. Recovery surfaces as
+/// fault.* / recovery.* metrics.
 
 #include <cstdint>
 #include <map>
@@ -43,6 +54,7 @@
 #include "core/machine.hpp"
 #include "core/nest_tracker.hpp"
 #include "core/strategy.hpp"
+#include "fault/fault_injector.hpp"
 #include "perfmodel/exec_model.hpp"
 #include "perfmodel/ground_truth.hpp"
 #include "perfmodel/redist_model.hpp"
@@ -94,6 +106,11 @@ struct ManagerConfig {
   /// outlive the pipeline; may be shared (SweepRunner hands its pool to
   /// every case).
   Executor* executor = nullptr;
+  /// When set, adaptation points run transactionally under the injector's
+  /// fault schedule (see the file comment). Null (the default) keeps the
+  /// pre-fault behavior exactly: any stage exception propagates to the
+  /// caller. Must outlive the pipeline.
+  FaultInjector* injector = nullptr;
 };
 
 /// Model-predicted and ground-truth costs of one candidate allocation.
@@ -154,6 +171,13 @@ struct StepOutcome {
   int num_retained = 0;
   int num_inserted = 0;
   Allocation allocation;            ///< Committed allocation.
+  /// Degradation-ladder outcome (fault injection only): false for a clean
+  /// first-attempt commit; otherwise `degradation` is "retried",
+  /// "scratch_only", or "retained_previous" (the point was skipped and
+  /// `allocation` is the previous one).
+  bool degraded = false;
+  std::string degradation;
+  int ranks_lost = 0;               ///< Rank deaths recovered at this point.
 };
 
 /// See file comment.
@@ -175,17 +199,44 @@ class AdaptationPipeline {
   [[nodiscard]] const IStrategy& strategy() const { return *strategy_; }
 
   /// Per-stage wall times and counters accumulated since construction (or
-  /// the last clear_metrics()).
+  /// the last clear_metrics()). The mutable overload lets the embedding
+  /// system (CoupledSimulation) record its own recovery.* counters in the
+  /// same registry.
   [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
   void clear_metrics() { metrics_.clear(); }
 
+  /// Usable process-grid view: the full machine grid until rank-loss
+  /// recovery shrinks it.
+  [[nodiscard]] int view_px() const { return view_px_; }
+  [[nodiscard]] int view_py() const { return view_py_; }
+
+  /// FNV-1a fingerprint of the committed state (tree, allocation, nest
+  /// map, grid view). Rollback tests assert a failed point leaves it
+  /// unchanged; determinism tests assert serial == threaded.
+  [[nodiscard]] std::uint64_t state_fingerprint() const;
+
  private:
+  /// Degradation-ladder attempt shapes.
+  enum class AttemptMode {
+    kFull,         ///< Both candidates, strategy commit.
+    kScratchOnly,  ///< Scratch candidate only, committed unconditionally.
+  };
+
+  StepOutcome apply_attempt(PipelineContext& ctx,
+                            std::span<const NestSpec> active,
+                            AttemptMode mode);
+  void recover_rank_loss(int rank);
+  [[nodiscard]] Rect view_rect() const {
+    return Rect{0, 0, view_px_, view_py_};
+  }
+
   void stage_diff_nests(PipelineContext& ctx,
                         std::span<const NestSpec> active);
   void stage_derive_weights(PipelineContext& ctx) const;
-  void stage_build_candidates(PipelineContext& ctx) const;
+  void stage_build_candidates(PipelineContext& ctx, AttemptMode mode) const;
   void stage_predict_costs(PipelineContext& ctx) const;
-  void stage_commit(PipelineContext& ctx);
+  void stage_commit(PipelineContext& ctx, AttemptMode mode);
   StepOutcome stage_redistribute(PipelineContext& ctx);
 
   const Machine* machine_;
@@ -198,6 +249,10 @@ class AdaptationPipeline {
   AllocTree tree_;
   Allocation allocation_;
   std::map<int, NestSpec> current_;  ///< Active nests by id.
+  int point_index_ = 0;              ///< Adaptation points applied so far.
+  int view_px_ = 0;                  ///< Usable grid view (shrinks on rank
+  int view_py_ = 0;                  ///< death, never renumbers ranks).
+  FaultInjectorStats seen_faults_;   ///< Injector stats at last apply() end.
 };
 
 /// Historical name of the pipeline (pre-refactor API); kept as an alias so

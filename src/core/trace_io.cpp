@@ -34,12 +34,39 @@ void save_trace(const Trace& trace, const std::filesystem::path& path) {
   save_trace(trace, os);
 }
 
+namespace {
+
+/// Parse one whitespace-delimited integer field from \p ls, naming the
+/// record's \p field in the error so a truncated or garbled line says
+/// exactly what is missing ("nest record missing/invalid field 'region.w'").
+int read_field(std::istringstream& ls, int line_no, const char* record,
+               const char* field) {
+  int value = 0;
+  ST_CHECK_MSG(static_cast<bool>(ls >> value),
+               "line " << line_no << ": " << record
+                       << " record missing/invalid field '" << field << "'");
+  return value;
+}
+
+/// Reject trailing tokens after a complete record — a truncated line that
+/// lost its newline, or a hand-edit gone wrong, silently misparses
+/// otherwise.
+void expect_end(std::istringstream& ls, int line_no, const char* record) {
+  std::string extra;
+  ST_CHECK_MSG(!(ls >> extra), "line " << line_no << ": trailing token '"
+                                       << extra << "' after " << record
+                                       << " record");
+}
+
+}  // namespace
+
 Trace load_trace(std::istream& is) {
   std::string magic;
   int version = 0;
   is >> magic >> version;
+  ST_CHECK_MSG(!magic.empty(), "empty or unreadable trace (no header)");
   ST_CHECK_MSG(is.good() && magic == kMagic,
-               "not a stormtrack trace (bad magic)");
+               "not a stormtrack trace (bad magic '" << magic << "')");
   ST_CHECK_MSG(version == kVersion, "unsupported trace version " << version);
 
   Trace trace;
@@ -55,19 +82,26 @@ Trace load_trace(std::istream& is) {
     std::string keyword;
     if (!(ls >> keyword)) continue;
     if (keyword == "event") {
-      std::size_t index = 0;
-      ST_CHECK_MSG(static_cast<bool>(ls >> index) && index == trace.size(),
-                   "line " << line_no << ": events must be dense and "
-                           << "in order");
+      const int index = read_field(ls, line_no, "event", "index");
+      ST_CHECK_MSG(index >= 0 && static_cast<std::size_t>(index) ==
+                                     trace.size(),
+                   "line " << line_no << ": events must be dense and in "
+                           << "order (expected event " << trace.size()
+                           << ", got " << index << ")");
+      expect_end(ls, line_no, "event");
       trace.emplace_back();
     } else if (keyword == "nest") {
       ST_CHECK_MSG(!trace.empty(),
                    "line " << line_no << ": nest before any event");
       NestSpec n;
-      ST_CHECK_MSG(static_cast<bool>(ls >> n.id >> n.region.x >> n.region.y >>
-                                     n.region.w >> n.region.h >> n.shape.nx >>
-                                     n.shape.ny),
-                   "line " << line_no << ": malformed nest record");
+      n.id = read_field(ls, line_no, "nest", "id");
+      n.region.x = read_field(ls, line_no, "nest", "region.x");
+      n.region.y = read_field(ls, line_no, "nest", "region.y");
+      n.region.w = read_field(ls, line_no, "nest", "region.w");
+      n.region.h = read_field(ls, line_no, "nest", "region.h");
+      n.shape.nx = read_field(ls, line_no, "nest", "shape.nx");
+      n.shape.ny = read_field(ls, line_no, "nest", "shape.ny");
+      expect_end(ls, line_no, "nest");
       ST_CHECK_MSG(n.region.w > 0 && n.region.h > 0 && n.shape.nx > 0 &&
                        n.shape.ny > 0,
                    "line " << line_no << ": non-positive nest extent");
@@ -86,7 +120,12 @@ Trace load_trace(std::istream& is) {
 Trace load_trace(const std::filesystem::path& path) {
   std::ifstream is(path);
   ST_CHECK_MSG(is.is_open(), "cannot open trace file " << path);
-  return load_trace(is);
+  try {
+    return load_trace(is);
+  } catch (const CheckError& e) {
+    // Re-throw with the filename so batch loaders report which file broke.
+    throw CheckError(std::string(e.what()) + " [in " + path.string() + "]");
+  }
 }
 
 }  // namespace stormtrack

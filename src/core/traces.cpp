@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault_injector.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -90,7 +91,18 @@ RealScenarioStep RealScenarioDriver::next() {
   step.interval = interval_++;
   const std::vector<SplitFile> files =
       write_split_files(model_, cfg_.sim_px, cfg_.sim_py);
+  if (cfg_.pda.injector != nullptr)
+    cfg_.pda.injector->begin_point(step.interval);
   step.pda = parallel_data_analysis(files, cfg_.pda);
+  if (step.pda.degraded() && step.pda.qcloudinfo.empty()) {
+    // Total data blackout: every split file was lost. Updating the tracker
+    // with zero ROIs would delete every nest over a read failure, so hold
+    // the previous classification instead.
+    step.data_blackout = true;
+    step.active = tracker_.active();
+    step.diff.retained = step.active;
+    return step;
+  }
   step.diff = tracker_.update(step.pda.rectangles);
   step.active = tracker_.active();
   return step;

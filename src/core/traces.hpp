@@ -61,6 +61,10 @@ struct RealScenarioStep {
   PdaResult pda;
   NestDiff diff;
   std::vector<NestSpec> active;
+  /// True when fault injection lost so much data that PDA found nothing at
+  /// all: the tracker was NOT updated (nests would be spuriously deleted)
+  /// and `active` repeats the previous interval's set.
+  bool data_blackout = false;
 };
 
 /// Stepwise driver (keeps the model and tracker alive between intervals).
@@ -69,10 +73,25 @@ class RealScenarioDriver {
   explicit RealScenarioDriver(RealScenarioConfig cfg);
 
   /// Advance one interval: step weather, write split files, run PDA, diff.
+  /// When cfg.pda.injector is set, the injector is advanced to this
+  /// interval first (begin_point) so split-read faults line up with the
+  /// pipeline's adaptation points.
   RealScenarioStep next();
 
   [[nodiscard]] const WeatherModel& weather() const { return model_; }
   [[nodiscard]] const RealScenarioConfig& config() const { return cfg_; }
+
+  /// Tracker state access for interval-level rollback (CoupledSimulation
+  /// restores the tracker when an adaptation point is skipped).
+  [[nodiscard]] NestTracker::State tracker_snapshot() const {
+    return tracker_.snapshot();
+  }
+  void restore_tracker(NestTracker::State state) {
+    tracker_.restore(std::move(state));
+  }
+  [[nodiscard]] std::uint64_t tracker_fingerprint() const {
+    return tracker_.state_fingerprint();
+  }
 
  private:
   RealScenarioConfig cfg_;

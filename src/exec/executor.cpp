@@ -1,11 +1,13 @@
 #include "exec/executor.hpp"
 
+#include <charconv>
 #include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
 #include <limits>
 #include <mutex>
+#include <system_error>
 #include <thread>
 
 #include "util/check.hpp"
@@ -50,9 +52,24 @@ Executor& serial_executor() {
   return exec;
 }
 
+int parse_thread_count(std::string_view text, std::string_view source) {
+  int value = 0;
+  const char* const first = text.data();
+  const char* const last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  ST_CHECK_MSG(ec != std::errc::result_out_of_range,
+               source << ": thread count '" << text << "' is out of range");
+  ST_CHECK_MSG(ec == std::errc() && ptr == last && !text.empty(),
+               source << ": thread count must be a non-negative integer, got '"
+                      << text << "'");
+  ST_CHECK_MSG(value >= 0,
+               source << ": thread count must be >= 0, got " << value);
+  return value;
+}
+
 int default_thread_count() {
   if (const char* env = std::getenv("STORMTRACK_THREADS")) {
-    const int n = std::atoi(env);
+    const int n = parse_thread_count(env, "STORMTRACK_THREADS");
     if (n > 0) return n;
   }
   return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));

@@ -39,6 +39,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 namespace stormtrack {
@@ -72,6 +73,22 @@ class Executor {
   virtual void parallel_for(std::size_t n,
                             const std::function<void(std::size_t)>& body) = 0;
 
+  /// parallel_for with a fault hook: hook(i) runs inside task i, before
+  /// body(i). Injection rides the same exception contract as a genuine task
+  /// failure (lowest failing index rethrown, pool survives); an empty hook
+  /// degrades to plain parallel_for.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                    const std::function<void(std::size_t)>& hook) {
+    if (!hook) {
+      parallel_for(n, body);
+      return;
+    }
+    parallel_for(n, [&](std::size_t i) {
+      hook(i);
+      body(i);
+    });
+  }
+
   /// Lifetime counters (see ExecutorStats).
   [[nodiscard]] virtual ExecutorStats stats() const = 0;
 
@@ -88,6 +105,8 @@ class Executor {
 /// Inline ascending-order execution on the calling thread.
 class SerialExecutor final : public Executor {
  public:
+  using Executor::parallel_for;
+
   [[nodiscard]] int concurrency() const override { return 1; }
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t)>& body) override;
@@ -111,6 +130,8 @@ class ThreadPoolExecutor final : public Executor {
   ThreadPoolExecutor(const ThreadPoolExecutor&) = delete;
   ThreadPoolExecutor& operator=(const ThreadPoolExecutor&) = delete;
 
+  using Executor::parallel_for;
+
   [[nodiscard]] int concurrency() const override;
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t)>& body) override;
@@ -130,10 +151,19 @@ class ThreadPoolExecutor final : public Executor {
   return executor != nullptr ? *executor : serial_executor();
 }
 
+/// Parse a thread-count request from \p text (an env var or CLI flag value
+/// named by \p source for error messages). Accepts a non-negative decimal
+/// integer — 0 means "auto" — and throws CheckError on anything else
+/// (empty, non-numeric, trailing garbage, negative, overflow) instead of
+/// silently falling back: a typo in STORMTRACK_THREADS must not quietly
+/// serialize a TSan job.
+[[nodiscard]] int parse_thread_count(std::string_view text,
+                                     std::string_view source);
+
 /// Worker count for "auto" requests: the STORMTRACK_THREADS environment
-/// variable when set to a positive integer (CI's ThreadSanitizer job forces
-/// multi-threaded execution through it), otherwise
-/// std::thread::hardware_concurrency(), never less than 1.
+/// variable when set (parsed strictly via parse_thread_count; "0" and unset
+/// mean auto), otherwise std::thread::hardware_concurrency(), never less
+/// than 1.
 [[nodiscard]] int default_thread_count();
 
 }  // namespace stormtrack

@@ -1,0 +1,226 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <array>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace stormtrack {
+
+namespace {
+
+constexpr const char* kMagic = "stormtrack-faults";
+constexpr int kVersion = 1;
+
+constexpr std::array<std::pair<FaultKind, std::string_view>, 7> kKindNames{{
+    {FaultKind::kSplitReadTransient, "split_read_transient"},
+    {FaultKind::kSplitReadPermanent, "split_read_permanent"},
+    {FaultKind::kSplitReadCorrupt, "split_read_corrupt"},
+    {FaultKind::kPayloadDrop, "payload_drop"},
+    {FaultKind::kPayloadCorrupt, "payload_corrupt"},
+    {FaultKind::kRankDeath, "rank_death"},
+    {FaultKind::kTaskFault, "task"},
+}};
+
+}  // namespace
+
+std::string_view to_string(FaultKind kind) {
+  for (const auto& [k, name] : kKindNames)
+    if (k == kind) return name;
+  ST_CHECK_MSG(false, "unknown FaultKind " << static_cast<int>(kind));
+  return {};
+}
+
+FaultKind fault_kind_from(std::string_view name) {
+  for (const auto& [k, n] : kKindNames)
+    if (n == name) return k;
+  ST_CHECK_MSG(false, "unknown fault kind '" << name << "'");
+  return FaultKind::kSplitReadTransient;
+}
+
+void FaultPlan::validate() const {
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& e = events[i];
+    const auto fail = [&](const char* why) {
+      ST_CHECK_MSG(false, "fault event " << i << " (" << to_string(e.kind)
+                                         << " at point " << e.point
+                                         << "): " << why);
+    };
+    if (e.point < 0) fail("point must be >= 0");
+    if (e.attempts < 0) fail("attempts must be >= 0");
+    switch (e.kind) {
+      case FaultKind::kSplitReadTransient:
+        if (e.rank < 0) fail("transient split read needs a concrete rank");
+        if (e.attempts < 1) fail("transient split read needs attempts >= 1");
+        break;
+      case FaultKind::kSplitReadPermanent:
+      case FaultKind::kSplitReadCorrupt:
+        if (e.rank < -1) fail("rank must be >= -1");
+        break;
+      case FaultKind::kPayloadDrop:
+      case FaultKind::kPayloadCorrupt:
+        if (e.rank < -1) fail("rank must be >= -1");
+        if (e.peer < -1) fail("peer must be >= -1");
+        break;
+      case FaultKind::kRankDeath:
+        if (e.rank < 0) fail("rank death needs a concrete rank");
+        break;
+      case FaultKind::kTaskFault:
+        if (e.site.empty()) fail("task fault needs a site name");
+        if (e.index < 0) fail("task fault needs a concrete index");
+        break;
+    }
+  }
+}
+
+void FaultPlan::save(std::ostream& os) const {
+  os << kMagic << ' ' << kVersion << '\n';
+  for (const FaultEvent& e : events) {
+    os << "fault " << to_string(e.kind) << " point=" << e.point;
+    if (e.rank != -1) os << " rank=" << e.rank;
+    if (e.peer != -1) os << " peer=" << e.peer;
+    if (e.index != -1) os << " index=" << e.index;
+    if (e.attempts != 1) os << " attempts=" << e.attempts;
+    if (!e.site.empty()) os << " site=" << e.site;
+    os << '\n';
+  }
+  ST_CHECK_MSG(os.good(), "failed writing fault plan");
+}
+
+void FaultPlan::save(const std::filesystem::path& path) const {
+  if (path.has_parent_path())
+    std::filesystem::create_directories(path.parent_path());
+  std::ofstream os(path);
+  ST_CHECK_MSG(os.is_open(), "cannot open fault plan file " << path);
+  save(os);
+}
+
+FaultPlan FaultPlan::load(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  ST_CHECK_MSG(is.good() && magic == kMagic,
+               "not a stormtrack fault plan (bad magic)");
+  ST_CHECK_MSG(version == kVersion,
+               "unsupported fault plan version " << version);
+
+  FaultPlan plan;
+  std::string line;
+  std::getline(is, line);  // consume the header's newline
+  int line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos)
+      line.erase(hash);
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword)) continue;
+    ST_CHECK_MSG(keyword == "fault", "line " << line_no
+                                             << ": unknown keyword '"
+                                             << keyword << "'");
+    std::string kind_name;
+    ST_CHECK_MSG(static_cast<bool>(ls >> kind_name),
+                 "line " << line_no << ": missing fault kind");
+    FaultEvent e;
+    e.kind = fault_kind_from(kind_name);
+    std::string kv;
+    while (ls >> kv) {
+      const auto eq = kv.find('=');
+      ST_CHECK_MSG(eq != std::string::npos && eq > 0 && eq + 1 < kv.size(),
+                   "line " << line_no << ": malformed field '" << kv
+                           << "' (expected key=value)");
+      const std::string key = kv.substr(0, eq);
+      const std::string value = kv.substr(eq + 1);
+      if (key == "site") {
+        e.site = value;
+        continue;
+      }
+      int parsed = 0;
+      std::size_t consumed = 0;
+      try {
+        parsed = std::stoi(value, &consumed);
+      } catch (const std::exception&) {
+        consumed = std::string::npos;
+      }
+      ST_CHECK_MSG(consumed == value.size(),
+                   "line " << line_no << ": field '" << key
+                           << "' needs an integer, got '" << value << "'");
+      if (key == "point") e.point = parsed;
+      else if (key == "rank") e.rank = parsed;
+      else if (key == "peer") e.peer = parsed;
+      else if (key == "index") e.index = parsed;
+      else if (key == "attempts") e.attempts = parsed;
+      else
+        ST_CHECK_MSG(false, "line " << line_no << ": unknown field '" << key
+                                    << "'");
+    }
+    plan.events.push_back(std::move(e));
+  }
+  plan.validate();
+  return plan;
+}
+
+FaultPlan FaultPlan::load(const std::filesystem::path& path) {
+  std::ifstream is(path);
+  ST_CHECK_MSG(is.is_open(), "cannot open fault plan file " << path);
+  return load(is);
+}
+
+FaultPlan FaultPlan::random(const RandomConfig& cfg) {
+  ST_CHECK_MSG(cfg.num_events >= 0, "num_events must be >= 0");
+  ST_CHECK_MSG(cfg.num_points >= 1, "num_points must be >= 1");
+  ST_CHECK_MSG(cfg.num_ranks >= 1, "num_ranks must be >= 1");
+  Xoshiro256 rng(cfg.seed);
+  constexpr std::string_view kTaskSites[] = {"build_candidates",
+                                             "predict_costs", "redistribute"};
+  FaultPlan plan;
+  int rank_deaths = 0;
+  while (static_cast<int>(plan.events.size()) < cfg.num_events) {
+    FaultEvent e;
+    e.point = static_cast<int>(rng.uniform_int(0, cfg.num_points - 1));
+    switch (rng.uniform_int(0, 5)) {
+      case 0:
+        e.kind = FaultKind::kSplitReadTransient;
+        e.rank = static_cast<int>(rng.uniform_int(0, cfg.num_ranks - 1));
+        e.attempts = static_cast<int>(rng.uniform_int(1, 2));
+        break;
+      case 1:
+        e.kind = rng.bernoulli(0.5) ? FaultKind::kSplitReadPermanent
+                                    : FaultKind::kSplitReadCorrupt;
+        e.rank = static_cast<int>(rng.uniform_int(0, cfg.num_ranks - 1));
+        break;
+      case 2:
+        e.kind = FaultKind::kPayloadDrop;
+        e.rank = static_cast<int>(rng.uniform_int(0, cfg.num_ranks - 1));
+        break;
+      case 3:
+        e.kind = FaultKind::kPayloadCorrupt;
+        e.rank = static_cast<int>(rng.uniform_int(0, cfg.num_ranks - 1));
+        break;
+      case 4:
+        e.kind = FaultKind::kTaskFault;
+        e.site = kTaskSites[rng.uniform_int(0, 2)];
+        e.index = static_cast<int>(rng.uniform_int(0, 1));
+        e.attempts = static_cast<int>(rng.uniform_int(0, 1));
+        break;
+      default:
+        if (rank_deaths >= cfg.max_rank_deaths) continue;  // redraw
+        e.kind = FaultKind::kRankDeath;
+        e.rank = static_cast<int>(rng.uniform_int(0, cfg.num_ranks - 1));
+        ++rank_deaths;
+        break;
+    }
+    plan.events.push_back(std::move(e));
+  }
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.point < b.point;
+                   });
+  plan.validate();
+  return plan;
+}
+
+}  // namespace stormtrack

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file fault_plan.hpp
+/// Deterministic fault schedules for robustness experiments.
+///
+/// A FaultPlan is a list of FaultEvents, each bound to an adaptation point
+/// (the pipeline's point counter / the coupled run's interval) and a target
+/// (split-file rank, message endpoints, task site + index, or a dying
+/// machine rank). Plans are plain data: they serialize to a line-oriented
+/// text format so experiments can commit them next to traces, and they can
+/// be generated pseudo-randomly from a seed (util/rng.hpp — never
+/// wall-clock), so a "random" fault campaign is still bit-reproducible.
+///
+/// Text format ('#' comments, one event per line):
+///
+///   stormtrack-faults 1
+///   fault split_read_transient point=3 rank=5 attempts=2
+///   fault split_read_permanent point=4 rank=9
+///   fault payload_drop point=7 rank=2 peer=-1
+///   fault task point=5 site=build_candidates index=1
+///   fault rank_death point=6 rank=17
+///
+/// The FaultInjector (fault_injector.hpp) interprets a plan at run time.
+
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stormtrack {
+
+/// Everything the injector can break.
+enum class FaultKind {
+  kSplitReadTransient,  ///< Read fails `attempts` times (truncation), then
+                        ///< succeeds — recoverable by bounded retry.
+  kSplitReadPermanent,  ///< Read always fails (ENOENT) — the file is lost.
+  kSplitReadCorrupt,    ///< Corrupt header — permanent, distinct flavour.
+  kPayloadDrop,         ///< exchange_payloads message vanishes in flight.
+  kPayloadCorrupt,      ///< exchange_payloads payload bytes are damaged.
+  kRankDeath,           ///< Machine rank dies at the adaptation point.
+  kTaskFault,           ///< Executor task body throws at a pipeline stage.
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind kind);
+/// Inverse of to_string; throws CheckError on unknown names.
+[[nodiscard]] FaultKind fault_kind_from(std::string_view name);
+
+/// One scheduled fault.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kSplitReadTransient;
+  int point = 0;     ///< Adaptation point / interval the fault fires at.
+  int rank = -1;     ///< Split-file rank, payload source, or dying rank;
+                     ///< -1 = any (permanent split reads and payloads only).
+  int peer = -1;     ///< Payload destination; -1 = any destination.
+  int index = -1;    ///< Task index within the stage batch (kTaskFault).
+  int attempts = 1;  ///< Times the fault fires before clearing; 0 = always
+                     ///< (split reads: failing read attempts; task faults:
+                     ///< failing executions across ladder retries).
+  std::string site;  ///< Stage site name (kTaskFault), e.g.
+                     ///< "build_candidates", "predict_costs", "commit".
+};
+
+/// See file comment.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+
+  /// Structural validation (kind-specific target requirements; notably a
+  /// *transient* split read must name a concrete rank — a wildcard with an
+  /// attempt budget would make the set of failing readers depend on thread
+  /// scheduling). Throws CheckError.
+  void validate() const;
+
+  /// Parse / serialize the text format. load() validates.
+  [[nodiscard]] static FaultPlan load(std::istream& is);
+  [[nodiscard]] static FaultPlan load(const std::filesystem::path& path);
+  void save(std::ostream& os) const;
+  void save(const std::filesystem::path& path) const;
+
+  /// Seeded pseudo-random campaign over a run of \p num_points adaptation
+  /// points on \p num_ranks machine ranks.
+  struct RandomConfig {
+    int num_events = 8;
+    int num_points = 20;
+    int num_ranks = 64;
+    int max_rank_deaths = 1;   ///< Cap on kRankDeath events in the plan.
+    std::uint64_t seed = 2013;
+  };
+  [[nodiscard]] static FaultPlan random(const RandomConfig& cfg);
+};
+
+}  // namespace stormtrack

@@ -1,0 +1,43 @@
+#include "fault/invariants.hpp"
+
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+
+void validate_allocation(const AllocTree& tree, const Allocation& alloc,
+                         const Rect& view) {
+  if (tree.empty()) {
+    ST_CHECK_MSG(alloc.rects().empty(),
+                 "empty tree induced a non-empty allocation of "
+                     << alloc.rects().size() << " rectangles");
+    return;
+  }
+  tree.validate();
+  ST_CHECK_MSG(!tree.has_free_slots(),
+               "committed tree still holds free slots");
+  const auto leaves = tree.leaves();
+  ST_CHECK_MSG(leaves.size() == alloc.rects().size(),
+               "tree has " << leaves.size() << " nests but allocation has "
+                           << alloc.rects().size() << " rectangles");
+  std::int64_t covered = 0;
+  for (const NestWeight& leaf : leaves) {
+    const auto rect = alloc.find(leaf.nest);
+    ST_CHECK_MSG(rect.has_value(),
+                 "nest " << leaf.nest << " has a leaf but no rectangle");
+    ST_CHECK_MSG(!rect->empty(), "nest " << leaf.nest
+                                         << " owns an empty rectangle");
+    ST_CHECK_MSG(view.contains(*rect),
+                 "nest " << leaf.nest << " rectangle " << rect->to_string()
+                         << " leaves the grid view " << view.to_string());
+    covered += rect->area();
+  }
+  // The Allocation ctor enforced pairwise disjointness, so area equality
+  // here means the rectangles exactly partition the view.
+  ST_CHECK_MSG(covered == view.area(),
+               "allocation covers " << covered << " of " << view.area()
+                                    << " cells in view " << view.to_string());
+}
+
+}  // namespace stormtrack

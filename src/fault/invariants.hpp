@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file invariants.hpp
+/// Post-stage allocation validator gating every commit.
+///
+/// Recovery paths (degradation ladder, rank-loss re-allocation) must never
+/// install a broken allocation: before the pipeline commits a candidate it
+/// runs this validator, which cross-checks the tree against the allocation
+/// it induced — structural tree invariants, no leftover free slots, a
+/// rectangle for every occupied leaf, every rectangle non-empty and inside
+/// the active grid view, and the rectangles exactly partitioning the view
+/// (pairwise disjointness is enforced by the Allocation constructor, so
+/// disjoint + Σ areas == view area ⇒ full coverage).
+
+#include "alloc/allocation.hpp"
+#include "tree/alloc_tree.hpp"
+#include "util/rect.hpp"
+
+namespace stormtrack {
+
+/// Throws CheckError on the first violated invariant. \p view is the grid
+/// region the allocation is expected to partition (the full machine grid,
+/// or the shrunken view after rank-loss recovery).
+void validate_allocation(const AllocTree& tree, const Allocation& alloc,
+                         const Rect& view);
+
+}  // namespace stormtrack

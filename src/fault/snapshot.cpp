@@ -1,0 +1,55 @@
+#include "fault/snapshot.hpp"
+
+namespace stormtrack {
+
+namespace {
+
+void add_tree_rec(Fingerprint& fp, const AllocTree& tree, int idx) {
+  if (idx < 0) {
+    fp.add(-1);
+    return;
+  }
+  const AllocTree::Node& n = tree.node(idx);
+  fp.add(n.weight);
+  fp.add(n.nest);
+  fp.add(static_cast<int>(n.free_slot));
+  add_tree_rec(fp, tree, n.left);
+  add_tree_rec(fp, tree, n.right);
+}
+
+}  // namespace
+
+void add_fingerprint(Fingerprint& fp, const Rect& rect) {
+  fp.add(rect.x);
+  fp.add(rect.y);
+  fp.add(rect.w);
+  fp.add(rect.h);
+}
+
+void add_fingerprint(Fingerprint& fp, const AllocTree& tree) {
+  add_tree_rec(fp, tree, tree.root());
+}
+
+void add_fingerprint(Fingerprint& fp, const Allocation& alloc) {
+  fp.add(alloc.grid_px());
+  fp.add(alloc.grid_py());
+  fp.add(static_cast<std::int64_t>(alloc.rects().size()));
+  for (const auto& [nest, rect] : alloc.rects()) {
+    fp.add(nest);
+    add_fingerprint(fp, rect);
+  }
+}
+
+std::uint64_t fingerprint_of(const AllocTree& tree) {
+  Fingerprint fp;
+  add_fingerprint(fp, tree);
+  return fp.value();
+}
+
+std::uint64_t fingerprint_of(const Allocation& alloc) {
+  Fingerprint fp;
+  add_fingerprint(fp, alloc);
+  return fp.value();
+}
+
+}  // namespace stormtrack

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file snapshot.hpp
+/// FNV fingerprints of allocation state for transactional adaptation.
+///
+/// The pipeline snapshots (tree, allocation, nest set) before each
+/// adaptation point; these helpers reduce that state to a 64-bit FNV-1a
+/// fingerprint so tests can assert a rolled-back point left it
+/// byte-identical. Tree hashing walks preorder with explicit null markers,
+/// so structurally different trees with equal leaf sets still differ.
+
+#include <cstdint>
+
+#include "alloc/allocation.hpp"
+#include "tree/alloc_tree.hpp"
+#include "util/fnv.hpp"
+#include "util/rect.hpp"
+
+namespace stormtrack {
+
+void add_fingerprint(Fingerprint& fp, const Rect& rect);
+void add_fingerprint(Fingerprint& fp, const AllocTree& tree);
+void add_fingerprint(Fingerprint& fp, const Allocation& alloc);
+
+[[nodiscard]] std::uint64_t fingerprint_of(const AllocTree& tree);
+[[nodiscard]] std::uint64_t fingerprint_of(const Allocation& alloc);
+
+}  // namespace stormtrack

@@ -1,11 +1,74 @@
 #include "pda/pda.hpp"
 
 #include <algorithm>
+#include <cmath>
 
+#include "fault/fault_injector.hpp"
 #include "simmpi/spmd.hpp"
 #include "util/check.hpp"
 
 namespace stormtrack {
+
+namespace {
+
+/// Read-or-lose decision for one split file under an injector: retry
+/// transient failures up to \p max_retries, report permanent failures (or
+/// an exhausted retry budget) as lost.
+[[nodiscard]] bool split_read_survives(FaultInjector& injector, int file_rank,
+                                       int max_retries) {
+  for (int attempt = 0;; ++attempt) {
+    switch (injector.check_split_read(file_rank)) {
+      case SplitReadFault::kNone:
+        return true;
+      case SplitReadFault::kPermanent:
+        return false;
+      case SplitReadFault::kTransient:
+        if (attempt >= max_retries) return false;
+        break;
+    }
+  }
+}
+
+/// Placeholder aggregate for a lost file: position fields valid, data zero.
+[[nodiscard]] QCloudInfo lost_file_info(const SplitFile& file) {
+  QCloudInfo info;
+  info.file_rank = file.rank;
+  info.file_x = file.grid_px > 0 ? file.file_x() : file.rank;
+  info.file_y = file.grid_px > 0 ? file.file_y() : 0;
+  info.subdomain = file.subdomain;
+  info.qcloud = 0.0;
+  info.olrfraction = 0.0;
+  return info;
+}
+
+/// Indices of clusters with a member within 2 file-grid hops (Chebyshev —
+/// NNC's maximum merge distance) of any lost file.
+[[nodiscard]] std::vector<int> find_suspect_clusters(
+    const std::vector<QCloudInfo>& qcloudinfo,
+    const std::vector<Cluster>& clusters,
+    const std::vector<QCloudInfo>& lost_files) {
+  std::vector<int> suspects;
+  if (lost_files.empty()) return suspects;
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    bool suspect = false;
+    for (const int idx : clusters[c]) {
+      const QCloudInfo& m = qcloudinfo[static_cast<std::size_t>(idx)];
+      for (const QCloudInfo& lost : lost_files) {
+        const int d = std::max(std::abs(m.file_x - lost.file_x),
+                               std::abs(m.file_y - lost.file_y));
+        if (d <= 2) {
+          suspect = true;
+          break;
+        }
+      }
+      if (suspect) break;
+    }
+    if (suspect) suspects.push_back(static_cast<int>(c));
+  }
+  return suspects;
+}
+
+}  // namespace
 
 std::optional<QCloudInfo> analyze_split_file(const SplitFile& file,
                                              const PdaConfig& config) {
@@ -39,11 +102,46 @@ PdaResult parallel_data_analysis_from_dir(const std::filesystem::path& dir,
   ST_CHECK_MSG(num_files >= 1, "need at least one split file");
   // Load in rank order; each analysis process would read only its own k
   // files — on this substrate the loads execute sequentially but the
-  // analysis below partitions them identically.
-  std::vector<SplitFile> files;
-  files.reserve(static_cast<std::size_t>(num_files));
-  for (int r = 0; r < num_files; ++r) files.push_back(load_split_file(dir, r));
-  return parallel_data_analysis(files, config, analysis_comm);
+  // analysis below partitions them identically. Under an injector, retry
+  // transient read failures here and substitute empty placeholders for
+  // permanently lost files, so the in-memory analysis (run without the
+  // injector — the "reads" already happened) sees a full rank range.
+  std::vector<SplitFile> files(static_cast<std::size_t>(num_files));
+  std::vector<int> lost_ranks;
+  int grid_px = 0;
+  for (int r = 0; r < num_files; ++r) {
+    bool lost = config.injector == nullptr
+                    ? false
+                    : !split_read_survives(*config.injector, r,
+                                           config.max_read_retries);
+    if (!lost) {
+      try {
+        files[static_cast<std::size_t>(r)] = load_split_file(dir, r);
+      } catch (const CheckError&) {
+        lost = true;  // genuinely unreadable file: same degradation path
+      }
+    }
+    if (lost) {
+      lost_ranks.push_back(r);
+    } else {
+      grid_px = files[static_cast<std::size_t>(r)].grid_px;
+    }
+  }
+  for (const int r : lost_ranks) {
+    SplitFile& f = files[static_cast<std::size_t>(r)];
+    f.rank = r;
+    f.grid_px = grid_px;
+  }
+
+  PdaConfig inner = config;
+  inner.injector = nullptr;
+  PdaResult result = parallel_data_analysis(files, inner, analysis_comm);
+  for (const int r : lost_ranks)
+    result.lost_files.push_back(
+        lost_file_info(files[static_cast<std::size_t>(r)]));
+  result.suspect_clusters = find_suspect_clusters(
+      result.qcloudinfo, result.clusters, result.lost_files);
+  return result;
 }
 
 PdaResult parallel_data_analysis(std::span<const SplitFile> files,
@@ -64,13 +162,27 @@ PdaResult parallel_data_analysis(std::span<const SplitFile> files,
   // rectangular strips of the file grid. This is the hot step §III
   // parallelizes; each rank fills its own slot and the gather below reads
   // the slots in rank order, so any executor yields identical results.
-  const auto per_rank = run_spmd<std::vector<QCloudInfo>>(
+  // Under an injector each file "read" may fail: transient failures retry
+  // within the owning rank's task (sequentially, so attempt budgets stay
+  // deterministic under threading); permanent ones drop the file into the
+  // rank's lost slot and the analysis proceeds on partial data.
+  struct RankAnalysis {
+    std::vector<QCloudInfo> found;
+    std::vector<QCloudInfo> lost;
+  };
+  const auto per_rank = run_spmd<RankAnalysis>(
       resolve_executor(config.executor), n, [&](int rank) {
-        std::vector<QCloudInfo> local;
+        RankAnalysis local;
         for (int f = rank * k; f < (rank + 1) * k; ++f) {
-          if (auto info = analyze_split_file(files[static_cast<std::size_t>(f)],
-                                             config))
-            local.push_back(*info);
+          const SplitFile& file = files[static_cast<std::size_t>(f)];
+          if (config.injector != nullptr &&
+              !split_read_survives(*config.injector, file.rank,
+                                   config.max_read_retries)) {
+            local.lost.push_back(lost_file_info(file));
+            continue;
+          }
+          if (auto info = analyze_split_file(file, config))
+            local.found.push_back(*info);
         }
         return local;
       });
@@ -85,13 +197,16 @@ PdaResult parallel_data_analysis(std::span<const SplitFile> files,
     for (int r = 0; r < n; ++r)
       bytes[static_cast<std::size_t>(r)] =
           static_cast<std::int64_t>(per_rank[static_cast<std::size_t>(r)]
-                                        .size()) *
+                                        .found.size()) *
           static_cast<std::int64_t>(sizeof(double) * 2 + sizeof(int) * 2);
     result.traffic = analysis_comm->gatherv(bytes, config.root);
   }
-  for (const auto& local : per_rank)
-    result.qcloudinfo.insert(result.qcloudinfo.end(), local.begin(),
-                             local.end());
+  for (const auto& local : per_rank) {
+    result.qcloudinfo.insert(result.qcloudinfo.end(), local.found.begin(),
+                             local.found.end());
+    result.lost_files.insert(result.lost_files.end(), local.lost.begin(),
+                             local.lost.end());
+  }
 
   // Line 13: sort by aggregate QCLOUD, non-increasing. Ties break by rank
   // for determinism.
@@ -110,6 +225,8 @@ PdaResult parallel_data_analysis(std::span<const SplitFile> files,
             [](const Rect& a, const Rect& b) {
               return std::pair{a.x, a.y} < std::pair{b.x, b.y};
             });
+  result.suspect_clusters = find_suspect_clusters(
+      result.qcloudinfo, result.clusters, result.lost_files);
   return result;
 }
 

@@ -23,6 +23,8 @@
 
 namespace stormtrack {
 
+class FaultInjector;
+
 /// Configuration of Algorithm 1 (paper values as defaults).
 struct PdaConfig {
   double olr_threshold = 200.0;  ///< OLR cut for "tall organized cloud".
@@ -32,6 +34,12 @@ struct PdaConfig {
   /// Runs the per-rank analysis bodies; null = serial. Results are
   /// identical for any executor (per-rank slots, rank-order reduction).
   Executor* executor = nullptr;
+  /// When set, split-file reads consult the injector: transient failures
+  /// are retried up to max_read_retries times; permanent failures (or
+  /// exhausted retries) drop the file into PdaResult::lost_files and the
+  /// analysis proceeds on partial data.
+  FaultInjector* injector = nullptr;
+  int max_read_retries = 3;
 };
 
 /// Output of one PDA invocation.
@@ -47,6 +55,16 @@ struct PdaResult {
   /// Modeled gather cost on the analysis communicator (zero when no
   /// communicator is supplied).
   TrafficReport traffic;
+  /// Files whose reads failed permanently under fault injection (qcloud 0;
+  /// position fields valid), ascending by file_rank. Empty without faults.
+  std::vector<QCloudInfo> lost_files;
+  /// Indices into `clusters` of clusters with a member within 2 file-grid
+  /// hops (NNC's maximum merge distance) of a lost file — their extents may
+  /// be understated by the missing data.
+  std::vector<int> suspect_clusters;
+
+  /// True when the analysis ran on partial data.
+  [[nodiscard]] bool degraded() const { return !lost_files.empty(); }
 };
 
 /// Per-file aggregation (Algorithm 1 lines 4–9) for one split file;

@@ -1,6 +1,8 @@
 #include "redist/redistributor.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 
 #include "util/check.hpp"
 
@@ -43,8 +45,9 @@ RedistPlan plan_redistribution(const NestShape& nest, const Rect& old_rect,
   return plan;
 }
 
-Redistributor::Redistributor(const SimComm& comm, int bytes_per_point)
-    : comm_(&comm), bytes_per_point_(bytes_per_point) {
+Redistributor::Redistributor(const SimComm& comm, int bytes_per_point,
+                             PayloadFaultHook* faults)
+    : comm_(&comm), bytes_per_point_(bytes_per_point), faults_(faults) {
   ST_CHECK_MSG(bytes_per_point > 0, "bytes_per_point must be positive");
 }
 
@@ -109,7 +112,8 @@ Grid2D<double> Redistributor::redistribute_field(const Grid2D<double>& field,
     }
   }
 
-  const ExchangeResult<double> ex = exchange_payloads(*comm_, std::move(msgs));
+  const ExchangeResult<double> ex =
+      exchange_payloads(*comm_, std::move(msgs), faults_);
 
   // Reassemble the field from delivered blocks (grouped by destination;
   // placement only needs every block once, in any deterministic order).
@@ -135,6 +139,15 @@ Grid2D<double> Redistributor::redistribute_field(const Grid2D<double>& field,
                                                                << " of "
                                                                << nest.nx *
                                                                       nest.ny);
+  // Placement copies values verbatim, so the reassembled field must be
+  // bit-identical to the source; any mismatch means payload bytes were
+  // damaged in flight.
+  for (int y = 0; y < nest.ny; ++y)
+    for (int x = 0; x < nest.nx; ++x)
+      ST_CHECK_MSG(std::bit_cast<std::uint64_t>(out(x, y)) ==
+                       std::bit_cast<std::uint64_t>(field(x, y)),
+                   "redistribution integrity violated at (" << x << ", " << y
+                                                            << ")");
   if (metrics != nullptr) {
     metrics->traffic = ex.traffic;
     metrics->total_points = static_cast<std::int64_t>(nest.nx) * nest.ny;

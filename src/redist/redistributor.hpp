@@ -66,9 +66,14 @@ struct RedistMetrics {
 /// Prices redistribution phases on a bound communicator.
 class Redistributor {
  public:
-  /// \p comm must outlive the redistributor.
+  /// \p comm (and \p faults when set) must outlive the redistributor. An
+  /// injected payload fault surfaces as a CheckError from
+  /// redistribute_field's conservation/integrity checks — dropped blocks
+  /// fail conservation, corrupted blocks fail the bit-exact comparison
+  /// against the source field.
   explicit Redistributor(const SimComm& comm,
-                         int bytes_per_point = kDefaultBytesPerPoint);
+                         int bytes_per_point = kDefaultBytesPerPoint,
+                         PayloadFaultHook* faults = nullptr);
 
   /// Plan + price the move of one nest between processor rectangles.
   [[nodiscard]] RedistMetrics redistribute(const NestShape& nest,
@@ -93,6 +98,7 @@ class Redistributor {
  private:
   const SimComm* comm_;
   int bytes_per_point_;
+  PayloadFaultHook* faults_;
 };
 
 }  // namespace stormtrack

@@ -106,6 +106,19 @@ class SimComm {
   const Mapping* mapping_;
 };
 
+/// Hook consulted once per message in exchange_payloads, after pricing
+/// (the bytes were sent; faults strike in flight). kDrop removes the
+/// message before delivery; kCorrupt damages payload bytes but keeps the
+/// message, so receivers must detect the damage themselves.
+class PayloadFaultHook {
+ public:
+  enum class Action { kNone, kDrop, kCorrupt };
+
+  virtual ~PayloadFaultHook() = default;
+  [[nodiscard]] virtual Action on_payload(int src, int dst,
+                                          std::int64_t bytes) = 0;
+};
+
 /// Payload-carrying exchange: moves per-message payload vectors between
 /// ranks and prices the phase like SimComm::alltoallv. Delivered messages
 /// are grouped contiguously by destination rank (ascending), each group
@@ -147,8 +160,9 @@ struct ExchangeResult {
 };
 
 template <typename T>
-[[nodiscard]] ExchangeResult<T> exchange_payloads(const SimComm& comm,
-                                         std::vector<TypedMessage<T>> msgs) {
+[[nodiscard]] ExchangeResult<T> exchange_payloads(
+    const SimComm& comm, std::vector<TypedMessage<T>> msgs,
+    PayloadFaultHook* faults = nullptr) {
   std::vector<Message> sizes;
   sizes.reserve(msgs.size());
   for (const auto& m : msgs)
@@ -157,6 +171,27 @@ template <typename T>
                                                       sizeof(T))});
   ExchangeResult<T> out;
   out.traffic = comm.alltoallv(sizes);
+  if (faults != nullptr) {
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < msgs.size(); ++i) {
+      auto& m = msgs[i];
+      const auto bytes =
+          static_cast<std::int64_t>(m.payload.size() * sizeof(T));
+      const auto action = faults->on_payload(m.src, m.dst, bytes);
+      if (action == PayloadFaultHook::Action::kDrop) continue;
+      if (action == PayloadFaultHook::Action::kCorrupt && !m.payload.empty()) {
+        // Damage only the trailing element: structured headers at the front
+        // of a payload stay parseable, so corruption is a *data* integrity
+        // problem for the receiver to detect, not a crash.
+        auto* bytes_ptr =
+            reinterpret_cast<unsigned char*>(&m.payload.back());
+        for (std::size_t b = 0; b < sizeof(T); ++b) bytes_ptr[b] ^= 0xA5;
+      }
+      if (keep != i) msgs[keep] = std::move(m);
+      ++keep;
+    }
+    msgs.resize(keep);
+  }
   // Single stable sort (dst, then src); equal (src, dst) pairs keep
   // submission order, matching the old stable per-list sorts.
   std::stable_sort(msgs.begin(), msgs.end(),

@@ -5,6 +5,8 @@
 #include <limits>
 #include <memory>
 
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
 #include "util/check.hpp"
 
 namespace stormtrack {
@@ -68,6 +70,17 @@ std::vector<SweepCaseResult> SweepRunner::run(const SweepSpec& spec) const {
     }
   }
 
+  // A fault plan gives every case a private injector (per-point attempt
+  // state must not be shared across concurrently running cases).
+  ST_CHECK_MSG(spec.fault_plan == nullptr || spec.config.injector == nullptr,
+               "set either SweepSpec::fault_plan or config.injector, not both");
+  std::vector<std::unique_ptr<FaultInjector>> injectors;
+  if (spec.fault_plan != nullptr) {
+    injectors.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      injectors.push_back(std::make_unique<FaultInjector>(*spec.fault_plan));
+  }
+
   // One batch over the grid: each case writes into its preallocated slot,
   // so the result vector's order never depends on scheduling. The case's
   // pipeline inherits the same executor (nested batches are safe) unless
@@ -76,9 +89,11 @@ std::vector<SweepCaseResult> SweepRunner::run(const SweepSpec& spec) const {
   if (case_config.executor == nullptr) case_config.executor = exec;
   resolve_executor(exec).parallel_for(n, [&](std::size_t i) {
     SweepCaseResult& r = results[i];
+    ManagerConfig config = case_config;
+    if (!injectors.empty()) config.injector = injectors[i].get();
     r.result = run_trace(machines[r.machine_index], *model_, *truth_,
                          r.strategy, spec.traces[r.trace_index].trace,
-                         case_config);
+                         config);
   });
   return results;
 }

@@ -31,6 +31,8 @@
 
 namespace stormtrack {
 
+class FaultPlan;
+
 /// Named trace axis point.
 struct SweepTrace {
   std::string name;
@@ -63,6 +65,12 @@ struct SweepSpec {
   /// Run on this shared executor instead of a runner-owned pool (must
   /// outlive the run). Null = owned pool per \ref threads.
   Executor* executor = nullptr;
+  /// When set, every case runs under fault injection: each grid cell gets
+  /// its OWN FaultInjector built from this plan (the injector carries
+  /// per-point attempt state, so sharing one across concurrent cases would
+  /// make firing order scheduling-dependent). Mutually exclusive with
+  /// config.injector. Must outlive the run.
+  const FaultPlan* fault_plan = nullptr;
 
   [[nodiscard]] std::size_t num_cases() const {
     return traces.size() * machines.size() * strategies.size();

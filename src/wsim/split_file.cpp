@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <fstream>
 
+#include "fault/fault_injector.hpp"
 #include "redist/block_decomp.hpp"
 #include "util/check.hpp"
 
@@ -78,7 +79,9 @@ void save_split_file(const SplitFile& f, const std::filesystem::path& dir) {
   ST_CHECK_MSG(os.good(), "failed writing split file for rank " << f.rank);
 }
 
-SplitFile load_split_file(const std::filesystem::path& dir, int rank) {
+SplitFile load_split_file(const std::filesystem::path& dir, int rank,
+                          FaultInjector* faults) {
+  if (faults != nullptr) faults->inject_split_read(rank);
   std::ifstream is(file_path(dir, rank), std::ios::binary);
   ST_CHECK_MSG(is.is_open(), "cannot open split file for rank " << rank);
   std::uint32_t magic = 0;

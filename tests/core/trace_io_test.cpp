@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
+#include <string>
 
 #include "core/experiment.hpp"
 #include "util/check.hpp"
@@ -112,6 +114,83 @@ TEST(TraceIo, NonPositiveExtentThrows) {
   std::stringstream ss(
       "stormtrack-trace 1\nevent 0\nnest 1 0 0 0 5 15 15\n");
   EXPECT_THROW((void)load_trace(ss), CheckError);
+}
+
+/// Error message of loading \p text, or "" when it loads cleanly.
+std::string load_error(const std::string& text) {
+  std::stringstream ss(text);
+  try {
+    (void)load_trace(ss);
+    return "";
+  } catch (const CheckError& e) {
+    return e.what();
+  }
+}
+
+TEST(TraceIo, EmptyStreamNamesTheProblem) {
+  EXPECT_NE(load_error("").find("no header"), std::string::npos);
+}
+
+TEST(TraceIo, BadMagicMessageQuotesTheMagic) {
+  EXPECT_NE(load_error("stormtrack-faults 1\n").find("stormtrack-faults"),
+            std::string::npos);
+}
+
+TEST(TraceIo, TruncatedNestNamesTheMissingField) {
+  // "nest id x y w" — truncated before region.h.
+  const std::string err =
+      load_error("stormtrack-trace 1\nevent 0\nnest 1 0 0 5\n");
+  EXPECT_NE(err.find("region.h"), std::string::npos) << err;
+  EXPECT_NE(err.find("line 3"), std::string::npos) << err;
+}
+
+TEST(TraceIo, NonNumericFieldNamesTheField) {
+  const std::string err =
+      load_error("stormtrack-trace 1\nevent 0\nnest 1 0 zero 5 5 15 15\n");
+  EXPECT_NE(err.find("region.y"), std::string::npos) << err;
+}
+
+TEST(TraceIo, TrailingTokenAfterNestRejected) {
+  const std::string err =
+      load_error("stormtrack-trace 1\nevent 0\nnest 1 0 0 5 5 15 15 42\n");
+  EXPECT_NE(err.find("trailing token '42'"), std::string::npos) << err;
+}
+
+TEST(TraceIo, TrailingTokenAfterEventRejected) {
+  const std::string err = load_error("stormtrack-trace 1\nevent 0 extra\n");
+  EXPECT_NE(err.find("trailing token 'extra'"), std::string::npos) << err;
+}
+
+TEST(TraceIo, UnknownKeywordNamesIt) {
+  const std::string err = load_error("stormtrack-trace 1\nnets 1\n");
+  EXPECT_NE(err.find("unknown keyword 'nets'"), std::string::npos) << err;
+}
+
+TEST(TraceIo, OutOfOrderEventMessageShowsExpectedAndGot) {
+  const std::string err = load_error("stormtrack-trace 1\nevent 0\nevent 2\n");
+  EXPECT_NE(err.find("expected event 1"), std::string::npos) << err;
+  EXPECT_NE(err.find("got 2"), std::string::npos) << err;
+}
+
+TEST(TraceIo, PathOverloadErrorsIncludeTheFilename) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "stormtrack_trace_err_test";
+  std::filesystem::create_directories(dir);
+  const auto path = dir / "broken.trace";
+  {
+    std::ofstream os(path);
+    os << "stormtrack-trace 1\nevent 0\nnest 1 0 0 5\n";
+  }
+  try {
+    (void)load_trace(path);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("broken.trace"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("region.h"), std::string::npos)
+        << e.what();
+  }
+  std::filesystem::remove_all(dir);
 }
 
 TEST(TraceIo, LoadedTraceRunsThroughHarness) {

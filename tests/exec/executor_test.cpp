@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/check.hpp"
@@ -119,6 +121,106 @@ TEST(ThreadPoolExecutor, StatsCountTasksAndBatches) {
 
 TEST(ThreadPoolExecutor, NegativeThreadCountRejected) {
   EXPECT_THROW(ThreadPoolExecutor(-1), CheckError);
+}
+
+TEST(ThreadPoolExecutor, ConcurrentThrowStressKeepsContract) {
+  // 100 iterations of a batch where many indices throw concurrently: the
+  // lowest failing index's exception must surface every time, and the pool
+  // must stay usable for the next batch.
+  ThreadPoolExecutor exec(8);
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::size_t lowest = static_cast<std::size_t>(iter % 5);
+    try {
+      exec.parallel_for(64, [&](std::size_t i) {
+        if (i >= lowest && i % 2 == lowest % 2)
+          throw std::runtime_error("idx " + std::to_string(i));
+      });
+      FAIL() << "iteration " << iter << ": expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), ("idx " + std::to_string(lowest)).c_str())
+          << "iteration " << iter;
+    }
+    std::atomic<int> count{0};
+    exec.parallel_for(16, [&](std::size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(count.load(), 16) << "pool unusable after iteration " << iter;
+  }
+}
+
+TEST(Executor, HookOverloadRunsHookBeforeBodyPerIndex) {
+  SerialExecutor exec;
+  std::vector<std::string> log;
+  exec.parallel_for(
+      3, [&](std::size_t i) { log.push_back("body" + std::to_string(i)); },
+      [&](std::size_t i) { log.push_back("hook" + std::to_string(i)); });
+  EXPECT_EQ(log, (std::vector<std::string>{"hook0", "body0", "hook1", "body1",
+                                           "hook2", "body2"}));
+}
+
+TEST(Executor, NullHookDegradesToPlainParallelFor) {
+  SerialExecutor exec;
+  int ran = 0;
+  exec.parallel_for(4, [&](std::size_t) { ++ran; },
+                    std::function<void(std::size_t)>{});
+  EXPECT_EQ(ran, 4);
+}
+
+TEST(Executor, HookExceptionRidesTheLowestIndexContract) {
+  ThreadPoolExecutor exec(4);
+  try {
+    exec.parallel_for(
+        32, [](std::size_t) {},
+        [](std::size_t i) {
+          if (i % 3 == 1) throw std::runtime_error("hook " +
+                                                   std::to_string(i));
+        });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "hook 1");
+  }
+}
+
+TEST(ParseThreadCount, AcceptsNonNegativeDecimals) {
+  EXPECT_EQ(parse_thread_count("0", "test"), 0);
+  EXPECT_EQ(parse_thread_count("1", "test"), 1);
+  EXPECT_EQ(parse_thread_count("12", "test"), 12);
+  EXPECT_EQ(parse_thread_count("128", "test"), 128);
+}
+
+TEST(ParseThreadCount, RejectsEmpty) {
+  EXPECT_THROW((void)parse_thread_count("", "STORMTRACK_THREADS"),
+               CheckError);
+}
+
+TEST(ParseThreadCount, RejectsNonNumeric) {
+  EXPECT_THROW((void)parse_thread_count("auto", "test"), CheckError);
+  EXPECT_THROW((void)parse_thread_count(" 4", "test"), CheckError);
+}
+
+TEST(ParseThreadCount, RejectsTrailingGarbage) {
+  EXPECT_THROW((void)parse_thread_count("12abc", "test"), CheckError);
+  EXPECT_THROW((void)parse_thread_count("4 ", "test"), CheckError);
+}
+
+TEST(ParseThreadCount, RejectsNegative) {
+  EXPECT_THROW((void)parse_thread_count("-1", "test"), CheckError);
+}
+
+TEST(ParseThreadCount, RejectsOutOfRange) {
+  EXPECT_THROW((void)parse_thread_count("99999999999999999999", "test"),
+               CheckError);
+}
+
+TEST(ParseThreadCount, ErrorNamesTheSource) {
+  try {
+    (void)parse_thread_count("bogus", "STORMTRACK_THREADS");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("STORMTRACK_THREADS"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(Executor, ResolveExecutorFallsBackToSerialSingleton) {

@@ -1,0 +1,160 @@
+#include "fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+namespace {
+
+FaultEvent event(FaultKind kind, int point, int rank = -1) {
+  FaultEvent e;
+  e.kind = kind;
+  e.point = point;
+  e.rank = rank;
+  return e;
+}
+
+TEST(FaultKindNames, RoundTripEveryKind) {
+  for (const FaultKind k :
+       {FaultKind::kSplitReadTransient, FaultKind::kSplitReadPermanent,
+        FaultKind::kSplitReadCorrupt, FaultKind::kPayloadDrop,
+        FaultKind::kPayloadCorrupt, FaultKind::kRankDeath,
+        FaultKind::kTaskFault})
+    EXPECT_EQ(fault_kind_from(to_string(k)), k);
+  EXPECT_THROW((void)fault_kind_from("meteor_strike"), CheckError);
+}
+
+TEST(FaultPlan, SaveLoadRoundTrip) {
+  FaultPlan plan;
+  FaultEvent transient = event(FaultKind::kSplitReadTransient, 3, 5);
+  transient.attempts = 2;
+  plan.events.push_back(transient);
+  plan.events.push_back(event(FaultKind::kSplitReadPermanent, 4, 9));
+  plan.events.push_back(event(FaultKind::kPayloadDrop, 7, 2));
+  FaultEvent corrupt = event(FaultKind::kPayloadCorrupt, 7);
+  corrupt.peer = 3;
+  plan.events.push_back(corrupt);
+  FaultEvent task = event(FaultKind::kTaskFault, 5);
+  task.site = "build_candidates";
+  task.index = 1;
+  plan.events.push_back(task);
+  plan.events.push_back(event(FaultKind::kRankDeath, 6, 17));
+
+  std::stringstream ss;
+  plan.save(ss);
+  const FaultPlan loaded = FaultPlan::load(ss);
+  ASSERT_EQ(loaded.events.size(), plan.events.size());
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    const FaultEvent& a = plan.events[i];
+    const FaultEvent& b = loaded.events[i];
+    EXPECT_EQ(a.kind, b.kind) << "event " << i;
+    EXPECT_EQ(a.point, b.point) << "event " << i;
+    EXPECT_EQ(a.rank, b.rank) << "event " << i;
+    EXPECT_EQ(a.peer, b.peer) << "event " << i;
+    EXPECT_EQ(a.index, b.index) << "event " << i;
+    EXPECT_EQ(a.attempts, b.attempts) << "event " << i;
+    EXPECT_EQ(a.site, b.site) << "event " << i;
+  }
+}
+
+TEST(FaultPlan, LoadParsesCommentsAndBlankLines) {
+  std::istringstream is(
+      "stormtrack-faults 1\n"
+      "# a comment\n"
+      "\n"
+      "fault split_read_permanent point=2 rank=4  # trailing comment\n");
+  const FaultPlan plan = FaultPlan::load(is);
+  ASSERT_EQ(plan.events.size(), 1u);
+  EXPECT_EQ(plan.events[0].kind, FaultKind::kSplitReadPermanent);
+  EXPECT_EQ(plan.events[0].point, 2);
+  EXPECT_EQ(plan.events[0].rank, 4);
+}
+
+TEST(FaultPlan, LoadRejectsBadMagic) {
+  std::istringstream is("stormtrack-trace 1\n");
+  EXPECT_THROW((void)FaultPlan::load(is), CheckError);
+}
+
+TEST(FaultPlan, LoadRejectsUnknownKind) {
+  std::istringstream is("stormtrack-faults 1\nfault gamma_ray point=0\n");
+  EXPECT_THROW((void)FaultPlan::load(is), CheckError);
+}
+
+TEST(FaultPlan, LoadRejectsMalformedKeyValue) {
+  std::istringstream is(
+      "stormtrack-faults 1\nfault rank_death point=abc rank=1\n");
+  EXPECT_THROW((void)FaultPlan::load(is), CheckError);
+}
+
+TEST(FaultPlan, LoadRejectsUnknownField) {
+  std::istringstream is(
+      "stormtrack-faults 1\nfault rank_death point=0 rank=1 mood=bad\n");
+  EXPECT_THROW((void)FaultPlan::load(is), CheckError);
+}
+
+TEST(FaultPlan, ValidateRejectsWildcardTransientRead) {
+  // A transient read with rank=-1 would consume its attempt budget at
+  // whichever rank's read happens first — scheduling-dependent. Forbidden.
+  FaultPlan plan;
+  plan.events.push_back(event(FaultKind::kSplitReadTransient, 0, -1));
+  EXPECT_THROW(plan.validate(), CheckError);
+}
+
+TEST(FaultPlan, ValidateRejectsRankDeathWithoutRank) {
+  FaultPlan plan;
+  plan.events.push_back(event(FaultKind::kRankDeath, 0, -1));
+  EXPECT_THROW(plan.validate(), CheckError);
+}
+
+TEST(FaultPlan, ValidateRejectsTaskFaultWithoutSite) {
+  FaultPlan plan;
+  FaultEvent task = event(FaultKind::kTaskFault, 0);
+  task.index = 0;
+  plan.events.push_back(task);  // no site
+  EXPECT_THROW(plan.validate(), CheckError);
+}
+
+TEST(FaultPlan, ValidateRejectsNegativePoint) {
+  FaultPlan plan;
+  plan.events.push_back(event(FaultKind::kSplitReadPermanent, -1, 2));
+  EXPECT_THROW(plan.validate(), CheckError);
+}
+
+TEST(FaultPlan, RandomIsSeedDeterministicAndValid) {
+  FaultPlan::RandomConfig cfg;
+  cfg.num_events = 12;
+  cfg.num_points = 10;
+  cfg.num_ranks = 64;
+  cfg.max_rank_deaths = 1;
+  cfg.seed = 7;
+  const FaultPlan a = FaultPlan::random(cfg);
+  const FaultPlan b = FaultPlan::random(cfg);
+  ASSERT_EQ(a.events.size(), 12u);
+  a.validate();
+  int deaths = 0;
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+    EXPECT_EQ(a.events[i].point, b.events[i].point);
+    EXPECT_EQ(a.events[i].rank, b.events[i].rank);
+    EXPECT_GE(a.events[i].point, 0);
+    EXPECT_LT(a.events[i].point, cfg.num_points);
+    if (a.events[i].kind == FaultKind::kRankDeath) ++deaths;
+  }
+  EXPECT_LE(deaths, cfg.max_rank_deaths);
+
+  cfg.seed = 8;
+  const FaultPlan c = FaultPlan::random(cfg);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.events.size(); ++i)
+    if (a.events[i].kind != c.events[i].kind ||
+        a.events[i].point != c.events[i].point ||
+        a.events[i].rank != c.events[i].rank)
+      differs = true;
+  EXPECT_TRUE(differs) << "different seeds should give different campaigns";
+}
+
+}  // namespace
+}  // namespace stormtrack

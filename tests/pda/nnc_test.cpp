@@ -124,6 +124,52 @@ TEST(Nnc, PaperFig9NonOverlapVsBaselineOverlap) {
   EXPECT_EQ(count_overlapping_cluster_pairs(info, ours), 0);
 }
 
+TEST(Nnc, AllElementsBelowThresholdYieldEmptyClusterSet) {
+  // Every element fails a threshold (qcloud or olrfraction): no cluster is
+  // seeded at all — the degenerate "no storms" case must not emit empty
+  // clusters or crash downstream nest formation.
+  NncConfig cfg;
+  cfg.qcloud_threshold = 0.005;
+  cfg.olrfraction_threshold = 0.005;
+  const auto info = sorted_desc({elem(5, 5, 0.004), elem(6, 5, 0.001),
+                                 elem(9, 9, 1.0, 0.001)});
+  EXPECT_TRUE(nnc(info, cfg).empty());
+  EXPECT_TRUE(nnc_2hop_only(info, cfg).empty());
+}
+
+TEST(Nnc, SingleQualifyingElementFormsAClusterOfOne) {
+  const auto info =
+      sorted_desc({elem(5, 5, 1.0), elem(20, 20, 0.001)});  // 2nd filtered
+  const auto clusters = nnc(info);
+  ASSERT_EQ(clusters.size(), 1u);
+  ASSERT_EQ(clusters[0].size(), 1u);
+  EXPECT_EQ(clusters[0][0], 0);
+  EXPECT_EQ(cluster_bounds(info, clusters[0]), info[0].subdomain);
+}
+
+TEST(Nnc, MeanDeviationGuardDecidesWhenDistancesAreAllEqual) {
+  // Candidate at (5,6) is exactly 1 hop from BOTH members of the cluster
+  // {1.0 at (5,5), 0.95 at (6,5)} — proximity cannot discriminate, so only
+  // the 30% mean-shift guard decides. Old mean 0.975; folding x in gives
+  // (1.95 + x)/3, so the guard |new-old| <= 0.3*old admits x >= 0.0975.
+  const double boundary = 3 * 0.7 * 0.975 - 1.95;  // = 0.0975
+  {
+    const auto info = sorted_desc(
+        {elem(5, 5, 1.0), elem(6, 5, 0.95), elem(5, 6, boundary - 0.05)});
+    const auto clusters = nnc(info);
+    ASSERT_EQ(clusters.size(), 2u) << "below the limit: must stay out";
+    EXPECT_EQ(clusters[0].size(), 2u);
+    EXPECT_EQ(clusters[1].size(), 1u);
+  }
+  {
+    const auto info = sorted_desc(
+        {elem(5, 5, 1.0), elem(6, 5, 0.95), elem(5, 6, 0.9)});
+    const auto clusters = nnc(info);
+    ASSERT_EQ(clusters.size(), 1u) << "within the limit: must join";
+    EXPECT_EQ(clusters[0].size(), 3u);
+  }
+}
+
 TEST(ClusterBounds, UnionOfSubdomains) {
   const auto info = sorted_desc({elem(2, 3, 1.0), elem(3, 3, 0.9)});
   const Cluster c{0, 1};
