@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "sweep/sweep_runner.hpp"
+#include "util/atomic_file.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
 
@@ -104,10 +105,8 @@ class JsonSummary {
   }
 
   void write(const std::string& path) const {
-    std::ofstream f(path);
-    ST_CHECK_MSG(f.good(), "cannot open " << path << " for writing");
-    f << to_json();
-    ST_CHECK_MSG(f.good(), "failed writing " << path);
+    // Atomic replace: a crash mid-write never leaves truncated JSON.
+    write_file_atomic(std::filesystem::path(path), to_json());
     std::cout << "json summary written to " << path << "\n";
   }
 

@@ -11,11 +11,14 @@
 ///   stormtrack_cli --real --intervals 50 --images out/
 
 #include <cstring>
+#include <iomanip>
 #include <iostream>
 #include <memory>
 #include <optional>
 #include <string>
 
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/trace_run.hpp"
 #include "core/experiment.hpp"
 #include "core/trace_io.hpp"
 #include "exec/executor.hpp"
@@ -28,6 +31,14 @@
 using namespace stormtrack;
 
 namespace {
+
+// Exit codes (also asserted by the CTest CLI suite): 0 success, 2 bad
+// arguments, 3 unreadable/corrupt trace or fault-plan file, 4 runtime
+// failure (fault recovery exhausted, checkpoint resume failed, ...).
+constexpr int kExitOk = 0;
+constexpr int kExitBadArgs = 2;
+constexpr int kExitParse = 3;
+constexpr int kExitRuntime = 4;
 
 struct Options {
   std::string machine = "bgl";        // bgl | fist
@@ -43,6 +54,10 @@ struct Options {
   bool compare = false;                // run every registered strategy
   int threads = 0;                     // 0 = hardware concurrency
   std::optional<std::string> fault_plan;  // fault schedule file
+  std::optional<std::string> checkpoint_dir;
+  int checkpoint_every = 1;            // adaptation points per checkpoint
+  int checkpoint_keep = 3;             // newest checkpoints retained
+  bool resume = false;                 // resume from newest valid checkpoint
 };
 
 [[noreturn]] void usage(int code) {
@@ -73,7 +88,17 @@ struct Options {
       "                         the run recovers or degrades per the\n"
       "                         ladder and reports fault./recovery.\n"
       "                         metrics after the run\n"
-      "  --help                 this text\n";
+      "  --checkpoint-dir DIR   write durable run checkpoints into DIR\n"
+      "                         (atomic, CRC-guarded; survives SIGKILL)\n"
+      "  --checkpoint-every N   checkpoint every N adaptation points\n"
+      "                         (default 1)\n"
+      "  --checkpoint-keep N    retain the N newest checkpoints (default 3)\n"
+      "  --resume               resume from the newest valid checkpoint in\n"
+      "                         --checkpoint-dir; the resumed run is\n"
+      "                         byte-identical to an uninterrupted one\n"
+      "  --help                 this text\n"
+      "exit codes: 0 ok, 2 bad arguments, 3 unreadable trace/fault-plan,\n"
+      "            4 runtime failure (recovery exhausted, resume failed)\n";
   std::exit(code);
 }
 
@@ -84,7 +109,7 @@ Options parse(int argc, char** argv) {
     auto next = [&](const char* flag) -> std::string {
       if (i + 1 >= argc) {
         std::cerr << flag << " needs a value\n";
-        usage(2);
+        usage(kExitBadArgs);
       }
       return argv[++i];
     };
@@ -105,15 +130,40 @@ Options parse(int argc, char** argv) {
         o.threads = parse_thread_count(next("--threads"), "--threads");
       } catch (const CheckError& e) {
         std::cerr << e.what() << "\n";
-        usage(2);
+        usage(kExitBadArgs);
       }
     }
     else if (a == "--fault-plan") o.fault_plan = next("--fault-plan");
+    else if (a == "--checkpoint-dir") o.checkpoint_dir = next("--checkpoint-dir");
+    else if (a == "--checkpoint-every")
+      o.checkpoint_every = std::stoi(next("--checkpoint-every"));
+    else if (a == "--checkpoint-keep")
+      o.checkpoint_keep = std::stoi(next("--checkpoint-keep"));
+    else if (a == "--resume") o.resume = true;
     else if (a == "--help" || a == "-h") usage(0);
     else {
       std::cerr << "unknown flag: " << a << "\n";
-      usage(2);
+      usage(kExitBadArgs);
     }
+  }
+  if (o.resume && !o.checkpoint_dir) {
+    std::cerr << "--resume requires --checkpoint-dir\n";
+    usage(kExitBadArgs);
+  }
+  if (o.checkpoint_dir && o.compare) {
+    std::cerr << "--checkpoint-dir checkpoints a single run; it cannot be "
+                 "combined with --compare\n";
+    usage(kExitBadArgs);
+  }
+  if (o.checkpoint_dir && o.checkpoint_every < 1) {
+    std::cerr << "--checkpoint-every must be >= 1, got " << o.checkpoint_every
+              << "\n";
+    usage(kExitBadArgs);
+  }
+  if (o.checkpoint_dir && o.checkpoint_keep < 1) {
+    std::cerr << "--checkpoint-keep must be >= 1, got " << o.checkpoint_keep
+              << "\n";
+    usage(kExitBadArgs);
   }
   return o;
 }
@@ -127,7 +177,7 @@ int main(int argc, char** argv) {
     for (const std::string& n : StrategyRegistry::global().names())
       std::cerr << " " << n;
     std::cerr << ")\n";
-    usage(2);
+    usage(kExitBadArgs);
   }
 
   // ---- machine
@@ -138,7 +188,12 @@ int main(int argc, char** argv) {
   Trace trace;
   std::optional<RealScenarioDriver> real_driver;
   if (opt.trace_in) {
-    trace = load_trace(std::filesystem::path(*opt.trace_in));
+    try {
+      trace = load_trace(std::filesystem::path(*opt.trace_in));
+    } catch (const std::exception& e) {
+      std::cerr << "--trace-in: " << e.what() << "\n";
+      return kExitParse;
+    }
   } else if (opt.real) {
     RealScenarioConfig rc;
     rc.num_intervals = opt.events;
@@ -172,9 +227,9 @@ int main(int argc, char** argv) {
   if (opt.fault_plan) {
     try {
       plan = FaultPlan::load(std::filesystem::path(*opt.fault_plan));
-    } catch (const CheckError& e) {
+    } catch (const std::exception& e) {
       std::cerr << "--fault-plan: " << e.what() << "\n";
-      return 2;
+      return kExitParse;
     }
   }
 
@@ -203,8 +258,14 @@ int main(int argc, char** argv) {
       std::optional<FaultInjector> injector;
       ManagerConfig case_config = config;
       if (plan) case_config.injector = &injector.emplace(*plan);
-      const TraceRunResult res = run_trace(machine, models.model, models.truth,
-                                           s, trace, case_config);
+      TraceRunResult res;
+      try {
+        res = run_trace(machine, models.model, models.truth, s, trace,
+                        case_config);
+      } catch (const std::exception& e) {
+        std::cerr << "strategy " << s << " failed: " << e.what() << "\n";
+        return kExitRuntime;
+      }
       compare_metrics.merge(res.metrics);
       cmp.add_row({s, Table::num(res.total_exec(), 2),
                    Table::num(res.total_redist(), 3),
@@ -217,13 +278,48 @@ int main(int argc, char** argv) {
     else
       cmp.print(std::cout);
     print_recovery(compare_metrics);
-    return 0;
+    return kExitOk;
   }
 
   std::optional<FaultInjector> injector;
   if (plan) config.injector = &injector.emplace(*plan);
-  const TraceRunResult r = run_trace(machine, models.model, models.truth,
-                                     opt.strategy, trace, config);
+  TraceRunResult r;
+  ResumeReport resume_report;
+  try {
+    if (opt.checkpoint_dir) {
+      const std::filesystem::path dir(*opt.checkpoint_dir);
+      // Without --resume an already-populated checkpoint directory is
+      // refused rather than silently resumed (or clobbered).
+      if (!opt.resume && latest_valid_checkpoint(dir).has_value()) {
+        std::cerr << "checkpoint dir " << dir
+                  << " already holds checkpoints; pass --resume to continue "
+                     "that run or point --checkpoint-dir elsewhere\n";
+        return kExitBadArgs;
+      }
+      CheckpointPolicy policy;
+      policy.dir = dir;
+      policy.every = opt.checkpoint_every;
+      policy.keep = opt.checkpoint_keep;
+      r = run_trace_checkpointed(machine, models.model, models.truth,
+                                 opt.strategy, trace, config, policy,
+                                 &resume_report);
+    } else {
+      r = run_trace(machine, models.model, models.truth, opt.strategy, trace,
+                    config);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "run failed: " << e.what() << "\n";
+    return kExitRuntime;
+  }
+  if (resume_report.resumed)
+    std::cout << (opt.csv ? "# " : "") << "resumed from "
+              << resume_report.path.filename().string() << " at point "
+              << resume_report.step
+              << (resume_report.invalid_skipped > 0
+                      ? " (" + std::to_string(resume_report.invalid_skipped) +
+                            " invalid checkpoint(s) skipped)"
+                      : "")
+              << "\n";
 
   Table t({"Event", "Nests", "+ins/-del/=ret", "Chosen", "Exec (s)",
            "Redist (ms)", "Hop-bytes avg", "Overlap %"});
@@ -249,6 +345,9 @@ int main(int argc, char** argv) {
             << Table::num(r.total_exec(), 2) << " s, redist "
             << Table::num(r.total_redist(), 3) << " s, mean overlap "
             << Table::num(100.0 * r.mean_overlap_fraction(), 1) << " %\n";
+  std::cout << (opt.csv ? "# " : "") << "state fingerprint: " << std::hex
+            << std::setfill('0') << std::setw(16) << r.final_state_fingerprint
+            << std::dec << std::setfill(' ') << "\n";
   print_recovery(r.metrics);
 
   // ---- images
@@ -266,5 +365,5 @@ int main(int argc, char** argv) {
     }
     std::cout << "images written to " << dir << "\n";
   }
-  return 0;
+  return kExitOk;
 }

@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file codec.hpp
+/// Shared binary codecs for result structures, reused by every framed
+/// format in the tree (checkpoint files, the sweep journal). Keeping one
+/// put_/get_ pair per struct means a field added to StepOutcome is encoded
+/// identically everywhere — or fails to compile everywhere.
+
+#include "ckpt/binary_io.hpp"
+#include "core/experiment.hpp"
+
+namespace stormtrack::ckptio {
+
+void put_metrics(BinaryWriter& w, const MetricsRegistry& metrics);
+[[nodiscard]] MetricsRegistry get_metrics(BinaryReader& r);
+
+void put_outcome(BinaryWriter& w, const StepOutcome& o);
+[[nodiscard]] StepOutcome get_outcome(BinaryReader& r);
+
+void put_trace_result(BinaryWriter& w, const TraceRunResult& result);
+[[nodiscard]] TraceRunResult get_trace_result(BinaryReader& r);
+
+}  // namespace stormtrack::ckptio

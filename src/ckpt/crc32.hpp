@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file crc32.hpp
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) integrity guard for
+/// checkpoint files and sweep-journal records. Any single-bit flip, byte
+/// swap or truncation inside a guarded payload changes the checksum, so a
+/// resumed run can tell a damaged checkpoint from a valid one instead of
+/// silently restoring corrupt state.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace stormtrack {
+
+/// CRC-32 of \p bytes (initial value / final XOR 0xFFFFFFFF, as used by
+/// zlib, PNG and Ethernet).
+[[nodiscard]] std::uint32_t crc32(std::span<const std::byte> bytes);
+
+/// Incremental form: feed chunks with the previous call's return value.
+/// Start with \p crc = 0; the final value equals crc32() of the
+/// concatenation.
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t crc,
+                                         std::span<const std::byte> bytes);
+
+}  // namespace stormtrack

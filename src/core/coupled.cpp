@@ -1,9 +1,13 @@
 #include "core/coupled.hpp"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
+#include "core/checkpoint_hook.hpp"
+#include "fault/snapshot.hpp"
 #include "util/check.hpp"
+#include "util/fnv.hpp"
 
 namespace stormtrack {
 
@@ -120,7 +124,88 @@ IntervalReport CoupledSimulation::advance() {
       report.halo_traffic += stepper.step(nest.field);
   }
   report.integration_time = report.realloc.committed.actual_exec;
+
+  // The interval is fully committed at this point — weather, tracker,
+  // pipeline, and nest fields are all consistent — so this is the one safe
+  // cut for checkpointing.
+  if (config_.hook != nullptr) config_.hook->on_interval(*this, report.interval);
   return report;
+}
+
+CoupledSimulation::State CoupledSimulation::export_state() const {
+  State state;
+  state.driver = driver_.export_state();
+  state.pipeline = manager_.export_state();
+  state.nests.reserve(nests_.size());
+  for (const auto& [id, nest] : nests_) state.nests.push_back(nest);
+  state.interval = interval_;
+  return state;
+}
+
+void CoupledSimulation::import_state(State state) {
+  ST_CHECK_MSG(state.interval >= 0, "coupled state has negative interval "
+                                        << state.interval);
+  std::map<int, LiveNest> nests;
+  for (LiveNest& nest : state.nests) {
+    ST_CHECK_MSG(nest.field.width() == nest.spec.shape.nx &&
+                     nest.field.height() == nest.spec.shape.ny,
+                 "live nest " << nest.spec.id << " carries a "
+                              << nest.field.width() << "x"
+                              << nest.field.height()
+                              << " field but its spec says "
+                              << nest.spec.shape.nx << "x"
+                              << nest.spec.shape.ny);
+    const int id = nest.spec.id;
+    ST_CHECK_MSG(nests.emplace(id, std::move(nest)).second,
+                 "coupled state repeats live nest id " << id);
+  }
+  // Pipeline import validates allocation invariants; do it before touching
+  // members so a bad checkpoint leaves this simulation unchanged.
+  manager_.import_state(state.pipeline);
+  for (const auto& [id, nest] : nests)
+    ST_CHECK_MSG(manager_.allocation().find(id).has_value(),
+                 "live nest " << id << " has no allocation in the "
+                                       "checkpointed pipeline state");
+  driver_.import_state(std::move(state.driver));
+  nests_ = std::move(nests);
+  previous_rects_.clear();  // rebuilt at the top of every advance()
+  interval_ = state.interval;
+}
+
+std::uint64_t CoupledSimulation::state_fingerprint() const {
+  Fingerprint fp;
+  fp.add(interval_);
+  fp.add(manager_.state_fingerprint());
+  fp.add(driver_.tracker_fingerprint());
+
+  const WeatherModel::State weather = driver_.weather().export_state();
+  fp.add(weather.step);
+  for (const std::uint64_t word : weather.rng.s) fp.add(word);
+  fp.add(weather.rng.spare);
+  fp.add(static_cast<std::int64_t>(weather.rng.have_spare));
+  fp.add(static_cast<std::int64_t>(weather.systems.size()));
+  for (const CloudSystem& s : weather.systems) {
+    fp.add(s.cx);
+    fp.add(s.cy);
+    fp.add(s.sigma_x);
+    fp.add(s.sigma_y);
+    fp.add(s.intensity);
+    fp.add(s.vx);
+    fp.add(s.vy);
+    fp.add(s.growth);
+    fp.add(s.age);
+    fp.add(s.lifetime);
+  }
+
+  fp.add(static_cast<std::int64_t>(nests_.size()));
+  for (const auto& [id, nest] : nests_) {
+    fp.add(id);
+    add_fingerprint(fp, nest.spec.region);
+    fp.add(nest.spec.shape.nx);
+    fp.add(nest.spec.shape.ny);
+    for (const double v : nest.field.data()) fp.add(v);
+  }
+  return fp.value();
 }
 
 }  // namespace stormtrack

@@ -36,11 +36,17 @@
 
 namespace stormtrack {
 
+class CheckpointHook;
+
 /// Configuration of the coupled run.
 struct CoupledConfig {
   RealScenarioConfig scenario;    ///< Weather, PDA, simulation process grid.
   ManagerConfig manager;          ///< Strategy, steps per interval, bytes.
   DynamicsParams nest_dynamics;   ///< Nest integrator coefficients.
+  /// Invoked (on_interval) after every completed interval — the ckpt
+  /// subsystem hangs checkpointing off this seam. Null = no hook. Must
+  /// outlive the simulation.
+  CheckpointHook* hook = nullptr;
 };
 
 /// Everything observable about one adaptation interval.
@@ -80,6 +86,34 @@ class CoupledSimulation {
     return manager_.allocation();
   }
   [[nodiscard]] int interval() const { return interval_; }
+  [[nodiscard]] const CoupledConfig& config() const { return config_; }
+  [[nodiscard]] const AdaptationPipeline& pipeline() const { return manager_; }
+  /// Mutable registry access so embedding code (the CLI, ckpt) can record
+  /// its own counters alongside the pipeline's.
+  [[nodiscard]] MetricsRegistry& metrics() { return manager_.metrics(); }
+
+  /// Complete evolving state for checkpoint/restart: the scenario driver
+  /// (weather RNG position + tracker), the pipeline's committed state, the
+  /// interval counter, and every live nest's integrated field. A simulation
+  /// built from the same Machine/models/config that import_state()s this
+  /// advances through the exact interval sequence — and
+  /// state_fingerprint() — of the original run.
+  struct State {
+    RealScenarioDriver::State driver;
+    AdaptationPipeline::PipelineState pipeline;
+    std::vector<LiveNest> nests;  ///< Ascending by id.
+    int interval = 0;
+  };
+  [[nodiscard]] State export_state() const;
+  /// Validates (unique ids, field shapes, pipeline invariants) before
+  /// installing; throws CheckError on any mismatch.
+  void import_state(State state);
+
+  /// FNV-1a fingerprint over everything export_state() captures (weather
+  /// RNG + systems, tracker, pipeline committed state, live nest fields,
+  /// interval counter). A resumed run and the uninterrupted reference
+  /// agreeing here means byte-identical doubles end to end.
+  [[nodiscard]] std::uint64_t state_fingerprint() const;
 
  private:
   const Machine* machine_;

@@ -60,6 +60,7 @@ TraceRunResult run_trace(const Machine& machine, const ExecTimeModel& model,
   for (const std::vector<NestSpec>& active : trace)
     result.outcomes.push_back(pipeline.apply(active));
   result.metrics = pipeline.metrics();
+  result.final_state_fingerprint = pipeline.state_fingerprint();
   return result;
 }
 

@@ -21,6 +21,10 @@ struct TraceRunResult {
   std::vector<StepOutcome> outcomes;
   /// Pipeline per-stage wall times and counters over the whole run.
   MetricsRegistry metrics;
+  /// AdaptationPipeline::state_fingerprint() after the last adaptation
+  /// point — the kill-and-resume determinism witness: a resumed run must
+  /// land on the same value as the uninterrupted one.
+  std::uint64_t final_state_fingerprint = 0;
 
   /// Total committed redistribution time over the trace (s).
   [[nodiscard]] double total_redist() const;

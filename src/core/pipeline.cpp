@@ -4,6 +4,7 @@
 #include <array>
 #include <functional>
 
+#include "exec/cancel.hpp"
 #include "exec/executor.hpp"
 #include "fault/invariants.hpp"
 #include "fault/snapshot.hpp"
@@ -68,6 +69,68 @@ std::uint64_t AdaptationPipeline::state_fingerprint() const {
   fp.add(view_px_);
   fp.add(view_py_);
   return fp.value();
+}
+
+AdaptationPipeline::PipelineState AdaptationPipeline::export_state() const {
+  PipelineState state;
+  state.tree = tree_;
+  state.allocation = allocation_;
+  state.current.reserve(current_.size());
+  for (const auto& [id, spec] : current_) state.current.push_back(spec);
+  state.point_index = point_index_;
+  state.view_px = view_px_;
+  state.view_py = view_py_;
+  state.seen_faults = seen_faults_;
+  state.metrics = metrics_;
+  state.strategy_state = strategy_->export_state();
+  return state;
+}
+
+void AdaptationPipeline::import_state(const PipelineState& state) {
+  ST_CHECK_MSG(state.point_index >= 0, "pipeline state has negative "
+                                       "adaptation-point index "
+                                           << state.point_index);
+  ST_CHECK_MSG(state.view_px >= 1 && state.view_px <= machine_->grid_px() &&
+                   state.view_py >= 1 && state.view_py <= machine_->grid_py(),
+               "pipeline state view " << state.view_px << "x" << state.view_py
+                                      << " does not fit the machine grid "
+                                      << machine_->grid_px() << "x"
+                                      << machine_->grid_py());
+  ST_CHECK_MSG(state.allocation.rects().empty() ||
+                   (state.allocation.grid_px() == machine_->grid_px() &&
+                    state.allocation.grid_py() == machine_->grid_py()),
+               "pipeline state allocation is on a "
+                   << state.allocation.grid_px() << "x"
+                   << state.allocation.grid_py()
+                   << " grid but the machine is " << machine_->grid_px() << "x"
+                   << machine_->grid_py());
+  std::map<int, NestSpec> current;
+  for (const NestSpec& spec : state.current) {
+    ST_CHECK_MSG(current.emplace(spec.id, spec).second,
+                 "pipeline state repeats nest id " << spec.id);
+    ST_CHECK_MSG(state.allocation.find(spec.id).has_value(),
+                 "pipeline state nest " << spec.id
+                                        << " has no allocation rectangle");
+  }
+  ST_CHECK_MSG(current.size() == state.allocation.rects().size(),
+               "pipeline state has " << current.size() << " nests but "
+                                     << state.allocation.rects().size()
+                                     << " allocation rectangles");
+  // The same gate every commit passes through: a checkpoint can never
+  // install an allocation the pipeline itself would have refused.
+  if (!state.tree.empty() || !state.allocation.rects().empty())
+    validate_allocation(state.tree, state.allocation,
+                        Rect{0, 0, state.view_px, state.view_py});
+
+  tree_ = state.tree;
+  allocation_ = state.allocation;
+  current_ = std::move(current);
+  point_index_ = state.point_index;
+  view_px_ = state.view_px;
+  view_py_ = state.view_py;
+  seen_faults_ = state.seen_faults;
+  metrics_ = state.metrics;
+  strategy_->import_state(state.strategy_state);
 }
 
 // --------------------------------------------------------------- DiffNests
@@ -396,6 +459,11 @@ StepOutcome AdaptationPipeline::apply_attempt(PipelineContext& ctx,
 }
 
 StepOutcome AdaptationPipeline::apply(std::span<const NestSpec> active) {
+  // Cancellation is polled here, outside the transaction and the ladder:
+  // a cancelled run aborts between committed adaptation points and the
+  // pipeline state stays exactly the last committed one (resumable from
+  // the newest checkpoint).
+  if (config_.cancel != nullptr) config_.cancel->check();
   Executor& exec = resolve_executor(config_.executor);
   const ExecutorStats exec_before = exec.stats();
   FaultInjector* const injector = config_.injector;

@@ -63,6 +63,7 @@
 
 namespace stormtrack {
 
+class CancelToken;
 class Executor;
 
 /// Pipeline stages in execution order.
@@ -111,6 +112,12 @@ struct ManagerConfig {
   /// pre-fault behavior exactly: any stage exception propagates to the
   /// caller. Must outlive the pipeline.
   FaultInjector* injector = nullptr;
+  /// Cooperative cancellation: polled once at the start of every apply(),
+  /// *outside* the degradation ladder — a cancelled or timed-out run
+  /// throws CancelledError between transactions and is never mistaken for
+  /// a fault to degrade around. Null = never cancelled. Must outlive the
+  /// pipeline.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Model-predicted and ground-truth costs of one candidate allocation.
@@ -215,6 +222,31 @@ class AdaptationPipeline {
   /// map, grid view). Rollback tests assert a failed point leaves it
   /// unchanged; determinism tests assert serial == threaded.
   [[nodiscard]] std::uint64_t state_fingerprint() const;
+
+  /// Complete committed state for checkpoint/restart. Everything apply()
+  /// mutates is captured: the committed tree and allocation, the active
+  /// nest map, the adaptation-point counter, the (possibly shrunk) grid
+  /// view, the injector-stats watermark, accumulated metrics, and any
+  /// cross-point strategy state (hysteresis incumbent). A pipeline built
+  /// from the same Machine/models/config that import_state()s this
+  /// produces the exact apply() sequence — and state_fingerprint() — of
+  /// the original run.
+  struct PipelineState {
+    AllocTree tree;
+    Allocation allocation;
+    std::vector<NestSpec> current;    ///< Active nests, ascending by id.
+    int point_index = 0;
+    int view_px = 0;
+    int view_py = 0;
+    FaultInjectorStats seen_faults;
+    MetricsRegistry metrics;
+    std::string strategy_state;       ///< IStrategy::export_state() blob.
+  };
+  [[nodiscard]] PipelineState export_state() const;
+  /// Validates against this pipeline's machine (grid extents, allocation
+  /// invariants) before installing; throws CheckError on any mismatch so a
+  /// checkpoint from a different machine/config is rejected loudly.
+  void import_state(const PipelineState& state);
 
  private:
   /// Degradation-ladder attempt shapes.

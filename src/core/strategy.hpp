@@ -26,6 +26,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/check.hpp"
+
 namespace stormtrack {
 
 struct PipelineContext;  // pipeline.hpp
@@ -50,6 +52,19 @@ class IStrategy {
 
   /// Index into PipelineContext::candidates of the candidate to commit.
   [[nodiscard]] virtual std::size_t decide(const PipelineContext& ctx) = 0;
+
+  /// Opaque serialized internal state for checkpoint/restart. Stateless
+  /// strategies return "" (the default); stateful ones must round-trip
+  /// export_state() → import_state() so a resumed run decides identically
+  /// to the uninterrupted one. import_state() throws CheckError on
+  /// unparseable input.
+  [[nodiscard]] virtual std::string export_state() const { return {}; }
+  virtual void import_state(std::string_view state) {
+    ST_CHECK_MSG(state.empty(), "strategy '" << name()
+                                             << "' is stateless but got "
+                                             << state.size()
+                                             << " bytes of saved state");
+  }
 };
 
 /// §IV-A: always commit the partition-from-scratch candidate.
@@ -84,6 +99,15 @@ class HysteresisStrategy final : public IStrategy {
 
   [[nodiscard]] std::string name() const override { return "hysteresis"; }
   [[nodiscard]] std::size_t decide(const PipelineContext& ctx) override;
+
+  /// The incumbent candidate name survives checkpoint/restart: a resumed
+  /// run damps switches against the same incumbent as the original.
+  [[nodiscard]] std::string export_state() const override {
+    return incumbent_;
+  }
+  void import_state(std::string_view state) override {
+    incumbent_ = std::string(state);
+  }
 
   [[nodiscard]] double threshold() const { return threshold_; }
 

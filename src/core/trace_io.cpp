@@ -4,6 +4,7 @@
 #include <sstream>
 #include <string>
 
+#include "util/atomic_file.hpp"
 #include "util/check.hpp"
 
 namespace stormtrack {
@@ -27,11 +28,10 @@ void save_trace(const Trace& trace, std::ostream& os) {
 }
 
 void save_trace(const Trace& trace, const std::filesystem::path& path) {
-  if (path.has_parent_path())
-    std::filesystem::create_directories(path.parent_path());
-  std::ofstream os(path);
-  ST_CHECK_MSG(os.is_open(), "cannot open trace file " << path);
+  // Atomic replace: a crash mid-save never leaves a truncated trace file.
+  std::ostringstream os;
   save_trace(trace, os);
+  write_file_atomic(path, os.str());
 }
 
 namespace {

@@ -81,6 +81,26 @@ class RealScenarioDriver {
   [[nodiscard]] const WeatherModel& weather() const { return model_; }
   [[nodiscard]] const RealScenarioConfig& config() const { return cfg_; }
 
+  /// Complete driver state for checkpoint/restart: weather model position,
+  /// tracker state, and the interval counter. import_state() resumes the
+  /// exact interval sequence of the original run (same config required).
+  struct State {
+    WeatherModel::State weather;
+    NestTracker::State tracker;
+    int interval = 0;
+  };
+  [[nodiscard]] State export_state() const {
+    return State{model_.export_state(), tracker_.snapshot(), interval_};
+  }
+  void import_state(State state) {
+    ST_CHECK_MSG(state.interval >= 0, "scenario-driver state has negative "
+                                      "interval "
+                                          << state.interval);
+    model_.import_state(state.weather);
+    tracker_.restore(std::move(state.tracker));
+    interval_ = state.interval;
+  }
+
   /// Tracker state access for interval-level rollback (CoupledSimulation
   /// restores the tracker when an adaptation point is skipped).
   [[nodiscard]] NestTracker::State tracker_snapshot() const {

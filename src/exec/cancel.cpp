@@ -1,0 +1,56 @@
+#include "exec/cancel.hpp"
+
+#include <chrono>
+
+namespace stormtrack {
+
+std::int64_t CancelToken::now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void CancelToken::cancel(std::string reason) {
+  // Publish the reason before the flag so any thread that observes
+  // flag_ == true (acquire) also sees the reason string.
+  if (!flag_.load(std::memory_order_acquire)) {
+    reason_ = std::move(reason);
+    flag_.store(true, std::memory_order_release);
+  }
+}
+
+void CancelToken::set_deadline_after(double seconds) {
+  const double ns = seconds * 1e9;
+  const std::int64_t budget =
+      ns >= static_cast<double>(kNoDeadline) ? kNoDeadline
+      : ns <= 0.0                            ? 0
+                  : static_cast<std::int64_t>(ns);
+  deadline_ns_.store(budget == kNoDeadline ? kNoDeadline : now_ns() + budget,
+                     std::memory_order_release);
+}
+
+void CancelToken::reset() {
+  deadline_ns_.store(kNoDeadline, std::memory_order_release);
+  flag_.store(false, std::memory_order_release);
+}
+
+bool CancelToken::cancelled() const {
+  if (flag_.load(std::memory_order_acquire)) return true;
+  return deadline_exceeded();
+}
+
+bool CancelToken::deadline_exceeded() const {
+  const std::int64_t deadline = deadline_ns_.load(std::memory_order_acquire);
+  return deadline != kNoDeadline && now_ns() >= deadline;
+}
+
+void CancelToken::check() const {
+  if (flag_.load(std::memory_order_acquire)) {
+    throw CancelledError(reason_.empty() ? "cancelled" : reason_);
+  }
+  if (deadline_exceeded()) {
+    throw CancelledError("deadline exceeded");
+  }
+}
+
+}  // namespace stormtrack

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file cancel.hpp
+/// Cooperative cancellation and deadlines for the execution layer.
+///
+/// A CancelToken is a thread-safe flag plus an optional wall-clock
+/// deadline. Work that should be stoppable polls it at natural safe points
+/// — the adaptation pipeline checks at the start of every adaptation
+/// point, so a cancelled run stops *between* transactions and never leaves
+/// half-committed state behind. check() throws CancelledError, which
+/// deliberately does not derive from CheckError: supervision code (the
+/// sweep watchdog) can tell "this case was cancelled / timed out" from
+/// "this case hit a genuine invariant failure" and count them separately.
+///
+/// Tokens are passive: nothing is interrupted preemptively. That is the
+/// right trade for this codebase — every unit of work between checks is a
+/// bounded simulated computation, and preemption could tear the
+/// transactional guarantees PR 3 established.
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace stormtrack {
+
+/// Thrown by CancelToken::check() (see file comment).
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// See file comment. All methods are thread-safe; a token may be cancelled
+/// from any thread while workers poll it.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Trip the token; every subsequent check() throws. Idempotent (the
+  /// first reason wins).
+  void cancel(std::string reason = "cancelled");
+
+  /// Arm (or re-arm) a deadline \p seconds from now; non-positive values
+  /// trip immediately at the next check.
+  void set_deadline_after(double seconds);
+
+  /// Disarm the deadline and clear the cancelled flag (watchdog retries
+  /// reuse one token across attempts).
+  void reset();
+
+  /// True when cancel() was called or an armed deadline has passed.
+  [[nodiscard]] bool cancelled() const;
+
+  /// True when the token tripped via deadline (not an explicit cancel()).
+  [[nodiscard]] bool deadline_exceeded() const;
+
+  /// Throw CancelledError when cancelled; no-op otherwise.
+  void check() const;
+
+ private:
+  static constexpr std::int64_t kNoDeadline =
+      std::numeric_limits<std::int64_t>::max();
+
+  [[nodiscard]] static std::int64_t now_ns();
+
+  std::atomic<bool> flag_{false};
+  std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
+  /// Written once before flag_ is released, read after it is observed.
+  std::string reason_;
+};
+
+}  // namespace stormtrack

@@ -134,4 +134,26 @@ FaultInjectorStats FaultInjector::stats() const {
   return stats_;
 }
 
+FaultInjector::State FaultInjector::export_state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return State{point_, fired_, stats_};
+}
+
+void FaultInjector::import_state(const State& state) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ST_CHECK_MSG(state.fired.size() == plan_.events.size(),
+               "fault-injector state has " << state.fired.size()
+                                           << " event counters but the plan "
+                                              "has "
+                                           << plan_.events.size()
+                                           << " events — checkpoint taken "
+                                              "under a different fault plan");
+  for (const int count : state.fired)
+    ST_CHECK_MSG(count >= 0, "fault-injector state has a negative firing "
+                             "count");
+  point_ = state.point;
+  fired_ = state.fired;
+  stats_ = state.stats;
+}
+
 }  // namespace stormtrack

@@ -96,6 +96,20 @@ class FaultInjector final : public PayloadFaultHook {
   [[nodiscard]] FaultInjectorStats stats() const;
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
 
+  /// Complete interpreter position, for checkpoint/restart: the current
+  /// point, every event's firing count (transient attempt budgets), and the
+  /// cumulative stats. Restoring it into an injector built from the same
+  /// plan resumes the exact fault schedule mid-campaign.
+  struct State {
+    int point = -1;
+    std::vector<int> fired;
+    FaultInjectorStats stats;
+  };
+  [[nodiscard]] State export_state() const;
+  /// Throws CheckError when \p state does not match this injector's plan
+  /// (wrong event count — the checkpoint was taken under a different plan).
+  void import_state(const State& state);
+
  private:
   [[nodiscard]] bool consume_attempt_locked(std::size_t event_index);
 

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/atomic_file.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -91,11 +92,10 @@ void FaultPlan::save(std::ostream& os) const {
 }
 
 void FaultPlan::save(const std::filesystem::path& path) const {
-  if (path.has_parent_path())
-    std::filesystem::create_directories(path.parent_path());
-  std::ofstream os(path);
-  ST_CHECK_MSG(os.is_open(), "cannot open fault plan file " << path);
+  // Atomic replace: a crash mid-save never leaves a truncated plan file.
+  std::ostringstream os;
   save(os);
+  write_file_atomic(path, os.str());
 }
 
 FaultPlan FaultPlan::load(std::istream& is) {

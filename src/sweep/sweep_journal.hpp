@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file sweep_journal.hpp
+/// Append-only completion journal for supervised sweeps.
+///
+/// The supervised runner appends one framed record per *successfully*
+/// completed case — quarantined cases are deliberately not journaled, so a
+/// later resume re-attempts them. Each record is length-prefixed and
+/// CRC-32-guarded, and the file is flushed and fsync'd after every append:
+/// killing the process at any instant leaves at most one torn record at the
+/// tail, which the next open detects, truncates, and reports — every record
+/// before it replays intact.
+///
+/// The header binds the journal to a sweep-spec fingerprint; opening a
+/// journal written by a different spec fails loudly instead of skipping the
+/// wrong cases.
+///
+/// On disk:
+///
+///     u32 magic "STJL" | u32 version | u64 spec fingerprint
+///     repeated: u32 payload size | payload | u32 CRC(payload)
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <mutex>
+
+#include "sweep/sweep_runner.hpp"
+
+namespace stormtrack {
+
+/// "STJL" when the little-endian u32 is viewed as bytes on disk.
+inline constexpr std::uint32_t kJournalMagic = 0x4C4A5453u;
+inline constexpr std::uint32_t kJournalVersion = 1;
+
+/// See file comment.
+class SweepJournal {
+ public:
+  /// Open \p path for appending. With \p resume set, an existing journal is
+  /// validated (magic, version, spec fingerprint), replayed into
+  /// replayed(), and any torn tail truncated; without it the file is
+  /// started fresh. Throws CheckError on a journal written by a different
+  /// spec, an unsupported version, or a record naming a case index >=
+  /// \p num_cases.
+  SweepJournal(std::filesystem::path path, std::uint64_t spec_fingerprint,
+               std::size_t num_cases, bool resume);
+  ~SweepJournal();
+
+  SweepJournal(const SweepJournal&) = delete;
+  SweepJournal& operator=(const SweepJournal&) = delete;
+
+  /// Completed cases replayed from the existing journal, by case index.
+  [[nodiscard]] const std::map<std::size_t, SweepCaseResult>& replayed()
+      const {
+    return replayed_;
+  }
+
+  /// Torn/corrupt records dropped from the tail at open (0 or 1 after a
+  /// kill; more only for external corruption).
+  [[nodiscard]] int torn_records_dropped() const { return torn_dropped_; }
+
+  [[nodiscard]] int appends() const { return appends_; }
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+  /// Append one completed case; the record is flushed and fsync'd before
+  /// returning. Thread-safe (workers append as their cases finish).
+  void append(std::size_t case_index, const SweepCaseResult& result);
+
+ private:
+  void open_fresh();
+  void open_resume(std::size_t num_cases);
+
+  std::filesystem::path path_;
+  std::uint64_t spec_fingerprint_;
+  std::FILE* file_ = nullptr;
+  std::mutex mutex_;
+  std::map<std::size_t, SweepCaseResult> replayed_;
+  int torn_dropped_ = 0;
+  int appends_ = 0;
+};
+
+}  // namespace stormtrack

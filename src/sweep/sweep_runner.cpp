@@ -1,15 +1,85 @@
 #include "sweep/sweep_runner.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <limits>
 #include <memory>
+#include <sstream>
+#include <thread>
+#include <unordered_set>
+#include <utility>
 
+#include "exec/cancel.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
+#include "sweep/sweep_journal.hpp"
 #include "util/check.hpp"
+#include "fault/snapshot.hpp"
+#include "util/fnv.hpp"
 
 namespace stormtrack {
+
+namespace {
+
+/// Build every machine up front on the calling thread; workers only touch
+/// them through const members.
+std::vector<Machine> build_machines(const SweepSpec& spec) {
+  std::vector<Machine> machines;
+  machines.reserve(spec.machines.size());
+  for (const SweepMachine& m : spec.machines) machines.push_back(m.factory());
+  return machines;
+}
+
+/// Fill every case slot's axis coordinates and names (trace-major, then
+/// machine, then strategy — the fixed order both runners report in).
+std::vector<SweepCaseResult> prefill_cases(const SweepSpec& spec,
+                                           const std::vector<Machine>& machines) {
+  const std::size_t n = spec.num_cases();
+  std::vector<SweepCaseResult> results(n);
+  const std::size_t per_trace = spec.machines.size() * spec.strategies.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    SweepCaseResult& r = results[i];
+    r.trace_index = i / per_trace;
+    r.machine_index = (i / spec.strategies.size()) % spec.machines.size();
+    r.strategy_index = i % spec.strategies.size();
+    r.trace_name = spec.traces[r.trace_index].name;
+    r.machine_name = spec.machines[r.machine_index].name;
+    r.machine_label = machines[r.machine_index].label();
+    r.strategy = spec.strategies[r.strategy_index];
+  }
+  return results;
+}
+
+/// Resolve the executor for \p spec: the caller-shared one, or a pool owned
+/// for the duration of the run (threads = 1 stays fully serial, no pool).
+Executor* resolve_spec_executor(const SweepSpec& spec, std::size_t n,
+                                std::unique_ptr<ThreadPoolExecutor>& owned) {
+  Executor* exec = spec.executor;
+  if (exec == nullptr && spec.threads != 1 && n > 1) {
+    const int want = spec.threads == 0 ? default_thread_count() : spec.threads;
+    const int pool_size =
+        std::min(want, static_cast<int>(std::min<std::size_t>(
+                           n, std::numeric_limits<int>::max())));
+    if (pool_size > 1) {
+      owned = std::make_unique<ThreadPoolExecutor>(pool_size);
+      exec = owned.get();
+    }
+  }
+  return exec;
+}
+
+void check_duplicates(const std::vector<std::string>& names,
+                      const char* axis, std::vector<std::string>& problems) {
+  std::unordered_set<std::string_view> seen;
+  for (const std::string& name : names)
+    if (!seen.insert(name).second)
+      problems.push_back(std::string("duplicate ") + axis + " name '" + name +
+                         "'");
+}
+
+}  // namespace
 
 SweepMachine sweep_bluegene(int cores) {
   return {"bluegene-" + std::to_string(cores),
@@ -36,39 +106,11 @@ std::vector<SweepCaseResult> SweepRunner::run(const SweepSpec& spec) const {
                  "machine '" << m.name << "' has no factory");
 
   // Machines are built once on this thread and shared read-only by workers.
-  std::vector<Machine> machines;
-  machines.reserve(spec.machines.size());
-  for (const SweepMachine& m : spec.machines)
-    machines.push_back(m.factory());
-
+  const std::vector<Machine> machines = build_machines(spec);
   const std::size_t n = spec.num_cases();
-  std::vector<SweepCaseResult> results(n);
-  const std::size_t per_trace = spec.machines.size() * spec.strategies.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    SweepCaseResult& r = results[i];
-    r.trace_index = i / per_trace;
-    r.machine_index = (i / spec.strategies.size()) % spec.machines.size();
-    r.strategy_index = i % spec.strategies.size();
-    r.trace_name = spec.traces[r.trace_index].name;
-    r.machine_name = spec.machines[r.machine_index].name;
-    r.machine_label = machines[r.machine_index].label();
-    r.strategy = spec.strategies[r.strategy_index];
-  }
-
-  // Resolve the executor: a caller-shared one, or a pool owned for the
-  // duration of this run (threads = 1 stays fully serial, no pool).
-  Executor* exec = spec.executor;
+  std::vector<SweepCaseResult> results = prefill_cases(spec, machines);
   std::unique_ptr<ThreadPoolExecutor> owned;
-  if (exec == nullptr && spec.threads != 1 && n > 1) {
-    const int want = spec.threads == 0 ? default_thread_count() : spec.threads;
-    const int pool_size =
-        std::min(want, static_cast<int>(std::min<std::size_t>(
-                           n, std::numeric_limits<int>::max())));
-    if (pool_size > 1) {
-      owned = std::make_unique<ThreadPoolExecutor>(pool_size);
-      exec = owned.get();
-    }
-  }
+  Executor* exec = resolve_spec_executor(spec, n, owned);
 
   // A fault plan gives every case a private injector (per-point attempt
   // state must not be shared across concurrently running cases).
@@ -96,6 +138,227 @@ std::vector<SweepCaseResult> SweepRunner::run(const SweepSpec& spec) const {
                          config);
   });
   return results;
+}
+
+SweepRunReport SweepRunner::run_supervised(const SweepSpec& spec) const {
+  validate_sweep_spec(spec);
+  const SweepSupervision& sup = spec.supervision;
+
+  const std::vector<Machine> machines = build_machines(spec);
+  const std::size_t n = spec.num_cases();
+  std::vector<SweepCaseResult> results = prefill_cases(spec, machines);
+  std::unique_ptr<ThreadPoolExecutor> owned;
+  Executor* exec = resolve_spec_executor(spec, n, owned);
+
+  // Replay the journal (if any) before launching anything: finished cases
+  // take their recorded result verbatim and are never re-executed.
+  std::unique_ptr<SweepJournal> journal;
+  std::vector<char> done(n, 0);
+  std::size_t replayed = 0;
+  if (!sup.journal.empty()) {
+    journal = std::make_unique<SweepJournal>(
+        sup.journal, sweep_spec_fingerprint(spec), n, sup.resume);
+    for (const auto& [index, result] : journal->replayed()) {
+      results[index] = result;
+      results[index].from_journal = true;
+      done[index] = 1;
+      ++replayed;
+    }
+  }
+
+  // Per-case counters live in plain slots and are folded into the (not
+  // thread-safe) supervisor registry only after the batch drains.
+  struct CaseCounters {
+    int attempts = 0;
+    int retries = 0;
+    int deadline_hits = 0;
+    bool quarantined = false;
+  };
+  std::vector<CaseCounters> counters(n);
+
+  ManagerConfig case_config = spec.config;
+  if (case_config.executor == nullptr) case_config.executor = exec;
+  resolve_executor(exec).parallel_for(n, [&](std::size_t i) {
+    if (done[i] != 0) return;
+    SweepCaseResult& r = results[i];
+    CaseCounters& c = counters[i];
+    std::string last_error;
+    for (int attempt = 1; attempt <= sup.max_attempts; ++attempt) {
+      c.attempts = attempt;
+      if (attempt > 1) {
+        ++c.retries;
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            std::ldexp(sup.backoff_seconds, attempt - 2)));
+      }
+      // Each attempt starts from scratch: a fresh injector (attempt state
+      // must not leak across retries) and a fresh cancel token.
+      std::unique_ptr<FaultInjector> injector;
+      ManagerConfig config = case_config;
+      if (spec.fault_plan != nullptr) {
+        injector = std::make_unique<FaultInjector>(*spec.fault_plan);
+        config.injector = injector.get();
+      }
+      CancelToken token;
+      if (sup.case_deadline_seconds > 0.0)
+        token.set_deadline_after(sup.case_deadline_seconds);
+      config.cancel = &token;
+      try {
+        r.result = run_trace(machines[r.machine_index], *model_, *truth_,
+                             r.strategy, spec.traces[r.trace_index].trace,
+                             config);
+        r.status = SweepCaseStatus::kOk;
+        r.attempts = attempt;
+        r.error.clear();
+        if (journal != nullptr) journal->append(i, r);
+        return;
+      } catch (const CancelledError& e) {
+        ++c.deadline_hits;
+        last_error = e.what();
+      } catch (const std::exception& e) {
+        last_error = e.what();
+      }
+    }
+    // Quarantine: report the failure in the slot, keep the sweep alive.
+    // Deliberately not journaled — a resume re-attempts quarantined cases.
+    r.status = SweepCaseStatus::kQuarantined;
+    r.attempts = sup.max_attempts;
+    r.error = last_error;
+    r.result = TraceRunResult{};
+    c.quarantined = true;
+  });
+
+  SweepRunReport report;
+  report.supervisor.add_count("supervisor.cases",
+                              static_cast<std::int64_t>(n));
+  report.supervisor.add_count("supervisor.replayed",
+                              static_cast<std::int64_t>(replayed));
+  for (const CaseCounters& c : counters) {
+    report.supervisor.add_count("supervisor.attempts", c.attempts);
+    report.supervisor.add_count("supervisor.retries", c.retries);
+    report.supervisor.add_count("supervisor.deadline_hits", c.deadline_hits);
+    report.supervisor.add_count("supervisor.quarantined",
+                                c.quarantined ? 1 : 0);
+  }
+  if (journal != nullptr) {
+    report.supervisor.add_count("supervisor.journal_appends",
+                                journal->appends());
+    report.supervisor.add_count("supervisor.journal_torn_dropped",
+                                journal->torn_records_dropped());
+  }
+  report.results = std::move(results);
+  return report;
+}
+
+const char* to_string(SweepCaseStatus status) {
+  switch (status) {
+    case SweepCaseStatus::kOk:
+      return "ok";
+    case SweepCaseStatus::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
+
+std::vector<std::string> sweep_spec_problems(const SweepSpec& spec) {
+  std::vector<std::string> problems;
+  if (spec.traces.empty()) problems.emplace_back("no traces in sweep spec");
+  if (spec.machines.empty())
+    problems.emplace_back("no machines in sweep spec");
+  if (spec.strategies.empty())
+    problems.emplace_back("no strategies in sweep spec");
+
+  std::vector<std::string> trace_names, machine_names;
+  trace_names.reserve(spec.traces.size());
+  for (const SweepTrace& t : spec.traces) trace_names.push_back(t.name);
+  machine_names.reserve(spec.machines.size());
+  for (const SweepMachine& m : spec.machines) machine_names.push_back(m.name);
+  check_duplicates(trace_names, "trace", problems);
+  check_duplicates(machine_names, "machine", problems);
+  check_duplicates(spec.strategies, "strategy", problems);
+
+  for (const std::string& s : spec.strategies)
+    if (!StrategyRegistry::global().contains(s))
+      problems.push_back("unknown strategy '" + s + "'");
+  for (const SweepMachine& m : spec.machines)
+    if (m.factory == nullptr)
+      problems.push_back("machine '" + m.name + "' has no factory");
+
+  if (spec.threads < 0)
+    problems.push_back("threads must be >= 0, got " +
+                       std::to_string(spec.threads));
+  if (spec.fault_plan != nullptr && spec.config.injector != nullptr)
+    problems.emplace_back(
+        "set either SweepSpec::fault_plan or config.injector, not both");
+  if (spec.config.cancel != nullptr)
+    problems.emplace_back(
+        "config.cancel must be null under supervision — the supervisor owns "
+        "each attempt's cancel token");
+
+  const SweepSupervision& sup = spec.supervision;
+  if (sup.case_deadline_seconds < 0.0)
+    problems.push_back("case_deadline_seconds must be >= 0, got " +
+                       std::to_string(sup.case_deadline_seconds));
+  if (sup.max_attempts < 1)
+    problems.push_back("max_attempts must be >= 1, got " +
+                       std::to_string(sup.max_attempts));
+  if (sup.backoff_seconds < 0.0)
+    problems.push_back("backoff_seconds must be >= 0, got " +
+                       std::to_string(sup.backoff_seconds));
+  if (sup.resume && sup.journal.empty())
+    problems.emplace_back(
+        "supervision.resume requires supervision.journal to be set");
+  return problems;
+}
+
+void validate_sweep_spec(const SweepSpec& spec) {
+  const std::vector<std::string> problems = sweep_spec_problems(spec);
+  if (problems.empty()) return;
+  std::ostringstream msg;
+  msg << "invalid sweep spec (" << problems.size() << " problem"
+      << (problems.size() == 1 ? "" : "s") << "):";
+  for (const std::string& p : problems) msg << "\n  - " << p;
+  ST_CHECK_MSG(false, msg.str());
+}
+
+std::uint64_t sweep_spec_fingerprint(const SweepSpec& spec) {
+  Fingerprint fp;
+  fp.add(static_cast<std::int64_t>(spec.traces.size()));
+  for (const SweepTrace& t : spec.traces) {
+    fp.add(std::string_view(t.name));
+    fp.add(static_cast<std::int64_t>(t.trace.size()));
+    for (const std::vector<NestSpec>& event : t.trace) {
+      fp.add(static_cast<std::int64_t>(event.size()));
+      for (const NestSpec& spec_entry : event) {
+        fp.add(spec_entry.id);
+        add_fingerprint(fp, spec_entry.region);
+        fp.add(spec_entry.shape.nx);
+        fp.add(spec_entry.shape.ny);
+      }
+    }
+  }
+  fp.add(static_cast<std::int64_t>(spec.machines.size()));
+  for (const SweepMachine& m : spec.machines) fp.add(std::string_view(m.name));
+  fp.add(static_cast<std::int64_t>(spec.strategies.size()));
+  for (const std::string& s : spec.strategies) fp.add(std::string_view(s));
+  fp.add(spec.config.strategy_options.hysteresis_threshold);
+  fp.add(spec.config.steps_per_interval);
+  fp.add(spec.config.bytes_per_point);
+  const FaultPlan* plan = spec.fault_plan;
+  if (plan == nullptr && spec.config.injector != nullptr)
+    plan = &spec.config.injector->plan();
+  if (plan != nullptr) {
+    fp.add(static_cast<std::int64_t>(plan->events.size()));
+    for (const FaultEvent& e : plan->events) {
+      fp.add(static_cast<int>(e.kind));
+      fp.add(e.point);
+      fp.add(e.rank);
+      fp.add(e.peer);
+      fp.add(e.index);
+      fp.add(e.attempts);
+      fp.add(std::string_view(e.site));
+    }
+  }
+  return fp.value();
 }
 
 const SweepCaseResult& find_case(const std::vector<SweepCaseResult>& results,

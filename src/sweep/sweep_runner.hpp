@@ -22,6 +22,8 @@
 /// GroundTruthCost, which carry no hidden mutable state.
 
 #include <cstddef>
+#include <cstdint>
+#include <filesystem>
 #include <functional>
 #include <string>
 #include <vector>
@@ -32,6 +34,26 @@
 namespace stormtrack {
 
 class FaultPlan;
+
+/// Supervision knobs for SweepRunner::run_supervised. Defaults mean "no
+/// supervision": no deadline, one attempt, no journal.
+struct SweepSupervision {
+  /// Wall-clock budget per case attempt; 0 = unlimited. Enforced
+  /// cooperatively: the pipeline polls a CancelToken at every adaptation
+  /// point, so an attempt stops at the next point after the deadline.
+  double case_deadline_seconds = 0.0;
+  /// Total attempts per case before it is quarantined (>= 1).
+  int max_attempts = 1;
+  /// Base of the exponential backoff slept between attempts: retry k
+  /// (1-based) waits backoff_seconds * 2^(k-1).
+  double backoff_seconds = 0.01;
+  /// Append-only completion journal; empty = no journal. See
+  /// sweep_journal.hpp for the format.
+  std::filesystem::path journal;
+  /// Replay an existing journal and re-run only unfinished cases. Requires
+  /// \ref journal to be set.
+  bool resume = false;
+};
 
 /// Named trace axis point.
 struct SweepTrace {
@@ -71,11 +93,23 @@ struct SweepSpec {
   /// make firing order scheduling-dependent). Mutually exclusive with
   /// config.injector. Must outlive the run.
   const FaultPlan* fault_plan = nullptr;
+  /// Deadlines, retries, and the completion journal for run_supervised
+  /// (ignored by plain run()).
+  SweepSupervision supervision;
 
   [[nodiscard]] std::size_t num_cases() const {
     return traces.size() * machines.size() * strategies.size();
   }
 };
+
+/// How a supervised case ended up in the report.
+enum class SweepCaseStatus {
+  kOk = 0,           ///< Completed (possibly after retries, or replayed).
+  kQuarantined = 1,  ///< Every attempt failed; \ref SweepCaseResult::error
+                     ///< holds the last failure. The sweep continues.
+};
+
+[[nodiscard]] const char* to_string(SweepCaseStatus status);
 
 /// One grid cell's run, tagged with its axis coordinates.
 struct SweepCaseResult {
@@ -86,7 +120,19 @@ struct SweepCaseResult {
   std::string machine_name;
   std::string machine_label;  ///< Machine::label() of the built machine.
   std::string strategy;
-  TraceRunResult result;
+  SweepCaseStatus status = SweepCaseStatus::kOk;
+  int attempts = 1;           ///< Attempts consumed (run(): always 1).
+  bool from_journal = false;  ///< Replayed, not re-executed, this run.
+  std::string error;          ///< Last failure message when quarantined.
+  TraceRunResult result;      ///< Default-constructed when quarantined.
+};
+
+/// Output of run_supervised: the per-case results plus `supervisor.*`
+/// counters (attempts, retries, deadline hits, quarantines, journal
+/// replays/appends/torn records).
+struct SweepRunReport {
+  std::vector<SweepCaseResult> results;
+  MetricsRegistry supervisor;
 };
 
 /// See file comment. The referenced models must outlive the runner.
@@ -102,10 +148,41 @@ class SweepRunner {
   /// after the batch drains (Executor contract).
   [[nodiscard]] std::vector<SweepCaseResult> run(const SweepSpec& spec) const;
 
+  /// run(), but the sweep survives individual cases dying. Each case runs
+  /// under spec.supervision: a per-attempt wall-clock deadline (enforced via
+  /// a CancelToken polled at adaptation points), bounded retries with
+  /// exponential backoff and a fresh fault injector per attempt, and
+  /// quarantine — a case whose attempts are all exhausted is reported with
+  /// SweepCaseStatus::kQuarantined instead of aborting the batch. With a
+  /// journal configured, every completed case is durably appended as it
+  /// finishes, and supervision.resume replays finished cases instead of
+  /// re-running them (their results are byte-identical to the original
+  /// run's). Calls validate_sweep_spec first.
+  [[nodiscard]] SweepRunReport run_supervised(const SweepSpec& spec) const;
+
  private:
   const ExecTimeModel* model_;
   const GroundTruthCost* truth_;
 };
+
+/// Every problem with \p spec, one human-readable message per field; empty
+/// when the spec is valid. Checked: empty axes, duplicate axis-point names,
+/// unknown strategies, null machine factories, negative thread counts,
+/// fault_plan vs config.injector exclusivity, config.cancel set under
+/// supervision (the supervisor owns the token), negative deadlines /
+/// backoff, max_attempts < 1, and resume without a journal.
+[[nodiscard]] std::vector<std::string> sweep_spec_problems(
+    const SweepSpec& spec);
+
+/// Throws CheckError listing every problem reported by
+/// sweep_spec_problems; no-op on a valid spec.
+void validate_sweep_spec(const SweepSpec& spec);
+
+/// Fingerprint binding a journal to the grid it indexes: axis-point names,
+/// full trace contents, strategy list, the result-affecting ManagerConfig
+/// fields, and the fault plan. Execution knobs (threads, executor,
+/// supervision) are excluded — changing them must not orphan a journal.
+[[nodiscard]] std::uint64_t sweep_spec_fingerprint(const SweepSpec& spec);
 
 /// The result for (\p trace, \p machine, \p strategy) by axis-point name;
 /// throws CheckError when absent.

@@ -193,6 +193,26 @@ std::map<NestId, Rect> AllocTree::subdivide(const Rect& grid) const {
 
 // ---------------------------------------------------------------- validate
 
+AllocTree AllocTree::from_raw(std::vector<Node> nodes, int root) {
+  const int n = static_cast<int>(nodes.size());
+  ST_CHECK_MSG(root >= -1 && root < n,
+               "tree root index " << root << " outside " << n << " nodes");
+  ST_CHECK_MSG(root >= 0 || n == 0,
+               "rootless tree must have no nodes, got " << n);
+  const auto in_range = [n](int idx) { return idx >= -1 && idx < n; };
+  for (int i = 0; i < n; ++i) {
+    const Node& node = nodes[static_cast<std::size_t>(i)];
+    ST_CHECK_MSG(in_range(node.parent) && in_range(node.left) &&
+                     in_range(node.right),
+                 "tree node " << i << " has an out-of-range link");
+  }
+  AllocTree tree;
+  tree.nodes_ = std::move(nodes);
+  tree.root_ = root;
+  tree.validate();
+  return tree;
+}
+
 void AllocTree::validate() const {
   if (root_ < 0) return;
   ST_CHECK(root_ < static_cast<int>(nodes_.size()));

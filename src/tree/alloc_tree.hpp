@@ -118,6 +118,17 @@ class AllocTree {
   [[nodiscard]] const Node& node(int index) const;
   [[nodiscard]] int root() const { return root_; }
 
+  /// Verbatim node storage, for checkpoint serialization: the full node
+  /// vector *including* abandoned slots, so a restored tree reproduces the
+  /// exact indices — and hence the exact behavior of future diffuse()
+  /// calls — of the original.
+  [[nodiscard]] const std::vector<Node>& raw_nodes() const { return nodes_; }
+
+  /// Rebuild a tree from raw_nodes()/root() output. Bounds-checks every
+  /// parent/child link before wiring the tree together, then runs
+  /// validate(); throws CheckError on corrupt input.
+  [[nodiscard]] static AllocTree from_raw(std::vector<Node> nodes, int root);
+
  private:
   friend class DiffusionOps;  // implementation helper in diffusion.cpp
 

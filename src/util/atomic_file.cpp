@@ -1,0 +1,110 @@
+#include "util/atomic_file.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <system_error>
+
+#include "util/check.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define STORMTRACK_HAVE_FSYNC 1
+#endif
+
+namespace stormtrack {
+
+namespace {
+
+/// Unique-per-call temp sibling: pid + a process-wide counter, so
+/// concurrent writers (sweep workers, parallel test cases) never collide
+/// on the same temp name even when targeting the same destination.
+std::filesystem::path temp_sibling(const std::filesystem::path& path) {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+#if STORMTRACK_HAVE_FSYNC
+  const long pid = static_cast<long>(::getpid());
+#else
+  const long pid = 0;
+#endif
+  return path.parent_path() /
+         (path.filename().string() + ".tmp." + std::to_string(pid) + "." +
+          std::to_string(n));
+}
+
+/// fsync an open file by path (no-op on platforms without fsync).
+void sync_path(const std::filesystem::path& path, bool directory) {
+#if STORMTRACK_HAVE_FSYNC
+  const int flags = directory ? O_RDONLY | O_DIRECTORY : O_RDONLY;
+  const int fd = ::open(path.c_str(), flags);
+  // Some filesystems refuse to open or sync directories; the rename is
+  // still atomic, only its durability ordering is weakened — not worth
+  // failing the write over.
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+#else
+  (void)path;
+  (void)directory;
+#endif
+}
+
+}  // namespace
+
+void write_file_atomic(const std::filesystem::path& path,
+                       std::span<const std::byte> bytes) {
+  ST_CHECK_MSG(!path.empty(), "write_file_atomic: empty path");
+  if (!path.parent_path().empty())
+    std::filesystem::create_directories(path.parent_path());
+  const std::filesystem::path tmp = temp_sibling(path);
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    ST_CHECK_MSG(os.good(), "cannot open " << tmp << " for writing");
+    if (!bytes.empty())
+      os.write(reinterpret_cast<const char*>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()));
+    os.flush();
+    if (!os.good()) {
+      os.close();
+      std::error_code ignored;
+      std::filesystem::remove(tmp, ignored);
+      ST_CHECK_MSG(false, "failed writing " << bytes.size() << " bytes to "
+                                            << tmp);
+    }
+  }
+  sync_path(tmp, /*directory=*/false);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    ST_CHECK_MSG(false, "atomic rename " << tmp << " -> " << path
+                                         << " failed: " << ec.message());
+  }
+  const std::filesystem::path dir =
+      path.parent_path().empty() ? std::filesystem::path(".")
+                                 : path.parent_path();
+  sync_path(dir, /*directory=*/true);
+}
+
+void write_file_atomic(const std::filesystem::path& path,
+                       std::string_view text) {
+  write_file_atomic(
+      path, std::span<const std::byte>(
+                reinterpret_cast<const std::byte*>(text.data()), text.size()));
+}
+
+std::vector<std::byte> read_file_bytes(const std::filesystem::path& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  ST_CHECK_MSG(is.good(), "cannot open " << path << " for reading");
+  const std::streamsize size = is.tellg();
+  ST_CHECK_MSG(size >= 0, "cannot determine size of " << path);
+  is.seekg(0);
+  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+  if (size > 0) is.read(reinterpret_cast<char*>(bytes.data()), size);
+  ST_CHECK_MSG(is.good() || size == 0, "failed reading " << path);
+  return bytes;
+}
+
+}  // namespace stormtrack

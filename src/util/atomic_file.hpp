@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file atomic_file.hpp
+/// Torn-write-safe file output.
+///
+/// Every durable artifact the system writes — checkpoints, sweep journals,
+/// bench JSON summaries, traces, fault plans, images — must never be
+/// observable in a half-written state: a reader (or a resumed run) that
+/// finds a file either sees the complete previous version or the complete
+/// new one. write_file_atomic implements the standard protocol:
+///
+///   1. write the full contents to a unique sibling temp file;
+///   2. flush and fsync the temp file (data reaches the device, not just
+///      the page cache);
+///   3. rename(2) it over the destination — atomic on POSIX filesystems;
+///   4. fsync the containing directory so the rename itself survives a
+///      crash.
+///
+/// A crash at any step leaves either the old file or a stray `.tmp.*`
+/// sibling, never a truncated destination. Parent directories are created
+/// as needed.
+
+#include <cstddef>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stormtrack {
+
+/// Atomically replace \p path with \p bytes (see file comment). Throws
+/// CheckError on any I/O failure; the destination is untouched on failure.
+void write_file_atomic(const std::filesystem::path& path,
+                       std::span<const std::byte> bytes);
+
+/// Text overload of write_file_atomic.
+void write_file_atomic(const std::filesystem::path& path,
+                       std::string_view text);
+
+/// Read a whole file into a byte buffer. Throws CheckError when the file
+/// does not exist or cannot be read.
+[[nodiscard]] std::vector<std::byte> read_file_bytes(
+    const std::filesystem::path& path);
+
+}  // namespace stormtrack

@@ -2,20 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
-#include <fstream>
+#include <string>
 
+#include "util/atomic_file.hpp"
 #include "util/check.hpp"
 
 namespace stormtrack {
 
 namespace {
 
-std::ofstream open_binary(const std::filesystem::path& path) {
-  if (path.has_parent_path())
-    std::filesystem::create_directories(path.parent_path());
-  std::ofstream os(path, std::ios::binary);
-  ST_CHECK_MSG(os.is_open(), "cannot open image file " << path);
-  return os;
+// Netpbm binary header + raw pixel bytes, assembled in memory so the file
+// itself can be replaced atomically (never observable half-written).
+std::string netpbm_bytes(const char* format, int width, int height,
+                         const void* pixels, std::size_t num_bytes) {
+  std::string out = std::string(format) + "\n" + std::to_string(width) + " " +
+                    std::to_string(height) + "\n255\n";
+  out.append(static_cast<const char*>(pixels), num_bytes);
+  return out;
 }
 
 }  // namespace
@@ -23,21 +26,15 @@ std::ofstream open_binary(const std::filesystem::path& path) {
 void write_pgm(const Grid2D<std::uint8_t>& image,
                const std::filesystem::path& path) {
   ST_CHECK_MSG(!image.empty(), "cannot write an empty image");
-  std::ofstream os = open_binary(path);
-  os << "P5\n" << image.width() << ' ' << image.height() << "\n255\n";
-  os.write(reinterpret_cast<const char*>(image.data().data()),
-           static_cast<std::streamsize>(image.size()));
-  ST_CHECK_MSG(os.good(), "failed writing " << path);
+  write_file_atomic(path, netpbm_bytes("P5", image.width(), image.height(),
+                                       image.data().data(), image.size()));
 }
 
 void write_ppm(const Grid2D<Rgb>& image, const std::filesystem::path& path) {
   ST_CHECK_MSG(!image.empty(), "cannot write an empty image");
-  std::ofstream os = open_binary(path);
-  os << "P6\n" << image.width() << ' ' << image.height() << "\n255\n";
   static_assert(sizeof(Rgb) == 3, "Rgb must be packed");
-  os.write(reinterpret_cast<const char*>(image.data().data()),
-           static_cast<std::streamsize>(image.size() * 3));
-  ST_CHECK_MSG(os.good(), "failed writing " << path);
+  write_file_atomic(path, netpbm_bytes("P6", image.width(), image.height(),
+                                       image.data().data(), image.size() * 3));
 }
 
 Grid2D<std::uint8_t> field_to_grey(const Grid2D<double>& field, bool invert) {

@@ -27,6 +27,14 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
   }
 }
 
+void MetricsRegistry::add_entry(std::string_view name, const Entry& entry) {
+  auto it = entries_.find(name);
+  if (it == entries_.end())
+    it = entries_.emplace(std::string(name), Entry{}).first;
+  it->second.seconds += entry.seconds;
+  it->second.count += entry.count;
+}
+
 MetricsRegistry::Entry MetricsRegistry::get(std::string_view name) const {
   const auto it = entries_.find(name);
   return it == entries_.end() ? Entry{} : it->second;

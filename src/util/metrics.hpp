@@ -39,6 +39,11 @@ class MetricsRegistry {
   /// Fold another registry into this one (entry-wise sums).
   void merge(const MetricsRegistry& other);
 
+  /// Accumulate a whole entry (seconds and count) under \p name — the
+  /// deserialization primitive: checkpoint restore rebuilds a registry by
+  /// add_entry()-ing every saved entry into an empty one.
+  void add_entry(std::string_view name, const Entry& entry);
+
   void clear() { entries_.clear(); }
 
   [[nodiscard]] bool empty() const { return entries_.empty(); }

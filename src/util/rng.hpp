@@ -8,6 +8,7 @@
 /// so every experiment is bit-reproducible across hosts and runs without
 /// depending on libstdc++'s unspecified distribution implementations.
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -107,6 +108,26 @@ class Xoshiro256 {
 
   /// True with probability \p p.
   bool bernoulli(double p) { return uniform() < p; }
+
+  /// Complete generator position, for checkpoint/restart: restoring a saved
+  /// state resumes the exact output sequence (including a buffered
+  /// Marsaglia spare, so normal() draws line up too).
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    double spare = 0.0;
+    bool have_spare = false;
+  };
+
+  [[nodiscard]] State state() const {
+    return State{{state_[0], state_[1], state_[2], state_[3]}, spare_,
+                 have_spare_};
+  }
+
+  void set_state(const State& st) {
+    for (int i = 0; i < 4; ++i) state_[i] = st.s[i];
+    spare_ = st.spare;
+    have_spare_ = st.have_spare;
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {

@@ -132,4 +132,21 @@ void WeatherModel::render_fields() {
   }
 }
 
+WeatherModel::State WeatherModel::export_state() const {
+  return State{step_, rng_.state(), systems_};
+}
+
+void WeatherModel::import_state(const State& state) {
+  ST_CHECK_MSG(state.step >= 0,
+               "weather state has negative step " << state.step);
+  ST_CHECK_MSG(static_cast<int>(state.systems.size()) <= config_.max_systems,
+               "weather state carries " << state.systems.size()
+                                        << " systems, above the config cap "
+                                        << config_.max_systems);
+  step_ = state.step;
+  rng_.set_state(state.rng);
+  systems_ = state.systems;
+  render_fields();
+}
+
 }  // namespace stormtrack

@@ -83,6 +83,20 @@ class WeatherModel {
   /// Outgoing long-wave radiation field (W/m²).
   [[nodiscard]] const Grid2D<double>& olr() const { return olr_; }
 
+  /// Complete evolving state for checkpoint/restart: the RNG position, the
+  /// cloud-system population and the step counter. The rendered fields are
+  /// a deterministic function of the systems, so import_state() re-renders
+  /// them instead of carrying two full grids in every checkpoint.
+  struct State {
+    int step = 0;
+    Xoshiro256::State rng;
+    std::vector<CloudSystem> systems;
+  };
+  [[nodiscard]] State export_state() const;
+  /// Restore a state exported from a model with the same config; the next
+  /// step() continues the exact sequence of the original run.
+  void import_state(const State& state);
+
  private:
   void spawn_system();
   void render_fields();

@@ -1,0 +1,109 @@
+#include "ckpt/binary_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace stormtrack {
+namespace {
+
+TEST(BinaryIo, ScalarRoundTrip) {
+  BinaryWriter w;
+  w.put_u8(0xAB);
+  w.put_bool(true);
+  w.put_bool(false);
+  w.put_u32(0xDEADBEEFu);
+  w.put_u64(0x0123456789ABCDEFull);
+  w.put_i32(-42);
+  w.put_i64(-1234567890123LL);
+  w.put_f64(3.14159);
+  w.put_string("hello");
+  w.put_count(7);
+
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.get_u8("a"), 0xAB);
+  EXPECT_TRUE(r.get_bool("b"));
+  EXPECT_FALSE(r.get_bool("c"));
+  EXPECT_EQ(r.get_u32("d"), 0xDEADBEEFu);
+  EXPECT_EQ(r.get_u64("e"), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.get_i32("f"), -42);
+  EXPECT_EQ(r.get_i64("g"), -1234567890123LL);
+  EXPECT_EQ(r.get_f64("h"), 3.14159);
+  EXPECT_EQ(r.get_string("i"), "hello");
+  EXPECT_EQ(r.get_count("j"), 7u);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BinaryIo, EncodingIsLittleEndian) {
+  BinaryWriter w;
+  w.put_u32(0x04030201u);
+  const auto& b = w.bytes();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(static_cast<int>(b[0]), 1);
+  EXPECT_EQ(static_cast<int>(b[1]), 2);
+  EXPECT_EQ(static_cast<int>(b[2]), 3);
+  EXPECT_EQ(static_cast<int>(b[3]), 4);
+}
+
+TEST(BinaryIo, DoublesAreBitExact) {
+  BinaryWriter w;
+  w.put_f64(-0.0);
+  w.put_f64(std::numeric_limits<double>::quiet_NaN());
+  w.put_f64(std::numeric_limits<double>::infinity());
+  w.put_f64(std::numeric_limits<double>::denorm_min());
+
+  BinaryReader r(w.bytes());
+  const double neg_zero = r.get_f64("neg zero");
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_TRUE(std::isnan(r.get_f64("nan")));
+  EXPECT_TRUE(std::isinf(r.get_f64("inf")));
+  EXPECT_EQ(r.get_f64("denorm"), std::numeric_limits<double>::denorm_min());
+}
+
+TEST(BinaryIo, TruncatedReadNamesTheField) {
+  BinaryWriter w;
+  w.put_u32(123);
+  BinaryReader r(w.bytes());
+  (void)r.get_u32("first");
+  try {
+    (void)r.get_u64("missing tail");
+    FAIL() << "read past end must throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("missing tail"), std::string::npos);
+  }
+}
+
+TEST(BinaryIo, TruncatedStringThrows) {
+  BinaryWriter w;
+  w.put_u32(100);  // claims 100 bytes, provides none
+  BinaryReader r(w.bytes());
+  EXPECT_THROW((void)r.get_string("name"), CheckError);
+}
+
+TEST(BinaryIo, BadBoolByteThrows) {
+  BinaryWriter w;
+  w.put_u8(2);
+  BinaryReader r(w.bytes());
+  EXPECT_THROW((void)r.get_bool("flag"), CheckError);
+}
+
+TEST(BinaryIo, InsaneCountThrows) {
+  BinaryWriter w;
+  w.put_u64(std::numeric_limits<std::uint64_t>::max());
+  BinaryReader r(w.bytes());
+  EXPECT_THROW((void)r.get_count("elements"), CheckError);
+}
+
+TEST(BinaryIo, EmptyStringRoundTrips) {
+  BinaryWriter w;
+  w.put_string("");
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.get_string("empty"), "");
+  EXPECT_TRUE(r.exhausted());
+}
+
+}  // namespace
+}  // namespace stormtrack

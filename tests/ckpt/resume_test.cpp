@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/trace_run.hpp"
+#include "core/experiment.hpp"
+#include "exec/cancel.hpp"
+#include "exec/executor.hpp"
+#include "fault/fault_plan.hpp"
+#include "util/check.hpp"
+
+namespace stormtrack {
+namespace {
+
+namespace fs = std::filesystem;
+
+Trace test_trace(int events, std::uint64_t seed = 17) {
+  SyntheticTraceConfig cfg;
+  cfg.num_events = events;
+  cfg.seed = seed;
+  return generate_synthetic_trace(cfg);
+}
+
+/// Counter totals by name (wall-time seconds are timing noise; every count
+/// in the registry is deterministic and must survive a kill+resume).
+std::map<std::string, std::int64_t> counts(const MetricsRegistry& metrics) {
+  std::map<std::string, std::int64_t> out;
+  for (const auto& [name, entry] : metrics.entries())
+    out[name] = entry.count;
+  return out;
+}
+
+/// Simulate a SIGKILL after \p survivor_step: delete every checkpoint the
+/// reference run wrote after it, leaving the directory exactly as a death
+/// at that point would.
+void kill_after_step(const fs::path& dir, std::int64_t survivor_step,
+                     std::int64_t max_step) {
+  for (std::int64_t s = survivor_step + 1; s <= max_step; ++s)
+    fs::remove(checkpoint_file_path(dir, s));
+}
+
+class ResumeTest : public ::testing::Test {
+ protected:
+  ResumeTest() : machine_(Machine::bluegene(256)) {}
+
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("st_resume_" + std::string(::testing::UnitTest::GetInstance()
+                                           ->current_test_info()
+                                           ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  ModelStack models_;
+  Machine machine_;
+  fs::path dir_;
+};
+
+TEST_F(ResumeTest, KilledTraceRunResumesByteIdentical) {
+  const Trace trace = test_trace(8);
+  CheckpointPolicy policy;
+  policy.dir = dir_;
+  policy.every = 2;
+  policy.keep = 0;  // keep everything so the test can pick the survivor
+
+  // Uninterrupted reference.
+  const TraceRunResult reference = run_trace_checkpointed(
+      machine_, models_.model, models_.truth, "diffusion", trace,
+      ManagerConfig{}, policy);
+
+  // Die after step 4; resume and finish.
+  kill_after_step(dir_, 4, static_cast<std::int64_t>(trace.size()));
+  ResumeReport report;
+  const TraceRunResult resumed = run_trace_checkpointed(
+      machine_, models_.model, models_.truth, "diffusion", trace,
+      ManagerConfig{}, policy, &report);
+
+  EXPECT_TRUE(report.resumed);
+  EXPECT_EQ(report.step, 4);
+  EXPECT_EQ(resumed.final_state_fingerprint,
+            reference.final_state_fingerprint);
+  EXPECT_EQ(resumed.total_exec(), reference.total_exec());
+  EXPECT_EQ(resumed.total_redist(), reference.total_redist());
+  EXPECT_EQ(resumed.total_hop_bytes(), reference.total_hop_bytes());
+  ASSERT_EQ(resumed.outcomes.size(), reference.outcomes.size());
+  for (std::size_t i = 0; i < reference.outcomes.size(); ++i) {
+    SCOPED_TRACE("outcome " + std::to_string(i));
+    EXPECT_EQ(resumed.outcomes[i].chosen, reference.outcomes[i].chosen);
+    EXPECT_EQ(resumed.outcomes[i].committed.actual_exec,
+              reference.outcomes[i].committed.actual_exec);
+    EXPECT_EQ(resumed.outcomes[i].allocation.rects(),
+              reference.outcomes[i].allocation.rects());
+  }
+  // Every counter — including ckpt.writes — matches the uninterrupted run.
+  EXPECT_EQ(counts(resumed.metrics), counts(reference.metrics));
+}
+
+TEST_F(ResumeTest, KilledTraceRunResumesByteIdenticalWithEightThreads) {
+  const Trace trace = test_trace(8);
+  CheckpointPolicy policy;
+  policy.dir = dir_;
+  policy.every = 3;
+  policy.keep = 0;
+
+  ThreadPoolExecutor pool(8);
+  ManagerConfig config;
+  config.executor = &pool;
+
+  const TraceRunResult reference = run_trace_checkpointed(
+      machine_, models_.model, models_.truth, "diffusion", trace, config,
+      policy);
+  kill_after_step(dir_, 3, static_cast<std::int64_t>(trace.size()));
+  ResumeReport report;
+  const TraceRunResult resumed = run_trace_checkpointed(
+      machine_, models_.model, models_.truth, "diffusion", trace, config,
+      policy, &report);
+
+  EXPECT_TRUE(report.resumed);
+  EXPECT_EQ(report.step, 3);
+  EXPECT_EQ(resumed.final_state_fingerprint,
+            reference.final_state_fingerprint);
+  EXPECT_EQ(resumed.total_exec(), reference.total_exec());
+  EXPECT_EQ(counts(resumed.metrics), counts(reference.metrics));
+}
+
+TEST_F(ResumeTest, ResumeCarriesHysteresisStrategyState) {
+  // The hysteresis incumbent lives across adaptation points; losing it on
+  // resume would change later decisions. Kill right after a decision point.
+  const Trace trace = test_trace(10, 23);
+  CheckpointPolicy policy;
+  policy.dir = dir_;
+  policy.every = 1;
+  policy.keep = 0;
+
+  const TraceRunResult reference = run_trace_checkpointed(
+      machine_, models_.model, models_.truth, "hysteresis", trace,
+      ManagerConfig{}, policy);
+  kill_after_step(dir_, 5, static_cast<std::int64_t>(trace.size()));
+  const TraceRunResult resumed = run_trace_checkpointed(
+      machine_, models_.model, models_.truth, "hysteresis", trace,
+      ManagerConfig{}, policy);
+  EXPECT_EQ(resumed.final_state_fingerprint,
+            reference.final_state_fingerprint);
+  ASSERT_EQ(resumed.outcomes.size(), reference.outcomes.size());
+  for (std::size_t i = 0; i < reference.outcomes.size(); ++i)
+    EXPECT_EQ(resumed.outcomes[i].chosen, reference.outcomes[i].chosen);
+}
+
+TEST_F(ResumeTest, KilledRunUnderFaultInjectionResumesExactly) {
+  const Trace trace = test_trace(8);
+  FaultPlan::RandomConfig rc;
+  rc.num_events = 6;
+  rc.num_points = 8;
+  rc.num_ranks = 256;
+  rc.seed = 9;
+  const FaultPlan plan = FaultPlan::random(rc);
+
+  CheckpointPolicy policy;
+  policy.dir = dir_;
+  policy.every = 2;
+  policy.keep = 0;
+
+  FaultInjector ref_injector(plan);
+  ManagerConfig ref_config;
+  ref_config.injector = &ref_injector;
+  const TraceRunResult reference = run_trace_checkpointed(
+      machine_, models_.model, models_.truth, "diffusion", trace, ref_config,
+      policy);
+
+  kill_after_step(dir_, 4, static_cast<std::int64_t>(trace.size()));
+  FaultInjector res_injector(plan);
+  ManagerConfig res_config;
+  res_config.injector = &res_injector;
+  ResumeReport report;
+  const TraceRunResult resumed = run_trace_checkpointed(
+      machine_, models_.model, models_.truth, "diffusion", trace, res_config,
+      policy, &report);
+
+  EXPECT_TRUE(report.resumed);
+  EXPECT_EQ(resumed.final_state_fingerprint,
+            reference.final_state_fingerprint);
+  // The injector's interpreter position was restored, so fault and
+  // recovery counters agree too — faults neither replayed nor skipped.
+  EXPECT_EQ(counts(resumed.metrics), counts(reference.metrics));
+}
+
+TEST_F(ResumeTest, DifferentConfigurationStartsFreshInsteadOfResuming) {
+  const Trace trace = test_trace(6);
+  CheckpointPolicy policy;
+  policy.dir = dir_;
+
+  (void)run_trace_checkpointed(machine_, models_.model, models_.truth,
+                               "diffusion", trace, ManagerConfig{}, policy);
+  // Same directory, different trace: the config fingerprint differs, so
+  // nothing resumes and the run starts from step 0.
+  ResumeReport report;
+  (void)run_trace_checkpointed(machine_, models_.model, models_.truth,
+                               "diffusion", test_trace(6, 99),
+                               ManagerConfig{}, policy, &report);
+  EXPECT_FALSE(report.resumed);
+}
+
+TEST_F(ResumeTest, CancelledRunThrowsCancelledErrorNotCheckError) {
+  const Trace trace = test_trace(4);
+  CancelToken token;
+  token.cancel("watchdog");
+  ManagerConfig config;
+  config.cancel = &token;
+  EXPECT_THROW((void)run_trace(machine_, models_.model, models_.truth,
+                               "diffusion", trace, config),
+               CancelledError);
+}
+
+TEST_F(ResumeTest, KilledCoupledRunResumesToTheSameFingerprint) {
+  CoupledConfig config;
+  config.scenario.num_intervals = 6;
+  config.scenario.seed = 31;
+  const std::uint64_t fp = coupled_config_fingerprint(machine_, config);
+  CheckpointPolicy policy;
+  policy.dir = dir_;
+  policy.every = 1;
+  policy.keep = 0;
+
+  // Uninterrupted reference with checkpointing on.
+  CoupledCheckpointer ref_hook(policy, fp);
+  CoupledConfig ref_config = config;
+  ref_config.hook = &ref_hook;
+  CoupledSimulation reference(machine_, models_.model, models_.truth,
+                              ref_config);
+  for (int i = 0; i < 6; ++i) reference.advance();
+  ref_hook.checkpoint_now(reference);
+  EXPECT_GT(ref_hook.bytes_written(), 0);
+
+  // Death after interval 3: drop the later checkpoints, resume, finish.
+  kill_after_step(dir_, 3, 6);
+  CoupledCheckpointer res_hook(policy, fp);
+  CoupledConfig res_config = config;
+  res_config.hook = &res_hook;
+  CoupledSimulation resumed(machine_, models_.model, models_.truth,
+                            res_config);
+  const ResumeReport report = resume_coupled(resumed, dir_, fp);
+  ASSERT_TRUE(report.resumed);
+  EXPECT_EQ(report.step, 3);
+  EXPECT_EQ(resumed.interval(), 3);
+  for (int i = 3; i < 6; ++i) resumed.advance();
+  res_hook.checkpoint_now(resumed);
+
+  EXPECT_EQ(resumed.state_fingerprint(), reference.state_fingerprint());
+  EXPECT_EQ(counts(resumed.pipeline().metrics()),
+            counts(reference.pipeline().metrics()));
+}
+
+TEST_F(ResumeTest, CheckpointNowIsIdempotentPerStep) {
+  CoupledConfig config;
+  config.scenario.num_intervals = 3;
+  const std::uint64_t fp = coupled_config_fingerprint(machine_, config);
+  CheckpointPolicy policy;
+  policy.dir = dir_;
+  CoupledCheckpointer hook(policy, fp);
+  CoupledSimulation sim(machine_, models_.model, models_.truth, config);
+  sim.advance();
+  hook.checkpoint_now(sim);
+  hook.checkpoint_now(sim);  // same step: must not write again
+  EXPECT_EQ(hook.writes(), 1);
+}
+
+TEST_F(ResumeTest, EmptyDirectoryMeansNoResume) {
+  CoupledConfig config;
+  config.scenario.num_intervals = 2;
+  CoupledSimulation sim(machine_, models_.model, models_.truth, config);
+  const ResumeReport report =
+      resume_coupled(sim, dir_, coupled_config_fingerprint(machine_, config));
+  EXPECT_FALSE(report.resumed);
+  EXPECT_EQ(report.step, -1);
+}
+
+}  // namespace
+}  // namespace stormtrack

@@ -1,0 +1,61 @@
+#include "exec/cancel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace stormtrack {
+namespace {
+
+TEST(CancelToken, StartsUncancelled) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_NO_THROW(token.check());
+}
+
+TEST(CancelToken, CancelMakesCheckThrowWithReason) {
+  CancelToken token;
+  token.cancel("operator abort");
+  EXPECT_TRUE(token.cancelled());
+  try {
+    token.check();
+    FAIL() << "check() must throw after cancel()";
+  } catch (const CancelledError& e) {
+    EXPECT_EQ(std::string(e.what()), "operator abort");
+  }
+}
+
+TEST(CancelToken, ExpiredDeadlineCancels) {
+  CancelToken token;
+  token.set_deadline_after(0.0);  // already expired
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_THROW(token.check(), CancelledError);
+}
+
+TEST(CancelToken, FarDeadlineDoesNotCancel) {
+  CancelToken token;
+  token.set_deadline_after(3600.0);
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_NO_THROW(token.check());
+}
+
+TEST(CancelToken, ResetClearsCancellationAndDeadline) {
+  CancelToken token;
+  token.cancel("first attempt");
+  token.set_deadline_after(0.0);
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_NO_THROW(token.check());
+}
+
+TEST(CancelToken, CancelledErrorIsNotACheckError) {
+  // Supervision relies on telling a deadline apart from an invariant
+  // failure; CancelledError must not sit under CheckError.
+  const CancelledError e("x");
+  EXPECT_EQ(dynamic_cast<const std::logic_error*>(
+                static_cast<const std::exception*>(&e)),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace stormtrack

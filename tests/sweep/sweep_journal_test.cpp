@@ -1,0 +1,242 @@
+#include "sweep/sweep_journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "util/atomic_file.hpp"
+#include "util/check.hpp"
+
+namespace stormtrack {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint64_t kFp = 0x1122334455667788ull;
+
+class SweepJournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("st_journal_" + std::string(::testing::UnitTest::GetInstance()
+                                            ->current_test_info()
+                                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    path_ = dir_ / "sweep.stjl";
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// Two real completed cases to journal, produced by an actual tiny sweep
+  /// so every TraceRunResult field carries live data.
+  std::vector<SweepCaseResult> real_results() {
+    SweepSpec spec;
+    SyntheticTraceConfig t;
+    t.num_events = 3;
+    t.seed = 77;
+    spec.traces.push_back({"only", generate_synthetic_trace(t)});
+    spec.machines.push_back(sweep_bluegene(256));
+    spec.strategies = {"scratch", "diffusion"};
+    spec.threads = 1;
+    return SweepRunner(models_).run(spec);
+  }
+
+  /// Append raw bytes to the journal file, as a dying writer would.
+  void append_raw(const std::string& bytes) {
+    std::FILE* f = std::fopen(path_.string().c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+    std::fclose(f);
+  }
+
+  ModelStack models_;
+  fs::path dir_;
+  fs::path path_;
+};
+
+void expect_same_case(const SweepCaseResult& got, const SweepCaseResult& want) {
+  EXPECT_EQ(got.trace_index, want.trace_index);
+  EXPECT_EQ(got.machine_index, want.machine_index);
+  EXPECT_EQ(got.strategy_index, want.strategy_index);
+  EXPECT_EQ(got.trace_name, want.trace_name);
+  EXPECT_EQ(got.machine_name, want.machine_name);
+  EXPECT_EQ(got.machine_label, want.machine_label);
+  EXPECT_EQ(got.strategy, want.strategy);
+  EXPECT_EQ(got.status, want.status);
+  EXPECT_EQ(got.attempts, want.attempts);
+  EXPECT_EQ(got.error, want.error);
+  ASSERT_EQ(got.result.outcomes.size(), want.result.outcomes.size());
+  EXPECT_EQ(got.result.total_exec(), want.result.total_exec());
+  EXPECT_EQ(got.result.total_redist(), want.result.total_redist());
+  EXPECT_EQ(got.result.total_hop_bytes(), want.result.total_hop_bytes());
+  EXPECT_EQ(got.result.final_state_fingerprint,
+            want.result.final_state_fingerprint);
+  for (std::size_t i = 0; i < want.result.outcomes.size(); ++i) {
+    EXPECT_EQ(got.result.outcomes[i].chosen, want.result.outcomes[i].chosen);
+    EXPECT_EQ(got.result.outcomes[i].allocation.rects(),
+              want.result.outcomes[i].allocation.rects());
+  }
+}
+
+TEST_F(SweepJournalTest, AppendsThenReplaysEveryRecordOnResume) {
+  const std::vector<SweepCaseResult> results = real_results();
+  ASSERT_EQ(results.size(), 2u);
+  {
+    SweepJournal journal(path_, kFp, 2, /*resume=*/false);
+    journal.append(0, results[0]);
+    journal.append(1, results[1]);
+    EXPECT_EQ(journal.appends(), 2);
+    EXPECT_TRUE(journal.replayed().empty());
+  }
+  SweepJournal reopened(path_, kFp, 2, /*resume=*/true);
+  EXPECT_EQ(reopened.torn_records_dropped(), 0);
+  ASSERT_EQ(reopened.replayed().size(), 2u);
+  expect_same_case(reopened.replayed().at(0), results[0]);
+  expect_same_case(reopened.replayed().at(1), results[1]);
+}
+
+TEST_F(SweepJournalTest, OpeningWithoutResumeStartsFresh) {
+  const std::vector<SweepCaseResult> results = real_results();
+  {
+    SweepJournal journal(path_, kFp, 2, /*resume=*/false);
+    journal.append(0, results[0]);
+  }
+  SweepJournal fresh(path_, kFp, 2, /*resume=*/false);
+  EXPECT_TRUE(fresh.replayed().empty());
+}
+
+TEST_F(SweepJournalTest, ResumeOnMissingFileStartsFresh) {
+  SweepJournal journal(path_, kFp, 4, /*resume=*/true);
+  EXPECT_TRUE(journal.replayed().empty());
+  EXPECT_EQ(journal.torn_records_dropped(), 0);
+}
+
+TEST_F(SweepJournalTest, TornTailIsTruncatedAndJournalStaysUsable) {
+  const std::vector<SweepCaseResult> results = real_results();
+  {
+    SweepJournal journal(path_, kFp, 2, /*resume=*/false);
+    journal.append(0, results[0]);
+  }
+  // A writer died mid-append: a frame header promising 80 payload bytes,
+  // followed by only a few of them.
+  append_raw(std::string("\x50\x00\x00\x00partial", 11));
+  const auto torn_size = fs::file_size(path_);
+
+  SweepJournal reopened(path_, kFp, 2, /*resume=*/true);
+  EXPECT_EQ(reopened.torn_records_dropped(), 1);
+  ASSERT_EQ(reopened.replayed().size(), 1u);
+  expect_same_case(reopened.replayed().at(0), results[0]);
+  EXPECT_LT(fs::file_size(path_), torn_size);  // tail truncated away
+
+  // The truncated journal keeps accepting appends, and a later resume sees
+  // the intact record plus the new one.
+  reopened.append(1, results[1]);
+  SweepJournal again(path_, kFp, 2, /*resume=*/true);
+  EXPECT_EQ(again.torn_records_dropped(), 0);
+  EXPECT_EQ(again.replayed().size(), 2u);
+}
+
+TEST_F(SweepJournalTest, CorruptedTailRecordFailsItsCrcAndIsDropped) {
+  const std::vector<SweepCaseResult> results = real_results();
+  {
+    SweepJournal journal(path_, kFp, 2, /*resume=*/false);
+    journal.append(0, results[0]);
+    journal.append(1, results[1]);
+  }
+  std::vector<std::byte> bytes = read_file_bytes(path_);
+  bytes[bytes.size() - 6] ^= std::byte{0x01};  // inside the last payload
+  write_file_atomic(path_, std::span(bytes.data(), bytes.size()));
+
+  SweepJournal reopened(path_, kFp, 2, /*resume=*/true);
+  EXPECT_EQ(reopened.torn_records_dropped(), 1);
+  ASSERT_EQ(reopened.replayed().size(), 1u);
+  expect_same_case(reopened.replayed().at(0), results[0]);
+}
+
+TEST_F(SweepJournalTest, FileShorterThanTheHeaderStartsFresh) {
+  write_file_atomic(path_, std::string_view("STJL"));  // died mid-header
+  SweepJournal journal(path_, kFp, 2, /*resume=*/true);
+  EXPECT_EQ(journal.torn_records_dropped(), 1);
+  EXPECT_TRUE(journal.replayed().empty());
+}
+
+TEST_F(SweepJournalTest, BadMagicIsRejectedDescriptively) {
+  write_file_atomic(path_,
+                    std::string_view("this is definitely not a journal"));
+  try {
+    SweepJournal journal(path_, kFp, 2, /*resume=*/true);
+    FAIL() << "bad magic must be rejected";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos);
+  }
+}
+
+TEST_F(SweepJournalTest, UnsupportedVersionIsRejected) {
+  { SweepJournal journal(path_, kFp, 2, /*resume=*/false); }
+  std::vector<std::byte> bytes = read_file_bytes(path_);
+  bytes[4] = std::byte{0x7F};
+  write_file_atomic(path_, std::span(bytes.data(), bytes.size()));
+  try {
+    SweepJournal journal(path_, kFp, 2, /*resume=*/true);
+    FAIL() << "wrong version must be rejected";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST_F(SweepJournalTest, DifferentSpecFingerprintRefusesToResume) {
+  const std::vector<SweepCaseResult> results = real_results();
+  {
+    SweepJournal journal(path_, kFp, 2, /*resume=*/false);
+    journal.append(0, results[0]);
+  }
+  try {
+    SweepJournal journal(path_, kFp + 1, 2, /*resume=*/true);
+    FAIL() << "fingerprint mismatch must be rejected";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("fingerprint"), std::string::npos);
+  }
+}
+
+TEST_F(SweepJournalTest, RecordNamingACaseOutsideTheGridIsRejected) {
+  const std::vector<SweepCaseResult> results = real_results();
+  {
+    SweepJournal journal(path_, kFp, 8, /*resume=*/false);
+    journal.append(5, results[0]);
+  }
+  // Same fingerprint but a smaller grid: the record is intact, so this is
+  // the wrong journal, not a torn tail.
+  EXPECT_THROW(SweepJournal(path_, kFp, 2, /*resume=*/true), CheckError);
+}
+
+TEST_F(SweepJournalTest, QuarantinedStatusRoundTrips) {
+  std::vector<SweepCaseResult> results = real_results();
+  results[1].status = SweepCaseStatus::kQuarantined;
+  results[1].attempts = 3;
+  results[1].error = "deadline exceeded";
+  results[1].result = TraceRunResult{};
+  {
+    SweepJournal journal(path_, kFp, 2, /*resume=*/false);
+    journal.append(1, results[1]);
+  }
+  SweepJournal reopened(path_, kFp, 2, /*resume=*/true);
+  ASSERT_EQ(reopened.replayed().size(), 1u);
+  const SweepCaseResult& got = reopened.replayed().at(1);
+  EXPECT_EQ(got.status, SweepCaseStatus::kQuarantined);
+  EXPECT_EQ(got.attempts, 3);
+  EXPECT_EQ(got.error, "deadline exceeded");
+  EXPECT_TRUE(got.result.outcomes.empty());
+}
+
+TEST_F(SweepJournalTest, CreatesParentDirectories) {
+  const fs::path nested = dir_ / "a" / "b" / "sweep.stjl";
+  SweepJournal journal(nested, kFp, 1, /*resume=*/false);
+  EXPECT_TRUE(fs::exists(nested));
+}
+
+}  // namespace
+}  // namespace stormtrack

@@ -1,0 +1,99 @@
+#include "util/atomic_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+namespace {
+
+namespace fs = std::filesystem;
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("st_atomic_" +
+            std::to_string(
+                ::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+std::string slurp(const fs::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(is),
+          std::istreambuf_iterator<char>()};
+}
+
+TEST_F(AtomicFileTest, WritesTextExactly) {
+  const fs::path p = dir_ / "out.txt";
+  write_file_atomic(p, std::string_view("hello\nworld\n"));
+  EXPECT_EQ(slurp(p), "hello\nworld\n");
+}
+
+TEST_F(AtomicFileTest, OverwritesPreviousContents) {
+  const fs::path p = dir_ / "out.txt";
+  write_file_atomic(p, std::string_view("a much longer first version"));
+  write_file_atomic(p, std::string_view("v2"));
+  EXPECT_EQ(slurp(p), "v2");
+}
+
+TEST_F(AtomicFileTest, CreatesParentDirectories) {
+  const fs::path p = dir_ / "a" / "b" / "c.txt";
+  write_file_atomic(p, std::string_view("nested"));
+  EXPECT_EQ(slurp(p), "nested");
+}
+
+TEST_F(AtomicFileTest, HandlesBinaryBytesIncludingNul) {
+  const fs::path p = dir_ / "bin";
+  const std::byte bytes[] = {std::byte{0x00}, std::byte{0xFF},
+                             std::byte{0x0A}, std::byte{0x00}};
+  write_file_atomic(p, std::span<const std::byte>(bytes, 4));
+  const std::string got = slurp(p);
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[0], '\0');
+  EXPECT_EQ(static_cast<unsigned char>(got[1]), 0xFFu);
+}
+
+TEST_F(AtomicFileTest, LeavesNoTempFileBehind) {
+  write_file_atomic(dir_ / "out.txt", std::string_view("x"));
+  int entries = 0;
+  for ([[maybe_unused]] const auto& e : fs::directory_iterator(dir_))
+    ++entries;
+  EXPECT_EQ(entries, 1);
+}
+
+TEST_F(AtomicFileTest, ReadFileBytesRoundTrips) {
+  const fs::path p = dir_ / "rt";
+  write_file_atomic(p, std::string_view("round trip"));
+  const std::vector<std::byte> bytes = read_file_bytes(p);
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(bytes.data()),
+                        bytes.size()),
+            "round trip");
+}
+
+TEST_F(AtomicFileTest, ReadFileBytesMissingFileThrows) {
+  EXPECT_THROW((void)read_file_bytes(dir_ / "absent"), CheckError);
+}
+
+TEST_F(AtomicFileTest, EmptyFileRoundTrips) {
+  const fs::path p = dir_ / "empty";
+  write_file_atomic(p, std::string_view(""));
+  EXPECT_TRUE(read_file_bytes(p).empty());
+}
+
+}  // namespace
+}  // namespace stormtrack
