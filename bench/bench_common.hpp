@@ -96,7 +96,10 @@ class JsonSummary {
 
   [[nodiscard]] std::string to_json() const {
     std::ostringstream out;
-    out << "{\n  \"bench\": " << quote(bench_name_) << ",\n  \"rows\": [\n";
+    out << "{\n  \"bench\": " << quote(bench_name_)
+        << ",\n  \"git_sha\": " << quote(git_sha())
+        << ",\n  \"build_type\": " << quote(build_type())
+        << ",\n  \"rows\": [\n";
     for (std::size_t i = 0; i < rows_.size(); ++i)
       out << rows_[i].str() << "}" << (i + 1 < rows_.size() ? "," : "")
           << "\n";
@@ -108,6 +111,26 @@ class JsonSummary {
     // Atomic replace: a crash mid-write never leaves truncated JSON.
     write_file_atomic(std::filesystem::path(path), to_json());
     std::cout << "json summary written to " << path << "\n";
+  }
+
+  /// Commit the binary was built from (baselines must be attributable);
+  /// "unknown" outside a git checkout.
+  [[nodiscard]] static std::string git_sha() {
+#ifdef ST_BENCH_GIT_SHA
+    return ST_BENCH_GIT_SHA;
+#else
+    return "unknown";
+#endif
+  }
+
+  /// CMake build type ("Release", "Debug", ...); counters are build-type
+  /// independent but wall times are not.
+  [[nodiscard]] static std::string build_type() {
+#ifdef ST_BENCH_BUILD_TYPE
+    return ST_BENCH_BUILD_TYPE;
+#else
+    return "unknown";
+#endif
   }
 
  private:

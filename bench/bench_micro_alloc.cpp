@@ -6,10 +6,19 @@
 ///
 /// Sweeps: Huffman construction and diffusion reorganization vs nest
 /// count; subdivision and redistribution planning vs processor count.
+///
+/// Invoked with `--json out.json` (stripped before google-benchmark sees
+/// the flags — BENCHMARK_MAIN rejects unknown arguments) the binary also
+/// emits deterministic plan-size counters for the CI perf-smoke gate.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <string>
+#include <vector>
+
 #include "alloc/partitioner.hpp"
+#include "bench_common.hpp"
 #include "redist/redistributor.hpp"
 #include "util/rng.hpp"
 
@@ -97,7 +106,62 @@ void BM_FoldingMappingConstruction(benchmark::State& state) {
 }
 BENCHMARK(BM_FoldingMappingConstruction);
 
+/// Deterministic counter rows for the perf-smoke gate: the message counts
+/// and byte totals of the BM_RedistributionPlanning geometries, measured
+/// through both the materializing planner and the streaming cost walk.
+/// These are pure functions of the geometry, so any drift is a behavior
+/// change, not noise.
+void write_json_summary(const std::string& path) {
+  bench::JsonSummary summary("micro_alloc");
+  for (const int p : {256, 1024, 4096}) {
+    const int side = p == 256 ? 16 : (p == 1024 ? 32 : 64);
+    const NestShape nest{349, 349};
+    const Rect old_rect{0, 0, side / 2, side / 2};
+    const Rect new_rect{side / 4, side / 4, side / 2, side / 2};
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const RedistPlan plan =
+        plan_redistribution(nest, old_rect, new_rect, side);
+    const auto t1 = std::chrono::steady_clock::now();
+    const RedistCostSummary cost =
+        redistribution_cost(nest, old_rect, new_rect, side);
+
+    summary
+        .add_row("plan_p" + std::to_string(p),
+                 std::chrono::duration<double>(t1 - t0).count(), 1, 1)
+        .add_field("counter_messages",
+                   static_cast<double>(plan.messages.size()))
+        .add_field("counter_stream_messages",
+                   static_cast<double>(cost.num_messages))
+        .add_field("counter_total_bytes",
+                   static_cast<double>(cost.total_bytes))
+        .add_field("counter_overlap_points",
+                   static_cast<double>(cost.overlap_points));
+  }
+  summary.write(path);
+}
+
 }  // namespace
 }  // namespace stormtrack
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off `--json <path>` before google-benchmark parses the command
+  // line (it rejects flags it does not know).
+  const auto json_path = stormtrack::bench::json_output_path(argc, argv);
+  std::vector<char*> bench_args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      ++i;  // Skip the path operand too.
+      continue;
+    }
+    bench_args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (json_path) stormtrack::write_json_summary(*json_path);
+  return 0;
+}

@@ -39,6 +39,31 @@ const PipelineCandidate* PipelineContext::find(std::string_view name) const {
   return nullptr;
 }
 
+void PipelineCandidate::reset() {
+  name.clear();
+  tree = AllocTree{};
+  alloc = Allocation{};
+  costs.clear();  // keeps capacity
+  metrics = CandidateMetrics{};
+  traffic = TrafficReport{};
+  overlap_points = 0;
+  total_points = 0;
+}
+
+void PipelineContext::reset() {
+  active.clear();
+  retained.clear();
+  inserted.clear();
+  deleted.clear();
+  request.deleted.clear();
+  request.retained.clear();
+  request.inserted.clear();
+  // Candidate slots are kept (and re-reset by BuildCandidates after it
+  // sizes the vector) so their cost vectors keep capacity too.
+  for (PipelineCandidate& c : candidates) c.reset();
+  committed_index = 0;
+}
+
 AdaptationPipeline::AdaptationPipeline(const Machine& machine,
                                        const ExecTimeModel& model,
                                        const GroundTruthCost& truth,
@@ -193,7 +218,10 @@ void AdaptationPipeline::stage_build_candidates(PipelineContext& ctx,
   if (mode == AttemptMode::kFull) partitioners.push_back(&diffusion_p);
   // The proposals are independent: each reads the committed tree /
   // allocation (immutable here) and writes only its own candidate slot.
+  // Slots (and their cost-vector capacity) survive across points; reset
+  // here so a reused slot never leaks the previous point's state.
   ctx.candidates.resize(partitioners.size());
+  for (PipelineCandidate& c : ctx.candidates) c.reset();
   const std::function<void(std::size_t)> guard =
       config_.injector == nullptr
           ? std::function<void(std::size_t)>{}
@@ -207,20 +235,23 @@ void AdaptationPipeline::stage_build_candidates(PipelineContext& ctx,
     c.tree = p->propose(tree_, ctx.request);
     c.alloc = allocate(c.tree, machine_->grid_px(), machine_->grid_py(),
                        view_rect());
-    // Redistribution planning: one Alltoallv message matrix per retained
-    // nest (§IV: "MPI_Alltoallv to redistribute data for each nest"),
-    // moving from the committed allocation to this candidate's.
-    c.plans.reserve(ctx.retained.size());
+    // Redistribution pricing: one streaming cost summary per retained nest
+    // (§IV: "MPI_Alltoallv to redistribute data for each nest"), moving
+    // from the committed allocation to this candidate's. Aggregates only —
+    // the message matrices are materialized in the Redistribute stage, so
+    // candidate pricing never allocates a Message vector.
+    c.costs.reserve(ctx.retained.size());
     for (const NestSpec& nest : ctx.retained) {
       const auto old_rect = allocation_.find(nest.id);
       const auto new_rect = c.alloc.find(nest.id);
       ST_CHECK_MSG(old_rect && new_rect,
                    "retained nest " << nest.id << " missing an allocation");
-      c.plans.push_back(plan_redistribution(nest.shape, *old_rect, *new_rect,
+      c.costs.push_back(redistribution_cost(nest.shape, *old_rect, *new_rect,
                                             machine_->grid_px(),
-                                            config_.bytes_per_point));
-      c.overlap_points += c.plans.back().overlap_points;
-      c.total_points += c.plans.back().total_points;
+                                            config_.bytes_per_point,
+                                            &machine_->comm()));
+      c.overlap_points += c.costs.back().overlap_points;
+      c.total_points += c.costs.back().total_points;
     }
   };
   resolve_executor(config_.executor)
@@ -245,9 +276,11 @@ void AdaptationPipeline::stage_predict_costs(PipelineContext& ctx) const {
           [&](std::size_t ci) {
         PipelineCandidate& c = ctx.candidates[ci];
         // §IV-C-1: predict each retained nest's phase; phases run
-        // sequentially.
-        for (const RedistPlan& plan : c.plans)
-          c.metrics.predicted_redist += redist_model.predict(plan.messages);
+        // sequentially. The streaming summaries carry the prediction terms
+        // pre-accumulated in the message-list overload's exact order, so
+        // this sum is bit-identical to pricing materialized plans.
+        for (const RedistCostSummary& cost : c.costs)
+          c.metrics.predicted_redist += redist_model.predict(cost);
         // §IV-C-2: nests run concurrently on disjoint processor rectangles,
         // so the coupled interval advances with the slowest nest. The model
         // predicts from the processor *count* — it cannot see the
@@ -301,8 +334,21 @@ StepOutcome AdaptationPipeline::stage_redistribute(PipelineContext& ctx) {
           ctx.candidates.size(),
           [&](std::size_t ci) {
         PipelineCandidate& c = ctx.candidates[ci];
-        for (const RedistPlan& plan : c.plans)
+        // The message matrices are materialized here — the only stage that
+        // actually moves data — from the still-committed allocation_ (it is
+        // not replaced until after this stage), so the plans are exactly
+        // the moves the pricing stages summarized.
+        for (const NestSpec& nest : ctx.retained) {
+          const auto old_rect = allocation_.find(nest.id);
+          const auto new_rect = c.alloc.find(nest.id);
+          ST_CHECK_MSG(old_rect && new_rect,
+                       "retained nest " << nest.id
+                                        << " missing an allocation");
+          const RedistPlan plan = plan_redistribution(
+              nest.shape, *old_rect, *new_rect, machine_->grid_px(),
+              config_.bytes_per_point);
           c.traffic += machine_->comm().alltoallv(plan.messages);
+        }
         c.metrics.actual_redist = c.traffic.modeled_time;
         double actual_max = 0.0;
         for (const NestSpec& nest : ctx.active) {
@@ -455,6 +501,9 @@ StepOutcome AdaptationPipeline::apply_attempt(PipelineContext& ctx,
   metrics_.add_count("pipeline.redist_plans",
                      static_cast<std::int64_t>(ctx.retained.size()) *
                          static_cast<std::int64_t>(ctx.candidates.size()));
+  metrics_.add_count("pipeline.cost_queries",
+                     static_cast<std::int64_t>(ctx.retained.size()) *
+                         static_cast<std::int64_t>(ctx.candidates.size()));
   return out;
 }
 
@@ -472,9 +521,10 @@ StepOutcome AdaptationPipeline::apply(std::span<const NestSpec> active) {
   StepOutcome out;
   if (injector == nullptr) {
     // No fault schedule: exactly the pre-fault behavior — one attempt,
-    // exceptions propagate to the caller.
-    PipelineContext ctx;
-    out = apply_attempt(ctx, active, AttemptMode::kFull);
+    // exceptions propagate to the caller. The context is reused scratch:
+    // reset() keeps its buffers' capacity across adaptation points.
+    ctx_.reset();
+    out = apply_attempt(ctx_, active, AttemptMode::kFull);
   } else {
     injector->begin_point(point);
     for (const int rank : injector->ranks_dying_at(point)) {
@@ -504,9 +554,9 @@ StepOutcome AdaptationPipeline::apply(std::span<const NestSpec> active) {
     };
     bool committed = false;
     for (const Rung& rung : kLadder) {
-      PipelineContext ctx;
+      ctx_.reset();
       try {
-        out = apply_attempt(ctx, active, rung.mode);
+        out = apply_attempt(ctx_, active, rung.mode);
         out.ranks_lost = ranks_lost;
         if (rung.label[0] != '\0') {
           out.degraded = true;

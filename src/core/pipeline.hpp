@@ -140,16 +140,23 @@ struct PipelineCandidate {
   std::string name;               ///< Proposing partitioner's name.
   AllocTree tree;                 ///< Proposed allocation tree.
   Allocation alloc;               ///< Subdivision of the process grid.
-  /// Redistribution message matrices, one per retained nest, in
-  /// PipelineContext::retained order.
-  std::vector<RedistPlan> plans;
+  /// Streaming redistribution cost aggregates, one per retained nest, in
+  /// PipelineContext::retained order. Pricing only — no message matrices
+  /// are materialized until the Redistribute stage builds its plans.
+  std::vector<RedistCostSummary> costs;
   CandidateMetrics metrics;
   TrafficReport traffic;          ///< Simulated redistribution traffic.
   std::int64_t overlap_points = 0;
   std::int64_t total_points = 0;
+
+  /// Return the slot to its freshly-constructed state while keeping vector
+  /// capacity (scratch reuse across adaptation points).
+  void reset();
 };
 
-/// Blackboard the stages communicate through. Rebuilt per adaptation point.
+/// Blackboard the stages communicate through. One instance lives in the
+/// pipeline and is reset() — capacity kept — per attempt, so steady-state
+/// adaptation points reuse every scratch buffer instead of reallocating.
 struct PipelineContext {
   std::vector<NestSpec> active;    ///< New active set, ascending by id.
   std::vector<NestSpec> retained;  ///< Survivors (old-set iteration order).
@@ -158,6 +165,9 @@ struct PipelineContext {
   ReconfigRequest request;         ///< DeriveWeights output.
   std::vector<PipelineCandidate> candidates;  ///< BuildCandidates output.
   std::size_t committed_index = 0;            ///< Commit output.
+
+  /// Clear all per-point state, retaining allocated capacity.
+  void reset();
 
   /// Candidate named \p name, or nullptr.
   [[nodiscard]] const PipelineCandidate* find(std::string_view name) const;
@@ -285,6 +295,7 @@ class AdaptationPipeline {
   int view_px_ = 0;                  ///< Usable grid view (shrinks on rank
   int view_py_ = 0;                  ///< death, never renumbers ranks).
   FaultInjectorStats seen_faults_;   ///< Injector stats at last apply() end.
+  PipelineContext ctx_;              ///< Reused scratch; reset() per attempt.
 };
 
 /// Historical name of the pipeline (pre-refactor API); kept as an alias so

@@ -20,25 +20,24 @@ void require_sorted(std::span<const QCloudInfo> info) {
                  "qcloudinfo must be sorted by qcloud non-increasing");
 }
 
-double cluster_mean(std::span<const QCloudInfo> info, const Cluster& c) {
-  double s = 0.0;
-  for (int i : c) s += info[static_cast<std::size_t>(i)].qcloud;
-  return s / static_cast<double>(c.size());
-}
-
 /// Algorithm 2's DISTANCE function: true when \p element is exactly
 /// \p hop away from \p member AND adding it keeps the cluster mean within
-/// the deviation limit.
+/// the deviation limit. \p cluster_sum is the running qcloud sum of the
+/// cluster, maintained by the caller: members are only ever appended, so
+/// the running sum adds the same values in the same order as a fresh
+/// recomputation would — old_mean is bit-identical to the former
+/// O(|cluster|) cluster_mean() scan per candidate.
 bool distance_ok(std::span<const QCloudInfo> info, int element, int member,
-                 const Cluster& cluster, int hop, double deviation_limit) {
+                 std::size_t cluster_size, double cluster_sum, int hop,
+                 double deviation_limit) {
   if (file_grid_distance(info[static_cast<std::size_t>(element)],
                          info[static_cast<std::size_t>(member)]) != hop)
     return false;
-  const double old_mean = cluster_mean(info, cluster);
+  const double old_mean = cluster_sum / static_cast<double>(cluster_size);
   const double new_mean =
-      (old_mean * static_cast<double>(cluster.size()) +
+      (old_mean * static_cast<double>(cluster_size) +
        info[static_cast<std::size_t>(element)].qcloud) /
-      static_cast<double>(cluster.size() + 1);
+      static_cast<double>(cluster_size + 1);
   return std::abs(new_mean - old_mean) <= deviation_limit * old_mean;
 }
 
@@ -53,6 +52,9 @@ std::vector<Cluster> nnc(std::span<const QCloudInfo> sorted_info,
                          const NncConfig& config) {
   require_sorted(sorted_info);
   std::vector<Cluster> clusters;
+  // Running qcloud sum per cluster (parallel to `clusters`): turns the
+  // per-candidate mean from an O(|cluster|) scan into O(1).
+  std::vector<double> sums;
 
   for (int e = 0; e < static_cast<int>(sorted_info.size()); ++e) {
     const QCloudInfo& element = sorted_info[static_cast<std::size_t>(e)];
@@ -63,11 +65,13 @@ std::vector<Cluster> nnc(std::span<const QCloudInfo> sorted_info,
     // that fails, a 2-hop pass — this ordering is what makes the clusters
     // non-overlapping (§V-A).
     for (const int hop : {1, 2}) {
-      for (Cluster& list : clusters) {
+      for (std::size_t ci = 0; ci < clusters.size(); ++ci) {
+        Cluster& list = clusters[ci];
         for (const int member : list) {
-          if (distance_ok(sorted_info, e, member, list, hop,
+          if (distance_ok(sorted_info, e, member, list.size(), sums[ci], hop,
                           config.mean_deviation_limit)) {
             list.push_back(e);
+            sums[ci] += element.qcloud;
             placed = true;
             break;
           }
@@ -76,7 +80,10 @@ std::vector<Cluster> nnc(std::span<const QCloudInfo> sorted_info,
       }
       if (placed) break;
     }
-    if (!placed) clusters.push_back(Cluster{e});
+    if (!placed) {
+      clusters.push_back(Cluster{e});
+      sums.push_back(element.qcloud);
+    }
   }
   return clusters;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <unordered_set>
 
 #include "fault/fault_injector.hpp"
 #include "simmpi/spmd.hpp"
@@ -42,25 +44,32 @@ namespace {
 }
 
 /// Indices of clusters with a member within 2 file-grid hops (Chebyshev —
-/// NNC's maximum merge distance) of any lost file.
+/// NNC's maximum merge distance) of any lost file. Lost files are bucketed
+/// into a hash set of their file-grid cells once, and each member probes
+/// its 5×5 Chebyshev-2 neighborhood — O(members × 25) instead of
+/// O(clusters × members × lost_files).
 [[nodiscard]] std::vector<int> find_suspect_clusters(
     const std::vector<QCloudInfo>& qcloudinfo,
     const std::vector<Cluster>& clusters,
     const std::vector<QCloudInfo>& lost_files) {
   std::vector<int> suspects;
   if (lost_files.empty()) return suspects;
+  std::unordered_set<std::int64_t> lost_cells;
+  lost_cells.reserve(lost_files.size());
+  const auto cell_key = [](int x, int y) {
+    return (static_cast<std::int64_t>(x) << 32) |
+           static_cast<std::uint32_t>(y);
+  };
+  for (const QCloudInfo& lost : lost_files)
+    lost_cells.insert(cell_key(lost.file_x, lost.file_y));
   for (std::size_t c = 0; c < clusters.size(); ++c) {
     bool suspect = false;
     for (const int idx : clusters[c]) {
       const QCloudInfo& m = qcloudinfo[static_cast<std::size_t>(idx)];
-      for (const QCloudInfo& lost : lost_files) {
-        const int d = std::max(std::abs(m.file_x - lost.file_x),
-                               std::abs(m.file_y - lost.file_y));
-        if (d <= 2) {
-          suspect = true;
-          break;
-        }
-      }
+      for (int dy = -2; dy <= 2 && !suspect; ++dy)
+        for (int dx = -2; dx <= 2 && !suspect; ++dx)
+          suspect = lost_cells.count(cell_key(m.file_x + dx,
+                                              m.file_y + dy)) > 0;
       if (suspect) break;
     }
     if (suspect) suspects.push_back(static_cast<int>(c));

@@ -105,7 +105,25 @@ Delaunay2D::Delaunay2D(std::vector<Point2> sites) : sites_(std::move(sites)) {
                "degenerate site set (all collinear?) — no triangles");
 }
 
+bool Delaunay2D::strictly_inside(int t, const Point2& p) const {
+  const Triangle& tri = triangles_[static_cast<std::size_t>(t)];
+  const Point2& a = sites_[static_cast<std::size_t>(tri[0])];
+  const Point2& b = sites_[static_cast<std::size_t>(tri[1])];
+  const Point2& c = sites_[static_cast<std::size_t>(tri[2])];
+  // Positive counterpart of locate()'s lenient tolerance: a point passing
+  // this test is inside every triangle edge by a margin at least as large
+  // as the scan's boundary band, so no other (interior-disjoint) triangle
+  // can claim it.
+  const double eps = 1e-9 * std::max(1.0, std::abs(cross2(a, b, c)));
+  return cross2(a, b, p) > eps && cross2(b, c, p) > eps &&
+         cross2(c, a, p) > eps;
+}
+
 int Delaunay2D::locate(const Point2& p) const {
+  const int hint = locate_hint_.load(std::memory_order_relaxed);
+  if (hint >= 0 && hint < static_cast<int>(triangles_.size()) &&
+      strictly_inside(hint, p))
+    return hint;
   // Linear scan: the model triangulates ~13 sites, so this is already fast.
   for (std::size_t i = 0; i < triangles_.size(); ++i) {
     const Triangle& t = triangles_[i];
@@ -114,8 +132,10 @@ int Delaunay2D::locate(const Point2& p) const {
     const Point2& c = sites_[static_cast<std::size_t>(t[2])];
     const double eps = -1e-9 * std::max(1.0, std::abs(cross2(a, b, c)));
     if (cross2(a, b, p) >= eps && cross2(b, c, p) >= eps &&
-        cross2(c, a, p) >= eps)
+        cross2(c, a, p) >= eps) {
+      locate_hint_.store(static_cast<int>(i), std::memory_order_relaxed);
       return static_cast<int>(i);
+    }
   }
   return -1;
 }

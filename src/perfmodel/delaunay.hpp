@@ -13,6 +13,7 @@
 /// site (documented deviation: the paper does not specify extrapolation).
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <span>
 #include <vector>
@@ -36,6 +37,26 @@ class Delaunay2D {
   /// non-collinear, and no duplicates (checked).
   explicit Delaunay2D(std::vector<Point2> sites);
 
+  // Copies/moves drop the locate hint (it is only a cache; carrying it
+  // over would be correct too, but resetting keeps the semantics obvious).
+  Delaunay2D(const Delaunay2D& other)
+      : sites_(other.sites_), triangles_(other.triangles_) {}
+  Delaunay2D(Delaunay2D&& other) noexcept
+      : sites_(std::move(other.sites_)),
+        triangles_(std::move(other.triangles_)) {}
+  Delaunay2D& operator=(const Delaunay2D& other) {
+    sites_ = other.sites_;
+    triangles_ = other.triangles_;
+    locate_hint_.store(-1, std::memory_order_relaxed);
+    return *this;
+  }
+  Delaunay2D& operator=(Delaunay2D&& other) noexcept {
+    sites_ = std::move(other.sites_);
+    triangles_ = std::move(other.triangles_);
+    locate_hint_.store(-1, std::memory_order_relaxed);
+    return *this;
+  }
+
   [[nodiscard]] const std::vector<Point2>& sites() const { return sites_; }
   [[nodiscard]] const std::vector<Triangle>& triangles() const {
     return triangles_;
@@ -43,6 +64,17 @@ class Delaunay2D {
 
   /// Index of a triangle containing \p p (boundary counts as inside),
   /// or -1 when p lies outside the convex hull.
+  ///
+  /// Seeded with a last-hit hint: the previous successful locate's triangle
+  /// is tried first and short-circuits the scan — but only when \p p is
+  /// *strictly* interior to it (every edge cross-product above a positive
+  /// tolerance). Strict interiority makes the containing triangle unique
+  /// (triangle interiors are disjoint and the scan's boundary tolerance is
+  /// orders of magnitude smaller than the query lattice — model queries are
+  /// integer (nx, ny) shapes), so the hinted answer always equals the scan
+  /// answer and results stay independent of query order and thread
+  /// schedule. The hint is a relaxed atomic: safe for concurrent queries,
+  /// at worst a wasted shortcut attempt.
   [[nodiscard]] int locate(const Point2& p) const;
 
   /// Barycentric coordinates of \p p with respect to triangle \p t.
@@ -53,8 +85,14 @@ class Delaunay2D {
   [[nodiscard]] int nearest_site(const Point2& p) const;
 
  private:
+  /// True when \p p is strictly interior to triangle \p t (positive
+  /// tolerance on every edge) — the acceptance test for the locate hint.
+  [[nodiscard]] bool strictly_inside(int t, const Point2& p) const;
+
   std::vector<Point2> sites_;
   std::vector<Triangle> triangles_;
+  /// Last successfully located triangle, or -1; pure cache.
+  mutable std::atomic<int> locate_hint_{-1};
 };
 
 /// Piecewise-linear interpolant over scattered sites: Delaunay + barycentric

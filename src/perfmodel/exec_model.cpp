@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -62,6 +63,40 @@ ExecTimeModel::ExecTimeModel(const GroundTruthCost& truth,
 double ExecTimeModel::predict(const NestShape& shape, int procs) const {
   ST_CHECK_MSG(shape.nx > 0 && shape.ny > 0, "nest shape must be positive");
   ST_CHECK_MSG(procs > 0, "processor count must be positive");
+  cache_lookups_.fetch_add(1, std::memory_order_relaxed);
+  const CacheKey key{shape.nx, shape.ny, procs};
+  {
+    std::shared_lock lock(cache_mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  // The interpolation is a pure deterministic function of (shape, procs),
+  // so a racing duplicate computation stores the identical double — cached
+  // and cold predictions are bit-for-bit the same regardless of thread
+  // interleaving.
+  const double t = predict_uncached(shape, procs);
+  {
+    std::unique_lock lock(cache_mutex_);
+    cache_.emplace(key, t);
+  }
+  return t;
+}
+
+ExecModelCacheStats ExecTimeModel::cache_stats() const {
+  ExecModelCacheStats s;
+  s.lookups = cache_lookups_.load(std::memory_order_relaxed);
+  s.misses = cache_misses_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ExecTimeModel::clear_cache_stats() const {
+  cache_lookups_.store(0, std::memory_order_relaxed);
+  cache_misses_.store(0, std::memory_order_relaxed);
+}
+
+double ExecTimeModel::predict_uncached(const NestShape& shape,
+                                       int procs) const {
   const Point2 q{static_cast<double>(shape.nx),
                  static_cast<double>(shape.ny)};
   const auto& pcs = config_.proc_counts;

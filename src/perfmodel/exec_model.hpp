@@ -13,8 +13,11 @@
 /// Profiled samples carry measurement noise, so predictions correlate with
 /// — but do not equal — the ground truth (the paper reports Pearson r≈0.9).
 
+#include <atomic>
 #include <cstdint>
+#include <shared_mutex>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "perfmodel/delaunay.hpp"
@@ -39,7 +42,28 @@ struct ProfileConfig {
   [[nodiscard]] static ProfileConfig paper_default();
 };
 
+/// Hit/miss accounting of the prediction memo cache (process lifetime of
+/// the model). Relaxed atomics — observability only.
+struct ExecModelCacheStats {
+  std::int64_t lookups = 0;  ///< predict() calls.
+  std::int64_t misses = 0;   ///< Calls that ran the full interpolation.
+
+  [[nodiscard]] std::int64_t hits() const { return lookups - misses; }
+  [[nodiscard]] double hit_rate() const {
+    if (lookups == 0) return 0.0;
+    return static_cast<double>(hits()) / static_cast<double>(lookups);
+  }
+};
+
 /// Delaunay-plus-linear execution-time predictor.
+///
+/// predict() memoizes on (nx, ny, procs): the same few nest shapes and
+/// processor counts recur across both candidates, every adaptation point,
+/// and every sweep case, so after warm-up a prediction is one shared-lock
+/// hash lookup instead of two Delaunay point locations. Cached and cold
+/// predictions are bit-identical (the interpolation is deterministic), and
+/// the cache is thread-safe — candidate stages query the shared model
+/// concurrently.
 class ExecTimeModel {
  public:
   /// Run the profiling campaign against the hidden \p truth and fit.
@@ -56,10 +80,37 @@ class ExecTimeModel {
 
   [[nodiscard]] const ProfileConfig& config() const { return config_; }
 
+  /// Memo-cache accounting since construction (or the last
+  /// clear_cache_stats()).
+  [[nodiscard]] ExecModelCacheStats cache_stats() const;
+  void clear_cache_stats() const;
+
  private:
+  /// Memo key; shapes and processor counts are small ints, so a mixed
+  /// 64-bit key is collision-free in practice and cheap to hash.
+  struct CacheKey {
+    int nx, ny, procs;
+    friend bool operator==(const CacheKey&, const CacheKey&) = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& k) const {
+      std::uint64_t h = static_cast<std::uint32_t>(k.nx);
+      h = h * 0x9e3779b97f4a7c15ULL + static_cast<std::uint32_t>(k.ny);
+      h = h * 0x9e3779b97f4a7c15ULL + static_cast<std::uint32_t>(k.procs);
+      return static_cast<std::size_t>(h ^ (h >> 32));
+    }
+  };
+
+  [[nodiscard]] double predict_uncached(const NestShape& shape,
+                                        int procs) const;
+
   ProfileConfig config_;
   /// One scattered interpolant over (nx, ny) per profiled processor count.
   std::vector<ScatteredInterpolant> per_proc_count_;
+  mutable std::shared_mutex cache_mutex_;
+  mutable std::unordered_map<CacheKey, double, CacheKeyHash> cache_;
+  mutable std::atomic<std::int64_t> cache_lookups_{0};
+  mutable std::atomic<std::int64_t> cache_misses_{0};
 };
 
 /// Normalized execution-time ratios for a set of nests on \p procs total

@@ -20,6 +20,7 @@
 #include <map>
 #include <span>
 
+#include "redist/redistributor.hpp"
 #include "simmpi/simcomm.hpp"
 
 namespace stormtrack {
@@ -29,6 +30,17 @@ class RedistTimeModel {
  public:
   /// \p comm must outlive the model.
   explicit RedistTimeModel(const SimComm& comm) : comm_(&comm) {}
+
+  /// Allocation-free §IV-C-1 prediction from streaming aggregates: the
+  /// summary must have been computed by redistribution_cost() against this
+  /// model's communicator, which accumulates the worst pair time (direct
+  /// networks) and the worst per-sender serial time (switched networks) in
+  /// the exact order the message-list overload below would visit them —
+  /// the two overloads return bit-identical predictions.
+  [[nodiscard]] double predict(const RedistCostSummary& cost) const {
+    return comm_->topology().is_direct_network() ? cost.worst_pair_time
+                                                 : cost.worst_sender_time;
+  }
 
   /// Predicted Alltoallv completion time for a redistribution phase
   /// described by its sparse message list (§IV-C-1 formula).

@@ -8,41 +8,135 @@
 
 namespace stormtrack {
 
+namespace detail {
+
+RedistCounterState& redist_counter_state() {
+  static RedistCounterState state;
+  return state;
+}
+
+}  // namespace detail
+
+RedistCounters redist_counters() {
+  const auto& s = detail::redist_counter_state();
+  RedistCounters out;
+  out.plans_built = s.plans_built.load(std::memory_order_relaxed);
+  out.messages_materialized =
+      s.messages_materialized.load(std::memory_order_relaxed);
+  out.message_bytes_materialized =
+      out.messages_materialized * static_cast<std::int64_t>(sizeof(Message));
+  out.cost_queries = s.cost_queries.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::int64_t count_redist_messages(const NestShape& nest, const Rect& old_rect,
+                                   const Rect& new_rect, int grid_px) {
+  // The decomposition is a tensor product of independent column and row
+  // splits, so (sender block, receiver block) pairs with a non-empty
+  // intersection factor into intersecting column-block pairs × intersecting
+  // row-block pairs. The constructions validate the arguments exactly as
+  // the fill loops would.
+  [[maybe_unused]] const BlockDecomposition old_d(nest, old_rect, grid_px);
+  [[maybe_unused]] const BlockDecomposition new_d(nest, new_rect, grid_px);
+  std::int64_t col_pairs = 0;
+  for (int i = 0; i < old_rect.w; ++i) {
+    const Span1D span = block_range(i, nest.nx, old_rect.w);
+    if (span.count == 0) continue;
+    const PartRange r =
+        overlapping_parts(span.begin, span.end(), nest.nx, new_rect.w);
+    col_pairs += r.last - r.first + 1;
+  }
+  std::int64_t row_pairs = 0;
+  for (int j = 0; j < old_rect.h; ++j) {
+    const Span1D span = block_range(j, nest.ny, old_rect.h);
+    if (span.count == 0) continue;
+    const PartRange r =
+        overlapping_parts(span.begin, span.end(), nest.ny, new_rect.h);
+    row_pairs += r.last - r.first + 1;
+  }
+  return col_pairs * row_pairs;
+}
+
 RedistPlan plan_redistribution(const NestShape& nest, const Rect& old_rect,
                                const Rect& new_rect, int grid_px,
                                int bytes_per_point) {
   ST_CHECK_MSG(bytes_per_point > 0, "bytes_per_point must be positive");
-  const BlockDecomposition old_d(nest, old_rect, grid_px);
-  const BlockDecomposition new_d(nest, new_rect, grid_px);
-
   RedistPlan plan;
   plan.total_points = static_cast<std::int64_t>(nest.nx) * nest.ny;
+  plan.messages.reserve(static_cast<std::size_t>(
+      count_redist_messages(nest, old_rect, new_rect, grid_px)));
 
-  // For each sender block, enumerate only the receiver blocks its region
-  // intersects (balanced blocks are ordered, so the overlapping receiver
-  // index range is computable directly).
-  for (int j = 0; j < old_rect.h; ++j) {
-    for (int i = 0; i < old_rect.w; ++i) {
-      const Rect region = old_d.owned_region(i, j);
-      if (region.empty()) continue;
-      const int sender = old_d.rank_at(i, j);
-      const PartRange cols = overlapping_parts(region.x, region.x_end(),
-                                               nest.nx, new_rect.w);
-      const PartRange rows = overlapping_parts(region.y, region.y_end(),
-                                               nest.ny, new_rect.h);
-      for (int rj = rows.first; rj <= rows.last; ++rj) {
-        for (int ri = cols.first; ri <= cols.last; ++ri) {
-          const Rect inter = region.intersect(new_d.owned_region(ri, rj));
-          if (inter.empty()) continue;
-          const int receiver = new_d.rank_at(ri, rj);
-          plan.messages.push_back(
-              Message{sender, receiver, inter.area() * bytes_per_point});
-          if (sender == receiver) plan.overlap_points += inter.area();
-        }
-      }
-    }
-  }
+  for_each_redist_block(
+      nest, old_rect, new_rect, grid_px,
+      [&](int sender, int receiver, const Rect& inter) {
+        plan.messages.push_back(
+            Message{sender, receiver, inter.area() * bytes_per_point});
+        if (sender == receiver) plan.overlap_points += inter.area();
+      });
+
+  auto& counters = detail::redist_counter_state();
+  counters.plans_built.fetch_add(1, std::memory_order_relaxed);
+  counters.messages_materialized.fetch_add(
+      static_cast<std::int64_t>(plan.messages.size()),
+      std::memory_order_relaxed);
   return plan;
+}
+
+RedistCostSummary redistribution_cost(const NestShape& nest,
+                                      const Rect& old_rect,
+                                      const Rect& new_rect, int grid_px,
+                                      int bytes_per_point,
+                                      const SimComm* comm) {
+  ST_CHECK_MSG(bytes_per_point > 0, "bytes_per_point must be positive");
+  RedistCostSummary s;
+  s.total_points = static_cast<std::int64_t>(nest.nx) * nest.ny;
+  const Topology* topo = comm != nullptr ? &comm->topology() : nullptr;
+  const bool direct = topo != nullptr && topo->is_direct_network();
+
+  // Per-sender serial time for the switched-network §IV-C-1 term: senders
+  // arrive strictly ascending and contiguous from for_each_redist_block, so
+  // a running (sender, sum) pair reproduces RedistTimeModel's per-sender
+  // map — same additions per sender in the same order, folded into the max
+  // in the same ascending-sender order.
+  int current_sender = -1;
+  double sender_sum = 0.0;
+  const auto flush_sender = [&] {
+    s.worst_sender_time = std::max(s.worst_sender_time, sender_sum);
+    sender_sum = 0.0;
+  };
+
+  for_each_redist_block(
+      nest, old_rect, new_rect, grid_px,
+      [&](int sender, int receiver, const Rect& inter) {
+        const std::int64_t points = inter.area();
+        const std::int64_t bytes = points * bytes_per_point;
+        if (sender == receiver) {
+          s.overlap_points += points;
+          s.local_bytes += bytes;
+          return;
+        }
+        s.total_bytes += bytes;
+        s.num_messages += 1;
+        if (topo == nullptr) return;
+        const int h = comm->hops(sender, receiver);
+        s.hop_bytes += bytes * h;
+        s.max_hops = std::max(s.max_hops, h);
+        const double t = topo->pair_time(h, bytes);
+        if (direct) {
+          s.worst_pair_time = std::max(s.worst_pair_time, t);
+        } else {
+          if (sender != current_sender) {
+            flush_sender();
+            current_sender = sender;
+          }
+          sender_sum += t;
+        }
+      });
+  flush_sender();
+
+  detail::redist_counter_state().cost_queries.fetch_add(
+      1, std::memory_order_relaxed);
+  return s;
 }
 
 Redistributor::Redistributor(const SimComm& comm, int bytes_per_point,
@@ -71,46 +165,32 @@ Grid2D<double> Redistributor::redistribute_field(const Grid2D<double>& field,
                                                  RedistMetrics* metrics)
     const {
   const NestShape nest{field.width(), field.height()};
-  const BlockDecomposition old_d(nest, old_rect, grid_px);
-  const BlockDecomposition new_d(nest, new_rect, grid_px);
 
   // Build typed messages: one per intersecting (sender region, receiver
   // region) pair, payload = the intersection's values, row-major, prefixed
   // by the intersection rectangle (as 4 doubles) so the receiver can place
   // the block without global knowledge of the old decomposition.
   std::vector<TypedMessage<double>> msgs;
+  msgs.reserve(static_cast<std::size_t>(
+      count_redist_messages(nest, old_rect, new_rect, grid_px)));
   std::int64_t overlap_points = 0;
-  for (int j = 0; j < old_rect.h; ++j) {
-    for (int i = 0; i < old_rect.w; ++i) {
-      const Rect region = old_d.owned_region(i, j);
-      if (region.empty()) continue;
-      const int sender = old_d.rank_at(i, j);
-      const PartRange cols = overlapping_parts(region.x, region.x_end(),
-                                               nest.nx, new_rect.w);
-      const PartRange rows = overlapping_parts(region.y, region.y_end(),
-                                               nest.ny, new_rect.h);
-      for (int rj = rows.first; rj <= rows.last; ++rj) {
-        for (int ri = cols.first; ri <= cols.last; ++ri) {
-          const Rect inter = region.intersect(new_d.owned_region(ri, rj));
-          if (inter.empty()) continue;
-          const int receiver = new_d.rank_at(ri, rj);
-          if (sender == receiver) overlap_points += inter.area();
-          TypedMessage<double> m;
-          m.src = sender;
-          m.dst = receiver;
-          m.payload.reserve(static_cast<std::size_t>(inter.area()) + 4);
-          m.payload.push_back(inter.x);
-          m.payload.push_back(inter.y);
-          m.payload.push_back(inter.w);
-          m.payload.push_back(inter.h);
-          for (int y = inter.y; y < inter.y_end(); ++y)
-            for (int x = inter.x; x < inter.x_end(); ++x)
-              m.payload.push_back(field(x, y));
-          msgs.push_back(std::move(m));
-        }
-      }
-    }
-  }
+  for_each_redist_block(
+      nest, old_rect, new_rect, grid_px,
+      [&](int sender, int receiver, const Rect& inter) {
+        if (sender == receiver) overlap_points += inter.area();
+        TypedMessage<double> m;
+        m.src = sender;
+        m.dst = receiver;
+        m.payload.resize(static_cast<std::size_t>(inter.area()) + 4);
+        m.payload[0] = inter.x;
+        m.payload[1] = inter.y;
+        m.payload[2] = inter.w;
+        m.payload[3] = inter.h;
+        double* out = m.payload.data() + 4;
+        for (int y = inter.y; y < inter.y_end(); ++y, out += inter.w)
+          std::copy_n(&field(inter.x, y), inter.w, out);
+        msgs.push_back(std::move(m));
+      });
 
   const ExchangeResult<double> ex =
       exchange_payloads(*comm_, std::move(msgs), faults_);
@@ -128,10 +208,9 @@ Grid2D<double> Redistributor::redistribute_field(const Grid2D<double>& field,
     ST_CHECK_MSG(static_cast<std::int64_t>(m.payload.size()) ==
                      inter.area() + 4,
                  "payload size does not match block " << inter);
-    std::size_t k = 4;
-    for (int y = inter.y; y < inter.y_end(); ++y)
-      for (int x = inter.x; x < inter.x_end(); ++x)
-        out(x, y) = m.payload[k++];
+    const double* in = m.payload.data() + 4;
+    for (int y = inter.y; y < inter.y_end(); ++y, in += inter.w)
+      std::copy_n(in, inter.w, &out(inter.x, y));
     placed += inter.area();
   }
   ST_CHECK_MSG(placed == static_cast<std::int64_t>(nest.nx) * nest.ny,

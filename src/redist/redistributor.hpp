@@ -11,9 +11,19 @@
 /// computes the sparse message matrix, the paper's Fig. 10/11 metrics
 /// (hop-bytes and sender/receiver data-point overlap), and can execute the
 /// exchange with real payloads for end-to-end validation.
+///
+/// Prediction vs movement: candidate *pricing* at an adaptation point only
+/// needs aggregate costs (§IV-C-1), so the hot path uses the streaming
+/// redistribution_cost() — it walks the same sender×receiver intersection
+/// ranges as plan_redistribution() but accumulates traffic, hop-bytes, and
+/// overlap without materializing a single Message. plan_redistribution()
+/// (which allocates the sparse matrix) is reserved for the commit /
+/// redistribute stage, where the messages actually run on the simulated
+/// network. Both walk the identical enumeration (for_each_redist_block), so
+/// the streaming aggregates are bit-identical to the materialized totals.
 
+#include <atomic>
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "perfmodel/ground_truth.hpp"  // NestShape
@@ -28,6 +38,72 @@ namespace stormtrack {
 /// fields × 27 levels × 4-byte reals (the WRF restart-state order of
 /// magnitude — all of it must move when the nest changes processors).
 inline constexpr int kDefaultBytesPerPoint = 150 * 27 * 4;
+
+/// Process-wide instrumentation of the redistribution machinery. The
+/// counters prove (in tests and the perf-smoke CI gate) that candidate
+/// pricing stays allocation-free: a pipeline apply() must bump cost_queries
+/// during pricing and plans_built / messages_materialized only in the
+/// redistribute stage. Relaxed atomics — counts are observability only and
+/// never feed back into results.
+struct RedistCounters {
+  std::int64_t plans_built = 0;             ///< plan_redistribution() calls.
+  std::int64_t messages_materialized = 0;   ///< Message objects pushed.
+  std::int64_t message_bytes_materialized = 0;  ///< sizeof(Message) × above.
+  std::int64_t cost_queries = 0;            ///< redistribution_cost() calls.
+};
+
+/// Snapshot of the process-wide counters (monotonic since process start).
+[[nodiscard]] RedistCounters redist_counters();
+
+namespace detail {
+struct RedistCounterState {
+  std::atomic<std::int64_t> plans_built{0};
+  std::atomic<std::int64_t> messages_materialized{0};
+  std::atomic<std::int64_t> cost_queries{0};
+};
+RedistCounterState& redist_counter_state();
+}  // namespace detail
+
+/// Invoke `fn(sender_rank, receiver_rank, intersection)` for every
+/// non-empty sender×receiver nest-region intersection of the move from
+/// \p old_rect to \p new_rect, in plan_redistribution's exact order
+/// (sender blocks row-major over old_rect, receivers row-major within each
+/// sender's overlapping part range). Sender ranks arrive strictly
+/// ascending, so per-sender aggregation needs no map. Allocation-free.
+template <typename Fn>
+void for_each_redist_block(const NestShape& nest, const Rect& old_rect,
+                           const Rect& new_rect, int grid_px, Fn&& fn) {
+  const BlockDecomposition old_d(nest, old_rect, grid_px);
+  const BlockDecomposition new_d(nest, new_rect, grid_px);
+  for (int j = 0; j < old_rect.h; ++j) {
+    for (int i = 0; i < old_rect.w; ++i) {
+      const Rect region = old_d.owned_region(i, j);
+      if (region.empty()) continue;
+      const int sender = old_d.rank_at(i, j);
+      const PartRange cols = overlapping_parts(region.x, region.x_end(),
+                                               nest.nx, new_rect.w);
+      const PartRange rows = overlapping_parts(region.y, region.y_end(),
+                                               nest.ny, new_rect.h);
+      for (int rj = rows.first; rj <= rows.last; ++rj) {
+        for (int ri = cols.first; ri <= cols.last; ++ri) {
+          const Rect inter = region.intersect(new_d.owned_region(ri, rj));
+          if (inter.empty()) continue;
+          fn(sender, new_d.rank_at(ri, rj), inter);
+        }
+      }
+    }
+  }
+}
+
+/// Exact number of messages for_each_redist_block will emit, in
+/// O(old_rect.w + old_rect.h): the decomposition is a tensor product, so
+/// the count factors into (intersecting column-block pairs) × (intersecting
+/// row-block pairs). Used to reserve() message vectors before the fill
+/// loops.
+[[nodiscard]] std::int64_t count_redist_messages(const NestShape& nest,
+                                                 const Rect& old_rect,
+                                                 const Rect& new_rect,
+                                                 int grid_px);
 
 /// Sparse message matrix plus the point-accounting of a planned
 /// redistribution.
@@ -55,6 +131,46 @@ struct RedistPlan {
                                              int grid_px,
                                              int bytes_per_point =
                                                  kDefaultBytesPerPoint);
+
+/// Aggregate cost view of one redistribution phase, accumulated by the
+/// streaming redistribution_cost() without materializing messages. The
+/// traffic fields match SimComm::alltoallv's accounting of the same plan
+/// bit-for-bit; worst_pair_time / worst_sender_time are the §IV-C-1
+/// prediction terms (see RedistTimeModel::predict(const RedistCostSummary&))
+/// and are only filled when a communicator is supplied.
+struct RedistCostSummary {
+  std::int64_t total_points = 0;    ///< Nest points moved (== nest area).
+  std::int64_t overlap_points = 0;  ///< Points staying on their rank.
+  std::int64_t total_bytes = 0;     ///< Payload bytes moved off-rank.
+  std::int64_t hop_bytes = 0;       ///< Σ bytes × hops (Fig. 10 numerator).
+  std::int64_t local_bytes = 0;     ///< Bytes "moved" rank→itself.
+  std::int64_t num_messages = 0;    ///< Off-rank messages in the phase.
+  int max_hops = 0;                 ///< Longest route used.
+  /// §IV-C-1 on direct networks: max over sender/receiver pairs of the
+  /// pair time.
+  double worst_pair_time = 0.0;
+  /// §IV-C-1 on switched networks: max over senders of the sum of that
+  /// sender's pair times.
+  double worst_sender_time = 0.0;
+
+  /// Fraction of nest points that stay on their processor.
+  [[nodiscard]] double overlap_fraction() const {
+    if (total_points == 0) return 0.0;
+    return static_cast<double>(overlap_points) /
+           static_cast<double>(total_points);
+  }
+};
+
+/// Streaming cost of the move from \p old_rect to \p new_rect: walks the
+/// same intersections as plan_redistribution but accumulates aggregates
+/// only — no Message vector, no allocation. With \p comm bound, also
+/// accumulates hop-bytes and the §IV-C-1 prediction terms against that
+/// communicator's topology and mapping; without it the hop/time fields
+/// stay zero.
+[[nodiscard]] RedistCostSummary redistribution_cost(
+    const NestShape& nest, const Rect& old_rect, const Rect& new_rect,
+    int grid_px, int bytes_per_point = kDefaultBytesPerPoint,
+    const SimComm* comm = nullptr);
 
 /// Outcome of pricing/executing one redistribution phase.
 struct RedistMetrics {

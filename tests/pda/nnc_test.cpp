@@ -3,9 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <set>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace stormtrack {
 namespace {
@@ -179,6 +184,82 @@ TEST(ClusterBounds, UnionOfSubdomains) {
 
 TEST(ClusterBounds, EmptyClusterThrows) {
   EXPECT_THROW((void)cluster_bounds({}, Cluster{}), CheckError);
+}
+
+/// Reference Algorithm 2 exactly as pre-optimization: the cluster mean is
+/// recomputed with an O(|cluster|) scan for every candidate. nnc() now
+/// keeps a running sum instead; the clusters must stay identical.
+std::vector<Cluster> nnc_reference(std::span<const QCloudInfo> info,
+                                   const NncConfig& config) {
+  const auto cluster_mean = [&](const Cluster& c) {
+    double s = 0.0;
+    for (int i : c) s += info[static_cast<std::size_t>(i)].qcloud;
+    return s / static_cast<double>(c.size());
+  };
+  const auto distance_ok = [&](int element, int member, const Cluster& c,
+                               int hop) {
+    if (file_grid_distance(info[static_cast<std::size_t>(element)],
+                           info[static_cast<std::size_t>(member)]) != hop)
+      return false;
+    const double old_mean = cluster_mean(c);
+    const double new_mean =
+        (old_mean * static_cast<double>(c.size()) +
+         info[static_cast<std::size_t>(element)].qcloud) /
+        static_cast<double>(c.size() + 1);
+    return std::abs(new_mean - old_mean) <=
+           config.mean_deviation_limit * old_mean;
+  };
+  std::vector<Cluster> clusters;
+  for (int e = 0; e < static_cast<int>(info.size()); ++e) {
+    const QCloudInfo& element = info[static_cast<std::size_t>(e)];
+    if (element.qcloud < config.qcloud_threshold ||
+        element.olrfraction < config.olrfraction_threshold)
+      continue;
+    bool placed = false;
+    for (const int hop : {1, 2}) {
+      for (Cluster& list : clusters) {
+        for (const int member : list) {
+          if (distance_ok(e, member, list, hop)) {
+            list.push_back(e);
+            placed = true;
+            break;
+          }
+        }
+        if (placed) break;
+      }
+      if (placed) break;
+    }
+    if (!placed) clusters.push_back(Cluster{e});
+  }
+  return clusters;
+}
+
+TEST(Nnc, RunningSumMatchesRecomputedMeanReference) {
+  Xoshiro256 rng(0xc10cULL);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<QCloudInfo> v;
+    std::set<std::pair<int, int>> used;
+    const int count = 10 + trial;
+    while (static_cast<int>(v.size()) < count) {
+      const int fx = static_cast<int>(rng.uniform_int(0, 15));
+      const int fy = static_cast<int>(rng.uniform_int(0, 15));
+      if (!used.insert({fx, fy}).second) continue;
+      v.push_back(elem(fx, fy, rng.uniform(0.001, 2.0),
+                       rng.uniform(0.0, 1.0)));
+    }
+    const auto info = sorted_desc(std::move(v));
+    NncConfig cfg;
+    cfg.qcloud_threshold = 0.01;
+    cfg.olrfraction_threshold = 0.01;
+    const auto got = nnc(info, cfg);
+    const auto want = nnc_reference(info, cfg);
+    // Identical clusters: same count, same members, same order — the
+    // running sum adds the same doubles in the same order the recomputing
+    // scan did, so every mean-deviation decision is bit-identical.
+    ASSERT_EQ(got.size(), want.size()) << "trial " << trial;
+    for (std::size_t c = 0; c < got.size(); ++c)
+      EXPECT_EQ(got[c], want[c]) << "trial " << trial << " cluster " << c;
+  }
 }
 
 TEST(Nnc2HopOnly, GreedyMergesAcrossTrench) {

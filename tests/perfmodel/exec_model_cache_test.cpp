@@ -1,0 +1,116 @@
+/// The ExecTimeModel memo cache must be invisible except in speed: cached
+/// predictions bit-identical to cold ones, identical under concurrency,
+/// and the hit/miss accounting consistent.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "perfmodel/exec_model.hpp"
+#include "util/rng.hpp"
+
+namespace stormtrack {
+namespace {
+
+std::vector<std::pair<NestShape, int>> query_set(std::uint64_t seed,
+                                                 int distinct) {
+  // A small pool of distinct (shape, procs) queries, like real adaptation
+  // traces where the same nests recur point after point.
+  Xoshiro256 rng(seed);
+  std::vector<std::pair<NestShape, int>> pool;
+  pool.reserve(static_cast<std::size_t>(distinct));
+  for (int i = 0; i < distinct; ++i)
+    pool.emplace_back(NestShape{static_cast<int>(rng.uniform_int(100, 450)),
+                                static_cast<int>(rng.uniform_int(100, 450))},
+                      static_cast<int>(rng.uniform_int(16, 1200)));
+  return pool;
+}
+
+TEST(ExecModelCache, CachedEqualsColdBitIdentical) {
+  GroundTruthCost truth;
+  // Two models from the identical campaign: `cold` is queried once per
+  // key, `warm` repeatedly — every repeat must reproduce the cold double
+  // exactly (EXPECT_EQ, not NEAR).
+  const ExecTimeModel cold(truth, ProfileConfig::paper_default());
+  const ExecTimeModel warm(truth, ProfileConfig::paper_default());
+  const auto pool = query_set(0x5eedULL, 40);
+  std::vector<double> first;
+  for (const auto& [shape, procs] : pool)
+    first.push_back(cold.predict(shape, procs));
+  for (int round = 0; round < 5; ++round)
+    for (std::size_t i = 0; i < pool.size(); ++i)
+      EXPECT_EQ(warm.predict(pool[i].first, pool[i].second), first[i])
+          << "round " << round << " query " << i;
+}
+
+TEST(ExecModelCache, StatsCountHitsAndMisses) {
+  GroundTruthCost truth;
+  const ExecTimeModel model(truth, ProfileConfig::paper_default());
+  const auto pool = query_set(0xabcULL, 10);
+  for (const auto& [shape, procs] : pool) (void)model.predict(shape, procs);
+  ExecModelCacheStats s = model.cache_stats();
+  EXPECT_EQ(s.lookups, 10);
+  EXPECT_EQ(s.misses, 10);
+  EXPECT_EQ(s.hits(), 0);
+
+  for (int round = 0; round < 9; ++round)
+    for (const auto& [shape, procs] : pool) (void)model.predict(shape, procs);
+  s = model.cache_stats();
+  EXPECT_EQ(s.lookups, 100);
+  EXPECT_EQ(s.misses, 10);
+  EXPECT_EQ(s.hits(), 90);
+  EXPECT_DOUBLE_EQ(s.hit_rate(), 0.9);
+
+  model.clear_cache_stats();
+  s = model.cache_stats();
+  EXPECT_EQ(s.lookups, 0);
+  EXPECT_EQ(s.misses, 0);
+}
+
+TEST(ExecModelCache, SerialVsEightThreadsBitIdentical) {
+  GroundTruthCost truth;
+  const ExecTimeModel serial(truth, ProfileConfig::paper_default());
+  const ExecTimeModel threaded(truth, ProfileConfig::paper_default());
+  const auto pool = query_set(0xf00dULL, 64);
+
+  std::vector<double> expected;
+  for (const auto& [shape, procs] : pool)
+    expected.push_back(serial.predict(shape, procs));
+
+  // 8 threads hammer the same model over the same pool concurrently (each
+  // with a different traversal offset, so keys race into the cache in
+  // different orders) — every thread must see the serial values exactly.
+  constexpr int kThreads = 8;
+  std::vector<std::vector<double>> got(
+      kThreads, std::vector<double>(pool.size(), 0.0));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 4; ++round)
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+          const std::size_t q =
+              (i + static_cast<std::size_t>(t) * 7) % pool.size();
+          got[static_cast<std::size_t>(t)][q] =
+              threaded.predict(pool[q].first, pool[q].second);
+        }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t)
+    for (std::size_t i = 0; i < pool.size(); ++i)
+      EXPECT_EQ(got[static_cast<std::size_t>(t)][i], expected[i])
+          << "thread " << t << " query " << i;
+
+  const ExecModelCacheStats s = threaded.cache_stats();
+  EXPECT_EQ(s.lookups, kThreads * 4 * static_cast<std::int64_t>(pool.size()));
+  // At least one miss per distinct key; racing duplicates may add more,
+  // but hits must still dominate.
+  EXPECT_GE(s.misses, static_cast<std::int64_t>(pool.size()));
+  EXPECT_GT(s.hit_rate(), 0.5);
+}
+
+}  // namespace
+}  // namespace stormtrack

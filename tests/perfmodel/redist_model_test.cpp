@@ -36,7 +36,8 @@ TEST(RedistModel, EmptyPhasePredictsZero) {
   Torus3D topo(2, 2, 2);
   RowMajorMapping map(8);
   SimComm comm(topo, map);
-  EXPECT_DOUBLE_EQ(RedistTimeModel(comm).predict({}), 0.0);
+  EXPECT_DOUBLE_EQ(RedistTimeModel(comm).predict(std::span<const Message>{}),
+                   0.0);
 }
 
 TEST(RedistModel, PredictionLowerBoundsSimulatedActual) {

@@ -1,0 +1,183 @@
+/// Randomized equivalence: the streaming cost aggregator
+/// (redistribution_cost) must match the materialized plan
+/// (plan_redistribution + SimComm::alltoallv accounting + the message-list
+/// RedistTimeModel overload) bit-for-bit on every aggregate — that is the
+/// whole contract that lets the pipeline price candidates without
+/// allocating message vectors.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "perfmodel/redist_model.hpp"
+#include "redist/redistributor.hpp"
+#include "util/rng.hpp"
+
+namespace stormtrack {
+namespace {
+
+struct PlanTotals {
+  std::int64_t total_bytes = 0;
+  std::int64_t local_bytes = 0;
+  std::int64_t num_messages = 0;
+};
+
+PlanTotals totals_of(const RedistPlan& plan) {
+  PlanTotals t;
+  for (const Message& m : plan.messages) {
+    if (m.src == m.dst)
+      t.local_bytes += m.bytes;
+    else {
+      t.total_bytes += m.bytes;
+      t.num_messages += 1;
+    }
+  }
+  return t;
+}
+
+Rect random_rect(Xoshiro256& rng, int grid_px, int grid_py) {
+  const int w = static_cast<int>(rng.uniform_int(1, grid_px));
+  const int h = static_cast<int>(rng.uniform_int(1, grid_py));
+  return Rect{static_cast<int>(rng.uniform_int(0, grid_px - w)),
+              static_cast<int>(rng.uniform_int(0, grid_py - h)), w, h};
+}
+
+/// Every few trials, degenerate single-row / single-column rectangles.
+Rect random_rect_maybe_degenerate(Xoshiro256& rng, int grid_px, int grid_py,
+                                  int trial) {
+  if (trial % 5 == 3) {
+    const int h = static_cast<int>(rng.uniform_int(1, grid_py));
+    return Rect{static_cast<int>(rng.uniform_int(0, grid_px - 1)),
+                static_cast<int>(rng.uniform_int(0, grid_py - h)), 1, h};
+  }
+  if (trial % 5 == 4) {
+    const int w = static_cast<int>(rng.uniform_int(1, grid_px));
+    return Rect{static_cast<int>(rng.uniform_int(0, grid_px - w)),
+                static_cast<int>(rng.uniform_int(0, grid_py - 1)), w, 1};
+  }
+  return random_rect(rng, grid_px, grid_py);
+}
+
+void expect_summary_matches(const NestShape& nest, const Rect& a,
+                            const Rect& b, int grid_px, int bpp,
+                            const SimComm& comm, const RedistTimeModel& model) {
+  const RedistPlan plan = plan_redistribution(nest, a, b, grid_px, bpp);
+  const RedistCostSummary sum =
+      redistribution_cost(nest, a, b, grid_px, bpp, &comm);
+  const PlanTotals t = totals_of(plan);
+  const TrafficReport traffic = comm.alltoallv(plan.messages);
+
+  EXPECT_EQ(static_cast<std::int64_t>(plan.messages.size()),
+            count_redist_messages(nest, a, b, grid_px));
+  EXPECT_EQ(sum.total_points, plan.total_points);
+  EXPECT_EQ(sum.overlap_points, plan.overlap_points);
+  EXPECT_EQ(sum.overlap_fraction(), plan.overlap_fraction());
+  EXPECT_EQ(sum.total_bytes, t.total_bytes);
+  EXPECT_EQ(sum.local_bytes, t.local_bytes);
+  EXPECT_EQ(sum.num_messages, t.num_messages);
+  // SimComm's own accounting of the materialized phase.
+  EXPECT_EQ(sum.total_bytes, traffic.total_bytes);
+  EXPECT_EQ(sum.hop_bytes, traffic.hop_bytes);
+  EXPECT_EQ(sum.local_bytes, traffic.local_bytes);
+  EXPECT_EQ(sum.num_messages, traffic.num_messages);
+  EXPECT_EQ(sum.max_hops, traffic.max_hops);
+  // The two predict overloads must agree bit-for-bit (EXPECT_EQ, not
+  // NEAR): the streaming path accumulates in the message-list order.
+  EXPECT_EQ(model.predict(sum), model.predict(plan.messages));
+}
+
+class StreamCostSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StreamCostSweep, MatchesMaterializedPlanOnDirectNetwork) {
+  const Machine machine = Machine::bluegene(256);
+  ASSERT_TRUE(machine.comm().topology().is_direct_network());
+  const RedistTimeModel model(machine.comm());
+  Xoshiro256 rng(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    const NestShape nest{static_cast<int>(rng.uniform_int(20, 361)),
+                         static_cast<int>(rng.uniform_int(20, 361))};
+    const Rect a = random_rect_maybe_degenerate(
+        rng, machine.grid_px(), machine.grid_py(), trial);
+    const Rect b = random_rect_maybe_degenerate(
+        rng, machine.grid_px(), machine.grid_py(), trial + 1);
+    expect_summary_matches(nest, a, b, machine.grid_px(), 8, machine.comm(),
+                           model);
+  }
+}
+
+TEST_P(StreamCostSweep, MatchesMaterializedPlanOnSwitchedNetwork) {
+  const Machine machine = Machine::fist_cluster(128);
+  ASSERT_FALSE(machine.comm().topology().is_direct_network());
+  const RedistTimeModel model(machine.comm());
+  Xoshiro256 rng(GetParam() + 7);
+  for (int trial = 0; trial < 25; ++trial) {
+    const NestShape nest{static_cast<int>(rng.uniform_int(20, 361)),
+                         static_cast<int>(rng.uniform_int(20, 361))};
+    const Rect a = random_rect_maybe_degenerate(
+        rng, machine.grid_px(), machine.grid_py(), trial);
+    const Rect b = random_rect_maybe_degenerate(
+        rng, machine.grid_px(), machine.grid_py(), trial + 1);
+    expect_summary_matches(nest, a, b, machine.grid_px(),
+                           kDefaultBytesPerPoint, machine.comm(), model);
+  }
+}
+
+// 4 seeds × 2 networks × 25 trials = 200 randomized cases.
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamCostSweep,
+                         ::testing::Values(0x5eedULL, 0xabcdefULL,
+                                           0x1234567ULL, 0xfeedbeefULL));
+
+TEST(StreamCost, WithoutCommOnlyTrafficAggregates) {
+  const NestShape nest{100, 80};
+  const Rect a{0, 0, 4, 4};
+  const Rect b{2, 2, 6, 3};
+  const RedistCostSummary sum = redistribution_cost(nest, a, b, 16, 8);
+  const RedistPlan plan = plan_redistribution(nest, a, b, 16, 8);
+  const PlanTotals t = totals_of(plan);
+  EXPECT_EQ(sum.total_bytes, t.total_bytes);
+  EXPECT_EQ(sum.num_messages, t.num_messages);
+  EXPECT_EQ(sum.overlap_points, plan.overlap_points);
+  // No communicator → no topology-dependent fields.
+  EXPECT_EQ(sum.hop_bytes, 0);
+  EXPECT_EQ(sum.max_hops, 0);
+  EXPECT_EQ(sum.worst_pair_time, 0.0);
+  EXPECT_EQ(sum.worst_sender_time, 0.0);
+}
+
+TEST(StreamCost, IdentityMoveIsAllLocal) {
+  const Machine machine = Machine::bluegene(256);
+  const Rect r{3, 2, 5, 4};
+  const NestShape nest{200, 200};
+  const RedistCostSummary sum = redistribution_cost(
+      nest, r, r, machine.grid_px(), 8, &machine.comm());
+  EXPECT_EQ(sum.overlap_points, sum.total_points);
+  EXPECT_EQ(sum.total_bytes, 0);
+  EXPECT_EQ(sum.num_messages, 0);
+  EXPECT_EQ(sum.local_bytes, static_cast<std::int64_t>(200) * 200 * 8);
+  EXPECT_EQ(sum.overlap_fraction(), 1.0);
+}
+
+TEST(StreamCost, CountsCostQueriesNotPlans) {
+  const RedistCounters before = redist_counters();
+  (void)redistribution_cost(NestShape{50, 50}, Rect{0, 0, 4, 4},
+                            Rect{1, 1, 4, 4}, 8, 8);
+  const RedistCounters mid = redist_counters();
+  EXPECT_EQ(mid.cost_queries, before.cost_queries + 1);
+  EXPECT_EQ(mid.plans_built, before.plans_built);
+  EXPECT_EQ(mid.messages_materialized, before.messages_materialized);
+
+  const RedistPlan plan =
+      plan_redistribution(NestShape{50, 50}, Rect{0, 0, 4, 4},
+                          Rect{1, 1, 4, 4}, 8, 8);
+  const RedistCounters after = redist_counters();
+  EXPECT_EQ(after.plans_built, mid.plans_built + 1);
+  EXPECT_EQ(after.messages_materialized,
+            mid.messages_materialized +
+                static_cast<std::int64_t>(plan.messages.size()));
+  EXPECT_EQ(after.cost_queries, mid.cost_queries);
+}
+
+}  // namespace
+}  // namespace stormtrack

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Gate bench runs against committed baselines (CI perf-smoke job).
+
+Compares the ``counter_*`` fields of a fresh ``--json`` bench summary
+against the committed baseline (bench/baselines/BENCH_*.json) and fails on
+relative drift beyond --tolerance. Only counters gate: they are
+deterministic (predict calls, plans built, bytes that would have been
+materialized), so any drift is a behavior change in the hot path, not
+scheduler noise. Wall times differ across runners and build types, so they
+are reported as advisory deltas only.
+
+Usage:
+  tools/check_bench_regression.py --baseline bench/baselines/BENCH_adaptation.json \
+      --current build/BENCH_adaptation.json [--tolerance 0.25]
+
+Stdlib only; exit code 0 = within tolerance, 1 = regression (or shape
+mismatch: missing rows / missing counters are failures, silently dropping
+a counter must not pass the gate).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    rows = {}
+    for row in doc.get("rows", []):
+        rows[row["label"]] = row
+    return doc, rows
+
+
+def rel_drift(baseline, current):
+    if baseline == current:
+        return 0.0
+    denom = max(abs(baseline), 1.0)
+    return abs(current - baseline) / denom
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True,
+                    help="committed BENCH_*.json baseline")
+    ap.add_argument("--current", required=True,
+                    help="freshly produced --json output")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="max relative drift of any counter_* field "
+                         "(default 0.25)")
+    args = ap.parse_args()
+
+    base_doc, base_rows = load(args.baseline)
+    cur_doc, cur_rows = load(args.current)
+
+    print(f"baseline: {args.baseline} "
+          f"(sha {base_doc.get('git_sha', '?')}, "
+          f"{base_doc.get('build_type', '?')})")
+    print(f"current:  {args.current} "
+          f"(sha {cur_doc.get('git_sha', '?')}, "
+          f"{cur_doc.get('build_type', '?')})")
+
+    failures = []
+    for label, base_row in sorted(base_rows.items()):
+        cur_row = cur_rows.get(label)
+        if cur_row is None:
+            failures.append(f"row '{label}' missing from current run")
+            continue
+        for key, base_val in base_row.items():
+            if not key.startswith("counter_"):
+                continue
+            if key not in cur_row:
+                failures.append(f"{label}: counter '{key}' missing from "
+                                f"current run")
+                continue
+            drift = rel_drift(float(base_val), float(cur_row[key]))
+            status = "FAIL" if drift > args.tolerance else "ok"
+            if drift > 0 or status == "FAIL":
+                print(f"  [{status}] {label} {key}: "
+                      f"{base_val} -> {cur_row[key]} "
+                      f"(drift {drift:.1%}, tolerance "
+                      f"{args.tolerance:.0%})")
+            if status == "FAIL":
+                failures.append(f"{label}: {key} drifted {drift:.1%} "
+                                f"({base_val} -> {cur_row[key]})")
+        # Advisory only: 1-CPU CI runners make wall time too noisy to gate.
+        bw, cw = base_row.get("wall_seconds"), cur_row.get("wall_seconds")
+        if bw and cw:
+            print(f"  [advisory] {label} wall_seconds: "
+                  f"{bw:.6f} -> {cw:.6f} ({(cw - bw) / bw:+.1%})")
+
+    extra = set(cur_rows) - set(base_rows)
+    if extra:
+        print(f"  [note] rows not in baseline (new configs?): "
+              f"{', '.join(sorted(extra))}")
+
+    if failures:
+        print(f"\nperf-smoke: {len(failures)} regression(s):",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        print("If the counter change is intentional (e.g. the pricing "
+              "workload changed), regenerate the baseline:\n"
+              "  ./build/bench/bench_adaptation_hotpath --json "
+              "bench/baselines/BENCH_adaptation.json", file=sys.stderr)
+        return 1
+    print(f"\nperf-smoke: all counter_* fields within "
+          f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
