@@ -13,12 +13,22 @@
 ///   counter_plans_built             RedistPlan materializations — must
 ///                                   stay 0 in the pricing loop
 ///   counter_messages_materialized   Message structs pushed — must stay 0
+///   counter_intersection_probes     interval-index bisection steps
+///   counter_moved_blocks            off-rank blocks enumerated
 ///   counter_exec_lookups            ExecTimeModel::predict calls
 ///   counter_exec_misses             cold interpolations (cache misses)
 ///
 /// A regression that reintroduces message-vector materialization into
 /// pricing, or defeats the exec-model memo cache, moves these counters far
 /// beyond the 25% gate even when wall time hides it.
+///
+/// A second, extreme-scale section prices at 65536–1048576 ranks on all
+/// four topology models (rows "topo=<name>/ranks=<P>", pricing-only, no
+/// exec model). Those rows pin the same counters AND assert in-binary
+/// (CheckError -> nonzero exit) that intersection probes stay sub-linear
+/// in the rank count — the dense sender×receiver walk this path replaced
+/// was Ω(P) per query, so quadratic behaviour cannot sneak past the drift
+/// gate.
 
 #include <chrono>
 #include <cstdint>
@@ -31,6 +41,7 @@
 #include "core/machine.hpp"
 #include "perfmodel/redist_model.hpp"
 #include "redist/redistributor.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -132,7 +143,59 @@ RowResult run_config(int ranks, int nests) {
       after.messages_materialized - before.messages_materialized;
   row.redist.message_bytes_materialized =
       after.message_bytes_materialized - before.message_bytes_materialized;
+  row.redist.intersection_probes =
+      after.intersection_probes - before.intersection_probes;
+  row.redist.moved_blocks_enumerated =
+      after.moved_blocks_enumerated - before.moved_blocks_enumerated;
   row.exec = models.model.cache_stats();
+  return row;
+}
+
+// ------------------------------------------------- extreme-scale section
+
+/// Pricing-only row at extreme rank counts: no exec model, no plans — the
+/// sparse interval-index walk is the only per-candidate work that survives
+/// at this scale.
+RowResult run_extreme(const std::string& topo, int ranks) {
+  const Machine machine = Machine::by_name(topo, ranks);
+  constexpr int kQueries = 24;
+  const std::vector<PricingCase> workload =
+      make_workload(kQueries, 1, machine.grid_px(), machine.grid_py(),
+                    0x5ca1ab1eULL ^ (static_cast<std::uint64_t>(ranks) << 4) ^
+                        static_cast<std::uint64_t>(topo.size()));
+
+  RowResult row;
+  const RedistCounters before = redist_counters();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const PricingCase& c : workload) {
+    const RedistCostSummary cost = redistribution_cost(
+        c.shape, c.old_rect, c.new_rect, machine.grid_px(),
+        kDefaultBytesPerPoint, &machine.comm());
+    row.checksum += static_cast<double>(cost.hop_bytes) +
+                    cost.worst_pair_time + cost.worst_sender_time;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const RedistCounters after = redist_counters();
+
+  row.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  row.cases = static_cast<std::int64_t>(workload.size());
+  row.redist.cost_queries = after.cost_queries - before.cost_queries;
+  row.redist.plans_built = after.plans_built - before.plans_built;
+  row.redist.messages_materialized =
+      after.messages_materialized - before.messages_materialized;
+  row.redist.intersection_probes =
+      after.intersection_probes - before.intersection_probes;
+  row.redist.moved_blocks_enumerated =
+      after.moved_blocks_enumerated - before.moved_blocks_enumerated;
+
+  // The scaling gate: grid-spanning rects probe O((w + h) · log P) — far
+  // below one probe per rank. Linear (let alone quadratic) behaviour
+  // trips this long before the counter-drift gate would notice.
+  const double per_query = static_cast<double>(row.redist.intersection_probes) /
+                           static_cast<double>(row.redist.cost_queries);
+  ST_CHECK_MSG(per_query < static_cast<double>(ranks),
+               topo << " at " << ranks << " ranks: " << per_query
+                    << " probes/query is not sub-linear in the rank count");
   return row;
 }
 
@@ -174,6 +237,11 @@ int main(int argc, char** argv) {
                      static_cast<double>(row.redist.plans_built))
           .add_field("counter_messages_materialized",
                      static_cast<double>(row.redist.messages_materialized))
+          .add_field("counter_intersection_probes",
+                     static_cast<double>(row.redist.intersection_probes))
+          .add_field("counter_moved_blocks",
+                     static_cast<double>(
+                         row.redist.moved_blocks_enumerated))
           .add_field("counter_exec_lookups",
                      static_cast<double>(row.exec.lookups))
           .add_field("counter_exec_misses",
@@ -183,9 +251,60 @@ int main(int argc, char** argv) {
     }
 
   table.print(std::cout);
+
+  const std::string kTopos[] = {"bgl", "fist", "dragonfly", "fattree"};
+  constexpr int kExtremeRanks[] = {65536, 262144, 1048576};
+  Table extreme({"Topology", "Ranks", "Queries", "Wall (ms)",
+                 "Probes/query", "Blocks/query", "Plans built"});
+  extreme.set_title(
+      "Extreme-scale pricing (interval-index only, 65k-1M ranks)");
+  for (const std::string& topo : kTopos) {
+    double probes_at_min = 0.0;
+    for (const int ranks : kExtremeRanks) {
+      const RowResult row = run_extreme(topo, ranks);
+      const double probes_per_query =
+          static_cast<double>(row.redist.intersection_probes) /
+          static_cast<double>(row.redist.cost_queries);
+      if (ranks == kExtremeRanks[0]) probes_at_min = probes_per_query;
+      // Axis extents grow 4x over the sweep; probes grow ~ axis · log
+      // axis. A 16x jump would mean the index degenerated to a scan.
+      ST_CHECK_MSG(probes_per_query <= 8.0 * probes_at_min,
+                   topo << " probe growth " << probes_at_min << " -> "
+                        << probes_per_query
+                        << " across the rank sweep is super-logarithmic");
+      extreme.add_row(
+          {topo, std::to_string(ranks), std::to_string(row.cases),
+           Table::num(row.wall_seconds * 1e3, 2),
+           Table::num(probes_per_query, 1),
+           Table::num(static_cast<double>(
+                          row.redist.moved_blocks_enumerated) /
+                          static_cast<double>(row.redist.cost_queries),
+                      0),
+           std::to_string(row.redist.plans_built)});
+      summary
+          .add_row("topo=" + topo + "/ranks=" + std::to_string(ranks),
+                   row.wall_seconds, 1, row.cases)
+          .add_field("counter_cost_queries",
+                     static_cast<double>(row.redist.cost_queries))
+          .add_field("counter_plans_built",
+                     static_cast<double>(row.redist.plans_built))
+          .add_field("counter_messages_materialized",
+                     static_cast<double>(row.redist.messages_materialized))
+          .add_field("counter_intersection_probes",
+                     static_cast<double>(row.redist.intersection_probes))
+          .add_field("counter_moved_blocks",
+                     static_cast<double>(
+                         row.redist.moved_blocks_enumerated))
+          .add_field("probes_per_query", probes_per_query)
+          .add_field("checksum", row.checksum);
+    }
+  }
+  extreme.print(std::cout);
+
   std::cout << "Pricing must build zero plans and materialize zero messages "
                "(counters above);\nwall times are advisory, the counter_* "
-               "fields are the regression gate.\n";
+               "fields are the regression gate. The\nextreme-scale rows "
+               "additionally assert sub-linear probe growth in-binary.\n";
 
   if (const auto path = bench::json_output_path(argc, argv))
     summary.write(*path);

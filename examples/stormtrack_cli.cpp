@@ -41,7 +41,7 @@ constexpr int kExitParse = 3;
 constexpr int kExitRuntime = 4;
 
 struct Options {
-  std::string machine = "bgl";        // bgl | fist
+  std::string machine = "bgl";        // bgl | fist | dragonfly | fattree
   int cores = 1024;
   std::string strategy = "diffusion";  // any StrategyRegistry name
   bool real = false;                   // real-mode pipeline trace
@@ -63,9 +63,10 @@ struct Options {
 [[noreturn]] void usage(int code) {
   std::cout <<
       "stormtrack_cli — run a reallocation experiment\n"
-      "  --machine bgl|fist     simulated machine (default bgl)\n"
-      "  --cores N              core count (default 1024; bgl needs a\n"
-      "                         multiple of 64)\n"
+      "  --machine M            simulated machine: bgl|fist|dragonfly|\n"
+      "                         fattree (default bgl)\n"
+      "  --cores N              core count (default 1024; bgl and\n"
+      "                         dragonfly need a multiple of 64)\n"
       "  --strategy S           a registered strategy name (default\n"
       "                         diffusion; scratch|diffusion|dynamic|\n"
       "                         hysteresis ship built in)\n"
@@ -180,9 +181,16 @@ int main(int argc, char** argv) {
     usage(kExitBadArgs);
   }
 
-  // ---- machine
-  Machine machine = opt.machine == "fist" ? Machine::fist_cluster(opt.cores)
-                                          : Machine::bluegene(opt.cores);
+  // ---- machine (strict: unknown names are usage errors, like
+  // parse_thread_count)
+  std::optional<Machine> machine_opt;
+  try {
+    machine_opt.emplace(Machine::by_name(opt.machine, opt.cores));
+  } catch (const CheckError& e) {
+    std::cerr << "--machine: " << e.what() << "\n";
+    usage(kExitBadArgs);
+  }
+  Machine& machine = *machine_opt;
 
   // ---- trace
   Trace trace;

@@ -234,6 +234,7 @@ void put_pipeline_state(BinaryWriter& w,
   put_injector_stats(w, s.seen_faults);
   put_metrics(w, s.metrics);
   w.put_string(s.strategy_state);
+  w.put_i32(s.resize_events_applied);  // format v2
 }
 
 AdaptationPipeline::PipelineState get_pipeline_state(BinaryReader& r) {
@@ -249,6 +250,7 @@ AdaptationPipeline::PipelineState get_pipeline_state(BinaryReader& r) {
   s.seen_faults = get_injector_stats(r);
   s.metrics = get_metrics(r);
   s.strategy_state = r.get_string("pipeline strategy_state");
+  s.resize_events_applied = r.get_i32("pipeline resize_events_applied");
   return s;
 }
 
@@ -688,6 +690,14 @@ std::uint64_t coupled_config_fingerprint(const Machine& machine,
   fp.add(config.manager.strategy_options.hysteresis_threshold);
   fp.add(config.manager.steps_per_interval);
   fp.add(config.manager.bytes_per_point);
+  fp.add(config.manager.initial_view_px);
+  fp.add(config.manager.initial_view_py);
+  fp.add(static_cast<std::int64_t>(config.manager.resize_schedule.size()));
+  for (const ResizeEvent& e : config.manager.resize_schedule) {
+    fp.add(e.point);
+    fp.add(e.px);
+    fp.add(e.py);
+  }
   const RealScenarioConfig& sc = config.scenario;
   fp.add(sc.num_intervals);
   fp.add(sc.sim_px);

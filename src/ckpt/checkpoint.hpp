@@ -49,7 +49,9 @@ namespace stormtrack {
 
 /// "STCK" when the little-endian u32 is viewed as bytes on disk.
 inline constexpr std::uint32_t kCheckpointMagic = 0x4B435453u;
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+// Version 2 appended PipelineState.resize_events_applied (elastic resize
+// support); version-1 files are refused rather than silently misread.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// What shape of run a checkpoint captures.
 enum class CheckpointKind : std::uint8_t {

@@ -20,6 +20,14 @@ std::uint64_t trace_run_fingerprint(const Machine& machine,
   fp.add(config.strategy_options.hysteresis_threshold);
   fp.add(config.steps_per_interval);
   fp.add(config.bytes_per_point);
+  fp.add(config.initial_view_px);
+  fp.add(config.initial_view_py);
+  fp.add(static_cast<std::int64_t>(config.resize_schedule.size()));
+  for (const ResizeEvent& e : config.resize_schedule) {
+    fp.add(e.point);
+    fp.add(e.px);
+    fp.add(e.py);
+  }
   fp.add(static_cast<std::int64_t>(trace.size()));
   for (const std::vector<NestSpec>& event : trace) {
     fp.add(static_cast<std::int64_t>(event.size()));

@@ -46,4 +46,36 @@ Machine Machine::fist_cluster(int cores) {
                  label.str());
 }
 
+Machine Machine::dragonfly(int cores) {
+  auto net = make_dragonfly(cores);
+  const ProcessGridShape g = choose_process_grid(cores);
+  auto mapping = make_default_mapping(*net, g.px, g.py);
+  std::ostringstream label;
+  label << "dragonfly " << cores << " cores (" << net->name() << ", "
+        << mapping->name() << " mapping)";
+  return Machine(std::move(net), std::move(mapping), g.px, g.py,
+                 label.str());
+}
+
+Machine Machine::fattree(int cores) {
+  auto net = make_fattree(cores);
+  const ProcessGridShape g = choose_process_grid(cores);
+  auto mapping = make_default_mapping(*net, g.px, g.py);
+  std::ostringstream label;
+  label << "fattree " << cores << " cores (" << net->name() << ", "
+        << mapping->name() << " mapping)";
+  return Machine(std::move(net), std::move(mapping), g.px, g.py,
+                 label.str());
+}
+
+Machine Machine::by_name(const std::string& name, int cores) {
+  if (name == "bgl") return bluegene(cores);
+  if (name == "fist") return fist_cluster(cores);
+  if (name == "dragonfly") return dragonfly(cores);
+  if (name == "fattree") return fattree(cores);
+  ST_CHECK_MSG(false, "unknown machine '"
+                          << name
+                          << "' (valid: bgl, fist, dragonfly, fattree)");
+}
+
 }  // namespace stormtrack

@@ -26,6 +26,19 @@ class Machine {
   /// fist cluster: Infiniband-like switched network, row-major placement.
   [[nodiscard]] static Machine fist_cluster(int cores);
 
+  /// Dragonfly machine: 64-node groups (16 routers × 4 nodes), tiled
+  /// group-locality mapping when one fits the process grid.
+  [[nodiscard]] static Machine dragonfly(int cores);
+
+  /// Fat-tree machine: 128-node pods (16 per leaf, 8 leaves per pod),
+  /// tiled pod-locality mapping when one fits the process grid.
+  [[nodiscard]] static Machine fattree(int cores);
+
+  /// Strict name → factory registry: "bgl", "fist", "dragonfly",
+  /// "fattree". Unknown names raise CheckError listing the valid set
+  /// (callers like the CLI turn that into a usage error).
+  [[nodiscard]] static Machine by_name(const std::string& name, int cores);
+
   /// Custom build (used for mapping ablations).
   Machine(std::unique_ptr<Topology> topo, std::unique_ptr<Mapping> mapping,
           int grid_px, int grid_py, std::string label);

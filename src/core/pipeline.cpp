@@ -8,6 +8,7 @@
 #include "exec/executor.hpp"
 #include "fault/invariants.hpp"
 #include "fault/snapshot.hpp"
+#include "tree/tree_delta.hpp"
 #include "util/check.hpp"
 
 namespace stormtrack {
@@ -78,6 +79,32 @@ AdaptationPipeline::AdaptationPipeline(const Machine& machine,
       view_py_(machine.grid_py()) {
   ST_CHECK_MSG(config_.steps_per_interval >= 1,
                "steps_per_interval must be >= 1");
+  ST_CHECK_MSG((config_.initial_view_px == 0) ==
+                   (config_.initial_view_py == 0),
+               "initial view must set both dimensions (or neither), got "
+                   << config_.initial_view_px << "x"
+                   << config_.initial_view_py);
+  if (config_.initial_view_px != 0) {
+    ST_CHECK_MSG(config_.initial_view_px >= 1 &&
+                     config_.initial_view_px <= machine.grid_px() &&
+                     config_.initial_view_py >= 1 &&
+                     config_.initial_view_py <= machine.grid_py(),
+                 "initial view " << config_.initial_view_px << "x"
+                                 << config_.initial_view_py
+                                 << " does not fit the machine grid "
+                                 << machine.grid_px() << "x"
+                                 << machine.grid_py());
+    view_px_ = config_.initial_view_px;
+    view_py_ = config_.initial_view_py;
+  }
+  for (const ResizeEvent& e : config_.resize_schedule)
+    ST_CHECK_MSG(e.point >= 0 && e.px >= 1 && e.px <= machine.grid_px() &&
+                     e.py >= 1 && e.py <= machine.grid_py(),
+                 "resize event at point " << e.point << " to " << e.px << "x"
+                                          << e.py
+                                          << " does not fit the machine grid "
+                                          << machine.grid_px() << "x"
+                                          << machine.grid_py());
 }
 
 std::uint64_t AdaptationPipeline::state_fingerprint() const {
@@ -108,6 +135,7 @@ AdaptationPipeline::PipelineState AdaptationPipeline::export_state() const {
   state.seen_faults = seen_faults_;
   state.metrics = metrics_;
   state.strategy_state = strategy_->export_state();
+  state.resize_events_applied = resize_events_applied_;
   return state;
 }
 
@@ -146,6 +174,19 @@ void AdaptationPipeline::import_state(const PipelineState& state) {
   if (!state.tree.empty() || !state.allocation.rects().empty())
     validate_allocation(state.tree, state.allocation,
                         Rect{0, 0, state.view_px, state.view_py});
+  // Resize-schedule consistency: the checkpoint must have consumed exactly
+  // the events this pipeline's schedule places before its point_index — a
+  // state saved under a different schedule is refused here.
+  int expected_resizes = 0;
+  for (const ResizeEvent& e : config_.resize_schedule)
+    if (e.point < state.point_index) ++expected_resizes;
+  ST_CHECK_MSG(state.resize_events_applied == expected_resizes,
+               "pipeline state consumed " << state.resize_events_applied
+                                          << " resize events but the "
+                                             "configured schedule has "
+                                          << expected_resizes
+                                          << " before point "
+                                          << state.point_index);
 
   tree_ = state.tree;
   allocation_ = state.allocation;
@@ -156,6 +197,7 @@ void AdaptationPipeline::import_state(const PipelineState& state) {
   seen_faults_ = state.seen_faults;
   metrics_ = state.metrics;
   strategy_->import_state(state.strategy_state);
+  resize_events_applied_ = state.resize_events_applied;
 }
 
 // --------------------------------------------------------------- DiffNests
@@ -246,10 +288,15 @@ void AdaptationPipeline::stage_build_candidates(PipelineContext& ctx,
       const auto new_rect = c.alloc.find(nest.id);
       ST_CHECK_MSG(old_rect && new_rect,
                    "retained nest " << nest.id << " missing an allocation");
-      c.costs.push_back(redistribution_cost(nest.shape, *old_rect, *new_rect,
-                                            machine_->grid_px(),
-                                            config_.bytes_per_point,
-                                            &machine_->comm()));
+      c.costs.push_back(
+          config_.pricing_cache
+              ? cost_cache_.price(nest.shape, *old_rect, *new_rect,
+                                  machine_->grid_px(),
+                                  config_.bytes_per_point, &machine_->comm())
+              : redistribution_cost(nest.shape, *old_rect, *new_rect,
+                                    machine_->grid_px(),
+                                    config_.bytes_per_point,
+                                    &machine_->comm()));
       c.overlap_points += c.costs.back().overlap_points;
       c.total_points += c.costs.back().total_points;
     }
@@ -424,18 +471,25 @@ void AdaptationPipeline::recover_rank_loss(int rank) {
                                            << tree_.num_nests() << " nests");
   metrics_.add_count("recovery.procs_retired",
                      old_view.area() - view_rect().area());
-  if (tree_.empty()) return;
-
   // Re-subdivide the existing tree on the smaller view — structure (and
   // with it, retained nests' relative placement) is preserved, weights
   // renormalize implicitly through proportional subdivision — then move
   // only the displaced blocks.
-  ScopedTimer t(&metrics_, "recovery.rank_loss_redist");
+  reallocate_on_view("recovery.rank_loss");
+}
+
+void AdaptationPipeline::reallocate_on_view(const std::string& metric_prefix) {
+  if (tree_.empty()) return;
+  const std::string timer_name = metric_prefix + "_redist";
+  ScopedTimer t(&metrics_, timer_name);
   const Allocation old_alloc = allocation_;
   Allocation new_alloc =
       allocate(tree_, machine_->grid_px(), machine_->grid_py(), view_rect());
   validate_allocation(tree_, new_alloc, view_rect());
-  metrics_.add_count("recovery.validations");
+  // "recovery.rank_loss" -> recovery.validations (the historical counter);
+  // "elastic.resize" -> elastic.validations.
+  metrics_.add_count(metric_prefix.substr(0, metric_prefix.find('.')) +
+                     ".validations");
   std::int64_t total_points = 0;
   std::int64_t overlap_points = 0;
   TrafficReport traffic;
@@ -453,11 +507,41 @@ void AdaptationPipeline::recover_rank_loss(int rank) {
     total_points += plan.total_points;
     overlap_points += plan.overlap_points;
   }
-  metrics_.add_count("recovery.rank_loss_total_points", total_points);
-  metrics_.add_count("recovery.rank_loss_overlap_points", overlap_points);
-  metrics_.add_count("recovery.rank_loss_moved_points",
+  metrics_.add_count(metric_prefix + "_total_points", total_points);
+  metrics_.add_count(metric_prefix + "_overlap_points", overlap_points);
+  metrics_.add_count(metric_prefix + "_moved_points",
                      total_points - overlap_points);
   allocation_ = std::move(new_alloc);
+}
+
+// ----------------------------------------------------------- malleability
+
+void AdaptationPipeline::resize_view(int px, int py) {
+  ST_CHECK_MSG(px >= 1 && px <= machine_->grid_px() && py >= 1 &&
+                   py <= machine_->grid_py(),
+               "resize to " << px << "x" << py
+                            << " does not fit the machine grid "
+                            << machine_->grid_px() << "x"
+                            << machine_->grid_py());
+  ST_CHECK_MSG(static_cast<std::int64_t>(px) * py >=
+                   static_cast<std::int64_t>(tree_.num_nests()),
+               "resize to " << px << "x" << py << " too small for "
+                            << tree_.num_nests() << " committed nests");
+  if (px == view_px_ && py == view_py_) return;
+  const std::int64_t old_area = view_rect().area();
+  const std::int64_t new_area = static_cast<std::int64_t>(px) * py;
+  view_px_ = px;
+  view_py_ = py;
+  if (new_area > old_area) {
+    metrics_.add_count("elastic.grow_events");
+    metrics_.add_count("elastic.procs_added", new_area - old_area);
+  } else if (new_area < old_area) {
+    metrics_.add_count("elastic.shrink_events");
+    metrics_.add_count("elastic.procs_retired", old_area - new_area);
+  } else {
+    metrics_.add_count("elastic.reshape_events");
+  }
+  reallocate_on_view("elastic.resize");
 }
 
 // ------------------------------------------------------------------- apply
@@ -482,6 +566,21 @@ StepOutcome AdaptationPipeline::apply_attempt(PipelineContext& ctx,
     ScopedTimer t(&metrics_,
                   stage_metric_name(PipelineStage::kBuildCandidates));
     stage_build_candidates(ctx, mode);
+  }
+  // Incremental-pricing observability: retained nests whose root-to-leaf
+  // path signature survived into a candidate tree keep their rectangles,
+  // so their pricing was an identity move (and a cost-cache hit after the
+  // first point). Derived purely from committed + candidate trees, so the
+  // count is deterministic and resume-invariant.
+  {
+    std::int64_t stable = 0;
+    for (const PipelineCandidate& c : ctx.candidates) {
+      const std::vector<NestId> perturbed = perturbed_leaves(tree_, c.tree);
+      for (const NestSpec& nest : ctx.retained)
+        if (!std::binary_search(perturbed.begin(), perturbed.end(), nest.id))
+          ++stable;
+    }
+    metrics_.add_count("pipeline.stable_subtrees", stable);
   }
   {
     ScopedTimer t(&metrics_, stage_metric_name(PipelineStage::kPredictCosts));
@@ -517,6 +616,16 @@ StepOutcome AdaptationPipeline::apply(std::span<const NestSpec> active) {
   const ExecutorStats exec_before = exec.stats();
   FaultInjector* const injector = config_.injector;
   const int point = point_index_++;
+
+  // Scheduled malleability runs before anything else at this point (in
+  // particular before fault injection, so a death lands on the resized
+  // view). Events replay identically after a checkpoint resume: the
+  // restored point_index skips exactly the events already consumed.
+  for (const ResizeEvent& e : config_.resize_schedule)
+    if (e.point == point) {
+      resize_view(e.px, e.py);
+      ++resize_events_applied_;
+    }
 
   StepOutcome out;
   if (injector == nullptr) {

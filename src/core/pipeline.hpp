@@ -58,6 +58,7 @@
 #include "perfmodel/exec_model.hpp"
 #include "perfmodel/ground_truth.hpp"
 #include "perfmodel/redist_model.hpp"
+#include "redist/cost_cache.hpp"
 #include "redist/redistributor.hpp"
 #include "util/metrics.hpp"
 
@@ -85,6 +86,14 @@ inline constexpr int kNumPipelineStages = 6;
 /// sorted iteration reproduces execution order ("stage.1_diff_nests", ...).
 [[nodiscard]] std::string_view stage_metric_name(PipelineStage stage);
 
+/// Scheduled malleability event (ReSHAPE-style): before adaptation point
+/// \p point runs, the usable processor view becomes \p px × \p py.
+struct ResizeEvent {
+  int point = 0;  ///< 0-based adaptation-point index the resize precedes.
+  int px = 0;     ///< New view width, 1..machine grid_px.
+  int py = 0;     ///< New view height, 1..machine grid_py.
+};
+
 /// Pipeline tunables.
 struct ManagerConfig {
   /// Commit strategy, resolved by name in StrategyRegistry::global():
@@ -99,6 +108,22 @@ struct ManagerConfig {
   int steps_per_interval = 5;
   /// Nest state bytes per fine-grid point (see redistributor.hpp).
   int bytes_per_point = kDefaultBytesPerPoint;
+  /// Serve repeated candidate pricings from the pipeline's RedistCostCache
+  /// (cost_cache.hpp). In the diffusion steady state most retained nests
+  /// keep their rectangles between points, so their summaries memoize;
+  /// results are bit-identical either way (A/B-tested), this is purely a
+  /// hot-path optimization. Off disables memoization for ablations.
+  bool pricing_cache = true;
+  /// Initial usable view of the machine grid, origin-anchored; 0 (the
+  /// default) means the full grid. A run can start on a sub-view and grow
+  /// into the machine later via resize_schedule — the malleable-job shape.
+  int initial_view_px = 0;
+  int initial_view_py = 0;
+  /// Grow/shrink events applied between adaptation points: every event
+  /// with point == p runs (in schedule order) at the start of apply() for
+  /// point p, before any fault injection. Deterministic and replayed
+  /// identically across checkpoint resume.
+  std::vector<ResizeEvent> resize_schedule;
   /// Runs the scratch and diffusion candidates concurrently through
   /// BuildCandidates / PredictCosts / Redistribute (the candidates are
   /// independent until Commit); null = serial. Each candidate accumulates
@@ -223,10 +248,20 @@ class AdaptationPipeline {
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
   void clear_metrics() { metrics_.clear(); }
 
-  /// Usable process-grid view: the full machine grid until rank-loss
-  /// recovery shrinks it.
+  /// Usable process-grid view: the full machine grid (or
+  /// config.initial_view) until rank-loss recovery or resize_view changes
+  /// it.
   [[nodiscard]] int view_px() const { return view_px_; }
   [[nodiscard]] int view_py() const { return view_py_; }
+
+  /// Malleability: grow or shrink the usable origin-anchored view to
+  /// \p px × \p py (each within the machine grid) between adaptation
+  /// points. The committed tree is re-subdivided on the new view and only
+  /// displaced blocks move (same mechanics as rank-loss recovery, surfaced
+  /// as elastic.* metrics). Growing re-includes retired columns/rows — do
+  /// not schedule grows past ranks lost to faults. Throws CheckError when
+  /// the view cannot hold the committed nests.
+  void resize_view(int px, int py);
 
   /// FNV-1a fingerprint of the committed state (tree, allocation, nest
   /// map, grid view). Rollback tests assert a failed point leaves it
@@ -251,6 +286,10 @@ class AdaptationPipeline {
     FaultInjectorStats seen_faults;
     MetricsRegistry metrics;
     std::string strategy_state;       ///< IStrategy::export_state() blob.
+    /// Scheduled resize events consumed so far; import_state cross-checks
+    /// it against the configured schedule so a checkpoint taken under a
+    /// different resize plan is rejected instead of silently diverging.
+    int resize_events_applied = 0;
   };
   [[nodiscard]] PipelineState export_state() const;
   /// Validates against this pipeline's machine (grid extents, allocation
@@ -269,6 +308,12 @@ class AdaptationPipeline {
                             std::span<const NestSpec> active,
                             AttemptMode mode);
   void recover_rank_loss(int rank);
+  /// Re-subdivide the committed tree on the current view and move the
+  /// displaced blocks; metrics land under `<metric_prefix>_redist`,
+  /// `<metric_prefix>_total_points`, `<metric_prefix>_overlap_points`,
+  /// `<metric_prefix>_moved_points` (plus a `<family>.validations` bump,
+  /// where family is the prefix up to its first dot).
+  void reallocate_on_view(const std::string& metric_prefix);
   [[nodiscard]] Rect view_rect() const {
     return Rect{0, 0, view_px_, view_py_};
   }
@@ -292,10 +337,15 @@ class AdaptationPipeline {
   Allocation allocation_;
   std::map<int, NestSpec> current_;  ///< Active nests by id.
   int point_index_ = 0;              ///< Adaptation points applied so far.
-  int view_px_ = 0;                  ///< Usable grid view (shrinks on rank
-  int view_py_ = 0;                  ///< death, never renumbers ranks).
+  int view_px_ = 0;                  ///< Usable grid view (rank death and
+  int view_py_ = 0;                  ///< resizes; never renumbers ranks).
+  int resize_events_applied_ = 0;    ///< Schedule entries consumed so far.
   FaultInjectorStats seen_faults_;   ///< Injector stats at last apply() end.
   PipelineContext ctx_;              ///< Reused scratch; reset() per attempt.
+  /// Memoized pricing (config_.pricing_cache); contents are pure functions
+  /// of their keys, so the cache is *not* part of the checkpointed state —
+  /// a resumed run simply starts cold and recomputes.
+  mutable RedistCostCache cost_cache_;
 };
 
 /// Historical name of the pipeline (pre-refactor API); kept as an alias so

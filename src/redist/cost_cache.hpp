@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file cost_cache.hpp
+/// Memoized redistribution pricing for the adaptation hot path.
+///
+/// The pipeline prices every retained nest against every candidate at every
+/// adaptation point, but between points most of those queries repeat: in
+/// the diffusion steady state a nest whose subtree did not change (see
+/// tree_delta.hpp) keeps its rectangle, so its (shape, old, new, grid,
+/// bytes) key — and therefore its RedistCostSummary — is identical to the
+/// previous point's. RedistCostCache serves those repeats from a hash map
+/// under the same shared_mutex + atomic-counter idiom as ExecTimeModel's
+/// memo cache; misses fall through to the sparse redistribution_cost().
+///
+/// Counter contract: a cache *hit* still counts as a cost query in the
+/// process-wide RedistCounters (pricings requested, however served), and
+/// additionally bumps cost_cache_hits; misses bump cost_cache_misses. Hit
+/// and miss totals live in RedistCounters — never in a pipeline's
+/// MetricsRegistry — because a resumed run restarts with a cold cache and
+/// checkpoint resume guarantees identical metric totals.
+///
+/// One cache instance must only ever be asked about one communicator (the
+/// key deliberately omits it); the pipeline owns one cache per instance.
+/// When the map reaches its entry cap it is flushed wholesale — summaries
+/// are pure functions of the key, so flush timing cannot change any result.
+
+#include <cstddef>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "redist/redistributor.hpp"
+
+namespace stormtrack {
+
+/// See file comment. Thread-safe; concurrent price() calls are the normal
+/// case (candidates are priced in a parallel_for).
+class RedistCostCache {
+ public:
+  /// \p max_entries bounds the map; reaching it flushes everything.
+  explicit RedistCostCache(std::size_t max_entries = 1 << 16)
+      : max_entries_(max_entries) {}
+
+  /// Cached equivalent of redistribution_cost(nest, old_rect, new_rect,
+  /// grid_px, bytes_per_point, comm) — bit-identical results, cheaper on
+  /// repeats.
+  [[nodiscard]] RedistCostSummary price(const NestShape& nest,
+                                        const Rect& old_rect,
+                                        const Rect& new_rect, int grid_px,
+                                        int bytes_per_point,
+                                        const SimComm* comm);
+
+  /// Drop every entry (results are unaffected; only hit rates change).
+  void invalidate();
+
+  /// Current number of memoized summaries.
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Key {
+    int nest_nx, nest_ny;
+    int old_x, old_y, old_w, old_h;
+    int new_x, new_y, new_w, new_h;
+    int grid_px, bytes_per_point;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<Key, RedistCostSummary, KeyHash> entries_;
+  std::size_t max_entries_;
+};
+
+}  // namespace stormtrack

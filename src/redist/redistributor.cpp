@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <vector>
 
+#include "redist/interval_index.hpp"
 #include "util/check.hpp"
 
 namespace stormtrack {
@@ -26,6 +28,12 @@ RedistCounters redist_counters() {
   out.message_bytes_materialized =
       out.messages_materialized * static_cast<std::int64_t>(sizeof(Message));
   out.cost_queries = s.cost_queries.load(std::memory_order_relaxed);
+  out.intersection_probes =
+      s.intersection_probes.load(std::memory_order_relaxed);
+  out.moved_blocks_enumerated =
+      s.moved_blocks_enumerated.load(std::memory_order_relaxed);
+  out.cost_cache_hits = s.cost_cache_hits.load(std::memory_order_relaxed);
+  out.cost_cache_misses = s.cost_cache_misses.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -82,11 +90,11 @@ RedistPlan plan_redistribution(const NestShape& nest, const Rect& old_rect,
   return plan;
 }
 
-RedistCostSummary redistribution_cost(const NestShape& nest,
-                                      const Rect& old_rect,
-                                      const Rect& new_rect, int grid_px,
-                                      int bytes_per_point,
-                                      const SimComm* comm) {
+RedistCostSummary redistribution_cost_dense(const NestShape& nest,
+                                            const Rect& old_rect,
+                                            const Rect& new_rect, int grid_px,
+                                            int bytes_per_point,
+                                            const SimComm* comm) {
   ST_CHECK_MSG(bytes_per_point > 0, "bytes_per_point must be positive");
   RedistCostSummary s;
   s.total_points = static_cast<std::int64_t>(nest.nx) * nest.ny;
@@ -136,6 +144,179 @@ RedistCostSummary redistribution_cost(const NestShape& nest,
 
   detail::redist_counter_state().cost_queries.fetch_add(
       1, std::memory_order_relaxed);
+  return s;
+}
+
+// ---------------------------------------------------------- sparse pricing
+
+namespace {
+
+/// One per-dimension (sender block, receiver block) intersection.
+struct AxisEntry {
+  int r = 0;        ///< Receiver part index.
+  int len = 0;      ///< Overlap length (> 0).
+  bool diag = false;  ///< Sender and receiver sit on the same grid line.
+};
+
+/// Per-dimension pair list in CSR-by-sender-part layout, plus the closed-
+/// form aggregates the 2-D summary factors into. Lives in thread-local
+/// scratch: reset() keeps capacity, so steady-state pricing is
+/// allocation-free like the dense walk it replaced.
+struct AxisPairs {
+  std::vector<AxisEntry> entries;  ///< Grouped by sender part, r ascending.
+  std::vector<int> offsets;        ///< entries index per sender part (+1).
+  std::vector<int> nonempty;       ///< Sender parts with >= 1 entry.
+  std::vector<int> off_diag;       ///< Sender parts with >= 1 off-diag entry.
+  std::int64_t pair_count = 0;
+  std::int64_t diag_count = 0;
+  std::int64_t diag_len = 0;       ///< Σ overlap length over diagonal pairs.
+
+  void reset() {
+    entries.clear();
+    offsets.clear();
+    nonempty.clear();
+    off_diag.clear();
+    pair_count = 0;
+    diag_count = 0;
+    diag_len = 0;
+  }
+
+  /// A sender part whose every intersection is diagonal (at most one per
+  /// part and dimension) emits no off-rank message along this axis.
+  [[nodiscard]] bool all_diag(int s) const {
+    return offsets[static_cast<std::size_t>(s) + 1] ==
+               offsets[static_cast<std::size_t>(s)] + 1 &&
+           entries[static_cast<std::size_t>(offsets[
+               static_cast<std::size_t>(s)])].diag;
+  }
+};
+
+/// Build one dimension's pair list: for each sender block of the old split,
+/// locate the overlapping receiver blocks of the new split via the interval
+/// index (O(log parts) probes each) and record the surviving intersections.
+/// A pair is *diagonal* when sender and receiver occupy the same absolute
+/// grid line (old_origin + s == new_origin + r) — a message is local iff
+/// both its column pair and its row pair are diagonal.
+void build_axis_pairs(int n, int old_parts, int new_parts, int old_origin,
+                      int new_origin, AxisPairs& out, std::int64_t& probes) {
+  out.reset();
+  out.offsets.reserve(static_cast<std::size_t>(old_parts) + 1);
+  const BlockIntervalIndex index(n, new_parts);
+  for (int s = 0; s < old_parts; ++s) {
+    out.offsets.push_back(static_cast<int>(out.entries.size()));
+    const Span1D span = block_range(s, n, old_parts);
+    if (span.count == 0) continue;
+    const PartRange pr = index.overlapping(span.begin, span.end(), &probes);
+    bool any_off_diag = false;
+    for (int r = pr.first; r <= pr.last; ++r) {
+      const Span1D rs = block_range(r, n, new_parts);
+      const int lo = std::max(span.begin, rs.begin);
+      const int hi = std::min(span.end(), rs.end());
+      if (hi <= lo) continue;  // empty receiver block inside the range
+      const bool diag = old_origin + s == new_origin + r;
+      out.entries.push_back(AxisEntry{r, hi - lo, diag});
+      ++out.pair_count;
+      if (diag) {
+        ++out.diag_count;
+        out.diag_len += hi - lo;
+      } else {
+        any_off_diag = true;
+      }
+    }
+    if (static_cast<int>(out.entries.size()) > out.offsets.back())
+      out.nonempty.push_back(s);
+    if (any_off_diag) out.off_diag.push_back(s);
+  }
+  out.offsets.push_back(static_cast<int>(out.entries.size()));
+}
+
+}  // namespace
+
+RedistCostSummary redistribution_cost(const NestShape& nest,
+                                      const Rect& old_rect,
+                                      const Rect& new_rect, int grid_px,
+                                      int bytes_per_point,
+                                      const SimComm* comm) {
+  ST_CHECK_MSG(bytes_per_point > 0, "bytes_per_point must be positive");
+  // Same argument validation (and rank arithmetic) as the dense walk.
+  const BlockDecomposition old_d(nest, old_rect, grid_px);
+  const BlockDecomposition new_d(nest, new_rect, grid_px);
+
+  thread_local AxisPairs cols;
+  thread_local AxisPairs rows;
+  std::int64_t probes = 0;
+  build_axis_pairs(nest.nx, old_rect.w, new_rect.w, old_rect.x, new_rect.x,
+                   cols, probes);
+  build_axis_pairs(nest.ny, old_rect.h, new_rect.h, old_rect.y, new_rect.y,
+                   rows, probes);
+
+  // The 2-D aggregates factor over the tensor product: every (column pair,
+  // row pair) combination is one intersecting (sender, receiver) block with
+  // area clen·rlen, and it is local exactly when both pairs are diagonal.
+  RedistCostSummary s;
+  s.total_points = static_cast<std::int64_t>(nest.nx) * nest.ny;
+  s.overlap_points = cols.diag_len * rows.diag_len;
+  s.local_bytes = s.overlap_points * bytes_per_point;
+  s.total_bytes = (s.total_points - s.overlap_points) * bytes_per_point;
+  s.num_messages =
+      cols.pair_count * rows.pair_count - cols.diag_count * rows.diag_count;
+
+  std::int64_t moved_blocks = 0;
+  if (comm != nullptr && s.num_messages > 0) {
+    const Topology* topo = &comm->topology();
+    const bool direct = topo->is_direct_network();
+    // Only the moved (off-rank) blocks are enumerated, in the dense walk's
+    // exact order: sender cells row-major (j outer, i inner), receivers
+    // (rj outer, ri inner) within each sender. Integer sums and float maxes
+    // are order-free, but worst_sender_time on switched networks is a
+    // per-sender float *sum* folded into a max — this order is what keeps
+    // it bit-identical to redistribution_cost_dense(). Sender cells whose
+    // column and row pairs are all diagonal move nothing and are skipped
+    // wholesale (a fully-local sender contributes max(·, 0), which the
+    // initial 0.0 already covers) — the identity-move fast path.
+    for (const int j : rows.nonempty) {
+      const int rb = rows.offsets[static_cast<std::size_t>(j)];
+      const int re = rows.offsets[static_cast<std::size_t>(j) + 1];
+      const std::vector<int>& col_list =
+          rows.all_diag(j) ? cols.off_diag : cols.nonempty;
+      for (const int i : col_list) {
+        const int cb = cols.offsets[static_cast<std::size_t>(i)];
+        const int ce = cols.offsets[static_cast<std::size_t>(i) + 1];
+        const int sender = old_d.rank_at(i, j);
+        double sender_sum = 0.0;
+        for (int rj = rb; rj < re; ++rj) {
+          const AxisEntry& row_pair = rows.entries[
+              static_cast<std::size_t>(rj)];
+          for (int ci = cb; ci < ce; ++ci) {
+            const AxisEntry& col_pair = cols.entries[
+                static_cast<std::size_t>(ci)];
+            if (row_pair.diag && col_pair.diag) continue;  // local block
+            ++moved_blocks;
+            const std::int64_t bytes =
+                static_cast<std::int64_t>(col_pair.len) * row_pair.len *
+                bytes_per_point;
+            const int receiver = new_d.rank_at(col_pair.r, row_pair.r);
+            const int h = comm->hops(sender, receiver);
+            s.hop_bytes += bytes * h;
+            s.max_hops = std::max(s.max_hops, h);
+            const double t = topo->pair_time(h, bytes);
+            if (direct)
+              s.worst_pair_time = std::max(s.worst_pair_time, t);
+            else
+              sender_sum += t;
+          }
+        }
+        if (!direct)
+          s.worst_sender_time = std::max(s.worst_sender_time, sender_sum);
+      }
+    }
+  }
+
+  auto& counters = detail::redist_counter_state();
+  counters.cost_queries.fetch_add(1, std::memory_order_relaxed);
+  counters.intersection_probes.fetch_add(probes, std::memory_order_relaxed);
+  counters.moved_blocks_enumerated.fetch_add(moved_blocks,
+                                             std::memory_order_relaxed);
   return s;
 }
 

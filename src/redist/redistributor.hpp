@@ -14,13 +14,18 @@
 ///
 /// Prediction vs movement: candidate *pricing* at an adaptation point only
 /// needs aggregate costs (§IV-C-1), so the hot path uses the streaming
-/// redistribution_cost() — it walks the same sender×receiver intersection
-/// ranges as plan_redistribution() but accumulates traffic, hop-bytes, and
-/// overlap without materializing a single Message. plan_redistribution()
-/// (which allocates the sparse matrix) is reserved for the commit /
-/// redistribute stage, where the messages actually run on the simulated
-/// network. Both walk the identical enumeration (for_each_redist_block), so
-/// the streaming aggregates are bit-identical to the materialized totals.
+/// redistribution_cost() — since the decomposition is a tensor product, it
+/// prices from per-dimension block-pair lists built with an interval index
+/// over the receiver blocks (interval_index.hpp), enumerating only the
+/// *moved* (off-rank) intersections: O(moved blocks · log P) instead of the
+/// dense O(senders × receivers) walk, and O(W + H) for the identity moves
+/// diffusion keeps producing. plan_redistribution() (which allocates the
+/// sparse matrix) is reserved for the commit / redistribute stage, where
+/// the messages actually run on the simulated network. The sparse pricing
+/// visits the surviving intersections in for_each_redist_block's exact
+/// order, so its aggregates are bit-identical to the materialized totals —
+/// property-tested against redistribution_cost_dense(), the retained dense
+/// reference walk.
 
 #include <atomic>
 #include <cstdint>
@@ -49,7 +54,21 @@ struct RedistCounters {
   std::int64_t plans_built = 0;             ///< plan_redistribution() calls.
   std::int64_t messages_materialized = 0;   ///< Message objects pushed.
   std::int64_t message_bytes_materialized = 0;  ///< sizeof(Message) × above.
-  std::int64_t cost_queries = 0;            ///< redistribution_cost() calls.
+  std::int64_t cost_queries = 0;            ///< Pricings requested (sparse,
+                                            ///< dense, or cache-served).
+  /// Bisection probes the sparse pricing's interval index performed while
+  /// locating receiver blocks — the measurable O(moved blocks · log P)
+  /// asymptotic, gated against quadratic regressions by the perf-smoke
+  /// bench at up to 1M ranks.
+  std::int64_t intersection_probes = 0;
+  /// Off-rank block intersections the sparse pricing actually visited
+  /// ("moved blocks"); fully-local senders are skipped without being
+  /// enumerated, so an identity move counts zero.
+  std::int64_t moved_blocks_enumerated = 0;
+  /// RedistCostCache queries served from / missing the memo (incremental
+  /// candidate pricing; see cost_cache.hpp).
+  std::int64_t cost_cache_hits = 0;
+  std::int64_t cost_cache_misses = 0;
 };
 
 /// Snapshot of the process-wide counters (monotonic since process start).
@@ -60,6 +79,10 @@ struct RedistCounterState {
   std::atomic<std::int64_t> plans_built{0};
   std::atomic<std::int64_t> messages_materialized{0};
   std::atomic<std::int64_t> cost_queries{0};
+  std::atomic<std::int64_t> intersection_probes{0};
+  std::atomic<std::int64_t> moved_blocks_enumerated{0};
+  std::atomic<std::int64_t> cost_cache_hits{0};
+  std::atomic<std::int64_t> cost_cache_misses{0};
 };
 RedistCounterState& redist_counter_state();
 }  // namespace detail
@@ -161,13 +184,32 @@ struct RedistCostSummary {
   }
 };
 
-/// Streaming cost of the move from \p old_rect to \p new_rect: walks the
-/// same intersections as plan_redistribution but accumulates aggregates
-/// only — no Message vector, no allocation. With \p comm bound, also
-/// accumulates hop-bytes and the §IV-C-1 prediction terms against that
-/// communicator's topology and mapping; without it the hop/time fields
-/// stay zero.
+/// Streaming cost of the move from \p old_rect to \p new_rect — the sparse
+/// pricing path. Exploits the tensor-product structure of the block
+/// decomposition: per-dimension (sender block, receiver block, overlap)
+/// pair lists are built with the interval index (interval_index.hpp) in
+/// O((W + H) · log P) probes, the integer aggregates (points, bytes,
+/// message count) come out in closed form, and only *off-rank* block
+/// intersections — the moved blocks — are enumerated for hop-bytes and the
+/// §IV-C-1 prediction terms, in the dense walk's exact order so every
+/// field, including the order-dependent worst_sender_time float sum, is
+/// bit-identical to redistribution_cost_dense(). An identity move (the
+/// diffusion strategy's steady state) enumerates nothing: O(W + H) total.
+/// With \p comm bound, also accumulates hop-bytes and prediction terms
+/// against that communicator's topology and mapping; without it the
+/// hop/time fields stay zero. No allocation in steady state (thread-local
+/// scratch reused across queries).
 [[nodiscard]] RedistCostSummary redistribution_cost(
+    const NestShape& nest, const Rect& old_rect, const Rect& new_rect,
+    int grid_px, int bytes_per_point = kDefaultBytesPerPoint,
+    const SimComm* comm = nullptr);
+
+/// Reference implementation of redistribution_cost: the dense
+/// O(senders × receivers) walk over for_each_redist_block. Kept as the
+/// ground truth the property tests (and any future sparse-path change)
+/// compare against, field-for-field with EXPECT_EQ. Bumps the same
+/// cost_queries counter; never probes the interval index.
+[[nodiscard]] RedistCostSummary redistribution_cost_dense(
     const NestShape& nest, const Rect& old_rect, const Rect& new_rect,
     int grid_px, int bytes_per_point = kDefaultBytesPerPoint,
     const SimComm* comm = nullptr);

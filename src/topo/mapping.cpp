@@ -1,7 +1,9 @@
 #include "topo/mapping.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <numeric>
+#include <sstream>
 
 #include "util/rng.hpp"
 
@@ -98,6 +100,59 @@ int FoldingMapping::node_of_rank(int rank) const {
   return nodes_[static_cast<std::size_t>(rank)];
 }
 
+// ----------------------------------------------------------- TiledMapping
+
+bool TiledMapping::compatible(int grid_px, int grid_py, int tile_w,
+                              int tile_h) {
+  if (grid_px <= 0 || grid_py <= 0 || tile_w <= 0 || tile_h <= 0)
+    return false;
+  return grid_px % tile_w == 0 && grid_py % tile_h == 0;
+}
+
+TiledMapping::TiledMapping(int grid_px, int grid_py, int tile_w, int tile_h)
+    : px_(grid_px), py_(grid_py), tw_(tile_w), th_(tile_h) {
+  ST_CHECK_MSG(compatible(grid_px, grid_py, tile_w, tile_h),
+               "tile " << tile_w << "x" << tile_h
+                       << " does not evenly cut process grid " << grid_px
+                       << "x" << grid_py);
+}
+
+int TiledMapping::node_of_rank(int rank) const {
+  ST_CHECK_MSG(rank >= 0 && rank < num_ranks(),
+               "rank " << rank << " out of range");
+  const int x = rank % px_;
+  const int y = rank / px_;
+  const int tile = (y / th_) * (px_ / tw_) + x / tw_;
+  const int within = (y % th_) * tw_ + x % tw_;
+  return tile * (tw_ * th_) + within;
+}
+
+std::string TiledMapping::name() const {
+  std::ostringstream os;
+  os << "tiled-" << tw_ << 'x' << th_;
+  return os.str();
+}
+
+TiledMapping::TileShape TiledMapping::choose_tile(int grid_px, int grid_py,
+                                                  int tile_area) {
+  if (tile_area <= 0) return TileShape{};
+  // Most-square valid factorisation (smallest |w - h| that cuts the grid
+  // evenly); ties broken towards wide tiles to match row-major locality.
+  TileShape best{};
+  int best_gap = tile_area + 1;
+  for (int w = 1; w <= tile_area; ++w) {
+    if (tile_area % w != 0) continue;
+    const int h = tile_area / w;
+    if (!compatible(grid_px, grid_py, w, h)) continue;
+    const int gap = std::abs(w - h);
+    if (gap < best_gap) {
+      best = TileShape{w, h};
+      best_gap = gap;
+    }
+  }
+  return best;
+}
+
 // ---------------------------------------------------------------- helpers
 
 double average_neighbor_dilation(const Topology& topo, const Mapping& mapping,
@@ -137,6 +192,16 @@ std::unique_ptr<Mapping> make_default_mapping(const Topology& topo,
   if (const auto* torus = dynamic_cast<const Torus3D*>(&topo)) {
     if (FoldingMapping::compatible(grid_px, grid_py, *torus))
       return std::make_unique<FoldingMapping>(grid_px, grid_py, *torus);
+  }
+  int tile_area = 0;
+  if (const auto* df = dynamic_cast<const Dragonfly*>(&topo))
+    tile_area = df->group_size();
+  else if (const auto* ft = dynamic_cast<const FatTree*>(&topo))
+    tile_area = ft->pod_size();
+  if (tile_area > 0) {
+    const auto tile = TiledMapping::choose_tile(grid_px, grid_py, tile_area);
+    if (tile.w > 0)
+      return std::make_unique<TiledMapping>(grid_px, grid_py, tile.w, tile.h);
   }
   return std::make_unique<RowMajorMapping>(grid_px * grid_py);
 }

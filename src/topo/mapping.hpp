@@ -39,6 +39,11 @@ class Mapping {
   }
 };
 
+/// Descriptive name for the strategy interface: each topology family has a
+/// preferred RankMapping (folding on tori, tiling on dragonfly/fat-tree,
+/// identity on flat switched fabrics) — see make_default_mapping().
+using RankMapping = Mapping;
+
 /// Identity placement: rank r runs on node r.
 class RowMajorMapping final : public Mapping {
  public:
@@ -100,6 +105,40 @@ class FoldingMapping final : public Mapping {
   std::vector<int> nodes_;  // rank -> node
 };
 
+/// Tile-based locality mapping for hierarchical networks (dragonfly groups,
+/// fat-tree pods): the Px×Py process grid is cut into tile_w×tile_h tiles;
+/// ranks within one tile land on consecutive node ids (row-major within the
+/// tile), so when the tile area equals the network's locality domain size
+/// (Dragonfly::group_size(), FatTree::pod_size()) a whole tile shares one
+/// group/pod and most process-grid-adjacent pairs stay at minimum hop
+/// distance. Pure O(1) arithmetic per lookup — nothing materialized, so it
+/// scales to million-rank grids.
+class TiledMapping final : public Mapping {
+ public:
+  /// Requires tile_w | grid_px and tile_h | grid_py.
+  TiledMapping(int grid_px, int grid_py, int tile_w, int tile_h);
+
+  [[nodiscard]] int node_of_rank(int rank) const override;
+  [[nodiscard]] int num_ranks() const override { return px_ * py_; }
+  [[nodiscard]] std::string name() const override;
+
+  /// True when a TiledMapping can be constructed for these shapes.
+  [[nodiscard]] static bool compatible(int grid_px, int grid_py, int tile_w,
+                                       int tile_h);
+
+  /// Most-square tile shape of \p tile_area that divides the grid evenly,
+  /// or {0, 0} when no factorisation of tile_area fits.
+  struct TileShape {
+    int w = 0;
+    int h = 0;
+  };
+  [[nodiscard]] static TileShape choose_tile(int grid_px, int grid_py,
+                                             int tile_area);
+
+ private:
+  int px_, py_, tw_, th_;
+};
+
 /// Average torus hop distance between process-grid-adjacent rank pairs under
 /// \p mapping (dilation quality metric; 1.0 is perfect).
 [[nodiscard]] double average_neighbor_dilation(const Topology& topo,
@@ -115,8 +154,9 @@ struct ProcessGridShape {
 [[nodiscard]] ProcessGridShape choose_process_grid(int p);
 
 /// Build the paper's experimental setup for a machine: on a torus, a
-/// FoldingMapping when the shapes factor (falling back to row-major
-/// otherwise); on switched networks, row-major.
+/// FoldingMapping when the shapes factor; on dragonfly/fat-tree, a
+/// TiledMapping with the tile matched to the group/pod size when one fits;
+/// row-major otherwise (and always on flat switched networks).
 [[nodiscard]] std::unique_ptr<Mapping> make_default_mapping(
     const Topology& topo, int grid_px, int grid_py);
 

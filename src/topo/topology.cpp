@@ -90,6 +90,70 @@ std::string SwitchedNetwork::name() const {
   return os.str();
 }
 
+// -------------------------------------------------------------- Dragonfly
+
+Dragonfly::Dragonfly(int groups, int routers_per_group, int nodes_per_router,
+                     LinkParams link)
+    : Topology(link),
+      groups_(groups),
+      routers_per_group_(routers_per_group),
+      nodes_per_router_(nodes_per_router) {
+  ST_CHECK_MSG(groups >= 1 && routers_per_group >= 1 && nodes_per_router >= 1,
+               "dragonfly dims must be >= 1, got " << groups << " groups x "
+                                                   << routers_per_group
+                                                   << " routers x "
+                                                   << nodes_per_router
+                                                   << " nodes");
+}
+
+int Dragonfly::hops(int node_a, int node_b) const {
+  require_node(node_a);
+  require_node(node_b);
+  if (node_a == node_b) return 0;
+  if (node_a / nodes_per_router_ == node_b / nodes_per_router_) return 2;
+  if (node_a / group_size() == node_b / group_size()) return 4;
+  return 6;
+}
+
+std::string Dragonfly::name() const {
+  std::ostringstream os;
+  os << "dragonfly-" << groups_ << 'g' << routers_per_group_ << 'r'
+     << nodes_per_router_ << 'n';
+  return os.str();
+}
+
+// ---------------------------------------------------------------- FatTree
+
+FatTree::FatTree(int nodes, int nodes_per_leaf, int leaves_per_pod,
+                 LinkParams link)
+    : Topology(link),
+      nodes_(nodes),
+      per_leaf_(nodes_per_leaf),
+      leaves_per_pod_(leaves_per_pod) {
+  ST_CHECK_MSG(nodes >= 1, "need at least one node");
+  ST_CHECK_MSG(nodes_per_leaf >= 1 && leaves_per_pod >= 1,
+               "fat-tree arity must be >= 1, got " << nodes_per_leaf
+                                                   << " per leaf, "
+                                                   << leaves_per_pod
+                                                   << " leaves per pod");
+}
+
+int FatTree::hops(int node_a, int node_b) const {
+  require_node(node_a);
+  require_node(node_b);
+  if (node_a == node_b) return 0;
+  if (node_a / per_leaf_ == node_b / per_leaf_) return 2;
+  if (node_a / pod_size() == node_b / pod_size()) return 4;
+  return 6;
+}
+
+std::string FatTree::name() const {
+  std::ostringstream os;
+  os << "fattree-" << nodes_ << "n-" << per_leaf_ << "per-" << leaves_per_pod_
+     << "pod";
+  return os.str();
+}
+
 // -------------------------------------------------------------- factories
 
 std::unique_ptr<Torus3D> make_bluegene(int cores) {
@@ -102,6 +166,18 @@ std::unique_ptr<Torus3D> make_bluegene(int cores) {
 std::unique_ptr<SwitchedNetwork> make_fist(int cores) {
   return std::make_unique<SwitchedNetwork>(cores, 16,
                                            SwitchedNetwork::fist_links());
+}
+
+std::unique_ptr<Dragonfly> make_dragonfly(int cores) {
+  ST_CHECK_MSG(cores >= 64 && cores % 64 == 0,
+               "dragonfly machine must be a positive multiple of 64 nodes "
+               "(16 routers x 4 nodes per group), got "
+                   << cores);
+  return std::make_unique<Dragonfly>(cores / 64, 16, 4);
+}
+
+std::unique_ptr<FatTree> make_fattree(int cores) {
+  return std::make_unique<FatTree>(cores, 16, 8);
 }
 
 }  // namespace stormtrack

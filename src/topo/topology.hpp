@@ -41,18 +41,23 @@ struct Coord3 {
   friend constexpr bool operator==(const Coord3&, const Coord3&) = default;
 };
 
-/// Abstract interconnect: node count, pairwise hop distance, and whether the
-/// network is *direct* (mesh/torus — per-pair times overlap, Alltoallv
-/// completion is the max over pairs) or *indirect/switched* (per-sender
-/// messages serialize).
-class Topology {
+/// Abstract interconnect interface: node count, pairwise hop distance, and
+/// whether the network is *direct* (mesh/torus/dragonfly — per-pair times
+/// overlap, Alltoallv completion is the max over pairs) or
+/// *indirect/switched* (fat-tree/leaf-spine — per-sender messages
+/// serialize). This small surface is everything the performance models
+/// consume: RedistTimeModel and SimComm use only hops(),
+/// is_direct_network(), pair_time(), and aggregate_capacity(), so new
+/// interconnects (dragonfly, fat-tree below) plug in without touching any
+/// model code.
+class ITopology {
  public:
-  explicit Topology(LinkParams link) : link_(link) {
+  explicit ITopology(LinkParams link) : link_(link) {
     ST_CHECK_MSG(link.bandwidth > 0, "bandwidth must be positive");
   }
-  virtual ~Topology() = default;
-  Topology(const Topology&) = delete;
-  Topology& operator=(const Topology&) = delete;
+  virtual ~ITopology() = default;
+  ITopology(const ITopology&) = delete;
+  ITopology& operator=(const ITopology&) = delete;
 
   /// Total number of physical nodes (== maximum usable ranks).
   [[nodiscard]] virtual int num_nodes() const = 0;
@@ -94,10 +99,14 @@ class Topology {
   LinkParams link_;
 };
 
+/// Historical name of the interface; all pre-refactor code (and most call
+/// sites) read `Topology`, which is exactly the ITopology interface.
+using Topology = ITopology;
+
 /// 3D torus (Blue Gene/L-like): nodes on a dx×dy×dz lattice with wraparound
 /// links in all three dimensions; hop distance is the sum of per-dimension
 /// ring distances (XYZ dimension-ordered routing).
-class Torus3D final : public Topology {
+class Torus3D final : public ITopology {
  public:
   Torus3D(int dx, int dy, int dz, LinkParams link = bgl_links());
 
@@ -134,7 +143,7 @@ class Torus3D final : public Topology {
 
 /// 2D mesh (no wraparound): hop distance is Manhattan distance. Used for
 /// mapping ablations and as a generic direct network.
-class Mesh2D final : public Topology {
+class Mesh2D final : public ITopology {
  public:
   Mesh2D(int dx, int dy, LinkParams link = Torus3D::bgl_links());
 
@@ -159,7 +168,7 @@ class Mesh2D final : public Topology {
 /// leaf switches of \p nodes_per_switch ports; leaf switches connect through
 /// one core switch. Hop distances: 0 (same node), 2 (same leaf switch),
 /// 4 (across the core).
-class SwitchedNetwork final : public Topology {
+class SwitchedNetwork final : public ITopology {
  public:
   SwitchedNetwork(int nodes, int nodes_per_switch,
                   LinkParams link = fist_links());
@@ -185,6 +194,77 @@ class SwitchedNetwork final : public Topology {
   int nodes_, per_switch_;
 };
 
+/// Dragonfly (Cray XC-like): all-to-all connected *groups*, each group a set
+/// of routers joined all-to-all, each router hosting a few nodes. Minimal
+/// routing crosses at most one global link, so hop distances are tiny and
+/// nearly flat: 0 (same node), 2 (same router), 4 (same group, across the
+/// local all-to-all), 6 (different groups: local + global + local). A direct
+/// network — per-pair transfers overlap.
+class Dragonfly final : public ITopology {
+ public:
+  Dragonfly(int groups, int routers_per_group, int nodes_per_router,
+            LinkParams link = dragonfly_links());
+
+  [[nodiscard]] int num_nodes() const override {
+    return groups_ * routers_per_group_ * nodes_per_router_;
+  }
+  [[nodiscard]] int hops(int node_a, int node_b) const override;
+  [[nodiscard]] bool is_direct_network() const override { return true; }
+  /// Each router contributes its local + global links; the global
+  /// all-to-all keeps path diversity high, so derate less than a torus.
+  [[nodiscard]] double aggregate_capacity() const override {
+    return 2.0 * num_nodes() * link().bandwidth * link().utilization;
+  }
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] int groups() const { return groups_; }
+  [[nodiscard]] int routers_per_group() const { return routers_per_group_; }
+  [[nodiscard]] int nodes_per_router() const { return nodes_per_router_; }
+  /// Nodes per group — the natural tile size for locality-preserving
+  /// mappings (TiledMapping in mapping.hpp).
+  [[nodiscard]] int group_size() const {
+    return routers_per_group_ * nodes_per_router_;
+  }
+
+  /// Optical-global-link flavoured parameters: fast links, higher
+  /// utilization than a torus thanks to adaptive routing.
+  [[nodiscard]] static LinkParams dragonfly_links() {
+    return LinkParams{1.5e-6, 100e-9, 1.0e9, 0.5};
+  }
+
+ private:
+  int groups_, routers_per_group_, nodes_per_router_;
+};
+
+/// Three-level fat-tree (leaf / pod spine / core): nodes hang off leaf
+/// switches, leaves group into pods under pod switches, pods connect through
+/// core switches. Hop distances: 0 (same node), 2 (same leaf), 4 (same pod),
+/// 6 (across the core). An indirect network — per-sender messages serialize
+/// through the injection link, like SwitchedNetwork.
+class FatTree final : public ITopology {
+ public:
+  FatTree(int nodes, int nodes_per_leaf, int leaves_per_pod,
+          LinkParams link = SwitchedNetwork::fist_links());
+
+  [[nodiscard]] int num_nodes() const override { return nodes_; }
+  [[nodiscard]] int hops(int node_a, int node_b) const override;
+  [[nodiscard]] bool is_direct_network() const override { return false; }
+  /// Full-bisection at the leaf level, 2:1 oversubscribed above it.
+  [[nodiscard]] double aggregate_capacity() const override {
+    return 0.5 * nodes_ * link().bandwidth;
+  }
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] int nodes_per_leaf() const { return per_leaf_; }
+  [[nodiscard]] int leaves_per_pod() const { return leaves_per_pod_; }
+  /// Nodes per pod — the natural tile size for locality-preserving
+  /// mappings (TiledMapping in mapping.hpp).
+  [[nodiscard]] int pod_size() const { return per_leaf_ * leaves_per_pod_; }
+
+ private:
+  int nodes_, per_leaf_, leaves_per_pod_;
+};
+
 /// Standard machine factories used throughout the experiments.
 /// Blue Gene/L partition of \p cores nodes as an 8×8×(cores/64) torus
 /// (cores must be a positive multiple of 64; 1024 gives the real BG/L
@@ -193,5 +273,13 @@ class SwitchedNetwork final : public Topology {
 
 /// fist-like switched cluster: \p cores nodes, 16 per leaf switch.
 [[nodiscard]] std::unique_ptr<SwitchedNetwork> make_fist(int cores);
+
+/// Dragonfly of \p cores nodes: 16 routers per group, 4 nodes per router
+/// (64-node groups; cores must be a positive multiple of 64).
+[[nodiscard]] std::unique_ptr<Dragonfly> make_dragonfly(int cores);
+
+/// Fat-tree of \p cores nodes: 16 per leaf, 8 leaves per pod (128-node
+/// pods).
+[[nodiscard]] std::unique_ptr<FatTree> make_fattree(int cores);
 
 }  // namespace stormtrack

@@ -1,0 +1,60 @@
+#include "tree/tree_delta.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace stormtrack {
+
+namespace {
+
+/// One internal node on a root-to-leaf path: which child the path takes and
+/// both child weights — exactly the data subdivide() consumes there.
+struct PathStep {
+  bool took_left = false;
+  double left_weight = 0.0;
+  double right_weight = 0.0;
+  friend bool operator==(const PathStep&, const PathStep&) = default;
+};
+
+using PathSignature = std::vector<PathStep>;
+
+void collect_signatures(const AllocTree& tree, int idx, PathSignature& path,
+                        std::map<NestId, PathSignature>& out) {
+  const AllocTree::Node& n = tree.node(idx);
+  if (n.is_leaf()) {
+    if (n.nest != kNoNest) out.emplace(n.nest, path);
+    return;
+  }
+  const double lw = tree.node(n.left).weight;
+  const double rw = tree.node(n.right).weight;
+  path.push_back(PathStep{true, lw, rw});
+  collect_signatures(tree, n.left, path, out);
+  path.back().took_left = false;
+  collect_signatures(tree, n.right, path, out);
+  path.pop_back();
+}
+
+std::map<NestId, PathSignature> signatures_of(const AllocTree& tree) {
+  std::map<NestId, PathSignature> out;
+  if (!tree.empty()) {
+    PathSignature path;
+    collect_signatures(tree, tree.root(), path, out);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<NestId> perturbed_leaves(const AllocTree& before,
+                                     const AllocTree& after) {
+  const std::map<NestId, PathSignature> old_sig = signatures_of(before);
+  const std::map<NestId, PathSignature> new_sig = signatures_of(after);
+  std::vector<NestId> perturbed;
+  for (const auto& [nest, sig] : new_sig) {
+    const auto it = old_sig.find(nest);
+    if (it == old_sig.end() || it->second != sig) perturbed.push_back(nest);
+  }
+  return perturbed;  // std::map iteration is already ascending
+}
+
+}  // namespace stormtrack

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file tree_delta.hpp
+/// Structural diff between two allocation trees, for incremental candidate
+/// pricing.
+///
+/// A leaf's processor rectangle under AllocTree::subdivide is fully
+/// determined by its root-to-leaf *path signature*: at every internal node
+/// on the path, which side the path takes and the two child weights (the
+/// proportional split), in order. Two trees that give a nest the same
+/// signature give it the same rectangle on the same grid view — so the move
+/// from the committed allocation to the candidate's is an identity move,
+/// priced in O(W + H) by the sparse pricer and served from the pipeline's
+/// cost cache on repeat. perturbed_leaves() returns the complement: the
+/// nests whose subtree actually changed, i.e. the only ones whose pricing
+/// does real work. The pipeline reports the stable count as
+/// "pipeline.stable_subtrees".
+
+#include <vector>
+
+#include "tree/alloc_tree.hpp"
+
+namespace stormtrack {
+
+/// Nest ids occupying \p after whose root-to-leaf path signature differs
+/// from their signature in \p before (nests absent from \p before count as
+/// perturbed). Sorted ascending. Nests only in \p before are not reported —
+/// they have no rectangle to price in \p after.
+[[nodiscard]] std::vector<NestId> perturbed_leaves(const AllocTree& before,
+                                                   const AllocTree& after);
+
+}  // namespace stormtrack

@@ -1,0 +1,199 @@
+/// Checkpoint round trips for malleable runs: a trace run that grows and
+/// shrinks its processor view mid-trace must survive a kill-and-resume
+/// fingerprint-identical, old-version checkpoint files must be rejected
+/// with a clear error, and a resize schedule different from the one that
+/// wrote the checkpoints must start fresh instead of resuming.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/trace_run.hpp"
+#include "core/experiment.hpp"
+#include "util/check.hpp"
+
+namespace stormtrack {
+namespace {
+
+namespace fs = std::filesystem;
+
+Trace test_trace(int events) {
+  SyntheticTraceConfig cfg;
+  cfg.num_events = events;
+  cfg.seed = 0xe1a571c;
+  return generate_synthetic_trace(cfg);
+}
+
+/// 256 -> 1024 -> 256 ranks on a 32x32 machine: start on a 16x16 view,
+/// grow to the full grid at point 4, shrink back at point 9.
+ManagerConfig grow_shrink_config() {
+  ManagerConfig cfg;
+  cfg.initial_view_px = 16;
+  cfg.initial_view_py = 16;
+  cfg.resize_schedule = {ResizeEvent{4, 32, 32}, ResizeEvent{9, 16, 16}};
+  return cfg;
+}
+
+std::map<std::string, std::int64_t> counts(const MetricsRegistry& metrics) {
+  std::map<std::string, std::int64_t> out;
+  for (const auto& [name, entry] : metrics.entries())
+    out[name] = entry.count;
+  return out;
+}
+
+void kill_after_step(const fs::path& dir, std::int64_t survivor_step,
+                     std::int64_t max_step) {
+  for (std::int64_t s = survivor_step + 1; s <= max_step; ++s)
+    fs::remove(checkpoint_file_path(dir, s));
+}
+
+std::vector<char> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_file(const fs::path& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+class ElasticResumeTest : public ::testing::Test {
+ protected:
+  ElasticResumeTest() : machine_(Machine::bluegene(1024)) {}
+
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("st_elastic_" + std::string(::testing::UnitTest::GetInstance()
+                                            ->current_test_info()
+                                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  ModelStack models_;
+  Machine machine_;
+  fs::path dir_;
+};
+
+TEST_F(ElasticResumeTest, KillAndResumeAcrossAResizeIsFingerprintIdentical) {
+  const Trace trace = test_trace(14);
+  CheckpointPolicy policy;
+  policy.dir = dir_;
+  policy.every = 1;
+  policy.keep = 0;  // keep everything so the test can pick the survivor
+
+  const TraceRunResult reference = run_trace_checkpointed(
+      machine_, models_.model, models_.truth, "diffusion", trace,
+      grow_shrink_config(), policy);
+
+  // Survivors straddle the schedule: before the grow, between grow and
+  // shrink (the resumed run must come back on the 32x32 view), and after
+  // the shrink. Each death replays the remaining resizes exactly once.
+  for (const std::int64_t survivor : {2, 6, 11}) {
+    SCOPED_TRACE("survivor step " + std::to_string(survivor));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    (void)run_trace_checkpointed(machine_, models_.model, models_.truth,
+                                 "diffusion", trace, grow_shrink_config(),
+                                 policy);
+    kill_after_step(dir_, survivor, static_cast<std::int64_t>(trace.size()));
+
+    ResumeReport report;
+    const TraceRunResult resumed = run_trace_checkpointed(
+        machine_, models_.model, models_.truth, "diffusion", trace,
+        grow_shrink_config(), policy, &report);
+
+    EXPECT_TRUE(report.resumed);
+    EXPECT_EQ(report.step, survivor);
+    EXPECT_EQ(resumed.final_state_fingerprint,
+              reference.final_state_fingerprint);
+    EXPECT_EQ(resumed.total_exec(), reference.total_exec());
+    EXPECT_EQ(resumed.total_redist(), reference.total_redist());
+    EXPECT_EQ(resumed.total_hop_bytes(), reference.total_hop_bytes());
+    ASSERT_EQ(resumed.outcomes.size(), reference.outcomes.size());
+    for (std::size_t i = 0; i < reference.outcomes.size(); ++i) {
+      SCOPED_TRACE("outcome " + std::to_string(i));
+      EXPECT_EQ(resumed.outcomes[i].chosen, reference.outcomes[i].chosen);
+      EXPECT_EQ(resumed.outcomes[i].allocation.rects(),
+                reference.outcomes[i].allocation.rects());
+    }
+    // Resize events consumed before the death were restored, not replayed:
+    // every elastic.* counter matches the uninterrupted run.
+    EXPECT_EQ(counts(resumed.metrics), counts(reference.metrics));
+  }
+}
+
+TEST_F(ElasticResumeTest, OldVersionCheckpointsAreRejectedWithAClearError) {
+  const Trace trace = test_trace(6);
+  CheckpointPolicy policy;
+  policy.dir = dir_;
+  policy.every = 1;
+  policy.keep = 0;
+  (void)run_trace_checkpointed(machine_, models_.model, models_.truth,
+                               "diffusion", trace, grow_shrink_config(),
+                               policy);
+
+  // Rewrite the newest file's version word (u32 at byte offset 4, after
+  // the "STCK" magic) to 1, as a pre-resize build would have written it.
+  const fs::path newest = checkpoint_file_path(dir_, 6);
+  ASSERT_TRUE(fs::exists(newest));
+  std::vector<char> bytes = read_file(newest);
+  ASSERT_GE(bytes.size(), 8u);
+  bytes[4] = 1;
+  bytes[5] = 0;
+  bytes[6] = 0;
+  bytes[7] = 0;
+  write_file(newest, bytes);
+
+  try {
+    (void)load_checkpoint(newest);
+    FAIL() << "version-1 checkpoint was not rejected";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported checkpoint version 1"),
+              std::string::npos)
+        << e.what();
+  }
+
+  // The directory scan must fall back past the stale file to the newest
+  // version-2 checkpoint instead of dying on it.
+  const std::uint64_t fp = trace_run_fingerprint(
+      machine_, "diffusion", trace, grow_shrink_config());
+  const auto latest = latest_valid_checkpoint(dir_, fp);
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->checkpoint.step, 5);  // newest surviving v2 file
+  EXPECT_EQ(latest->invalid_skipped, 1);
+  ASSERT_EQ(latest->errors.size(), 1u);
+  EXPECT_NE(latest->errors[0].find("unsupported checkpoint version"),
+            std::string::npos)
+      << latest->errors[0];
+}
+
+TEST_F(ElasticResumeTest, DifferentResizeScheduleStartsFreshNotResumed) {
+  const Trace trace = test_trace(6);
+  CheckpointPolicy policy;
+  policy.dir = dir_;
+
+  (void)run_trace_checkpointed(machine_, models_.model, models_.truth,
+                               "diffusion", trace, grow_shrink_config(),
+                               policy);
+
+  // Same trace, same strategy, but a different resize schedule: the config
+  // fingerprint differs, so nothing resumes and the run starts from step 0.
+  ManagerConfig other = grow_shrink_config();
+  other.resize_schedule = {ResizeEvent{3, 32, 32}};
+  ResumeReport report;
+  (void)run_trace_checkpointed(machine_, models_.model, models_.truth,
+                               "diffusion", trace, other, policy, &report);
+  EXPECT_FALSE(report.resumed);
+}
+
+}  // namespace
+}  // namespace stormtrack

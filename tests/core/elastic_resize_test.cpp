@@ -1,0 +1,180 @@
+/// Malleable processor sets: a run may start on a sub-grid view and
+/// grow/shrink at scheduled adaptation points (ReSHAPE-style). The resize
+/// machinery must keep every allocation inside the live view, surface
+/// grow/shrink metrics, stay bit-identical between serial and threaded
+/// executors, and refuse malformed schedules up front.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/machine.hpp"
+#include "core/traces.hpp"
+#include "exec/executor.hpp"
+#include "util/check.hpp"
+
+namespace stormtrack {
+namespace {
+
+Trace test_trace(int events) {
+  SyntheticTraceConfig cfg;
+  cfg.num_events = events;
+  cfg.seed = 0xe1a571c;
+  return generate_synthetic_trace(cfg);
+}
+
+/// 256 -> 1024 -> 256 ranks on a 32x32 machine: start on a 16x16 view,
+/// grow to the full grid at point 4, shrink back at point 9.
+ManagerConfig grow_shrink_config() {
+  ManagerConfig cfg;
+  cfg.initial_view_px = 16;
+  cfg.initial_view_py = 16;
+  cfg.resize_schedule = {ResizeEvent{4, 32, 32}, ResizeEvent{9, 16, 16}};
+  return cfg;
+}
+
+TEST(ElasticResize, GrowAndShrinkKeepAllocationsInsideTheView) {
+  const ModelStack models;
+  const Machine machine = Machine::bluegene(1024);  // 32x32
+  const Trace trace = test_trace(14);
+
+  for (const char* strategy : {"scratch", "diffusion"}) {
+    const TraceRunResult r = run_trace(machine, models.model, models.truth,
+                                       strategy, trace, grow_shrink_config());
+    ASSERT_EQ(r.outcomes.size(), trace.size()) << strategy;
+    // Points 0..3 and 9..13 run on the 16x16 view; 4..8 on the full grid.
+    for (std::size_t i = 0; i < r.outcomes.size(); ++i) {
+      const int vw = (i >= 4 && i < 9) ? 32 : 16;
+      for (const auto& [nest, rect] : r.outcomes[i].allocation.rects()) {
+        EXPECT_LE(rect.x_end(), vw) << strategy << " point " << i;
+        EXPECT_LE(rect.y_end(), vw) << strategy << " point " << i;
+      }
+    }
+    EXPECT_EQ(r.metrics.get("elastic.grow_events").count, 1) << strategy;
+    EXPECT_EQ(r.metrics.get("elastic.shrink_events").count, 1) << strategy;
+    EXPECT_EQ(r.metrics.get("elastic.procs_added").count, 1024 - 256)
+        << strategy;
+    EXPECT_EQ(r.metrics.get("elastic.procs_retired").count, 1024 - 256)
+        << strategy;
+    EXPECT_EQ(r.metrics.get("elastic.validations").count, 2) << strategy;
+    // Both resizes had committed nests to move, so both priced a real
+    // view-to-view redistribution.
+    EXPECT_GT(r.metrics.get("elastic.resize_total_points").count, 0)
+        << strategy;
+  }
+}
+
+TEST(ElasticResize, SerialAndEightThreadRunsAreBitIdentical) {
+  const ModelStack models;
+  const Machine machine = Machine::bluegene(1024);
+  const Trace trace = test_trace(14);
+
+  for (const char* strategy : {"scratch", "diffusion"}) {
+    const TraceRunResult serial = run_trace(
+        machine, models.model, models.truth, strategy, trace,
+        grow_shrink_config());
+
+    ThreadPoolExecutor pool(8);
+    ManagerConfig threaded_cfg = grow_shrink_config();
+    threaded_cfg.executor = &pool;
+    const TraceRunResult threaded = run_trace(
+        machine, models.model, models.truth, strategy, trace, threaded_cfg);
+
+    EXPECT_EQ(serial.final_state_fingerprint,
+              threaded.final_state_fingerprint)
+        << strategy;
+    ASSERT_EQ(serial.outcomes.size(), threaded.outcomes.size()) << strategy;
+    for (std::size_t i = 0; i < serial.outcomes.size(); ++i) {
+      EXPECT_EQ(serial.outcomes[i].chosen, threaded.outcomes[i].chosen)
+          << strategy << " point " << i;
+      EXPECT_EQ(serial.outcomes[i].committed.predicted_redist,
+                threaded.outcomes[i].committed.predicted_redist)
+          << strategy << " point " << i;
+      EXPECT_EQ(serial.outcomes[i].traffic.hop_bytes,
+                threaded.outcomes[i].traffic.hop_bytes)
+          << strategy << " point " << i;
+      EXPECT_EQ(serial.outcomes[i].allocation.rects(),
+                threaded.outcomes[i].allocation.rects())
+          << strategy << " point " << i;
+    }
+    EXPECT_EQ(serial.metrics.get("elastic.resize_moved_points").count,
+              threaded.metrics.get("elastic.resize_moved_points").count)
+        << strategy;
+  }
+}
+
+TEST(ElasticResize, InitialViewChangesTheFirstAllocation) {
+  const ModelStack models;
+  const Machine machine = Machine::bluegene(1024);
+  const Trace trace = test_trace(3);
+
+  ManagerConfig narrow;
+  narrow.initial_view_px = 16;
+  narrow.initial_view_py = 16;
+  const TraceRunResult r = run_trace(machine, models.model, models.truth,
+                                     "scratch", trace, narrow);
+  for (const StepOutcome& o : r.outcomes)
+    for (const auto& [nest, rect] : o.allocation.rects()) {
+      EXPECT_LE(rect.x_end(), 16);
+      EXPECT_LE(rect.y_end(), 16);
+    }
+}
+
+TEST(ElasticResize, MalformedConfigurationsAreRejectedUpFront) {
+  const ModelStack models;
+  const Machine machine = Machine::bluegene(256);  // 16x16
+  const Trace trace = test_trace(3);
+
+  {  // Only one initial-view dimension set.
+    ManagerConfig cfg;
+    cfg.initial_view_px = 8;
+    EXPECT_THROW(run_trace(machine, models.model, models.truth, "scratch",
+                           trace, cfg),
+                 CheckError);
+  }
+  {  // Initial view exceeds the machine grid.
+    ManagerConfig cfg;
+    cfg.initial_view_px = 32;
+    cfg.initial_view_py = 32;
+    EXPECT_THROW(run_trace(machine, models.model, models.truth, "scratch",
+                           trace, cfg),
+                 CheckError);
+  }
+  {  // Scheduled resize exceeds the machine grid.
+    ManagerConfig cfg;
+    cfg.resize_schedule = {ResizeEvent{1, 17, 16}};
+    EXPECT_THROW(run_trace(machine, models.model, models.truth, "scratch",
+                           trace, cfg),
+                 CheckError);
+  }
+  {  // Scheduled resize at a negative point.
+    ManagerConfig cfg;
+    cfg.resize_schedule = {ResizeEvent{-1, 8, 8}};
+    EXPECT_THROW(run_trace(machine, models.model, models.truth, "scratch",
+                           trace, cfg),
+                 CheckError);
+  }
+}
+
+TEST(ElasticResize, ReshapeAndNoOpResizesAreDistinguished) {
+  const ModelStack models;
+  const Machine machine = Machine::bluegene(256);  // 16x16
+  const Trace trace = test_trace(6);
+
+  // Same area, different shape: a reshape, not a grow or shrink.
+  ManagerConfig cfg;
+  cfg.initial_view_px = 8;
+  cfg.initial_view_py = 16;
+  cfg.resize_schedule = {ResizeEvent{2, 16, 8},   // reshape 8x16 -> 16x8
+                         ResizeEvent{4, 16, 8}};  // no-op: already 16x8
+  const TraceRunResult r = run_trace(machine, models.model, models.truth,
+                                     "diffusion", trace, cfg);
+  EXPECT_EQ(r.metrics.get("elastic.reshape_events").count, 1);
+  EXPECT_EQ(r.metrics.get("elastic.grow_events").count, 0);
+  EXPECT_EQ(r.metrics.get("elastic.shrink_events").count, 0);
+}
+
+}  // namespace
+}  // namespace stormtrack

@@ -1,0 +1,107 @@
+/// The pipeline's memoized pricing is a pure optimization: cache-on and
+/// cache-off runs are bit-identical (fingerprints, outcomes, and metric
+/// totals), a steady trace actually produces hits, and the
+/// pipeline.stable_subtrees metric surfaces the incremental structure.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/machine.hpp"
+#include "core/traces.hpp"
+#include "redist/redistributor.hpp"
+
+namespace stormtrack {
+namespace {
+
+Trace test_trace() {
+  SyntheticTraceConfig cfg;
+  cfg.num_events = 14;
+  cfg.seed = 0xcac4e;
+  return generate_synthetic_trace(cfg);
+}
+
+/// A trace whose active set never changes after the first event — the
+/// diffusion steady state, where every pricing repeats.
+Trace steady_trace(int events) {
+  Trace t = test_trace();
+  Trace steady;
+  for (int i = 0; i < events; ++i) steady.push_back(t.front());
+  return steady;
+}
+
+TEST(PricingCache, OnAndOffRunsAreBitIdentical) {
+  const ModelStack models;
+  const Machine machine = Machine::bluegene(256);
+  const Trace trace = test_trace();
+
+  ManagerConfig cache_on;
+  cache_on.pricing_cache = true;
+  ManagerConfig cache_off;
+  cache_off.pricing_cache = false;
+
+  const TraceRunResult on = run_trace(machine, models.model, models.truth,
+                                      "dynamic", trace, cache_on);
+  const TraceRunResult off = run_trace(machine, models.model, models.truth,
+                                       "dynamic", trace, cache_off);
+
+  EXPECT_EQ(on.final_state_fingerprint, off.final_state_fingerprint);
+  ASSERT_EQ(on.outcomes.size(), off.outcomes.size());
+  for (std::size_t i = 0; i < on.outcomes.size(); ++i) {
+    EXPECT_EQ(on.outcomes[i].chosen, off.outcomes[i].chosen) << i;
+    EXPECT_EQ(on.outcomes[i].committed.predicted_redist,
+              off.outcomes[i].committed.predicted_redist)
+        << i;
+    EXPECT_EQ(on.outcomes[i].traffic.hop_bytes,
+              off.outcomes[i].traffic.hop_bytes)
+        << i;
+    EXPECT_EQ(on.outcomes[i].overlap_fraction,
+              off.outcomes[i].overlap_fraction)
+        << i;
+  }
+  // Same pricing totals too: served and computed queries count alike.
+  EXPECT_EQ(on.metrics.get("pipeline.cost_queries").count,
+            off.metrics.get("pipeline.cost_queries").count);
+  EXPECT_EQ(on.metrics.get("pipeline.stable_subtrees").count,
+            off.metrics.get("pipeline.stable_subtrees").count);
+}
+
+TEST(PricingCache, SteadyTraceServesRepeatsFromCache) {
+  const ModelStack models;
+  const Machine machine = Machine::bluegene(256);
+  const Trace trace = steady_trace(10);
+
+  const RedistCounters before = redist_counters();
+  const TraceRunResult r =
+      run_trace(machine, models.model, models.truth, "diffusion", trace);
+  const RedistCounters after = redist_counters();
+
+  // Events 2..10 re-price the exact rectangles event 1 committed.
+  EXPECT_GT(after.cost_cache_hits - before.cost_cache_hits, 0);
+  // Hits + misses cover every pricing the pipeline reported.
+  EXPECT_EQ((after.cost_cache_hits - before.cost_cache_hits) +
+                (after.cost_cache_misses - before.cost_cache_misses),
+            r.metrics.get("pipeline.cost_queries").count);
+  // Steady state: retained nests' subtrees survive diffusion untouched.
+  EXPECT_GT(r.metrics.get("pipeline.stable_subtrees").count, 0);
+}
+
+TEST(PricingCache, HotpathCounterInvariantHoldsWithCacheOn) {
+  // The instrumentation contract (hotpath_instrumentation_test) must hold
+  // with memoization enabled: every pricing, hit or miss, is a cost query.
+  const ModelStack models;
+  const Machine machine = Machine::bluegene(256);
+  const Trace trace = steady_trace(6);
+
+  const RedistCounters before = redist_counters();
+  const TraceRunResult r =
+      run_trace(machine, models.model, models.truth, "dynamic", trace);
+  const RedistCounters after = redist_counters();
+  EXPECT_EQ(after.cost_queries - before.cost_queries,
+            r.metrics.get("pipeline.cost_queries").count);
+}
+
+}  // namespace
+}  // namespace stormtrack

@@ -1,0 +1,121 @@
+/// RedistCostCache contract: memoized pricing is bit-identical to direct
+/// sparse pricing, hits still count as cost queries (the hot-path
+/// instrumentation invariant), and capacity flushes / invalidation change
+/// hit rates but never results.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/machine.hpp"
+#include "redist/cost_cache.hpp"
+#include "redist/redistributor.hpp"
+#include "util/rng.hpp"
+
+namespace stormtrack {
+namespace {
+
+void expect_equal(const RedistCostSummary& a, const RedistCostSummary& b) {
+  EXPECT_EQ(a.total_points, b.total_points);
+  EXPECT_EQ(a.overlap_points, b.overlap_points);
+  EXPECT_EQ(a.total_bytes, b.total_bytes);
+  EXPECT_EQ(a.hop_bytes, b.hop_bytes);
+  EXPECT_EQ(a.local_bytes, b.local_bytes);
+  EXPECT_EQ(a.num_messages, b.num_messages);
+  EXPECT_EQ(a.max_hops, b.max_hops);
+  EXPECT_EQ(a.worst_pair_time, b.worst_pair_time);
+  EXPECT_EQ(a.worst_sender_time, b.worst_sender_time);
+}
+
+TEST(RedistCostCache, HitServesIdenticalSummaryAndCountsAsQuery) {
+  const Machine machine = Machine::bluegene(256);
+  RedistCostCache cache;
+  const NestShape nest{200, 160};
+  const Rect a{0, 0, 6, 5};
+  const Rect b{2, 1, 7, 4};
+
+  const RedistCostSummary direct = redistribution_cost(
+      nest, a, b, machine.grid_px(), 8, &machine.comm());
+
+  const RedistCounters c0 = redist_counters();
+  const RedistCostSummary miss =
+      cache.price(nest, a, b, machine.grid_px(), 8, &machine.comm());
+  const RedistCounters c1 = redist_counters();
+  const RedistCostSummary hit =
+      cache.price(nest, a, b, machine.grid_px(), 8, &machine.comm());
+  const RedistCounters c2 = redist_counters();
+
+  expect_equal(miss, direct);
+  expect_equal(hit, direct);
+  // Miss: one computed query; hit: one served query, no probes.
+  EXPECT_EQ(c1.cost_queries, c0.cost_queries + 1);
+  EXPECT_EQ(c1.cost_cache_misses, c0.cost_cache_misses + 1);
+  EXPECT_EQ(c2.cost_queries, c1.cost_queries + 1);
+  EXPECT_EQ(c2.cost_cache_hits, c1.cost_cache_hits + 1);
+  EXPECT_EQ(c2.cost_cache_misses, c1.cost_cache_misses);
+  EXPECT_EQ(c2.intersection_probes, c1.intersection_probes);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(RedistCostCache, DistinctKeysDoNotCollide) {
+  const Machine machine = Machine::bluegene(256);
+  RedistCostCache cache;
+  Xoshiro256 rng(0xcac4eULL);
+  for (int trial = 0; trial < 60; ++trial) {
+    const NestShape nest{static_cast<int>(rng.uniform_int(20, 300)),
+                         static_cast<int>(rng.uniform_int(20, 300))};
+    const int w = static_cast<int>(rng.uniform_int(1, machine.grid_px()));
+    const int h = static_cast<int>(rng.uniform_int(1, machine.grid_py()));
+    const Rect a{static_cast<int>(rng.uniform_int(0, machine.grid_px() - w)),
+                 static_cast<int>(rng.uniform_int(0, machine.grid_py() - h)),
+                 w, h};
+    const Rect b{static_cast<int>(rng.uniform_int(0, machine.grid_px() - w)),
+                 static_cast<int>(rng.uniform_int(0, machine.grid_py() - h)),
+                 w, h};
+    expect_equal(
+        cache.price(nest, a, b, machine.grid_px(), 8, &machine.comm()),
+        redistribution_cost(nest, a, b, machine.grid_px(), 8,
+                            &machine.comm()));
+    // Re-query through the cache: must now be a hit with the same value.
+    expect_equal(
+        cache.price(nest, a, b, machine.grid_px(), 8, &machine.comm()),
+        redistribution_cost(nest, a, b, machine.grid_px(), 8,
+                            &machine.comm()));
+  }
+}
+
+TEST(RedistCostCache, CapacityFlushNeverChangesResults) {
+  const Machine machine = Machine::bluegene(256);
+  RedistCostCache cache(2);  // flush after every couple of entries
+  const NestShape nest{128, 128};
+  const Rect rects[] = {Rect{0, 0, 4, 4}, Rect{1, 1, 4, 4}, Rect{2, 2, 4, 4},
+                        Rect{3, 3, 4, 4}};
+  for (int round = 0; round < 3; ++round)
+    for (const Rect& r : rects)
+      expect_equal(cache.price(nest, rects[0], r, machine.grid_px(), 8,
+                               &machine.comm()),
+                   redistribution_cost(nest, rects[0], r, machine.grid_px(),
+                                       8, &machine.comm()));
+  EXPECT_LE(cache.size(), 2u);
+}
+
+TEST(RedistCostCache, InvalidateEmptiesWithoutChangingResults) {
+  const Machine machine = Machine::fist_cluster(128);
+  RedistCostCache cache;
+  const NestShape nest{90, 70};
+  const Rect a{0, 0, 4, 8};
+  const Rect b{4, 0, 4, 8};
+  const RedistCostSummary first =
+      cache.price(nest, a, b, machine.grid_px(), 8, &machine.comm());
+  cache.invalidate();
+  EXPECT_EQ(cache.size(), 0u);
+  const RedistCounters before = redist_counters();
+  const RedistCostSummary again =
+      cache.price(nest, a, b, machine.grid_px(), 8, &machine.comm());
+  const RedistCounters after = redist_counters();
+  EXPECT_EQ(after.cost_cache_misses, before.cost_cache_misses + 1);
+  expect_equal(first, again);
+}
+
+}  // namespace
+}  // namespace stormtrack

@@ -1,0 +1,173 @@
+/// Metric properties every ITopology hop function must satisfy — symmetry,
+/// identity, non-negativity, and the triangle inequality — checked across
+/// all four interconnect models, plus the FoldingMapping/TiledMapping edge
+/// cases (non-factorable torus Tz, node-count mismatches, 1xN degenerate
+/// process grids).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "topo/mapping.hpp"
+#include "topo/topology.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace stormtrack {
+namespace {
+
+void expect_metric_properties(const ITopology& topo, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const int n = topo.num_nodes();
+  for (int trial = 0; trial < 200; ++trial) {
+    const int a = static_cast<int>(rng.uniform_int(0, n - 1));
+    const int b = static_cast<int>(rng.uniform_int(0, n - 1));
+    const int c = static_cast<int>(rng.uniform_int(0, n - 1));
+    EXPECT_EQ(topo.hops(a, a), 0) << topo.name();
+    EXPECT_GE(topo.hops(a, b), 0) << topo.name();
+    EXPECT_EQ(topo.hops(a, b), topo.hops(b, a))
+        << topo.name() << " asymmetric for (" << a << ", " << b << ")";
+    EXPECT_LE(topo.hops(a, c), topo.hops(a, b) + topo.hops(b, c))
+        << topo.name() << " triangle violated for (" << a << ", " << b
+        << ", " << c << ")";
+  }
+}
+
+TEST(TopologyProperties, HopMetricAcrossAllFourModels) {
+  const std::unique_ptr<Torus3D> torus = make_bluegene(1024);
+  const std::unique_ptr<SwitchedNetwork> fist = make_fist(1000);
+  const std::unique_ptr<Dragonfly> dragonfly = make_dragonfly(1024);
+  const std::unique_ptr<FatTree> fattree = make_fattree(1024);
+  expect_metric_properties(*torus, 0x70f01ULL);
+  expect_metric_properties(*fist, 0x70f02ULL);
+  expect_metric_properties(*dragonfly, 0x70f03ULL);
+  expect_metric_properties(*fattree, 0x70f04ULL);
+}
+
+TEST(TopologyProperties, RankHopsInheritTheMetricThroughMappings) {
+  // Through Machine (topology + default mapping): rank-level hops must
+  // keep symmetry and identity on every named machine.
+  for (const std::string name : {"bgl", "fist", "dragonfly", "fattree"}) {
+    const Machine machine = Machine::by_name(name, 256);
+    Xoshiro256 rng(0xabcdULL);
+    const int ranks = machine.grid_px() * machine.grid_py();
+    for (int trial = 0; trial < 100; ++trial) {
+      const int a = static_cast<int>(rng.uniform_int(0, ranks - 1));
+      const int b = static_cast<int>(rng.uniform_int(0, ranks - 1));
+      EXPECT_EQ(machine.comm().hops(a, a), 0) << name;
+      EXPECT_EQ(machine.comm().hops(a, b), machine.comm().hops(b, a))
+          << name;
+    }
+  }
+}
+
+// ------------------------------------------------- FoldingMapping edges
+
+TEST(FoldingMappingEdges, NonFactorableTzStillFoldsAsAStrip) {
+  // Tz = 7 is prime: the only folding factorizations are 7x1 and 1x7, so
+  // a 56x8 (or 8x56) grid folds but the more square 28x16 cannot.
+  const Torus3D torus(8, 8, 7);
+  EXPECT_TRUE(FoldingMapping::compatible(56, 8, torus));
+  EXPECT_TRUE(FoldingMapping::compatible(8, 56, torus));
+  EXPECT_FALSE(FoldingMapping::compatible(28, 16, torus));
+  EXPECT_FALSE(FoldingMapping::compatible(16, 28, torus));
+
+  const FoldingMapping strip(56, 8, torus);
+  std::vector<char> seen(static_cast<std::size_t>(torus.num_nodes()), 0);
+  for (int r = 0; r < strip.num_ranks(); ++r) {
+    const int node = strip.node_of_rank(r);
+    ASSERT_GE(node, 0);
+    ASSERT_LT(node, torus.num_nodes());
+    EXPECT_FALSE(seen[static_cast<std::size_t>(node)]) << "node " << node;
+    seen[static_cast<std::size_t>(node)] = 1;
+  }
+}
+
+TEST(FoldingMappingEdges, NodeCountMismatchIsRejected) {
+  // 16x16 ranks on an 8x8x3 torus: 256 != 192 — Px*Py must equal
+  // Tx*Ty*Tz, and compatible() must say no before the ctor throws.
+  const Torus3D torus(8, 8, 3);
+  EXPECT_FALSE(FoldingMapping::compatible(16, 16, torus));
+  EXPECT_THROW(FoldingMapping(16, 16, torus), CheckError);
+  // Right node count but a width the torus X ring does not divide.
+  const Torus3D cube(8, 8, 8);
+  EXPECT_FALSE(FoldingMapping::compatible(4, 128, cube));
+  EXPECT_THROW(FoldingMapping(4, 128, cube), CheckError);
+}
+
+TEST(FoldingMappingEdges, DegenerateOneByNGridsFallBackToRowMajor) {
+  // A 1xN process grid can never fold onto an 8x8xZ torus (1 % 8 != 0);
+  // make_default_mapping must fall back rather than throw.
+  const std::unique_ptr<Torus3D> torus = make_bluegene(256);
+  EXPECT_FALSE(FoldingMapping::compatible(1, 256, *torus));
+  const std::unique_ptr<Mapping> mapping =
+      make_default_mapping(*torus, 1, 256);
+  ASSERT_NE(mapping, nullptr);
+  EXPECT_EQ(mapping->num_ranks(), 256);
+  for (int r = 0; r < 256; ++r) {
+    const int node = mapping->node_of_rank(r);
+    EXPECT_GE(node, 0);
+    EXPECT_LT(node, torus->num_nodes());
+  }
+}
+
+// --------------------------------------------------- TiledMapping edges
+
+TEST(TiledMappingEdges, OneByNGridTilesAsStrips) {
+  // 1x64 grid with 1x16 tiles: 4 strip tiles, still a permutation.
+  ASSERT_TRUE(TiledMapping::compatible(1, 64, 1, 16));
+  const TiledMapping strips(1, 64, 1, 16);
+  std::vector<char> seen(64, 0);
+  for (int r = 0; r < 64; ++r) {
+    const int node = strips.node_of_rank(r);
+    ASSERT_GE(node, 0);
+    ASSERT_LT(node, 64);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(node)]);
+    seen[static_cast<std::size_t>(node)] = 1;
+  }
+  // First strip fills nodes 0..15 in order.
+  EXPECT_EQ(strips.node_of_rank(0), 0);
+  EXPECT_EQ(strips.node_of_rank(15), 15);
+  EXPECT_EQ(strips.node_of_rank(16), 16);
+}
+
+TEST(TiledMappingEdges, IndivisibleTilesAreRejected) {
+  EXPECT_FALSE(TiledMapping::compatible(16, 16, 3, 4));
+  EXPECT_FALSE(TiledMapping::compatible(16, 16, 4, 3));
+  EXPECT_THROW(TiledMapping(16, 16, 3, 4), CheckError);
+}
+
+TEST(TiledMappingEdges, ChooseTilePrefersSquarestCompatibleShape) {
+  // 64-node dragonfly groups on a 32x32 grid: 8x8 is the squarest cut.
+  const TiledMapping::TileShape t = TiledMapping::choose_tile(32, 32, 64);
+  EXPECT_EQ(t.w, 8);
+  EXPECT_EQ(t.h, 8);
+  // 1xN grid: only strip tiles divide.
+  const TiledMapping::TileShape s = TiledMapping::choose_tile(1, 64, 16);
+  EXPECT_EQ(s.w, 1);
+  EXPECT_EQ(s.h, 16);
+}
+
+TEST(TiledMappingEdges, GroupLocalityOnDragonflyAndFatTree) {
+  // The default mapping must keep each process tile inside one dragonfly
+  // group / fat-tree pod: ranks of the same tile share the coarse unit.
+  {
+    const std::unique_ptr<Dragonfly> net = make_dragonfly(256);
+    const std::unique_ptr<Mapping> m = make_default_mapping(*net, 16, 16);
+    const int g0 = m->node_of_rank(0) / net->group_size();
+    EXPECT_EQ(m->node_of_rank(7) / net->group_size(), g0);
+    EXPECT_EQ(m->node_of_rank(7 * 16 + 7) / net->group_size(), g0);
+  }
+  {
+    const std::unique_ptr<FatTree> net = make_fattree(256);
+    const std::unique_ptr<Mapping> m = make_default_mapping(*net, 16, 16);
+    const int p0 = m->node_of_rank(0) / net->pod_size();
+    EXPECT_EQ(m->node_of_rank(7) / net->pod_size(), p0);
+  }
+}
+
+}  // namespace
+}  // namespace stormtrack

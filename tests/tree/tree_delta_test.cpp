@@ -1,0 +1,82 @@
+/// perturbed_leaves() semantics: a nest is perturbed exactly when its
+/// root-to-leaf path signature (split sides + child weights, the data
+/// subdivide() consumes) changed — the foundation of the pipeline's
+/// incremental-pricing accounting.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tree/alloc_tree.hpp"
+#include "tree/tree_delta.hpp"
+#include "util/rect.hpp"
+
+namespace stormtrack {
+namespace {
+
+std::vector<NestWeight> paper_weights() {
+  return {{1, 0.35}, {2, 0.25}, {3, 0.2}, {4, 0.1}, {5, 0.1}};
+}
+
+TEST(TreeDelta, IdenticalTreesHaveNoPerturbedLeaves) {
+  const AllocTree t = AllocTree::huffman(paper_weights());
+  EXPECT_TRUE(perturbed_leaves(t, t).empty());
+}
+
+TEST(TreeDelta, SteadyStateDiffusionKeepsEveryLeafStable) {
+  const AllocTree t = AllocTree::huffman(paper_weights());
+  // Same nests, same weights: diffuse() reorganizes nothing.
+  ReconfigRequest req;
+  req.retained = paper_weights();
+  const AllocTree t2 = t.diffuse(req);
+  EXPECT_TRUE(perturbed_leaves(t, t2).empty());
+  // ... and the induced rectangles really are identical, which is what the
+  // empty delta promises.
+  EXPECT_EQ(t.subdivide(Rect{0, 0, 32, 32}), t2.subdivide(Rect{0, 0, 32, 32}));
+}
+
+TEST(TreeDelta, InsertedNestIsPerturbed) {
+  const AllocTree t = AllocTree::huffman(paper_weights());
+  ReconfigRequest req;
+  req.retained = paper_weights();
+  req.inserted = {{6, 0.15}};
+  const AllocTree t2 = t.diffuse(req);
+  const std::vector<NestId> perturbed = perturbed_leaves(t, t2);
+  // The new nest has no old signature; its arrival also rewrites weight
+  // sums on the path above it, perturbing (at least) its neighbours.
+  EXPECT_FALSE(perturbed.empty());
+  EXPECT_TRUE(std::find(perturbed.begin(), perturbed.end(), 6) !=
+              perturbed.end());
+  // Sorted ascending, as documented.
+  EXPECT_TRUE(std::is_sorted(perturbed.begin(), perturbed.end()));
+}
+
+TEST(TreeDelta, EverythingPerturbedAgainstEmptyBefore) {
+  const AllocTree t = AllocTree::huffman(paper_weights());
+  const std::vector<NestId> perturbed = perturbed_leaves(AllocTree{}, t);
+  EXPECT_EQ(perturbed, (std::vector<NestId>{1, 2, 3, 4, 5}));
+}
+
+TEST(TreeDelta, StableSignatureImpliesStableRectangle) {
+  // The load-bearing property: any leaf NOT reported perturbed must get
+  // the same rectangle from subdivide() on any common grid.
+  const AllocTree before = AllocTree::huffman(paper_weights());
+  ReconfigRequest req;
+  req.retained = paper_weights();
+  req.inserted = {{7, 0.05}};
+  const AllocTree after = before.diffuse(req);
+  const std::vector<NestId> perturbed = perturbed_leaves(before, after);
+  const auto rects_before = before.subdivide(Rect{0, 0, 32, 32});
+  const auto rects_after = after.subdivide(Rect{0, 0, 32, 32});
+  for (const auto& [nest, rect] : rects_after) {
+    if (std::find(perturbed.begin(), perturbed.end(), nest) !=
+        perturbed.end())
+      continue;
+    const auto it = rects_before.find(nest);
+    ASSERT_TRUE(it != rects_before.end()) << "nest " << nest;
+    EXPECT_EQ(it->second, rect) << "nest " << nest;
+  }
+}
+
+}  // namespace
+}  // namespace stormtrack

@@ -12,13 +12,17 @@ are reported as advisory deltas only.
 Usage:
   tools/check_bench_regression.py --baseline bench/baselines/BENCH_adaptation.json \
       --current build/BENCH_adaptation.json [--tolerance 0.25]
+  tools/check_bench_regression.py --list bench/baselines/BENCH_adaptation.json
 
 Stdlib only; exit code 0 = within tolerance, 1 = regression (or shape
 mismatch: missing rows / missing counters are failures, silently dropping
-a counter must not pass the gate).
+a counter must not pass the gate). Shape mismatches are diagnosed with the
+nearest matching label/key so a renamed row is distinguishable from a
+deleted one.
 """
 
 import argparse
+import difflib
 import json
 import sys
 
@@ -32,6 +36,31 @@ def load(path):
     return doc, rows
 
 
+def nearest(name, candidates):
+    """'did you mean ...' suffix for a missing row label or counter key."""
+    close = difflib.get_close_matches(name, list(candidates), n=1)
+    return f" (did you mean '{close[0]}'?)" if close else ""
+
+
+def counter_keys(row):
+    return sorted(k for k in row if k.startswith("counter_"))
+
+
+def list_file(path):
+    """Print the gateable shape of one summary: rows and counter keys."""
+    doc, rows = load(path)
+    print(f"{path}: bench '{doc.get('bench', '?')}' "
+          f"(sha {doc.get('git_sha', '?')}, "
+          f"{doc.get('build_type', '?')}), {len(rows)} row(s)")
+    for label, row in sorted(rows.items()):
+        keys = counter_keys(row)
+        print(f"  {label}")
+        for key in keys:
+            print(f"    {key} = {row[key]}")
+        if not keys:
+            print("    (no counter_* fields — nothing gates on this row)")
+
+
 def rel_drift(baseline, current):
     if baseline == current:
         return 0.0
@@ -41,14 +70,24 @@ def rel_drift(baseline, current):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--baseline", required=True,
+    ap.add_argument("--baseline",
                     help="committed BENCH_*.json baseline")
-    ap.add_argument("--current", required=True,
+    ap.add_argument("--current",
                     help="freshly produced --json output")
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="max relative drift of any counter_* field "
                          "(default 0.25)")
+    ap.add_argument("--list", metavar="FILE",
+                    help="print FILE's rows and gateable counter_* keys, "
+                         "then exit (no comparison)")
     args = ap.parse_args()
+
+    if args.list:
+        list_file(args.list)
+        return 0
+    if not args.baseline or not args.current:
+        ap.error("--baseline and --current are required unless --list "
+                 "is given")
 
     base_doc, base_rows = load(args.baseline)
     cur_doc, cur_rows = load(args.current)
@@ -64,14 +103,18 @@ def main():
     for label, base_row in sorted(base_rows.items()):
         cur_row = cur_rows.get(label)
         if cur_row is None:
-            failures.append(f"row '{label}' missing from current run")
+            failures.append(f"row '{label}' missing from current run"
+                            f"{nearest(label, cur_rows)}")
             continue
         for key, base_val in base_row.items():
             if not key.startswith("counter_"):
                 continue
             if key not in cur_row:
-                failures.append(f"{label}: counter '{key}' missing from "
-                                f"current run")
+                have = counter_keys(cur_row)
+                failures.append(
+                    f"{label}: counter '{key}' missing from current run"
+                    f"{nearest(key, have)}; row has "
+                    f"{', '.join(have) if have else 'no counter_* fields'}")
                 continue
             drift = rel_drift(float(base_val), float(cur_row[key]))
             status = "FAIL" if drift > args.tolerance else "ok"
