@@ -9,6 +9,7 @@
 ///   stormtrack_cli --trace-out run.trace --events 30 --seed 7
 ///   stormtrack_cli --trace-in run.trace --strategy dynamic --csv
 ///   stormtrack_cli --real --intervals 50 --images out/
+///   stormtrack_cli --workload particles --intervals 40 --checkpoint-dir ck
 
 #include <cstring>
 #include <iomanip>
@@ -19,6 +20,7 @@
 
 #include "ckpt/checkpoint.hpp"
 #include "ckpt/trace_run.hpp"
+#include "core/coupled.hpp"
 #include "core/experiment.hpp"
 #include "core/trace_io.hpp"
 #include "exec/executor.hpp"
@@ -58,19 +60,37 @@ struct Options {
   int checkpoint_every = 1;            // adaptation points per checkpoint
   int checkpoint_keep = 3;             // newest checkpoints retained
   bool resume = false;                 // resume from newest valid checkpoint
+  std::optional<std::string> workload; // coupled-run mode when set
 };
+
+std::string join_names(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& n : names) {
+    if (!out.empty()) out += "|";
+    out += n;
+  }
+  return out;
+}
 
 [[noreturn]] void usage(int code) {
   std::cout <<
       "stormtrack_cli — run a reallocation experiment\n"
-      "  --machine M            simulated machine: bgl|fist|dragonfly|\n"
-      "                         fattree (default bgl)\n"
+      "  --machine M            simulated machine: "
+      << join_names(Machine::names()) << "\n"
+      "                         (default bgl)\n"
       "  --cores N              core count (default 1024; bgl and\n"
       "                         dragonfly need a multiple of 64)\n"
       "  --strategy S           a registered strategy name (default\n"
       "                         diffusion; scratch|diffusion|dynamic|\n"
       "                         hysteresis ship built in)\n"
       "  --events N             synthetic reconfigurations (default 70)\n"
+      "  --workload W           run the full coupled simulation with nest\n"
+      "                         payload W: "
+      << join_names(WorkloadRegistry::global().names()) << "\n"
+      "                         ('field' integrates advection-diffusion\n"
+      "                         grids, 'particles' advects trajectories\n"
+      "                         with rank handoffs; reports workload.*\n"
+      "                         counters and the run state fingerprint)\n"
       "  --real                 drive the weather+PDA pipeline instead\n"
       "  --intervals N          real-mode adaptation points (alias of "
       "--events)\n"
@@ -134,6 +154,7 @@ Options parse(int argc, char** argv) {
         usage(kExitBadArgs);
       }
     }
+    else if (a == "--workload") o.workload = next("--workload");
     else if (a == "--fault-plan") o.fault_plan = next("--fault-plan");
     else if (a == "--checkpoint-dir") o.checkpoint_dir = next("--checkpoint-dir");
     else if (a == "--checkpoint-every")
@@ -146,6 +167,17 @@ Options parse(int argc, char** argv) {
       std::cerr << "unknown flag: " << a << "\n";
       usage(kExitBadArgs);
     }
+  }
+  if (o.workload && !WorkloadRegistry::global().contains(*o.workload)) {
+    std::cerr << "--workload: unknown workload '" << *o.workload
+              << "' (registered: "
+              << join_names(WorkloadRegistry::global().names()) << ")\n";
+    usage(kExitBadArgs);
+  }
+  if (o.workload && (o.trace_in || o.trace_out || o.compare || o.real)) {
+    std::cerr << "--workload runs the coupled simulation; it cannot be "
+                 "combined with --trace-in/--trace-out/--compare/--real\n";
+    usage(kExitBadArgs);
   }
   if (o.resume && !o.checkpoint_dir) {
     std::cerr << "--resume requires --checkpoint-dir\n";
@@ -167,6 +199,142 @@ Options parse(int argc, char** argv) {
     usage(kExitBadArgs);
   }
   return o;
+}
+
+/// --workload mode: drive the full CoupledSimulation (weather + PDA +
+/// reallocation + nest payloads) instead of a bare pipeline trace. The
+/// totals and fingerprint printed at the end come from checkpoint-covered
+/// state, so a resumed run's closing lines are byte-identical to an
+/// uninterrupted one (the CI kill-and-resume job diffs them).
+int run_coupled(Machine& machine, const Options& opt) {
+  const ModelStack models;
+  CoupledConfig cfg;
+  cfg.scenario.num_intervals = opt.events;
+  cfg.scenario.seed = opt.seed;
+  cfg.manager.strategy = opt.strategy;
+  cfg.workload = *opt.workload;
+
+  std::unique_ptr<ThreadPoolExecutor> pool;
+  if (opt.threads != 1) {
+    pool = std::make_unique<ThreadPoolExecutor>(opt.threads);
+    cfg.manager.executor = pool.get();
+    cfg.executor = pool.get();
+  }
+
+  std::optional<FaultPlan> plan;
+  if (opt.fault_plan) {
+    try {
+      plan = FaultPlan::load(std::filesystem::path(*opt.fault_plan));
+    } catch (const std::exception& e) {
+      std::cerr << "--fault-plan: " << e.what() << "\n";
+      return kExitParse;
+    }
+  }
+  std::optional<FaultInjector> injector;
+  if (plan) cfg.manager.injector = &injector.emplace(*plan);
+
+  const std::uint64_t config_fp = coupled_config_fingerprint(machine, cfg);
+  std::optional<CoupledCheckpointer> checkpointer;
+  if (opt.checkpoint_dir) {
+    const std::filesystem::path dir(*opt.checkpoint_dir);
+    if (!opt.resume && latest_valid_checkpoint(dir).has_value()) {
+      std::cerr << "checkpoint dir " << dir
+                << " already holds checkpoints; pass --resume to continue "
+                   "that run or point --checkpoint-dir elsewhere\n";
+      return kExitBadArgs;
+    }
+    CheckpointPolicy policy;
+    policy.dir = dir;
+    policy.every = opt.checkpoint_every;
+    policy.keep = opt.checkpoint_keep;
+    checkpointer.emplace(policy, config_fp);
+    cfg.hook = &*checkpointer;
+  }
+
+  try {
+    CoupledSimulation sim(machine, models.model, models.truth, cfg);
+    ResumeReport resume_report;
+    if (opt.resume)
+      resume_report = resume_coupled(
+          sim, std::filesystem::path(*opt.checkpoint_dir), config_fp);
+    if (resume_report.resumed)
+      std::cout << (opt.csv ? "# " : "") << "resumed from "
+                << resume_report.path.filename().string() << " at interval "
+                << resume_report.step
+                << (resume_report.invalid_skipped > 0
+                        ? " (" +
+                              std::to_string(resume_report.invalid_skipped) +
+                              " invalid checkpoint(s) skipped)"
+                        : "")
+                << "\n";
+
+    Table t({"Interval", "ROIs", "+ins/-del/=ret", "Chosen", "Exec (s)",
+             "Redist (ms)", "Moved B", "Neighbour B"});
+    t.set_title("Coupled run: " + machine.label() + ", strategy " +
+                opt.strategy + ", workload " + *opt.workload + ", " +
+                std::to_string(opt.events) + " intervals");
+    for (int i = sim.interval(); i < opt.events; ++i) {
+      const IntervalReport r = sim.advance();
+      t.add_row({std::to_string(r.interval),
+                 std::to_string(r.rois_detected),
+                 "+" + std::to_string(r.diff.inserted.size()) + "/-" +
+                     std::to_string(r.diff.deleted.size()) + "/=" +
+                     std::to_string(r.diff.retained.size()),
+                 r.realloc.chosen,
+                 Table::num(r.realloc.committed.actual_exec, 2),
+                 Table::num(r.realloc.committed.actual_redist * 1e3, 2),
+                 std::to_string(r.workload_traffic.total_bytes),
+                 std::to_string(r.halo_traffic.total_bytes)});
+    }
+    if (checkpointer) checkpointer->checkpoint_now(sim);
+    if (opt.csv)
+      std::cout << t.to_csv();
+    else
+      t.print(std::cout);
+
+    // Totals come from the pipeline's metrics registry (checkpointed), so
+    // resumed and uninterrupted runs print identical lines.
+    std::cout << (opt.csv ? "# " : "") << "totals:";
+    bool any = false;
+    for (const auto& [name, entry] : sim.metrics().entries()) {
+      if (!name.starts_with("workload.")) continue;
+      if (entry.count == 0) continue;
+      std::cout << " " << name << "=" << entry.count;
+      any = true;
+    }
+    if (!any) std::cout << " (no workload counters)";
+    std::cout << "\n";
+    std::cout << (opt.csv ? "# " : "") << "state fingerprint: " << std::hex
+              << std::setfill('0') << std::setw(16) << sim.state_fingerprint()
+              << std::dec << std::setfill(' ') << "\n";
+    if (plan) {
+      std::cout << (opt.csv ? "# " : "") << "fault injection:";
+      bool fired = false;
+      for (const auto& [name, entry] : sim.metrics().entries()) {
+        if (!name.starts_with("fault.") && !name.starts_with("recovery."))
+          continue;
+        if (entry.count == 0) continue;
+        std::cout << " " << name << "=" << entry.count;
+        fired = true;
+      }
+      if (!fired) std::cout << " (no events fired)";
+      std::cout << "\n";
+    }
+
+    if (opt.images) {
+      const std::filesystem::path dir(*opt.images);
+      write_ppm(labels_to_rgb(sim.allocation().to_label_grid()),
+                dir / "allocation.ppm");
+      write_pgm(field_to_grey(sim.weather().qcloud(), /*invert=*/true),
+                dir / "qcloud.pgm");
+      write_pgm(field_to_grey(sim.weather().olr()), dir / "olr.pgm");
+      std::cout << "images written to " << dir << "\n";
+    }
+    return kExitOk;
+  } catch (const std::exception& e) {
+    std::cerr << "run failed: " << e.what() << "\n";
+    return kExitRuntime;
+  }
 }
 
 }  // namespace
@@ -191,6 +359,9 @@ int main(int argc, char** argv) {
     usage(kExitBadArgs);
   }
   Machine& machine = *machine_opt;
+
+  // ---- coupled-run mode (--workload): full simulation, no trace
+  if (opt.workload) return run_coupled(machine, opt);
 
   // ---- trace
   Trace trace;

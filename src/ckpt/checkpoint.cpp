@@ -6,7 +6,7 @@
 #include <system_error>
 #include <utility>
 
-#include "ckpt/binary_io.hpp"
+#include "util/binary_io.hpp"
 #include "ckpt/codec.hpp"
 #include "ckpt/crc32.hpp"
 #include "util/atomic_file.hpp"
@@ -344,11 +344,11 @@ void put_coupled(BinaryWriter& w, const CoupledSimulation::State& s) {
   put_tracker(w, s.driver.tracker);
   w.put_i32(s.driver.interval);
   put_pipeline_state(w, s.pipeline);
-  w.put_count(s.nests.size());
-  for (const LiveNest& nest : s.nests) {
-    put_nest_spec(w, nest.spec);
-    put_grid(w, nest.field);
-  }
+  // v3: the payload is an opaque workload blob — the codec never learns
+  // whether it frames field grids or particle trajectories.
+  w.put_string(s.workload);
+  w.put_count(s.workload_state.size());
+  w.put_bytes(s.workload_state);
   w.put_i32(s.interval);
 }
 
@@ -358,12 +358,11 @@ CoupledSimulation::State get_coupled(BinaryReader& r) {
   s.driver.tracker = get_tracker(r);
   s.driver.interval = r.get_i32("driver interval");
   s.pipeline = get_pipeline_state(r);
-  const std::size_t n = r.get_count("live nests");
-  s.nests.resize(n);
-  for (LiveNest& nest : s.nests) {
-    nest.spec = get_nest_spec(r);
-    nest.field = get_grid(r);
-  }
+  s.workload = r.get_string("workload name");
+  const std::size_t blob_size = r.get_count("workload state size");
+  const std::span<const std::byte> blob =
+      r.get_bytes(blob_size, "workload state blob");
+  s.workload_state.assign(blob.begin(), blob.end());
   s.interval = r.get_i32("coupled interval");
   return s;
 }
@@ -453,9 +452,15 @@ RunCheckpoint decode_checkpoint(std::span<const std::byte> bytes) {
                                                            << std::dec);
   const std::uint32_t version = framed.get_u32("checkpoint version");
   ST_CHECK_MSG(version == kCheckpointVersion,
-               "unsupported checkpoint version " << version << " (this build "
-                                                    "reads version "
-                                                 << kCheckpointVersion << ")");
+               "unsupported checkpoint version "
+                   << version << " (this build reads version "
+                   << kCheckpointVersion
+                   << (version < kCheckpointVersion
+                           ? "; pre-v3 checkpoints stored nest fields "
+                             "inline and predate the pluggable workload "
+                             "layer — re-run to produce a fresh checkpoint"
+                           : "")
+                   << ")");
   const std::uint64_t payload_size = framed.get_u64("checkpoint payload size");
   ST_CHECK_MSG(framed.remaining() >= payload_size + sizeof(std::uint32_t),
                "truncated checkpoint: payload claims "
@@ -687,6 +692,13 @@ std::uint64_t coupled_config_fingerprint(const Machine& machine,
   fp.add(machine.grid_px());
   fp.add(machine.grid_py());
   fp.add(std::string_view(config.manager.strategy));
+  // The workload and its tunables shape every payload byte downstream; a
+  // checkpoint from one payload implementation must not resume another.
+  fp.add(std::string_view(config.workload));
+  fp.add(config.particles.particles_per_nest);
+  fp.add(config.particles.vortex_scale);
+  fp.add(config.particles.drift_u);
+  fp.add(config.particles.drift_v);
   fp.add(config.manager.strategy_options.hysteresis_threshold);
   fp.add(config.manager.steps_per_interval);
   fp.add(config.manager.bytes_per_point);

@@ -50,8 +50,11 @@ namespace stormtrack {
 /// "STCK" when the little-endian u32 is viewed as bytes on disk.
 inline constexpr std::uint32_t kCheckpointMagic = 0x4B435453u;
 // Version 2 appended PipelineState.resize_events_applied (elastic resize
-// support); version-1 files are refused rather than silently misread.
-inline constexpr std::uint32_t kCheckpointVersion = 2;
+// support). Version 3 replaced the inline live-nest field grids with the
+// workload registry name plus an opaque INestWorkload state blob, so any
+// payload implementation checkpoints through the same framing. Older
+// versions are refused rather than silently misread.
+inline constexpr std::uint32_t kCheckpointVersion = 3;
 
 /// What shape of run a checkpoint captures.
 enum class CheckpointKind : std::uint8_t {

@@ -6,7 +6,7 @@
 /// put_/get_ pair per struct means a field added to StepOutcome is encoded
 /// identically everywhere — or fails to compile everywhere.
 
-#include "ckpt/binary_io.hpp"
+#include "util/binary_io.hpp"
 #include "core/experiment.hpp"
 
 namespace stormtrack::ckptio {

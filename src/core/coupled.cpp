@@ -32,7 +32,22 @@ CoupledSimulation::CoupledSimulation(const Machine& machine,
       driver_(config_.scenario),
       manager_(machine, model, truth, config_.manager),
       redistributor_(machine.comm(), config_.manager.bytes_per_point,
-                     config_.manager.injector) {}
+                     config_.manager.injector),
+      workload_(WorkloadRegistry::global().create(
+          config_.workload,
+          WorkloadParams{config_.nest_dynamics, config_.particles})) {}
+
+WorkloadEnv CoupledSimulation::workload_env(TrafficReport* data_movement) {
+  WorkloadEnv env;
+  env.comm = &machine_->comm();
+  env.grid_px = machine_->grid_px();
+  env.weather = &driver_.weather();
+  env.redistributor = &redistributor_;
+  env.metrics = &manager_.metrics();
+  env.executor = config_.executor;
+  env.data_movement = data_movement;
+  return env;
+}
 
 IntervalReport CoupledSimulation::advance() {
   IntervalReport report;
@@ -53,8 +68,9 @@ IntervalReport CoupledSimulation::advance() {
   // shape they were spawned with (see header).
   std::vector<NestSpec> active;
   for (const NestSpec& spec : step.active) {
-    const auto live = nests_.find(spec.id);
-    active.push_back(live != nests_.end() ? live->second.spec : spec);
+    active.push_back(workload_->has_nest(spec.id)
+                         ? workload_->nest_spec(spec.id)
+                         : spec);
   }
 
   // Remember the committed rectangles before the reallocation so retained
@@ -66,6 +82,7 @@ IntervalReport CoupledSimulation::advance() {
   // ---- 4. Processor reallocation.
   report.realloc = manager_.apply(active);
 
+  const WorkloadEnv move_env = workload_env(&report.workload_traffic);
   if (report.realloc.degradation == "retained_previous") {
     // The pipeline skipped the point and rolled its own state back; undo
     // the tracker update too and keep the live nests exactly as they were,
@@ -73,20 +90,14 @@ IntervalReport CoupledSimulation::advance() {
     driver_.restore_tracker(tracker_before);
     manager_.metrics().add_count("recovery.interval_rollbacks");
     report.diff = NestDiff{};
-    for (const auto& [id, nest] : nests_)
-      report.diff.retained.push_back(nest.spec);
+    for (const int id : workload_->nest_ids())
+      report.diff.retained.push_back(workload_->nest_spec(id));
   } else {
-    // ---- 5. Nest field lifecycle.
-    for (const int id : report.diff.deleted) nests_.erase(id);
+    // ---- 5. Nest payload lifecycle, through the workload layer.
+    for (const int id : report.diff.deleted) workload_->delete_nest(id);
     for (const NestSpec& spec : active) {
-      if (nests_.contains(spec.id)) continue;
-      LiveNest nest;
-      nest.spec = spec;
-      nest.field =
-          NestField(driver_.weather().qcloud(), spec.region).data();
-      ST_CHECK(nest.field.width() == spec.shape.nx &&
-               nest.field.height() == spec.shape.ny);
-      nests_.emplace(spec.id, std::move(nest));
+      if (workload_->has_nest(spec.id)) continue;
+      workload_->insert_nest(spec, move_env);
     }
     for (const NestSpec& spec : active) {
       const auto prev = previous_rects_.find(spec.id);
@@ -95,49 +106,62 @@ IntervalReport CoupledSimulation::advance() {
       ST_CHECK_MSG(now.has_value(), "active nest " << spec.id
                                                    << " lost its allocation");
       if (*now == prev->second) continue;  // nothing moved
-      LiveNest& nest = nests_.at(spec.id);
       try {
-        // redistribute_field verifies conservation internally.
-        nest.field = redistributor_.redistribute_field(
-            nest.field, prev->second, *now, machine_->grid_px());
+        // The workload verifies conservation / integrity internally.
+        workload_->move_nest(spec.id, prev->second, *now, move_env);
       } catch (const CheckError&) {
         // Payload faults surface here as conservation / integrity check
-        // failures: the moved data is gone or damaged. Rebuild the field
-        // from the parent grid (same interpolation as a fresh spawn) —
-        // lossy, but the nest keeps running.
+        // failures: the moved data is gone or damaged. Rebuild the nest's
+        // state from the parent model (same initialization as a fresh
+        // spawn) — lossy, but the nest keeps running.
         if (config_.manager.injector == nullptr) throw;
-        nest.field = NestField(driver_.weather().qcloud(), spec.region).data();
+        workload_->reinit_nest(spec.id, move_env);
         manager_.metrics().add_count("recovery.field_reinits");
       }
     }
   }
 
-  // ---- 6. Integrate every nest on its processor rectangle.
-  for (auto& [id, nest] : nests_) {
+  // ---- 6. Integrate every nest on its processor rectangle. Workloads
+  // whose integration moves real payloads (particle handoffs) can hit
+  // injected faults here too; the recovery answer is the same.
+  const WorkloadEnv step_env = workload_env(nullptr);
+  for (const int id : workload_->nest_ids()) {
     const auto rect = manager_.allocation().find(id);
     ST_CHECK_MSG(rect.has_value(), "live nest " << id
                                                 << " has no allocation");
-    const DistributedNestStepper stepper(machine_->comm(), nest.spec.shape,
-                                         *rect, machine_->grid_px(),
-                                         config_.nest_dynamics);
-    for (int s = 0; s < config_.manager.steps_per_interval; ++s)
-      report.halo_traffic += stepper.step(nest.field);
+    try {
+      report.halo_traffic += workload_->integrate(
+          id, *rect, config_.manager.steps_per_interval, step_env);
+    } catch (const CheckError&) {
+      if (config_.manager.injector == nullptr) throw;
+      workload_->reinit_nest(id, step_env);
+      manager_.metrics().add_count("recovery.field_reinits");
+    }
   }
   report.integration_time = report.realloc.committed.actual_exec;
 
   // The interval is fully committed at this point — weather, tracker,
-  // pipeline, and nest fields are all consistent — so this is the one safe
-  // cut for checkpointing.
+  // pipeline, and nest payloads are all consistent — so this is the one
+  // safe cut for checkpointing.
   if (config_.hook != nullptr) config_.hook->on_interval(*this, report.interval);
   return report;
+}
+
+const std::map<int, LiveNest>& CoupledSimulation::nests() const {
+  const auto* field = dynamic_cast<const FieldWorkload*>(workload_.get());
+  ST_CHECK_MSG(field != nullptr,
+               "nests() is only available under the field workload (this "
+               "run uses '"
+                   << workload_->name() << "'); use workload() instead");
+  return field->nests();
 }
 
 CoupledSimulation::State CoupledSimulation::export_state() const {
   State state;
   state.driver = driver_.export_state();
   state.pipeline = manager_.export_state();
-  state.nests.reserve(nests_.size());
-  for (const auto& [id, nest] : nests_) state.nests.push_back(nest);
+  state.workload = std::string(workload_->name());
+  state.workload_state = workload_->export_state();
   state.interval = interval_;
   return state;
 }
@@ -145,29 +169,25 @@ CoupledSimulation::State CoupledSimulation::export_state() const {
 void CoupledSimulation::import_state(State state) {
   ST_CHECK_MSG(state.interval >= 0, "coupled state has negative interval "
                                         << state.interval);
-  std::map<int, LiveNest> nests;
-  for (LiveNest& nest : state.nests) {
-    ST_CHECK_MSG(nest.field.width() == nest.spec.shape.nx &&
-                     nest.field.height() == nest.spec.shape.ny,
-                 "live nest " << nest.spec.id << " carries a "
-                              << nest.field.width() << "x"
-                              << nest.field.height()
-                              << " field but its spec says "
-                              << nest.spec.shape.nx << "x"
-                              << nest.spec.shape.ny);
-    const int id = nest.spec.id;
-    ST_CHECK_MSG(nests.emplace(id, std::move(nest)).second,
-                 "coupled state repeats live nest id " << id);
-  }
-  // Pipeline import validates allocation invariants; do it before touching
+  ST_CHECK_MSG(state.workload == config_.workload,
+               "coupled state carries workload '"
+                   << state.workload << "' but this simulation runs '"
+                   << config_.workload << "'");
+  // Import the payload blob into a *fresh* workload instance first: a bad
+  // blob then throws before any member is touched (transactionality).
+  std::unique_ptr<INestWorkload> workload = WorkloadRegistry::global().create(
+      config_.workload,
+      WorkloadParams{config_.nest_dynamics, config_.particles});
+  workload->import_state(state.workload_state);
+  // Pipeline import validates allocation invariants; still before touching
   // members so a bad checkpoint leaves this simulation unchanged.
   manager_.import_state(state.pipeline);
-  for (const auto& [id, nest] : nests)
+  for (const int id : workload->nest_ids())
     ST_CHECK_MSG(manager_.allocation().find(id).has_value(),
                  "live nest " << id << " has no allocation in the "
                                        "checkpointed pipeline state");
   driver_.import_state(std::move(state.driver));
-  nests_ = std::move(nests);
+  workload_ = std::move(workload);
   previous_rects_.clear();  // rebuilt at the top of every advance()
   interval_ = state.interval;
 }
@@ -197,14 +217,10 @@ std::uint64_t CoupledSimulation::state_fingerprint() const {
     fp.add(s.lifetime);
   }
 
-  fp.add(static_cast<std::int64_t>(nests_.size()));
-  for (const auto& [id, nest] : nests_) {
-    fp.add(id);
-    add_fingerprint(fp, nest.spec.region);
-    fp.add(nest.spec.shape.nx);
-    fp.add(nest.spec.shape.ny);
-    for (const double v : nest.field.data()) fp.add(v);
-  }
+  // The workload name is deliberately NOT hashed: the field workload must
+  // reproduce the pre-refactor fingerprints bit-for-bit (golden test), and
+  // the name already gates import via the config fingerprint.
+  workload_->add_state_fingerprint(fp);
   return fp.value();
 }
 

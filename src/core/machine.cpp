@@ -73,9 +73,17 @@ Machine Machine::by_name(const std::string& name, int cores) {
   if (name == "fist") return fist_cluster(cores);
   if (name == "dragonfly") return dragonfly(cores);
   if (name == "fattree") return fattree(cores);
-  ST_CHECK_MSG(false, "unknown machine '"
-                          << name
-                          << "' (valid: bgl, fist, dragonfly, fattree)");
+  std::string valid;
+  for (const std::string& n : names()) {
+    if (!valid.empty()) valid += ", ";
+    valid += n;
+  }
+  ST_CHECK_MSG(false, "unknown machine '" << name << "' (valid: " << valid
+                                          << ")");
+}
+
+std::vector<std::string> Machine::names() {
+  return {"bgl", "dragonfly", "fattree", "fist"};
 }
 
 }  // namespace stormtrack

@@ -6,6 +6,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "simmpi/simcomm.hpp"
 #include "topo/mapping.hpp"
@@ -38,6 +39,10 @@ class Machine {
   /// "fattree". Unknown names raise CheckError listing the valid set
   /// (callers like the CLI turn that into a usage error).
   [[nodiscard]] static Machine by_name(const std::string& name, int cores);
+
+  /// The names by_name() accepts, ascending — the single source the CLI
+  /// --help text and error messages enumerate.
+  [[nodiscard]] static std::vector<std::string> names();
 
   /// Custom build (used for mapping ablations).
   Machine(std::unique_ptr<Topology> topo, std::unique_ptr<Mapping> mapping,

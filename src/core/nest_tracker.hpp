@@ -21,12 +21,8 @@
 
 namespace stormtrack {
 
-/// One active nest: stable id, parent-grid region, fine-grid shape.
-struct NestSpec {
-  int id = 0;
-  Rect region;       ///< Parent-grid bounding rectangle (the ROI).
-  NestShape shape;   ///< Fine-grid extent (region × refinement ratio).
-};
+// NestSpec lives in wsim/nest.hpp (included above) so the workload layer
+// can use it; every previous includer of this header still sees it.
 
 /// Diff of one adaptation point.
 struct NestDiff {

@@ -373,8 +373,7 @@ Grid2D<double> Redistributor::redistribute_field(const Grid2D<double>& field,
         msgs.push_back(std::move(m));
       });
 
-  const ExchangeResult<double> ex =
-      exchange_payloads(*comm_, std::move(msgs), faults_);
+  const ExchangeResult<double> ex = exchange(std::move(msgs));
 
   // Reassemble the field from delivered blocks (grouped by destination;
   // placement only needs every block once, in any deterministic order).

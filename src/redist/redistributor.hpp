@@ -250,6 +250,18 @@ class Redistributor {
                                                   RedistMetrics* metrics =
                                                       nullptr) const;
 
+  /// Payload-agnostic move-buffer seam: execute one typed exchange phase on
+  /// the bound communicator, under the bound fault hook. The redistributor
+  /// knows nothing about the payload layout — workloads (wsim/workload.hpp)
+  /// pack their own (sender, receiver, buffer) messages and detect loss or
+  /// damage themselves (conservation counts, trailing checksums), exactly
+  /// like redistribute_field, which is built on this same seam.
+  template <typename T>
+  [[nodiscard]] ExchangeResult<T> exchange(
+      std::vector<TypedMessage<T>> msgs) const {
+    return exchange_payloads(*comm_, std::move(msgs), faults_);
+  }
+
   [[nodiscard]] int bytes_per_point() const { return bytes_per_point_; }
   [[nodiscard]] const SimComm& comm() const { return *comm_; }
 

@@ -3,7 +3,7 @@
 #include <utility>
 #include <vector>
 
-#include "ckpt/binary_io.hpp"
+#include "util/binary_io.hpp"
 #include "ckpt/codec.hpp"
 #include "ckpt/crc32.hpp"
 #include "util/atomic_file.hpp"

@@ -11,6 +11,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "core/coupled.hpp"
 #include "exec/cancel.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
@@ -32,24 +33,68 @@ std::vector<Machine> build_machines(const SweepSpec& spec) {
   return machines;
 }
 
-/// Fill every case slot's axis coordinates and names (trace-major, then
-/// machine, then strategy — the fixed order both runners report in).
+/// Fill every case slot's axis coordinates and names (first axis major,
+/// then machine, then strategy — the fixed order both runners report in).
 std::vector<SweepCaseResult> prefill_cases(const SweepSpec& spec,
                                            const std::vector<Machine>& machines) {
   const std::size_t n = spec.num_cases();
   std::vector<SweepCaseResult> results(n);
-  const std::size_t per_trace = spec.machines.size() * spec.strategies.size();
+  const std::size_t per_first = spec.machines.size() * spec.strategies.size();
   for (std::size_t i = 0; i < n; ++i) {
     SweepCaseResult& r = results[i];
-    r.trace_index = i / per_trace;
+    r.trace_index = i / per_first;
     r.machine_index = (i / spec.strategies.size()) % spec.machines.size();
     r.strategy_index = i % spec.strategies.size();
-    r.trace_name = spec.traces[r.trace_index].name;
+    r.trace_name = spec.traces.empty()
+                       ? spec.scenarios[r.trace_index].name
+                       : spec.traces[r.trace_index].name;
     r.machine_name = spec.machines[r.machine_index].name;
     r.machine_label = machines[r.machine_index].label();
     r.strategy = spec.strategies[r.strategy_index];
   }
   return results;
+}
+
+/// One scenario case: a full coupled run, folded into the TraceRunResult
+/// shape the journal and reporting layers already understand.
+TraceRunResult run_scenario_case(const Machine& machine,
+                                 const ExecTimeModel& model,
+                                 const GroundTruthCost& truth,
+                                 const std::string& strategy,
+                                 const RealScenarioConfig& scenario,
+                                 const std::string& workload,
+                                 const ManagerConfig& manager) {
+  CoupledConfig cfg;
+  cfg.scenario = scenario;
+  cfg.manager = manager;
+  cfg.manager.strategy = strategy;
+  cfg.workload = workload;
+  cfg.executor = manager.executor;
+  CoupledSimulation sim(machine, model, truth, cfg);
+  TraceRunResult result;
+  result.outcomes.reserve(
+      static_cast<std::size_t>(std::max(scenario.num_intervals, 0)));
+  for (int i = 0; i < scenario.num_intervals; ++i)
+    result.outcomes.push_back(sim.advance().realloc);
+  result.metrics = sim.metrics();
+  result.final_state_fingerprint = sim.state_fingerprint();
+  return result;
+}
+
+/// Dispatch a case to its first axis: trace replay or coupled scenario.
+TraceRunResult run_case(const SweepSpec& spec,
+                        const std::vector<Machine>& machines,
+                        const ExecTimeModel& model,
+                        const GroundTruthCost& truth,
+                        const SweepCaseResult& r,
+                        const ManagerConfig& config) {
+  if (spec.traces.empty())
+    return run_scenario_case(machines[r.machine_index], model, truth,
+                             r.strategy,
+                             spec.scenarios[r.trace_index].scenario,
+                             spec.workload, config);
+  return run_trace(machines[r.machine_index], model, truth, r.strategy,
+                   spec.traces[r.trace_index].trace, config);
 }
 
 /// Resolve the executor for \p spec: the caller-shared one, or a pool owned
@@ -98,6 +143,12 @@ SweepRunner::SweepRunner(const ExecTimeModel& model,
 std::vector<SweepCaseResult> SweepRunner::run(const SweepSpec& spec) const {
   ST_CHECK_MSG(spec.threads >= 0,
                "thread count must be >= 0, got " << spec.threads);
+  ST_CHECK_MSG(spec.traces.empty() || spec.scenarios.empty(),
+               "set either SweepSpec::traces or SweepSpec::scenarios, "
+               "not both");
+  ST_CHECK_MSG(spec.scenarios.empty() ||
+                   WorkloadRegistry::global().contains(spec.workload),
+               "unknown workload '" << spec.workload << "' in sweep spec");
   for (const std::string& s : spec.strategies)
     ST_CHECK_MSG(StrategyRegistry::global().contains(s),
                  "unknown strategy '" << s << "' in sweep spec");
@@ -133,9 +184,7 @@ std::vector<SweepCaseResult> SweepRunner::run(const SweepSpec& spec) const {
     SweepCaseResult& r = results[i];
     ManagerConfig config = case_config;
     if (!injectors.empty()) config.injector = injectors[i].get();
-    r.result = run_trace(machines[r.machine_index], *model_, *truth_,
-                         r.strategy, spec.traces[r.trace_index].trace,
-                         config);
+    r.result = run_case(spec, machines, *model_, *truth_, r, config);
   });
   return results;
 }
@@ -203,9 +252,7 @@ SweepRunReport SweepRunner::run_supervised(const SweepSpec& spec) const {
         token.set_deadline_after(sup.case_deadline_seconds);
       config.cancel = &token;
       try {
-        r.result = run_trace(machines[r.machine_index], *model_, *truth_,
-                             r.strategy, spec.traces[r.trace_index].trace,
-                             config);
+        r.result = run_case(spec, machines, *model_, *truth_, r, config);
         r.status = SweepCaseStatus::kOk;
         r.attempts = attempt;
         r.error.clear();
@@ -261,18 +308,28 @@ const char* to_string(SweepCaseStatus status) {
 
 std::vector<std::string> sweep_spec_problems(const SweepSpec& spec) {
   std::vector<std::string> problems;
-  if (spec.traces.empty()) problems.emplace_back("no traces in sweep spec");
+  if (spec.traces.empty() && spec.scenarios.empty())
+    problems.emplace_back("no traces or scenarios in sweep spec");
+  if (!spec.traces.empty() && !spec.scenarios.empty())
+    problems.emplace_back("set either traces or scenarios, not both");
+  if (!spec.scenarios.empty() &&
+      !WorkloadRegistry::global().contains(spec.workload))
+    problems.push_back("unknown workload '" + spec.workload + "'");
   if (spec.machines.empty())
     problems.emplace_back("no machines in sweep spec");
   if (spec.strategies.empty())
     problems.emplace_back("no strategies in sweep spec");
 
-  std::vector<std::string> trace_names, machine_names;
+  std::vector<std::string> trace_names, scenario_names, machine_names;
   trace_names.reserve(spec.traces.size());
   for (const SweepTrace& t : spec.traces) trace_names.push_back(t.name);
+  scenario_names.reserve(spec.scenarios.size());
+  for (const SweepScenario& s : spec.scenarios)
+    scenario_names.push_back(s.name);
   machine_names.reserve(spec.machines.size());
   for (const SweepMachine& m : spec.machines) machine_names.push_back(m.name);
   check_duplicates(trace_names, "trace", problems);
+  check_duplicates(scenario_names, "scenario", problems);
   check_duplicates(machine_names, "machine", problems);
   check_duplicates(spec.strategies, "strategy", problems);
 
@@ -334,6 +391,31 @@ std::uint64_t sweep_spec_fingerprint(const SweepSpec& spec) {
         fp.add(spec_entry.shape.nx);
         fp.add(spec_entry.shape.ny);
       }
+    }
+  }
+  // Scenario sweeps fold the scenario axis and workload in; pure-trace
+  // specs hash exactly as before the scenario axis existed, so established
+  // journals stay valid.
+  if (!spec.scenarios.empty()) {
+    fp.add(std::string_view(spec.workload));
+    fp.add(static_cast<std::int64_t>(spec.scenarios.size()));
+    for (const SweepScenario& s : spec.scenarios) {
+      fp.add(std::string_view(s.name));
+      const RealScenarioConfig& sc = s.scenario;
+      fp.add(sc.num_intervals);
+      fp.add(sc.sim_px);
+      fp.add(sc.sim_py);
+      fp.add(static_cast<std::uint64_t>(sc.seed));
+      fp.add(sc.weather.domain.lon_min);
+      fp.add(sc.weather.domain.lon_max);
+      fp.add(sc.weather.domain.lat_min);
+      fp.add(sc.weather.domain.lat_max);
+      fp.add(sc.weather.domain.resolution_km);
+      fp.add(sc.weather.spawn_probability);
+      fp.add(sc.weather.min_systems);
+      fp.add(sc.weather.max_systems);
+      fp.add(sc.pda.olr_threshold);
+      fp.add(sc.pda.analysis_procs);
     }
   }
   fp.add(static_cast<std::int64_t>(spec.machines.size()));

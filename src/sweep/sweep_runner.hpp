@@ -61,6 +61,18 @@ struct SweepTrace {
   Trace trace;
 };
 
+/// Named coupled-scenario axis point: the alternative first axis to
+/// traces. A scenario case runs a full CoupledSimulation (weather + PDA +
+/// reallocation + SweepSpec::workload payload) for scenario.num_intervals
+/// intervals instead of replaying a pre-built Trace; its TraceRunResult
+/// carries the per-interval realloc outcomes, the simulation's merged
+/// metrics (including workload.* counters), and the final state
+/// fingerprint, so journaling / supervision / reporting work unchanged.
+struct SweepScenario {
+  std::string name;
+  RealScenarioConfig scenario;
+};
+
 /// Named machine axis point; the factory defers (potentially expensive)
 /// topology construction until the sweep actually runs.
 struct SweepMachine {
@@ -72,9 +84,15 @@ struct SweepMachine {
 [[nodiscard]] SweepMachine sweep_bluegene(int cores);
 [[nodiscard]] SweepMachine sweep_fist_cluster(int cores);
 
-/// One experiment grid.
+/// One experiment grid. The first axis is either \ref traces (bare
+/// pipeline replays) or \ref scenarios (full coupled runs) — never both.
 struct SweepSpec {
   std::vector<SweepTrace> traces;
+  /// Coupled-run axis, mutually exclusive with \ref traces.
+  std::vector<SweepScenario> scenarios;
+  /// Nest payload for scenario cases (WorkloadRegistry name); ignored for
+  /// trace cases.
+  std::string workload = "field";
   std::vector<SweepMachine> machines;
   std::vector<std::string> strategies;  ///< StrategyRegistry names.
   /// Shared pipeline tunables; the strategy field is overridden per case.
@@ -97,8 +115,12 @@ struct SweepSpec {
   /// (ignored by plain run()).
   SweepSupervision supervision;
 
+  /// Size of whichever first axis is populated.
+  [[nodiscard]] std::size_t num_first_axis() const {
+    return traces.empty() ? scenarios.size() : traces.size();
+  }
   [[nodiscard]] std::size_t num_cases() const {
-    return traces.size() * machines.size() * strategies.size();
+    return num_first_axis() * machines.size() * strategies.size();
   }
 };
 
@@ -111,7 +133,9 @@ enum class SweepCaseStatus {
 
 [[nodiscard]] const char* to_string(SweepCaseStatus status);
 
-/// One grid cell's run, tagged with its axis coordinates.
+/// One grid cell's run, tagged with its axis coordinates. For scenario
+/// sweeps, trace_index / trace_name carry the scenario axis (the journal
+/// format and reporting shape are shared between the two first axes).
 struct SweepCaseResult {
   std::size_t trace_index = 0;
   std::size_t machine_index = 0;
@@ -166,7 +190,8 @@ class SweepRunner {
 };
 
 /// Every problem with \p spec, one human-readable message per field; empty
-/// when the spec is valid. Checked: empty axes, duplicate axis-point names,
+/// when the spec is valid. Checked: empty axes, traces vs scenarios
+/// exclusivity, unknown workload names, duplicate axis-point names,
 /// unknown strategies, null machine factories, negative thread counts,
 /// fault_plan vs config.injector exclusivity, config.cancel set under
 /// supervision (the supervisor owns the token), negative deadlines /

@@ -1,7 +1,10 @@
 #pragma once
 
 /// \file binary_io.hpp
-/// Little-endian binary encoding primitives for the checkpoint format.
+/// Little-endian binary encoding primitives shared by every durable or
+/// opaque byte format in the library: the checkpoint file format (ckpt/),
+/// the sweep journal (sweep/), and the nest-workload state blobs that ride
+/// opaquely inside coupled checkpoints (wsim/workload.hpp).
 ///
 /// BinaryWriter appends typed values to a growable byte buffer;
 /// BinaryReader consumes them back with hard bounds checks — every read

@@ -17,6 +17,15 @@ namespace stormtrack {
 /// Parent-to-nest refinement ratio used throughout (12 km → 4 km).
 inline constexpr int kRefinementRatio = 3;
 
+/// One active nest: stable id, parent-grid region, fine-grid shape.
+/// (Lives here rather than with the tracker so the nest-workload layer —
+/// workload.hpp — can name nests without depending on core/.)
+struct NestSpec {
+  int id = 0;
+  Rect region;       ///< Parent-grid bounding rectangle (the ROI).
+  NestShape shape;   ///< Fine-grid extent (region × refinement ratio).
+};
+
 /// Fine-resolution field over a parent region.
 class NestField {
  public:

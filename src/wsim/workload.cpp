@@ -1,0 +1,63 @@
+#include "wsim/workload.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+#include "wsim/particles.hpp"
+#include "wsim/workload_field.hpp"
+
+namespace stormtrack {
+
+WorkloadRegistry& WorkloadRegistry::global() {
+  static WorkloadRegistry registry = [] {
+    WorkloadRegistry r;
+    r.register_workload("field", [](const WorkloadParams& p) {
+      return std::make_unique<FieldWorkload>(p.dynamics);
+    });
+    r.register_workload("particles", [](const WorkloadParams& p) {
+      return std::make_unique<ParticleWorkload>(p.particles);
+    });
+    return r;
+  }();
+  return registry;
+}
+
+void WorkloadRegistry::register_workload(std::string name, Factory factory) {
+  ST_CHECK_MSG(!name.empty(), "workload name must not be empty");
+  ST_CHECK_MSG(factory != nullptr, "workload '" << name
+                                                << "' needs a factory");
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const auto& e, const std::string& n) { return e.first < n; });
+  ST_CHECK_MSG(it == entries_.end() || it->first != name,
+               "workload '" << name << "' registered twice");
+  entries_.emplace(it, std::move(name), std::move(factory));
+}
+
+bool WorkloadRegistry::contains(const std::string& name) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const auto& e) { return e.first == name; });
+}
+
+std::vector<std::string> WorkloadRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, factory] : entries_) out.push_back(name);
+  return out;
+}
+
+std::unique_ptr<INestWorkload> WorkloadRegistry::create(
+    const std::string& name, const WorkloadParams& params) const {
+  for (const auto& [n, factory] : entries_)
+    if (n == name) return factory(params);
+  std::string known;
+  for (const auto& [n, factory] : entries_) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  ST_CHECK_MSG(false, "unknown workload '" << name << "' (registered: "
+                                           << known << ")");
+}
+
+}  // namespace stormtrack

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file workload_field.hpp
+/// The original nest payload — an advection–diffusion field — behind the
+/// INestWorkload interface.
+///
+/// This is a *port*, not a rewrite: insert interpolates from the parent
+/// QCLOUD grid exactly as CoupledSimulation used to, move runs the same
+/// redistribute_field (conservation + bit-exact integrity checked
+/// internally), integrate drives the same DistributedNestStepper, and
+/// add_state_fingerprint hashes the same bytes in the same order — the
+/// golden-fingerprint test pins state fingerprints and halo-byte totals
+/// captured on the pre-refactor engine.
+
+#include <map>
+
+#include "util/grid2d.hpp"
+#include "wsim/dynamics.hpp"
+#include "wsim/workload.hpp"
+
+namespace stormtrack {
+
+/// A live nested simulation domain.
+struct LiveNest {
+  NestSpec spec;            ///< Frozen at spawn (region does not follow).
+  Grid2D<double> field;     ///< Integrated fine-resolution state.
+};
+
+/// See file comment.
+class FieldWorkload final : public INestWorkload {
+ public:
+  explicit FieldWorkload(DynamicsParams dynamics = {});
+
+  [[nodiscard]] std::string_view name() const override { return "field"; }
+
+  void insert_nest(const NestSpec& spec, const WorkloadEnv& env) override;
+  void delete_nest(int id) override;
+  void move_nest(int id, const Rect& old_rect, const Rect& new_rect,
+                 const WorkloadEnv& env) override;
+  void reinit_nest(int id, const WorkloadEnv& env) override;
+  [[nodiscard]] TrafficReport integrate(int id, const Rect& proc_rect,
+                                        int steps,
+                                        const WorkloadEnv& env) override;
+
+  [[nodiscard]] bool has_nest(int id) const override {
+    return nests_.contains(id);
+  }
+  [[nodiscard]] std::size_t num_nests() const override {
+    return nests_.size();
+  }
+  [[nodiscard]] const NestSpec& nest_spec(int id) const override;
+  [[nodiscard]] std::vector<int> nest_ids() const override;
+
+  void add_state_fingerprint(Fingerprint& fp) const override;
+  [[nodiscard]] std::vector<std::byte> export_state() const override;
+  void import_state(std::span<const std::byte> blob) override;
+
+  /// Direct access for tests and field-specific tooling (the
+  /// CoupledSimulation::nests() compatibility accessor forwards here).
+  [[nodiscard]] const std::map<int, LiveNest>& nests() const {
+    return nests_;
+  }
+
+ private:
+  DynamicsParams dynamics_;
+  std::map<int, LiveNest> nests_;
+};
+
+}  // namespace stormtrack

@@ -1,4 +1,4 @@
-#include "ckpt/binary_io.hpp"
+#include "util/binary_io.hpp"
 
 #include <gtest/gtest.h>
 

@@ -1,0 +1,75 @@
+// Golden bit-identity pins for the workload-layer refactor.
+//
+// The fingerprints and halo-byte totals below were captured on the engine
+// BEFORE nest payloads moved behind INestWorkload (when CoupledSimulation
+// integrated field grids inline). The field workload is a port, not a
+// rewrite: these values must never change. A mismatch means the refactor
+// altered observable simulation state — insertion interpolation, the
+// redistribution path, integration order, or fingerprint hashing.
+
+#include <gtest/gtest.h>
+
+#include "core/coupled.hpp"
+#include "core/experiment.hpp"
+
+namespace stormtrack {
+namespace {
+
+struct GoldenCase {
+  const char* machine;
+  int cores;
+  const char* strategy;
+  int intervals;
+  std::uint64_t state_fingerprint;
+  std::int64_t halo_bytes;
+};
+
+// Captured at commit "Add sparse redistribution pricing, pluggable
+// topologies, and malleable processor sets" (pre-workload-layer main).
+constexpr GoldenCase kGolden[] = {
+    {"bgl", 256, "diffusion", 12, 0x50c2d702ec5dcb04ull, 3634992},
+    {"bgl", 256, "scratch", 12, 0x03196c3ff2bc379dull, 3634992},
+    {"fist", 256, "diffusion", 10, 0x565996bd1bad4049ull, 3033072},
+};
+
+CoupledConfig golden_config(const char* strategy) {
+  CoupledConfig cfg;
+  cfg.scenario.weather.domain.resolution_km = 24.0;
+  cfg.scenario.sim_px = 16;
+  cfg.scenario.sim_py = 16;
+  cfg.scenario.pda.analysis_procs = 16;
+  cfg.manager.steps_per_interval = 3;
+  cfg.manager.strategy = strategy;
+  return cfg;
+}
+
+TEST(WorkloadGolden, FieldPortIsBitIdenticalToPreRefactorEngine) {
+  ModelStack models;
+  for (const GoldenCase& c : kGolden) {
+    SCOPED_TRACE(testing::Message() << c.machine << "/" << c.strategy);
+    const Machine machine = Machine::by_name(c.machine, c.cores);
+    CoupledSimulation sim(machine, models.model, models.truth,
+                          golden_config(c.strategy));
+    TrafficReport halo;
+    for (int i = 0; i < c.intervals; ++i) halo += sim.advance().halo_traffic;
+    EXPECT_EQ(sim.state_fingerprint(), c.state_fingerprint);
+    EXPECT_EQ(halo.total_bytes, c.halo_bytes);
+  }
+}
+
+// The explicit workload name must route to the same implementation as the
+// default, and the defaulted config must report it.
+TEST(WorkloadGolden, DefaultWorkloadIsField) {
+  ModelStack models;
+  const Machine machine = Machine::by_name("bgl", 256);
+  CoupledConfig cfg = golden_config("diffusion");
+  EXPECT_EQ(cfg.workload, "field");
+  cfg.workload = "field";
+  CoupledSimulation sim(machine, models.model, models.truth, cfg);
+  for (int i = 0; i < 12; ++i) (void)sim.advance();
+  EXPECT_EQ(sim.state_fingerprint(), kGolden[0].state_fingerprint);
+  EXPECT_EQ(sim.workload().name(), "field");
+}
+
+}  // namespace
+}  // namespace stormtrack

@@ -1,0 +1,128 @@
+// Fault recovery through the particle workload: rank deaths shrink the
+// processor view and force reallocation moves, payload faults strike the
+// particle exchanges themselves — in every case the run continues and no
+// particle is lost.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/coupled.hpp"
+#include "core/experiment.hpp"
+#include "fault/fault_injector.hpp"
+#include "util/check.hpp"
+#include "wsim/particles.hpp"
+
+namespace stormtrack {
+namespace {
+
+CoupledConfig particle_config() {
+  CoupledConfig cfg;
+  cfg.scenario.weather.domain.resolution_km = 24.0;
+  cfg.scenario.sim_px = 16;
+  cfg.scenario.sim_py = 16;
+  cfg.scenario.pda.analysis_procs = 16;
+  cfg.manager.steps_per_interval = 3;
+  cfg.workload = "particles";
+  return cfg;
+}
+
+FaultEvent rank_death(int point, int rank) {
+  FaultEvent e;
+  e.kind = FaultKind::kRankDeath;
+  e.point = point;
+  e.rank = rank;
+  return e;
+}
+
+const ParticleWorkload& particles_of(const CoupledSimulation& sim) {
+  const auto* w = dynamic_cast<const ParticleWorkload*>(&sim.workload());
+  EXPECT_NE(w, nullptr);
+  return *w;
+}
+
+void expect_no_lost_particles(const CoupledSimulation& sim, int interval) {
+  const ParticleWorkload& w = particles_of(sim);
+  const std::int64_t per_nest = sim.config().particles.particles_per_nest;
+  EXPECT_EQ(w.total_particles(),
+            per_nest * static_cast<std::int64_t>(w.num_nests()))
+      << "particles lost by interval " << interval;
+}
+
+TEST(ParticleRecovery, RankDeathsLoseNoParticles) {
+  ModelStack models;
+  const Machine machine = Machine::bluegene(256);
+
+  // Kill ranks at intervals 2 and 5: each death shrinks the usable view,
+  // so surviving nests are squeezed onto new rectangles and their particle
+  // ownership genuinely moves.
+  FaultPlan plan;
+  plan.events.push_back(rank_death(2, 255));
+  plan.events.push_back(rank_death(5, 100));
+  FaultInjector inj(plan);
+  CoupledConfig cfg = particle_config();
+  cfg.manager.injector = &inj;
+  CoupledSimulation sim(machine, models.model, models.truth, cfg);
+
+  for (int i = 0; i < 9; ++i) {
+    (void)sim.advance();
+    expect_no_lost_particles(sim, i);
+    // Every live nest still has a committed allocation to integrate on.
+    for (const int id : sim.workload().nest_ids())
+      EXPECT_TRUE(sim.allocation().find(id).has_value()) << "nest " << id;
+  }
+  EXPECT_EQ(sim.metrics().get("fault.rank_deaths").count, 2);
+}
+
+TEST(ParticleRecovery, PayloadFaultsReinitTheNestInsteadOfCrashing) {
+  ModelStack models;
+  const Machine machine = Machine::bluegene(256);
+
+  // Damage every exchange payload for several adaptation points: particle
+  // handoffs and realloc moves fail their conservation/checksum checks,
+  // surface as CheckError, and the engine answers by reseeding that nest —
+  // never by crashing or silently dropping trajectories.
+  FaultPlan plan;
+  for (int point = 1; point < 8; ++point) {
+    FaultEvent drop;
+    drop.kind = FaultKind::kPayloadDrop;
+    drop.point = point;
+    drop.attempts = 0;
+    plan.events.push_back(drop);
+  }
+  FaultInjector inj(plan);
+  CoupledConfig cfg = particle_config();
+  cfg.manager.injector = &inj;
+  CoupledSimulation sim(machine, models.model, models.truth, cfg);
+
+  for (int i = 0; i < 8; ++i) {
+    (void)sim.advance();
+    expect_no_lost_particles(sim, i);
+  }
+  EXPECT_GE(sim.metrics().get("recovery.field_reinits").count, 1)
+      << "dropped particle payloads must route through the reinit path";
+}
+
+TEST(ParticleRecovery, FaultedRunStateStaysImportable) {
+  ModelStack models;
+  const Machine machine = Machine::bluegene(256);
+
+  FaultPlan plan;
+  plan.events.push_back(rank_death(3, 255));
+  FaultInjector inj(plan);
+  CoupledConfig cfg = particle_config();
+  cfg.manager.injector = &inj;
+  CoupledSimulation sim(machine, models.model, models.truth, cfg);
+  for (int i = 0; i < 6; ++i) (void)sim.advance();
+
+  // The post-recovery state is a valid checkpoint: a fresh simulation
+  // (without the injector) imports it and reports the same fingerprint.
+  CoupledSimulation restored(machine, models.model, models.truth,
+                             particle_config());
+  restored.import_state(sim.export_state());
+  EXPECT_EQ(restored.state_fingerprint(), sim.state_fingerprint());
+  expect_no_lost_particles(restored, 6);
+}
+
+}  // namespace
+}  // namespace stormtrack
