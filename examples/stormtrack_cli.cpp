@@ -11,6 +11,7 @@
 ///   stormtrack_cli --real --intervals 50 --images out/
 ///   stormtrack_cli --workload particles --intervals 40 --checkpoint-dir ck
 
+#include <csignal>
 #include <cstring>
 #include <iomanip>
 #include <iostream>
@@ -23,6 +24,7 @@
 #include "core/coupled.hpp"
 #include "core/experiment.hpp"
 #include "core/trace_io.hpp"
+#include "exec/cancel.hpp"
 #include "exec/executor.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
@@ -36,11 +38,26 @@ namespace {
 
 // Exit codes (also asserted by the CTest CLI suite): 0 success, 2 bad
 // arguments, 3 unreadable/corrupt trace or fault-plan file, 4 runtime
-// failure (fault recovery exhausted, checkpoint resume failed, ...).
+// failure (fault recovery exhausted, checkpoint resume failed, ...),
+// 5 interrupted by SIGTERM/SIGINT after writing a final checkpoint.
 constexpr int kExitOk = 0;
 constexpr int kExitBadArgs = 2;
 constexpr int kExitParse = 3;
 constexpr int kExitRuntime = 4;
+constexpr int kExitInterrupted = 5;
+
+// SIGTERM/SIGINT trip this token from the handler (cancel_from_signal is
+// async-signal-safe); the pipeline polls it at every adaptation point, so
+// the run stops between transactions, writes one final checkpoint and
+// exits with kExitInterrupted instead of dying mid-state.
+CancelToken g_cancel;
+
+extern "C" void on_interrupt(int) { g_cancel.cancel_from_signal(); }
+
+void install_interrupt_handlers() {
+  std::signal(SIGTERM, on_interrupt);
+  std::signal(SIGINT, on_interrupt);
+}
 
 struct Options {
   std::string machine = "bgl";        // bgl | fist | dragonfly | fattree
@@ -119,7 +136,9 @@ std::string join_names(const std::vector<std::string>& names) {
       "                         byte-identical to an uninterrupted one\n"
       "  --help                 this text\n"
       "exit codes: 0 ok, 2 bad arguments, 3 unreadable trace/fault-plan,\n"
-      "            4 runtime failure (recovery exhausted, resume failed)\n";
+      "            4 runtime failure (recovery exhausted, resume failed),\n"
+      "            5 interrupted by SIGTERM/SIGINT (a final checkpoint is\n"
+      "            written first when --checkpoint-dir is set)\n";
   std::exit(code);
 }
 
@@ -212,6 +231,7 @@ int run_coupled(Machine& machine, const Options& opt) {
   cfg.scenario.num_intervals = opt.events;
   cfg.scenario.seed = opt.seed;
   cfg.manager.strategy = opt.strategy;
+  cfg.manager.cancel = &g_cancel;
   cfg.workload = *opt.workload;
 
   std::unique_ptr<ThreadPoolExecutor> pool;
@@ -273,6 +293,7 @@ int run_coupled(Machine& machine, const Options& opt) {
     t.set_title("Coupled run: " + machine.label() + ", strategy " +
                 opt.strategy + ", workload " + *opt.workload + ", " +
                 std::to_string(opt.events) + " intervals");
+    try {
     for (int i = sim.interval(); i < opt.events; ++i) {
       const IntervalReport r = sim.advance();
       t.add_row({std::to_string(r.interval),
@@ -285,6 +306,19 @@ int run_coupled(Machine& machine, const Options& opt) {
                  Table::num(r.realloc.committed.actual_redist * 1e3, 2),
                  std::to_string(r.workload_traffic.total_bytes),
                  std::to_string(r.halo_traffic.total_bytes)});
+    }
+    } catch (const CancelledError&) {
+      // Cancellation is polled between adaptation transactions, so the
+      // simulation state is consistent: capture it, tell the operator how
+      // to pick the run back up, and exit with the interrupted code.
+      if (checkpointer) checkpointer->checkpoint_now(sim);
+      std::cerr << "interrupted at interval " << sim.interval()
+                << (checkpointer
+                        ? "; final checkpoint written — rerun with --resume "
+                          "to continue"
+                        : "")
+                << "\n";
+      return kExitInterrupted;
     }
     if (checkpointer) checkpointer->checkpoint_now(sim);
     if (opt.csv)
@@ -340,6 +374,7 @@ int run_coupled(Machine& machine, const Options& opt) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  install_interrupt_handlers();
   const Options opt = parse(argc, argv);
   if (!StrategyRegistry::global().contains(opt.strategy)) {
     std::cerr << "unknown strategy: " << opt.strategy << " (registered:";
@@ -395,6 +430,7 @@ int main(int argc, char** argv) {
   // pipeline serial (byte-identical results either way, see src/exec).
   std::unique_ptr<ThreadPoolExecutor> pool;
   ManagerConfig config;
+  config.cancel = &g_cancel;
   if (opt.threads != 1) {
     pool = std::make_unique<ThreadPoolExecutor>(opt.threads);
     config.executor = pool.get();
@@ -486,6 +522,15 @@ int main(int argc, char** argv) {
       r = run_trace(machine, models.model, models.truth, opt.strategy, trace,
                     config);
     }
+  } catch (const CancelledError&) {
+    // run_trace_checkpointed already captured the progress durably.
+    std::cerr << "interrupted"
+              << (opt.checkpoint_dir
+                      ? "; final checkpoint written — rerun with --resume "
+                        "to continue"
+                      : "")
+              << "\n";
+    return kExitInterrupted;
   } catch (const std::exception& e) {
     std::cerr << "run failed: " << e.what() << "\n";
     return kExitRuntime;

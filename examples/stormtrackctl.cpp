@@ -1,0 +1,232 @@
+/// \file stormtrackctl.cpp
+/// Client for stormtrackd: submit tracking sessions, stream their events,
+/// reattach after a disconnect or daemon restart, and administer the
+/// daemon — the operator's half of the service layer.
+///
+/// Usage:
+///   stormtrackctl --socket PATH ping
+///   stormtrackctl --socket PATH submit [spec flags] [--follow]
+///   stormtrackctl --socket PATH attach ID [--from-seq N]
+///   stormtrackctl --socket PATH list
+///   stormtrackctl --socket PATH status ID
+///   stormtrackctl --socket PATH cancel ID
+///   stormtrackctl --socket PATH shutdown
+///
+/// Exit codes: 0 success (for attach/--follow: the session finished
+/// `done`), 2 bad arguments, 4 connection or protocol failure, 5 the
+/// attached session ended in a non-done terminal state, 6 the submit was
+/// rejected busy.
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "serve/protocol.hpp"
+#include "util/check.hpp"
+
+using namespace stormtrack;
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitBadArgs = 2;
+constexpr int kExitRuntime = 4;
+constexpr int kExitSessionFailed = 5;
+constexpr int kExitRejectedBusy = 6;
+
+[[noreturn]] void usage(int code) {
+  std::cout <<
+      "stormtrackctl — control a running stormtrackd\n"
+      "  --socket PATH          daemon socket (default stormtrack.sock)\n"
+      "commands:\n"
+      "  ping                   handshake, print daemon load\n"
+      "  submit                 submit a session; prints its id\n"
+      "    --machine M --cores N --strategy S --workload W\n"
+      "    --intervals N --seed N --priority P --deadline S\n"
+      "    --follow             attach to the session after submitting\n"
+      "  attach ID [--from-seq N]\n"
+      "                         stream events until the session ends;\n"
+      "                         reattaching after a daemon restart works\n"
+      "                         (ids are stable across restarts)\n"
+      "  list                   all sessions\n"
+      "  status ID              one session\n"
+      "  cancel ID              cancel a queued or running session\n"
+      "  shutdown               ask the daemon to stop gracefully\n";
+  std::exit(code);
+}
+
+std::string fingerprint_hex(std::uint64_t fingerprint) {
+  std::ostringstream out;
+  out << std::hex << std::setfill('0') << std::setw(16) << fingerprint;
+  return out.str();
+}
+
+void print_status_line(const SessionStatus& s) {
+  std::cout << "session " << s.id << " state=" << to_string(s.state)
+            << " machine=" << s.spec.machine << " strategy="
+            << s.spec.strategy << " workload=" << s.spec.workload
+            << " intervals=" << s.intervals_done << "/" << s.spec.intervals
+            << " attempts=" << s.attempts << " priority=" << s.spec.priority;
+  if (s.resumed) std::cout << " resumed=yes";
+  if (s.state == SessionState::kDone) {
+    std::cout << " state fingerprint " << fingerprint_hex(s.fingerprint);
+  }
+  if (!s.error.empty()) std::cout << " error=\"" << s.error << "\"";
+  std::cout << "\n";
+}
+
+void print_event(const SessionEvent& e) {
+  std::cout << "  event " << e.seq << ": interval " << e.interval
+            << " chosen=" << e.chosen << " exec="
+            << std::fixed << std::setprecision(3) << e.exec_seconds
+            << "s redist=" << e.redist_seconds * 1e3 << "ms moved="
+            << e.moved_bytes << "B +" << e.inserted << "/-" << e.deleted
+            << "/=" << e.retained << "\n";
+  std::cout.unsetf(std::ios::fixed);
+}
+
+/// Attach and stream; returns the command's exit code.
+int attach_and_stream(ClientConnection& client, std::uint64_t id,
+                      std::uint64_t from_seq) {
+  const SessionStatus final_status =
+      client.attach(id, from_seq, print_event);
+  print_status_line(final_status);
+  return final_status.state == SessionState::kDone ? kExitOk
+                                                   : kExitSessionFailed;
+}
+
+std::optional<std::uint64_t> parse_id(const char* text) {
+  char* end = nullptr;
+  const unsigned long long id = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return std::nullopt;
+  return id;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket = "stormtrack.sock";
+  int i = 1;
+  for (; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0) usage(kExitOk);
+    if (std::strcmp(argv[i], "--socket") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "--socket needs a value\n";
+        return kExitBadArgs;
+      }
+      socket = argv[++i];
+    } else {
+      break;
+    }
+  }
+  if (i >= argc) {
+    std::cerr << "missing command (try --help)\n";
+    return kExitBadArgs;
+  }
+  const std::string command = argv[i++];
+
+  try {
+    if (command == "ping") {
+      // The constructor performs the hello handshake; reaching here means
+      // the daemon answered with a compatible version.
+      ClientConnection client(socket);
+      std::cout << "stormtrackd at " << socket << " is alive\n";
+      return kExitOk;
+    }
+    if (command == "submit") {
+      SessionSpec spec;
+      bool follow = false;
+      for (; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--follow") {
+          follow = true;
+          continue;
+        }
+        if (i + 1 >= argc) {
+          std::cerr << flag << " needs a value\n";
+          return kExitBadArgs;
+        }
+        const char* value = argv[++i];
+        if (flag == "--machine") spec.machine = value;
+        else if (flag == "--cores") spec.cores = std::atoi(value);
+        else if (flag == "--strategy") spec.strategy = value;
+        else if (flag == "--workload") spec.workload = value;
+        else if (flag == "--intervals") spec.intervals = std::atoi(value);
+        else if (flag == "--seed") spec.seed = std::strtoull(value, nullptr, 10);
+        else if (flag == "--priority") spec.priority = std::atoi(value);
+        else if (flag == "--deadline") spec.deadline_seconds = std::atof(value);
+        else {
+          std::cerr << "unknown submit flag " << flag << " (try --help)\n";
+          return kExitBadArgs;
+        }
+      }
+      ClientConnection client(socket);
+      const ClientConnection::SubmitReply reply = client.submit(spec);
+      if (!reply.accepted) {
+        std::cerr << "REJECTED_BUSY: " << reply.reason << " ("
+                  << reply.active << " active, " << reply.queued
+                  << " queued)\n";
+        return kExitRejectedBusy;
+      }
+      std::cout << "session " << reply.id << " accepted\n";
+      if (follow) return attach_and_stream(client, reply.id, 0);
+      return kExitOk;
+    }
+    if (command == "attach") {
+      if (i >= argc) {
+        std::cerr << "attach needs a session id\n";
+        return kExitBadArgs;
+      }
+      const std::optional<std::uint64_t> id = parse_id(argv[i++]);
+      if (!id.has_value()) {
+        std::cerr << "attach: session id must be a number\n";
+        return kExitBadArgs;
+      }
+      std::uint64_t from_seq = 0;
+      if (i + 1 < argc && std::strcmp(argv[i], "--from-seq") == 0) {
+        from_seq = std::strtoull(argv[i + 1], nullptr, 10);
+        i += 2;
+      }
+      ClientConnection client(socket);
+      return attach_and_stream(client, *id, from_seq);
+    }
+    if (command == "list") {
+      ClientConnection client(socket);
+      for (const SessionStatus& status : client.list()) {
+        print_status_line(status);
+      }
+      return kExitOk;
+    }
+    if (command == "status" || command == "cancel") {
+      if (i >= argc) {
+        std::cerr << command << " needs a session id\n";
+        return kExitBadArgs;
+      }
+      const std::optional<std::uint64_t> id = parse_id(argv[i]);
+      if (!id.has_value()) {
+        std::cerr << command << ": session id must be a number\n";
+        return kExitBadArgs;
+      }
+      ClientConnection client(socket);
+      print_status_line(command == "status" ? client.status(*id)
+                                            : client.cancel(*id));
+      return kExitOk;
+    }
+    if (command == "shutdown") {
+      ClientConnection client(socket);
+      client.shutdown_server();
+      std::cout << "shutdown requested\n";
+      return kExitOk;
+    }
+    std::cerr << "unknown command " << command << " (try --help)\n";
+    return kExitBadArgs;
+  } catch (const std::exception& e) {
+    std::cerr << "stormtrackctl: " << e.what() << "\n";
+    return kExitRuntime;
+  }
+}

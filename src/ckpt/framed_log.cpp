@@ -1,0 +1,140 @@
+#include "ckpt/framed_log.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "ckpt/crc32.hpp"
+#include "util/atomic_file.hpp"
+#include "util/check.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define STORMTRACK_LOG_HAVE_FSYNC 1
+#endif
+
+namespace stormtrack {
+
+namespace {
+
+void sync_file(std::FILE* f, const char* what) {
+  ST_CHECK_MSG(std::fflush(f) == 0, what << " flush failed");
+#ifdef STORMTRACK_LOG_HAVE_FSYNC
+  ST_CHECK_MSG(::fsync(::fileno(f)) == 0, what << " fsync failed");
+#endif
+}
+
+}  // namespace
+
+FramedLog::FramedLog(std::filesystem::path path, Format format, bool resume,
+                     const ReplayFn& replay)
+    : path_(std::move(path)), format_(format) {
+  ST_CHECK_MSG(!path_.empty(), format_.what << " path is empty");
+  if (path_.has_parent_path())
+    std::filesystem::create_directories(path_.parent_path());
+  if (resume && std::filesystem::exists(path_))
+    open_resume(replay);
+  else
+    open_fresh();
+}
+
+FramedLog::~FramedLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void FramedLog::open_fresh() {
+  file_ = std::fopen(path_.string().c_str(), "wb");
+  ST_CHECK_MSG(file_ != nullptr,
+               "cannot create " << format_.what << " " << path_.string());
+  BinaryWriter header;
+  header.put_u32(format_.magic);
+  header.put_u32(format_.version);
+  header.put_u64(format_.fingerprint);
+  const std::vector<std::byte>& bytes = header.bytes();
+  ST_CHECK_MSG(
+      std::fwrite(bytes.data(), 1, bytes.size(), file_) == bytes.size(),
+      "cannot write " << format_.what << " header to " << path_.string());
+  sync_file(file_, format_.what);
+}
+
+void FramedLog::open_resume(const ReplayFn& replay) {
+  const std::vector<std::byte> bytes = read_file_bytes(path_);
+  constexpr std::size_t kHeaderSize = 4 + 4 + 8;
+  if (bytes.size() < kHeaderSize) {
+    // The process died before the very first header sync completed; there
+    // is nothing to replay.
+    ++torn_dropped_;
+    open_fresh();
+    return;
+  }
+  BinaryReader r({bytes.data(), bytes.size()});
+  const std::uint32_t magic = r.get_u32("log magic");
+  ST_CHECK_MSG(magic == format_.magic,
+               path_.string() << " is not a " << format_.what
+                              << " (bad magic 0x" << std::hex << magic
+                              << std::dec << ")");
+  const std::uint32_t version = r.get_u32("log version");
+  ST_CHECK_MSG(version == format_.version,
+               "unsupported " << format_.what << " version " << version
+                              << " in " << path_.string());
+  const std::uint64_t fingerprint = r.get_u64("log fingerprint");
+  ST_CHECK_MSG(fingerprint == format_.fingerprint,
+               format_.what << " " << path_.string()
+                            << " was written by a different producer "
+                               "(fingerprint mismatch) — refusing to resume "
+                               "against the wrong state");
+
+  // Replay records until the first torn one: a frame that runs past the
+  // end of the file or whose CRC mismatches. Everything from there on is
+  // dropped — after a SIGKILL only the final record can be torn, so this
+  // loses at most the record that was mid-append.
+  std::size_t valid_end = r.offset();
+  while (!r.exhausted()) {
+    std::span<const std::byte> payload;
+    bool intact = false;
+    try {
+      const std::uint32_t size = r.get_u32("record size");
+      payload = r.get_bytes(size, "record payload");
+      const std::uint32_t stored_crc = r.get_u32("record CRC");
+      intact = stored_crc == crc32(payload);
+    } catch (const CheckError&) {
+      intact = false;
+    }
+    if (!intact) {
+      ++torn_dropped_;
+      break;
+    }
+    // The record reached the disk whole; if the caller cannot decode it,
+    // that is a schema/producer mismatch, not a torn tail — propagate.
+    BinaryReader rec(payload);
+    replay(rec);
+    ST_CHECK_MSG(rec.exhausted(), format_.what
+                                      << " record has trailing bytes");
+    ++replayed_;
+    valid_end = r.offset();
+  }
+  if (valid_end < bytes.size())
+    std::filesystem::resize_file(path_, valid_end);
+
+  file_ = std::fopen(path_.string().c_str(), "ab");
+  ST_CHECK_MSG(file_ != nullptr, "cannot reopen " << format_.what << " "
+                                                  << path_.string()
+                                                  << " for appending");
+}
+
+void FramedLog::append(std::span<const std::byte> payload) {
+  BinaryWriter framed;
+  framed.put_u32(static_cast<std::uint32_t>(payload.size()));
+  framed.put_bytes(payload);
+  framed.put_u32(crc32(payload));
+  const std::vector<std::byte>& bytes = framed.bytes();
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ST_CHECK_MSG(file_ != nullptr, format_.what << " is not open");
+  ST_CHECK_MSG(
+      std::fwrite(bytes.data(), 1, bytes.size(), file_) == bytes.size(),
+      "cannot append to " << format_.what << " " << path_.string());
+  sync_file(file_, format_.what);
+  ++appends_;
+}
+
+}  // namespace stormtrack

@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file framed_log.hpp
+/// Crash-safe append-only record log, shared by every journal in the tree.
+///
+/// The sweep journal (sweep/sweep_journal.hpp) and the service session
+/// journal (serve/session_journal.hpp) need the same durability discipline:
+/// a header binding the file to its producer, length-prefixed
+/// CRC-32-guarded records, flush + fsync after every append, and a resume
+/// path that replays intact records and truncates the (at most one) torn
+/// record a SIGKILL can leave at the tail. FramedLog is that discipline,
+/// factored out once; the journals own only their record codecs.
+///
+/// On disk:
+///
+///     u32 magic | u32 version | u64 fingerprint
+///     repeated: u32 payload size | payload | u32 CRC(payload)
+///
+/// Torn-tail detection is frame-level: a truncated frame or a CRC mismatch
+/// ends the replay and truncates the file there. A record whose CRC matches
+/// is handed to the caller's replay callback; exceptions it throws
+/// propagate — a CRC-valid record that the caller cannot accept means the
+/// wrong log was opened, not a torn tail, and must fail loudly.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <mutex>
+#include <span>
+
+#include "util/binary_io.hpp"
+
+namespace stormtrack {
+
+/// See file comment.
+class FramedLog {
+ public:
+  /// Header fields; resume refuses a file whose magic, version or
+  /// fingerprint differ (\p what names the log kind in error messages).
+  struct Format {
+    std::uint32_t magic = 0;
+    std::uint32_t version = 0;
+    std::uint64_t fingerprint = 0;
+    const char* what = "log";
+  };
+
+  /// Replay callback: a reader positioned over one CRC-valid record
+  /// payload. The log checks the payload is fully consumed afterwards.
+  using ReplayFn = std::function<void(BinaryReader&)>;
+
+  /// Open \p path for appending. With \p resume set and the file present,
+  /// the header is validated, every intact record is fed to \p replay in
+  /// order, and any torn tail is truncated; otherwise the file is started
+  /// fresh (a file too short to hold the header counts as one torn
+  /// record). Throws CheckError on a foreign log (bad magic / version /
+  /// fingerprint).
+  FramedLog(std::filesystem::path path, Format format, bool resume,
+            const ReplayFn& replay);
+  ~FramedLog();
+
+  FramedLog(const FramedLog&) = delete;
+  FramedLog& operator=(const FramedLog&) = delete;
+
+  /// Append one framed record; flushed and fsync'd before returning.
+  /// Thread-safe.
+  void append(std::span<const std::byte> payload);
+
+  /// Torn/corrupt records dropped from the tail at open (0 or 1 after a
+  /// kill; more only for external corruption).
+  [[nodiscard]] int torn_records_dropped() const { return torn_dropped_; }
+  /// Intact records replayed at open.
+  [[nodiscard]] int replayed_records() const { return replayed_; }
+  [[nodiscard]] int appends() const { return appends_; }
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+ private:
+  void open_fresh();
+  void open_resume(const ReplayFn& replay);
+
+  std::filesystem::path path_;
+  Format format_;
+  std::FILE* file_ = nullptr;
+  std::mutex mutex_;
+  int torn_dropped_ = 0;
+  int replayed_ = 0;
+  int appends_ = 0;
+};
+
+}  // namespace stormtrack

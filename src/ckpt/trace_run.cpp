@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "exec/cancel.hpp"
 #include "util/check.hpp"
 #include "fault/snapshot.hpp"
 #include "util/fnv.hpp"
@@ -138,7 +139,16 @@ TraceRunResult run_trace_checkpointed(const Machine& machine,
   };
 
   for (std::size_t i = start; i < trace.size(); ++i) {
-    result.outcomes.push_back(pipeline.apply(trace[i]));
+    try {
+      result.outcomes.push_back(pipeline.apply(trace[i]));
+    } catch (const CancelledError&) {
+      // Cancellation is polled at the top of apply(), before any mutation,
+      // so the pipeline state still matches the outcomes gathered so far.
+      // Capture that progress durably (a SIGTERM'd run resumes from here
+      // with --resume), then let the caller pick the exit path.
+      write(static_cast<std::int64_t>(result.outcomes.size()));
+      throw;
+    }
     if (policy.due(static_cast<std::int64_t>(i)))
       write(static_cast<std::int64_t>(i) + 1);
   }

@@ -17,6 +17,10 @@ void CancelToken::cancel(std::string reason) {
     reason_ = std::move(reason);
     flag_.store(true, std::memory_order_release);
   }
+  // Wake wait_for() sleepers. The lock orders the notify against a waiter
+  // that checked the flag but has not yet blocked.
+  { const std::lock_guard<std::mutex> lock(wait_mutex_); }
+  wait_cv_.notify_all();
 }
 
 void CancelToken::set_deadline_after(double seconds) {
@@ -42,6 +46,33 @@ bool CancelToken::cancelled() const {
 bool CancelToken::deadline_exceeded() const {
   const std::int64_t deadline = deadline_ns_.load(std::memory_order_acquire);
   return deadline != kNoDeadline && now_ns() >= deadline;
+}
+
+bool CancelToken::wait_for(double seconds) const {
+  using Clock = std::chrono::steady_clock;
+  const auto until =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(seconds < 0.0
+                                                           ? 0.0
+                                                           : seconds));
+  std::unique_lock<std::mutex> lock(wait_mutex_);
+  while (true) {
+    if (cancelled()) return false;
+    const auto now = Clock::now();
+    if (now >= until) return true;
+    // Never sleep past an armed deadline: wake there to report the trip
+    // instead of oversleeping it.
+    auto wake = until;
+    const std::int64_t deadline =
+        deadline_ns_.load(std::memory_order_acquire);
+    if (deadline != kNoDeadline) {
+      const auto to_deadline = std::chrono::nanoseconds(
+          deadline - now_ns() > 0 ? deadline - now_ns() : 0);
+      const auto deadline_tp = now + to_deadline;
+      if (deadline_tp < wake) wake = deadline_tp;
+    }
+    wait_cv_.wait_until(lock, wake);
+  }
 }
 
 void CancelToken::check() const {

@@ -18,8 +18,10 @@
 /// transactional guarantees PR 3 established.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <limits>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 
@@ -41,9 +43,17 @@ class CancelToken {
   CancelToken(const CancelToken&) = delete;
   CancelToken& operator=(const CancelToken&) = delete;
 
-  /// Trip the token; every subsequent check() throws. Idempotent (the
-  /// first reason wins).
+  /// Trip the token; every subsequent check() throws and any thread inside
+  /// wait_for() wakes promptly. Idempotent (the first reason wins).
   void cancel(std::string reason = "cancelled");
+
+  /// Async-signal-safe trip: sets only the lock-free cancelled flag (no
+  /// reason string, no condition-variable notification), so a SIGTERM /
+  /// SIGINT handler may call it directly. Pollers see check() throw at
+  /// their next poll; wait_for() sleepers wake at their own timeout.
+  void cancel_from_signal() noexcept {
+    flag_.store(true, std::memory_order_release);
+  }
 
   /// Arm (or re-arm) a deadline \p seconds from now; non-positive values
   /// trip immediately at the next check.
@@ -62,6 +72,14 @@ class CancelToken {
   /// Throw CancelledError when cancelled; no-op otherwise.
   void check() const;
 
+  /// Sleep up to \p seconds, waking early when the token trips: an
+  /// explicit cancel() (notified) or an armed deadline passing (the waiter
+  /// sleeps no further than the deadline). Returns true when the full
+  /// duration elapsed with the token untripped, false when cancelled —
+  /// cancellable backoff for supervisors, so a deadline expiring during a
+  /// retry sleep stops the case promptly instead of oversleeping it.
+  [[nodiscard]] bool wait_for(double seconds) const;
+
  private:
   static constexpr std::int64_t kNoDeadline =
       std::numeric_limits<std::int64_t>::max();
@@ -72,6 +90,9 @@ class CancelToken {
   std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
   /// Written once before flag_ is released, read after it is observed.
   std::string reason_;
+  /// Guards nothing but the sleep in wait_for; cancel() notifies it.
+  mutable std::mutex wait_mutex_;
+  mutable std::condition_variable wait_cv_;
 };
 
 }  // namespace stormtrack

@@ -1,0 +1,321 @@
+#include "serve/protocol.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "ckpt/crc32.hpp"
+#include "util/check.hpp"
+
+namespace stormtrack {
+
+const char* to_string(MsgType type) {
+  switch (type) {
+    case MsgType::kHello: return "hello";
+    case MsgType::kSubmit: return "submit";
+    case MsgType::kAttach: return "attach";
+    case MsgType::kList: return "list";
+    case MsgType::kStatus: return "status";
+    case MsgType::kCancel: return "cancel";
+    case MsgType::kShutdown: return "shutdown";
+    case MsgType::kHelloOk: return "hello-ok";
+    case MsgType::kAccepted: return "accepted";
+    case MsgType::kRejectedBusy: return "rejected-busy";
+    case MsgType::kStatusReply: return "status-reply";
+    case MsgType::kListReply: return "list-reply";
+    case MsgType::kEvent: return "event";
+    case MsgType::kDone: return "done";
+    case MsgType::kError: return "error";
+    case MsgType::kShutdownOk: return "shutdown-ok";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Write all of \p bytes, retrying short writes and EINTR. MSG_NOSIGNAL
+/// turns a dead peer into EPIPE instead of SIGPIPE, so library users need
+/// no signal handler.
+void write_all(int fd, std::span<const std::byte> bytes) {
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + done, bytes.size() - done,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ST_CHECK_MSG(false, "socket write failed: " << std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+/// Read exactly bytes.size() bytes. Returns false on EOF before the first
+/// byte (clean close); throws on EOF mid-read or any error.
+bool read_exact(int fd, std::span<std::byte> bytes) {
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::recv(fd, bytes.data() + done, bytes.size() - done, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ST_CHECK_MSG(false, "socket read failed: " << std::strerror(errno));
+    }
+    if (n == 0) {
+      if (done == 0) return false;
+      ST_CHECK_MSG(false, "peer closed the connection mid-frame ("
+                              << done << " of " << bytes.size()
+                              << " bytes read)");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+void send_frame(int fd, MsgType type, std::span<const std::byte> payload) {
+  ST_CHECK_MSG(payload.size() <= kMaxFramePayload,
+               "frame payload of " << payload.size()
+                                   << " bytes exceeds the protocol limit of "
+                                   << kMaxFramePayload);
+  const std::byte type_byte{static_cast<std::uint8_t>(type)};
+  std::uint32_t crc = crc32_update(0, {&type_byte, 1});
+  crc = crc32_update(crc, payload);
+
+  BinaryWriter head;
+  head.put_u32(kFrameMagic);
+  head.put_u8(static_cast<std::uint8_t>(type));
+  head.put_u32(static_cast<std::uint32_t>(payload.size()));
+  write_all(fd, head.bytes());
+  write_all(fd, payload);
+  BinaryWriter tail;
+  tail.put_u32(crc);
+  write_all(fd, tail.bytes());
+}
+
+void send_frame(int fd, MsgType type, const BinaryWriter& payload) {
+  send_frame(fd, type, payload.bytes());
+}
+
+std::optional<Frame> recv_frame(int fd) {
+  std::array<std::byte, 9> head_bytes;  // magic + type + size
+  if (!read_exact(fd, head_bytes)) return std::nullopt;
+  BinaryReader head(head_bytes);
+  const std::uint32_t magic = head.get_u32("frame magic");
+  ST_CHECK_MSG(magic == kFrameMagic,
+               "frame does not start with the STMF magic (got 0x" << std::hex
+                   << magic << ") — peer is not speaking this protocol");
+  const std::uint8_t type = head.get_u8("frame type");
+  const std::uint32_t size = head.get_u32("frame size");
+  ST_CHECK_MSG(size <= kMaxFramePayload,
+               "frame announces a " << size
+                                    << "-byte payload, over the protocol "
+                                       "limit of "
+                                    << kMaxFramePayload);
+
+  Frame frame;
+  frame.type = static_cast<MsgType>(type);
+  frame.payload.resize(size);
+  if (size > 0) {
+    ST_CHECK_MSG(read_exact(fd, frame.payload),
+                 "peer closed the connection before the frame payload");
+  }
+  std::array<std::byte, 4> crc_bytes;
+  ST_CHECK_MSG(read_exact(fd, crc_bytes),
+               "peer closed the connection before the frame CRC");
+  BinaryReader crc_reader(crc_bytes);
+  const std::uint32_t stored = crc_reader.get_u32("frame crc");
+  const std::byte type_byte{type};
+  std::uint32_t computed = crc32_update(0, {&type_byte, 1});
+  computed = crc32_update(computed, frame.payload);
+  ST_CHECK_MSG(stored == computed,
+               "frame CRC mismatch (stored 0x"
+                   << std::hex << stored << ", computed 0x" << computed
+                   << ") — corrupted " << to_string(frame.type) << " frame");
+  return frame;
+}
+
+namespace {
+
+sockaddr_un unix_address(const std::filesystem::path& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  const std::string str = path.string();
+  ST_CHECK_MSG(str.size() < sizeof(addr.sun_path),
+               "socket path \"" << str << "\" is " << str.size()
+                                << " bytes, over the AF_UNIX limit of "
+                                << sizeof(addr.sun_path) - 1);
+  std::memcpy(addr.sun_path, str.c_str(), str.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+int listen_unix(const std::filesystem::path& path, int backlog) {
+  const sockaddr_un addr = unix_address(path);
+  std::error_code ignored;
+  std::filesystem::remove(path, ignored);  // stale socket from a kill -9
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ST_CHECK_MSG(fd >= 0, "socket() failed: " << std::strerror(errno));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    close_fd(fd);
+    ST_CHECK_MSG(false, "cannot bind " << path << ": " << std::strerror(err));
+  }
+  if (::listen(fd, backlog) != 0) {
+    const int err = errno;
+    close_fd(fd);
+    ST_CHECK_MSG(false,
+                 "cannot listen on " << path << ": " << std::strerror(err));
+  }
+  return fd;
+}
+
+int connect_unix(const std::filesystem::path& path) {
+  const sockaddr_un addr = unix_address(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ST_CHECK_MSG(fd >= 0, "socket() failed: " << std::strerror(errno));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    close_fd(fd);
+    ST_CHECK_MSG(false, "cannot connect to stormtrackd at "
+                            << path << ": " << std::strerror(err)
+                            << " — is the daemon running?");
+  }
+  return fd;
+}
+
+void close_fd(int fd) noexcept {
+  if (fd >= 0) ::close(fd);
+}
+
+ClientConnection::ClientConnection(const std::filesystem::path& socket_path)
+    : fd_(connect_unix(socket_path)) {
+  try {
+    BinaryWriter hello;
+    hello.put_u32(kProtocolVersion);
+    const Frame reply = round_trip(MsgType::kHello, hello, MsgType::kHelloOk);
+    BinaryReader r = reply.reader();
+    const std::uint32_t version = r.get_u32("hello version");
+    ST_CHECK_MSG(version == kProtocolVersion,
+                 "daemon speaks protocol version "
+                     << version << ", this client speaks "
+                     << kProtocolVersion);
+  } catch (...) {
+    close_fd(fd_);
+    throw;
+  }
+}
+
+ClientConnection::~ClientConnection() { close_fd(fd_); }
+
+Frame ClientConnection::round_trip(MsgType request,
+                                   const BinaryWriter& payload,
+                                   MsgType expected) {
+  send_frame(fd_, request, payload);
+  std::optional<Frame> reply = recv_frame(fd_);
+  ST_CHECK_MSG(reply.has_value(), "daemon closed the connection instead of "
+                                  "replying to "
+                                      << to_string(request));
+  if (reply->type == MsgType::kError) {
+    BinaryReader r = reply->reader();
+    ST_CHECK_MSG(false, "daemon: " << r.get_string("error message"));
+  }
+  ST_CHECK_MSG(reply->type == expected,
+               "daemon replied to " << to_string(request) << " with "
+                                    << to_string(reply->type) << ", expected "
+                                    << to_string(expected));
+  return std::move(*reply);
+}
+
+ClientConnection::SubmitReply ClientConnection::submit(
+    const SessionSpec& spec) {
+  BinaryWriter w;
+  put_session_spec(w, spec);
+  send_frame(fd_, MsgType::kSubmit, w);
+  std::optional<Frame> reply = recv_frame(fd_);
+  ST_CHECK_MSG(reply.has_value(),
+               "daemon closed the connection instead of replying to submit");
+  SubmitReply out;
+  BinaryReader r = reply->reader();
+  if (reply->type == MsgType::kError) {
+    ST_CHECK_MSG(false, "daemon: " << r.get_string("error message"));
+  }
+  if (reply->type == MsgType::kAccepted) {
+    out.accepted = true;
+    out.id = r.get_u64("accepted id");
+    return out;
+  }
+  ST_CHECK_MSG(reply->type == MsgType::kRejectedBusy,
+               "daemon replied to submit with " << to_string(reply->type));
+  out.accepted = false;
+  out.reason = r.get_string("rejection reason");
+  out.active = r.get_u64("rejection active");
+  out.queued = r.get_u64("rejection queued");
+  return out;
+}
+
+std::vector<SessionStatus> ClientConnection::list() {
+  const Frame reply =
+      round_trip(MsgType::kList, BinaryWriter{}, MsgType::kListReply);
+  BinaryReader r = reply.reader();
+  const std::size_t count = r.get_count("session count");
+  std::vector<SessionStatus> sessions;
+  sessions.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    sessions.push_back(get_session_status(r));
+  }
+  return sessions;
+}
+
+SessionStatus ClientConnection::status(std::uint64_t id) {
+  BinaryWriter w;
+  w.put_u64(id);
+  const Frame reply = round_trip(MsgType::kStatus, w, MsgType::kStatusReply);
+  BinaryReader r = reply.reader();
+  return get_session_status(r);
+}
+
+SessionStatus ClientConnection::cancel(std::uint64_t id) {
+  BinaryWriter w;
+  w.put_u64(id);
+  const Frame reply = round_trip(MsgType::kCancel, w, MsgType::kStatusReply);
+  BinaryReader r = reply.reader();
+  return get_session_status(r);
+}
+
+void ClientConnection::shutdown_server() {
+  (void)round_trip(MsgType::kShutdown, BinaryWriter{}, MsgType::kShutdownOk);
+}
+
+SessionStatus ClientConnection::attach(
+    std::uint64_t id, std::uint64_t from_seq,
+    const std::function<void(const SessionEvent&)>& on_event) {
+  BinaryWriter w;
+  w.put_u64(id);
+  w.put_u64(from_seq);
+  send_frame(fd_, MsgType::kAttach, w);
+  while (true) {
+    std::optional<Frame> frame = recv_frame(fd_);
+    ST_CHECK_MSG(frame.has_value(),
+                 "daemon closed the attach stream for session "
+                     << id << " without a terminal status");
+    BinaryReader r = frame->reader();
+    if (frame->type == MsgType::kError) {
+      ST_CHECK_MSG(false, "daemon: " << r.get_string("error message"));
+    }
+    if (frame->type == MsgType::kDone) return get_session_status(r);
+    ST_CHECK_MSG(frame->type == MsgType::kEvent,
+                 "unexpected " << to_string(frame->type)
+                               << " frame in attach stream");
+    if (on_event) on_event(get_session_event(r));
+  }
+}
+
+}  // namespace stormtrack

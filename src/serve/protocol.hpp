@@ -1,0 +1,172 @@
+#pragma once
+
+/// \file protocol.hpp
+/// The stormtrackd wire protocol: CRC-framed, length-prefixed messages
+/// over a Unix-domain stream socket.
+///
+/// Every message is one frame:
+///
+///     u32  magic      "STMF" (0x464D5453 little-endian)
+///     u8   type       MsgType discriminator
+///     u32  size       payload length in bytes (<= kMaxFramePayload)
+///     ...  payload    BinaryWriter-encoded message body
+///     u32  crc        CRC-32 (IEEE) over the type byte + payload
+///
+/// The CRC covers the type byte so a corrupted discriminator can never
+/// deliver one message's payload as another's. Framing errors (bad magic,
+/// oversized frame, CRC mismatch, EOF mid-frame) throw CheckError — on a
+/// connected stream there is no resynchronization story worth having, so
+/// the connection is simply dropped. A clean EOF *between* frames returns
+/// nullopt from recv_frame() and means the peer hung up.
+///
+/// Payload encodings reuse the session codecs (serve/session.hpp); the
+/// exact body of every message type is documented on MsgType.
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/session.hpp"
+#include "util/binary_io.hpp"
+
+namespace stormtrack {
+
+/// "STMF" little-endian.
+inline constexpr std::uint32_t kFrameMagic = 0x464D'5453u;
+inline constexpr std::uint32_t kProtocolVersion = 1;
+/// Upper bound on one frame's payload (16 MiB) — admission control for
+/// the codec itself: a garbage length can never make the receiver
+/// allocate unbounded memory.
+inline constexpr std::uint32_t kMaxFramePayload = 16u << 20;
+
+/// Message discriminators. Client → server types are < 64, server →
+/// client types >= 64. Payloads (all BinaryWriter-encoded):
+///
+///   kHello        u32 protocol version
+///   kSubmit       SessionSpec
+///   kAttach       u64 session id, u64 from_seq
+///   kList         (empty)
+///   kStatus       u64 session id
+///   kCancel       u64 session id
+///   kShutdown     (empty)
+///
+///   kHelloOk      u32 version, u64 active, u64 queued
+///   kAccepted     u64 session id
+///   kRejectedBusy string reason, u64 active, u64 queued
+///   kStatusReply  SessionStatus
+///   kListReply    count, then SessionStatus each
+///   kEvent        SessionEvent
+///   kDone         SessionStatus (terminal; ends an attach stream)
+///   kError        string message
+///   kShutdownOk   (empty)
+enum class MsgType : std::uint8_t {
+  kHello = 1,
+  kSubmit = 2,
+  kAttach = 3,
+  kList = 4,
+  kStatus = 5,
+  kCancel = 6,
+  kShutdown = 7,
+
+  kHelloOk = 64,
+  kAccepted = 65,
+  kRejectedBusy = 66,
+  kStatusReply = 67,
+  kListReply = 68,
+  kEvent = 69,
+  kDone = 70,
+  kError = 71,
+  kShutdownOk = 72,
+};
+
+[[nodiscard]] const char* to_string(MsgType type);
+
+/// One decoded frame.
+struct Frame {
+  MsgType type = MsgType::kError;
+  std::vector<std::byte> payload;
+
+  /// Bounds-checked reader over the payload.
+  [[nodiscard]] BinaryReader reader() const {
+    return BinaryReader(payload);
+  }
+};
+
+/// Write one frame to \p fd, handling short writes and EINTR; throws
+/// CheckError when the peer is gone (EPIPE/ECONNRESET) or on any other
+/// write failure.
+void send_frame(int fd, MsgType type, std::span<const std::byte> payload);
+void send_frame(int fd, MsgType type, const BinaryWriter& payload);
+inline void send_frame(int fd, MsgType type) {
+  send_frame(fd, type, std::span<const std::byte>{});
+}
+
+/// Read one frame from \p fd. Returns nullopt on clean EOF at a frame
+/// boundary; throws CheckError on garbage, CRC mismatch, or EOF
+/// mid-frame.
+[[nodiscard]] std::optional<Frame> recv_frame(int fd);
+
+/// Bind + listen on a Unix-domain stream socket at \p path (an existing
+/// socket file is removed first — stale sockets from a killed daemon must
+/// not block restart). Returns the listening fd; throws CheckError.
+[[nodiscard]] int listen_unix(const std::filesystem::path& path,
+                              int backlog);
+
+/// Connect to the daemon at \p path. Returns the connected fd; throws
+/// CheckError (mentioning the path) when nothing listens there.
+[[nodiscard]] int connect_unix(const std::filesystem::path& path);
+
+/// close() ignoring errors — destructor-safe.
+void close_fd(int fd) noexcept;
+
+/// Owns a connected client socket and speaks the request/reply half of
+/// the protocol — the convenience layer stormtrackctl and the tests use.
+/// Not thread-safe (one outstanding request at a time, like the wire).
+class ClientConnection {
+ public:
+  struct SubmitReply {
+    bool accepted = false;
+    std::uint64_t id = 0;       ///< Valid when accepted.
+    std::string reason;         ///< Valid when rejected.
+    std::uint64_t active = 0;   ///< Server load at rejection time.
+    std::uint64_t queued = 0;
+  };
+
+  /// Connects and performs the kHello handshake (version check).
+  explicit ClientConnection(const std::filesystem::path& socket_path);
+  ~ClientConnection();
+
+  ClientConnection(const ClientConnection&) = delete;
+  ClientConnection& operator=(const ClientConnection&) = delete;
+
+  [[nodiscard]] SubmitReply submit(const SessionSpec& spec);
+  [[nodiscard]] std::vector<SessionStatus> list();
+  [[nodiscard]] SessionStatus status(std::uint64_t id);
+  /// Returns the post-cancel status.
+  SessionStatus cancel(std::uint64_t id);
+  /// Ask the daemon to shut down gracefully.
+  void shutdown_server();
+
+  /// Stream events for \p id starting at \p from_seq, invoking
+  /// \p on_event per event, until the session reaches a terminal state;
+  /// returns the terminal status.
+  SessionStatus attach(
+      std::uint64_t id, std::uint64_t from_seq,
+      const std::function<void(const SessionEvent&)>& on_event);
+
+  [[nodiscard]] int fd() const { return fd_; }
+
+ private:
+  /// Send \p request, receive the reply; throws CheckError when the reply
+  /// is kError (with the server's message) or an unexpected type.
+  Frame round_trip(MsgType request, const BinaryWriter& payload,
+                   MsgType expected);
+
+  int fd_ = -1;
+};
+
+}  // namespace stormtrack

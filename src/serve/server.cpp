@@ -1,0 +1,272 @@
+#include "serve/server.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "serve/protocol.hpp"
+#include "util/check.hpp"
+
+namespace stormtrack {
+
+SessionServer::SessionServer(SessionSupervisor& supervisor,
+                             ServerConfig config)
+    : supervisor_(supervisor), config_(std::move(config)) {}
+
+SessionServer::~SessionServer() { stop(); }
+
+void SessionServer::start() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) return;
+  listen_fd_ = listen_unix(config_.socket_path, config_.backlog);
+  running_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void SessionServer::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) {
+      shutdown_requested_ = true;
+      shutdown_cv_.notify_all();
+      return;
+    }
+    running_ = false;
+    shutdown_requested_ = true;
+    // Closing the listening fd pops accept(); shutting down connection
+    // fds pops any handler blocked in recv or a long attach stream.
+    if (listen_fd_ >= 0) {
+      ::shutdown(listen_fd_, SHUT_RDWR);
+      close_fd(listen_fd_);
+      listen_fd_ = -1;
+    }
+    for (const auto& [handler, fd] : open_fds_) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+    shutdown_cv_.notify_all();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> handlers;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    handlers.swap(handlers_);
+  }
+  for (auto& handler : handlers) {
+    if (handler.joinable()) handler.join();
+  }
+  std::error_code ignored;
+  std::filesystem::remove(config_.socket_path, ignored);
+}
+
+bool SessionServer::shutdown_requested() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return shutdown_requested_;
+}
+
+void SessionServer::wait_shutdown_requested() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+}
+
+int SessionServer::connections_handled() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return connections_;
+}
+
+void SessionServer::accept_loop() {
+  while (true) {
+    int listen_fd = -1;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!running_) return;
+      listen_fd = listen_fd_;
+    }
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // The usual exit: stop() closed the listening socket under us.
+      return;
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) {
+      close_fd(fd);
+      return;
+    }
+    ++connections_;
+    const int handler = next_handler_++;
+    open_fds_[handler] = fd;
+    handlers_.emplace_back([this, fd, handler] {
+      handle_connection(fd);
+      const std::lock_guard<std::mutex> inner(mutex_);
+      open_fds_.erase(handler);
+    });
+  }
+}
+
+void SessionServer::handle_connection(int fd) {
+  try {
+    while (true) {
+      std::optional<Frame> frame = recv_frame(fd);
+      if (!frame.has_value()) break;  // client hung up
+      BinaryReader r = frame->reader();
+      switch (frame->type) {
+        case MsgType::kHello: {
+          const std::uint32_t version = r.get_u32("hello version");
+          if (version != kProtocolVersion) {
+            BinaryWriter reply;
+            reply.put_string("protocol version " + std::to_string(version) +
+                             " not supported (daemon speaks " +
+                             std::to_string(kProtocolVersion) + ")");
+            send_frame(fd, MsgType::kError, reply);
+            break;
+          }
+          BinaryWriter reply;
+          reply.put_u32(kProtocolVersion);
+          reply.put_u64(
+              static_cast<std::uint64_t>(supervisor_.active_count()));
+          reply.put_u64(
+              static_cast<std::uint64_t>(supervisor_.queued_count()));
+          send_frame(fd, MsgType::kHelloOk, reply);
+          break;
+        }
+        case MsgType::kSubmit: {
+          const SessionSpec spec = get_session_spec(r);
+          const SessionSupervisor::SubmitResult result =
+              supervisor_.submit(spec);
+          switch (result.admission) {
+            case SessionSupervisor::Admission::kAccepted: {
+              BinaryWriter reply;
+              reply.put_u64(result.id);
+              send_frame(fd, MsgType::kAccepted, reply);
+              break;
+            }
+            case SessionSupervisor::Admission::kRejectedBusy: {
+              BinaryWriter reply;
+              reply.put_string(result.reason);
+              reply.put_u64(static_cast<std::uint64_t>(result.active));
+              reply.put_u64(static_cast<std::uint64_t>(result.queued));
+              send_frame(fd, MsgType::kRejectedBusy, reply);
+              break;
+            }
+            case SessionSupervisor::Admission::kInvalid: {
+              BinaryWriter reply;
+              reply.put_string("invalid session spec: " + result.reason);
+              send_frame(fd, MsgType::kError, reply);
+              break;
+            }
+          }
+          break;
+        }
+        case MsgType::kAttach:
+          handle_attach(fd, r);
+          break;
+        case MsgType::kList: {
+          const std::vector<SessionStatus> sessions = supervisor_.list();
+          BinaryWriter reply;
+          reply.put_count(sessions.size());
+          for (const SessionStatus& status : sessions) {
+            put_session_status(reply, status);
+          }
+          send_frame(fd, MsgType::kListReply, reply);
+          break;
+        }
+        case MsgType::kStatus: {
+          const std::uint64_t id = r.get_u64("status request id");
+          try {
+            const SessionStatus status = supervisor_.status(id);
+            BinaryWriter reply;
+            put_session_status(reply, status);
+            send_frame(fd, MsgType::kStatusReply, reply);
+          } catch (const CheckError& e) {
+            BinaryWriter reply;
+            reply.put_string(e.what());
+            send_frame(fd, MsgType::kError, reply);
+          }
+          break;
+        }
+        case MsgType::kCancel: {
+          const std::uint64_t id = r.get_u64("cancel request id");
+          try {
+            const SessionStatus status =
+                supervisor_.cancel(id, "cancelled by client");
+            BinaryWriter reply;
+            put_session_status(reply, status);
+            send_frame(fd, MsgType::kStatusReply, reply);
+          } catch (const CheckError& e) {
+            BinaryWriter reply;
+            reply.put_string(e.what());
+            send_frame(fd, MsgType::kError, reply);
+          }
+          break;
+        }
+        case MsgType::kShutdown: {
+          // Flag before the ack: once the client sees kShutdownOk the
+          // request must already be observable via shutdown_requested().
+          {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            shutdown_requested_ = true;
+            shutdown_cv_.notify_all();
+          }
+          send_frame(fd, MsgType::kShutdownOk);
+          break;
+        }
+        default: {
+          BinaryWriter reply;
+          reply.put_string(std::string("unexpected ") +
+                           to_string(frame->type) + " frame from a client");
+          send_frame(fd, MsgType::kError, reply);
+          break;
+        }
+      }
+    }
+  } catch (const std::exception&) {
+    // Framing violation or dead peer: drop this connection, keep serving.
+  }
+  close_fd(fd);
+}
+
+void SessionServer::handle_attach(int fd, BinaryReader& request) {
+  const std::uint64_t id = request.get_u64("attach id");
+  std::uint64_t seq = request.get_u64("attach from seq");
+  while (true) {
+    SessionSupervisor::EventBatch batch;
+    try {
+      batch = supervisor_.wait_events(id, seq, 0.2);
+    } catch (const CheckError& e) {
+      BinaryWriter reply;
+      reply.put_string(e.what());
+      send_frame(fd, MsgType::kError, reply);
+      return;
+    }
+    for (const SessionEvent& event : batch.events) {
+      BinaryWriter body;
+      put_session_event(body, event);
+      send_frame(fd, MsgType::kEvent, body);
+      seq = event.seq + 1;
+    }
+    if (batch.terminal) {
+      BinaryWriter body;
+      put_session_status(body, batch.status);
+      send_frame(fd, MsgType::kDone, body);
+      return;
+    }
+    bool running = false;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      running = running_;
+    }
+    // Never send while holding mutex_: a peer that stops reading would
+    // otherwise block this handler inside the lock stop() needs.
+    if (!running) {
+      BinaryWriter reply;
+      reply.put_string("daemon stopping; reattach session " +
+                       std::to_string(id) + " after restart");
+      send_frame(fd, MsgType::kError, reply);
+      return;
+    }
+  }
+}
+
+}  // namespace stormtrack

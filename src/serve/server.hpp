@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file server.hpp
+/// The stormtrackd socket front end: accepts Unix-domain connections and
+/// translates protocol frames (serve/protocol.hpp) into SessionSupervisor
+/// calls.
+///
+/// One thread accepts connections; each connection gets its own handler
+/// thread (connections are few — this is an operator tool, not a web
+/// server — and a blocking attach stream per client makes the handler
+/// trivially correct). A protocol violation on one connection drops that
+/// connection only. stop() closes the listening socket and shuts down
+/// every open connection, so no handler blocks shutdown.
+///
+/// The server itself holds no session state: detach/reattach works
+/// because sessions live in the supervisor keyed by id, and a client that
+/// reconnects simply attaches to the id again (from any event seq).
+
+#include <condition_variable>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "serve/supervisor.hpp"
+
+namespace stormtrack {
+
+struct ServerConfig {
+  std::filesystem::path socket_path;
+  int backlog = 16;
+};
+
+/// See file comment. start()/stop() are not thread-safe against each
+/// other; everything else is internally synchronized.
+class SessionServer {
+ public:
+  /// \p supervisor must outlive the server.
+  SessionServer(SessionSupervisor& supervisor, ServerConfig config);
+  ~SessionServer();
+
+  SessionServer(const SessionServer&) = delete;
+  SessionServer& operator=(const SessionServer&) = delete;
+
+  /// Bind the socket and start accepting. Throws CheckError when the
+  /// socket cannot be bound.
+  void start();
+
+  /// Close the listening socket and every connection, join all threads,
+  /// remove the socket file. Idempotent.
+  void stop();
+
+  /// True once a client has requested shutdown (kShutdown) or stop() ran.
+  [[nodiscard]] bool shutdown_requested() const;
+  /// Block until shutdown_requested().
+  void wait_shutdown_requested();
+
+  [[nodiscard]] const std::filesystem::path& socket_path() const {
+    return config_.socket_path;
+  }
+  /// Connections accepted over the server's lifetime.
+  [[nodiscard]] int connections_handled() const;
+
+ private:
+  void accept_loop();
+  /// One connection's request loop; owns \p fd.
+  void handle_connection(int fd);
+  void handle_attach(int fd, BinaryReader& request);
+
+  SessionSupervisor& supervisor_;
+  ServerConfig config_;
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable shutdown_cv_;
+  int listen_fd_ = -1;
+  bool running_ = false;
+  bool shutdown_requested_ = false;
+  int connections_ = 0;
+  /// Live connection fds by handler id, so stop() can unblock handlers.
+  std::map<int, int> open_fds_;
+  int next_handler_ = 0;
+  std::thread accept_thread_;
+  std::vector<std::thread> handlers_;
+};
+
+}  // namespace stormtrack

@@ -1,0 +1,162 @@
+#include "serve/session.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/machine.hpp"
+#include "core/strategy.hpp"
+#include "util/check.hpp"
+#include "wsim/workload.hpp"
+
+namespace stormtrack {
+
+const char* to_string(SessionState state) {
+  switch (state) {
+    case SessionState::kQueued: return "queued";
+    case SessionState::kRunning: return "running";
+    case SessionState::kDone: return "done";
+    case SessionState::kFailed: return "failed";
+    case SessionState::kQuarantined: return "quarantined";
+    case SessionState::kCancelled: return "cancelled";
+    case SessionState::kShed: return "shed";
+    case SessionState::kInterrupted: return "interrupted";
+  }
+  return "unknown";
+}
+
+bool is_terminal(SessionState state) {
+  switch (state) {
+    case SessionState::kDone:
+    case SessionState::kFailed:
+    case SessionState::kQuarantined:
+    case SessionState::kCancelled:
+    case SessionState::kShed:
+      return true;
+    case SessionState::kQueued:
+    case SessionState::kRunning:
+    case SessionState::kInterrupted:
+      return false;
+  }
+  return false;
+}
+
+namespace {
+
+bool known_name(const std::vector<std::string>& names,
+                const std::string& name) {
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+std::string unknown_name_message(const char* what, const std::string& got,
+                                 const std::vector<std::string>& known) {
+  std::ostringstream out;
+  out << "unknown " << what << " \"" << got << "\" (known:";
+  for (const auto& name : known) out << ' ' << name;
+  out << ')';
+  return out.str();
+}
+
+}  // namespace
+
+std::vector<std::string> session_spec_problems(const SessionSpec& spec) {
+  std::vector<std::string> problems;
+  if (!known_name(Machine::names(), spec.machine)) {
+    problems.push_back(
+        unknown_name_message("machine", spec.machine, Machine::names()));
+  }
+  if (!known_name(StrategyRegistry::global().names(), spec.strategy)) {
+    problems.push_back(unknown_name_message(
+        "strategy", spec.strategy, StrategyRegistry::global().names()));
+  }
+  if (!known_name(WorkloadRegistry::global().names(), spec.workload)) {
+    problems.push_back(unknown_name_message(
+        "workload", spec.workload, WorkloadRegistry::global().names()));
+  }
+  if (spec.cores <= 0) problems.push_back("cores must be positive");
+  if (spec.intervals <= 0) problems.push_back("intervals must be positive");
+  if (spec.deadline_seconds < 0.0) {
+    problems.push_back("deadline_seconds must not be negative");
+  }
+  return problems;
+}
+
+void put_session_spec(BinaryWriter& w, const SessionSpec& spec) {
+  w.put_string(spec.machine);
+  w.put_i32(spec.cores);
+  w.put_string(spec.strategy);
+  w.put_string(spec.workload);
+  w.put_i32(spec.intervals);
+  w.put_u64(spec.seed);
+  w.put_i32(spec.priority);
+  w.put_f64(spec.deadline_seconds);
+}
+
+SessionSpec get_session_spec(BinaryReader& r) {
+  SessionSpec spec;
+  spec.machine = r.get_string("session machine");
+  spec.cores = r.get_i32("session cores");
+  spec.strategy = r.get_string("session strategy");
+  spec.workload = r.get_string("session workload");
+  spec.intervals = r.get_i32("session intervals");
+  spec.seed = r.get_u64("session seed");
+  spec.priority = r.get_i32("session priority");
+  spec.deadline_seconds = r.get_f64("session deadline");
+  return spec;
+}
+
+void put_session_event(BinaryWriter& w, const SessionEvent& event) {
+  w.put_u64(event.seq);
+  w.put_i32(event.interval);
+  w.put_string(event.chosen);
+  w.put_f64(event.exec_seconds);
+  w.put_f64(event.redist_seconds);
+  w.put_i64(event.moved_bytes);
+  w.put_i32(event.inserted);
+  w.put_i32(event.deleted);
+  w.put_i32(event.retained);
+}
+
+SessionEvent get_session_event(BinaryReader& r) {
+  SessionEvent event;
+  event.seq = r.get_u64("event seq");
+  event.interval = r.get_i32("event interval");
+  event.chosen = r.get_string("event chosen");
+  event.exec_seconds = r.get_f64("event exec seconds");
+  event.redist_seconds = r.get_f64("event redist seconds");
+  event.moved_bytes = r.get_i64("event moved bytes");
+  event.inserted = r.get_i32("event inserted");
+  event.deleted = r.get_i32("event deleted");
+  event.retained = r.get_i32("event retained");
+  return event;
+}
+
+void put_session_status(BinaryWriter& w, const SessionStatus& status) {
+  w.put_u64(status.id);
+  put_session_spec(w, status.spec);
+  w.put_u8(static_cast<std::uint8_t>(status.state));
+  w.put_i32(status.attempts);
+  w.put_i32(status.intervals_done);
+  w.put_u64(status.next_event_seq);
+  w.put_u64(status.fingerprint);
+  w.put_u8(status.resumed ? 1 : 0);
+  w.put_string(status.error);
+}
+
+SessionStatus get_session_status(BinaryReader& r) {
+  SessionStatus status;
+  status.id = r.get_u64("status id");
+  status.spec = get_session_spec(r);
+  const auto state = r.get_u8("status state");
+  ST_CHECK_MSG(state <= static_cast<std::uint8_t>(SessionState::kInterrupted),
+               "session status names unknown state " << int{state});
+  status.state = static_cast<SessionState>(state);
+  status.attempts = r.get_i32("status attempts");
+  status.intervals_done = r.get_i32("status intervals done");
+  status.next_event_seq = r.get_u64("status next event seq");
+  status.fingerprint = r.get_u64("status fingerprint");
+  status.resumed = r.get_u8("status resumed") != 0;
+  status.error = r.get_string("status error");
+  return status;
+}
+
+}  // namespace stormtrack

@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file session.hpp
+/// Session vocabulary of the stormtrackd service layer.
+///
+/// A *session* is one tracking scenario owned by the daemon on behalf of a
+/// client: a SessionSpec names what to run (machine, strategy, workload,
+/// seed, intervals) plus how the scheduler should treat it (priority,
+/// deadline); the daemon assigns it a stable numeric id that survives
+/// daemon restarts (it is journaled), runs it through the existing
+/// CoupledSimulation + checkpoint machinery in a per-session directory,
+/// and reports progress as a monotonically numbered stream of
+/// SessionEvents ending in a terminal SessionStatus.
+///
+/// The lifecycle state machine (docs/ARCHITECTURE.md "Service layer"):
+///
+///     queued -> running -> done
+///                 |    \-> failed       (deadline, unrecoverable error)
+///                 |    \-> quarantined  (every retry attempt failed)
+///                 |    \-> interrupted  (daemon stopped; requeued by the
+///                 |                      next daemon's recover())
+///     queued/running -> cancelled       (client request)
+///     queued -> shed                    (overload: displaced by a
+///                                        higher-priority submit)
+///
+/// Everything here is codec'd with the shared BinaryWriter/Reader, so the
+/// same put_/get_ pair serves the wire protocol (serve/protocol.hpp) and
+/// the session journal (serve/session_journal.hpp).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/binary_io.hpp"
+
+namespace stormtrack {
+
+/// What a client asks the daemon to run, plus its scheduling class.
+struct SessionSpec {
+  std::string machine = "bgl";      ///< Machine::by_name name.
+  int cores = 256;                  ///< Simulated core count.
+  std::string strategy = "diffusion";  ///< StrategyRegistry name.
+  std::string workload = "field";   ///< WorkloadRegistry name.
+  int intervals = 10;               ///< Adaptation intervals to run.
+  std::uint64_t seed = 2013;        ///< Scenario seed.
+  /// Scheduling priority; higher runs first, and under overload a
+  /// higher-priority submit may shed the lowest-priority *queued* session.
+  int priority = 0;
+  /// Per-session wall-clock budget (covers retries and their backoff);
+  /// 0 = the server's default.
+  double deadline_seconds = 0.0;
+};
+
+/// See the file-comment state machine.
+enum class SessionState : std::uint8_t {
+  kQueued = 0,
+  kRunning = 1,
+  kDone = 2,
+  kFailed = 3,
+  kQuarantined = 4,
+  kCancelled = 5,
+  kShed = 6,
+  kInterrupted = 7,
+};
+
+[[nodiscard]] const char* to_string(SessionState state);
+
+/// True for states a session can never leave (interrupted is *not*
+/// terminal: the next daemon's recovery requeues it).
+[[nodiscard]] bool is_terminal(SessionState state);
+
+/// One completed adaptation interval, streamed to attached clients.
+/// `seq` increases monotonically over the session's lifetime in this
+/// daemon process; after an in-process retry resumes from a checkpoint,
+/// intervals may repeat under fresh seq numbers (the stream is an honest
+/// transcript of execution, not of logical intervals).
+struct SessionEvent {
+  std::uint64_t seq = 0;
+  int interval = 0;
+  std::string chosen;            ///< Committed candidate name.
+  double exec_seconds = 0.0;     ///< Committed simulated exec time.
+  double redist_seconds = 0.0;   ///< Committed simulated redist time.
+  std::int64_t moved_bytes = 0;  ///< Workload payload bytes moved.
+  int inserted = 0;
+  int deleted = 0;
+  int retained = 0;
+};
+
+/// Everything observable about one session.
+struct SessionStatus {
+  std::uint64_t id = 0;
+  SessionSpec spec;
+  SessionState state = SessionState::kQueued;
+  int attempts = 0;
+  int intervals_done = 0;
+  /// Next event sequence number (== events emitted so far this process).
+  std::uint64_t next_event_seq = 0;
+  /// Final state fingerprint; valid when state == kDone. A session that
+  /// was interrupted and recovered lands on the same value as an
+  /// uninterrupted run (the kill-and-reattach CI job diffs them).
+  std::uint64_t fingerprint = 0;
+  /// True when this run of the session resumed from a checkpoint written
+  /// by a previous daemon process.
+  bool resumed = false;
+  std::string error;  ///< Terminal failure reason, empty otherwise.
+};
+
+/// Every problem with \p spec, one message each: unknown machine /
+/// strategy / workload names, non-positive cores or intervals, negative
+/// deadline. Empty when valid.
+[[nodiscard]] std::vector<std::string> session_spec_problems(
+    const SessionSpec& spec);
+
+void put_session_spec(BinaryWriter& w, const SessionSpec& spec);
+[[nodiscard]] SessionSpec get_session_spec(BinaryReader& r);
+
+void put_session_event(BinaryWriter& w, const SessionEvent& event);
+[[nodiscard]] SessionEvent get_session_event(BinaryReader& r);
+
+void put_session_status(BinaryWriter& w, const SessionStatus& status);
+[[nodiscard]] SessionStatus get_session_status(BinaryReader& r);
+
+}  // namespace stormtrack

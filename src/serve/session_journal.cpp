@@ -1,0 +1,137 @@
+#include "serve/session_journal.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+
+namespace {
+
+/// Journal record discriminators (wire-stable; append-only).
+enum class Record : std::uint8_t {
+  kSubmitted = 1,
+  kStarted = 2,
+  kFinished = 3,
+  kFailed = 4,
+  kQuarantined = 5,
+  kCancelled = 6,
+  kShed = 7,
+};
+
+}  // namespace
+
+SessionJournal::SessionJournal(std::filesystem::path path, bool resume)
+    : log_(std::move(path),
+           FramedLog::Format{kSessionLogMagic, kSessionLogVersion,
+                             /*fingerprint=*/0, "session journal"},
+           resume, [this](BinaryReader& rec) { replay_record(rec); }) {}
+
+void SessionJournal::replay_record(BinaryReader& rec) {
+  const auto type = rec.get_u8("session record type");
+  ST_CHECK_MSG(type >= static_cast<std::uint8_t>(Record::kSubmitted) &&
+                   type <= static_cast<std::uint8_t>(Record::kShed),
+               "session journal record has unknown type " << int{type});
+  const std::uint64_t id = rec.get_u64("session record id");
+  if (id > max_id_) max_id_ = id;
+
+  if (static_cast<Record>(type) == Record::kSubmitted) {
+    ReplayedSession session;
+    session.id = id;
+    session.spec = get_session_spec(rec);
+    session.state = SessionState::kQueued;
+    replayed_[id] = std::move(session);
+    return;
+  }
+
+  const auto it = replayed_.find(id);
+  ST_CHECK_MSG(it != replayed_.end(),
+               "session journal records a transition for session "
+                   << id << " that was never submitted — journal corrupt "
+                   << "or mixed with another daemon's state directory");
+  ReplayedSession& session = it->second;
+  switch (static_cast<Record>(type)) {
+    case Record::kSubmitted:
+      break;  // handled above
+    case Record::kStarted:
+      session.state = SessionState::kRunning;
+      session.attempts = rec.get_i32("session record attempt");
+      break;
+    case Record::kFinished:
+      session.state = SessionState::kDone;
+      session.fingerprint = rec.get_u64("session record fingerprint");
+      session.intervals_done = rec.get_i32("session record intervals");
+      break;
+    case Record::kFailed:
+      session.state = SessionState::kFailed;
+      session.error = rec.get_string("session record error");
+      break;
+    case Record::kQuarantined:
+      session.state = SessionState::kQuarantined;
+      session.error = rec.get_string("session record error");
+      break;
+    case Record::kCancelled:
+      session.state = SessionState::kCancelled;
+      session.error = rec.get_string("session record reason");
+      break;
+    case Record::kShed:
+      session.state = SessionState::kShed;
+      break;
+  }
+}
+
+namespace {
+
+BinaryWriter record_head(Record type, std::uint64_t id) {
+  BinaryWriter w;
+  w.put_u8(static_cast<std::uint8_t>(type));
+  w.put_u64(id);
+  return w;
+}
+
+}  // namespace
+
+void SessionJournal::submitted(std::uint64_t id, const SessionSpec& spec) {
+  BinaryWriter w = record_head(Record::kSubmitted, id);
+  put_session_spec(w, spec);
+  log_.append(w.bytes());
+  if (id > max_id_) max_id_ = id;
+}
+
+void SessionJournal::started(std::uint64_t id, int attempt) {
+  BinaryWriter w = record_head(Record::kStarted, id);
+  w.put_i32(attempt);
+  log_.append(w.bytes());
+}
+
+void SessionJournal::finished(std::uint64_t id, std::uint64_t fingerprint,
+                              int intervals_done) {
+  BinaryWriter w = record_head(Record::kFinished, id);
+  w.put_u64(fingerprint);
+  w.put_i32(intervals_done);
+  log_.append(w.bytes());
+}
+
+void SessionJournal::failed(std::uint64_t id, const std::string& error) {
+  BinaryWriter w = record_head(Record::kFailed, id);
+  w.put_string(error);
+  log_.append(w.bytes());
+}
+
+void SessionJournal::quarantined(std::uint64_t id, const std::string& error) {
+  BinaryWriter w = record_head(Record::kQuarantined, id);
+  w.put_string(error);
+  log_.append(w.bytes());
+}
+
+void SessionJournal::cancelled(std::uint64_t id, const std::string& reason) {
+  BinaryWriter w = record_head(Record::kCancelled, id);
+  w.put_string(reason);
+  log_.append(w.bytes());
+}
+
+void SessionJournal::shed(std::uint64_t id) {
+  log_.append(record_head(Record::kShed, id).bytes());
+}
+
+}  // namespace stormtrack

@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file session_journal.hpp
+/// Crash-safe lifecycle journal for stormtrackd sessions.
+///
+/// The daemon appends one record per lifecycle transition — submitted,
+/// started, finished, failed, quarantined, cancelled, shed — to a
+/// FramedLog ("STSL" magic) under its state directory. Because every
+/// append is fsynced and CRC-framed, a daemon killed at *any* instant
+/// (SIGKILL included) leaves a journal whose replay tells the next daemon
+/// exactly how far each session got:
+///
+///   - last record kFinished/kFailed/kQuarantined/kCancelled/kShed: the
+///     session is terminal; recovery only reports it.
+///   - last record kSubmitted or kStarted: the daemon died with the
+///     session queued or mid-run. Recovery requeues it; a started session
+///     resumes from its per-session checkpoint directory and lands on the
+///     same state fingerprint as an uninterrupted run.
+///
+/// A graceful stop() deliberately writes no terminal record for sessions
+/// still queued or running, so SIGTERM, SIGKILL, and a pulled power cord
+/// all recover through one code path.
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "ckpt/framed_log.hpp"
+#include "serve/session.hpp"
+
+namespace stormtrack {
+
+/// "STSL" little-endian.
+inline constexpr std::uint32_t kSessionLogMagic = 0x4C53'5453u;
+inline constexpr std::uint32_t kSessionLogVersion = 1;
+
+/// One session's journal history folded to its outcome.
+struct ReplayedSession {
+  std::uint64_t id = 0;
+  SessionSpec spec;
+  /// Folded state. kQueued / kRunning here mean the previous daemon died
+  /// before the session finished — recovery requeues such sessions.
+  SessionState state = SessionState::kQueued;
+  int attempts = 0;
+  std::uint64_t fingerprint = 0;  ///< Valid when state == kDone.
+  int intervals_done = 0;         ///< Valid when state == kDone.
+  std::string error;
+};
+
+/// See file comment. Appends are thread-safe (FramedLog locks); replay
+/// happens in the constructor.
+class SessionJournal {
+ public:
+  /// Opens (resume = replay an existing journal, tolerating a torn tail)
+  /// or creates the journal at \p path.
+  SessionJournal(std::filesystem::path path, bool resume);
+
+  /// Sessions reconstructed from the journal, by id. Populated only when
+  /// constructed with resume = true on an existing file.
+  [[nodiscard]] const std::map<std::uint64_t, ReplayedSession>& replayed()
+      const {
+    return replayed_;
+  }
+
+  /// Largest session id ever journaled (0 when none) — the next daemon
+  /// continues the id sequence from here so ids never collide across
+  /// restarts.
+  [[nodiscard]] std::uint64_t max_id() const { return max_id_; }
+
+  void submitted(std::uint64_t id, const SessionSpec& spec);
+  void started(std::uint64_t id, int attempt);
+  void finished(std::uint64_t id, std::uint64_t fingerprint,
+                int intervals_done);
+  void failed(std::uint64_t id, const std::string& error);
+  void quarantined(std::uint64_t id, const std::string& error);
+  void cancelled(std::uint64_t id, const std::string& reason);
+  void shed(std::uint64_t id);
+
+  [[nodiscard]] int torn_records_dropped() const {
+    return log_.torn_records_dropped();
+  }
+  [[nodiscard]] int appends() const { return log_.appends(); }
+  [[nodiscard]] const std::filesystem::path& path() const {
+    return log_.path();
+  }
+
+ private:
+  void replay_record(BinaryReader& rec);
+
+  /// Declared before log_: FramedLog's constructor replays into them.
+  std::map<std::uint64_t, ReplayedSession> replayed_;
+  std::uint64_t max_id_ = 0;
+  FramedLog log_;
+};
+
+}  // namespace stormtrack

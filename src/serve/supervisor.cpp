@@ -1,0 +1,548 @@
+#include "serve/supervisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+#include <sstream>
+#include <utility>
+
+#include "ckpt/checkpoint.hpp"
+#include "core/coupled.hpp"
+#include "core/machine.hpp"
+#include "exec/executor.hpp"
+#include "util/check.hpp"
+
+namespace stormtrack {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_until(Clock::time_point when) {
+  return std::chrono::duration<double>(when - Clock::now()).count();
+}
+
+}  // namespace
+
+SessionSupervisor::SessionSupervisor(std::filesystem::path state_dir,
+                                     ServeLimits limits)
+    : state_dir_(std::move(state_dir)),
+      limits_(limits),
+      journal_((std::filesystem::create_directories(state_dir_),
+                state_dir_ / "sessions.stjl"),
+               std::filesystem::exists(state_dir_ / "sessions.stjl")) {
+  ST_CHECK_MSG(limits_.max_active > 0, "max_active must be positive");
+  ST_CHECK_MSG(limits_.max_queued >= 0, "max_queued must not be negative");
+  ST_CHECK_MSG(limits_.max_attempts > 0, "max_attempts must be positive");
+  next_id_ = journal_.max_id() + 1;
+  for (const auto& [id, replayed] : journal_.replayed()) {
+    auto session = std::make_unique<Session>();
+    session->status.id = id;
+    session->status.spec = replayed.spec;
+    session->status.attempts = replayed.attempts;
+    session->status.fingerprint = replayed.fingerprint;
+    session->status.intervals_done = replayed.intervals_done;
+    session->status.error = replayed.error;
+    // A session the dead daemon left running surfaces as `interrupted`
+    // until recover() requeues it; a never-started one stays `queued`
+    // (also requeued by recover() — it is not in queue_ yet).
+    session->status.state = replayed.state == SessionState::kRunning
+                                ? SessionState::kInterrupted
+                                : replayed.state;
+    sessions_[id] = std::move(session);
+  }
+}
+
+SessionSupervisor::~SessionSupervisor() { stop(); }
+
+SessionSupervisor::RecoveryReport SessionSupervisor::recover() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  RecoveryReport report;
+  for (auto& [id, session] : sessions_) {
+    const SessionState state = session->status.state;
+    if (is_terminal(state)) {
+      ++report.terminal;
+      continue;
+    }
+    // Interrupted mid-run or still queued when the previous daemon died:
+    // run it (again). A previously started session resumes from its
+    // checkpoint directory.
+    session->status.state = SessionState::kQueued;
+    queue_.push_back(id);
+    ++report.requeued;
+  }
+  std::sort(queue_.begin(), queue_.end());
+  metrics_.add_count("server.recovered_sessions", report.terminal);
+  metrics_.add_count("server.requeued_sessions", report.requeued);
+  work_cv_.notify_all();
+  return report;
+}
+
+void SessionSupervisor::start() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (started_) return;
+  started_ = true;
+  stopping_ = false;
+  lanes_.reserve(static_cast<std::size_t>(limits_.max_active));
+  for (int i = 0; i < limits_.max_active; ++i) {
+    lanes_.emplace_back([this] { lane_loop(); });
+  }
+  watchdog_ = std::thread([this] { watchdog_loop(); });
+}
+
+void SessionSupervisor::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && !started_) return;
+    stopping_ = true;
+    // Trip every running session's token; lanes observe CancelledError at
+    // the next adaptation point and mark the session interrupted. No
+    // terminal journal record is written, so recovery after a graceful
+    // stop and after SIGKILL are the same code path.
+    for (auto& [id, session] : sessions_) {
+      if (session->status.state == SessionState::kRunning) {
+        session->cancel_kind = CancelKind::kShutdown;
+        session->token.cancel("daemon stopping");
+      }
+    }
+    work_cv_.notify_all();
+    events_cv_.notify_all();
+  }
+  for (auto& lane : lanes_) {
+    if (lane.joinable()) lane.join();
+  }
+  lanes_.clear();
+  if (watchdog_.joinable()) watchdog_.join();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  started_ = false;
+}
+
+SessionSupervisor::SubmitResult SessionSupervisor::submit(
+    const SessionSpec& spec) {
+  SubmitResult result;
+  const std::vector<std::string> problems = session_spec_problems(spec);
+  if (!problems.empty()) {
+    std::ostringstream reason;
+    for (std::size_t i = 0; i < problems.size(); ++i) {
+      reason << (i ? "; " : "") << problems[i];
+    }
+    result.admission = Admission::kInvalid;
+    result.reason = reason.str();
+    return result;
+  }
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  bump_locked("server.submitted");
+  int active = 0;
+  for (const auto& [id, session] : sessions_) {
+    if (session->status.state == SessionState::kRunning) ++active;
+  }
+  result.active = active;
+  result.queued = static_cast<int>(queue_.size());
+
+  if (stopping_) {
+    result.admission = Admission::kRejectedBusy;
+    result.reason = "daemon is shutting down";
+    bump_locked("server.rejected_busy");
+    return result;
+  }
+
+  if (result.queued >= limits_.max_queued) {
+    // Queue full. Shed the lowest-priority queued session if the incoming
+    // one outranks it; otherwise reject the submit.
+    auto victim = queue_.end();
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (victim == queue_.end() ||
+          sessions_.at(*it)->status.spec.priority <
+              sessions_.at(*victim)->status.spec.priority) {
+        victim = it;
+      }
+    }
+    if (victim == queue_.end() ||
+        sessions_.at(*victim)->status.spec.priority >= spec.priority) {
+      result.admission = Admission::kRejectedBusy;
+      std::ostringstream reason;
+      reason << "at capacity: " << active << " running, " << result.queued
+             << " queued (max_queued " << limits_.max_queued
+             << "), and no queued session has lower priority than "
+             << spec.priority;
+      result.reason = reason.str();
+      bump_locked("server.rejected_busy");
+      return result;
+    }
+    Session& shed = *sessions_.at(*victim);
+    journal_.shed(shed.status.id);
+    shed.status.state = SessionState::kShed;
+    shed.status.error = "shed for a priority-" + std::to_string(spec.priority) +
+                        " submission under full queue";
+    queue_.erase(victim);
+    bump_locked("server.shed_sessions");
+    events_cv_.notify_all();
+  }
+
+  const std::uint64_t id = next_id_++;
+  // Journal before acknowledging: an accepted session survives any crash
+  // from here on.
+  journal_.submitted(id, spec);
+  auto session = std::make_unique<Session>();
+  session->status.id = id;
+  session->status.spec = spec;
+  session->status.state = SessionState::kQueued;
+  sessions_[id] = std::move(session);
+  queue_.push_back(id);
+  bump_locked("server.accepted");
+  result.admission = Admission::kAccepted;
+  result.id = id;
+  result.queued = static_cast<int>(queue_.size());
+  work_cv_.notify_one();
+  return result;
+}
+
+SessionStatus SessionSupervisor::cancel(std::uint64_t id,
+                                        const std::string& reason) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sessions_.find(id);
+  ST_CHECK_MSG(it != sessions_.end(), "no session with id " << id);
+  Session& session = *it->second;
+  switch (session.status.state) {
+    case SessionState::kQueued: {
+      const auto pos = std::find(queue_.begin(), queue_.end(), id);
+      if (pos != queue_.end()) queue_.erase(pos);
+      journal_.cancelled(id, reason);
+      session.status.state = SessionState::kCancelled;
+      session.status.error = reason;
+      bump_locked("server.cancelled");
+      events_cv_.notify_all();
+      break;
+    }
+    case SessionState::kRunning:
+      session.cancel_kind = CancelKind::kClient;
+      session.token.cancel(reason);
+      break;
+    default:
+      break;  // terminal or interrupted: nothing to do
+  }
+  return session.status;
+}
+
+SessionStatus SessionSupervisor::status(std::uint64_t id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sessions_.find(id);
+  ST_CHECK_MSG(it != sessions_.end(), "no session with id " << id);
+  return it->second->status;
+}
+
+std::vector<SessionStatus> SessionSupervisor::list() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SessionStatus> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) {
+    out.push_back(session->status);
+  }
+  return out;
+}
+
+SessionSupervisor::EventBatch SessionSupervisor::wait_events(
+    std::uint64_t id, std::uint64_t from_seq, double timeout_seconds) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = sessions_.find(id);
+  ST_CHECK_MSG(it != sessions_.end(), "no session with id " << id);
+  const Session& session = *it->second;
+  const auto ready = [&] {
+    return stopping_ || is_terminal(session.status.state) ||
+           session.events.size() > from_seq;
+  };
+  if (timeout_seconds > 0.0 && !ready()) {
+    events_cv_.wait_for(
+        lock, std::chrono::duration<double>(timeout_seconds), ready);
+  }
+  EventBatch batch;
+  for (std::size_t i = from_seq; i < session.events.size(); ++i) {
+    batch.events.push_back(session.events[i]);
+  }
+  batch.terminal = is_terminal(session.status.state);
+  batch.status = session.status;
+  return batch;
+}
+
+SessionStatus SessionSupervisor::wait_terminal(std::uint64_t id) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = sessions_.find(id);
+  ST_CHECK_MSG(it != sessions_.end(), "no session with id " << id);
+  const Session& session = *it->second;
+  events_cv_.wait(lock, [&] {
+    return stopping_ || is_terminal(session.status.state);
+  });
+  return session.status;
+}
+
+MetricsRegistry SessionSupervisor::metrics() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return metrics_;
+}
+
+int SessionSupervisor::active_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  int active = 0;
+  for (const auto& [id, session] : sessions_) {
+    if (session->status.state == SessionState::kRunning) ++active;
+  }
+  return active;
+}
+
+int SessionSupervisor::queued_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(queue_.size());
+}
+
+std::filesystem::path SessionSupervisor::checkpoint_dir(
+    std::uint64_t id) const {
+  return state_dir_ / "sessions" / std::to_string(id) / "ck";
+}
+
+SessionSupervisor::Session* SessionSupervisor::pop_queued_locked() {
+  if (queue_.empty()) return nullptr;
+  auto best = queue_.begin();
+  for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
+    const int p = sessions_.at(*it)->status.spec.priority;
+    const int best_p = sessions_.at(*best)->status.spec.priority;
+    if (p > best_p || (p == best_p && *it < *best)) best = it;
+  }
+  Session* session = sessions_.at(*best).get();
+  queue_.erase(best);
+  return session;
+}
+
+void SessionSupervisor::bump_locked(std::string_view counter,
+                                    std::int64_t amount) {
+  metrics_.add_count(counter, amount);
+}
+
+void SessionSupervisor::lane_loop() {
+  while (true) {
+    Session* session = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      session = pop_queued_locked();
+      if (session == nullptr) continue;
+      session->status.state = SessionState::kRunning;
+      // Arm the wall-clock budget once, spanning every attempt and
+      // backoff of this session (recovery re-arms in the new process: the
+      // budget is per daemon life, not cumulative across crashes).
+      const double deadline =
+          session->status.spec.deadline_seconds > 0.0
+              ? session->status.spec.deadline_seconds
+              : limits_.session_deadline_seconds;
+      if (deadline > 0.0 && !session->deadline_armed) {
+        session->deadline_at =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(deadline));
+        session->deadline_armed = true;
+      }
+    }
+    run_session(*session);
+  }
+}
+
+void SessionSupervisor::watchdog_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    const auto now = Clock::now();
+    for (auto& [id, session] : sessions_) {
+      if (session->status.state != SessionState::kRunning) continue;
+      if (!session->deadline_armed || session->deadline_at > now) continue;
+      if (session->token.cancelled()) continue;
+      // The per-attempt token deadline usually fires first; the watchdog
+      // is the backstop that catches sessions sleeping in backoff or
+      // wedged between polls.
+      session->token.cancel("session deadline exceeded (watchdog)");
+      bump_locked("server.watchdog_cancels");
+    }
+    work_cv_.wait_for(
+        lock, std::chrono::duration<double>(limits_.watchdog_period_seconds));
+  }
+}
+
+std::uint64_t SessionSupervisor::run_attempt(Session& session,
+                                             bool first_in_process) {
+  SessionSpec spec;
+  std::uint64_t id = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    spec = session.status.spec;
+    id = session.status.id;
+    session.token.reset();
+    if (session.deadline_armed) {
+      const double remaining = seconds_until(session.deadline_at);
+      session.token.set_deadline_after(remaining);
+    }
+  }
+  session.token.check();  // budget may already be gone
+
+  Machine machine = Machine::by_name(spec.machine, spec.cores);
+  CoupledConfig cfg;
+  cfg.scenario.num_intervals = spec.intervals;
+  cfg.scenario.seed = spec.seed;
+  cfg.manager.strategy = spec.strategy;
+  cfg.manager.cancel = &session.token;
+  cfg.workload = spec.workload;
+
+  std::unique_ptr<ThreadPoolExecutor> pool;
+  if (limits_.executor_threads > 0) {
+    pool = std::make_unique<ThreadPoolExecutor>(limits_.executor_threads);
+    cfg.manager.executor = pool.get();
+    cfg.executor = pool.get();
+  }
+
+  const std::filesystem::path dir = checkpoint_dir(id);
+  std::filesystem::create_directories(dir);
+  const std::uint64_t config_fp = coupled_config_fingerprint(machine, cfg);
+  CheckpointPolicy policy;
+  policy.dir = dir;
+  policy.every = limits_.checkpoint_every;
+  policy.keep = limits_.checkpoint_keep;
+  CoupledCheckpointer checkpointer(policy, config_fp);
+  cfg.hook = &checkpointer;
+
+  CoupledSimulation sim(machine, models_.model, models_.truth, cfg);
+  const ResumeReport resume = resume_coupled(sim, dir, config_fp);
+  if (resume.resumed) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // On the first attempt of this process the checkpoint must have come
+    // from a previous daemon (crash recovery); later attempts resume
+    // in-process retries.
+    if (first_in_process) session.status.resumed = true;
+    session.status.intervals_done = static_cast<int>(resume.step);
+    bump_locked("server.resumes");
+  }
+
+  for (int i = sim.interval(); i < spec.intervals; ++i) {
+    const IntervalReport report = sim.advance();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    SessionEvent event;
+    event.seq = session.events.size();
+    event.interval = report.interval;
+    event.chosen = report.realloc.chosen;
+    event.exec_seconds = report.realloc.committed.actual_exec;
+    event.redist_seconds = report.realloc.committed.actual_redist;
+    event.moved_bytes = report.workload_traffic.total_bytes;
+    event.inserted = static_cast<int>(report.diff.inserted.size());
+    event.deleted = static_cast<int>(report.diff.deleted.size());
+    event.retained = static_cast<int>(report.diff.retained.size());
+    session.events.push_back(std::move(event));
+    session.status.intervals_done = sim.interval();
+    session.status.next_event_seq = session.events.size();
+    events_cv_.notify_all();
+  }
+  checkpointer.checkpoint_now(sim);
+  return sim.state_fingerprint();
+}
+
+void SessionSupervisor::run_session(Session& session) {
+  std::uint64_t id = 0;
+  int start_attempt = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    id = session.status.id;
+    start_attempt = session.status.attempts;
+  }
+  std::string last_error;
+  for (int attempt = start_attempt + 1;; ++attempt) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      session.status.attempts = attempt;
+    }
+    journal_.started(id, attempt);
+    try {
+      const std::uint64_t fingerprint =
+          run_attempt(session, attempt == start_attempt + 1);
+      int intervals_done = 0;
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        intervals_done = session.status.intervals_done;
+      }
+      journal_.finished(id, fingerprint, intervals_done);
+      const std::lock_guard<std::mutex> lock(mutex_);
+      session.status.state = SessionState::kDone;
+      session.status.fingerprint = fingerprint;
+      bump_locked("server.completed");
+      events_cv_.notify_all();
+      return;
+    } catch (const CancelledError& e) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      switch (session.cancel_kind) {
+        case CancelKind::kClient:
+          journal_.cancelled(id, e.what());
+          session.status.state = SessionState::kCancelled;
+          session.status.error = e.what();
+          bump_locked("server.cancelled");
+          break;
+        case CancelKind::kShutdown:
+          // Deliberately no journal record: the next daemon's recovery
+          // requeues this session exactly as after a crash.
+          session.status.state = SessionState::kInterrupted;
+          break;
+        case CancelKind::kNone:  // the session's own deadline
+          journal_.failed(id, e.what());
+          session.status.state = SessionState::kFailed;
+          session.status.error = e.what();
+          bump_locked("server.deadline_failures");
+          break;
+      }
+      events_cv_.notify_all();
+      return;
+    } catch (const std::exception& e) {
+      last_error = e.what();
+    }
+
+    if (attempt - start_attempt >= limits_.max_attempts) {
+      journal_.quarantined(id, last_error);
+      const std::lock_guard<std::mutex> lock(mutex_);
+      session.status.state = SessionState::kQuarantined;
+      session.status.error = last_error;
+      bump_locked("server.quarantined");
+      events_cv_.notify_all();
+      return;
+    }
+
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      bump_locked("server.retries");
+    }
+    // Cancellable exponential backoff (the same shape as
+    // SweepRunner::run_supervised): first retry sleeps backoff_seconds,
+    // doubling after. A deadline or cancel during the sleep wakes early.
+    const double backoff =
+        std::ldexp(limits_.backoff_seconds, attempt - start_attempt - 1);
+    if (backoff > 0.0 && !session.token.wait_for(backoff)) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      switch (session.cancel_kind) {
+        case CancelKind::kClient:
+          journal_.cancelled(id, "cancelled during retry backoff");
+          session.status.state = SessionState::kCancelled;
+          session.status.error = "cancelled during retry backoff";
+          bump_locked("server.cancelled");
+          break;
+        case CancelKind::kShutdown:
+          session.status.state = SessionState::kInterrupted;
+          break;
+        case CancelKind::kNone: {
+          const std::string error =
+              "session deadline expired during retry backoff (last error: " +
+              last_error + ")";
+          journal_.failed(id, error);
+          session.status.state = SessionState::kFailed;
+          session.status.error = error;
+          bump_locked("server.deadline_failures");
+          break;
+        }
+      }
+      events_cv_.notify_all();
+      return;
+    }
+  }
+}
+
+}  // namespace stormtrack

@@ -1,0 +1,224 @@
+#pragma once
+
+/// \file supervisor.hpp
+/// The stormtrackd session scheduler: bounded admission, worker lanes,
+/// per-session deadlines, supervised retries, and crash recovery.
+///
+/// SessionSupervisor lifts SweepRunner::run_supervised's semantics —
+/// deadline, bounded retries with exponential backoff, quarantine — from a
+/// batch runner into a long-lived multi-tenant service:
+///
+///   * **Admission control.** At most `max_active` sessions run at once
+///     (one worker lane each) and at most `max_queued` wait. A submit
+///     beyond both bounds is REJECTED_BUSY — the daemon's memory use is
+///     bounded by configuration, never by client behaviour.
+///   * **Graceful degradation.** When the queue is full, a submit with
+///     strictly higher priority sheds the lowest-priority queued session
+///     (terminal state `shed`, counted as `server.shed_sessions`) rather
+///     than rejecting important work because of unimportant work.
+///   * **Deadlines.** Each session gets a wall-clock budget (its spec's,
+///     else the server default) spanning all attempts and backoff sleeps.
+///     The budget is enforced twice over: the session's CancelToken is
+///     armed per attempt, and a watchdog thread sweeps running sessions to
+///     cancel any that outlived their budget.
+///   * **Supervised retries.** An attempt that throws is retried after
+///     cancellable exponential backoff, resuming from the session's latest
+///     checkpoint; `max_attempts` failures quarantine the session.
+///   * **Crash recovery.** Every lifecycle transition is journaled
+///     (serve/session_journal.hpp) and every session checkpoints into its
+///     own directory, so a daemon killed at any instant can be restarted:
+///     recover() requeues sessions the dead daemon left queued or running,
+///     and their resumed runs land on the same state fingerprint as
+///     uninterrupted ones.
+///
+/// Threading: public methods are safe from any thread. One mutex guards
+/// all session state; the simulation itself runs outside the lock (lanes
+/// only take it to publish events and state changes).
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "exec/cancel.hpp"
+#include "serve/session.hpp"
+#include "serve/session_journal.hpp"
+#include "util/metrics.hpp"
+
+namespace stormtrack {
+
+/// Service limits; every bound has a safe default.
+struct ServeLimits {
+  int max_active = 2;      ///< Concurrent running sessions (worker lanes).
+  int max_queued = 8;      ///< Waiting sessions before REJECTED_BUSY.
+  int max_attempts = 3;    ///< Attempts before quarantine.
+  double backoff_seconds = 0.05;  ///< First retry sleep; doubles after.
+  /// Default per-session wall-clock budget; 0 = unlimited. A spec's own
+  /// deadline_seconds (when > 0) takes precedence.
+  double session_deadline_seconds = 0.0;
+  int checkpoint_every = 1;  ///< Checkpoint cadence (intervals).
+  int checkpoint_keep = 3;   ///< Checkpoints retained per session.
+  double watchdog_period_seconds = 0.05;  ///< Deadline sweep cadence.
+  /// Threads for each running session's executor (candidate evaluation +
+  /// workload integration); 0 = serial. Lanes are the primary
+  /// parallelism, so the default keeps one core per session.
+  int executor_threads = 0;
+};
+
+class SessionSupervisor {
+ public:
+  enum class Admission : std::uint8_t {
+    kAccepted = 0,
+    kRejectedBusy = 1,  ///< Bounds hit and nothing to shed.
+    kInvalid = 2,       ///< Spec failed validation; reason says why.
+  };
+
+  struct SubmitResult {
+    Admission admission = Admission::kRejectedBusy;
+    std::uint64_t id = 0;  ///< Valid when accepted.
+    std::string reason;    ///< Valid when not accepted.
+    int active = 0;        ///< Running sessions at decision time.
+    int queued = 0;        ///< Queued sessions at decision time.
+  };
+
+  struct RecoveryReport {
+    int terminal = 0;  ///< Finished sessions recovered for reporting.
+    int requeued = 0;  ///< Queued/running sessions requeued to run again.
+  };
+
+  /// What wait_events() hands back.
+  struct EventBatch {
+    std::vector<SessionEvent> events;  ///< seq >= the requested from_seq.
+    bool terminal = false;             ///< Session reached a final state.
+    SessionStatus status;
+  };
+
+  /// Opens (or creates) the state directory: the lifecycle journal lives
+  /// at state_dir/sessions.stjl, per-session checkpoints under
+  /// state_dir/sessions/<id>/ck. Replays an existing journal; sessions
+  /// the previous daemon left unfinished surface as `interrupted` until
+  /// recover() requeues them.
+  SessionSupervisor(std::filesystem::path state_dir, ServeLimits limits);
+  ~SessionSupervisor();
+
+  SessionSupervisor(const SessionSupervisor&) = delete;
+  SessionSupervisor& operator=(const SessionSupervisor&) = delete;
+
+  /// Requeue every session the journal shows as unfinished (call before
+  /// start()). Safe on a fresh state directory (reports zeros).
+  RecoveryReport recover();
+
+  /// Spawn the worker lanes and the watchdog. Idempotent.
+  void start();
+
+  /// Graceful stop: cancels running sessions (they stop at the next
+  /// adaptation point, keeping their checkpoints and journal entries but
+  /// receiving *no* terminal journal record — the next daemon's recover()
+  /// requeues them exactly as after a crash), drains nothing, joins all
+  /// threads. Idempotent.
+  void stop();
+
+  /// Admission-controlled submission; see the class comment. Accepted
+  /// sessions are journaled before this returns.
+  [[nodiscard]] SubmitResult submit(const SessionSpec& spec);
+
+  /// Cancel a queued or running session (no-op past terminal). Returns
+  /// the status as of the request — a running session stops at its next
+  /// adaptation point, so the returned state may still be `running`.
+  /// Throws CheckError for unknown ids.
+  SessionStatus cancel(std::uint64_t id, const std::string& reason);
+
+  /// Throws CheckError for unknown ids.
+  [[nodiscard]] SessionStatus status(std::uint64_t id) const;
+
+  /// All sessions, ascending by id.
+  [[nodiscard]] std::vector<SessionStatus> list() const;
+
+  /// Block up to \p timeout_seconds for events of session \p id with
+  /// seq >= \p from_seq (or for the session to go terminal); returns
+  /// whatever is available. Throws CheckError for unknown ids.
+  [[nodiscard]] EventBatch wait_events(std::uint64_t id,
+                                       std::uint64_t from_seq,
+                                       double timeout_seconds) const;
+
+  /// Convenience for tests: block until \p id is terminal.
+  [[nodiscard]] SessionStatus wait_terminal(std::uint64_t id) const;
+
+  /// `server.*` counters (submitted, accepted, rejected_busy,
+  /// shed_sessions, completed, failed, quarantined, cancelled, retries,
+  /// deadline_failures, watchdog_cancels, recovered_sessions,
+  /// requeued_sessions, resumes). Snapshot copy.
+  [[nodiscard]] MetricsRegistry metrics() const;
+
+  [[nodiscard]] int active_count() const;
+  [[nodiscard]] int queued_count() const;
+  [[nodiscard]] const std::filesystem::path& state_dir() const {
+    return state_dir_;
+  }
+  [[nodiscard]] const ServeLimits& limits() const { return limits_; }
+
+ private:
+  /// Why a session's CancelToken tripped (guarded by mutex_); the lane
+  /// maps it to the terminal state.
+  enum class CancelKind : std::uint8_t {
+    kNone = 0,      ///< Token tripped by its own deadline.
+    kClient = 1,    ///< cancel() request → `cancelled`.
+    kShutdown = 2,  ///< stop() → `interrupted`, no journal record.
+  };
+
+  struct Session {
+    SessionStatus status;
+    std::vector<SessionEvent> events;  ///< events[i].seq == i.
+    CancelToken token;
+    CancelKind cancel_kind = CancelKind::kNone;
+    /// Wall-clock budget end, armed when the session first starts.
+    std::chrono::steady_clock::time_point deadline_at{};
+    bool deadline_armed = false;
+  };
+
+  void lane_loop();
+  void watchdog_loop();
+  /// Run one session to a terminal (or interrupted) state. Called by a
+  /// lane with mutex_ *not* held.
+  void run_session(Session& session);
+  /// One simulation attempt; returns the final fingerprint. Throws
+  /// CancelledError / CheckError like the underlying machinery.
+  /// \p first_in_process distinguishes a cross-daemon checkpoint resume
+  /// (reported as status.resumed) from an in-process retry resume.
+  std::uint64_t run_attempt(Session& session, bool first_in_process);
+
+  [[nodiscard]] std::filesystem::path checkpoint_dir(std::uint64_t id) const;
+  /// Pops the best queued session (highest priority, then lowest id);
+  /// returns null when the queue is empty. mutex_ held.
+  Session* pop_queued_locked();
+  void bump_locked(std::string_view counter, std::int64_t amount = 1);
+
+  std::filesystem::path state_dir_;
+  ServeLimits limits_;
+  const ModelStack models_;  ///< Shared, const — thread-safe memo inside.
+
+  mutable std::mutex mutex_;
+  /// Signals lanes (queue/stop) and event waiters (events/terminal).
+  mutable std::condition_variable work_cv_;
+  mutable std::condition_variable events_cv_;
+  std::map<std::uint64_t, std::unique_ptr<Session>> sessions_;
+  std::vector<std::uint64_t> queue_;  ///< Queued session ids, FIFO.
+  std::uint64_t next_id_ = 1;
+  bool stopping_ = false;
+  bool started_ = false;
+  MetricsRegistry metrics_;
+
+  SessionJournal journal_;
+  std::vector<std::thread> lanes_;
+  std::thread watchdog_;
+};
+
+}  // namespace stormtrack

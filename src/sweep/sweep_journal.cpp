@@ -5,14 +5,7 @@
 
 #include "util/binary_io.hpp"
 #include "ckpt/codec.hpp"
-#include "ckpt/crc32.hpp"
-#include "util/atomic_file.hpp"
 #include "util/check.hpp"
-
-#if defined(__unix__) || defined(__APPLE__)
-#include <unistd.h>
-#define STORMTRACK_JOURNAL_HAVE_FSYNC 1
-#endif
 
 namespace stormtrack {
 
@@ -57,136 +50,32 @@ std::pair<std::size_t, SweepCaseResult> get_case(BinaryReader& r) {
   return {case_index, std::move(result)};
 }
 
-void sync_file(std::FILE* f) {
-  ST_CHECK_MSG(std::fflush(f) == 0, "journal flush failed");
-#ifdef STORMTRACK_JOURNAL_HAVE_FSYNC
-  ST_CHECK_MSG(::fsync(::fileno(f)) == 0, "journal fsync failed");
-#endif
-}
-
 }  // namespace
 
 SweepJournal::SweepJournal(std::filesystem::path path,
                            std::uint64_t spec_fingerprint,
                            std::size_t num_cases, bool resume)
-    : path_(std::move(path)), spec_fingerprint_(spec_fingerprint) {
-  ST_CHECK_MSG(!path_.empty(), "journal path is empty");
-  if (path_.has_parent_path())
-    std::filesystem::create_directories(path_.parent_path());
-  if (resume && std::filesystem::exists(path_))
-    open_resume(num_cases);
-  else
-    open_fresh();
-}
-
-SweepJournal::~SweepJournal() {
-  if (file_ != nullptr) std::fclose(file_);
-}
-
-void SweepJournal::open_fresh() {
-  file_ = std::fopen(path_.string().c_str(), "wb");
-  ST_CHECK_MSG(file_ != nullptr,
-               "cannot create journal " << path_.string());
-  BinaryWriter header;
-  header.put_u32(kJournalMagic);
-  header.put_u32(kJournalVersion);
-  header.put_u64(spec_fingerprint_);
-  const std::vector<std::byte>& bytes = header.bytes();
-  ST_CHECK_MSG(
-      std::fwrite(bytes.data(), 1, bytes.size(), file_) == bytes.size(),
-      "cannot write journal header to " << path_.string());
-  sync_file(file_);
-}
-
-void SweepJournal::open_resume(std::size_t num_cases) {
-  const std::vector<std::byte> bytes = read_file_bytes(path_);
-  constexpr std::size_t kHeaderSize = 4 + 4 + 8;
-  if (bytes.size() < kHeaderSize) {
-    // The process died before the very first header sync completed; there
-    // is nothing to replay.
-    ++torn_dropped_;
-    open_fresh();
-    return;
-  }
-  BinaryReader r({bytes.data(), bytes.size()});
-  const std::uint32_t magic = r.get_u32("journal magic");
-  ST_CHECK_MSG(magic == kJournalMagic,
-               path_.string() << " is not a sweep journal (bad magic 0x"
-                              << std::hex << magic << std::dec << ")");
-  const std::uint32_t version = r.get_u32("journal version");
-  ST_CHECK_MSG(version == kJournalVersion,
-               "unsupported journal version " << version << " in "
-                                              << path_.string());
-  const std::uint64_t fingerprint = r.get_u64("journal spec fingerprint");
-  ST_CHECK_MSG(fingerprint == spec_fingerprint_,
-               "journal " << path_.string()
-                          << " was written by a different sweep spec "
-                             "(fingerprint mismatch) — refusing to resume "
-                             "the wrong grid");
-
-  // Replay records until the first torn or corrupt one; everything from
-  // there on is dropped (after a SIGKILL only the final record can be
-  // torn, so this loses at most the case that was mid-append).
-  std::size_t valid_end = r.offset();
-  while (!r.exhausted()) {
-    bool ok = false;
-    std::size_t index = 0;
-    SweepCaseResult result;
-    try {
-      const std::uint32_t size = r.get_u32("record size");
-      const std::span<const std::byte> payload =
-          r.get_bytes(size, "record payload");
-      const std::uint32_t stored_crc = r.get_u32("record CRC");
-      if (stored_crc == crc32(payload)) {
-        BinaryReader rec(payload);
-        auto [decoded_index, decoded_result] = get_case(rec);
-        ST_CHECK_MSG(rec.exhausted(),
-                     "journal record has trailing bytes");
-        index = decoded_index;
-        result = std::move(decoded_result);
-        ok = true;
-      }
-    } catch (const CheckError&) {
-      ok = false;
-    }
-    if (!ok) {
-      ++torn_dropped_;
-      break;
-    }
-    // A record that decodes cleanly but names a case outside the grid is
-    // not a torn tail — it is the wrong journal. Fail loudly.
-    ST_CHECK_MSG(index < num_cases,
-                 "journal record names case "
-                     << index << " but the sweep has only " << num_cases
-                     << " cases — journal does not match this spec");
-    replayed_[index] = std::move(result);
-    valid_end = r.offset();
-  }
-  if (valid_end < bytes.size())
-    std::filesystem::resize_file(path_, valid_end);
-
-  file_ = std::fopen(path_.string().c_str(), "ab");
-  ST_CHECK_MSG(file_ != nullptr,
-               "cannot reopen journal " << path_.string()
-                                        << " for appending");
-}
+    : log_(std::move(path),
+           FramedLog::Format{kJournalMagic, kJournalVersion, spec_fingerprint,
+                             "sweep journal"},
+           resume, [this, num_cases](BinaryReader& rec) {
+             auto [index, result] = get_case(rec);
+             // A record that decodes cleanly but names a case outside the
+             // grid is not a torn tail — it is the wrong journal. Fail
+             // loudly.
+             ST_CHECK_MSG(index < num_cases,
+                          "journal record names case "
+                              << index << " but the sweep has only "
+                              << num_cases
+                              << " cases — journal does not match this spec");
+             replayed_[index] = std::move(result);
+           }) {}
 
 void SweepJournal::append(std::size_t case_index,
                           const SweepCaseResult& result) {
   BinaryWriter payload;
   put_case(payload, case_index, result);
-  BinaryWriter framed;
-  framed.put_u32(static_cast<std::uint32_t>(payload.size()));
-  framed.put_bytes(payload.bytes());
-  framed.put_u32(crc32(payload.bytes()));
-  const std::vector<std::byte>& bytes = framed.bytes();
-
-  const std::lock_guard<std::mutex> lock(mutex_);
-  ST_CHECK_MSG(
-      std::fwrite(bytes.data(), 1, bytes.size(), file_) == bytes.size(),
-      "cannot append to journal " << path_.string());
-  sync_file(file_);
-  ++appends_;
+  log_.append(payload.bytes());
 }
 
 }  // namespace stormtrack

@@ -22,11 +22,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <cstdio>
 #include <filesystem>
 #include <map>
-#include <mutex>
 
+#include "ckpt/framed_log.hpp"
 #include "sweep/sweep_runner.hpp"
 
 namespace stormtrack {
@@ -46,7 +45,6 @@ class SweepJournal {
   /// \p num_cases.
   SweepJournal(std::filesystem::path path, std::uint64_t spec_fingerprint,
                std::size_t num_cases, bool resume);
-  ~SweepJournal();
 
   SweepJournal(const SweepJournal&) = delete;
   SweepJournal& operator=(const SweepJournal&) = delete;
@@ -59,26 +57,22 @@ class SweepJournal {
 
   /// Torn/corrupt records dropped from the tail at open (0 or 1 after a
   /// kill; more only for external corruption).
-  [[nodiscard]] int torn_records_dropped() const { return torn_dropped_; }
+  [[nodiscard]] int torn_records_dropped() const {
+    return log_.torn_records_dropped();
+  }
 
-  [[nodiscard]] int appends() const { return appends_; }
-  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+  [[nodiscard]] int appends() const { return log_.appends(); }
+  [[nodiscard]] const std::filesystem::path& path() const {
+    return log_.path();
+  }
 
   /// Append one completed case; the record is flushed and fsync'd before
   /// returning. Thread-safe (workers append as their cases finish).
   void append(std::size_t case_index, const SweepCaseResult& result);
 
  private:
-  void open_fresh();
-  void open_resume(std::size_t num_cases);
-
-  std::filesystem::path path_;
-  std::uint64_t spec_fingerprint_;
-  std::FILE* file_ = nullptr;
-  std::mutex mutex_;
   std::map<std::size_t, SweepCaseResult> replayed_;
-  int torn_dropped_ = 0;
-  int appends_ = 0;
+  FramedLog log_;
 };
 
 }  // namespace stormtrack

@@ -1,13 +1,11 @@
 #include "sweep/sweep_runner.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <limits>
 #include <memory>
 #include <sstream>
-#include <thread>
 #include <unordered_set>
 #include <utility>
 
@@ -232,24 +230,35 @@ SweepRunReport SweepRunner::run_supervised(const SweepSpec& spec) const {
     SweepCaseResult& r = results[i];
     CaseCounters& c = counters[i];
     std::string last_error;
+    CancelToken token;
     for (int attempt = 1; attempt <= sup.max_attempts; ++attempt) {
       c.attempts = attempt;
+      // Each attempt gets a fresh deadline, armed before the retry backoff
+      // that precedes it: the backoff sleep is cancellable against that
+      // deadline, so a deadline shorter than the backoff wakes promptly and
+      // quarantines the case once instead of oversleeping the budget (and
+      // the attempt the sleep belonged to is charged exactly one deadline
+      // hit, never one for the sleep plus one for the doomed attempt).
+      token.reset();
+      if (sup.case_deadline_seconds > 0.0)
+        token.set_deadline_after(sup.case_deadline_seconds);
       if (attempt > 1) {
         ++c.retries;
-        std::this_thread::sleep_for(std::chrono::duration<double>(
-            std::ldexp(sup.backoff_seconds, attempt - 2)));
+        const double backoff = std::ldexp(sup.backoff_seconds, attempt - 2);
+        if (backoff > 0.0 && !token.wait_for(backoff)) {
+          ++c.deadline_hits;
+          last_error = "case deadline expired during retry backoff";
+          break;
+        }
       }
       // Each attempt starts from scratch: a fresh injector (attempt state
-      // must not leak across retries) and a fresh cancel token.
+      // must not leak across retries).
       std::unique_ptr<FaultInjector> injector;
       ManagerConfig config = case_config;
       if (spec.fault_plan != nullptr) {
         injector = std::make_unique<FaultInjector>(*spec.fault_plan);
         config.injector = injector.get();
       }
-      CancelToken token;
-      if (sup.case_deadline_seconds > 0.0)
-        token.set_deadline_after(sup.case_deadline_seconds);
       config.cancel = &token;
       try {
         r.result = run_case(spec, machines, *model_, *truth_, r, config);
@@ -267,8 +276,10 @@ SweepRunReport SweepRunner::run_supervised(const SweepSpec& spec) const {
     }
     // Quarantine: report the failure in the slot, keep the sweep alive.
     // Deliberately not journaled — a resume re-attempts quarantined cases.
+    // attempts reports what was actually consumed: a deadline expiring
+    // during a backoff sleep forfeits the remaining attempts.
     r.status = SweepCaseStatus::kQuarantined;
-    r.attempts = sup.max_attempts;
+    r.attempts = c.attempts;
     r.error = last_error;
     r.result = TraceRunResult{};
     c.quarantined = true;

@@ -33,6 +33,10 @@ std::filesystem::path temp_sibling(const std::filesystem::path& path) {
           std::to_string(n));
 }
 
+std::atomic<std::uint64_t> g_files_written{0};
+std::atomic<std::uint64_t> g_file_syncs{0};
+std::atomic<std::uint64_t> g_dir_syncs{0};
+
 /// fsync an open file by path (no-op on platforms without fsync).
 void sync_path(const std::filesystem::path& path, bool directory) {
 #if STORMTRACK_HAVE_FSYNC
@@ -42,7 +46,10 @@ void sync_path(const std::filesystem::path& path, bool directory) {
   // still atomic, only its durability ordering is weakened — not worth
   // failing the write over.
   if (fd < 0) return;
-  ::fsync(fd);
+  if (::fsync(fd) == 0) {
+    (directory ? g_dir_syncs : g_file_syncs)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
   ::close(fd);
 #else
   (void)path;
@@ -86,6 +93,15 @@ void write_file_atomic(const std::filesystem::path& path,
       path.parent_path().empty() ? std::filesystem::path(".")
                                  : path.parent_path();
   sync_path(dir, /*directory=*/true);
+  g_files_written.fetch_add(1, std::memory_order_relaxed);
+}
+
+AtomicFileCounters atomic_file_counters() {
+  AtomicFileCounters c;
+  c.files_written = g_files_written.load(std::memory_order_relaxed);
+  c.file_syncs = g_file_syncs.load(std::memory_order_relaxed);
+  c.dir_syncs = g_dir_syncs.load(std::memory_order_relaxed);
+  return c;
 }
 
 void write_file_atomic(const std::filesystem::path& path,

@@ -21,6 +21,7 @@
 /// as needed.
 
 #include <cstddef>
+#include <cstdint>
 #include <filesystem>
 #include <span>
 #include <string>
@@ -28,6 +29,20 @@
 #include <vector>
 
 namespace stormtrack {
+
+/// Process-wide counters for the durability protocol above. Monotonic
+/// since process start; read them before and after an operation and diff.
+/// They exist so tests (and post-mortem debugging) can prove the fsync
+/// steps actually ran — a silently skipped step 2 or 4 still "works" until
+/// the first power loss, which is exactly when it must not.
+struct AtomicFileCounters {
+  std::uint64_t files_written = 0;  ///< completed write_file_atomic calls
+  std::uint64_t file_syncs = 0;     ///< step 2: temp-file fsync succeeded
+  std::uint64_t dir_syncs = 0;      ///< step 4: directory fsync succeeded
+};
+
+/// Snapshot of the process-wide counters (thread-safe, relaxed reads).
+[[nodiscard]] AtomicFileCounters atomic_file_counters();
 
 /// Atomically replace \p path with \p bytes (see file comment). Throws
 /// CheckError on any I/O failure; the destination is untouched on failure.

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
+#include <thread>
 
 namespace stormtrack {
 namespace {
@@ -46,6 +48,61 @@ TEST(CancelToken, ResetClearsCancellationAndDeadline) {
   token.reset();
   EXPECT_FALSE(token.cancelled());
   EXPECT_NO_THROW(token.check());
+}
+
+TEST(CancelToken, WaitForCompletesWhenUntripped) {
+  CancelToken token;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(token.wait_for(0.02));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GE(elapsed, 0.02);
+}
+
+TEST(CancelToken, WaitForWakesEarlyOnCancel) {
+  CancelToken token;
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    token.cancel("wake up");
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  // A full hour of backoff, interrupted after ~20 ms: false means
+  // "cancelled", and the sleeper must not have served the hour.
+  EXPECT_FALSE(token.wait_for(3600.0));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed, 60.0);
+  canceller.join();
+}
+
+TEST(CancelToken, WaitForReturnsImmediatelyWhenAlreadyTripped) {
+  CancelToken token;
+  token.set_deadline_after(0.0);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(token.wait_for(3600.0));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed, 60.0);
+  EXPECT_TRUE(token.deadline_exceeded());
+}
+
+TEST(CancelToken, WaitForWakesAtTheDeadlineMidSleep) {
+  CancelToken token;
+  token.set_deadline_after(0.02);
+  // The deadline lands inside the sleep: wait_for must wake there, not at
+  // the requested duration.
+  EXPECT_FALSE(token.wait_for(3600.0));
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelToken, SignalSafeCancelIsSeenByPollers) {
+  CancelToken token;
+  token.cancel_from_signal();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_THROW(token.check(), CancelledError);
 }
 
 TEST(CancelToken, CancelledErrorIsNotACheckError) {

@@ -1,0 +1,289 @@
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ckpt/crc32.hpp"
+#include "serve/session.hpp"
+#include "util/check.hpp"
+
+namespace stormtrack {
+namespace {
+
+/// A connected AF_UNIX stream pair; [0] and [1] are the two ends.
+class SocketPair {
+ public:
+  SocketPair() {
+    int fds[2] = {-1, -1};
+    ST_CHECK(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0);
+    a_ = fds[0];
+    b_ = fds[1];
+  }
+  ~SocketPair() {
+    close_fd(a_);
+    close_fd(b_);
+  }
+  [[nodiscard]] int a() const { return a_; }
+  [[nodiscard]] int b() const { return b_; }
+  void close_a() {
+    close_fd(a_);
+    a_ = -1;
+  }
+
+ private:
+  int a_ = -1;
+  int b_ = -1;
+};
+
+TEST(ProtocolFrameTest, RoundTripsTypedPayloads) {
+  SocketPair pair;
+  BinaryWriter payload;
+  payload.put_u64(42);
+  payload.put_string("hello");
+  send_frame(pair.a(), MsgType::kSubmit, payload);
+  send_frame(pair.a(), MsgType::kList);  // empty payload
+
+  std::optional<Frame> first = recv_frame(pair.b());
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->type, MsgType::kSubmit);
+  BinaryReader r = first->reader();
+  EXPECT_EQ(r.get_u64("x"), 42u);
+  EXPECT_EQ(r.get_string("s"), "hello");
+
+  std::optional<Frame> second = recv_frame(pair.b());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->type, MsgType::kList);
+  EXPECT_TRUE(second->payload.empty());
+}
+
+TEST(ProtocolFrameTest, CleanEofBetweenFramesReturnsNullopt) {
+  SocketPair pair;
+  send_frame(pair.a(), MsgType::kHello, BinaryWriter{});
+  pair.close_a();
+  EXPECT_TRUE(recv_frame(pair.b()).has_value());
+  EXPECT_FALSE(recv_frame(pair.b()).has_value());
+}
+
+TEST(ProtocolFrameTest, CorruptedPayloadFailsCrc) {
+  SocketPair pair;
+  // Build a valid frame by hand, then flip one payload bit.
+  BinaryWriter body;
+  body.put_u64(7);
+  BinaryWriter wire;
+  wire.put_u32(kFrameMagic);
+  wire.put_u8(static_cast<std::uint8_t>(MsgType::kStatus));
+  wire.put_u32(8);
+  std::vector<std::byte> bytes(wire.bytes().begin(), wire.bytes().end());
+  auto payload = body.bytes();
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  bytes[bytes.size() - 1] ^= std::byte{0x01};
+  const std::byte type_byte{static_cast<std::uint8_t>(MsgType::kStatus)};
+  std::uint32_t crc = crc32_update(0, {&type_byte, 1});
+  crc = crc32_update(crc, payload);  // CRC of the *uncorrupted* payload
+  BinaryWriter tail;
+  tail.put_u32(crc);
+  bytes.insert(bytes.end(), tail.bytes().begin(), tail.bytes().end());
+  ASSERT_EQ(::send(pair.a(), bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+  try {
+    (void)recv_frame(pair.b());
+    FAIL() << "corrupted frame was accepted";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos);
+  }
+}
+
+TEST(ProtocolFrameTest, BadMagicIsRejected) {
+  SocketPair pair;
+  BinaryWriter wire;
+  wire.put_u32(0xDEADBEEFu);
+  wire.put_u8(1);
+  wire.put_u32(0);
+  auto bytes = wire.bytes();
+  ASSERT_EQ(::send(pair.a(), bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+  EXPECT_THROW((void)recv_frame(pair.b()), CheckError);
+}
+
+TEST(ProtocolFrameTest, OversizedFrameIsRejectedWithoutAllocating) {
+  SocketPair pair;
+  BinaryWriter wire;
+  wire.put_u32(kFrameMagic);
+  wire.put_u8(1);
+  wire.put_u32(kMaxFramePayload + 1);  // liar: no such payload follows
+  auto bytes = wire.bytes();
+  ASSERT_EQ(::send(pair.a(), bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+  try {
+    (void)recv_frame(pair.b());
+    FAIL() << "oversized frame was accepted";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("limit"), std::string::npos);
+  }
+}
+
+TEST(ProtocolFrameTest, EofMidFrameThrows) {
+  SocketPair pair;
+  BinaryWriter wire;
+  wire.put_u32(kFrameMagic);
+  wire.put_u8(1);
+  wire.put_u32(100);  // promises 100 payload bytes, delivers none
+  auto bytes = wire.bytes();
+  ASSERT_EQ(::send(pair.a(), bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+  pair.close_a();
+  EXPECT_THROW((void)recv_frame(pair.b()), CheckError);
+}
+
+TEST(SessionCodecTest, SpecRoundTrips) {
+  SessionSpec spec;
+  spec.machine = "dragonfly";
+  spec.cores = 512;
+  spec.strategy = "dynamic";
+  spec.workload = "particles";
+  spec.intervals = 17;
+  spec.seed = 0xFEEDFACEull;
+  spec.priority = -3;
+  spec.deadline_seconds = 2.5;
+  BinaryWriter w;
+  put_session_spec(w, spec);
+  BinaryReader r(w.bytes());
+  const SessionSpec back = get_session_spec(r);
+  EXPECT_EQ(back.machine, spec.machine);
+  EXPECT_EQ(back.cores, spec.cores);
+  EXPECT_EQ(back.strategy, spec.strategy);
+  EXPECT_EQ(back.workload, spec.workload);
+  EXPECT_EQ(back.intervals, spec.intervals);
+  EXPECT_EQ(back.seed, spec.seed);
+  EXPECT_EQ(back.priority, spec.priority);
+  EXPECT_EQ(back.deadline_seconds, spec.deadline_seconds);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(SessionCodecTest, StatusAndEventRoundTrip) {
+  SessionStatus status;
+  status.id = 9;
+  status.state = SessionState::kQuarantined;
+  status.attempts = 3;
+  status.intervals_done = 12;
+  status.next_event_seq = 40;
+  status.fingerprint = 0xABCDull;
+  status.resumed = true;
+  status.error = "it broke";
+  BinaryWriter w;
+  put_session_status(w, status);
+  BinaryReader r(w.bytes());
+  const SessionStatus back = get_session_status(r);
+  EXPECT_EQ(back.id, 9u);
+  EXPECT_EQ(back.state, SessionState::kQuarantined);
+  EXPECT_EQ(back.attempts, 3);
+  EXPECT_EQ(back.intervals_done, 12);
+  EXPECT_EQ(back.next_event_seq, 40u);
+  EXPECT_EQ(back.fingerprint, 0xABCDull);
+  EXPECT_TRUE(back.resumed);
+  EXPECT_EQ(back.error, "it broke");
+
+  SessionEvent event;
+  event.seq = 5;
+  event.interval = 4;
+  event.chosen = "diffusion";
+  event.exec_seconds = 1.25;
+  event.redist_seconds = 0.5;
+  event.moved_bytes = 1 << 20;
+  event.inserted = 1;
+  event.deleted = 2;
+  event.retained = 3;
+  BinaryWriter ew;
+  put_session_event(ew, event);
+  BinaryReader er(ew.bytes());
+  const SessionEvent eback = get_session_event(er);
+  EXPECT_EQ(eback.seq, 5u);
+  EXPECT_EQ(eback.interval, 4);
+  EXPECT_EQ(eback.chosen, "diffusion");
+  EXPECT_EQ(eback.exec_seconds, 1.25);
+  EXPECT_EQ(eback.moved_bytes, 1 << 20);
+  EXPECT_EQ(eback.retained, 3);
+}
+
+TEST(SessionSpecValidationTest, DefaultSpecIsValid) {
+  EXPECT_TRUE(session_spec_problems(SessionSpec{}).empty());
+}
+
+TEST(SessionSpecValidationTest, EveryProblemIsNamed) {
+  SessionSpec spec;
+  spec.machine = "myrinet";
+  spec.strategy = "telepathy";
+  spec.workload = "voxels";
+  spec.cores = 0;
+  spec.intervals = -1;
+  spec.deadline_seconds = -2.0;
+  const std::vector<std::string> problems = session_spec_problems(spec);
+  EXPECT_EQ(problems.size(), 6u);
+  EXPECT_NE(problems[0].find("myrinet"), std::string::npos);
+  EXPECT_NE(problems[1].find("telepathy"), std::string::npos);
+  EXPECT_NE(problems[2].find("voxels"), std::string::npos);
+}
+
+TEST(SessionStateTest, TerminalityMatchesTheStateMachine) {
+  EXPECT_FALSE(is_terminal(SessionState::kQueued));
+  EXPECT_FALSE(is_terminal(SessionState::kRunning));
+  EXPECT_FALSE(is_terminal(SessionState::kInterrupted));
+  EXPECT_TRUE(is_terminal(SessionState::kDone));
+  EXPECT_TRUE(is_terminal(SessionState::kFailed));
+  EXPECT_TRUE(is_terminal(SessionState::kQuarantined));
+  EXPECT_TRUE(is_terminal(SessionState::kCancelled));
+  EXPECT_TRUE(is_terminal(SessionState::kShed));
+}
+
+TEST(UnixSocketTest, ListenConnectAndReplaceStaleSocket) {
+  namespace fs = std::filesystem;
+  const fs::path path =
+      fs::temp_directory_path() /
+      ("st_proto_" + std::to_string(::getpid()) + ".sock");
+  const int listener = listen_unix(path, 4);
+  ASSERT_GE(listener, 0);
+
+  std::thread server([&] {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    ASSERT_GE(conn, 0);
+    std::optional<Frame> frame = recv_frame(conn);
+    ASSERT_TRUE(frame.has_value());
+    send_frame(conn, MsgType::kHelloOk, BinaryWriter{});
+    close_fd(conn);
+  });
+  const int client = connect_unix(path);
+  send_frame(client, MsgType::kHello, BinaryWriter{});
+  EXPECT_TRUE(recv_frame(client).has_value());
+  close_fd(client);
+  server.join();
+  close_fd(listener);
+
+  // Rebinding over the dead socket file must succeed (daemon restart
+  // after SIGKILL leaves one behind).
+  const int again = listen_unix(path, 4);
+  EXPECT_GE(again, 0);
+  close_fd(again);
+  fs::remove(path);
+}
+
+TEST(UnixSocketTest, ConnectToNothingMentionsThePath) {
+  try {
+    (void)connect_unix("/tmp/st-no-such-daemon.sock");
+    FAIL() << "connect to nothing succeeded";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("st-no-such-daemon"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace stormtrack

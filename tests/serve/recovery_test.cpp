@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "serve/supervisor.hpp"
+#include "util/check.hpp"
+
+namespace stormtrack {
+namespace {
+
+namespace fs = std::filesystem;
+using Admission = SessionSupervisor::Admission;
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("st_recover_" + std::string(::testing::UnitTest::GetInstance()
+                                            ->current_test_info()
+                                            ->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  static SessionSpec spec(int intervals, std::uint64_t seed = 33) {
+    SessionSpec s;
+    s.cores = 256;
+    s.intervals = intervals;
+    s.seed = seed;
+    return s;
+  }
+
+  static void wait_progress(const SessionSupervisor& supervisor,
+                            std::uint64_t id, int intervals) {
+    while (supervisor.status(id).intervals_done < intervals) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+
+  fs::path dir_;
+};
+
+/// The headline robustness guarantee: a daemon that dies mid-session and
+/// restarts on the same state directory finishes the session with the
+/// *same state fingerprint* as a daemon that was never interrupted.
+TEST_F(RecoveryTest, InterruptedSessionResumesFingerprintIdentical) {
+  constexpr int kIntervals = 8;
+
+  // Reference: an uninterrupted run of the same spec.
+  std::uint64_t reference_fingerprint = 0;
+  {
+    SessionSupervisor supervisor(dir_ / "reference", ServeLimits{});
+    supervisor.start();
+    const auto submit = supervisor.submit(spec(kIntervals));
+    ASSERT_EQ(submit.admission, Admission::kAccepted);
+    const SessionStatus done = supervisor.wait_terminal(submit.id);
+    ASSERT_EQ(done.state, SessionState::kDone);
+    reference_fingerprint = done.fingerprint;
+    supervisor.stop();
+  }
+
+  const fs::path state = dir_ / "state";
+  std::uint64_t id = 0;
+  {
+    // Life 1: start the session, stop the daemon after a couple of
+    // intervals. stop() writes no terminal journal record for it —
+    // graceful stop and SIGKILL recover through the same path (the
+    // SIGKILL variant is exercised end-to-end by the daemon CI job).
+    SessionSupervisor supervisor(state, ServeLimits{});
+    supervisor.start();
+    const auto submit = supervisor.submit(spec(kIntervals));
+    ASSERT_EQ(submit.admission, Admission::kAccepted);
+    id = submit.id;
+    wait_progress(supervisor, id, 2);
+    supervisor.stop();
+    ASSERT_EQ(supervisor.status(id).state, SessionState::kInterrupted);
+  }
+
+  // Life 2: same state directory. The session surfaces as interrupted,
+  // recover() requeues it, and it resumes from its checkpoints.
+  SessionSupervisor supervisor(state, ServeLimits{});
+  ASSERT_EQ(supervisor.status(id).state, SessionState::kInterrupted);
+  const auto report = supervisor.recover();
+  EXPECT_EQ(report.requeued, 1);
+  EXPECT_EQ(report.terminal, 0);
+  EXPECT_EQ(supervisor.status(id).state, SessionState::kQueued);
+  supervisor.start();
+
+  const SessionStatus done = supervisor.wait_terminal(id);
+  EXPECT_EQ(done.state, SessionState::kDone);
+  EXPECT_TRUE(done.resumed);
+  EXPECT_GE(done.attempts, 2);
+  EXPECT_EQ(done.intervals_done, kIntervals);
+  EXPECT_EQ(done.fingerprint, reference_fingerprint);
+  supervisor.stop();
+}
+
+TEST_F(RecoveryTest, QueuedSessionsSurviveRestartsToo) {
+  ServeLimits limits;
+  limits.max_active = 1;
+  std::uint64_t running_id = 0;
+  std::uint64_t queued_id = 0;
+  {
+    SessionSupervisor supervisor(dir_, limits);
+    supervisor.start();
+    const auto running = supervisor.submit(spec(10000, 1));
+    const auto queued = supervisor.submit(spec(3, 2));
+    ASSERT_EQ(running.admission, Admission::kAccepted);
+    ASSERT_EQ(queued.admission, Admission::kAccepted);
+    running_id = running.id;
+    queued_id = queued.id;
+    wait_progress(supervisor, running_id, 1);
+    ASSERT_EQ(supervisor.status(queued_id).state, SessionState::kQueued);
+    supervisor.stop();
+  }
+
+  SessionSupervisor supervisor(dir_, limits);
+  const auto report = supervisor.recover();
+  EXPECT_EQ(report.requeued, 2);
+  supervisor.start();
+  // Cancel the long one so the test ends promptly; the short queued one
+  // must run to completion in its second daemon life.
+  (void)supervisor.cancel(running_id, "test over");
+  const SessionStatus queued_done = supervisor.wait_terminal(queued_id);
+  EXPECT_EQ(queued_done.state, SessionState::kDone);
+  EXPECT_EQ(queued_done.intervals_done, 3);
+  const SessionStatus cancelled = supervisor.wait_terminal(running_id);
+  EXPECT_EQ(cancelled.state, SessionState::kCancelled);
+  supervisor.stop();
+}
+
+TEST_F(RecoveryTest, TerminalSessionsAreRememberedAndIdsContinue) {
+  std::uint64_t done_fingerprint = 0;
+  {
+    SessionSupervisor supervisor(dir_, ServeLimits{});
+    supervisor.start();
+    const auto submit = supervisor.submit(spec(3));
+    ASSERT_EQ(submit.admission, Admission::kAccepted);
+    EXPECT_EQ(submit.id, 1u);
+    done_fingerprint = supervisor.wait_terminal(submit.id).fingerprint;
+    supervisor.stop();
+  }
+
+  SessionSupervisor supervisor(dir_, ServeLimits{});
+  const auto report = supervisor.recover();
+  EXPECT_EQ(report.terminal, 1);
+  EXPECT_EQ(report.requeued, 0);
+  const SessionStatus remembered = supervisor.status(1);
+  EXPECT_EQ(remembered.state, SessionState::kDone);
+  EXPECT_EQ(remembered.fingerprint, done_fingerprint);
+  EXPECT_EQ(remembered.intervals_done, 3);
+
+  // New sessions continue the id sequence instead of recycling id 1.
+  supervisor.start();
+  const auto next = supervisor.submit(spec(2));
+  ASSERT_EQ(next.admission, Admission::kAccepted);
+  EXPECT_EQ(next.id, 2u);
+  (void)supervisor.wait_terminal(next.id);
+  supervisor.stop();
+}
+
+TEST_F(RecoveryTest, RecoverOnFreshDirectoryIsANoop) {
+  SessionSupervisor supervisor(dir_, ServeLimits{});
+  const auto report = supervisor.recover();
+  EXPECT_EQ(report.terminal, 0);
+  EXPECT_EQ(report.requeued, 0);
+}
+
+}  // namespace
+}  // namespace stormtrack

@@ -1,0 +1,184 @@
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "util/check.hpp"
+
+namespace stormtrack {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string name = std::string(::testing::UnitTest::GetInstance()
+                                             ->current_test_info()
+                                             ->name());
+    dir_ = fs::temp_directory_path() / ("st_server_" + name);
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    // Socket paths must fit sun_path (~107 chars): keep them short and
+    // keyed by pid so parallel ctest jobs never collide.
+    socket_ = fs::temp_directory_path() /
+              ("st_srv_" + std::to_string(::getpid()) + "_" +
+               std::to_string(counter_++) + ".sock");
+  }
+  void TearDown() override {
+    fs::remove_all(dir_);
+    std::error_code ignored;
+    fs::remove(socket_, ignored);
+  }
+
+  static SessionSpec spec(int intervals) {
+    SessionSpec s;
+    s.cores = 256;
+    s.intervals = intervals;
+    return s;
+  }
+
+  fs::path dir_;
+  fs::path socket_;
+  static int counter_;
+};
+
+int ServerTest::counter_ = 0;
+
+TEST_F(ServerTest, SubmitAttachAndReattachOverTheSocket) {
+  SessionSupervisor supervisor(dir_, ServeLimits{});
+  supervisor.start();
+  SessionServer server(supervisor, ServerConfig{.socket_path = socket_});
+  server.start();
+
+  ClientConnection client(socket_);
+  const auto reply = client.submit(spec(3));
+  ASSERT_TRUE(reply.accepted);
+  EXPECT_EQ(reply.id, 1u);
+
+  std::vector<SessionEvent> events;
+  const SessionStatus done = client.attach(
+      reply.id, 0, [&](const SessionEvent& e) { events.push_back(e); });
+  EXPECT_EQ(done.state, SessionState::kDone);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[2].interval, 2);
+  EXPECT_EQ(done.fingerprint, supervisor.status(reply.id).fingerprint);
+
+  // Detach/reattach: a *new* connection resumes the stream from any seq —
+  // including after the session finished.
+  ClientConnection second(socket_);
+  std::vector<SessionEvent> tail;
+  const SessionStatus again = second.attach(
+      reply.id, 1, [&](const SessionEvent& e) { tail.push_back(e); });
+  EXPECT_EQ(again.state, SessionState::kDone);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].seq, 1u);
+
+  const std::vector<SessionStatus> sessions = second.list();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].state, SessionState::kDone);
+
+  server.stop();
+  supervisor.stop();
+}
+
+TEST_F(ServerTest, RejectedBusyTravelsTheWire) {
+  ServeLimits limits;
+  limits.max_queued = 0;
+  SessionSupervisor supervisor(dir_, limits);  // not started: queue fills
+  SessionServer server(supervisor, ServerConfig{.socket_path = socket_});
+  server.start();
+
+  ClientConnection client(socket_);
+  const auto reply = client.submit(spec(2));
+  EXPECT_FALSE(reply.accepted);
+  EXPECT_NE(reply.reason.find("at capacity"), std::string::npos);
+  server.stop();
+}
+
+TEST_F(ServerTest, ErrorsForUnknownIdsAndInvalidSpecs) {
+  SessionSupervisor supervisor(dir_, ServeLimits{});
+  SessionServer server(supervisor, ServerConfig{.socket_path = socket_});
+  server.start();
+
+  ClientConnection client(socket_);
+  try {
+    (void)client.status(404);
+    FAIL() << "status for unknown id succeeded";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("404"), std::string::npos);
+  }
+
+  SessionSpec bad = spec(2);
+  bad.workload = "voxels";
+  try {
+    (void)client.submit(bad);
+    FAIL() << "invalid spec accepted";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("voxels"), std::string::npos);
+  }
+  server.stop();
+}
+
+TEST_F(ServerTest, GarbageOnOneConnectionDoesNotHurtOthers) {
+  SessionSupervisor supervisor(dir_, ServeLimits{});
+  SessionServer server(supervisor, ServerConfig{.socket_path = socket_});
+  server.start();
+
+  // A client that speaks nonsense gets dropped...
+  const int raw = connect_unix(socket_);
+  const char junk[] = "GET / HTTP/1.1\r\n\r\n";
+  ASSERT_GT(::send(raw, junk, sizeof(junk), 0), 0);
+  char buffer[64];
+  // ...the server closes on us (recv sees EOF eventually).
+  while (::recv(raw, buffer, sizeof(buffer), 0) > 0) {
+  }
+  close_fd(raw);
+
+  // ...and the daemon still serves well-formed clients.
+  ClientConnection client(socket_);
+  const auto reply = client.submit(spec(2));
+  EXPECT_TRUE(reply.accepted);
+  server.stop();
+  supervisor.stop();
+}
+
+TEST_F(ServerTest, ShutdownRequestIsObservable) {
+  SessionSupervisor supervisor(dir_, ServeLimits{});
+  SessionServer server(supervisor, ServerConfig{.socket_path = socket_});
+  server.start();
+  EXPECT_FALSE(server.shutdown_requested());
+  {
+    ClientConnection client(socket_);
+    client.shutdown_server();
+  }
+  EXPECT_TRUE(server.shutdown_requested());
+  server.wait_shutdown_requested();  // must not block
+  server.stop();
+}
+
+TEST_F(ServerTest, CancelOverTheWire) {
+  ServeLimits limits;
+  limits.max_active = 1;
+  SessionSupervisor supervisor(dir_, limits);  // not started: stays queued
+  SessionServer server(supervisor, ServerConfig{.socket_path = socket_});
+  server.start();
+
+  ClientConnection client(socket_);
+  const auto reply = client.submit(spec(2));
+  ASSERT_TRUE(reply.accepted);
+  const SessionStatus cancelled = client.cancel(reply.id);
+  EXPECT_EQ(cancelled.state, SessionState::kCancelled);
+  EXPECT_EQ(client.status(reply.id).state, SessionState::kCancelled);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace stormtrack

@@ -1,0 +1,160 @@
+#include "serve/session_journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SessionJournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("st_sjournal_" + std::string(::testing::UnitTest::GetInstance()
+                                             ->current_test_info()
+                                             ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    path_ = dir_ / "sessions.stjl";
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  SessionSpec spec(int intervals) {
+    SessionSpec s;
+    s.intervals = intervals;
+    return s;
+  }
+
+  fs::path dir_;
+  fs::path path_;
+};
+
+TEST_F(SessionJournalTest, ReplayFoldsEveryLifecycle) {
+  {
+    SessionJournal journal(path_, /*resume=*/false);
+    journal.submitted(1, spec(5));
+    journal.started(1, 1);
+    journal.finished(1, 0xF00Dull, 5);
+
+    journal.submitted(2, spec(9));
+    journal.started(2, 1);
+    journal.started(2, 2);
+    journal.quarantined(2, "kept breaking");
+
+    journal.submitted(3, spec(7));
+    journal.cancelled(3, "operator changed their mind");
+
+    journal.submitted(4, spec(3));
+    journal.shed(4);
+
+    journal.submitted(5, spec(4));
+    journal.started(5, 1);  // daemon dies here: no terminal record
+
+    journal.submitted(6, spec(2));  // never started
+
+    journal.submitted(7, spec(1));
+    journal.started(7, 1);
+    journal.failed(7, "deadline exceeded");
+    EXPECT_EQ(journal.appends(), 17);
+  }
+
+  SessionJournal journal(path_, /*resume=*/true);
+  const auto& replayed = journal.replayed();
+  ASSERT_EQ(replayed.size(), 7u);
+  EXPECT_EQ(journal.max_id(), 7u);
+  EXPECT_EQ(journal.torn_records_dropped(), 0);
+
+  EXPECT_EQ(replayed.at(1).state, SessionState::kDone);
+  EXPECT_EQ(replayed.at(1).fingerprint, 0xF00Dull);
+  EXPECT_EQ(replayed.at(1).intervals_done, 5);
+  EXPECT_EQ(replayed.at(1).spec.intervals, 5);
+
+  EXPECT_EQ(replayed.at(2).state, SessionState::kQuarantined);
+  EXPECT_EQ(replayed.at(2).attempts, 2);
+  EXPECT_EQ(replayed.at(2).error, "kept breaking");
+
+  EXPECT_EQ(replayed.at(3).state, SessionState::kCancelled);
+  EXPECT_EQ(replayed.at(4).state, SessionState::kShed);
+
+  // The two unfinished shapes recovery must requeue:
+  EXPECT_EQ(replayed.at(5).state, SessionState::kRunning);
+  EXPECT_EQ(replayed.at(5).attempts, 1);
+  EXPECT_EQ(replayed.at(6).state, SessionState::kQueued);
+
+  EXPECT_EQ(replayed.at(7).state, SessionState::kFailed);
+  EXPECT_EQ(replayed.at(7).error, "deadline exceeded");
+}
+
+TEST_F(SessionJournalTest, TornTailIsDroppedEarlierRecordsSurvive) {
+  {
+    SessionJournal journal(path_, false);
+    journal.submitted(1, spec(5));
+    journal.started(1, 1);
+    journal.finished(1, 0xBEEFull, 5);
+  }
+  // Chop a few bytes off the last record, as a crash mid-append would.
+  const auto size = fs::file_size(path_);
+  fs::resize_file(path_, size - 3);
+
+  SessionJournal journal(path_, true);
+  EXPECT_EQ(journal.torn_records_dropped(), 1);
+  ASSERT_EQ(journal.replayed().size(), 1u);
+  // The finished record was torn: the session replays as still running,
+  // which recovery treats as "requeue and resume".
+  EXPECT_EQ(journal.replayed().at(1).state, SessionState::kRunning);
+
+  // The journal stays appendable after truncation repair.
+  journal.finished(1, 0xBEEFull, 5);
+  SessionJournal reread(path_, true);
+  EXPECT_EQ(reread.replayed().at(1).state, SessionState::kDone);
+}
+
+TEST_F(SessionJournalTest, TransitionForUnknownSessionIsCorruption) {
+  {
+    SessionJournal journal(path_, false);
+    journal.started(99, 1);  // no kSubmitted first: nonsense on replay
+  }
+  try {
+    SessionJournal journal(path_, true);
+    FAIL() << "replayed a transition for a never-submitted session";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("never submitted"),
+              std::string::npos);
+  }
+}
+
+TEST_F(SessionJournalTest, WrongMagicNamesTheSessionJournal) {
+  {
+    std::FILE* f = std::fopen(path_.string().c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[] = "STCKv3 not a session journal at all............";
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+  }
+  try {
+    SessionJournal journal(path_, true);
+    FAIL() << "opened a non-journal file";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("session journal"),
+              std::string::npos);
+  }
+}
+
+TEST_F(SessionJournalTest, IdsContinueAcrossRestarts) {
+  {
+    SessionJournal journal(path_, false);
+    journal.submitted(41, spec(2));
+  }
+  SessionJournal journal(path_, true);
+  EXPECT_EQ(journal.max_id(), 41u);
+}
+
+}  // namespace
+}  // namespace stormtrack

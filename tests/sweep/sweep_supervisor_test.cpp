@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -108,6 +109,37 @@ TEST_F(SweepSupervisorTest, DeadlineQuarantinesAfterBoundedRetries) {
   EXPECT_EQ(report.supervisor.get("supervisor.retries").count, 8);
   EXPECT_EQ(report.supervisor.get("supervisor.deadline_hits").count, 12);
   EXPECT_EQ(report.supervisor.get("supervisor.quarantined").count, 4);
+}
+
+TEST_F(SweepSupervisorTest, DeadlineDuringBackoffWakesPromptly) {
+  const SweepRunner runner(models_);
+  SweepSpec spec = grid();
+  spec.traces.resize(1);
+  spec.strategies = {"scratch"};  // one case: timing assertions stay tight
+  // Attempt 1 dies at the pipeline's first poll; the retry backoff before
+  // attempt 2 is 30 s, far past this test's patience. The backoff sleep is
+  // cancellable against the fresh per-attempt deadline, so the case must
+  // quarantine in milliseconds — charged exactly one deadline hit for the
+  // sleep, with the remaining attempt forfeited.
+  spec.supervision.case_deadline_seconds = 1e-9;
+  spec.supervision.max_attempts = 3;
+  spec.supervision.backoff_seconds = 30.0;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const SweepRunReport report = runner.run_supervised(spec);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed, 10.0) << "backoff sleep ignored the deadline";
+
+  ASSERT_EQ(report.results.size(), 1u);
+  const SweepCaseResult& r = report.results[0];
+  EXPECT_EQ(r.status, SweepCaseStatus::kQuarantined);
+  EXPECT_EQ(r.attempts, 2);
+  EXPECT_NE(r.error.find("backoff"), std::string::npos) << r.error;
+  EXPECT_EQ(report.supervisor.get("supervisor.retries").count, 1);
+  EXPECT_EQ(report.supervisor.get("supervisor.deadline_hits").count, 2);
+  EXPECT_EQ(report.supervisor.get("supervisor.quarantined").count, 1);
 }
 
 TEST_F(SweepSupervisorTest, ResumeReExecutesOnlyUnfinishedCases) {

@@ -95,5 +95,36 @@ TEST_F(AtomicFileTest, EmptyFileRoundTrips) {
   EXPECT_TRUE(read_file_bytes(p).empty());
 }
 
+// The durability protocol is easy to break invisibly: dropping the
+// temp-file fsync or the directory fsync after the rename still passes
+// every content test above and only shows up at the first power loss.
+// The counters pin both syncs to every completed write.
+TEST_F(AtomicFileTest, EveryWriteSyncsTheFileAndItsDirectory) {
+#if !defined(__unix__) && !defined(__APPLE__)
+  GTEST_SKIP() << "fsync instrumentation is POSIX-only";
+#endif
+  const AtomicFileCounters before = atomic_file_counters();
+  write_file_atomic(dir_ / "one.txt", std::string_view("one"));
+  write_file_atomic(dir_ / "sub" / "two.txt", std::string_view("two"));
+  const AtomicFileCounters after = atomic_file_counters();
+  EXPECT_EQ(after.files_written - before.files_written, 2u);
+  // >= not ==: other threads of this test binary may also be writing.
+  EXPECT_GE(after.file_syncs - before.file_syncs, 2u);
+  EXPECT_GE(after.dir_syncs - before.dir_syncs, 2u);
+}
+
+TEST_F(AtomicFileTest, FailedWritesAreNotCountedAsWritten) {
+  // An unwritable destination (parent is a file, not a directory) must
+  // throw without bumping the completed-write counter.
+  const fs::path blocker = dir_ / "blocker";
+  write_file_atomic(blocker, std::string_view("x"));
+  const AtomicFileCounters before = atomic_file_counters();
+  EXPECT_THROW(write_file_atomic(blocker / "child.txt",
+                                 std::string_view("nope")),
+               std::exception);
+  const AtomicFileCounters after = atomic_file_counters();
+  EXPECT_EQ(after.files_written, before.files_written);
+}
+
 }  // namespace
 }  // namespace stormtrack

@@ -13,6 +13,8 @@ Usage:
   tools/check_bench_regression.py --baseline bench/baselines/BENCH_adaptation.json \
       --current build/BENCH_adaptation.json [--tolerance 0.25]
   tools/check_bench_regression.py --list bench/baselines/BENCH_adaptation.json
+  tools/check_bench_regression.py --update-baselines [--build-dir build] \
+      [--baseline-dir bench/baselines]
 
 Stdlib only; exit code 0 = within tolerance, 1 = regression (or shape
 mismatch: missing rows / missing counters are failures, silently dropping
@@ -24,6 +26,8 @@ deleted one.
 import argparse
 import difflib
 import json
+import pathlib
+import shutil
 import sys
 
 
@@ -61,6 +65,49 @@ def list_file(path):
             print("    (no counter_* fields — nothing gates on this row)")
 
 
+def update_baselines(build_dir, baseline_dir):
+    """Copy fresh build/BENCH_*.json summaries over the committed baselines.
+
+    For each summary the counter drift against the old baseline is printed
+    first, so the commit message can cite what actually moved; a summary
+    with no existing baseline is adopted as new. Returns 0 when at least
+    one file was updated, 1 when the build directory holds no summaries
+    (probably the benches were never run).
+    """
+    build = pathlib.Path(build_dir)
+    baselines = pathlib.Path(baseline_dir)
+    fresh = sorted(build.glob("BENCH_*.json"))
+    if not fresh:
+        print(f"no BENCH_*.json summaries in {build} — run the benches "
+              f"with --json first (see .github/workflows/ci.yml, "
+              f"perf-smoke)", file=sys.stderr)
+        return 1
+    baselines.mkdir(parents=True, exist_ok=True)
+    for src in fresh:
+        dst = baselines / src.name
+        if dst.exists():
+            _, old_rows = load(dst)
+            _, new_rows = load(src)
+            moved = []
+            for label, old_row in sorted(old_rows.items()):
+                new_row = new_rows.get(label, {})
+                for key in counter_keys(old_row):
+                    old_val, new_val = old_row[key], new_row.get(key)
+                    if new_val is not None and new_val != old_val:
+                        moved.append(f"    {label} {key}: "
+                                     f"{old_val} -> {new_val}")
+            print(f"updating {dst} from {src}"
+                  + (":" if moved else " (no counter drift)"))
+            for line in moved:
+                print(line)
+        else:
+            print(f"adopting new baseline {dst} from {src}")
+        shutil.copyfile(src, dst)
+    print(f"\n{len(fresh)} baseline(s) updated — review the diff and "
+          f"commit bench/baselines/ with a note on why the counters moved")
+    return 0
+
+
 def rel_drift(baseline, current):
     if baseline == current:
         return 0.0
@@ -80,14 +127,26 @@ def main():
     ap.add_argument("--list", metavar="FILE",
                     help="print FILE's rows and gateable counter_* keys, "
                          "then exit (no comparison)")
+    ap.add_argument("--update-baselines", action="store_true",
+                    help="copy the build dir's BENCH_*.json over the "
+                         "committed baselines (printing counter drift "
+                         "per file), then exit")
+    ap.add_argument("--build-dir", default="build",
+                    help="where fresh BENCH_*.json summaries live "
+                         "(default: build)")
+    ap.add_argument("--baseline-dir", default="bench/baselines",
+                    help="committed baseline directory "
+                         "(default: bench/baselines)")
     args = ap.parse_args()
 
     if args.list:
         list_file(args.list)
         return 0
+    if args.update_baselines:
+        return update_baselines(args.build_dir, args.baseline_dir)
     if not args.baseline or not args.current:
         ap.error("--baseline and --current are required unless --list "
-                 "is given")
+                 "or --update-baselines is given")
 
     base_doc, base_rows = load(args.baseline)
     cur_doc, cur_rows = load(args.current)
@@ -143,9 +202,10 @@ def main():
         for f in failures:
             print(f"  - {f}", file=sys.stderr)
         print("If the counter change is intentional (e.g. the pricing "
-              "workload changed), regenerate the baseline:\n"
-              "  ./build/bench/bench_adaptation_hotpath --json "
-              "bench/baselines/BENCH_adaptation.json", file=sys.stderr)
+              "workload changed), regenerate the baselines from a fresh "
+              "bench run:\n"
+              "  tools/check_bench_regression.py --update-baselines",
+              file=sys.stderr)
         return 1
     print(f"\nperf-smoke: all counter_* fields within "
           f"{args.tolerance:.0%} of baseline")
