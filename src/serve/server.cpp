@@ -48,13 +48,14 @@ void SessionServer::stop() {
     shutdown_cv_.notify_all();
   }
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> handlers;
+  std::map<int, std::thread> handlers;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     handlers.swap(handlers_);
+    finished_handlers_.clear();
   }
-  for (auto& handler : handlers) {
-    if (handler.joinable()) handler.join();
+  for (auto& [handler, thread] : handlers) {
+    if (thread.joinable()) thread.join();
   }
   std::error_code ignored;
   std::filesystem::remove(config_.socket_path, ignored);
@@ -77,6 +78,7 @@ int SessionServer::connections_handled() const {
 
 void SessionServer::accept_loop() {
   while (true) {
+    reap_finished_handlers();
     int listen_fd = -1;
     {
       const std::lock_guard<std::mutex> lock(mutex_);
@@ -97,11 +99,37 @@ void SessionServer::accept_loop() {
     ++connections_;
     const int handler = next_handler_++;
     open_fds_[handler] = fd;
-    handlers_.emplace_back([this, fd, handler] {
+    handlers_.emplace(handler, std::thread([this, fd, handler] {
       handle_connection(fd);
+      {
+        // Deregister before closing: once stop() can no longer see the
+        // fd it is safe to close (and for the kernel to reuse) it.
+        const std::lock_guard<std::mutex> inner(mutex_);
+        open_fds_.erase(handler);
+      }
+      close_fd(fd);
       const std::lock_guard<std::mutex> inner(mutex_);
-      open_fds_.erase(handler);
-    });
+      finished_handlers_.push_back(handler);
+    }));
+  }
+}
+
+void SessionServer::reap_finished_handlers() {
+  std::vector<std::thread> done;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const int handler : finished_handlers_) {
+      const auto it = handlers_.find(handler);
+      if (it == handlers_.end()) continue;  // stop() already took it
+      done.push_back(std::move(it->second));
+      handlers_.erase(it);
+    }
+    finished_handlers_.clear();
+  }
+  // The joins happen outside the lock; each thread has already queued its
+  // id, so it is at most a few instructions from returning.
+  for (auto& thread : done) {
+    if (thread.joinable()) thread.join();
   }
 }
 
@@ -224,7 +252,7 @@ void SessionServer::handle_connection(int fd) {
   } catch (const std::exception&) {
     // Framing violation or dead peer: drop this connection, keep serving.
   }
-  close_fd(fd);
+  // The caller (the handler thread) deregisters and closes the fd.
 }
 
 void SessionServer::handle_attach(int fd, BinaryReader& request) {

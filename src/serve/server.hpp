@@ -21,6 +21,7 @@
 #include <map>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "serve/supervisor.hpp"
 
@@ -63,9 +64,14 @@ class SessionServer {
 
  private:
   void accept_loop();
-  /// One connection's request loop; owns \p fd.
+  /// One connection's request loop. The wrapping handler thread owns
+  /// \p fd: it deregisters the connection and closes the fd afterwards.
   void handle_connection(int fd);
   void handle_attach(int fd, BinaryReader& request);
+  /// Join handler threads whose connections have finished, so a long-
+  /// lived daemon does not accumulate one dead thread per connection.
+  /// Called from accept_loop between accepts; stop() joins the rest.
+  void reap_finished_handlers();
 
   SessionSupervisor& supervisor_;
   ServerConfig config_;
@@ -77,10 +83,15 @@ class SessionServer {
   bool shutdown_requested_ = false;
   int connections_ = 0;
   /// Live connection fds by handler id, so stop() can unblock handlers.
+  /// An entry is erased (under mutex_) *before* its fd is closed, so
+  /// stop() never shuts down a closed — possibly reused — descriptor.
   std::map<int, int> open_fds_;
   int next_handler_ = 0;
   std::thread accept_thread_;
-  std::vector<std::thread> handlers_;
+  /// Handler threads by handler id; finished ones queue their id in
+  /// finished_handlers_ for reaping.
+  std::map<int, std::thread> handlers_;
+  std::vector<int> finished_handlers_;
 };
 
 }  // namespace stormtrack

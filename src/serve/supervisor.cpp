@@ -107,6 +107,7 @@ void SessionSupervisor::stop() {
     }
     work_cv_.notify_all();
     events_cv_.notify_all();
+    watchdog_cv_.notify_all();
   }
   for (auto& lane : lanes_) {
     if (lane.joinable()) lane.join();
@@ -360,7 +361,7 @@ void SessionSupervisor::watchdog_loop() {
       session->token.cancel("session deadline exceeded (watchdog)");
       bump_locked("server.watchdog_cancels");
     }
-    work_cv_.wait_for(
+    watchdog_cv_.wait_for(
         lock, std::chrono::duration<double>(limits_.watchdog_period_seconds));
   }
 }
@@ -373,7 +374,15 @@ std::uint64_t SessionSupervisor::run_attempt(Session& session,
     const std::lock_guard<std::mutex> lock(mutex_);
     spec = session.status.spec;
     id = session.status.id;
-    session.token.reset();
+    // A cancel that raced in between the previous attempt's failure and
+    // this one (client cancel, shutdown, or the watchdog) must be honored,
+    // not cleared: only an untripped token is reset for the new attempt.
+    // The check() below then surfaces any pending cancellation, and
+    // run_session maps it through the still-valid cancel_kind.
+    if (session.cancel_kind == CancelKind::kNone &&
+        !session.token.cancelled()) {
+      session.token.reset();
+    }
     if (session.deadline_armed) {
       const double remaining = seconds_until(session.deadline_at);
       session.token.set_deadline_after(remaining);

@@ -206,9 +206,13 @@ class SessionSupervisor {
   const ModelStack models_;  ///< Shared, const — thread-safe memo inside.
 
   mutable std::mutex mutex_;
-  /// Signals lanes (queue/stop) and event waiters (events/terminal).
+  /// Signals lanes only (queue/stop). The watchdog sleeps on its own
+  /// condition variable so a submit's notify_one always wakes a lane.
   mutable std::condition_variable work_cv_;
+  /// Signals event waiters (events/terminal).
   mutable std::condition_variable events_cv_;
+  /// Paces the watchdog sweep; notified only by stop().
+  mutable std::condition_variable watchdog_cv_;
   std::map<std::uint64_t, std::unique_ptr<Session>> sessions_;
   std::vector<std::uint64_t> queue_;  ///< Queued session ids, FIFO.
   std::uint64_t next_id_ = 1;

@@ -289,6 +289,40 @@ TEST_F(SupervisorTest, DeadlineDuringBackoffCancelsTheSleepPromptly) {
   supervisor.stop();
 }
 
+TEST_F(SupervisorTest, SubmitWakesALaneEvenWithTheWatchdogParked) {
+  ServeLimits limits;
+  limits.max_active = 1;
+  // Park the watchdog in an hour-long sleep. A submit emits exactly one
+  // notification, which must reach the single lane — the watchdog sleeps
+  // on its own condition variable and cannot swallow it. Before the split
+  // this hung ~half the time; run a few rounds so a regression is loud.
+  limits.watchdog_period_seconds = 3600.0;
+  SessionSupervisor supervisor(dir_, limits);
+  supervisor.start();
+
+  for (int round = 0; round < 4; ++round) {
+    const auto submit =
+        supervisor.submit(quick_spec(1, 100 + static_cast<std::uint64_t>(round)));
+    ASSERT_EQ(submit.admission, Admission::kAccepted);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!is_terminal(supervisor.status(submit.id).state)) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "no lane woke for session " << submit.id
+          << " — the submit notification was lost";
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_EQ(supervisor.status(submit.id).state, SessionState::kDone);
+  }
+  // stop() must also wake the parked watchdog promptly.
+  const auto stop_start = std::chrono::steady_clock::now();
+  supervisor.stop();
+  EXPECT_LT(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          stop_start)
+                .count(),
+            10.0);
+}
+
 TEST_F(SupervisorTest, StopLeavesRunningSessionsInterruptedWithoutTerminalRecord) {
   ServeLimits limits;
   limits.max_active = 1;
