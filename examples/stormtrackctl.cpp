@@ -9,22 +9,30 @@
 ///   stormtrackctl --socket PATH attach ID [--from-seq N]
 ///   stormtrackctl --socket PATH list
 ///   stormtrackctl --socket PATH status ID
+///   stormtrackctl --socket PATH stats
 ///   stormtrackctl --socket PATH cancel ID
 ///   stormtrackctl --socket PATH shutdown
+///
+/// `--connect-retries N --connect-backoff-ms M` retry a refused or
+/// missing socket with exponential backoff before giving up, so scripts
+/// can launch the daemon and the first ctl call concurrently.
 ///
 /// Exit codes: 0 success (for attach/--follow: the session finished
 /// `done`), 2 bad arguments, 4 connection or protocol failure, 5 the
 /// attached session ended in a non-done terminal state, 6 the submit was
 /// rejected busy.
 
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <iomanip>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "serve/protocol.hpp"
 #include "util/check.hpp"
@@ -43,11 +51,16 @@ constexpr int kExitRejectedBusy = 6;
   std::cout <<
       "stormtrackctl — control a running stormtrackd\n"
       "  --socket PATH          daemon socket (default stormtrack.sock)\n"
+      "  --connect-retries N    retry a refused/missing socket N times\n"
+      "                         before giving up (default 0: fail fast)\n"
+      "  --connect-backoff-ms M first retry sleeps M ms, doubling after\n"
+      "                         (default 100)\n"
       "commands:\n"
       "  ping                   handshake, print daemon load\n"
       "  submit                 submit a session; prints its id\n"
       "    --machine M --cores N --strategy S --workload W\n"
       "    --intervals N --seed N --priority P --deadline S\n"
+      "    --tenant T           accounting label (see stats)\n"
       "    --follow             attach to the session after submitting\n"
       "  attach ID [--from-seq N]\n"
       "                         stream events until the session ends;\n"
@@ -55,6 +68,7 @@ constexpr int kExitRejectedBusy = 6;
       "                         (ids are stable across restarts)\n"
       "  list                   all sessions\n"
       "  status ID              one session\n"
+      "  stats                  daemon health + per-tenant accounting\n"
       "  cancel ID              cancel a queued or running session\n"
       "  shutdown               ask the daemon to stop gracefully\n";
   std::exit(code);
@@ -107,22 +121,93 @@ std::optional<std::uint64_t> parse_id(const char* text) {
   return id;
 }
 
+/// True for the connect-phase failures worth retrying: the daemon is not
+/// up yet (ENOENT — no socket file) or not accepting yet (ECONNREFUSED —
+/// stale socket file). Anything after a successful connect is not retried.
+bool connect_failure(const std::exception& e) {
+  return std::string(e.what()).find("cannot connect to stormtrackd") !=
+         std::string::npos;
+}
+
+/// Connect with bounded retries and exponential backoff — lets scripts
+/// start stormtrackd and stormtrackctl concurrently without a sleep-loop.
+std::unique_ptr<ClientConnection> connect_with_retries(
+    const std::string& socket, int retries, int backoff_ms) {
+  int sleep_ms = backoff_ms;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return std::make_unique<ClientConnection>(socket);
+    } catch (const std::exception& e) {
+      if (attempt >= retries || !connect_failure(e)) throw;
+      std::cerr << "stormtrackctl: connect failed (attempt " << attempt + 1
+                << " of " << retries + 1 << "), retrying in " << sleep_ms
+                << " ms\n";
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      sleep_ms *= 2;
+    }
+  }
+}
+
+void print_stats(const ServerStats& stats) {
+  std::cout << "daemon " << (stats.healthy ? "healthy" : "DEGRADED")
+            << ": " << stats.active << " active, " << stats.queued
+            << " queued";
+  if (stats.estimated_wait_seconds > 0.0) {
+    std::cout << ", est. queue wait " << std::fixed << std::setprecision(2)
+              << stats.estimated_wait_seconds << "s";
+    std::cout.unsetf(std::ios::fixed);
+  }
+  std::cout << "\n";
+  if (!stats.healthy || stats.journal_write_failures > 0) {
+    std::cout << "journal: " << stats.journal_pending << " record(s) buffered, "
+              << stats.journal_write_failures << " write failure(s)\n";
+  }
+  for (const TenantStats& t : stats.tenants) {
+    std::cout << "tenant " << (t.tenant.empty() ? "(default)" : t.tenant)
+              << ": submitted=" << t.submitted << " admitted=" << t.admitted
+              << " rejected=" << t.rejected << " shed=" << t.shed
+              << " completed=" << t.completed << " cpu=" << std::fixed
+              << std::setprecision(3) << t.cpu_seconds << "s\n";
+    std::cout.unsetf(std::ios::fixed);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string socket = "stormtrack.sock";
+  int connect_retries = 0;
+  int connect_backoff_ms = 100;
   int i = 1;
   for (; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0) usage(kExitOk);
-    if (std::strcmp(argv[i], "--socket") == 0) {
+    const auto flag_value = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
-        std::cerr << "--socket needs a value\n";
-        return kExitBadArgs;
+        std::cerr << flag << " needs a value\n";
+        return nullptr;
       }
-      socket = argv[++i];
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--socket") == 0) {
+      const char* value = flag_value("--socket");
+      if (value == nullptr) return kExitBadArgs;
+      socket = value;
+    } else if (std::strcmp(argv[i], "--connect-retries") == 0) {
+      const char* value = flag_value("--connect-retries");
+      if (value == nullptr) return kExitBadArgs;
+      connect_retries = std::atoi(value);
+    } else if (std::strcmp(argv[i], "--connect-backoff-ms") == 0) {
+      const char* value = flag_value("--connect-backoff-ms");
+      if (value == nullptr) return kExitBadArgs;
+      connect_backoff_ms = std::atoi(value);
     } else {
       break;
     }
+  }
+  if (connect_retries < 0 || connect_backoff_ms <= 0) {
+    std::cerr << "--connect-retries must be >= 0 and "
+                 "--connect-backoff-ms positive\n";
+    return kExitBadArgs;
   }
   if (i >= argc) {
     std::cerr << "missing command (try --help)\n";
@@ -134,7 +219,8 @@ int main(int argc, char** argv) {
     if (command == "ping") {
       // The constructor performs the hello handshake; reaching here means
       // the daemon answered with a compatible version.
-      ClientConnection client(socket);
+      const auto client =
+          connect_with_retries(socket, connect_retries, connect_backoff_ms);
       std::cout << "stormtrackd at " << socket << " is alive\n";
       return kExitOk;
     }
@@ -160,21 +246,29 @@ int main(int argc, char** argv) {
         else if (flag == "--seed") spec.seed = std::strtoull(value, nullptr, 10);
         else if (flag == "--priority") spec.priority = std::atoi(value);
         else if (flag == "--deadline") spec.deadline_seconds = std::atof(value);
+        else if (flag == "--tenant") spec.tenant = value;
         else {
           std::cerr << "unknown submit flag " << flag << " (try --help)\n";
           return kExitBadArgs;
         }
       }
-      ClientConnection client(socket);
-      const ClientConnection::SubmitReply reply = client.submit(spec);
+      const auto client =
+          connect_with_retries(socket, connect_retries, connect_backoff_ms);
+      const ClientConnection::SubmitReply reply = client->submit(spec);
       if (!reply.accepted) {
         std::cerr << "REJECTED_BUSY: " << reply.reason << " ("
                   << reply.active << " active, " << reply.queued
-                  << " queued)\n";
+                  << " queued";
+        if (reply.estimated_wait_seconds > 0.0) {
+          std::cerr << ", retry in ~" << std::fixed << std::setprecision(1)
+                    << reply.estimated_wait_seconds << "s";
+          std::cerr.unsetf(std::ios::fixed);
+        }
+        std::cerr << ")\n";
         return kExitRejectedBusy;
       }
       std::cout << "session " << reply.id << " accepted\n";
-      if (follow) return attach_and_stream(client, reply.id, 0);
+      if (follow) return attach_and_stream(*client, reply.id, 0);
       return kExitOk;
     }
     if (command == "attach") {
@@ -192,12 +286,14 @@ int main(int argc, char** argv) {
         from_seq = std::strtoull(argv[i + 1], nullptr, 10);
         i += 2;
       }
-      ClientConnection client(socket);
-      return attach_and_stream(client, *id, from_seq);
+      const auto client =
+          connect_with_retries(socket, connect_retries, connect_backoff_ms);
+      return attach_and_stream(*client, *id, from_seq);
     }
     if (command == "list") {
-      ClientConnection client(socket);
-      for (const SessionStatus& status : client.list()) {
+      const auto client =
+          connect_with_retries(socket, connect_retries, connect_backoff_ms);
+      for (const SessionStatus& status : client->list()) {
         print_status_line(status);
       }
       return kExitOk;
@@ -212,14 +308,22 @@ int main(int argc, char** argv) {
         std::cerr << command << ": session id must be a number\n";
         return kExitBadArgs;
       }
-      ClientConnection client(socket);
-      print_status_line(command == "status" ? client.status(*id)
-                                            : client.cancel(*id));
+      const auto client =
+          connect_with_retries(socket, connect_retries, connect_backoff_ms);
+      print_status_line(command == "status" ? client->status(*id)
+                                            : client->cancel(*id));
+      return kExitOk;
+    }
+    if (command == "stats") {
+      const auto client =
+          connect_with_retries(socket, connect_retries, connect_backoff_ms);
+      print_stats(client->stats());
       return kExitOk;
     }
     if (command == "shutdown") {
-      ClientConnection client(socket);
-      client.shutdown_server();
+      const auto client =
+          connect_with_retries(socket, connect_retries, connect_backoff_ms);
+      client->shutdown_server();
       std::cout << "shutdown requested\n";
       return kExitOk;
     }

@@ -23,6 +23,7 @@
 #include "serve/server.hpp"
 #include "serve/supervisor.hpp"
 #include "util/check.hpp"
+#include "util/fs_fault.hpp"
 
 using namespace stormtrack;
 
@@ -36,6 +37,8 @@ struct Options {
   std::string socket = "stormtrack.sock";
   std::string state_dir = "stormtrack-state";
   ServeLimits limits;
+  ServerConfig server;
+  std::string fs_fault;  ///< --inject-fs-fault spec, empty = none.
 };
 
 [[noreturn]] void usage(int code) {
@@ -57,6 +60,20 @@ struct Options {
       "  --checkpoint-every N   checkpoint cadence in intervals (default 1)\n"
       "  --threads N            executor threads per running session,\n"
       "                         0 = serial (default 0)\n"
+      "  --aging S              queue-wait seconds per +1 effective\n"
+      "                         priority in the fair queue; 0 disables\n"
+      "                         aging (default 0.5)\n"
+      "  --read-deadline S      a client that starts a frame must finish\n"
+      "                         it within S seconds, 0 = unbounded\n"
+      "                         (default 10)\n"
+      "  --write-deadline S     a reply must be drained by the peer\n"
+      "                         within S seconds, 0 = unbounded\n"
+      "                         (default 10)\n"
+      "  --inject-fs-fault SPEC chaos testing: fail matching service\n"
+      "                         writes/fsyncs. SPEC is\n"
+      "                         OP:PATH_SUBSTR[:skip=N][:count=M]\n"
+      "                         [:errno=ENOSPC|EIO|NUM][:short=K], e.g.\n"
+      "                         write:sessions.stjl:skip=4:count=2:errno=ENOSPC\n"
       "  --help\n";
   std::exit(code);
 }
@@ -101,6 +118,18 @@ std::optional<Options> parse(int argc, char** argv) {
     } else if (std::strcmp(arg, "--threads") == 0) {
       if ((value = need_value(i, arg)) == nullptr) return std::nullopt;
       opt.limits.executor_threads = std::atoi(value);
+    } else if (std::strcmp(arg, "--aging") == 0) {
+      if ((value = need_value(i, arg)) == nullptr) return std::nullopt;
+      opt.limits.aging_seconds = std::atof(value);
+    } else if (std::strcmp(arg, "--read-deadline") == 0) {
+      if ((value = need_value(i, arg)) == nullptr) return std::nullopt;
+      opt.server.read_deadline_seconds = std::atof(value);
+    } else if (std::strcmp(arg, "--write-deadline") == 0) {
+      if ((value = need_value(i, arg)) == nullptr) return std::nullopt;
+      opt.server.write_deadline_seconds = std::atof(value);
+    } else if (std::strcmp(arg, "--inject-fs-fault") == 0) {
+      if ((value = need_value(i, arg)) == nullptr) return std::nullopt;
+      opt.fs_fault = value;
     } else {
       std::cerr << "unknown flag " << arg << " (try --help)\n";
       return std::nullopt;
@@ -131,12 +160,18 @@ int main(int argc, char** argv) {
   std::signal(SIGPIPE, SIG_IGN);
 
   try {
+    if (!opt->fs_fault.empty()) {
+      fs_fault_install(parse_fs_fault_spec(opt->fs_fault));
+      std::cout << "stormtrackd: fs fault injection armed (" << opt->fs_fault
+                << ")" << std::endl;
+    }
     SessionSupervisor supervisor(opt->state_dir, opt->limits);
     const SessionSupervisor::RecoveryReport recovery = supervisor.recover();
     supervisor.start();
 
-    SessionServer server(supervisor,
-                         ServerConfig{.socket_path = opt->socket});
+    ServerConfig server_config = opt->server;
+    server_config.socket_path = opt->socket;
+    SessionServer server(supervisor, server_config);
     server.start();
     std::cout << "stormtrackd listening on " << opt->socket << " (state "
               << opt->state_dir << ", " << recovery.requeued

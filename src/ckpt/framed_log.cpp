@@ -1,11 +1,14 @@
 #include "ckpt/framed_log.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <utility>
 #include <vector>
 
 #include "ckpt/crc32.hpp"
 #include "util/atomic_file.hpp"
 #include "util/check.hpp"
+#include "util/fs_fault.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
@@ -54,6 +57,7 @@ void FramedLog::open_fresh() {
       std::fwrite(bytes.data(), 1, bytes.size(), file_) == bytes.size(),
       "cannot write " << format_.what << " header to " << path_.string());
   sync_file(file_, format_.what);
+  good_offset_ = bytes.size();
 }
 
 void FramedLog::open_resume(const ReplayFn& replay) {
@@ -119,9 +123,27 @@ void FramedLog::open_resume(const ReplayFn& replay) {
   ST_CHECK_MSG(file_ != nullptr, "cannot reopen " << format_.what << " "
                                                   << path_.string()
                                                   << " for appending");
+  good_offset_ = valid_end;
 }
 
-void FramedLog::append(std::span<const std::byte> payload) {
+bool FramedLog::restore_tail_locked() {
+  // A failed append may have left part of a frame on disk (a torn tail);
+  // cut back to the last offset known fully synced so the next record
+  // starts at a frame boundary.
+  std::clearerr(file_);
+  (void)std::fflush(file_);
+#ifdef STORMTRACK_LOG_HAVE_FSYNC
+  if (::ftruncate(::fileno(file_), static_cast<off_t>(good_offset_)) != 0)
+    return false;
+#else
+  return false;
+#endif
+  if (std::fseek(file_, 0, SEEK_END) != 0) return false;
+  dirty_ = false;
+  return true;
+}
+
+bool FramedLog::try_append(std::span<const std::byte> payload) {
   BinaryWriter framed;
   framed.put_u32(static_cast<std::uint32_t>(payload.size()));
   framed.put_bytes(payload);
@@ -130,11 +152,63 @@ void FramedLog::append(std::span<const std::byte> payload) {
 
   const std::lock_guard<std::mutex> lock(mutex_);
   ST_CHECK_MSG(file_ != nullptr, format_.what << " is not open");
-  ST_CHECK_MSG(
-      std::fwrite(bytes.data(), 1, bytes.size(), file_) == bytes.size(),
-      "cannot append to " << format_.what << " " << path_.string());
-  sync_file(file_, format_.what);
+  const auto fail = [&](const std::string& why) {
+    dirty_ = true;
+    ++write_failures_;
+    last_write_error_ = why;
+    return false;
+  };
+  if (dirty_ && !restore_tail_locked()) {
+    return fail("cannot truncate torn tail of " + path_.string());
+  }
+
+  const FsFaultDecision fault = fs_fault_decide("write", path_);
+  if (fault.fail) {
+    // Persist the injected short prefix so the on-disk state is exactly
+    // what a crash mid-write leaves: a torn record after the last good
+    // one. Negative short_write_bytes fails before any byte lands.
+    if (fault.short_write_bytes >= 0) {
+      const std::size_t n = std::min(
+          static_cast<std::size_t>(fault.short_write_bytes), bytes.size());
+      (void)std::fwrite(bytes.data(), 1, n, file_);
+      (void)std::fflush(file_);
+    }
+    return fail("cannot append to " + path_.string() + ": " +
+                std::strerror(fault.error_no) + " (injected fault)");
+  }
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+    return fail("cannot append to " + path_.string());
+  }
+  const FsFaultDecision sync_fault = fs_fault_decide("fsync", path_);
+  if (sync_fault.fail) {
+    (void)std::fflush(file_);
+    return fail("cannot sync " + path_.string() + ": " +
+                std::strerror(sync_fault.error_no) + " (injected fault)");
+  }
+  try {
+    sync_file(file_, format_.what);
+  } catch (const CheckError& e) {
+    return fail(e.what());
+  }
+  good_offset_ += bytes.size();
   ++appends_;
+  return true;
+}
+
+void FramedLog::append(std::span<const std::byte> payload) {
+  if (!try_append(payload)) {
+    ST_CHECK_MSG(false, last_write_error());
+  }
+}
+
+int FramedLog::write_failures() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return write_failures_;
+}
+
+std::string FramedLog::last_write_error() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return last_write_error_;
 }
 
 }  // namespace stormtrack

@@ -21,6 +21,16 @@
 /// is handed to the caller's replay callback; exceptions it throws
 /// propagate — a CRC-valid record that the caller cannot accept means the
 /// wrong log was opened, not a torn tail, and must fail loudly.
+///
+/// Appends can *fail* without corrupting the log: every write and fsync
+/// runs through the injectable service-I/O fault seam (util/fs_fault.hpp),
+/// and a real ENOSPC behaves the same way. A failed append marks the log
+/// dirty — the file may carry a torn tail, exactly what a crash mid-append
+/// leaves — and the next append first truncates back to the last
+/// known-durable offset before writing. A process that dies while dirty
+/// recovers through the ordinary torn-tail replay. try_append() reports
+/// failure to callers (the session journal buffers and retries, flipping
+/// the daemon's health to `degraded`); append() throws as before.
 
 #include <cstddef>
 #include <cstdint>
@@ -64,8 +74,15 @@ class FramedLog {
   FramedLog& operator=(const FramedLog&) = delete;
 
   /// Append one framed record; flushed and fsync'd before returning.
-  /// Thread-safe.
+  /// Thread-safe. Throws CheckError when the write or sync fails (real or
+  /// injected); the log stays usable — see try_append().
   void append(std::span<const std::byte> payload);
+
+  /// Non-throwing append: returns false when the write or sync fails, in
+  /// which case the record is NOT durable and the file may carry a torn
+  /// tail until the next successful append truncates it away (or a
+  /// restart replays past it). Thread-safe.
+  [[nodiscard]] bool try_append(std::span<const std::byte> payload);
 
   /// Torn/corrupt records dropped from the tail at open (0 or 1 after a
   /// kill; more only for external corruption).
@@ -73,19 +90,33 @@ class FramedLog {
   /// Intact records replayed at open.
   [[nodiscard]] int replayed_records() const { return replayed_; }
   [[nodiscard]] int appends() const { return appends_; }
+  /// Failed append attempts (real or injected I/O errors).
+  [[nodiscard]] int write_failures() const;
+  /// Human-readable reason of the most recent append failure.
+  [[nodiscard]] std::string last_write_error() const;
   [[nodiscard]] const std::filesystem::path& path() const { return path_; }
 
  private:
   void open_fresh();
   void open_resume(const ReplayFn& replay);
+  /// Truncate a torn tail back to the last known-durable offset.
+  /// mutex_ held. Returns false when the truncate itself fails.
+  bool restore_tail_locked();
 
   std::filesystem::path path_;
   Format format_;
   std::FILE* file_ = nullptr;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   int torn_dropped_ = 0;
   int replayed_ = 0;
   int appends_ = 0;
+  int write_failures_ = 0;
+  std::string last_write_error_;
+  /// Bytes of the file known flushed + fsynced (header + intact records).
+  std::uint64_t good_offset_ = 0;
+  /// True after a failed append: the on-disk tail past good_offset_ is
+  /// suspect and must be truncated before the next record is written.
+  bool dirty_ = false;
 };
 
 }  // namespace stormtrack

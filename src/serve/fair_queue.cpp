@@ -1,0 +1,101 @@
+#include "serve/fair_queue.hpp"
+
+#include <limits>
+
+namespace stormtrack {
+
+void FairQueue::push(std::uint64_t id, int priority, Clock::time_point now) {
+  lanes_[priority].push_back(Entry{id, priority, now});
+  ++size_;
+}
+
+int FairQueue::effective_priority(const Entry& entry,
+                                  Clock::time_point now) const {
+  if (config_.aging_seconds <= 0.0) return entry.priority;
+  const double waited =
+      std::chrono::duration<double>(now - entry.enqueued).count();
+  if (waited <= 0.0) return entry.priority;
+  const double credit = waited / config_.aging_seconds;
+  // Cap the credit so a pathological wait cannot overflow int arithmetic;
+  // 1e6 levels is already far beyond any real priority gap.
+  constexpr double kMaxCredit = 1e6;
+  return entry.priority +
+         static_cast<int>(credit < kMaxCredit ? credit : kMaxCredit);
+}
+
+std::optional<std::uint64_t> FairQueue::pop_best(Clock::time_point now) {
+  std::map<int, std::deque<Entry>>::iterator best = lanes_.end();
+  int best_effective = std::numeric_limits<int>::min();
+  for (auto it = lanes_.begin(); it != lanes_.end(); ++it) {
+    if (it->second.empty()) continue;
+    // FIFO within a lane means the front entry always has the lane's
+    // highest aging credit — it decides for the whole lane.
+    const Entry& front = it->second.front();
+    const int effective = effective_priority(front, now);
+    const bool wins =
+        best == lanes_.end() || effective > best_effective ||
+        (effective == best_effective &&
+         (front.enqueued < best->second.front().enqueued ||
+          (front.enqueued == best->second.front().enqueued &&
+           front.id < best->second.front().id)));
+    if (wins) {
+      best = it;
+      best_effective = effective;
+    }
+  }
+  if (best == lanes_.end()) return std::nullopt;
+  const std::uint64_t id = best->second.front().id;
+  best->second.pop_front();
+  if (best->second.empty()) lanes_.erase(best);
+  --size_;
+  return id;
+}
+
+std::optional<FairQueue::Entry> FairQueue::shed_victim(
+    Clock::time_point now) const {
+  const Entry* victim = nullptr;
+  int victim_effective = 0;
+  for (const auto& [priority, lane] : lanes_) {
+    if (lane.empty()) continue;
+    // The lane's newest entry (back) has the least aging credit, so it is
+    // both the lane's lowest effective priority and the preferred victim
+    // under the newest-first tie-break.
+    const Entry& back = lane.back();
+    const int effective = effective_priority(back, now);
+    const bool loses =
+        victim == nullptr || effective < victim_effective ||
+        (effective == victim_effective &&
+         (back.enqueued > victim->enqueued ||
+          (back.enqueued == victim->enqueued && back.id > victim->id)));
+    if (loses) {
+      victim = &back;
+      victim_effective = effective;
+    }
+  }
+  if (victim == nullptr) return std::nullopt;
+  return *victim;
+}
+
+bool FairQueue::remove(std::uint64_t id) {
+  for (auto it = lanes_.begin(); it != lanes_.end(); ++it) {
+    std::deque<Entry>& lane = it->second;
+    for (auto e = lane.begin(); e != lane.end(); ++e) {
+      if (e->id != id) continue;
+      lane.erase(e);
+      if (lane.empty()) lanes_.erase(it);
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<FairQueue::Entry> FairQueue::entries() const {
+  std::vector<Entry> out;
+  out.reserve(size_);
+  for (const auto& [priority, lane] : lanes_)
+    out.insert(out.end(), lane.begin(), lane.end());
+  return out;
+}
+
+}  // namespace stormtrack

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file fair_queue.hpp
+/// The stormtrackd admission queue: weighted priority lanes with aging.
+///
+/// PR 8's queue was a single vector popped by raw priority — under
+/// sustained high-priority load a low-priority session could wait forever
+/// (the ROADMAP's explicit fairness gap). FairQueue replaces it:
+///
+///   * **Lanes.** Queued sessions are grouped into per-priority lanes,
+///     FIFO within a lane, so dispatch and shed decisions are O(lanes)
+///     instead of O(sessions).
+///   * **Aging credit.** A lane's *effective* priority is its nominal
+///     priority plus one credit per `aging_seconds` its oldest entry has
+///     waited. Any finite priority gap is therefore closed in bounded
+///     time: a priority-0 session beats a steady stream of priority-9
+///     submits after at most 9 x aging_seconds of waiting. Zero starvation
+///     is a property of the queue, not of workload luck — the load bench
+///     asserts it.
+///   * **Shed order.** Under a full queue a strictly-higher-priority
+///     submit sheds the entry with the lowest effective priority; ties
+///     break toward the *newest* entry (largest id), so work that has
+///     already waited longest is the last to be displaced.
+///
+/// All decisions take an explicit `now` so tests drive time directly; the
+/// queue itself never reads the clock.
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace stormtrack {
+
+struct FairQueueConfig {
+  /// Seconds of queue wait per +1 effective priority; <= 0 disables
+  /// aging (raw-priority scheduling, starvation and all).
+  double aging_seconds = 0.5;
+};
+
+/// See file comment. Not thread-safe — the supervisor guards it with its
+/// session mutex like the rest of the scheduler state.
+class FairQueue {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Entry {
+    std::uint64_t id = 0;
+    int priority = 0;
+    Clock::time_point enqueued{};
+  };
+
+  explicit FairQueue(FairQueueConfig config = {}) : config_(config) {}
+
+  void push(std::uint64_t id, int priority, Clock::time_point now);
+
+  /// Remove and return the id with the highest effective priority; within
+  /// a lane, FIFO. Ties across lanes go to the lane whose front entry has
+  /// waited longest (then the lower id). Empty queue returns nullopt.
+  std::optional<std::uint64_t> pop_best(Clock::time_point now);
+
+  /// The entry a strictly-higher-priority submit would displace: lowest
+  /// effective priority; within that lane the *newest* entry. Does not
+  /// remove it. Empty queue returns nullopt.
+  [[nodiscard]] std::optional<Entry> shed_victim(Clock::time_point now) const;
+
+  /// Remove a specific id (cancel, shed). False when not queued.
+  bool remove(std::uint64_t id);
+
+  /// Nominal priority + aging credit at \p now.
+  [[nodiscard]] int effective_priority(const Entry& entry,
+                                       Clock::time_point now) const;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  /// Snapshot of every queued entry (lane order, FIFO within lanes).
+  [[nodiscard]] std::vector<Entry> entries() const;
+
+ private:
+  FairQueueConfig config_;
+  /// Lanes keyed by nominal priority, FIFO within each.
+  std::map<int, std::deque<Entry>> lanes_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace stormtrack

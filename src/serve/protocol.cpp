@@ -1,11 +1,14 @@
 #include "serve/protocol.hpp"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -23,6 +26,7 @@ const char* to_string(MsgType type) {
     case MsgType::kStatus: return "status";
     case MsgType::kCancel: return "cancel";
     case MsgType::kShutdown: return "shutdown";
+    case MsgType::kStats: return "stats";
     case MsgType::kHelloOk: return "hello-ok";
     case MsgType::kAccepted: return "accepted";
     case MsgType::kRejectedBusy: return "rejected-busy";
@@ -32,22 +36,101 @@ const char* to_string(MsgType type) {
     case MsgType::kDone: return "done";
     case MsgType::kError: return "error";
     case MsgType::kShutdownOk: return "shutdown-ok";
+    case MsgType::kStatsReply: return "stats-reply";
   }
   return "unknown";
 }
 
+void put_server_stats(BinaryWriter& w, const ServerStats& stats) {
+  w.put_u64(stats.active);
+  w.put_u64(stats.queued);
+  w.put_u8(stats.healthy ? 1 : 0);
+  w.put_u64(stats.journal_pending);
+  w.put_u64(stats.journal_write_failures);
+  w.put_f64(stats.estimated_wait_seconds);
+  w.put_count(stats.tenants.size());
+  for (const TenantStats& t : stats.tenants) {
+    w.put_string(t.tenant);
+    w.put_u64(t.submitted);
+    w.put_u64(t.admitted);
+    w.put_u64(t.rejected);
+    w.put_u64(t.shed);
+    w.put_u64(t.completed);
+    w.put_f64(t.cpu_seconds);
+  }
+}
+
+ServerStats get_server_stats(BinaryReader& r) {
+  ServerStats stats;
+  stats.active = r.get_u64("stats active");
+  stats.queued = r.get_u64("stats queued");
+  stats.healthy = r.get_u8("stats healthy") != 0;
+  stats.journal_pending = r.get_u64("stats journal pending");
+  stats.journal_write_failures = r.get_u64("stats journal write failures");
+  stats.estimated_wait_seconds = r.get_f64("stats estimated wait");
+  const std::size_t count = r.get_count("stats tenant count");
+  stats.tenants.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    TenantStats t;
+    t.tenant = r.get_string("tenant name");
+    t.submitted = r.get_u64("tenant submitted");
+    t.admitted = r.get_u64("tenant admitted");
+    t.rejected = r.get_u64("tenant rejected");
+    t.shed = r.get_u64("tenant shed");
+    t.completed = r.get_u64("tenant completed");
+    t.cpu_seconds = r.get_f64("tenant cpu seconds");
+    stats.tenants.push_back(std::move(t));
+  }
+  return stats;
+}
+
 namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+using Deadline = std::optional<SteadyClock::time_point>;
+
+/// Block until \p fd is ready for \p events or \p deadline passes.
+/// Returns false exactly on deadline expiry; POLLERR/POLLHUP count as
+/// ready (the following recv/send reports the real error or EOF).
+bool poll_ready(int fd, short events, const Deadline& deadline) {
+  while (true) {
+    int timeout_ms = -1;
+    if (deadline) {
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::milliseconds>(*deadline - SteadyClock::now());
+      if (remaining.count() <= 0) return false;
+      // +1 so we never spin on a sub-millisecond remainder.
+      timeout_ms = static_cast<int>(remaining.count()) + 1;
+    }
+    pollfd pfd{fd, events, 0};
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      ST_CHECK_MSG(false, "poll failed: " << std::strerror(errno));
+    }
+    if (rc > 0) return true;
+    if (deadline) return false;  // rc == 0 only happens with a timeout
+  }
+}
 
 /// Write all of \p bytes, retrying short writes and EINTR. MSG_NOSIGNAL
 /// turns a dead peer into EPIPE instead of SIGPIPE, so library users need
-/// no signal handler.
-void write_all(int fd, std::span<const std::byte> bytes) {
+/// no signal handler. With a deadline, each chunk waits for the socket to
+/// accept bytes at most until the deadline — a peer that stops draining
+/// its receive buffer makes this throw instead of blocking forever.
+void write_all(int fd, std::span<const std::byte> bytes,
+               const Deadline& deadline = std::nullopt) {
   std::size_t done = 0;
   while (done < bytes.size()) {
+    ST_CHECK_MSG(poll_ready(fd, POLLOUT, deadline),
+                 "write deadline exceeded: peer stopped draining its "
+                 "socket (wrote "
+                     << done << " of " << bytes.size() << " bytes)");
     const ssize_t n = ::send(fd, bytes.data() + done, bytes.size() - done,
-                             MSG_NOSIGNAL);
+                             MSG_NOSIGNAL | (deadline ? MSG_DONTWAIT : 0));
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
       ST_CHECK_MSG(false, "socket write failed: " << std::strerror(errno));
     }
     done += static_cast<std::size_t>(n);
@@ -55,13 +138,21 @@ void write_all(int fd, std::span<const std::byte> bytes) {
 }
 
 /// Read exactly bytes.size() bytes. Returns false on EOF before the first
-/// byte (clean close); throws on EOF mid-read or any error.
-bool read_exact(int fd, std::span<std::byte> bytes) {
+/// byte (clean close); throws on EOF mid-read, any error, or — with a
+/// deadline — when the bytes do not all arrive in time.
+bool read_exact(int fd, std::span<std::byte> bytes,
+                const Deadline& deadline = std::nullopt) {
   std::size_t done = 0;
   while (done < bytes.size()) {
-    const ssize_t n = ::recv(fd, bytes.data() + done, bytes.size() - done, 0);
+    ST_CHECK_MSG(poll_ready(fd, POLLIN, deadline),
+                 "read deadline exceeded: peer sent only "
+                     << done << " of " << bytes.size()
+                     << " bytes of a frame (slowloris?)");
+    const ssize_t n = ::recv(fd, bytes.data() + done, bytes.size() - done,
+                             deadline ? MSG_DONTWAIT : 0);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
       ST_CHECK_MSG(false, "socket read failed: " << std::strerror(errno));
     }
     if (n == 0) {
@@ -75,9 +166,17 @@ bool read_exact(int fd, std::span<std::byte> bytes) {
   return true;
 }
 
+Deadline deadline_after(double seconds) {
+  if (seconds <= 0.0) return std::nullopt;
+  return SteadyClock::now() +
+         std::chrono::duration_cast<SteadyClock::duration>(
+             std::chrono::duration<double>(seconds));
+}
+
 }  // namespace
 
-void send_frame(int fd, MsgType type, std::span<const std::byte> payload) {
+void send_frame(int fd, MsgType type, std::span<const std::byte> payload,
+                double deadline_seconds) {
   ST_CHECK_MSG(payload.size() <= kMaxFramePayload,
                "frame payload of " << payload.size()
                                    << " bytes exceeds the protocol limit of "
@@ -86,24 +185,33 @@ void send_frame(int fd, MsgType type, std::span<const std::byte> payload) {
   std::uint32_t crc = crc32_update(0, {&type_byte, 1});
   crc = crc32_update(crc, payload);
 
+  // One deadline covers the whole frame: header, payload, and CRC.
+  const Deadline deadline = deadline_after(deadline_seconds);
   BinaryWriter head;
   head.put_u32(kFrameMagic);
   head.put_u8(static_cast<std::uint8_t>(type));
   head.put_u32(static_cast<std::uint32_t>(payload.size()));
-  write_all(fd, head.bytes());
-  write_all(fd, payload);
+  write_all(fd, head.bytes(), deadline);
+  write_all(fd, payload, deadline);
   BinaryWriter tail;
   tail.put_u32(crc);
-  write_all(fd, tail.bytes());
+  write_all(fd, tail.bytes(), deadline);
 }
 
-void send_frame(int fd, MsgType type, const BinaryWriter& payload) {
-  send_frame(fd, type, payload.bytes());
+void send_frame(int fd, MsgType type, const BinaryWriter& payload,
+                double deadline_seconds) {
+  send_frame(fd, type, payload.bytes(), deadline_seconds);
 }
 
-std::optional<Frame> recv_frame(int fd) {
+std::optional<Frame> recv_frame(int fd, double deadline_seconds) {
+  // The deadline arms at the frame's first byte: read one byte with no
+  // time bound (idling between frames is legal), then require the rest of
+  // the frame within the budget.
   std::array<std::byte, 9> head_bytes;  // magic + type + size
-  if (!read_exact(fd, head_bytes)) return std::nullopt;
+  if (!read_exact(fd, std::span(head_bytes).first(1))) return std::nullopt;
+  const Deadline deadline = deadline_after(deadline_seconds);
+  ST_CHECK_MSG(read_exact(fd, std::span(head_bytes).subspan(1), deadline),
+               "peer closed the connection mid-frame header");
   BinaryReader head(head_bytes);
   const std::uint32_t magic = head.get_u32("frame magic");
   ST_CHECK_MSG(magic == kFrameMagic,
@@ -121,11 +229,11 @@ std::optional<Frame> recv_frame(int fd) {
   frame.type = static_cast<MsgType>(type);
   frame.payload.resize(size);
   if (size > 0) {
-    ST_CHECK_MSG(read_exact(fd, frame.payload),
+    ST_CHECK_MSG(read_exact(fd, frame.payload, deadline),
                  "peer closed the connection before the frame payload");
   }
   std::array<std::byte, 4> crc_bytes;
-  ST_CHECK_MSG(read_exact(fd, crc_bytes),
+  ST_CHECK_MSG(read_exact(fd, crc_bytes, deadline),
                "peer closed the connection before the frame CRC");
   BinaryReader crc_reader(crc_bytes);
   const std::uint32_t stored = crc_reader.get_u32("frame crc");
@@ -258,7 +366,15 @@ ClientConnection::SubmitReply ClientConnection::submit(
   out.reason = r.get_string("rejection reason");
   out.active = r.get_u64("rejection active");
   out.queued = r.get_u64("rejection queued");
+  out.estimated_wait_seconds = r.get_f64("rejection estimated wait");
   return out;
+}
+
+ServerStats ClientConnection::stats() {
+  const Frame reply =
+      round_trip(MsgType::kStats, BinaryWriter{}, MsgType::kStatsReply);
+  BinaryReader r = reply.reader();
+  return get_server_stats(r);
 }
 
 std::vector<SessionStatus> ClientConnection::list() {

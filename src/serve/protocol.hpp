@@ -37,7 +37,12 @@ namespace stormtrack {
 
 /// "STMF" little-endian.
 inline constexpr std::uint32_t kFrameMagic = 0x464D'5453u;
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// v2: SessionSpec gained the tenant label, kRejectedBusy reports the
+/// estimated queue wait, and kStats/kStatsReply expose per-tenant
+/// accounting and daemon health. The handshake rejects a version
+/// mismatch in either direction — there are no mixed-version deployments
+/// of a daemon and its ctl on one machine worth supporting.
+inline constexpr std::uint32_t kProtocolVersion = 2;
 /// Upper bound on one frame's payload (16 MiB) — admission control for
 /// the codec itself: a garbage length can never make the receiver
 /// allocate unbounded memory.
@@ -53,16 +58,20 @@ inline constexpr std::uint32_t kMaxFramePayload = 16u << 20;
 ///   kStatus       u64 session id
 ///   kCancel       u64 session id
 ///   kShutdown     (empty)
+///   kStats        (empty)
 ///
 ///   kHelloOk      u32 version, u64 active, u64 queued
 ///   kAccepted     u64 session id
-///   kRejectedBusy string reason, u64 active, u64 queued
+///   kRejectedBusy string reason, u64 active, u64 queued,
+///                 f64 estimated_wait_seconds (backpressure hint: how long
+///                 a queued slot is expected to take to open up)
 ///   kStatusReply  SessionStatus
 ///   kListReply    count, then SessionStatus each
 ///   kEvent        SessionEvent
 ///   kDone         SessionStatus (terminal; ends an attach stream)
 ///   kError        string message
 ///   kShutdownOk   (empty)
+///   kStatsReply   ServerStats
 enum class MsgType : std::uint8_t {
   kHello = 1,
   kSubmit = 2,
@@ -71,6 +80,7 @@ enum class MsgType : std::uint8_t {
   kStatus = 5,
   kCancel = 6,
   kShutdown = 7,
+  kStats = 8,
 
   kHelloOk = 64,
   kAccepted = 65,
@@ -81,9 +91,39 @@ enum class MsgType : std::uint8_t {
   kDone = 70,
   kError = 71,
   kShutdownOk = 72,
+  kStatsReply = 73,
 };
 
 [[nodiscard]] const char* to_string(MsgType type);
+
+/// Per-tenant accounting row in a kStatsReply (see SessionSpec::tenant).
+struct TenantStats {
+  std::string tenant;            ///< Empty = the default tenant.
+  std::uint64_t submitted = 0;   ///< Submits that passed validation.
+  std::uint64_t admitted = 0;    ///< Accepted into the queue or a lane.
+  std::uint64_t rejected = 0;    ///< Turned away at admission (busy).
+  std::uint64_t shed = 0;        ///< Displaced from the queue by overload.
+  std::uint64_t completed = 0;   ///< Reached the done state.
+  double cpu_seconds = 0.0;      ///< Wall seconds of lane time consumed.
+};
+
+/// Daemon-level snapshot carried by kStatsReply.
+struct ServerStats {
+  std::uint64_t active = 0;
+  std::uint64_t queued = 0;
+  /// False while journal appends are failing and records sit buffered in
+  /// memory (degraded mode); the daemon keeps serving either way.
+  bool healthy = true;
+  std::uint64_t journal_pending = 0;         ///< Buffered journal records.
+  std::uint64_t journal_write_failures = 0;  ///< Cumulative failed appends.
+  /// Expected seconds until a queued submit would start (EWMA of recent
+  /// session durations scaled by the queue ahead of it).
+  double estimated_wait_seconds = 0.0;
+  std::vector<TenantStats> tenants;  ///< Sorted by tenant name.
+};
+
+void put_server_stats(BinaryWriter& w, const ServerStats& stats);
+[[nodiscard]] ServerStats get_server_stats(BinaryReader& r);
 
 /// One decoded frame.
 struct Frame {
@@ -98,17 +138,27 @@ struct Frame {
 
 /// Write one frame to \p fd, handling short writes and EINTR; throws
 /// CheckError when the peer is gone (EPIPE/ECONNRESET) or on any other
-/// write failure.
-void send_frame(int fd, MsgType type, std::span<const std::byte> payload);
-void send_frame(int fd, MsgType type, const BinaryWriter& payload);
+/// write failure. A positive \p deadline_seconds bounds the *whole frame*:
+/// if the peer does not drain its socket fast enough for the frame to be
+/// handed to the kernel within the budget, the send throws — this is what
+/// lets the daemon drop a stalled attach reader instead of blocking a
+/// handler thread forever.
+void send_frame(int fd, MsgType type, std::span<const std::byte> payload,
+                double deadline_seconds = 0.0);
+void send_frame(int fd, MsgType type, const BinaryWriter& payload,
+                double deadline_seconds = 0.0);
 inline void send_frame(int fd, MsgType type) {
   send_frame(fd, type, std::span<const std::byte>{});
 }
 
 /// Read one frame from \p fd. Returns nullopt on clean EOF at a frame
 /// boundary; throws CheckError on garbage, CRC mismatch, or EOF
-/// mid-frame.
-[[nodiscard]] std::optional<Frame> recv_frame(int fd);
+/// mid-frame. A positive \p deadline_seconds arms when the frame's FIRST
+/// byte arrives: the rest of the frame must follow within the budget or
+/// the read throws (anti-slowloris — a client may idle between frames
+/// forever, but once it starts a frame it must finish it).
+[[nodiscard]] std::optional<Frame> recv_frame(int fd,
+                                              double deadline_seconds = 0.0);
 
 /// Bind + listen on a Unix-domain stream socket at \p path (an existing
 /// socket file is removed first — stale sockets from a killed daemon must
@@ -134,6 +184,9 @@ class ClientConnection {
     std::string reason;         ///< Valid when rejected.
     std::uint64_t active = 0;   ///< Server load at rejection time.
     std::uint64_t queued = 0;
+    /// Backpressure hint on rejection: expected seconds until a slot
+    /// opens. Retry-after guidance, not a promise.
+    double estimated_wait_seconds = 0.0;
   };
 
   /// Connects and performs the kHello handshake (version check).
@@ -146,6 +199,8 @@ class ClientConnection {
   [[nodiscard]] SubmitReply submit(const SessionSpec& spec);
   [[nodiscard]] std::vector<SessionStatus> list();
   [[nodiscard]] SessionStatus status(std::uint64_t id);
+  /// Daemon health + per-tenant accounting snapshot.
+  [[nodiscard]] ServerStats stats();
   /// Returns the post-cancel status.
   SessionStatus cancel(std::uint64_t id);
   /// Ask the daemon to shut down gracefully.

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <string_view>
 #include <utility>
 
 #include "serve/protocol.hpp"
@@ -76,6 +77,16 @@ int SessionServer::connections_handled() const {
   return connections_;
 }
 
+int SessionServer::deadline_drops() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return deadline_drops_;
+}
+
+std::int64_t SessionServer::events_dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_dropped_;
+}
+
 void SessionServer::accept_loop() {
   while (true) {
     reap_finished_handlers();
@@ -95,6 +106,12 @@ void SessionServer::accept_loop() {
     if (!running_) {
       close_fd(fd);
       return;
+    }
+    if (config_.send_buffer_bytes > 0) {
+      // Shrunk in tests so a stalled reader fills the socket quickly and
+      // the write deadline actually fires.
+      const int bytes = config_.send_buffer_bytes;
+      (void)::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes));
     }
     ++connections_;
     const int handler = next_handler_++;
@@ -134,9 +151,14 @@ void SessionServer::reap_finished_handlers() {
 }
 
 void SessionServer::handle_connection(int fd) {
+  // Shorthand: every reply honors the configured write deadline.
+  const auto reply_frame = [&](MsgType type, const BinaryWriter& body) {
+    send_frame(fd, type, body, config_.write_deadline_seconds);
+  };
   try {
     while (true) {
-      std::optional<Frame> frame = recv_frame(fd);
+      std::optional<Frame> frame =
+          recv_frame(fd, config_.read_deadline_seconds);
       if (!frame.has_value()) break;  // client hung up
       BinaryReader r = frame->reader();
       switch (frame->type) {
@@ -147,7 +169,7 @@ void SessionServer::handle_connection(int fd) {
             reply.put_string("protocol version " + std::to_string(version) +
                              " not supported (daemon speaks " +
                              std::to_string(kProtocolVersion) + ")");
-            send_frame(fd, MsgType::kError, reply);
+            reply_frame(MsgType::kError, reply);
             break;
           }
           BinaryWriter reply;
@@ -156,7 +178,7 @@ void SessionServer::handle_connection(int fd) {
               static_cast<std::uint64_t>(supervisor_.active_count()));
           reply.put_u64(
               static_cast<std::uint64_t>(supervisor_.queued_count()));
-          send_frame(fd, MsgType::kHelloOk, reply);
+          reply_frame(MsgType::kHelloOk, reply);
           break;
         }
         case MsgType::kSubmit: {
@@ -167,7 +189,7 @@ void SessionServer::handle_connection(int fd) {
             case SessionSupervisor::Admission::kAccepted: {
               BinaryWriter reply;
               reply.put_u64(result.id);
-              send_frame(fd, MsgType::kAccepted, reply);
+              reply_frame(MsgType::kAccepted, reply);
               break;
             }
             case SessionSupervisor::Admission::kRejectedBusy: {
@@ -175,13 +197,14 @@ void SessionServer::handle_connection(int fd) {
               reply.put_string(result.reason);
               reply.put_u64(static_cast<std::uint64_t>(result.active));
               reply.put_u64(static_cast<std::uint64_t>(result.queued));
-              send_frame(fd, MsgType::kRejectedBusy, reply);
+              reply.put_f64(result.estimated_wait_seconds);
+              reply_frame(MsgType::kRejectedBusy, reply);
               break;
             }
             case SessionSupervisor::Admission::kInvalid: {
               BinaryWriter reply;
               reply.put_string("invalid session spec: " + result.reason);
-              send_frame(fd, MsgType::kError, reply);
+              reply_frame(MsgType::kError, reply);
               break;
             }
           }
@@ -190,6 +213,12 @@ void SessionServer::handle_connection(int fd) {
         case MsgType::kAttach:
           handle_attach(fd, r);
           break;
+        case MsgType::kStats: {
+          BinaryWriter reply;
+          put_server_stats(reply, supervisor_.stats());
+          reply_frame(MsgType::kStatsReply, reply);
+          break;
+        }
         case MsgType::kList: {
           const std::vector<SessionStatus> sessions = supervisor_.list();
           BinaryWriter reply;
@@ -197,7 +226,7 @@ void SessionServer::handle_connection(int fd) {
           for (const SessionStatus& status : sessions) {
             put_session_status(reply, status);
           }
-          send_frame(fd, MsgType::kListReply, reply);
+          reply_frame(MsgType::kListReply, reply);
           break;
         }
         case MsgType::kStatus: {
@@ -206,11 +235,11 @@ void SessionServer::handle_connection(int fd) {
             const SessionStatus status = supervisor_.status(id);
             BinaryWriter reply;
             put_session_status(reply, status);
-            send_frame(fd, MsgType::kStatusReply, reply);
+            reply_frame(MsgType::kStatusReply, reply);
           } catch (const CheckError& e) {
             BinaryWriter reply;
             reply.put_string(e.what());
-            send_frame(fd, MsgType::kError, reply);
+            reply_frame(MsgType::kError, reply);
           }
           break;
         }
@@ -221,11 +250,11 @@ void SessionServer::handle_connection(int fd) {
                 supervisor_.cancel(id, "cancelled by client");
             BinaryWriter reply;
             put_session_status(reply, status);
-            send_frame(fd, MsgType::kStatusReply, reply);
+            reply_frame(MsgType::kStatusReply, reply);
           } catch (const CheckError& e) {
             BinaryWriter reply;
             reply.put_string(e.what());
-            send_frame(fd, MsgType::kError, reply);
+            reply_frame(MsgType::kError, reply);
           }
           break;
         }
@@ -237,20 +266,26 @@ void SessionServer::handle_connection(int fd) {
             shutdown_requested_ = true;
             shutdown_cv_.notify_all();
           }
-          send_frame(fd, MsgType::kShutdownOk);
+          reply_frame(MsgType::kShutdownOk, BinaryWriter{});
           break;
         }
         default: {
           BinaryWriter reply;
           reply.put_string(std::string("unexpected ") +
                            to_string(frame->type) + " frame from a client");
-          send_frame(fd, MsgType::kError, reply);
+          reply_frame(MsgType::kError, reply);
           break;
         }
       }
     }
-  } catch (const std::exception&) {
-    // Framing violation or dead peer: drop this connection, keep serving.
+  } catch (const std::exception& e) {
+    // Framing violation, dead peer, or a blown read/write deadline: drop
+    // this connection, keep serving.
+    if (std::string_view(e.what()).find("deadline exceeded") !=
+        std::string_view::npos) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++deadline_drops_;
+    }
   }
   // The caller (the handler thread) deregisters and closes the fd.
 }
@@ -258,6 +293,7 @@ void SessionServer::handle_connection(int fd) {
 void SessionServer::handle_attach(int fd, BinaryReader& request) {
   const std::uint64_t id = request.get_u64("attach id");
   std::uint64_t seq = request.get_u64("attach from seq");
+  const double write_deadline = config_.write_deadline_seconds;
   while (true) {
     SessionSupervisor::EventBatch batch;
     try {
@@ -265,19 +301,35 @@ void SessionServer::handle_attach(int fd, BinaryReader& request) {
     } catch (const CheckError& e) {
       BinaryWriter reply;
       reply.put_string(e.what());
-      send_frame(fd, MsgType::kError, reply);
+      send_frame(fd, MsgType::kError, reply, write_deadline);
       return;
     }
-    for (const SessionEvent& event : batch.events) {
+    // Bounded send queue, drop-oldest: a reader that fell more than
+    // max_event_backlog events behind gets only the newest ones. The seq
+    // numbers expose the gap, so a client that cares can re-attach from
+    // the first missing seq.
+    std::size_t first = 0;
+    if (config_.max_event_backlog > 0 &&
+        batch.events.size() >
+            static_cast<std::size_t>(config_.max_event_backlog)) {
+      first = batch.events.size() -
+              static_cast<std::size_t>(config_.max_event_backlog);
+      const std::lock_guard<std::mutex> lock(mutex_);
+      events_dropped_ += static_cast<std::int64_t>(first);
+    }
+    for (std::size_t i = first; i < batch.events.size(); ++i) {
+      const SessionEvent& event = batch.events[i];
       BinaryWriter body;
       put_session_event(body, event);
-      send_frame(fd, MsgType::kEvent, body);
+      // A stalled reader makes this throw once its socket fills and the
+      // write deadline passes; handle_connection drops the connection.
+      send_frame(fd, MsgType::kEvent, body, write_deadline);
       seq = event.seq + 1;
     }
     if (batch.terminal) {
       BinaryWriter body;
       put_session_status(body, batch.status);
-      send_frame(fd, MsgType::kDone, body);
+      send_frame(fd, MsgType::kDone, body, write_deadline);
       return;
     }
     bool running = false;
@@ -291,7 +343,7 @@ void SessionServer::handle_attach(int fd, BinaryReader& request) {
       BinaryWriter reply;
       reply.put_string("daemon stopping; reattach session " +
                        std::to_string(id) + " after restart");
-      send_frame(fd, MsgType::kError, reply);
+      send_frame(fd, MsgType::kError, reply, write_deadline);
       return;
     }
   }

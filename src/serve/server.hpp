@@ -15,8 +15,20 @@
 /// The server itself holds no session state: detach/reattach works
 /// because sessions live in the supervisor keyed by id, and a client that
 /// reconnects simply attaches to the id again (from any event seq).
+///
+/// Hostile-client hardening: a client that starts a frame must finish it
+/// within read_deadline_seconds (slowloris byte-dripping drops the
+/// connection, idling between frames does not); a peer that stops reading
+/// must drain each reply within write_deadline_seconds (a stalled attach
+/// reader is dropped instead of pinning a handler thread); an attach
+/// reader that falls behind max_event_backlog events gets the newest
+/// events only (drop-oldest, visible as a seq gap). Malformed frames —
+/// bad magic, oversized length, CRC mismatch, truncation — already drop
+/// the connection via recv_frame; the protocol fuzz test keeps that path
+/// honest under ASan.
 
 #include <condition_variable>
+#include <cstdint>
 #include <filesystem>
 #include <map>
 #include <mutex>
@@ -30,6 +42,22 @@ namespace stormtrack {
 struct ServerConfig {
   std::filesystem::path socket_path;
   int backlog = 16;
+  /// Once a client starts a frame it must finish it within this budget or
+  /// the connection is dropped (anti-slowloris); <= 0 disables. Idling
+  /// *between* frames is always legal.
+  double read_deadline_seconds = 10.0;
+  /// A reply or event frame must be accepted by the peer's socket within
+  /// this budget or the connection is dropped (a stalled attach reader
+  /// must not pin a handler thread); <= 0 disables.
+  double write_deadline_seconds = 10.0;
+  /// Most events an attach stream sends from one wait_events() batch; a
+  /// reader that fell further behind gets only the newest
+  /// max_event_backlog events (oldest dropped — seq numbers expose the
+  /// gap). <= 0 disables the bound.
+  int max_event_backlog = 1024;
+  /// SO_SNDBUF for accepted connections; 0 keeps the OS default. Tests
+  /// shrink it so a stalled reader fills the socket quickly.
+  int send_buffer_bytes = 0;
 };
 
 /// See file comment. start()/stop() are not thread-safe against each
@@ -61,6 +89,11 @@ class SessionServer {
   }
   /// Connections accepted over the server's lifetime.
   [[nodiscard]] int connections_handled() const;
+  /// Connections dropped for violating a read or write deadline.
+  [[nodiscard]] int deadline_drops() const;
+  /// Attach-stream events dropped because a reader fell behind
+  /// max_event_backlog (drop-oldest).
+  [[nodiscard]] std::int64_t events_dropped() const;
 
  private:
   void accept_loop();
@@ -82,6 +115,8 @@ class SessionServer {
   bool running_ = false;
   bool shutdown_requested_ = false;
   int connections_ = 0;
+  int deadline_drops_ = 0;
+  std::int64_t events_dropped_ = 0;
   /// Live connection fds by handler id, so stop() can unblock handlers.
   /// An entry is erased (under mutex_) *before* its fd is closed, so
   /// stop() never shuts down a closed — possibly reused — descriptor.

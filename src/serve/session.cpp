@@ -81,6 +81,7 @@ std::vector<std::string> session_spec_problems(const SessionSpec& spec) {
 }
 
 void put_session_spec(BinaryWriter& w, const SessionSpec& spec) {
+  w.put_string(spec.tenant);
   w.put_string(spec.machine);
   w.put_i32(spec.cores);
   w.put_string(spec.strategy);
@@ -93,6 +94,7 @@ void put_session_spec(BinaryWriter& w, const SessionSpec& spec) {
 
 SessionSpec get_session_spec(BinaryReader& r) {
   SessionSpec spec;
+  spec.tenant = r.get_string("session tenant");
   spec.machine = r.get_string("session machine");
   spec.cores = r.get_i32("session cores");
   spec.strategy = r.get_string("session strategy");

@@ -37,6 +37,10 @@ namespace stormtrack {
 
 /// What a client asks the daemon to run, plus its scheduling class.
 struct SessionSpec {
+  /// Accounting label: which client/team the session is billed to. Free
+  /// text; the daemon aggregates admitted/shed/completed counts and CPU
+  /// seconds per tenant (STATS message). Empty means "default".
+  std::string tenant;
   std::string machine = "bgl";      ///< Machine::by_name name.
   int cores = 256;                  ///< Simulated core count.
   std::string strategy = "diffusion";  ///< StrategyRegistry name.

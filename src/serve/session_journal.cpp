@@ -91,47 +91,78 @@ BinaryWriter record_head(Record type, std::uint64_t id) {
 
 }  // namespace
 
-void SessionJournal::submitted(std::uint64_t id, const SessionSpec& spec) {
+bool SessionJournal::append_or_buffer(std::vector<std::byte> record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!pending_.empty() && !flush_pending_locked()) {
+    // Older records still stuck: this one must wait behind them so the
+    // on-disk order always matches the logical order.
+    pending_.push_back(std::move(record));
+    return false;
+  }
+  if (log_.try_append(record)) return true;
+  pending_.push_back(std::move(record));
+  return false;
+}
+
+bool SessionJournal::flush_pending_locked() {
+  while (!pending_.empty()) {
+    if (!log_.try_append(pending_.front())) return false;
+    pending_.pop_front();
+  }
+  return true;
+}
+
+bool SessionJournal::flush_pending() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return flush_pending_locked();
+}
+
+std::size_t SessionJournal::pending_records() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+bool SessionJournal::submitted(std::uint64_t id, const SessionSpec& spec) {
   BinaryWriter w = record_head(Record::kSubmitted, id);
   put_session_spec(w, spec);
-  log_.append(w.bytes());
   if (id > max_id_) max_id_ = id;
+  return append_or_buffer(w.bytes());
 }
 
-void SessionJournal::started(std::uint64_t id, int attempt) {
+bool SessionJournal::started(std::uint64_t id, int attempt) {
   BinaryWriter w = record_head(Record::kStarted, id);
   w.put_i32(attempt);
-  log_.append(w.bytes());
+  return append_or_buffer(w.bytes());
 }
 
-void SessionJournal::finished(std::uint64_t id, std::uint64_t fingerprint,
+bool SessionJournal::finished(std::uint64_t id, std::uint64_t fingerprint,
                               int intervals_done) {
   BinaryWriter w = record_head(Record::kFinished, id);
   w.put_u64(fingerprint);
   w.put_i32(intervals_done);
-  log_.append(w.bytes());
+  return append_or_buffer(w.bytes());
 }
 
-void SessionJournal::failed(std::uint64_t id, const std::string& error) {
+bool SessionJournal::failed(std::uint64_t id, const std::string& error) {
   BinaryWriter w = record_head(Record::kFailed, id);
   w.put_string(error);
-  log_.append(w.bytes());
+  return append_or_buffer(w.bytes());
 }
 
-void SessionJournal::quarantined(std::uint64_t id, const std::string& error) {
+bool SessionJournal::quarantined(std::uint64_t id, const std::string& error) {
   BinaryWriter w = record_head(Record::kQuarantined, id);
   w.put_string(error);
-  log_.append(w.bytes());
+  return append_or_buffer(w.bytes());
 }
 
-void SessionJournal::cancelled(std::uint64_t id, const std::string& reason) {
+bool SessionJournal::cancelled(std::uint64_t id, const std::string& reason) {
   BinaryWriter w = record_head(Record::kCancelled, id);
   w.put_string(reason);
-  log_.append(w.bytes());
+  return append_or_buffer(w.bytes());
 }
 
-void SessionJournal::shed(std::uint64_t id) {
-  log_.append(record_head(Record::kShed, id).bytes());
+bool SessionJournal::shed(std::uint64_t id) {
+  return append_or_buffer(record_head(Record::kShed, id).bytes());
 }
 
 }  // namespace stormtrack

@@ -20,11 +20,25 @@
 /// A graceful stop() deliberately writes no terminal record for sessions
 /// still queued or running, so SIGTERM, SIGKILL, and a pulled power cord
 /// all recover through one code path.
+///
+/// **Degraded mode.** A journal append can fail — disk full, dying device,
+/// or an injected fault (util/fs_fault.hpp). Instead of wedging the daemon
+/// or losing the transition, the journal buffers the encoded record in
+/// memory (FIFO) and reports the failure to the caller; every later append
+/// first drains the buffer so the on-disk record order always matches the
+/// logical order. The supervisor surfaces a non-empty buffer as the
+/// `degraded` health state, retries the flush from its watchdog, and flips
+/// back to `healthy` once writes succeed again. Only a crash *while
+/// degraded* can lose the buffered transitions — and then recovery merely
+/// re-runs the affected sessions, it never invents or corrupts state.
 
 #include <cstdint>
+#include <deque>
 #include <filesystem>
 #include <map>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "ckpt/framed_log.hpp"
 #include "serve/session.hpp"
@@ -33,7 +47,10 @@ namespace stormtrack {
 
 /// "STSL" little-endian.
 inline constexpr std::uint32_t kSessionLogMagic = 0x4C53'5453u;
-inline constexpr std::uint32_t kSessionLogVersion = 1;
+/// v2: SessionSpec gained the tenant accounting label (wire and journal
+/// share the spec codec). FramedLog refuses a v1 journal on resume — the
+/// operator must start a fresh state directory after upgrading.
+inline constexpr std::uint32_t kSessionLogVersion = 2;
 
 /// One session's journal history folded to its outcome.
 struct ReplayedSession {
@@ -68,14 +85,32 @@ class SessionJournal {
   /// restarts.
   [[nodiscard]] std::uint64_t max_id() const { return max_id_; }
 
-  void submitted(std::uint64_t id, const SessionSpec& spec);
-  void started(std::uint64_t id, int attempt);
-  void finished(std::uint64_t id, std::uint64_t fingerprint,
+  /// Lifecycle appends. Each returns true when the record is durable on
+  /// disk, false when it was buffered because the write failed (degraded
+  /// mode; see the file comment). Callers may ignore the result — the
+  /// record is never dropped either way.
+  bool submitted(std::uint64_t id, const SessionSpec& spec);
+  bool started(std::uint64_t id, int attempt);
+  bool finished(std::uint64_t id, std::uint64_t fingerprint,
                 int intervals_done);
-  void failed(std::uint64_t id, const std::string& error);
-  void quarantined(std::uint64_t id, const std::string& error);
-  void cancelled(std::uint64_t id, const std::string& reason);
-  void shed(std::uint64_t id);
+  bool failed(std::uint64_t id, const std::string& error);
+  bool quarantined(std::uint64_t id, const std::string& error);
+  bool cancelled(std::uint64_t id, const std::string& reason);
+  bool shed(std::uint64_t id);
+
+  /// Retry writing buffered records, oldest first; stops at the first
+  /// failure. Returns true when the buffer is empty afterwards (healthy).
+  bool flush_pending();
+
+  /// Buffered (not yet durable) records.
+  [[nodiscard]] std::size_t pending_records() const;
+  /// True when every appended record is durable (no pending buffer).
+  [[nodiscard]] bool healthy() const { return pending_records() == 0; }
+  /// Append attempts that failed (cumulative, incl. flush retries).
+  [[nodiscard]] int write_failures() const { return log_.write_failures(); }
+  [[nodiscard]] std::string last_write_error() const {
+    return log_.last_write_error();
+  }
 
   [[nodiscard]] int torn_records_dropped() const {
     return log_.torn_records_dropped();
@@ -87,11 +122,20 @@ class SessionJournal {
 
  private:
   void replay_record(BinaryReader& rec);
+  /// Drain the pending buffer then append \p record (or buffer it).
+  bool append_or_buffer(std::vector<std::byte> record);
+  /// mutex_ held.
+  bool flush_pending_locked();
 
   /// Declared before log_: FramedLog's constructor replays into them.
   std::map<std::uint64_t, ReplayedSession> replayed_;
   std::uint64_t max_id_ = 0;
   FramedLog log_;
+  /// Guards pending_ — NOT the log itself (FramedLog locks internally),
+  /// but the FIFO-order invariant: no record may reach the log while an
+  /// older one still waits in the buffer.
+  mutable std::mutex mutex_;
+  std::deque<std::vector<std::byte>> pending_;
 };
 
 }  // namespace stormtrack

@@ -28,6 +28,7 @@ SessionSupervisor::SessionSupervisor(std::filesystem::path state_dir,
                                      ServeLimits limits)
     : state_dir_(std::move(state_dir)),
       limits_(limits),
+      queue_(FairQueueConfig{limits.aging_seconds}),
       journal_((std::filesystem::create_directories(state_dir_),
                 state_dir_ / "sessions.stjl"),
                std::filesystem::exists(state_dir_ / "sessions.stjl")) {
@@ -66,12 +67,12 @@ SessionSupervisor::RecoveryReport SessionSupervisor::recover() {
     }
     // Interrupted mid-run or still queued when the previous daemon died:
     // run it (again). A previously started session resumes from its
-    // checkpoint directory.
+    // checkpoint directory. sessions_ iterates in id order, so recovered
+    // sessions re-enter their lanes FIFO by original submit order.
     session->status.state = SessionState::kQueued;
-    queue_.push_back(id);
+    queue_.push(id, session->status.spec.priority, Clock::now());
     ++report.requeued;
   }
-  std::sort(queue_.begin(), queue_.end());
   metrics_.add_count("server.recovered_sessions", report.terminal);
   metrics_.add_count("server.requeued_sessions", report.requeued);
   work_cv_.notify_all();
@@ -133,34 +134,35 @@ SessionSupervisor::SubmitResult SessionSupervisor::submit(
   }
 
   const std::lock_guard<std::mutex> lock(mutex_);
+  const auto now = Clock::now();
   bump_locked("server.submitted");
+  TenantStats& tenant = tenants_[spec.tenant];
+  tenant.tenant = spec.tenant;
+  ++tenant.submitted;
   int active = 0;
   for (const auto& [id, session] : sessions_) {
     if (session->status.state == SessionState::kRunning) ++active;
   }
   result.active = active;
   result.queued = static_cast<int>(queue_.size());
+  result.estimated_wait_seconds = estimated_wait_locked();
 
   if (stopping_) {
     result.admission = Admission::kRejectedBusy;
     result.reason = "daemon is shutting down";
     bump_locked("server.rejected_busy");
+    ++tenant.rejected;
     return result;
   }
 
   if (result.queued >= limits_.max_queued) {
-    // Queue full. Shed the lowest-priority queued session if the incoming
-    // one outranks it; otherwise reject the submit.
-    auto victim = queue_.end();
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (victim == queue_.end() ||
-          sessions_.at(*it)->status.spec.priority <
-              sessions_.at(*victim)->status.spec.priority) {
-        victim = it;
-      }
-    }
-    if (victim == queue_.end() ||
-        sessions_.at(*victim)->status.spec.priority >= spec.priority) {
+    // Queue full. Shed the queued session with the lowest effective
+    // priority if the incoming one strictly outranks it (aging counts:
+    // an old low-priority session may have earned enough credit to be
+    // unsheddable); otherwise reject the submit with retry-after hints.
+    const std::optional<FairQueue::Entry> victim = queue_.shed_victim(now);
+    if (!victim.has_value() ||
+        queue_.effective_priority(*victim, now) >= spec.priority) {
       result.admission = Admission::kRejectedBusy;
       std::ostringstream reason;
       reason << "at capacity: " << active << " running, " << result.queued
@@ -169,29 +171,38 @@ SessionSupervisor::SubmitResult SessionSupervisor::submit(
              << spec.priority;
       result.reason = reason.str();
       bump_locked("server.rejected_busy");
+      ++tenant.rejected;
       return result;
     }
-    Session& shed = *sessions_.at(*victim);
+    Session& shed = *sessions_.at(victim->id);
     journal_.shed(shed.status.id);
     shed.status.state = SessionState::kShed;
     shed.status.error = "shed for a priority-" + std::to_string(spec.priority) +
                         " submission under full queue";
-    queue_.erase(victim);
+    queue_.remove(victim->id);
     bump_locked("server.shed_sessions");
+    TenantStats& shed_tenant = tenants_[shed.status.spec.tenant];
+    shed_tenant.tenant = shed.status.spec.tenant;
+    ++shed_tenant.shed;
+    bump_locked("server.shed_by_tenant." +
+                (shed.status.spec.tenant.empty() ? "default"
+                                                 : shed.status.spec.tenant));
     events_cv_.notify_all();
   }
 
   const std::uint64_t id = next_id_++;
   // Journal before acknowledging: an accepted session survives any crash
-  // from here on.
+  // from here on. (In degraded mode the record is buffered and flushed by
+  // the watchdog — only a crash while still degraded can lose it.)
   journal_.submitted(id, spec);
   auto session = std::make_unique<Session>();
   session->status.id = id;
   session->status.spec = spec;
   session->status.state = SessionState::kQueued;
   sessions_[id] = std::move(session);
-  queue_.push_back(id);
+  queue_.push(id, spec.priority, now);
   bump_locked("server.accepted");
+  ++tenant.admitted;
   result.admission = Admission::kAccepted;
   result.id = id;
   result.queued = static_cast<int>(queue_.size());
@@ -207,8 +218,7 @@ SessionStatus SessionSupervisor::cancel(std::uint64_t id,
   Session& session = *it->second;
   switch (session.status.state) {
     case SessionState::kQueued: {
-      const auto pos = std::find(queue_.begin(), queue_.end(), id);
-      if (pos != queue_.end()) queue_.erase(pos);
+      queue_.remove(id);
       journal_.cancelled(id, reason);
       session.status.state = SessionState::kCancelled;
       session.status.error = reason;
@@ -282,6 +292,43 @@ MetricsRegistry SessionSupervisor::metrics() const {
   return metrics_;
 }
 
+ServerStats SessionSupervisor::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ServerStats stats;
+  for (const auto& [id, session] : sessions_) {
+    if (session->status.state == SessionState::kRunning) ++stats.active;
+  }
+  stats.queued = queue_.size();
+  stats.healthy = journal_.healthy();
+  stats.journal_pending = journal_.pending_records();
+  stats.journal_write_failures =
+      static_cast<std::uint64_t>(journal_.write_failures());
+  stats.estimated_wait_seconds = estimated_wait_locked();
+  stats.tenants.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) stats.tenants.push_back(tenant);
+  return stats;
+}
+
+double SessionSupervisor::estimated_wait_locked() const {
+  if (ewma_session_seconds_ <= 0.0) return 0.0;
+  // A new arrival waits behind the whole queue, spread over the lanes.
+  return ewma_session_seconds_ *
+         (static_cast<double>(queue_.size()) + 1.0) /
+         static_cast<double>(limits_.max_active);
+}
+
+void SessionSupervisor::account_lane_time_locked(const std::string& tenant,
+                                                 double seconds) {
+  TenantStats& t = tenants_[tenant];
+  t.tenant = tenant;
+  t.cpu_seconds += seconds;
+  // EWMA with a 1/5 step: stable enough to survive one outlier session,
+  // fresh enough to track a workload shift within a few sessions.
+  ewma_session_seconds_ = ewma_session_seconds_ <= 0.0
+                              ? seconds
+                              : 0.8 * ewma_session_seconds_ + 0.2 * seconds;
+}
+
 int SessionSupervisor::active_count() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   int active = 0;
@@ -301,19 +348,6 @@ std::filesystem::path SessionSupervisor::checkpoint_dir(
   return state_dir_ / "sessions" / std::to_string(id) / "ck";
 }
 
-SessionSupervisor::Session* SessionSupervisor::pop_queued_locked() {
-  if (queue_.empty()) return nullptr;
-  auto best = queue_.begin();
-  for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
-    const int p = sessions_.at(*it)->status.spec.priority;
-    const int best_p = sessions_.at(*best)->status.spec.priority;
-    if (p > best_p || (p == best_p && *it < *best)) best = it;
-  }
-  Session* session = sessions_.at(*best).get();
-  queue_.erase(best);
-  return session;
-}
-
 void SessionSupervisor::bump_locked(std::string_view counter,
                                     std::int64_t amount) {
   metrics_.add_count(counter, amount);
@@ -326,8 +360,9 @@ void SessionSupervisor::lane_loop() {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
       if (stopping_) return;
-      session = pop_queued_locked();
-      if (session == nullptr) continue;
+      const std::optional<std::uint64_t> next = queue_.pop_best(Clock::now());
+      if (!next.has_value()) continue;
+      session = sessions_.at(*next).get();
       session->status.state = SessionState::kRunning;
       // Arm the wall-clock budget once, spanning every attempt and
       // backoff of this session (recovery re-arms in the new process: the
@@ -343,7 +378,19 @@ void SessionSupervisor::lane_loop() {
         session->deadline_armed = true;
       }
     }
+    const auto lane_started = Clock::now();
     run_session(*session);
+    const double lane_seconds =
+        std::chrono::duration<double>(Clock::now() - lane_started).count();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      account_lane_time_locked(session->status.spec.tenant, lane_seconds);
+      if (session->status.state == SessionState::kDone) {
+        TenantStats& tenant = tenants_[session->status.spec.tenant];
+        tenant.tenant = session->status.spec.tenant;
+        ++tenant.completed;
+      }
+    }
   }
 }
 
@@ -361,6 +408,24 @@ void SessionSupervisor::watchdog_loop() {
       session->token.cancel("session deadline exceeded (watchdog)");
       bump_locked("server.watchdog_cancels");
     }
+
+    // Degraded-mode recovery: retry buffered journal records each sweep
+    // (off the session lock — the flush does disk I/O) and account health
+    // transitions in both directions.
+    if (!journal_.healthy()) {
+      lock.unlock();
+      (void)journal_.flush_pending();
+      lock.lock();
+      if (stopping_) break;
+    }
+    const bool healthy_now = journal_.healthy();
+    if (was_healthy_ && !healthy_now) {
+      bump_locked("server.degraded_transitions");
+    } else if (!was_healthy_ && healthy_now) {
+      bump_locked("server.health_recoveries");
+    }
+    was_healthy_ = healthy_now;
+
     watchdog_cv_.wait_for(
         lock, std::chrono::duration<double>(limits_.watchdog_period_seconds));
   }

@@ -12,10 +12,25 @@
 ///     (one worker lane each) and at most `max_queued` wait. A submit
 ///     beyond both bounds is REJECTED_BUSY — the daemon's memory use is
 ///     bounded by configuration, never by client behaviour.
-///   * **Graceful degradation.** When the queue is full, a submit with
-///     strictly higher priority sheds the lowest-priority queued session
-///     (terminal state `shed`, counted as `server.shed_sessions`) rather
-///     than rejecting important work because of unimportant work.
+///   * **Fair scheduling.** The queue is a FairQueue (serve/fair_queue.hpp):
+///     per-priority lanes with an aging credit, so a low-priority session's
+///     effective priority rises the longer it waits and no session starves
+///     under sustained high-priority load (the load-gen bench asserts
+///     zero starvation). Rejections carry the queue depth and an estimated
+///     wait (EWMA of recent session durations) as retry-after guidance.
+///   * **Graceful degradation under overload.** When the queue is full, a
+///     submit with strictly higher priority sheds the queued session with
+///     the lowest *effective* priority — ties displace the newest entry,
+///     so work that has waited longest is the last to go (terminal state
+///     `shed`, counted as `server.shed_sessions` and per tenant as
+///     `server.shed_by_tenant.<tenant>`) — rather than rejecting important
+///     work because of unimportant work.
+///   * **Degraded I/O mode.** A failing journal disk (ENOSPC, EIO — real
+///     or injected via util/fs_fault.hpp) never wedges the daemon: records
+///     buffer in memory, health flips to degraded (stats()), the watchdog
+///     retries the flush each sweep, and health returns once writes
+///     succeed. Acknowledged sessions are journaled before the accept is
+///     sent, so anything the client saw accepted survives a restart.
 ///   * **Deadlines.** Each session gets a wall-clock budget (its spec's,
 ///     else the server default) spanning all attempts and backoff sleeps.
 ///     The budget is enforced twice over: the session's CancelToken is
@@ -49,6 +64,8 @@
 
 #include "core/experiment.hpp"
 #include "exec/cancel.hpp"
+#include "serve/fair_queue.hpp"
+#include "serve/protocol.hpp"
 #include "serve/session.hpp"
 #include "serve/session_journal.hpp"
 #include "util/metrics.hpp"
@@ -67,6 +84,9 @@ struct ServeLimits {
   int checkpoint_every = 1;  ///< Checkpoint cadence (intervals).
   int checkpoint_keep = 3;   ///< Checkpoints retained per session.
   double watchdog_period_seconds = 0.05;  ///< Deadline sweep cadence.
+  /// Queue-wait seconds per +1 effective priority in the fair queue;
+  /// <= 0 disables aging (see serve/fair_queue.hpp).
+  double aging_seconds = 0.5;
   /// Threads for each running session's executor (candidate evaluation +
   /// workload integration); 0 = serial. Lanes are the primary
   /// parallelism, so the default keeps one core per session.
@@ -87,6 +107,10 @@ class SessionSupervisor {
     std::string reason;    ///< Valid when not accepted.
     int active = 0;        ///< Running sessions at decision time.
     int queued = 0;        ///< Queued sessions at decision time.
+    /// Backpressure hint on rejection: expected seconds until a queue
+    /// slot opens (EWMA of recent session durations; 0 before any
+    /// session has finished).
+    double estimated_wait_seconds = 0.0;
   };
 
   struct RecoveryReport {
@@ -153,10 +177,19 @@ class SessionSupervisor {
   [[nodiscard]] SessionStatus wait_terminal(std::uint64_t id) const;
 
   /// `server.*` counters (submitted, accepted, rejected_busy,
-  /// shed_sessions, completed, failed, quarantined, cancelled, retries,
-  /// deadline_failures, watchdog_cancels, recovered_sessions,
-  /// requeued_sessions, resumes). Snapshot copy.
+  /// shed_sessions, shed_by_tenant.<tenant>, completed, failed,
+  /// quarantined, cancelled, retries, deadline_failures, watchdog_cancels,
+  /// recovered_sessions, requeued_sessions, resumes, degraded_transitions,
+  /// health_recoveries). Snapshot copy.
   [[nodiscard]] MetricsRegistry metrics() const;
+
+  /// Load, health, and per-tenant accounting snapshot (the kStatsReply
+  /// payload).
+  [[nodiscard]] ServerStats stats() const;
+
+  /// False while journal records sit buffered in memory because appends
+  /// are failing (degraded mode; see the class comment).
+  [[nodiscard]] bool healthy() const { return journal_.healthy(); }
 
   [[nodiscard]] int active_count() const;
   [[nodiscard]] int queued_count() const;
@@ -196,10 +229,13 @@ class SessionSupervisor {
   std::uint64_t run_attempt(Session& session, bool first_in_process);
 
   [[nodiscard]] std::filesystem::path checkpoint_dir(std::uint64_t id) const;
-  /// Pops the best queued session (highest priority, then lowest id);
-  /// returns null when the queue is empty. mutex_ held.
-  Session* pop_queued_locked();
   void bump_locked(std::string_view counter, std::int64_t amount = 1);
+  /// EWMA duration scaled by the queue ahead of a hypothetical new entry.
+  /// mutex_ held.
+  [[nodiscard]] double estimated_wait_locked() const;
+  /// Fold a finished lane occupancy into the tenant account and the EWMA
+  /// duration estimate. mutex_ held.
+  void account_lane_time_locked(const std::string& tenant, double seconds);
 
   std::filesystem::path state_dir_;
   ServeLimits limits_;
@@ -214,11 +250,19 @@ class SessionSupervisor {
   /// Paces the watchdog sweep; notified only by stop().
   mutable std::condition_variable watchdog_cv_;
   std::map<std::uint64_t, std::unique_ptr<Session>> sessions_;
-  std::vector<std::uint64_t> queue_;  ///< Queued session ids, FIFO.
+  /// Queued session ids: per-priority lanes with aging (class comment).
+  FairQueue queue_;
   std::uint64_t next_id_ = 1;
   bool stopping_ = false;
   bool started_ = false;
   MetricsRegistry metrics_;
+  /// Per-tenant accounting (key = SessionSpec::tenant, "" = default).
+  std::map<std::string, TenantStats> tenants_;
+  /// EWMA of lane-occupancy seconds per session; 0 until the first
+  /// session finishes. Drives estimated_wait_seconds.
+  double ewma_session_seconds_ = 0.0;
+  /// Last health observed by the watchdog, for transition counters.
+  bool was_healthy_ = true;
 
   SessionJournal journal_;
   std::vector<std::thread> lanes_;

@@ -5,7 +5,10 @@
 #include <fstream>
 #include <system_error>
 
+#include <cstring>
+
 #include "util/check.hpp"
+#include "util/fs_fault.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
@@ -39,6 +42,16 @@ std::atomic<std::uint64_t> g_dir_syncs{0};
 
 /// fsync an open file by path (no-op on platforms without fsync).
 void sync_path(const std::filesystem::path& path, bool directory) {
+  const FsFaultDecision fault = fs_fault_decide("fsync", path);
+  if (fault.fail) {
+    // Directory syncs only strengthen durability ordering; a file sync
+    // failure means the data may not be on the device — that must fail
+    // the write, exactly as the un-injected contract promises.
+    if (directory) return;
+    ST_CHECK_MSG(false, "fsync of " << path << " failed: "
+                                    << std::strerror(fault.error_no)
+                                    << " (injected fault)");
+  }
 #if STORMTRACK_HAVE_FSYNC
   const int flags = directory ? O_RDONLY | O_DIRECTORY : O_RDONLY;
   const int fd = ::open(path.c_str(), flags);
@@ -62,6 +75,14 @@ void sync_path(const std::filesystem::path& path, bool directory) {
 void write_file_atomic(const std::filesystem::path& path,
                        std::span<const std::byte> bytes) {
   ST_CHECK_MSG(!path.empty(), "write_file_atomic: empty path");
+  const FsFaultDecision fault = fs_fault_decide("write", path);
+  if (fault.fail) {
+    // The destination is untouched: the fault lands before the temp file
+    // exists, like open() or the first write returning ENOSPC would.
+    ST_CHECK_MSG(false, "cannot write " << path << ": "
+                                        << std::strerror(fault.error_no)
+                                        << " (injected fault)");
+  }
   if (!path.parent_path().empty())
     std::filesystem::create_directories(path.parent_path());
   const std::filesystem::path tmp = temp_sibling(path);
@@ -80,7 +101,13 @@ void write_file_atomic(const std::filesystem::path& path,
                                             << tmp);
     }
   }
-  sync_path(tmp, /*directory=*/false);
+  try {
+    sync_path(tmp, /*directory=*/false);
+  } catch (...) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    throw;
+  }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) {

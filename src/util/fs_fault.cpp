@@ -1,0 +1,146 @@
+#include "util/fs_fault.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace stormtrack {
+
+namespace {
+
+std::mutex g_mutex;
+std::optional<FsFaultSpec> g_spec;
+int g_matched = 0;  ///< Matching operations seen since install.
+std::atomic<std::uint64_t> g_injected{0};
+
+}  // namespace
+
+void fs_fault_install(const FsFaultSpec& spec) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_spec = spec;
+  g_matched = 0;
+}
+
+void fs_fault_clear() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  g_spec.reset();
+  g_matched = 0;
+}
+
+bool fs_fault_installed() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  return g_spec.has_value();
+}
+
+std::uint64_t fs_fault_injected_count() {
+  return g_injected.load(std::memory_order_relaxed);
+}
+
+FsFaultDecision fs_fault_decide(std::string_view op_name,
+                                const std::filesystem::path& path) {
+  FsFaultDecision decision;
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  if (!g_spec.has_value()) return decision;
+  const FsFaultSpec& spec = *g_spec;
+  if (!spec.op.empty() && spec.op != op_name) return decision;
+  if (!spec.path_contains.empty() &&
+      path.string().find(spec.path_contains) == std::string::npos) {
+    return decision;
+  }
+  const int index = g_matched++;
+  if (index < spec.skip) return decision;
+  if (spec.count >= 0 && index >= spec.skip + spec.count) return decision;
+  decision.fail = true;
+  decision.error_no = spec.error_no != 0 ? spec.error_no : ENOSPC;
+  if (op_name == "write") decision.short_write_bytes = spec.short_write_bytes;
+  g_injected.fetch_add(1, std::memory_order_relaxed);
+  return decision;
+}
+
+namespace {
+
+/// Split on ':' keeping empty segments (so `write::count=2` reads as
+/// "any path").
+std::vector<std::string> split_colons(const std::string& text) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t colon = text.find(':', start);
+    if (colon == std::string::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, colon - start));
+    start = colon + 1;
+  }
+}
+
+int parse_errno_name(const std::string& value) {
+  if (value == "ENOSPC") return ENOSPC;
+  if (value == "EIO") return EIO;
+  if (value == "EDQUOT") return EDQUOT;
+  char* end = nullptr;
+  const long n = std::strtol(value.c_str(), &end, 10);
+  ST_CHECK_MSG(end != value.c_str() && *end == '\0' && n > 0,
+               "fs-fault spec: unknown errno \"" << value
+                                                 << "\" (try ENOSPC, EIO, "
+                                                    "or a number)");
+  return static_cast<int>(n);
+}
+
+int parse_int(const std::string& value, const char* what) {
+  char* end = nullptr;
+  const long n = std::strtol(value.c_str(), &end, 10);
+  ST_CHECK_MSG(end != value.c_str() && *end == '\0',
+               "fs-fault spec: " << what << " \"" << value
+                                 << "\" is not a number");
+  return static_cast<int>(n);
+}
+
+}  // namespace
+
+FsFaultSpec parse_fs_fault_spec(const std::string& text) {
+  const std::vector<std::string> parts = split_colons(text);
+  ST_CHECK_MSG(parts.size() >= 2,
+               "fs-fault spec \"" << text
+                                  << "\" needs at least OP:PATH_SUBSTR "
+                                     "segments");
+  FsFaultSpec spec;
+  spec.op = parts[0];
+  ST_CHECK_MSG(spec.op.empty() || spec.op == "write" || spec.op == "fsync",
+               "fs-fault spec: op must be \"write\", \"fsync\", or empty, "
+               "got \""
+                   << spec.op << "\"");
+  spec.path_contains = parts[1];
+  for (std::size_t i = 2; i < parts.size(); ++i) {
+    const std::string& part = parts[i];
+    const std::size_t eq = part.find('=');
+    ST_CHECK_MSG(eq != std::string::npos,
+                 "fs-fault spec: segment \"" << part
+                                             << "\" is not key=value");
+    const std::string key = part.substr(0, eq);
+    const std::string value = part.substr(eq + 1);
+    if (key == "skip") {
+      spec.skip = parse_int(value, "skip");
+      ST_CHECK_MSG(spec.skip >= 0, "fs-fault spec: skip must be >= 0");
+    } else if (key == "count") {
+      spec.count = parse_int(value, "count");
+    } else if (key == "errno") {
+      spec.error_no = parse_errno_name(value);
+    } else if (key == "short") {
+      spec.short_write_bytes = parse_int(value, "short");
+    } else {
+      ST_CHECK_MSG(false, "fs-fault spec: unknown key \""
+                              << key
+                              << "\" (known: skip, count, errno, short)");
+    }
+  }
+  return spec;
+}
+
+}  // namespace stormtrack

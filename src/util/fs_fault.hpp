@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file fs_fault.hpp
+/// Injectable service-I/O faults for the durability layer.
+///
+/// PR 3's fault harness covers the *simulation* (lost payloads, dead
+/// ranks); this seam covers the *service*: the journal appends, fsyncs,
+/// and atomic file writes that stormtrackd's crash-safety story rests on.
+/// A test (or `stormtrackd --inject-fs-fault`) installs one process-wide
+/// FsFaultSpec; the instrumented call sites in util/atomic_file.cpp and
+/// ckpt/framed_log.cpp ask fs_fault_decide() before each matching
+/// operation and fail with the injected errno — or persist only a prefix
+/// of the record for short-write faults — exactly as a full disk or a
+/// dying device would.
+///
+/// The spec is a counter window, not a probability: "skip the first N
+/// matching ops, fail the next M, then succeed again" is deterministic,
+/// so the degraded-then-recovered path is replayable in CI. Thread-safe;
+/// at most one spec is installed at a time (installing replaces).
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+namespace stormtrack {
+
+/// What to inject and where. `op` and `path_contains` filter the call
+/// sites; the skip/count window selects *which* matching operations fail.
+struct FsFaultSpec {
+  /// Operation filter: "write", "fsync", or "" for any.
+  std::string op;
+  /// Substring filter on the target path ("" matches any path).
+  std::string path_contains;
+  /// Matching operations to let succeed before the window opens.
+  int skip = 0;
+  /// Matching operations to fail once the window is open; -1 = forever.
+  int count = -1;
+  /// errno reported for failed operations (default ENOSPC).
+  int error_no = 0;
+  /// For "write" faults: persist this many bytes of the record before
+  /// failing (a torn tail, as a crash mid-write leaves). Negative = fail
+  /// before writing anything.
+  int short_write_bytes = -1;
+};
+
+/// Verdict for one operation.
+struct FsFaultDecision {
+  bool fail = false;
+  int error_no = 0;
+  /// >= 0 only for "write" faults: persist exactly this many bytes, then
+  /// report the failure.
+  int short_write_bytes = -1;
+};
+
+/// Install \p spec process-wide (replaces any previous spec).
+void fs_fault_install(const FsFaultSpec& spec);
+
+/// Remove the installed spec; subsequent operations all succeed.
+void fs_fault_clear();
+
+/// True when a spec is installed (its window may already be exhausted).
+[[nodiscard]] bool fs_fault_installed();
+
+/// Operations failed by injection since process start.
+[[nodiscard]] std::uint64_t fs_fault_injected_count();
+
+/// Consulted by the instrumented call sites before each durable
+/// operation. Advances the skip/count window only on a filter match.
+[[nodiscard]] FsFaultDecision fs_fault_decide(
+    std::string_view op_name, const std::filesystem::path& path);
+
+/// Parse a `--inject-fs-fault` CLI spec of the form
+/// `OP:PATH_SUBSTR:skip=N:count=M:errno=ENOSPC|EIO|NUM[:short=K]`
+/// (e.g. `write:sessions.stjl:skip=4:count=3:errno=ENOSPC`). Empty OP or
+/// PATH_SUBSTR segments mean "any". Throws CheckError on malformed specs.
+[[nodiscard]] FsFaultSpec parse_fs_fault_spec(const std::string& text);
+
+}  // namespace stormtrack

@@ -1,0 +1,177 @@
+/// \file framed_log_fault_test.cpp
+/// FramedLog under injected I/O faults: failed appends leave the log
+/// usable, short writes leave a torn tail that both the in-process
+/// restore path and the restart replay path truncate cleanly.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "ckpt/framed_log.hpp"
+#include "util/binary_io.hpp"
+#include "util/check.hpp"
+#include "util/fs_fault.hpp"
+
+namespace stormtrack {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint32_t kMagic = 0x544C4654u;  // arbitrary test magic
+constexpr std::uint32_t kVersion = 1;
+
+class FramedLogFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fs_fault_clear();
+    dir_ = fs::temp_directory_path() /
+           ("st_flfault_" + std::string(::testing::UnitTest::GetInstance()
+                                            ->current_test_info()
+                                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    path_ = dir_ / "records.stjl";
+  }
+  void TearDown() override {
+    fs_fault_clear();
+    fs::remove_all(dir_);
+  }
+
+  FramedLog::Format format() const {
+    return FramedLog::Format{kMagic, kVersion, /*fingerprint=*/7,
+                             "fault test log"};
+  }
+
+  static std::vector<std::byte> record(std::uint64_t value) {
+    BinaryWriter w;
+    w.put_u64(value);
+    w.put_string("record-" + std::to_string(value));
+    return w.bytes();
+  }
+
+  /// Reopen with resume and collect the replayed u64 values.
+  std::vector<std::uint64_t> replay(int* torn = nullptr) {
+    std::vector<std::uint64_t> values;
+    FramedLog log(path_, format(), /*resume=*/true, [&](BinaryReader& r) {
+      const std::uint64_t value = r.get_u64("test value");
+      (void)r.get_string("test tag");
+      values.push_back(value);
+    });
+    if (torn != nullptr) *torn = log.torn_records_dropped();
+    return values;
+  }
+
+  fs::path dir_;
+  fs::path path_;
+};
+
+TEST_F(FramedLogFaultTest, ShortWriteLeavesTornTailThatResumeTruncates) {
+  std::uintmax_t size_after_good = 0;
+  {
+    FramedLog log(path_, format(), /*resume=*/false, nullptr);
+    ASSERT_TRUE(log.try_append(record(1)));
+    ASSERT_TRUE(log.try_append(record(2)));
+    size_after_good = fs::file_size(path_);
+
+    // Persist 6 bytes of the next frame, then fail — the torn tail a
+    // crash mid-write leaves.
+    FsFaultSpec spec;
+    spec.op = "write";
+    spec.path_contains = "records.stjl";
+    spec.count = 1;
+    spec.short_write_bytes = 6;
+    fs_fault_install(spec);
+    EXPECT_FALSE(log.try_append(record(3)));
+    EXPECT_EQ(log.write_failures(), 1);
+    fs_fault_clear();
+  }
+  // The dying process never appended again, so the torn bytes are still
+  // on disk.
+  EXPECT_GT(fs::file_size(path_), size_after_good);
+
+  int torn = 0;
+  const std::vector<std::uint64_t> values = replay(&torn);
+  EXPECT_EQ(values, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(torn, 1);
+  EXPECT_EQ(fs::file_size(path_), size_after_good);
+}
+
+TEST_F(FramedLogFaultTest, NextAppendRestoresTailInProcess) {
+  FramedLog log(path_, format(), /*resume=*/false, nullptr);
+  ASSERT_TRUE(log.try_append(record(1)));
+
+  FsFaultSpec spec;
+  spec.op = "write";
+  spec.path_contains = "records.stjl";
+  spec.count = 1;
+  spec.short_write_bytes = 3;
+  fs_fault_install(spec);
+  EXPECT_FALSE(log.try_append(record(2)));
+  fs_fault_clear();
+
+  // The fault window is closed; the retried record must land after the
+  // torn prefix is truncated away, leaving a clean 1, 2 history.
+  EXPECT_TRUE(log.try_append(record(2)));
+  const std::vector<std::uint64_t> values = replay();
+  EXPECT_EQ(values, (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST_F(FramedLogFaultTest, EnospcWindowFailsThenRecovers) {
+  FramedLog log(path_, format(), /*resume=*/false, nullptr);
+  FsFaultSpec spec;
+  spec.op = "write";
+  spec.path_contains = "records.stjl";
+  spec.skip = 1;
+  spec.count = 2;
+  spec.error_no = ENOSPC;
+  fs_fault_install(spec);
+
+  EXPECT_TRUE(log.try_append(record(1)));   // skipped by the window
+  EXPECT_FALSE(log.try_append(record(2)));  // window open
+  EXPECT_FALSE(log.try_append(record(2)));
+  EXPECT_EQ(log.write_failures(), 2);
+  EXPECT_NE(log.last_write_error().find("records.stjl"), std::string::npos);
+  EXPECT_TRUE(log.try_append(record(2)));  // window exhausted
+  fs_fault_clear();
+
+  const std::vector<std::uint64_t> values = replay();
+  EXPECT_EQ(values, (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST_F(FramedLogFaultTest, FsyncFaultFailsAppendWithoutCorruption) {
+  FramedLog log(path_, format(), /*resume=*/false, nullptr);
+  ASSERT_TRUE(log.try_append(record(1)));
+
+  FsFaultSpec spec;
+  spec.op = "fsync";
+  spec.path_contains = "records.stjl";
+  spec.count = 1;
+  spec.error_no = EIO;
+  fs_fault_install(spec);
+  EXPECT_FALSE(log.try_append(record(2)));
+  fs_fault_clear();
+
+  EXPECT_TRUE(log.try_append(record(3)));
+  const std::vector<std::uint64_t> values = replay();
+  EXPECT_EQ(values, (std::vector<std::uint64_t>{1, 3}));
+}
+
+TEST_F(FramedLogFaultTest, ThrowingAppendStillReportsTheError) {
+  FramedLog log(path_, format(), /*resume=*/false, nullptr);
+  FsFaultSpec spec;
+  spec.op = "write";
+  spec.count = 1;
+  spec.error_no = ENOSPC;
+  fs_fault_install(spec);
+  EXPECT_THROW(log.append(record(1)), CheckError);
+  fs_fault_clear();
+  EXPECT_NO_THROW(log.append(record(1)));
+  EXPECT_EQ(replay(), (std::vector<std::uint64_t>{1}));
+}
+
+}  // namespace
+}  // namespace stormtrack

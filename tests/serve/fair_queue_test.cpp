@@ -1,0 +1,127 @@
+/// \file fair_queue_test.cpp
+/// FairQueue semantics: lane order, aging credit, shed victim selection.
+/// All tests drive time explicitly — no sleeps, no wall clock.
+
+#include "serve/fair_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace stormtrack {
+namespace {
+
+using Clock = FairQueue::Clock;
+
+Clock::time_point t0() { return Clock::time_point{}; }
+
+Clock::time_point at(double seconds) {
+  return t0() + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(seconds));
+}
+
+TEST(FairQueueTest, PopsByPriorityThenFifoWithinLane) {
+  FairQueue q(FairQueueConfig{/*aging_seconds=*/0.0});
+  q.push(1, 0, t0());
+  q.push(2, 5, t0());
+  q.push(3, 5, t0());
+  q.push(4, 2, t0());
+  EXPECT_EQ(q.pop_best(t0()), 2u);  // highest priority, earliest pushed
+  EXPECT_EQ(q.pop_best(t0()), 3u);
+  EXPECT_EQ(q.pop_best(t0()), 4u);
+  EXPECT_EQ(q.pop_best(t0()), 1u);
+  EXPECT_FALSE(q.pop_best(t0()).has_value());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(FairQueueTest, AgingLiftsAStarvedLowPriorityEntry) {
+  // priority 0 entry waits while priority 3 entries keep arriving. With
+  // aging_seconds = 1, after 3 seconds its effective priority reaches
+  // 0 + 3, tying fresh priority-3 work — and ties go to the oldest entry.
+  FairQueue q(FairQueueConfig{/*aging_seconds=*/1.0});
+  q.push(1, 0, t0());
+  q.push(2, 3, at(2.5));
+  EXPECT_EQ(q.pop_best(at(2.5)), 2u);  // credit 2 so far: still loses
+  q.push(3, 3, at(3.5));
+  EXPECT_EQ(q.pop_best(at(3.5)), 1u);  // credit 3 ties, age breaks it
+  EXPECT_EQ(q.pop_best(at(3.5)), 3u);
+}
+
+TEST(FairQueueTest, ZeroAgingNeverLiftsPriority) {
+  FairQueue q(FairQueueConfig{/*aging_seconds=*/0.0});
+  q.push(1, 0, t0());
+  const FairQueue::Entry entry{1, 0, t0()};
+  EXPECT_EQ(q.effective_priority(entry, at(1e6)), 0);
+}
+
+TEST(FairQueueTest, ShedVictimIsLowestEffectiveThenNewest) {
+  FairQueue q(FairQueueConfig{/*aging_seconds=*/0.0});
+  q.push(1, 0, at(0.0));
+  q.push(2, 0, at(1.0));  // same priority, newer → preferred victim
+  q.push(3, 7, at(2.0));
+  const auto victim = q.shed_victim(at(2.0));
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->id, 2u);
+}
+
+TEST(FairQueueTest, AgedEntryOutranksFreshVictim) {
+  // With aging, an old priority-0 entry can stop being the shed victim:
+  // a fresh priority-1 entry has less effective priority than a
+  // priority-0 entry that waited 3 seconds (credit 3).
+  FairQueue q(FairQueueConfig{/*aging_seconds=*/1.0});
+  q.push(1, 0, at(0.0));
+  q.push(2, 1, at(3.0));
+  const auto victim = q.shed_victim(at(3.0));
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->id, 2u);  // effective 1 vs the aged entry's 3
+}
+
+TEST(FairQueueTest, RemoveDropsOnlyTheNamedId) {
+  FairQueue q;
+  q.push(1, 0, t0());
+  q.push(2, 0, t0());
+  q.push(3, 1, t0());
+  EXPECT_TRUE(q.remove(2));
+  EXPECT_FALSE(q.remove(2));  // already gone
+  EXPECT_FALSE(q.remove(99));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop_best(t0()), 3u);
+  EXPECT_EQ(q.pop_best(t0()), 1u);
+}
+
+TEST(FairQueueTest, EntriesSnapshotCoversAllLanes) {
+  FairQueue q;
+  q.push(1, 2, t0());
+  q.push(2, 0, t0());
+  q.push(3, 2, t0());
+  const auto entries = q.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  // Lane order (ascending priority), FIFO within lanes.
+  EXPECT_EQ(entries[0].id, 2u);
+  EXPECT_EQ(entries[1].id, 1u);
+  EXPECT_EQ(entries[2].id, 3u);
+}
+
+TEST(FairQueueTest, BoundedStarvationUnderSustainedHighPriorityLoad) {
+  // The fairness property the load bench gates end to end, in miniature:
+  // one priority-0 session and a stream of priority-9 submits, one pop
+  // per second. The low-priority session must be popped within
+  // 9 * aging_seconds + 1 pops.
+  FairQueue q(FairQueueConfig{/*aging_seconds=*/1.0});
+  q.push(1000, 0, at(0.0));
+  bool popped_low = false;
+  int pops_until_low = 0;
+  std::uint64_t next_id = 1;
+  for (int second = 1; second <= 12 && !popped_low; ++second) {
+    q.push(next_id++, 9, at(static_cast<double>(second)));
+    const auto id = q.pop_best(at(static_cast<double>(second)));
+    ASSERT_TRUE(id.has_value());
+    ++pops_until_low;
+    popped_low = *id == 1000u;
+  }
+  EXPECT_TRUE(popped_low);
+  EXPECT_LE(pops_until_low, 10);
+}
+
+}  // namespace
+}  // namespace stormtrack

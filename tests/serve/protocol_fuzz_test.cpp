@@ -1,0 +1,266 @@
+/// \file protocol_fuzz_test.cpp
+/// Hostile-client hardening: a live server fed garbage, mutated, and
+/// truncated frames must drop the offending connection and keep serving;
+/// slowloris writers and stalled readers must be cut off by the
+/// read/write deadlines instead of pinning handler threads. The corpus is
+/// seeded, so failures replay deterministically (also run under
+/// ASan/UBSan in the daemon-chaos CI job).
+
+#include <gtest/gtest.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ckpt/crc32.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/supervisor.hpp"
+
+namespace stormtrack {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Serialize one well-formed frame the way protocol.cpp does.
+std::vector<std::byte> encode_frame(MsgType type,
+                                    const std::vector<std::byte>& payload) {
+  BinaryWriter w;
+  w.put_u32(kFrameMagic);
+  w.put_u8(static_cast<std::uint8_t>(type));
+  w.put_u32(static_cast<std::uint32_t>(payload.size()));
+  for (const std::byte b : payload) {
+    w.put_u8(static_cast<std::uint8_t>(b));
+  }
+  const auto type_byte = static_cast<std::byte>(type);
+  std::uint32_t crc = crc32_update(0, {&type_byte, 1});
+  crc = crc32_update(crc, payload);
+  w.put_u32(crc);
+  return w.bytes();
+}
+
+std::vector<std::byte> hello_payload() {
+  BinaryWriter w;
+  w.put_u32(kProtocolVersion);
+  return w.bytes();
+}
+
+/// Best-effort raw write (the peer may close on us mid-corpus — fine).
+void write_bytes(int fd, const std::vector<std::byte>& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Wait until the peer closes our socket (EOF/reset); false on timeout.
+bool wait_peer_close(int fd, double timeout_seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds);
+  char buf[256];
+  while (std::chrono::steady_clock::now() < deadline) {
+    struct pollfd p = {fd, POLLIN, 0};
+    if (::poll(&p, 1, 50) <= 0) continue;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return true;  // EOF or reset: server dropped us
+  }
+  return false;
+}
+
+class ProtocolFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string name = std::string(::testing::UnitTest::GetInstance()
+                                             ->current_test_info()
+                                             ->name());
+    dir_ = fs::temp_directory_path() / ("st_fuzz_" + name);
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    socket_ = fs::temp_directory_path() /
+              ("st_fz_" + std::to_string(::getpid()) + "_" +
+               std::to_string(counter_++) + ".sock");
+  }
+  void TearDown() override {
+    fs::remove_all(dir_);
+    std::error_code ignored;
+    fs::remove(socket_, ignored);
+  }
+
+  fs::path dir_;
+  fs::path socket_;
+  static int counter_;
+};
+
+int ProtocolFuzzTest::counter_ = 0;
+
+TEST_F(ProtocolFuzzTest, SeededGarbageCorpusNeverWedgesTheServer) {
+  SessionSupervisor supervisor(dir_, ServeLimits{});
+  ServerConfig config;
+  config.socket_path = socket_;
+  config.read_deadline_seconds = 0.5;  // stalled-frame corpus entries
+  config.write_deadline_seconds = 2.0;
+  SessionServer server(supervisor, config);
+  server.start();
+
+  std::mt19937 rng(0xF00Du);  // fixed seed: failures replay exactly
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  const std::vector<std::byte> valid =
+      encode_frame(MsgType::kHello, hello_payload());
+
+  std::vector<std::vector<std::byte>> corpus;
+  // Pure noise at assorted lengths, including zero-length (connect+close).
+  for (const std::size_t len : {std::size_t{0}, std::size_t{1},
+                                std::size_t{8}, std::size_t{13},
+                                std::size_t{64}, std::size_t{1024}}) {
+    std::vector<std::byte> noise(len);
+    for (std::byte& b : noise) {
+      b = static_cast<std::byte>(byte_dist(rng));
+    }
+    corpus.push_back(std::move(noise));
+  }
+  // Every single-byte mutation class of a valid frame: magic, type,
+  // length, payload, CRC (16 random positions cover all five regions).
+  for (int i = 0; i < 16; ++i) {
+    std::vector<std::byte> mutated = valid;
+    const auto pos = static_cast<std::size_t>(
+        std::uniform_int_distribution<std::size_t>(0, valid.size() - 1)(rng));
+    mutated[pos] ^= static_cast<std::byte>(1 + byte_dist(rng) % 255);
+    corpus.push_back(std::move(mutated));
+  }
+  // Truncations at every prefix boundary class.
+  for (const std::size_t keep : {std::size_t{3}, std::size_t{4},
+                                 std::size_t{5}, std::size_t{9},
+                                 valid.size() - 1}) {
+    corpus.emplace_back(valid.begin(),
+                        valid.begin() + static_cast<std::ptrdiff_t>(keep));
+  }
+  // A length field past kMaxFramePayload: must be rejected before any
+  // allocation of that size.
+  {
+    std::vector<std::byte> oversized = valid;
+    const std::uint32_t huge = kMaxFramePayload + 1;
+    std::memcpy(oversized.data() + 5, &huge, sizeof(huge));
+    corpus.push_back(std::move(oversized));
+  }
+  // A valid hello followed by trailing garbage on the same connection.
+  {
+    std::vector<std::byte> combo = valid;
+    for (int i = 0; i < 32; ++i) {
+      combo.push_back(static_cast<std::byte>(byte_dist(rng)));
+    }
+    corpus.push_back(std::move(combo));
+  }
+
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    SCOPED_TRACE("corpus entry " + std::to_string(i));
+    const int fd = connect_unix(socket_);
+    write_bytes(fd, corpus[i]);
+    ::shutdown(fd, SHUT_WR);
+    // Drain whatever the server says (an error frame, or nothing) until
+    // it closes; a wedged handler would hang right here.
+    EXPECT_TRUE(wait_peer_close(fd, 5.0));
+    close_fd(fd);
+  }
+
+  // The server survived the whole corpus: a well-formed client still gets
+  // real service on a fresh connection.
+  ClientConnection client(socket_);
+  EXPECT_TRUE(client.list().empty());
+  EXPECT_TRUE(client.stats().healthy);
+  server.stop();
+}
+
+TEST_F(ProtocolFuzzTest, SlowlorisWriterIsDroppedByTheReadDeadline) {
+  SessionSupervisor supervisor(dir_, ServeLimits{});
+  ServerConfig config;
+  config.socket_path = socket_;
+  config.read_deadline_seconds = 0.3;
+  SessionServer server(supervisor, config);
+  server.start();
+
+  // Drip a valid frame one byte at a time, far slower than the deadline
+  // allows. The first byte arms the clock; the server must cut us off.
+  const std::vector<std::byte> frame =
+      encode_frame(MsgType::kHello, hello_payload());
+  const int fd = connect_unix(socket_);
+  const auto started = std::chrono::steady_clock::now();
+  bool dropped = false;
+  for (const std::byte b : frame) {
+    const ssize_t n = ::send(fd, &b, 1, MSG_NOSIGNAL);
+    if (n <= 0) {
+      dropped = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    char buf[64];
+    const ssize_t r = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (r == 0) {
+      dropped = true;
+      break;
+    }
+  }
+  if (!dropped) dropped = wait_peer_close(fd, 5.0);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+  close_fd(fd);
+
+  EXPECT_TRUE(dropped);
+  EXPECT_LT(elapsed, 5.0);  // deadline fired, not a full-frame stall
+  EXPECT_GE(server.deadline_drops(), 1);
+
+  // An honest client that idles *between* frames is never dropped.
+  ClientConnection client(socket_);
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  EXPECT_TRUE(client.list().empty());
+  server.stop();
+}
+
+TEST_F(ProtocolFuzzTest, StalledReaderIsDroppedByTheWriteDeadline) {
+  SessionSupervisor supervisor(dir_, ServeLimits{});
+  ServerConfig config;
+  config.socket_path = socket_;
+  config.write_deadline_seconds = 0.3;
+  config.send_buffer_bytes = 4096;  // fill fast so the deadline can fire
+  SessionServer server(supervisor, config);
+  server.start();
+
+  // Handshake normally, then pipeline hundreds of requests and never read
+  // a reply: the server's sends back up until its socket fills and the
+  // write deadline trips.
+  ClientConnection client(socket_);
+  BinaryWriter status_req;
+  status_req.put_u64(999);  // unknown id: each reply is an error string
+  const std::vector<std::byte> request =
+      encode_frame(MsgType::kStatus, status_req.bytes());
+  for (int i = 0; i < 800; ++i) {
+    write_bytes(client.fd(), request);
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(10);
+  while (server.deadline_drops() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(server.deadline_drops(), 1);
+
+  // The daemon sheds the stalled connection, not its own health.
+  ClientConnection fresh(socket_);
+  EXPECT_TRUE(fresh.stats().healthy);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace stormtrack
