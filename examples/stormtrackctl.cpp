@@ -158,6 +158,19 @@ void print_stats(const ServerStats& stats) {
     std::cout.unsetf(std::ios::fixed);
   }
   std::cout << "\n";
+  if (stats.pool_threads > 0) {
+    std::cout << "pool: " << stats.pool_threads << " thread(s), "
+              << stats.pool_executing << " executing, " << stats.pool_runnable
+              << " runnable, " << stats.pool_delayed << " delayed, "
+              << stats.pool_batches << " batch(es)\n";
+  }
+  if (stats.pricing_shared_hits + stats.pricing_shared_misses > 0) {
+    std::cout << "shared pricing: " << stats.pricing_shared_hits << " hit(s), "
+              << stats.pricing_shared_misses << " miss(es) ("
+              << std::fixed << std::setprecision(1)
+              << 100.0 * stats.pricing_shared_hit_rate() << "% hit rate)\n";
+    std::cout.unsetf(std::ios::fixed);
+  }
   if (!stats.healthy || stats.journal_write_failures > 0) {
     std::cout << "journal: " << stats.journal_pending << " record(s) buffered, "
               << stats.journal_write_failures << " write failure(s)\n";

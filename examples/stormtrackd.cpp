@@ -59,7 +59,13 @@ struct Options {
       "  --backoff S            first retry backoff seconds (default 0.05)\n"
       "  --checkpoint-every N   checkpoint cadence in intervals (default 1)\n"
       "  --threads N            executor threads per running session,\n"
-      "                         0 = serial (default 0)\n"
+      "                         0 = serial (default 0); lane mode only —\n"
+      "                         cannot be combined with --pool-threads\n"
+      "  --pool-threads N       shared-pool scheduling: N worker threads\n"
+      "                         cooperatively slice ALL running sessions\n"
+      "                         (max-active becomes an admission bound, not\n"
+      "                         a thread count); 0 = lane-per-session\n"
+      "                         (default 0)\n"
       "  --aging S              queue-wait seconds per +1 effective\n"
       "                         priority in the fair queue; 0 disables\n"
       "                         aging (default 0.5)\n"
@@ -118,6 +124,9 @@ std::optional<Options> parse(int argc, char** argv) {
     } else if (std::strcmp(arg, "--threads") == 0) {
       if ((value = need_value(i, arg)) == nullptr) return std::nullopt;
       opt.limits.executor_threads = std::atoi(value);
+    } else if (std::strcmp(arg, "--pool-threads") == 0) {
+      if ((value = need_value(i, arg)) == nullptr) return std::nullopt;
+      opt.limits.pool_threads = std::atoi(value);
     } else if (std::strcmp(arg, "--aging") == 0) {
       if ((value = need_value(i, arg)) == nullptr) return std::nullopt;
       opt.limits.aging_seconds = std::atof(value);
@@ -136,8 +145,15 @@ std::optional<Options> parse(int argc, char** argv) {
     }
   }
   if (opt.limits.max_active <= 0 || opt.limits.max_queued < 0 ||
-      opt.limits.max_attempts <= 0 || opt.limits.checkpoint_every <= 0) {
+      opt.limits.max_attempts <= 0 || opt.limits.checkpoint_every <= 0 ||
+      opt.limits.pool_threads < 0) {
     std::cerr << "limits must be positive (--max-queued may be 0)\n";
+    return std::nullopt;
+  }
+  if (opt.limits.pool_threads > 0 && opt.limits.executor_threads > 0) {
+    std::cerr << "--pool-threads and --threads are mutually exclusive: under "
+                 "a shared pool, sessions submit into the pool instead of "
+                 "owning private executors\n";
     return std::nullopt;
   }
   return opt;

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/fnv.hpp"
 
 namespace stormtrack {
 
@@ -80,6 +81,14 @@ Machine Machine::by_name(const std::string& name, int cores) {
   }
   ST_CHECK_MSG(false, "unknown machine '" << name << "' (valid: " << valid
                                           << ")");
+}
+
+std::uint64_t Machine::fingerprint() const {
+  Fingerprint fp;
+  fp.add(std::string_view(label_));
+  fp.add(static_cast<std::int64_t>(grid_px_));
+  fp.add(static_cast<std::int64_t>(grid_py_));
+  return fp.value();
 }
 
 std::vector<std::string> Machine::names() {

@@ -4,6 +4,7 @@
 /// Experimental platforms: topology + rank mapping + communicator bundled
 /// as one object, mirroring the paper's two machines (§V-C, Table III).
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -58,6 +59,13 @@ class Machine {
   [[nodiscard]] int grid_py() const { return grid_py_; }
   [[nodiscard]] int cores() const { return grid_px_ * grid_py_; }
   [[nodiscard]] const std::string& label() const { return label_; }
+
+  /// Stable identity of the machine *model* (label + process grid): two
+  /// Machine instances with equal fingerprints produce bit-identical cost
+  /// summaries for equal pricing queries, because the label pins the
+  /// topology + mapping construction and the grid pins the decomposition.
+  /// Used to scope cross-session caches (see SharedPricingCache).
+  [[nodiscard]] std::uint64_t fingerprint() const;
 
  private:
   std::unique_ptr<Topology> topo_;

@@ -60,6 +60,7 @@
 #include "perfmodel/redist_model.hpp"
 #include "redist/cost_cache.hpp"
 #include "redist/redistributor.hpp"
+#include "redist/shared_pricing.hpp"
 #include "util/metrics.hpp"
 
 namespace stormtrack {
@@ -114,6 +115,16 @@ struct ManagerConfig {
   /// results are bit-identical either way (A/B-tested), this is purely a
   /// hot-path optimization. Off disables memoization for ablations.
   bool pricing_cache = true;
+  /// Cross-session pricing reuse: when non-null, candidate pricings are
+  /// served from this process-wide cache (scoped by the machine's
+  /// fingerprint) *instead of* the pipeline-private RedistCostCache, so
+  /// pipelines sharing a machine model warm each other. Results are
+  /// bit-identical to the private cache and to no cache at all — entries
+  /// are pure functions of (machine fingerprint, pricing key). Must
+  /// outlive the pipeline; ignored when pricing_cache is false (ablations
+  /// stay uncached). The daemon's supervisor hands one instance to every
+  /// session (see ServeLimits::shared_pricing).
+  SharedPricingCache* shared_pricing = nullptr;
   /// Initial usable view of the machine grid, origin-anchored; 0 (the
   /// default) means the full grid. A run can start on a sub-view and grow
   /// into the machine later via resize_schedule — the malleable-job shape.

@@ -1,0 +1,45 @@
+#include "exec/shared_pool.hpp"
+
+namespace stormtrack {
+
+SharedPoolExecutor::SharedPoolExecutor(int threads) : pool_(threads) {}
+
+int SharedPoolExecutor::concurrency() const { return pool_.concurrency(); }
+
+void SharedPoolExecutor::parallel_for(
+    std::size_t n, const std::function<void(std::size_t)>& body) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    pool_.parallel_for(n, [&](std::size_t i) {
+      running_.fetch_add(1, std::memory_order_relaxed);
+      try {
+        body(i);
+      } catch (...) {
+        running_.fetch_sub(1, std::memory_order_relaxed);
+        throw;
+      }
+      running_.fetch_sub(1, std::memory_order_relaxed);
+    });
+  } catch (...) {
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    throw;
+  }
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ExecutorStats SharedPoolExecutor::stats() const { return pool_.stats(); }
+
+PoolOccupancy SharedPoolExecutor::occupancy() const {
+  PoolOccupancy occ;
+  occ.threads = pool_.concurrency();
+  occ.inflight_batches = inflight_.load(std::memory_order_relaxed);
+  occ.running_tasks = running_.load(std::memory_order_relaxed);
+  occ.submitted_batches = submitted_.load(std::memory_order_relaxed);
+  occ.completed_batches = completed_.load(std::memory_order_relaxed);
+  return occ;
+}
+
+}  // namespace stormtrack

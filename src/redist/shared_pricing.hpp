@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file shared_pricing.hpp
+/// Cross-session redistribution pricing: one cache, many pipelines.
+///
+/// RedistCostCache (cost_cache.hpp) memoizes pricing per pipeline, and its
+/// key deliberately omits the communicator — one instance per machine, so
+/// summaries can never leak between topologies. That is the right contract
+/// inside a single run, but the daemon runs hundreds of sessions whose
+/// pipelines price the *same* candidates on the *same* machine model, each
+/// warming a private cache from cold.
+///
+/// SharedPricingCache generalizes the key with an explicit 64-bit *scope*
+/// (Machine::fingerprint(): label + process grid, which pins topology,
+/// mapping, and decomposition), making one process-wide map safe for every
+/// communicator: equal scope implies equal cost semantics, different
+/// scopes can never collide. Entries are pure functions of (scope, key),
+/// so sharing is bit-identical by construction — a hit returns exactly the
+/// summary a cold pipeline would have computed, and session fingerprints
+/// are unchanged whether the cache is shared, private, or disabled.
+///
+/// Counter contract matches RedistCostCache: a hit still counts as a
+/// cost query in the process-wide RedistCounters and bumps
+/// cost_cache_hits; additionally the instance keeps its own hit/miss
+/// totals so the daemon can report the *sharing* win separately
+/// (server.pricing_shared_hits).
+///
+/// When a machine's cost model changes (e.g. a recalibrated topology under
+/// an unchanged label — anything that would break the "equal scope, equal
+/// semantics" invariant), callers must invalidate(scope) before pricing
+/// against the new model.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "redist/redistributor.hpp"
+
+namespace stormtrack {
+
+/// See file comment. Thread-safe: price() races with itself, stats(), and
+/// invalidation from any thread; the normal case is many sessions pricing
+/// candidates concurrently on a shared executor pool.
+class SharedPricingCache {
+ public:
+  /// \p max_entries bounds the map across all scopes; reaching it flushes
+  /// everything (summaries are pure functions of the key, so flush timing
+  /// cannot change any result).
+  explicit SharedPricingCache(std::size_t max_entries = 1 << 18)
+      : max_entries_(max_entries) {}
+
+  /// Lifetime hit/miss totals for this instance (distinct from the global
+  /// RedistCounters, which aggregate every cache in the process).
+  struct Stats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    [[nodiscard]] double hit_rate() const {
+      const std::int64_t total = hits + misses;
+      return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                       : 0.0;
+    }
+  };
+
+  /// Cached equivalent of redistribution_cost(nest, old_rect, new_rect,
+  /// grid_px, bytes_per_point, comm), memoized under (scope, key). \p comm
+  /// must be the communicator \p scope stands for — callers derive both
+  /// from the same Machine.
+  [[nodiscard]] RedistCostSummary price(std::uint64_t scope,
+                                        const NestShape& nest,
+                                        const Rect& old_rect,
+                                        const Rect& new_rect, int grid_px,
+                                        int bytes_per_point,
+                                        const SimComm* comm);
+
+  /// Drop every entry priced under \p scope: required when the machine
+  /// model behind that fingerprint changes meaning. Other scopes keep
+  /// their entries.
+  void invalidate(std::uint64_t scope);
+
+  /// Drop everything (results are unaffected; only hit rates change).
+  void invalidate_all();
+
+  /// Instance hit/miss totals; see Stats.
+  [[nodiscard]] Stats stats() const;
+
+  /// Current number of memoized summaries across all scopes.
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Key {
+    std::uint64_t scope;
+    int nest_nx, nest_ny;
+    int old_x, old_y, old_w, old_h;
+    int new_x, new_y, new_w, new_h;
+    int grid_px, bytes_per_point;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<Key, RedistCostSummary, KeyHash> entries_;
+  std::size_t max_entries_;
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> misses_{0};
+};
+
+}  // namespace stormtrack

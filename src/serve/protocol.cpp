@@ -58,6 +58,15 @@ void put_server_stats(BinaryWriter& w, const ServerStats& stats) {
     w.put_u64(t.completed);
     w.put_f64(t.cpu_seconds);
   }
+  // Shared-pool extension block (see ServerStats): appended last so a v2
+  // decoder that predates it simply stops reading at the tenant list.
+  w.put_u64(stats.pool_threads);
+  w.put_u64(stats.pool_executing);
+  w.put_u64(stats.pool_runnable);
+  w.put_u64(stats.pool_delayed);
+  w.put_u64(stats.pool_batches);
+  w.put_u64(stats.pricing_shared_hits);
+  w.put_u64(stats.pricing_shared_misses);
 }
 
 ServerStats get_server_stats(BinaryReader& r) {
@@ -81,6 +90,17 @@ ServerStats get_server_stats(BinaryReader& r) {
     t.cpu_seconds = r.get_f64("tenant cpu seconds");
     stats.tenants.push_back(std::move(t));
   }
+  // Version-tolerant tail: a payload from a daemon without the
+  // shared-pool block ends here, and the defaults (all zeros) already
+  // mean "no pool, no shared pricing observed".
+  if (r.exhausted()) return stats;
+  stats.pool_threads = r.get_u64("stats pool threads");
+  stats.pool_executing = r.get_u64("stats pool executing");
+  stats.pool_runnable = r.get_u64("stats pool runnable");
+  stats.pool_delayed = r.get_u64("stats pool delayed");
+  stats.pool_batches = r.get_u64("stats pool batches");
+  stats.pricing_shared_hits = r.get_u64("stats pricing shared hits");
+  stats.pricing_shared_misses = r.get_u64("stats pricing shared misses");
   return stats;
 }
 

@@ -120,6 +120,26 @@ struct ServerStats {
   /// session durations scaled by the queue ahead of it).
   double estimated_wait_seconds = 0.0;
   std::vector<TenantStats> tenants;  ///< Sorted by tenant name.
+  // Shared-pool + pricing-cache block, appended after the tenant list so
+  // old decoders (which stop at the tenants) still parse new payloads and
+  // new decoders read zeros from old payloads (get_server_stats stops at
+  // an exhausted reader). Still protocol v2 — extension, not a break.
+  std::uint64_t pool_threads = 0;    ///< 0 = lane-per-session scheduling.
+  std::uint64_t pool_executing = 0;  ///< Sessions mid-slice on a worker.
+  std::uint64_t pool_runnable = 0;   ///< Admitted, awaiting their next slice.
+  std::uint64_t pool_delayed = 0;    ///< Parked in retry backoff.
+  std::uint64_t pool_batches = 0;    ///< Executor batches completed.
+  std::uint64_t pricing_shared_hits = 0;    ///< Shared-cache pricing hits.
+  std::uint64_t pricing_shared_misses = 0;  ///< Shared-cache pricing misses.
+
+  /// Fraction of shared-cache pricings served without recomputation.
+  [[nodiscard]] double pricing_shared_hit_rate() const {
+    const std::uint64_t total = pricing_shared_hits + pricing_shared_misses;
+    return total > 0
+               ? static_cast<double>(pricing_shared_hits) /
+                     static_cast<double>(total)
+               : 0.0;
+  }
 };
 
 void put_server_stats(BinaryWriter& w, const ServerStats& stats);

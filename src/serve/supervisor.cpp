@@ -35,6 +35,20 @@ SessionSupervisor::SessionSupervisor(std::filesystem::path state_dir,
   ST_CHECK_MSG(limits_.max_active > 0, "max_active must be positive");
   ST_CHECK_MSG(limits_.max_queued >= 0, "max_queued must not be negative");
   ST_CHECK_MSG(limits_.max_attempts > 0, "max_attempts must be positive");
+  ST_CHECK_MSG(limits_.pool_threads >= 0, "pool_threads must not be negative");
+  // The executor nesting hazard: with a shared pool, every session's
+  // pipeline must submit into it. executor_threads would hand each of the
+  // max_active admitted sessions its own private ThreadPoolExecutor on
+  // top of the pool's workers — oversubscribing the cores the pool was
+  // sized for — so the combination is a configuration error, not a
+  // silently-ignored knob.
+  ST_CHECK_MSG(!(limits_.pool_threads > 0 && limits_.executor_threads > 0),
+               "executor_threads (private per-session pools) cannot be "
+               "combined with pool_threads (shared executor pool): sessions "
+               "must submit into the shared pool; set executor_threads to 0");
+  if (limits_.pool_threads > 0) {
+    pool_ = std::make_unique<SharedPoolExecutor>(limits_.pool_threads);
+  }
   next_id_ = journal_.max_id() + 1;
   for (const auto& [id, replayed] : journal_.replayed()) {
     auto session = std::make_unique<Session>();
@@ -84,9 +98,20 @@ void SessionSupervisor::start() {
   if (started_) return;
   started_ = true;
   stopping_ = false;
-  lanes_.reserve(static_cast<std::size_t>(limits_.max_active));
-  for (int i = 0; i < limits_.max_active; ++i) {
-    lanes_.emplace_back([this] { lane_loop(); });
+  // Lane mode: one dedicated thread per concurrently running session.
+  // Pool mode: pool_threads cooperative workers, however many sessions
+  // are admitted.
+  const int threads =
+      pool_ != nullptr ? limits_.pool_threads : limits_.max_active;
+  lanes_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    lanes_.emplace_back([this] {
+      if (pool_ != nullptr) {
+        worker_loop();
+      } else {
+        lane_loop();
+      }
+    });
   }
   watchdog_ = std::thread([this] { watchdog_loop(); });
 }
@@ -116,6 +141,22 @@ void SessionSupervisor::stop() {
   lanes_.clear();
   if (watchdog_.joinable()) watchdog_.join();
   const std::lock_guard<std::mutex> lock(mutex_);
+  // Pool mode: sessions parked in the run queue (or in retry backoff)
+  // when the workers exited never observed their cancelled token. Mark
+  // them interrupted here — like the lane path, deliberately without a
+  // terminal journal record, so recovery after a graceful stop and after
+  // SIGKILL stay the same code path. Their checkpoints survive; their
+  // live simulations are dropped.
+  for (auto& [id, session] : sessions_) {
+    if (session->status.state != SessionState::kRunning) continue;
+    session->task.reset();
+    session->status.state = SessionState::kInterrupted;
+    session->queued_runnable = false;
+    session->slicing = false;
+  }
+  run_queue_.clear();
+  live_sessions_ = 0;
+  events_cv_.notify_all();
   started_ = false;
 }
 
@@ -229,6 +270,10 @@ SessionStatus SessionSupervisor::cancel(std::uint64_t id,
     case SessionState::kRunning:
       session.cancel_kind = CancelKind::kClient;
       session.token.cancel(reason);
+      // A pool-mode session parked between slices (yield queue is FIFO,
+      // or it is sitting out a retry backoff) gets its cancellation slice
+      // promptly instead of waiting for the backoff to elapse.
+      promote_locked(session);
       break;
     default:
       break;  // terminal or interrupted: nothing to do
@@ -289,7 +334,18 @@ SessionStatus SessionSupervisor::wait_terminal(std::uint64_t id) const {
 
 MetricsRegistry SessionSupervisor::metrics() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  return metrics_;
+  MetricsRegistry snapshot = metrics_;
+  // Cross-session sharing counters accrue inside the caches (internally
+  // synchronized), not under mutex_; fold current totals into the
+  // snapshot so they read like any other server.* counter.
+  const SharedPricingCache::Stats pricing = pricing_.stats();
+  snapshot.add_count("server.pricing_shared_hits", pricing.hits);
+  snapshot.add_count("server.pricing_shared_misses", pricing.misses);
+  if (pool_ != nullptr) {
+    snapshot.add_count("server.pool_batches",
+                       pool_->occupancy().completed_batches);
+  }
+  return snapshot;
 }
 
 ServerStats SessionSupervisor::stats() const {
@@ -306,15 +362,36 @@ ServerStats SessionSupervisor::stats() const {
   stats.estimated_wait_seconds = estimated_wait_locked();
   stats.tenants.reserve(tenants_.size());
   for (const auto& [name, tenant] : tenants_) stats.tenants.push_back(tenant);
+  if (pool_ != nullptr) {
+    const PoolOccupancy occ = pool_->occupancy();
+    stats.pool_threads = static_cast<std::uint64_t>(occ.threads);
+    stats.pool_batches = static_cast<std::uint64_t>(occ.completed_batches);
+    for (const auto& [id, session] : sessions_) {
+      if (session->status.state != SessionState::kRunning) continue;
+      if (session->slicing) {
+        ++stats.pool_executing;
+      } else if (session->queued_runnable) {
+        ++stats.pool_runnable;
+      } else {
+        ++stats.pool_delayed;
+      }
+    }
+  }
+  const SharedPricingCache::Stats pricing = pricing_.stats();
+  stats.pricing_shared_hits = static_cast<std::uint64_t>(pricing.hits);
+  stats.pricing_shared_misses = static_cast<std::uint64_t>(pricing.misses);
   return stats;
 }
 
 double SessionSupervisor::estimated_wait_locked() const {
   if (ewma_session_seconds_ <= 0.0) return 0.0;
-  // A new arrival waits behind the whole queue, spread over the lanes.
+  // A new arrival waits behind the whole queue, spread over the scheduler
+  // width: lanes in lane mode, pool workers in pool mode.
+  const int width =
+      pool_ != nullptr ? limits_.pool_threads : limits_.max_active;
   return ewma_session_seconds_ *
          (static_cast<double>(queue_.size()) + 1.0) /
-         static_cast<double>(limits_.max_active);
+         static_cast<double>(width);
 }
 
 void SessionSupervisor::account_lane_time_locked(const std::string& tenant,
@@ -407,6 +484,22 @@ void SessionSupervisor::watchdog_loop() {
       // wedged between polls.
       session->token.cancel("session deadline exceeded (watchdog)");
       bump_locked("server.watchdog_cancels");
+      promote_locked(*session);
+    }
+
+    // Pool mode: promote parked sessions — retry backoffs that have
+    // elapsed, and any cancelled session waiting between slices — so no
+    // thread ever sleeps on a session's behalf.
+    if (pool_ != nullptr) {
+      for (auto& [id, session] : sessions_) {
+        if (session->status.state != SessionState::kRunning ||
+            session->slicing || session->queued_runnable) {
+          continue;
+        }
+        if (session->runnable_at <= now || session->token.cancelled()) {
+          promote_locked(*session);
+        }
+      }
     }
 
     // Degraded-mode recovery: retry buffered journal records each sweep
@@ -431,8 +524,25 @@ void SessionSupervisor::watchdog_loop() {
   }
 }
 
-std::uint64_t SessionSupervisor::run_attempt(Session& session,
-                                             bool first_in_process) {
+/// Everything a running attempt keeps alive between cooperative slices.
+/// Member order is lifetime order: the simulation holds pointers into the
+/// machine, the config, and the checkpointer, so it is declared (and
+/// destroyed) last (first).
+struct SessionSupervisor::SessionTask {
+  Machine machine;
+  CoupledConfig cfg;
+  std::uint64_t config_fp = 0;
+  int target_intervals = 0;
+  /// Lane mode only (see ServeLimits::executor_threads).
+  std::unique_ptr<ThreadPoolExecutor> private_pool;
+  std::unique_ptr<CoupledCheckpointer> checkpointer;
+  std::unique_ptr<CoupledSimulation> sim;
+
+  explicit SessionTask(Machine m) : machine(std::move(m)) {}
+};
+
+std::unique_ptr<SessionSupervisor::SessionTask> SessionSupervisor::build_task(
+    Session& session, bool first_in_process) {
   SessionSpec spec;
   std::uint64_t id = 0;
   {
@@ -442,8 +552,8 @@ std::uint64_t SessionSupervisor::run_attempt(Session& session,
     // A cancel that raced in between the previous attempt's failure and
     // this one (client cancel, shutdown, or the watchdog) must be honored,
     // not cleared: only an untripped token is reset for the new attempt.
-    // The check() below then surfaces any pending cancellation, and
-    // run_session maps it through the still-valid cancel_kind.
+    // The check() below then surfaces any pending cancellation, and the
+    // caller maps it through the still-valid cancel_kind.
     if (session.cancel_kind == CancelKind::kNone &&
         !session.token.cancelled()) {
       session.token.reset();
@@ -455,33 +565,44 @@ std::uint64_t SessionSupervisor::run_attempt(Session& session,
   }
   session.token.check();  // budget may already be gone
 
-  Machine machine = Machine::by_name(spec.machine, spec.cores);
-  CoupledConfig cfg;
+  auto task =
+      std::make_unique<SessionTask>(Machine::by_name(spec.machine, spec.cores));
+  task->target_intervals = spec.intervals;
+  CoupledConfig& cfg = task->cfg;
   cfg.scenario.num_intervals = spec.intervals;
   cfg.scenario.seed = spec.seed;
   cfg.manager.strategy = spec.strategy;
   cfg.manager.cancel = &session.token;
   cfg.workload = spec.workload;
+  if (limits_.shared_pricing) cfg.manager.shared_pricing = &pricing_;
 
-  std::unique_ptr<ThreadPoolExecutor> pool;
-  if (limits_.executor_threads > 0) {
-    pool = std::make_unique<ThreadPoolExecutor>(limits_.executor_threads);
-    cfg.manager.executor = pool.get();
-    cfg.executor = pool.get();
+  if (pool_ != nullptr) {
+    // Shared-pool mode: the session's pipeline submits its data-parallel
+    // batches into the supervisor's pool — never a private executor (the
+    // constructor rejects executor_threads > 0 alongside pool_threads).
+    cfg.manager.executor = pool_.get();
+    cfg.executor = pool_.get();
+  } else if (limits_.executor_threads > 0) {
+    task->private_pool =
+        std::make_unique<ThreadPoolExecutor>(limits_.executor_threads);
+    cfg.manager.executor = task->private_pool.get();
+    cfg.executor = task->private_pool.get();
   }
 
   const std::filesystem::path dir = checkpoint_dir(id);
   std::filesystem::create_directories(dir);
-  const std::uint64_t config_fp = coupled_config_fingerprint(machine, cfg);
+  task->config_fp = coupled_config_fingerprint(task->machine, cfg);
   CheckpointPolicy policy;
   policy.dir = dir;
   policy.every = limits_.checkpoint_every;
   policy.keep = limits_.checkpoint_keep;
-  CoupledCheckpointer checkpointer(policy, config_fp);
-  cfg.hook = &checkpointer;
+  task->checkpointer =
+      std::make_unique<CoupledCheckpointer>(policy, task->config_fp);
+  cfg.hook = task->checkpointer.get();
 
-  CoupledSimulation sim(machine, models_.model, models_.truth, cfg);
-  const ResumeReport resume = resume_coupled(sim, dir, config_fp);
+  task->sim = std::make_unique<CoupledSimulation>(task->machine, models_.model,
+                                                  models_.truth, cfg);
+  const ResumeReport resume = resume_coupled(*task->sim, dir, task->config_fp);
   if (resume.resumed) {
     const std::lock_guard<std::mutex> lock(mutex_);
     // On the first attempt of this process the checkpoint must have come
@@ -491,27 +612,45 @@ std::uint64_t SessionSupervisor::run_attempt(Session& session,
     session.status.intervals_done = static_cast<int>(resume.step);
     bump_locked("server.resumes");
   }
+  return task;
+}
 
-  for (int i = sim.interval(); i < spec.intervals; ++i) {
-    const IntervalReport report = sim.advance();
-    const std::lock_guard<std::mutex> lock(mutex_);
-    SessionEvent event;
-    event.seq = session.events.size();
-    event.interval = report.interval;
-    event.chosen = report.realloc.chosen;
-    event.exec_seconds = report.realloc.committed.actual_exec;
-    event.redist_seconds = report.realloc.committed.actual_redist;
-    event.moved_bytes = report.workload_traffic.total_bytes;
-    event.inserted = static_cast<int>(report.diff.inserted.size());
-    event.deleted = static_cast<int>(report.diff.deleted.size());
-    event.retained = static_cast<int>(report.diff.retained.size());
-    session.events.push_back(std::move(event));
-    session.status.intervals_done = sim.interval();
-    session.status.next_event_seq = session.events.size();
-    events_cv_.notify_all();
+bool SessionSupervisor::step_task(Session& session) {
+  SessionTask& task = *session.task;
+  if (task.sim->interval() >= task.target_intervals) return false;
+  const IntervalReport report = task.sim->advance();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  SessionEvent event;
+  event.seq = session.events.size();
+  event.interval = report.interval;
+  event.chosen = report.realloc.chosen;
+  event.exec_seconds = report.realloc.committed.actual_exec;
+  event.redist_seconds = report.realloc.committed.actual_redist;
+  event.moved_bytes = report.workload_traffic.total_bytes;
+  event.inserted = static_cast<int>(report.diff.inserted.size());
+  event.deleted = static_cast<int>(report.diff.deleted.size());
+  event.retained = static_cast<int>(report.diff.retained.size());
+  session.events.push_back(std::move(event));
+  session.status.intervals_done = task.sim->interval();
+  session.status.next_event_seq = session.events.size();
+  events_cv_.notify_all();
+  return task.sim->interval() < task.target_intervals;
+}
+
+std::uint64_t SessionSupervisor::finish_task(Session& session) {
+  SessionTask& task = *session.task;
+  task.checkpointer->checkpoint_now(*task.sim);
+  return task.sim->state_fingerprint();
+}
+
+std::uint64_t SessionSupervisor::run_attempt(Session& session,
+                                             bool first_in_process) {
+  session.task = build_task(session, first_in_process);
+  while (step_task(session)) {
   }
-  checkpointer.checkpoint_now(sim);
-  return sim.state_fingerprint();
+  const std::uint64_t fingerprint = finish_task(session);
+  session.task.reset();
+  return fingerprint;
 }
 
 void SessionSupervisor::run_session(Session& session) {
@@ -545,6 +684,7 @@ void SessionSupervisor::run_session(Session& session) {
       events_cv_.notify_all();
       return;
     } catch (const CancelledError& e) {
+      session.task.reset();
       const std::lock_guard<std::mutex> lock(mutex_);
       switch (session.cancel_kind) {
         case CancelKind::kClient:
@@ -568,6 +708,7 @@ void SessionSupervisor::run_session(Session& session) {
       events_cv_.notify_all();
       return;
     } catch (const std::exception& e) {
+      session.task.reset();
       last_error = e.what();
     }
 
@@ -615,6 +756,189 @@ void SessionSupervisor::run_session(Session& session) {
       }
       events_cv_.notify_all();
       return;
+    }
+  }
+}
+
+// ----------------------------------------------------- cooperative pool mode
+
+void SessionSupervisor::promote_locked(Session& session) {
+  if (pool_ == nullptr) return;
+  if (session.status.state != SessionState::kRunning) return;
+  if (session.slicing || session.queued_runnable) return;
+  session.queued_runnable = true;
+  run_queue_.push_back(session.status.id);
+  work_cv_.notify_one();
+}
+
+SessionSupervisor::SliceOutcome SessionSupervisor::run_slice(
+    Session& session) {
+  std::uint64_t id = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    id = session.status.id;
+  }
+  try {
+    if (session.task == nullptr) {
+      int attempt = 0;
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        attempt = ++session.status.attempts;
+      }
+      journal_.started(id, attempt);
+      session.task = build_task(session, attempt == session.start_attempt + 1);
+    }
+    // Cancellation between slices surfaces inside sim.advance() (the
+    // pipeline polls the token at every adaptation point), the same yield
+    // points lane mode relies on.
+    if (step_task(session)) return SliceOutcome::kYield;
+    const std::uint64_t fingerprint = finish_task(session);
+    session.task.reset();
+    int intervals_done = 0;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      intervals_done = session.status.intervals_done;
+    }
+    journal_.finished(id, fingerprint, intervals_done);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    session.status.state = SessionState::kDone;
+    session.status.fingerprint = fingerprint;
+    bump_locked("server.completed");
+    events_cv_.notify_all();
+    return SliceOutcome::kTerminal;
+  } catch (const CancelledError& e) {
+    session.task.reset();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    switch (session.cancel_kind) {
+      case CancelKind::kClient:
+        journal_.cancelled(id, e.what());
+        session.status.state = SessionState::kCancelled;
+        session.status.error = e.what();
+        bump_locked("server.cancelled");
+        break;
+      case CancelKind::kShutdown:
+        // Deliberately no journal record: the next daemon's recovery
+        // requeues this session exactly as after a crash.
+        session.status.state = SessionState::kInterrupted;
+        break;
+      case CancelKind::kNone:  // the session's own deadline
+        journal_.failed(id, e.what());
+        session.status.state = SessionState::kFailed;
+        session.status.error = e.what();
+        bump_locked("server.deadline_failures");
+        break;
+    }
+    events_cv_.notify_all();
+    return SliceOutcome::kTerminal;
+  } catch (const std::exception& e) {
+    session.task.reset();
+    const std::string error = e.what();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      session.last_error = error;
+      if (session.status.attempts - session.start_attempt <
+          limits_.max_attempts) {
+        bump_locked("server.retries");
+        // The exponential backoff run_session sleeps on becomes a parked
+        // wake-up time: no thread waits on the session, the watchdog
+        // promotes it once runnable_at passes (or its token trips).
+        const double backoff = std::ldexp(
+            limits_.backoff_seconds,
+            session.status.attempts - session.start_attempt - 1);
+        session.runnable_at =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   backoff > 0.0 ? backoff : 0.0));
+        return SliceOutcome::kRetryLater;
+      }
+    }
+    journal_.quarantined(id, error);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    session.status.state = SessionState::kQuarantined;
+    session.status.error = error;
+    bump_locked("server.quarantined");
+    events_cv_.notify_all();
+    return SliceOutcome::kTerminal;
+  }
+}
+
+void SessionSupervisor::worker_loop() {
+  while (true) {
+    Session* session = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return stopping_ || !run_queue_.empty() ||
+               (!queue_.empty() && live_sessions_ < limits_.max_active);
+      });
+      if (stopping_) return;
+      // Admit under capacity before slicing: admission is cheap (state
+      // transition + deadline arming; the simulation is built lazily on
+      // the first slice), and a full admitted set is what keeps every
+      // worker busy.
+      while (live_sessions_ < limits_.max_active) {
+        const std::optional<std::uint64_t> next =
+            queue_.pop_best(Clock::now());
+        if (!next.has_value()) break;
+        Session& admitted = *sessions_.at(*next);
+        admitted.status.state = SessionState::kRunning;
+        admitted.start_attempt = admitted.status.attempts;
+        ++live_sessions_;
+        const double deadline =
+            admitted.status.spec.deadline_seconds > 0.0
+                ? admitted.status.spec.deadline_seconds
+                : limits_.session_deadline_seconds;
+        if (deadline > 0.0 && !admitted.deadline_armed) {
+          admitted.deadline_at =
+              Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(deadline));
+          admitted.deadline_armed = true;
+        }
+        admitted.queued_runnable = true;
+        run_queue_.push_back(*next);
+      }
+      if (run_queue_.empty()) continue;
+      session = sessions_.at(run_queue_.front()).get();
+      run_queue_.pop_front();
+      session->queued_runnable = false;
+      session->slicing = true;
+    }
+    const auto slice_started = Clock::now();
+    const SliceOutcome outcome = run_slice(*session);
+    const double slice_seconds =
+        std::chrono::duration<double>(Clock::now() - slice_started).count();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      session->slicing = false;
+      session->task_seconds += slice_seconds;
+      switch (outcome) {
+        case SliceOutcome::kYield:
+          // Round-robin: to the back of the runnable queue, so N light
+          // sessions interleave instead of the first admitted running to
+          // completion — and no session starves.
+          if (!stopping_) {
+            session->queued_runnable = true;
+            run_queue_.push_back(session->status.id);
+            work_cv_.notify_one();
+          }
+          break;
+        case SliceOutcome::kRetryLater:
+          break;  // parked; the watchdog promotes at runnable_at
+        case SliceOutcome::kTerminal: {
+          --live_sessions_;
+          account_lane_time_locked(session->status.spec.tenant,
+                                   session->task_seconds);
+          if (session->status.state == SessionState::kDone) {
+            TenantStats& tenant = tenants_[session->status.spec.tenant];
+            tenant.tenant = session->status.spec.tenant;
+            ++tenant.completed;
+          }
+          // Freed admission capacity: wake a worker to admit from the
+          // fair queue.
+          work_cv_.notify_one();
+          break;
+        }
+      }
     }
   }
 }

@@ -1,17 +1,38 @@
 #pragma once
 
 /// \file supervisor.hpp
-/// The stormtrackd session scheduler: bounded admission, worker lanes,
-/// per-session deadlines, supervised retries, and crash recovery.
+/// The stormtrackd session scheduler: bounded admission, worker lanes or a
+/// shared cooperative pool, per-session deadlines, supervised retries, and
+/// crash recovery.
 ///
 /// SessionSupervisor lifts SweepRunner::run_supervised's semantics —
 /// deadline, bounded retries with exponential backoff, quarantine — from a
 /// batch runner into a long-lived multi-tenant service:
 ///
 ///   * **Admission control.** At most `max_active` sessions run at once
-///     (one worker lane each) and at most `max_queued` wait. A submit
-///     beyond both bounds is REJECTED_BUSY — the daemon's memory use is
-///     bounded by configuration, never by client behaviour.
+///     and at most `max_queued` wait. A submit beyond both bounds is
+///     REJECTED_BUSY — the daemon's memory use is bounded by
+///     configuration, never by client behaviour.
+///   * **Two scheduling models.** With `pool_threads == 0` each running
+///     session owns a worker lane (a dedicated thread) until it is
+///     terminal — simple, but throughput is lane-bound: hundreds of light
+///     sessions serialize behind `max_active` threads. With
+///     `pool_threads > 0` sessions become *cooperative tasks*: a fixed
+///     pool of workers advances them one adaptation interval per slice,
+///     yielding between slices, so `max_active` becomes an admission
+///     bound (live session state in memory) rather than a thread count
+///     and hundreds of light sessions multiplex onto a few cores. Retry
+///     backoffs park the session (no thread sleeps on it); the watchdog
+///     promotes parked sessions when their backoff elapses or their token
+///     trips. Every session's pipeline submits its data-parallel batches
+///     into one SharedPoolExecutor — never a private pool, asserted at
+///     construction — and the executor's determinism contract keeps
+///     per-session results byte-identical to serial execution regardless
+///     of pool width or co-scheduled sessions.
+///   * **Cross-session pricing reuse.** Sessions sharing a machine model
+///     price candidates through a supervisor-wide SharedPricingCache
+///     scoped by Machine::fingerprint() (bit-identical to private
+///     caching; `server.pricing_shared_hits` proves the sharing).
 ///   * **Fair scheduling.** The queue is a FairQueue (serve/fair_queue.hpp):
 ///     per-priority lanes with an aging credit, so a low-priority session's
 ///     effective priority rises the longer it waits and no session starves
@@ -48,11 +69,12 @@
 ///
 /// Threading: public methods are safe from any thread. One mutex guards
 /// all session state; the simulation itself runs outside the lock (lanes
-/// only take it to publish events and state changes).
+/// and pool workers only take it to publish events and state changes).
 
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <filesystem>
 #include <map>
 #include <memory>
@@ -64,6 +86,8 @@
 
 #include "core/experiment.hpp"
 #include "exec/cancel.hpp"
+#include "exec/shared_pool.hpp"
+#include "redist/shared_pricing.hpp"
 #include "serve/fair_queue.hpp"
 #include "serve/protocol.hpp"
 #include "serve/session.hpp"
@@ -74,7 +98,10 @@ namespace stormtrack {
 
 /// Service limits; every bound has a safe default.
 struct ServeLimits {
-  int max_active = 2;      ///< Concurrent running sessions (worker lanes).
+  /// Concurrent running sessions. With pool_threads == 0 this is also the
+  /// worker-lane (thread) count; with a shared pool it is purely an
+  /// admission bound on live session state.
+  int max_active = 2;
   int max_queued = 8;      ///< Waiting sessions before REJECTED_BUSY.
   int max_attempts = 3;    ///< Attempts before quarantine.
   double backoff_seconds = 0.05;  ///< First retry sleep; doubles after.
@@ -87,10 +114,24 @@ struct ServeLimits {
   /// Queue-wait seconds per +1 effective priority in the fair queue;
   /// <= 0 disables aging (see serve/fair_queue.hpp).
   double aging_seconds = 0.5;
-  /// Threads for each running session's executor (candidate evaluation +
-  /// workload integration); 0 = serial. Lanes are the primary
-  /// parallelism, so the default keeps one core per session.
+  /// Threads for each running session's *private* executor (candidate
+  /// evaluation + workload integration); 0 = serial. Only meaningful in
+  /// lane mode — lanes are the primary parallelism, so the default keeps
+  /// one core per session. Combining it with pool_threads > 0 is rejected
+  /// at construction: N sessions each spawning a private ThreadPoolExecutor
+  /// next to a shared pool oversubscribes the cores the pool was sized
+  /// for, which is exactly the hazard the shared pool removes.
   int executor_threads = 0;
+  /// Shared cooperative scheduling: 0 keeps the lane-per-session model;
+  /// > 0 spawns this many pool workers that advance admitted sessions one
+  /// adaptation interval per slice (see the file comment). Sessions'
+  /// pipelines submit their parallel batches into the same pool.
+  int pool_threads = 0;
+  /// Serve candidate pricing from the supervisor-wide SharedPricingCache
+  /// so sessions sharing a machine model reuse each other's summaries.
+  /// Bit-identical results either way; hits surface as
+  /// server.pricing_shared_hits. Applies to both scheduling models.
+  bool shared_pricing = true;
 };
 
 class SessionSupervisor {
@@ -207,6 +248,11 @@ class SessionSupervisor {
     kShutdown = 2,  ///< stop() → `interrupted`, no journal record.
   };
 
+  /// A session's live simulation between cooperative slices (machine,
+  /// config, checkpointer, CoupledSimulation — everything run_attempt
+  /// used to keep on a lane's stack). Defined in supervisor.cpp.
+  struct SessionTask;
+
   struct Session {
     SessionStatus status;
     std::vector<SessionEvent> events;  ///< events[i].seq == i.
@@ -215,9 +261,36 @@ class SessionSupervisor {
     /// Wall-clock budget end, armed when the session first starts.
     std::chrono::steady_clock::time_point deadline_at{};
     bool deadline_armed = false;
+    /// Live simulation state across slices/attempts; null when no attempt
+    /// is in flight. Touched only by the thread driving the session
+    /// (mutex_ not required) and by stop()'s post-join sweep.
+    std::unique_ptr<SessionTask> task;
+    /// status.attempts at admission; retry arithmetic is relative to it.
+    int start_attempt = 0;
+    /// Pool mode: a worker is inside run_slice right now.
+    bool slicing = false;
+    /// Pool mode: queued in run_queue_ awaiting its next slice.
+    bool queued_runnable = false;
+    /// Pool mode: earliest next slice (retry backoff parks the session
+    /// here instead of sleeping a thread; the watchdog promotes it).
+    std::chrono::steady_clock::time_point runnable_at{};
+    /// Carried across retry slices for the quarantine record.
+    std::string last_error;
+    /// Summed slice wall time, folded into tenant accounting + the EWMA
+    /// when the session goes terminal (the pool-mode analog of lane
+    /// occupancy).
+    double task_seconds = 0.0;
+  };
+
+  /// Disposition of one cooperative slice.
+  enum class SliceOutcome : std::uint8_t {
+    kYield = 0,       ///< More intervals remain; requeue for another slice.
+    kTerminal = 1,    ///< Session reached a terminal state.
+    kRetryLater = 2,  ///< Attempt failed; park until runnable_at.
   };
 
   void lane_loop();
+  void worker_loop();
   void watchdog_loop();
   /// Run one session to a terminal (or interrupted) state. Called by a
   /// lane with mutex_ *not* held.
@@ -227,6 +300,22 @@ class SessionSupervisor {
   /// \p first_in_process distinguishes a cross-daemon checkpoint resume
   /// (reported as status.resumed) from an in-process retry resume.
   std::uint64_t run_attempt(Session& session, bool first_in_process);
+  /// Build the session's simulation for a new attempt (machine, config,
+  /// checkpointer, resume-from-checkpoint). mutex_ not held.
+  [[nodiscard]] std::unique_ptr<SessionTask> build_task(Session& session,
+                                                        bool first_in_process);
+  /// Advance one adaptation interval and publish its event; false when
+  /// every interval is done. mutex_ not held.
+  bool step_task(Session& session);
+  /// Final checkpoint + state fingerprint. mutex_ not held.
+  [[nodiscard]] std::uint64_t finish_task(Session& session);
+  /// One cooperative slice: first call of an attempt builds the task,
+  /// later calls advance one interval; maps exceptions to terminal states
+  /// or a parked retry exactly like run_session. mutex_ not held.
+  [[nodiscard]] SliceOutcome run_slice(Session& session);
+  /// Queue a running session for its next slice (pool mode; no-op when it
+  /// is already queued or mid-slice). mutex_ held.
+  void promote_locked(Session& session);
 
   [[nodiscard]] std::filesystem::path checkpoint_dir(std::uint64_t id) const;
   void bump_locked(std::string_view counter, std::int64_t amount = 1);
@@ -240,6 +329,13 @@ class SessionSupervisor {
   std::filesystem::path state_dir_;
   ServeLimits limits_;
   const ModelStack models_;  ///< Shared, const — thread-safe memo inside.
+  /// Shared executor every pool-mode session submits into (null in lane
+  /// mode). Constructed before any session and outlives them all.
+  std::unique_ptr<SharedPoolExecutor> pool_;
+  /// Cross-session pricing cache (scoped by machine fingerprint); wired
+  /// into every session when limits_.shared_pricing. Internally
+  /// synchronized — not guarded by mutex_.
+  SharedPricingCache pricing_;
 
   mutable std::mutex mutex_;
   /// Signals lanes only (queue/stop). The watchdog sleeps on its own
@@ -252,6 +348,12 @@ class SessionSupervisor {
   std::map<std::uint64_t, std::unique_ptr<Session>> sessions_;
   /// Queued session ids: per-priority lanes with aging (class comment).
   FairQueue queue_;
+  /// Pool mode: admitted sessions awaiting their next slice, round-robin
+  /// (a yielded session goes to the back, so no session starves).
+  std::deque<std::uint64_t> run_queue_;
+  /// Pool mode: sessions in kRunning (admitted, not yet terminal) — the
+  /// admission bound max_active compares against this.
+  int live_sessions_ = 0;
   std::uint64_t next_id_ = 1;
   bool stopping_ = false;
   bool started_ = false;

@@ -1,0 +1,124 @@
+/// SharedPoolExecutor contract: a drop-in Executor whose results are
+/// byte-identical to serial, safe for many concurrent submitters and for
+/// nested submission (submitter participation — the property that lets a
+/// session's pipeline run *inside* a pool worker without deadlock), with
+/// occupancy gauges that settle back to zero.
+
+#include "exec/shared_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace stormtrack {
+namespace {
+
+TEST(SharedPoolExecutor, MatchesSerialByteForByte) {
+  SharedPoolExecutor pool(4);
+  SerialExecutor serial;
+  const std::size_t n = 257;
+  const auto f = [](std::size_t i) {
+    // Nontrivial floating point: any reordering of these operations would
+    // change bits.
+    double x = static_cast<double>(i) + 0.1;
+    for (int k = 0; k < 20; ++k) x = x * 1.0000001 + 1e-9;
+    return x;
+  };
+  const std::vector<double> pooled = pool.map_indexed<double>(n, f);
+  const std::vector<double> reference = serial.map_indexed<double>(n, f);
+  ASSERT_EQ(pooled.size(), reference.size());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(pooled[i], reference[i]);
+}
+
+TEST(SharedPoolExecutor, OccupancySettlesAndLifetimeCountersAccumulate) {
+  SharedPoolExecutor pool(2);
+  std::atomic<int> seen{0};
+  pool.parallel_for(10, [&](std::size_t) { ++seen; });
+  pool.parallel_for(5, [&](std::size_t) { ++seen; });
+  EXPECT_EQ(seen.load(), 15);
+
+  const PoolOccupancy occ = pool.occupancy();
+  EXPECT_EQ(occ.threads, 2);
+  EXPECT_EQ(occ.inflight_batches, 0);
+  EXPECT_EQ(occ.running_tasks, 0);
+  EXPECT_EQ(occ.submitted_batches, 2);
+  EXPECT_EQ(occ.completed_batches, 2);
+  EXPECT_EQ(pool.stats().tasks, 15);
+  EXPECT_EQ(pool.concurrency(), 2);
+}
+
+TEST(SharedPoolExecutor, NestedSubmissionDoesNotDeadlock) {
+  // A task body submits into the same pool it runs on — the pipeline's
+  // candidate evaluation nested inside a pool-worker slice. Submitter
+  // participation guarantees progress even when every worker is busy.
+  SharedPoolExecutor pool(2);
+  std::atomic<int> inner_runs{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { ++inner_runs; });
+  });
+  EXPECT_EQ(inner_runs.load(), 32);
+  const PoolOccupancy occ = pool.occupancy();
+  EXPECT_EQ(occ.inflight_batches, 0);
+  EXPECT_EQ(occ.completed_batches, 4 + 1);
+}
+
+TEST(SharedPoolExecutor, ManyConcurrentSubmittersGetIndependentResults) {
+  // The shared-pool daemon shape: several session-driving threads submit
+  // batches into one pool concurrently; every submitter must observe
+  // exactly its own serial-identical results.
+  SharedPoolExecutor pool(3);
+  SerialExecutor serial;
+  constexpr int kSubmitters = 6;
+  const std::size_t n = 64;
+  std::vector<std::vector<double>> results(kSubmitters);
+  std::vector<std::thread> threads;
+  threads.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    threads.emplace_back([&, s] {
+      results[s] = pool.map_indexed<double>(n, [s](std::size_t i) {
+        return static_cast<double>(s * 1000) +
+               static_cast<double>(i) * 1.25;
+      });
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int s = 0; s < kSubmitters; ++s) {
+    const std::vector<double> reference =
+        serial.map_indexed<double>(n, [s](std::size_t i) {
+          return static_cast<double>(s * 1000) +
+                 static_cast<double>(i) * 1.25;
+        });
+    EXPECT_EQ(results[s], reference) << "submitter " << s;
+  }
+  EXPECT_EQ(pool.occupancy().completed_batches, kSubmitters);
+  EXPECT_EQ(pool.stats().tasks,
+            static_cast<std::int64_t>(kSubmitters) *
+                static_cast<std::int64_t>(n));
+}
+
+TEST(SharedPoolExecutor, ExceptionsRethrowAndGaugesRecover) {
+  SharedPoolExecutor pool(2);
+  EXPECT_THROW(pool.parallel_for(16,
+                                 [&](std::size_t i) {
+                                   if (i % 5 == 3) {
+                                     throw std::runtime_error("task failed");
+                                   }
+                                 }),
+               std::runtime_error);
+  const PoolOccupancy occ = pool.occupancy();
+  EXPECT_EQ(occ.inflight_batches, 0);
+  EXPECT_EQ(occ.running_tasks, 0);
+  EXPECT_EQ(occ.completed_batches, 1);
+  // The pool survives for the next batch.
+  std::atomic<int> runs{0};
+  pool.parallel_for(4, [&](std::size_t) { ++runs; });
+  EXPECT_EQ(runs.load(), 4);
+}
+
+}  // namespace
+}  // namespace stormtrack

@@ -1,0 +1,142 @@
+/// SharedPricingCache contract: cross-scope memoized pricing is
+/// bit-identical to direct sparse pricing, scopes (machine fingerprints)
+/// never leak summaries into each other, invalidation is per scope (the
+/// model-change story), and the instance hit/miss stats account every
+/// query.
+
+#include "redist/shared_pricing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/machine.hpp"
+#include "redist/redistributor.hpp"
+
+namespace stormtrack {
+namespace {
+
+void expect_equal(const RedistCostSummary& a, const RedistCostSummary& b) {
+  EXPECT_EQ(a.total_points, b.total_points);
+  EXPECT_EQ(a.overlap_points, b.overlap_points);
+  EXPECT_EQ(a.total_bytes, b.total_bytes);
+  EXPECT_EQ(a.hop_bytes, b.hop_bytes);
+  EXPECT_EQ(a.local_bytes, b.local_bytes);
+  EXPECT_EQ(a.num_messages, b.num_messages);
+  EXPECT_EQ(a.max_hops, b.max_hops);
+  EXPECT_EQ(a.worst_pair_time, b.worst_pair_time);
+  EXPECT_EQ(a.worst_sender_time, b.worst_sender_time);
+}
+
+TEST(SharedPricingCache, HitIsBitIdenticalToDirectPricing) {
+  const Machine machine = Machine::bluegene(256);
+  const std::uint64_t scope = machine.fingerprint();
+  SharedPricingCache cache;
+  const NestShape nest{200, 160};
+  const Rect a{0, 0, 6, 5};
+  const Rect b{2, 1, 7, 4};
+
+  const RedistCostSummary direct =
+      redistribution_cost(nest, a, b, machine.grid_px(), 8, &machine.comm());
+  const RedistCostSummary miss =
+      cache.price(scope, nest, a, b, machine.grid_px(), 8, &machine.comm());
+  const RedistCostSummary hit =
+      cache.price(scope, nest, a, b, machine.grid_px(), 8, &machine.comm());
+
+  expect_equal(miss, direct);
+  expect_equal(hit, direct);
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_rate(), 0.5);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SharedPricingCache, ScopesNeverShareSummaries) {
+  // Same process grid, same pricing key — different interconnects. The
+  // torus and the fat-tree disagree on hop structure, so serving one
+  // scope's summary for the other would be a real corruption, not a
+  // hit-rate detail.
+  const Machine torus = Machine::bluegene(256);
+  const Machine fattree = Machine::fattree(256);
+  ASSERT_EQ(torus.grid_px(), fattree.grid_px());
+  ASSERT_NE(torus.fingerprint(), fattree.fingerprint());
+
+  SharedPricingCache cache;
+  const NestShape nest{200, 160};
+  const Rect a{0, 0, 6, 5};
+  const Rect b{4, 2, 8, 6};
+
+  const RedistCostSummary torus_priced =
+      cache.price(torus.fingerprint(), nest, a, b, torus.grid_px(), 8,
+                  &torus.comm());
+  // Both scope queries must be misses: the second machine cannot be
+  // served from the first machine's entry.
+  EXPECT_EQ(cache.stats().misses, 1);
+  const RedistCostSummary fattree_priced =
+      cache.price(fattree.fingerprint(), nest, a, b, fattree.grid_px(), 8,
+                  &fattree.comm());
+  EXPECT_EQ(cache.stats().misses, 2);
+  EXPECT_EQ(cache.stats().hits, 0);
+  EXPECT_EQ(cache.size(), 2u);
+
+  expect_equal(torus_priced, redistribution_cost(nest, a, b, torus.grid_px(),
+                                                 8, &torus.comm()));
+  expect_equal(fattree_priced,
+               redistribution_cost(nest, a, b, fattree.grid_px(), 8,
+                                   &fattree.comm()));
+}
+
+TEST(SharedPricingCache, InvalidateDropsOnlyTheNamedScope) {
+  // The model-change story: when the cost semantics behind one machine
+  // fingerprint change, that scope's entries must go and every other
+  // scope's must survive.
+  const Machine torus = Machine::bluegene(256);
+  const Machine fattree = Machine::fattree(256);
+  SharedPricingCache cache;
+  const NestShape nest{120, 90};
+  const Rect a{0, 0, 5, 4};
+  const Rect b{1, 1, 6, 5};
+
+  (void)cache.price(torus.fingerprint(), nest, a, b, torus.grid_px(), 8,
+                    &torus.comm());
+  (void)cache.price(fattree.fingerprint(), nest, a, b, fattree.grid_px(), 8,
+                    &fattree.comm());
+  ASSERT_EQ(cache.size(), 2u);
+
+  cache.invalidate(torus.fingerprint());
+  EXPECT_EQ(cache.size(), 1u);
+
+  // The surviving scope still hits; the invalidated one re-misses (and
+  // re-prices to the same bits).
+  const SharedPricingCache::Stats before = cache.stats();
+  (void)cache.price(fattree.fingerprint(), nest, a, b, fattree.grid_px(), 8,
+                    &fattree.comm());
+  EXPECT_EQ(cache.stats().hits, before.hits + 1);
+  const RedistCostSummary repriced = cache.price(
+      torus.fingerprint(), nest, a, b, torus.grid_px(), 8, &torus.comm());
+  EXPECT_EQ(cache.stats().misses, before.misses + 1);
+  expect_equal(repriced, redistribution_cost(nest, a, b, torus.grid_px(), 8,
+                                             &torus.comm()));
+
+  cache.invalidate_all();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(SharedPricingCache, MachineFingerprintIsStableAndDiscriminating) {
+  // Equal construction → equal fingerprint (the property that makes the
+  // scope a safe cross-session key); different machine or core count →
+  // different fingerprint.
+  EXPECT_EQ(Machine::bluegene(256).fingerprint(),
+            Machine::bluegene(256).fingerprint());
+  EXPECT_EQ(Machine::by_name("bgl", 256).fingerprint(),
+            Machine::bluegene(256).fingerprint());
+  EXPECT_NE(Machine::bluegene(256).fingerprint(),
+            Machine::bluegene(1024).fingerprint());
+  EXPECT_NE(Machine::bluegene(256).fingerprint(),
+            Machine::fist_cluster(256).fingerprint());
+  EXPECT_NE(Machine::fattree(256).fingerprint(),
+            Machine::dragonfly(256).fingerprint());
+}
+
+}  // namespace
+}  // namespace stormtrack

@@ -214,6 +214,83 @@ TEST(SessionCodecTest, StatusAndEventRoundTrip) {
   EXPECT_EQ(eback.retained, 3);
 }
 
+TEST(ServerStatsCodecTest, RoundTripsEveryFieldIncludingThePoolBlock) {
+  ServerStats stats;
+  stats.active = 3;
+  stats.queued = 7;
+  stats.healthy = false;
+  stats.journal_pending = 2;
+  stats.journal_write_failures = 5;
+  stats.estimated_wait_seconds = 1.5;
+  TenantStats tenant;
+  tenant.tenant = "ops";
+  tenant.submitted = 10;
+  tenant.admitted = 9;
+  tenant.rejected = 1;
+  tenant.shed = 2;
+  tenant.completed = 8;
+  tenant.cpu_seconds = 3.25;
+  stats.tenants.push_back(tenant);
+  stats.pool_threads = 4;
+  stats.pool_executing = 2;
+  stats.pool_runnable = 5;
+  stats.pool_delayed = 1;
+  stats.pool_batches = 123;
+  stats.pricing_shared_hits = 30;
+  stats.pricing_shared_misses = 10;
+
+  BinaryWriter w;
+  put_server_stats(w, stats);
+  BinaryReader r(w.bytes());
+  const ServerStats back = get_server_stats(r);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(back.active, 3u);
+  EXPECT_EQ(back.queued, 7u);
+  EXPECT_FALSE(back.healthy);
+  EXPECT_EQ(back.journal_pending, 2u);
+  EXPECT_EQ(back.journal_write_failures, 5u);
+  EXPECT_EQ(back.estimated_wait_seconds, 1.5);
+  ASSERT_EQ(back.tenants.size(), 1u);
+  EXPECT_EQ(back.tenants[0].tenant, "ops");
+  EXPECT_EQ(back.tenants[0].completed, 8u);
+  EXPECT_EQ(back.tenants[0].cpu_seconds, 3.25);
+  EXPECT_EQ(back.pool_threads, 4u);
+  EXPECT_EQ(back.pool_executing, 2u);
+  EXPECT_EQ(back.pool_runnable, 5u);
+  EXPECT_EQ(back.pool_delayed, 1u);
+  EXPECT_EQ(back.pool_batches, 123u);
+  EXPECT_EQ(back.pricing_shared_hits, 30u);
+  EXPECT_EQ(back.pricing_shared_misses, 10u);
+  EXPECT_DOUBLE_EQ(back.pricing_shared_hit_rate(), 0.75);
+}
+
+TEST(ServerStatsCodecTest, DecodesAPayloadWithoutThePoolBlockToZeros) {
+  // A stats payload from a daemon that predates the shared-pool block
+  // ends at the tenant list; the decoder must yield zeros, not throw.
+  // Still protocol v2 — this is what keeps the extension a non-break.
+  BinaryWriter w;
+  w.put_u64(1);   // active
+  w.put_u64(2);   // queued
+  w.put_u8(1);    // healthy
+  w.put_u64(0);   // journal_pending
+  w.put_u64(0);   // journal_write_failures
+  w.put_f64(0.5);  // estimated_wait_seconds
+  w.put_count(0);  // no tenants — and nothing after them
+  BinaryReader r(w.bytes());
+  const ServerStats back = get_server_stats(r);
+  EXPECT_EQ(back.active, 1u);
+  EXPECT_EQ(back.queued, 2u);
+  EXPECT_TRUE(back.healthy);
+  EXPECT_EQ(back.pool_threads, 0u);
+  EXPECT_EQ(back.pool_executing, 0u);
+  EXPECT_EQ(back.pool_runnable, 0u);
+  EXPECT_EQ(back.pool_delayed, 0u);
+  EXPECT_EQ(back.pool_batches, 0u);
+  EXPECT_EQ(back.pricing_shared_hits, 0u);
+  EXPECT_EQ(back.pricing_shared_misses, 0u);
+  EXPECT_DOUBLE_EQ(back.pricing_shared_hit_rate(), 0.0);
+}
+
 TEST(SessionSpecValidationTest, DefaultSpecIsValid) {
   EXPECT_TRUE(session_spec_problems(SessionSpec{}).empty());
 }
